@@ -1,0 +1,58 @@
+// Ablation for the LEO-style feedback-correction extension (paper §5.1 /
+// Stillger et al.): general statistics with and without errorFactor
+// correction of assumption-based estimates. The correction repairs
+// *recurring* mis-estimates (same colgrp estimated from the same statlist)
+// without any compile-time collection — a cheap middle ground between
+// static statistics and full JITS.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "workload/datagen.h"
+#include "workload/workload_gen.h"
+
+int main() {
+  using namespace jits;
+  ExperimentOptions options = bench::OptionsFromEnv();
+  bench::PrintHeader("Ablation: LEO-style feedback correction",
+                     "extension; paper §5.1 related work", options);
+
+  WorkloadConfig wl = options.workload;
+  wl.scale = options.datagen.scale;
+  const std::vector<WorkloadItem> items = GenerateWorkload(wl);
+
+  std::printf("%-24s %16s %16s %18s\n", "configuration", "avg exec(ms)",
+              "avg |log2 ef|", "corrected est.");
+  for (int corrected = 0; corrected < 2; ++corrected) {
+    Database db(options.datagen.seed);
+    if (!GenerateCarDatabase(&db, options.datagen).ok()) return 1;
+    db.set_row_limit(0);
+    (void)db.CollectGeneralStats();
+    db.set_leo_correction(corrected != 0);
+
+    double exec_seconds = 0;
+    double log_error = 0;
+    size_t queries = 0;
+    for (const WorkloadItem& item : items) {
+      for (const std::string& sql : item.statements) {
+        QueryResult qr;
+        if (!db.Execute(sql, &qr).ok()) continue;
+        if (!qr.is_query) continue;
+        exec_seconds += qr.execute_seconds;
+        const double actual = std::max<double>(1, qr.num_rows);
+        const double est = std::max(1.0, qr.est_rows);
+        log_error += std::fabs(std::log2(est / actual));
+        ++queries;
+      }
+    }
+    std::printf("%-24s %16.3f %16.3f\n",
+                corrected ? "general stats + LEO" : "general stats",
+                exec_seconds / static_cast<double>(queries) * 1e3,
+                log_error / static_cast<double>(queries));
+  }
+  std::printf("\n(|log2 errorFactor| of the final result-size estimate: 0 = exact,\n"
+              " 1 = off by 2x. The correction learns recurring query shapes from\n"
+              " the feedback loop alone — no compile-time sampling.)\n");
+  return 0;
+}

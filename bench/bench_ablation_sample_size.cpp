@@ -1,0 +1,88 @@
+// Ablation for DESIGN.md decision 2 (table-at-a-time collection with an
+// absolute sample size): sweeps the JITS sample size and reports collection
+// cost against the accuracy of the measured group selectivities. Per the
+// paper's citation of [1, 8, 12], a size-independent absolute sample
+// suffices — the error curve should flatten well before the table size.
+#include <cstdio>
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "core/jits_module.h"
+#include "core/query_analysis.h"
+#include "engine/database.h"
+#include "exec/predicate_eval.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "workload/datagen.h"
+#include "workload/workload_gen.h"
+
+int main() {
+  using namespace jits;
+  ExperimentOptions options = bench::OptionsFromEnv();
+  bench::PrintHeader("Ablation: sample size vs selectivity accuracy",
+                     "paper §3.3 / §4 sampling discussion", options);
+
+  Database db(options.datagen.seed);
+  Status status = GenerateCarDatabase(&db, options.datagen);
+  if (!status.ok()) return 1;
+
+  // Probe queries with correlated predicate groups.
+  const std::vector<std::string> probes = {
+      "SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'",
+      "SELECT id FROM car WHERE make = 'Honda' AND model = 'Civic' AND year > 2002",
+      "SELECT ownerid FROM demographics WHERE city = 'Ottawa' AND country = 'CA'",
+      "SELECT id FROM accidents WHERE severity >= 4 AND damage > 8000",
+      "SELECT id FROM car WHERE year BETWEEN 2000 AND 2003 AND price BETWEEN "
+      "9000 AND 16000",
+  };
+
+  std::printf("%12s %16s %20s %16s\n", "sample rows", "collect(ms)",
+              "mean |est-actual|", "max rel error");
+  for (size_t sample : {100UL, 250UL, 500UL, 1000UL, 2000UL, 5000UL, 20000UL}) {
+    double total_ms = 0;
+    double mae = 0;
+    double max_rel = 0;
+    size_t groups = 0;
+    for (const std::string& sql : probes) {
+      Result<StatementAst> ast = ParseStatement(sql);
+      Result<BoundStatement> bound = Bind(ast.value(), db.catalog());
+      QueryBlock& block = std::get<QueryBlock>(bound.value());
+
+      JitsConfig config;
+      config.enabled = true;
+      config.sensitivity_enabled = false;  // always collect
+      config.sample_rows = sample;
+      QssArchive scratch_archive;
+      StatHistory scratch_history;
+      JitsModule jits(db.catalog(), &scratch_archive, &scratch_history);
+      Stopwatch watch;
+      JitsPrepareResult prep = jits.Prepare(block, config, db.rng(), 1);
+      total_ms += watch.Seconds() * 1e3;
+
+      // Compare each measured group selectivity against the full-scan truth.
+      for (const PredicateGroup& g : AnalyzeQuery(block)) {
+        auto it = prep.exact.selectivity.find(g.ExactKey(block));
+        if (it == prep.exact.selectivity.end()) continue;
+        Table* table = block.tables[static_cast<size_t>(g.table_idx)].table;
+        std::vector<CompiledPredicate> preds =
+            CompilePredicates(*table, block.local_preds, g.pred_indices);
+        double count = 0;
+        for (uint32_t row = 0; row < table->physical_rows(); ++row) {
+          if (table->IsVisible(row) && MatchesAll(preds, row)) count += 1;
+        }
+        const double actual = count / static_cast<double>(table->num_rows());
+        mae += std::fabs(it->second - actual);
+        if (actual > 0) {
+          max_rel = std::max(max_rel, std::fabs(it->second - actual) / actual);
+        }
+        ++groups;
+      }
+    }
+    std::printf("%12zu %16.3f %20.5f %16.2f\n", sample, total_ms,
+                groups ? mae / static_cast<double>(groups) : 0, max_rel);
+  }
+  std::printf("\n(accuracy saturates at a size-independent absolute sample, while\n"
+              " collection cost keeps growing: the basis for the paper's choice)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Figure 5: scatter of per-query elapsed time, JITS enabled (no
+// prior statistics) versus JITS disabled with general statistics only — the
+// common production situation where no workload knowledge exists. The paper
+// reports almost all queries in the improvement region.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace jits;
+  ExperimentOptions options = bench::OptionsFromEnv();
+  bench::PrintHeader("Figure 5: general stats vs JITS (per-query scatter)",
+                     "paper §4.2, Figure 5", options);
+  bench::WarmUp(options);
+
+  const std::vector<WorkloadRunResult> results = RunPairedWorkloadExperiment(
+      {ExperimentSetting::kGeneralStats, ExperimentSetting::kJits}, options);
+  const WorkloadRunResult& base = results[0];
+  const WorkloadRunResult& jits = results[1];
+  const size_t n = std::min(base.queries.size(), jits.queries.size());
+
+  size_t improved_exec = 0;
+  size_t improved_total = 0;
+  double sum_base_exec = 0;
+  double sum_jits_exec = 0;
+  double sum_base_total = 0;
+  double sum_jits_total = 0;
+  std::printf("%8s %18s %14s %s\n", "item", "general-stats(ms)", "jits(ms)", "region");
+  for (size_t i = 0; i < n; ++i) {
+    const QueryTiming& b = base.queries[i];
+    const QueryTiming& j = jits.queries[i];
+    sum_base_exec += b.execute_seconds;
+    sum_jits_exec += j.execute_seconds;
+    sum_base_total += b.total_seconds;
+    sum_jits_total += j.total_seconds;
+    if (j.execute_seconds <= b.execute_seconds) ++improved_exec;
+    if (j.total_seconds <= b.total_seconds) ++improved_total;
+    if (i % 20 == 0) {
+      std::printf("%8zu %18.2f %14.2f %s\n", b.item_index, b.total_seconds * 1e3,
+                  j.total_seconds * 1e3,
+                  j.total_seconds <= b.total_seconds ? "improvement" : "degradation");
+    }
+  }
+
+  std::printf("\nqueries=%zu\n", n);
+  std::printf("execution time:   improvement %zu (%.0f%%), mean %.2fms -> %.2fms\n",
+              improved_exec, 100.0 * improved_exec / n, sum_base_exec / n * 1e3,
+              sum_jits_exec / n * 1e3);
+  std::printf("total time:       improvement %zu (%.0f%%), mean %.2fms -> %.2fms\n",
+              improved_total, 100.0 * improved_total / n, sum_base_total / n * 1e3,
+              sum_jits_total / n * 1e3);
+
+  size_t heavy = 0;
+  size_t heavy_improved = 0;
+  double heavy_base = 0;
+  double heavy_jits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double b = base.queries[i].execute_seconds;
+    const double j = jits.queries[i].execute_seconds;
+    if (b < 0.004 && j < 0.004) continue;
+    ++heavy;
+    heavy_base += b;
+    heavy_jits += j;
+    if (j <= b) ++heavy_improved;
+  }
+  if (heavy > 0) {
+    std::printf("long-running queries (>4ms execution): %zu, improvement %.0f%%, "
+                "mean %.2fms -> %.2fms\n",
+                heavy, 100.0 * heavy_improved / heavy, heavy_base / heavy * 1e3,
+                heavy_jits / heavy * 1e3);
+  }
+  std::printf("(paper: almost all queries improve; ours shows the execution-time\n"
+              " improvement while the compile-time sampling overhead — relatively\n"
+              " larger on an in-memory engine — moves some totals above the diagonal)\n");
+  return 0;
+}

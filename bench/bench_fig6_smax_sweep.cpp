@@ -1,0 +1,34 @@
+// Reproduces Figure 6: average compilation and execution time per query as
+// the sensitivity-analysis threshold s_max sweeps over
+// {0, 0.1, 0.5, 0.7, 0.9, 1}. At s_max = 0 every possible statistic is
+// always collected (no actual sensitivity analysis, large compilation
+// time); at s_max = 1 nothing is ever collected (traditional optimization).
+// Expected shape: compilation time decreases monotonically with s_max;
+// execution time rises once collection stops paying for itself; the total
+// is minimized in the middle.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace jits;
+  ExperimentOptions options = bench::OptionsFromEnv();
+  bench::PrintHeader("Figure 6: sensitivity threshold sweep", "paper §4.3, Figure 6",
+                     options);
+  bench::WarmUp(options);
+
+  const std::vector<double> sweep = {0.0, 0.1, 0.5, 0.7, 0.9, 1.0};
+  const std::vector<WorkloadRunResult> results = RunPairedSmaxSweep(sweep, options);
+  std::printf("%8s %16s %16s %16s %14s\n", "s_max", "avg compile(ms)",
+              "avg execute(ms)", "avg total(ms)", "collections");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const WorkloadRunResult& r = results[i];
+    std::printf("%8.2f %16.3f %16.3f %16.3f %14zu\n", sweep[i],
+                r.AvgCompileSeconds() * 1e3, r.AvgExecuteSeconds() * 1e3,
+                (r.AvgCompileSeconds() + r.AvgExecuteSeconds()) * 1e3,
+                r.TotalCollections());
+  }
+  std::printf("\n(paper: compilation cost falls as s_max rises; execution cost rises\n"
+              " near s_max = 1; s_max around 0.5-0.7 minimizes the workload total)\n");
+  return 0;
+}

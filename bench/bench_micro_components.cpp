@@ -1,0 +1,134 @@
+// google-benchmark microbenchmarks for the core JITS building blocks:
+// histogram construction and constraint assimilation, selectivity
+// estimation, sampling, SQL parsing and the full compile pipeline.
+#include <benchmark/benchmark.h>
+
+#include "catalog/runstats.h"
+#include "common/rng.h"
+#include "core/jits_module.h"
+#include "engine/database.h"
+#include "histogram/equi_depth.h"
+#include "histogram/grid_histogram.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "storage/sampler.h"
+#include "workload/datagen.h"
+#include "workload/workload_gen.h"
+
+namespace jits {
+namespace {
+
+void BM_EquiDepthBuild(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(state.range(0)));
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    values.push_back(rng.UniformDouble(0, 1e6));
+  }
+  for (auto _ : state) {
+    std::vector<double> copy = values;
+    benchmark::DoNotOptimize(
+        EquiDepthHistogram::Build(std::move(copy), 20, static_cast<double>(values.size())));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EquiDepthBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_GridApplyConstraint(benchmark::State& state) {
+  Rng rng(2);
+  GridHistogram hist({"x", "y"}, {Interval{0, 1000}, Interval{0, 1000}}, 1e6, 1);
+  uint64_t now = 2;
+  for (auto _ : state) {
+    const double lx = rng.UniformDouble(0, 900);
+    const double ly = rng.UniformDouble(0, 900);
+    hist.ApplyConstraint({Interval{lx, lx + 50}, Interval{ly, ly + 50}},
+                         rng.UniformDouble(0, 1e6), 1e6, now++);
+  }
+}
+BENCHMARK(BM_GridApplyConstraint);
+
+void BM_GridEstimate(benchmark::State& state) {
+  Rng rng(3);
+  GridHistogram hist({"x", "y"}, {Interval{0, 1000}, Interval{0, 1000}}, 1e6, 1);
+  for (uint64_t i = 0; i < 30; ++i) {
+    const double lx = rng.UniformDouble(0, 900);
+    hist.ApplyConstraint({Interval{lx, lx + 60}, Interval::All()},
+                         rng.UniformDouble(0, 1e6), 1e6, i + 2);
+  }
+  for (auto _ : state) {
+    const double lx = rng.UniformDouble(0, 900);
+    benchmark::DoNotOptimize(
+        hist.EstimateBoxFraction({Interval{lx, lx + 80}, Interval{lx, lx + 80}}));
+  }
+}
+BENCHMARK(BM_GridEstimate);
+
+class EngineFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (db_ != nullptr) return;
+    db_ = new Database(7);
+    DataGenConfig config;
+    config.scale = 0.01;
+    (void)GenerateCarDatabase(db_, config);
+    (void)db_->CollectGeneralStats();
+    db_->set_row_limit(0);
+  }
+  static Database* db_;
+};
+Database* EngineFixture::db_ = nullptr;
+
+BENCHMARK_F(EngineFixture, BM_ParseBind)(benchmark::State& state) {
+  const std::string sql = PaperSingleQuery();
+  for (auto _ : state) {
+    Result<StatementAst> ast = ParseStatement(sql);
+    benchmark::DoNotOptimize(Bind(ast.value(), db_->catalog()));
+  }
+}
+
+BENCHMARK_F(EngineFixture, BM_Sample2000)(benchmark::State& state) {
+  Table* car = db_->catalog()->FindTable("car");
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sampler::SampleRows(*car, 2000, &rng));
+  }
+}
+
+BENCHMARK_F(EngineFixture, BM_RunStatsSampled)(benchmark::State& state) {
+  Table* car = db_->catalog()->FindTable("car");
+  Rng rng(5);
+  RunStatsOptions options;
+  options.sample_rows = 2000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunStats(db_->catalog(), car, options, &rng, 1));
+  }
+}
+
+BENCHMARK_F(EngineFixture, BM_JitsPrepare)(benchmark::State& state) {
+  Result<StatementAst> ast = ParseStatement(PaperSingleQuery());
+  Result<BoundStatement> bound = Bind(ast.value(), db_->catalog());
+  QueryBlock& block = std::get<QueryBlock>(bound.value());
+  JitsConfig config;
+  config.enabled = true;
+  config.sensitivity_enabled = false;
+  QssArchive archive;
+  StatHistory history;
+  JitsModule jits(db_->catalog(), &archive, &history);
+  uint64_t now = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jits.Prepare(block, config, db_->rng(), now++));
+  }
+}
+
+BENCHMARK_F(EngineFixture, BM_FullQueryPipeline)(benchmark::State& state) {
+  const std::string sql = PaperSingleQuery();
+  for (auto _ : state) {
+    QueryResult qr;
+    benchmark::DoNotOptimize(db_->Execute(sql, &qr));
+  }
+}
+
+}  // namespace
+}  // namespace jits
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Reproduces Table 1: the contents of the statistics-collection history
+// (StatHistory). Runs a short JITS-enabled workload so the feedback loop
+// populates (T, colgrp, statlist, count, errorfactor) entries, then prints
+// the history in the paper's tabular layout.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "workload/datagen.h"
+#include "workload/workload_gen.h"
+
+int main() {
+  using namespace jits;
+  ExperimentOptions options = bench::OptionsFromEnv();
+  options.workload.num_items = std::min<size_t>(options.workload.num_items, 120);
+  bench::PrintHeader("Table 1: statistics collection history", "paper §3.3.1, Table 1",
+                     options);
+
+  Database db(options.datagen.seed);
+  Status status = GenerateCarDatabase(&db, options.datagen);
+  if (!status.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  db.set_row_limit(0);
+  db.jits_config()->enabled = true;
+  db.jits_config()->s_max = 0.5;
+
+  WorkloadConfig wl = options.workload;
+  wl.scale = options.datagen.scale;
+  for (const WorkloadItem& item : GenerateWorkload(wl)) {
+    for (const std::string& sql : item.statements) {
+      (void)db.Execute(sql);
+    }
+  }
+
+  std::printf("StatHistory after %zu workload items "
+              "(errorfactor = estimated / actual selectivity):\n\n%s\n",
+              wl.num_items, db.history()->ToString().c_str());
+  std::printf("entries=%zu, QSS archive holds %zu histograms (%zu buckets)\n",
+              db.history()->size(), db.archive()->size(), db.archive()->total_buckets());
+  return 0;
+}

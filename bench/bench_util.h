@@ -1,0 +1,65 @@
+#ifndef JITS_BENCH_BENCH_UTIL_H_
+#define JITS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "workload/experiment.h"
+
+namespace jits {
+namespace bench {
+
+/// Experiment options from the environment:
+///   JITS_SCALE  fraction of the paper's table sizes (default 0.05)
+///   JITS_ITEMS  workload items including updates  (default 840, the paper's)
+///   JITS_SEED   data/workload seed                (default 1234)
+inline ExperimentOptions OptionsFromEnv() {
+  ExperimentOptions options;
+  if (const char* scale = std::getenv("JITS_SCALE")) {
+    options.datagen.scale = std::atof(scale);
+  } else {
+    options.datagen.scale = 0.1;
+  }
+  if (const char* items = std::getenv("JITS_ITEMS")) {
+    options.workload.num_items = static_cast<size_t>(std::atoll(items));
+  }
+  if (const char* seed = std::getenv("JITS_SEED")) {
+    options.datagen.seed = static_cast<uint64_t>(std::atoll(seed));
+    options.workload.seed = options.datagen.seed + 7;
+  }
+  options.workload.scale = options.datagen.scale;
+  return options;
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_ref,
+                        const ExperimentOptions& options) {
+  std::printf("==============================================================\n");
+  std::printf("%s  (%s)\n", experiment, paper_ref);
+  std::printf("scale=%.3f of paper table sizes, %zu workload items, seed=%llu\n",
+              options.datagen.scale, options.workload.num_items,
+              static_cast<unsigned long long>(options.datagen.seed));
+  std::printf("==============================================================\n");
+}
+
+/// Burns one small workload run so allocator/page-cache state is warm before
+/// anything is measured (first-run page faults otherwise skew the first
+/// setting measured).
+inline void WarmUp(const ExperimentOptions& options) {
+  ExperimentOptions warm = options;
+  warm.workload.num_items = std::min<size_t>(warm.workload.num_items, 150);
+  (void)RunWorkloadExperiment(ExperimentSetting::kGeneralStats, warm);
+}
+
+inline void PrintFiveNumber(const char* label, const std::vector<double>& seconds) {
+  const std::vector<double> five = FiveNumberSummary(seconds);
+  std::printf("%-16s min=%7.2fms q1=%7.2fms median=%7.2fms q3=%7.2fms max=%8.2fms\n",
+              label, five[0] * 1e3, five[1] * 1e3, five[2] * 1e3, five[3] * 1e3,
+              five[4] * 1e3);
+}
+
+}  // namespace bench
+}  // namespace jits
+
+#endif  // JITS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,88 @@
+// Correlated predicates: why query-specific statistics exist.
+//
+// The optimizer's independence assumption multiplies single-column
+// selectivities; on correlated columns (model determines make, city
+// determines country) that underestimates joint selectivities by large
+// factors, which cascades into join-order mistakes. This example shows the
+// estimation error of each statistics source on the same predicate groups,
+// and how the error changes the chosen plan.
+#include <cstdio>
+
+#include "common/str_util.h"
+#include "engine/database.h"
+#include "workload/datagen.h"
+
+namespace {
+
+using namespace jits;
+
+void ShowEstimate(Database* db, const std::string& label, const std::string& sql) {
+  QueryResult qr;
+  Status status = db->Execute(sql, &qr);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", sql.c_str(), status.ToString().c_str());
+    return;
+  }
+  const double err = (qr.num_rows > 0)
+                         ? qr.est_rows / static_cast<double>(qr.num_rows)
+                         : qr.est_rows;
+  std::printf("%-22s est %8.0f rows   actual %8zu   errorFactor %6.2f\n", label.c_str(),
+              qr.est_rows, qr.num_rows, err);
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  DataGenConfig config;
+  config.scale = 0.02;
+  if (!GenerateCarDatabase(&db, config).ok()) return 1;
+  db.set_row_limit(0);
+
+  const std::string correlated =
+      "SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry'";
+  std::printf("Query: %s\n", correlated.c_str());
+  std::printf("(model functionally determines make: the true joint selectivity\n"
+              " equals the model's own selectivity — independence is badly wrong)\n\n");
+
+  // 1. No statistics: System-R default guesses.
+  ShowEstimate(&db, "defaults:", correlated);
+
+  // 2. General statistics: good marginals, independence across columns.
+  (void)db.CollectGeneralStats();
+  ShowEstimate(&db, "general stats:", correlated);
+
+  // 3. JITS: the group (make, model) is measured on a sample at compile
+  //    time — no assumptions left.
+  db.jits_config()->enabled = true;
+  db.jits_config()->sensitivity_enabled = false;
+  ShowEstimate(&db, "JITS:", correlated);
+  db.jits_config()->enabled = false;
+
+  // The same effect on the second correlated pair.
+  const std::string city =
+      "SELECT ownerid FROM demographics WHERE city = 'Ottawa' AND country = 'CA'";
+  std::printf("\nQuery: %s\n\n", city.c_str());
+  ShowEstimate(&db, "general stats:", city);
+  db.jits_config()->enabled = true;
+  ShowEstimate(&db, "JITS:", city);
+  db.jits_config()->enabled = false;
+
+  // Cascades into plans: the 4-way paper join under both regimes.
+  const std::string join =
+      "SELECT o.name, driver, damage FROM car c, accidents a, demographics d, owner o "
+      "WHERE d.ownerid = o.id AND a.carid = c.id AND c.ownerid = o.id "
+      "AND make = 'Toyota' AND model = 'Camry' AND city = 'Ottawa' AND country = 'CA' "
+      "AND salary > 5000";
+  QueryResult general;
+  (void)db.Execute(join, &general);
+  db.jits_config()->enabled = true;
+  QueryResult jits;
+  (void)db.Execute(join, &jits);
+
+  std::printf("\n4-way join, general statistics (exec %.2fms):\n%s\n",
+              general.execute_seconds * 1e3, general.plan_text.c_str());
+  std::printf("\n4-way join, JITS (exec %.2fms):\n%s\n", jits.execute_seconds * 1e3,
+              jits.plan_text.c_str());
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Interactive SQL shell over the JITS engine.
+//
+//   ./jits_shell [--load [scale]]     # --load populates the paper's schema
+//
+// Besides SQL (SELECT / INSERT / UPDATE / DELETE / CREATE TABLE / EXPLAIN),
+// the shell understands meta commands:
+//   \jits on|off         enable/disable JITS collection
+//   \smax <v>            set the sensitivity threshold
+//   \leo on|off          LEO-style feedback correction
+//   \runstats            collect general statistics on all tables
+//   \archive             show the QSS archive contents
+//   \history             show the StatHistory (paper Table 1)
+//   \tables              list tables
+//   \timing on|off       per-query timing breakdown
+//   \quit
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/str_util.h"
+#include "engine/database.h"
+#include "workload/datagen.h"
+
+namespace {
+
+using namespace jits;
+
+void PrintResult(const QueryResult& result, bool timing) {
+  if (result.is_query) {
+    if (!result.column_names.empty()) {
+      std::printf("%s\n", Join(result.column_names, " | ").c_str());
+    }
+    for (const Row& row : result.rows) {
+      std::vector<std::string> cells;
+      cells.reserve(row.size());
+      for (const Value& v : row) cells.push_back(v.ToString());
+      std::printf("%s\n", Join(cells, " | ").c_str());
+    }
+    if (result.rows.size() < result.num_rows) {
+      std::printf("... (%zu rows total, %zu shown)\n", result.num_rows,
+                  result.rows.size());
+    } else {
+      std::printf("(%zu rows)\n", result.num_rows);
+    }
+  } else {
+    std::printf("OK, %zu rows affected\n", result.num_rows);
+  }
+  if (timing) {
+    std::printf("compile %.3fms (sampled %zu tables), execute %.3fms, total %.3fms, "
+                "estimated rows %.0f\n",
+                result.compile_seconds * 1e3, result.tables_sampled,
+                result.execute_seconds * 1e3, result.total_seconds * 1e3,
+                result.est_rows);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Database db;
+  bool timing = true;
+
+  if (argc > 1 && std::strcmp(argv[1], "--load") == 0) {
+    DataGenConfig config;
+    config.scale = (argc > 2) ? std::atof(argv[2]) : 0.01;
+    std::printf("loading car-insurance schema at scale %.3f...\n", config.scale);
+    Status status = GenerateCarDatabase(&db, config);
+    if (!status.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    for (const char* t : {"owner", "demographics", "car", "accidents"}) {
+      std::printf("  %-14s %zu rows\n", t, db.catalog()->FindTable(t)->num_rows());
+    }
+  }
+
+  std::printf("JITS shell. \\quit to exit; JITS is %s (\\jits on to enable).\n",
+              db.jits_config()->enabled ? "on" : "off");
+  std::string line;
+  while (true) {
+    std::printf("jits> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+
+    if (line[0] == '\\') {
+      if (line == "\\quit" || line == "\\q") break;
+      if (line == "\\jits on") {
+        db.jits_config()->enabled = true;
+        std::printf("JITS enabled (s_max=%.2f, sample=%zu rows)\n",
+                    db.jits_config()->s_max, db.jits_config()->sample_rows);
+      } else if (line == "\\jits off") {
+        db.jits_config()->enabled = false;
+        std::printf("JITS disabled\n");
+      } else if (line.rfind("\\smax ", 0) == 0) {
+        db.jits_config()->s_max = std::atof(line.c_str() + 6);
+        std::printf("s_max = %.2f\n", db.jits_config()->s_max);
+      } else if (line == "\\leo on" || line == "\\leo off") {
+        db.set_leo_correction(line == "\\leo on");
+        std::printf("LEO correction %s\n", db.leo_correction() ? "on" : "off");
+      } else if (line == "\\runstats") {
+        Status status = db.CollectGeneralStats();
+        std::printf("%s\n", status.ToString().c_str());
+      } else if (line == "\\archive") {
+        std::printf("QSS archive: %zu histograms, %zu/%zu buckets\n",
+                    db.archive()->size(), db.archive()->total_buckets(),
+                    db.archive()->bucket_budget());
+        for (const auto& [key, hist] : db.archive()->histograms()) {
+          std::printf("  %-32s %zu cells, uniformity-distance %.3f, last used @%llu\n",
+                      key.c_str(), hist.num_cells(), hist.UniformityDistance(),
+                      static_cast<unsigned long long>(hist.last_used()));
+        }
+      } else if (line == "\\history") {
+        std::printf("%s", db.history()->ToString().c_str());
+      } else if (line == "\\tables") {
+        for (Table* t : db.catalog()->tables()) {
+          std::printf("  %-16s %8zu rows  %s\n", t->name().c_str(), t->num_rows(),
+                      t->schema().ToString().c_str());
+        }
+      } else if (line == "\\timing on" || line == "\\timing off") {
+        timing = (line == "\\timing on");
+      } else {
+        std::printf("unknown command: %s\n", line.c_str());
+      }
+      continue;
+    }
+
+    QueryResult result;
+    Status status = db.Execute(line, &result);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      continue;
+    }
+    PrintResult(result, timing);
+  }
+  return 0;
+}

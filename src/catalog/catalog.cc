@@ -1,0 +1,47 @@
+#include "catalog/catalog.h"
+
+#include "common/str_util.h"
+
+namespace jits {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  const std::string key = ToLower(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* ptr = table.get();
+  tables_.emplace(key, std::move(table));
+  return ptr;
+}
+
+Table* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return nullptr;
+  return it->second.get();
+}
+
+std::vector<Table*> Catalog::tables() const {
+  std::vector<Table*> out;
+  out.reserve(tables_.size());
+  for (const auto& [_, t] : tables_) out.push_back(t.get());
+  return out;
+}
+
+TableStats* Catalog::GetStats(const Table* table) { return &stats_[table]; }
+
+const TableStats* Catalog::FindStats(const Table* table) const {
+  auto it = stats_.find(table);
+  if (it == stats_.end() || !it->second.valid) return nullptr;
+  return &it->second;
+}
+
+double Catalog::EstimatedCardinality(const Table* table) const {
+  const TableStats* s = FindStats(table);
+  if (s == nullptr) return kDefaultCardinality;
+  return s->cardinality;
+}
+
+void Catalog::ClearStats() { stats_.clear(); }
+
+}  // namespace jits

@@ -1,0 +1,55 @@
+#ifndef JITS_CATALOG_CATALOG_H_
+#define JITS_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/column_stats.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace jits {
+
+/// The system catalog: owns all tables and their general statistics.
+///
+/// When a table has no valid statistics, consumers fall back to the
+/// traditional defaults (default cardinality, default selectivities) — the
+/// "no statistics" operating mode of the paper's experiments.
+class Catalog {
+ public:
+  /// Default cardinality guess for tables without statistics (the classic
+  /// optimizer fallback).
+  static constexpr double kDefaultCardinality = 1000;
+
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a table; fails if the name exists (case-insensitive).
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Looks up a table by name (case-insensitive); nullptr if absent.
+  Table* FindTable(const std::string& name) const;
+
+  std::vector<Table*> tables() const;
+
+  /// Mutable stats slot for a table (created lazily, initially !valid).
+  TableStats* GetStats(const Table* table);
+  const TableStats* FindStats(const Table* table) const;
+
+  /// Cardinality estimate honoring missing statistics.
+  double EstimatedCardinality(const Table* table) const;
+
+  /// Drops all statistics (used to reset experiments).
+  void ClearStats();
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;  // lower-case name
+  std::unordered_map<const Table*, TableStats> stats_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_CATALOG_CATALOG_H_

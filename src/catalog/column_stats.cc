@@ -1,0 +1,43 @@
+#include "catalog/column_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace jits {
+
+double ColumnStats::EstimateEqualsFraction(double key, double table_rows) const {
+  for (const auto& [fk, fcount] : frequent_values) {
+    if (fk == key) {
+      return (table_rows > 0) ? std::min(1.0, fcount / table_rows) : 0;
+    }
+  }
+  if (!histogram.empty()) {
+    return histogram.EstimateEqualsFraction(key);
+  }
+  if (distinct > 0) return 1.0 / distinct;
+  return 0.1;  // System-R style default
+}
+
+double ColumnStats::EstimateRangeFraction(double lo, double hi) const {
+  if (!histogram.empty()) {
+    return histogram.EstimateRangeFraction(lo, hi);
+  }
+  // Linear interpolation over [min, max] when only min/max are known.
+  if (max_key > min_key) {
+    const double olo = std::max(lo, min_key);
+    const double ohi = std::min(hi, max_key + 1);
+    if (ohi <= olo) return 0;
+    return std::min(1.0, (ohi - olo) / (max_key + 1 - min_key));
+  }
+  return 1.0 / 3.0;  // System-R style default
+}
+
+std::string ColumnStats::ToString() const {
+  return StrFormat("ColumnStats(distinct=%.0f, min=%g, max=%g, freq=%zu, %s)",
+                   distinct, min_key, max_key, frequent_values.size(),
+                   histogram.empty() ? "no-hist" : histogram.ToString().c_str());
+}
+
+}  // namespace jits

@@ -1,0 +1,51 @@
+#ifndef JITS_CATALOG_COLUMN_STATS_H_
+#define JITS_CATALOG_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "histogram/equi_depth.h"
+
+namespace jits {
+
+/// General (query-agnostic) statistics for one column — what a traditional
+/// optimizer keeps in its catalog: distinct count, min/max, frequent values
+/// and a distribution histogram. All values live in the column's numeric
+/// key space.
+struct ColumnStats {
+  double distinct = 0;
+  double min_key = 0;
+  double max_key = 0;
+  EquiDepthHistogram histogram;
+  /// Most frequent values: (key, row count), descending by count.
+  std::vector<std::pair<double, double>> frequent_values;
+
+  /// Estimated fraction of rows equal to `key`: frequent-value hit, else
+  /// histogram, else 1/distinct.
+  double EstimateEqualsFraction(double key, double table_rows) const;
+
+  /// Estimated fraction of rows in the half-open interval [lo, hi).
+  double EstimateRangeFraction(double lo, double hi) const;
+
+  std::string ToString() const;
+};
+
+/// Statistics for one table: cardinality plus per-column stats, stamped with
+/// collection time/version for staleness reasoning.
+struct TableStats {
+  bool valid = false;
+  double cardinality = 0;
+  uint64_t collected_at_time = 0;     // logical clock of collection
+  uint64_t collected_at_version = 0;  // table version at collection
+  std::vector<ColumnStats> columns;   // indexed by column; may be empty
+  std::vector<bool> column_valid;
+
+  bool HasColumn(size_t col) const {
+    return col < column_valid.size() && column_valid[col];
+  }
+};
+
+}  // namespace jits
+
+#endif  // JITS_CATALOG_COLUMN_STATS_H_

@@ -1,0 +1,106 @@
+#include "catalog/runstats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "storage/sampler.h"
+
+namespace jits {
+
+double EstimateDistinctDuj1(double d_sample, double f1, double n_sample, double n_total) {
+  if (n_sample <= 0 || d_sample <= 0) return 0;
+  if (n_sample >= n_total) return d_sample;
+  const double q = n_sample / n_total;
+  const double denom = 1.0 - (1.0 - q) * f1 / n_sample;
+  if (denom <= 0) return n_total;  // all singletons: likely a key column
+  return std::min(n_total, d_sample / denom);
+}
+
+Status RunStats(Catalog* catalog, Table* table, const RunStatsOptions& options,
+                Rng* rng, uint64_t logical_time) {
+  std::vector<uint32_t> rows;
+  if (options.sample_rows == 0 || options.sample_rows >= table->num_rows()) {
+    rows = Sampler::AllRows(*table);
+  } else {
+    rows = Sampler::SampleRows(*table, options.sample_rows, rng);
+  }
+  return RunStatsOnRows(catalog, table, rows, options, logical_time);
+}
+
+Status RunStatsOnRows(Catalog* catalog, Table* table,
+                      const std::vector<uint32_t>& rows,
+                      const RunStatsOptions& options, uint64_t logical_time) {
+  TableStats* stats = catalog->GetStats(table);
+  stats->valid = true;
+  stats->cardinality = static_cast<double>(table->num_rows());
+  stats->collected_at_time = logical_time;
+  stats->collected_at_version = table->version();
+  const bool partial = !options.columns.empty();
+  if (stats->columns.size() != table->schema().num_columns()) {
+    stats->columns.assign(table->schema().num_columns(), ColumnStats{});
+    stats->column_valid.assign(table->schema().num_columns(), false);
+  } else if (!partial) {
+    stats->column_valid.assign(table->schema().num_columns(), false);
+  }
+  auto wanted = [&](size_t col) {
+    if (!partial) return true;
+    return std::find(options.columns.begin(), options.columns.end(),
+                     static_cast<int>(col)) != options.columns.end();
+  };
+
+  if (rows.empty()) {
+    table->ResetUdi();
+    return Status::OK();
+  }
+  const double n_sample = static_cast<double>(rows.size());
+  const double n_total = static_cast<double>(table->num_rows());
+
+  for (size_t col = 0; col < table->schema().num_columns(); ++col) {
+    if (!wanted(col)) continue;
+    const Column& column = table->column(col);
+    std::vector<double> keys;
+    keys.reserve(rows.size());
+    for (uint32_t row : rows) keys.push_back(column.NumericKey(row));
+
+    ColumnStats cs;
+    // Value frequencies for distinct estimation and frequent values.
+    std::unordered_map<double, double> freq;
+    for (double k : keys) freq[k] += 1;
+    double f1 = 0;
+    for (const auto& [k, c] : freq) {
+      if (c == 1) ++f1;
+    }
+    cs.distinct = EstimateDistinctDuj1(static_cast<double>(freq.size()), f1, n_sample, n_total);
+    cs.min_key = *std::min_element(keys.begin(), keys.end());
+    cs.max_key = *std::max_element(keys.begin(), keys.end());
+
+    // Top-k frequent values, scaled to the table.
+    std::vector<std::pair<double, double>> by_count(freq.begin(), freq.end());
+    std::sort(by_count.begin(), by_count.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    const double scale = n_total / n_sample;
+    for (size_t i = 0; i < by_count.size() && i < options.num_frequent_values; ++i) {
+      if (by_count[i].second < 2) break;  // singletons carry no frequency signal
+      cs.frequent_values.emplace_back(by_count[i].first, by_count[i].second * scale);
+    }
+
+    cs.histogram = EquiDepthHistogram::Build(std::move(keys), options.histogram_buckets,
+                                             n_total);
+    stats->columns[col] = std::move(cs);
+    stats->column_valid[col] = true;
+  }
+
+  table->ResetUdi();
+  return Status::OK();
+}
+
+Status RunStatsAll(Catalog* catalog, const RunStatsOptions& options, Rng* rng,
+                   uint64_t logical_time) {
+  for (Table* t : catalog->tables()) {
+    JITS_RETURN_IF_ERROR(RunStats(catalog, t, options, rng, logical_time));
+  }
+  return Status::OK();
+}
+
+}  // namespace jits

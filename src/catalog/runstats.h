@@ -1,0 +1,49 @@
+#ifndef JITS_CATALOG_RUNSTATS_H_
+#define JITS_CATALOG_RUNSTATS_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+
+namespace jits {
+
+/// Options for general statistics collection.
+struct RunStatsOptions {
+  /// Sample size (rows). 0 means full scan. Per the paper, a size-independent
+  /// absolute sample suffices for accurate statistics.
+  size_t sample_rows = 0;
+  size_t histogram_buckets = 20;
+  size_t num_frequent_values = 10;
+  /// Column indexes to collect (empty = all columns). JITS passes only the
+  /// columns the current query touches ("RUNSTATS with the appropriate
+  /// parameters"). Columns outside the set keep their previous statistics.
+  std::vector<int> columns;
+};
+
+/// The RUNSTATS equivalent: collects general statistics (cardinality,
+/// per-column distinct/min/max/frequent-values/equi-depth histogram) for a
+/// table and stores them in the catalog. Resets the table's UDI counter —
+/// the statistics now reflect the data.
+Status RunStats(Catalog* catalog, Table* table, const RunStatsOptions& options,
+                Rng* rng, uint64_t logical_time);
+
+/// RunStats over a caller-provided row sample (the JITS collector reuses
+/// its query-specific sample so the table is sampled exactly once).
+/// `options.sample_rows` is ignored.
+Status RunStatsOnRows(Catalog* catalog, Table* table,
+                      const std::vector<uint32_t>& rows,
+                      const RunStatsOptions& options, uint64_t logical_time);
+
+/// Runs RunStats on every table in the catalog.
+Status RunStatsAll(Catalog* catalog, const RunStatsOptions& options, Rng* rng,
+                   uint64_t logical_time);
+
+/// Haas et al. style Duj1 distinct-value estimator: scales the sample
+/// distinct count `d_sample` (with `f1` singletons) observed in `n_sample`
+/// rows of an `n_total`-row table.
+double EstimateDistinctDuj1(double d_sample, double f1, double n_sample, double n_total);
+
+}  // namespace jits
+
+#endif  // JITS_CATALOG_RUNSTATS_H_

@@ -1,0 +1,78 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace jits {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Chance(double p) {
+  std::bernoulli_distribution dist(std::clamp(p, 0.0, 1.0));
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) return 0;
+  ZipfCache* cache = nullptr;
+  for (ZipfCache& c : zipf_cache_) {
+    if (c.n == n && c.s == s) {
+      cache = &c;
+      break;
+    }
+  }
+  if (cache == nullptr) {
+    ZipfCache c;
+    c.n = n;
+    c.s = s;
+    c.cdf.resize(n);
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      c.cdf[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i) c.cdf[i] /= sum;
+    zipf_cache_.push_back(std::move(c));
+    cache = &zipf_cache_.back();
+  }
+  double u = UniformDouble(0.0, 1.0);
+  auto it = std::lower_bound(cache->cdf.begin(), cache->cdf.end(), u);
+  size_t idx = static_cast<size_t>(it - cache->cdf.begin());
+  return std::min(idx, n - 1);
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  std::vector<uint32_t> out;
+  if (k >= n) {
+    out.resize(n);
+    for (uint32_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  out.reserve(k);
+  std::unordered_set<uint32_t> seen;
+  seen.reserve(k * 2);
+  // Floyd's algorithm: k iterations, each adds exactly one new element.
+  for (uint32_t j = n - k; j < n; ++j) {
+    uint32_t t = static_cast<uint32_t>(Uniform(0, j));
+    if (seen.count(t)) t = j;
+    seen.insert(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace jits

@@ -1,0 +1,54 @@
+#ifndef JITS_COMMON_RNG_H_
+#define JITS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace jits {
+
+/// Deterministic random source used by the data generator, the workload
+/// generator and the sampler. All experiments are reproducible given a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli trial with probability p.
+  bool Chance(double p);
+
+  /// Gaussian sample.
+  double Gaussian(double mean, double stddev);
+
+  /// Zipf-distributed index in [0, n) with skew parameter s (s=0 uniform).
+  /// Precomputes the CDF per distinct (n, s) pair.
+  size_t Zipf(size_t n, double s);
+
+  /// Uniformly picks one element index from a non-empty container size.
+  size_t PickIndex(size_t n) { return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1)); }
+
+  /// Samples k distinct indices from [0, n) (Floyd's algorithm); if k >= n
+  /// returns all indices. Result is unsorted.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  // Cached Zipf CDFs keyed by (n, s).
+  struct ZipfCache {
+    size_t n = 0;
+    double s = 0;
+    std::vector<double> cdf;
+  };
+  std::vector<ZipfCache> zipf_cache_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_COMMON_RNG_H_

@@ -1,0 +1,42 @@
+#ifndef JITS_COMMON_SCHEMA_H_
+#define JITS_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace jits {
+
+/// A single column definition.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+};
+
+/// Ordered list of column definitions for one table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the named column (case-insensitive), or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// A materialized tuple: one Value per schema column.
+using Row = std::vector<Value>;
+
+}  // namespace jits
+
+#endif  // JITS_COMMON_SCHEMA_H_

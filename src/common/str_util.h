@@ -1,0 +1,23 @@
+#ifndef JITS_COMMON_STR_UTIL_H_
+#define JITS_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace jits {
+
+/// ASCII lower-casing (SQL identifiers are case-insensitive).
+std::string ToLower(const std::string& s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace jits
+
+#endif  // JITS_COMMON_STR_UTIL_H_

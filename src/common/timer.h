@@ -1,0 +1,27 @@
+#ifndef JITS_COMMON_TIMER_H_
+#define JITS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace jits {
+
+/// Monotonic wall-clock stopwatch; Seconds() returns elapsed time since
+/// construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_COMMON_TIMER_H_

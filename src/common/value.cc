@@ -1,0 +1,63 @@
+#include "common/value.h"
+
+#include <cstdio>
+
+namespace jits {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "VARCHAR";
+  }
+  return "?";
+}
+
+double Value::AsDouble() const {
+  if (is_int64()) return static_cast<double>(int64());
+  return dbl();
+}
+
+bool Value::CompatibleWith(DataType type) const {
+  if (is_null()) return true;
+  switch (type) {
+    case DataType::kInt64:
+      return is_int64();
+    case DataType::kDouble:
+      return is_int64() || is_double();
+    case DataType::kString:
+      return is_string();
+  }
+  return false;
+}
+
+Value Value::CoerceTo(DataType type) const {
+  if (is_null()) return *this;
+  switch (type) {
+    case DataType::kInt64:
+      if (is_double()) return Value(static_cast<int64_t>(dbl()));
+      return *this;
+    case DataType::kDouble:
+      if (is_int64()) return Value(static_cast<double>(int64()));
+      return *this;
+    case DataType::kString:
+      return *this;
+  }
+  return *this;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", dbl());
+    return buf;
+  }
+  return "'" + str() + "'";
+}
+
+}  // namespace jits

@@ -1,0 +1,64 @@
+#ifndef JITS_COMMON_VALUE_H_
+#define JITS_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace jits {
+
+/// Column data types supported by the storage engine.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeName(DataType type);
+
+/// A dynamically typed scalar. Null is represented by the monostate
+/// alternative. Values flow through the SQL front end, the row API, and
+/// query results; hot paths (predicate evaluation, joins) operate on typed
+/// column vectors instead.
+class Value {
+ public:
+  Value() = default;  // null
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return data_.index() == 0; }
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  int64_t int64() const { return std::get<int64_t>(data_); }
+  double dbl() const { return std::get<double>(data_); }
+  const std::string& str() const { return std::get<std::string>(data_); }
+
+  /// Numeric view of a numeric value (int64 widened to double).
+  /// Must not be called on strings or nulls.
+  double AsDouble() const;
+
+  /// True if this value can be losslessly interpreted as `type`
+  /// (int64 literals coerce to double columns).
+  bool CompatibleWith(DataType type) const;
+
+  /// Coerce to the given type (int64 <-> double widening/narrowing).
+  Value CoerceTo(DataType type) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_COMMON_VALUE_H_

@@ -1,0 +1,171 @@
+#include "core/collector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "catalog/runstats.h"
+#include "common/str_util.h"
+#include "exec/bitvector.h"
+#include "exec/predicate_eval.h"
+#include "storage/sampler.h"
+#include "storage/table.h"
+
+namespace jits {
+namespace {
+
+/// Domain interval for a column: catalog min/max when fresh enough, else a
+/// cheap column sweep (in-memory metadata).
+Interval ColumnDomain(const Catalog& catalog, const Table& table, int col_idx) {
+  const TableStats* stats = catalog.FindStats(&table);
+  if (stats != nullptr && stats->HasColumn(static_cast<size_t>(col_idx))) {
+    const ColumnStats& cs = stats->columns[static_cast<size_t>(col_idx)];
+    if (cs.max_key > cs.min_key) return Interval{cs.min_key, cs.max_key + 1};
+  }
+  const Column& column = table.column(static_cast<size_t>(col_idx));
+  double lo = 0;
+  double hi = 1;
+  bool first = true;
+  for (uint32_t row = 0; row < table.physical_rows(); ++row) {
+    if (!table.IsVisible(row)) continue;
+    const double k = column.NumericKey(row);
+    if (first) {
+      lo = hi = k;
+      first = false;
+    } else {
+      lo = std::min(lo, k);
+      hi = std::max(hi, k);
+    }
+  }
+  return Interval{lo, hi + 1};
+}
+
+}  // namespace
+
+CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
+                                             const std::vector<PredicateGroup>& groups,
+                                             const std::vector<TableDecision>& decisions,
+                                             Rng* rng, uint64_t now, QssExact* exact) {
+  CollectionStats out;
+  for (const TableDecision& decision : decisions) {
+    if (!decision.collect) continue;
+    Table* table = block.tables[static_cast<size_t>(decision.table_idx)].table;
+    const double table_rows = static_cast<double>(table->num_rows());
+
+    // Table statistics: the paper's prototype "invokes the RUNSTATS tool
+    // with the appropriate parameters", so a marked table gets fresh basic
+    // and distribution statistics (cardinality, distincts, histograms) from
+    // a sampling RUNSTATS pass in addition to its query-specific
+    // selectivities. This also resets the UDI counter.
+    exact->cardinality[table] = table_rows;
+
+    // One sample per table; it feeds both the RUNSTATS column statistics
+    // and every candidate group's selectivity (§3.3: sampling dominates the
+    // collection cost, so the table is sampled exactly once).
+    const std::vector<uint32_t> sample =
+        Sampler::SampleRows(*table, config_.sample_rows, rng);
+
+    RunStatsOptions runstats_options;
+    // Only the columns this query touches, plus INT columns (join-key
+    // distinct counts feed the join cardinality formula).
+    for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+      if (table->schema().column(c).type == DataType::kInt64) {
+        runstats_options.columns.push_back(static_cast<int>(c));
+      }
+    }
+    for (const LocalPredicate& p : block.local_preds) {
+      if (p.table_idx != decision.table_idx) continue;
+      if (std::find(runstats_options.columns.begin(), runstats_options.columns.end(),
+                    p.col_idx) == runstats_options.columns.end()) {
+        runstats_options.columns.push_back(p.col_idx);
+      }
+    }
+    (void)RunStatsOnRows(catalog_, table, sample, runstats_options, now);
+
+    if (decision.group_indices.empty()) continue;
+    ++out.tables_sampled;
+    if (sample.empty()) continue;
+    const double n = static_cast<double>(sample.size());
+
+    // Collect the distinct predicates appearing in this table's groups.
+    std::vector<int> pred_ids;
+    for (size_t gi : decision.group_indices) {
+      for (int pi : groups[gi].pred_indices) {
+        if (std::find(pred_ids.begin(), pred_ids.end(), pi) == pred_ids.end()) {
+          pred_ids.push_back(pi);
+        }
+      }
+    }
+    std::vector<BitVector> matches;
+    matches.reserve(pred_ids.size());
+    for (int pi : pred_ids) {
+      const CompiledPredicate cp =
+          CompiledPredicate::Compile(*table, block.local_preds[static_cast<size_t>(pi)]);
+      BitVector bv(sample.size());
+      for (size_t i = 0; i < sample.size(); ++i) {
+        if (cp.Matches(sample[i])) bv.Set(i);
+      }
+      matches.push_back(std::move(bv));
+    }
+    auto bitvector_of = [&](int pi) -> const BitVector* {
+      const auto it = std::find(pred_ids.begin(), pred_ids.end(), pi);
+      return &matches[static_cast<size_t>(it - pred_ids.begin())];
+    };
+
+    // Measure every candidate group (cheap once sampled) and materialize
+    // the marked ones.
+    for (size_t k = 0; k < decision.group_indices.size(); ++k) {
+      const PredicateGroup& g = groups[decision.group_indices[k]];
+      std::vector<const BitVector*> vs;
+      for (int pi : g.pred_indices) vs.push_back(bitvector_of(pi));
+      const double count = static_cast<double>(BitVector::CountIntersection(vs));
+      const double sel = count / n;
+      exact->selectivity[g.ExactKey(block)] = sel;
+      ++out.groups_measured;
+
+      const bool materialize =
+          (k < decision.materialize.size()) && decision.materialize[k];
+      if (!materialize || archive_ == nullptr) continue;
+
+      std::vector<int> cols;
+      Box box;
+      if (!g.BuildBox(block, &cols, &box)) continue;
+      std::vector<std::string> col_names;
+      std::vector<Interval> domain;
+      for (int c : cols) {
+        col_names.push_back(ToLower(table->schema().column(static_cast<size_t>(c)).name));
+        domain.push_back(ColumnDomain(*catalog_, *table, c));
+      }
+      const std::string key = g.ColumnSetKey(block);
+      GridHistogram* hist =
+          archive_->GetOrCreate(key, col_names, domain, table_rows, now);
+
+      // Assimilate marginal knowledge first (per-dimension sub-boxes), then
+      // the joint box — the paper's Figure 2 sequence.
+      if (cols.size() > 1) {
+        for (size_t d = 0; d < cols.size(); ++d) {
+          if (box[d].is_unbounded()) continue;
+          // Count sample rows matching just this dimension's predicates.
+          std::vector<const BitVector*> dim_vs;
+          for (int pi : g.pred_indices) {
+            if (block.local_preds[static_cast<size_t>(pi)].col_idx == cols[d]) {
+              dim_vs.push_back(bitvector_of(pi));
+            }
+          }
+          if (dim_vs.empty()) continue;
+          const double dim_count =
+              static_cast<double>(BitVector::CountIntersection(dim_vs));
+          Box dim_box(cols.size(), Interval::All());
+          dim_box[d] = box[d];
+          hist->ApplyConstraint(dim_box, dim_count / n * table_rows, table_rows, now);
+        }
+      }
+      hist->ApplyConstraint(box, sel * table_rows, table_rows, now);
+      hist->Touch(now);
+      ++out.groups_materialized;
+    }
+  }
+  if (archive_ != nullptr) archive_->EnforceBudget();
+  return out;
+}
+
+}  // namespace jits

@@ -1,0 +1,52 @@
+#ifndef JITS_CORE_COLLECTOR_H_
+#define JITS_CORE_COLLECTOR_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "core/qss_archive.h"
+#include "core/sensitivity.h"
+#include "query/predicate_group.h"
+
+namespace jits {
+
+/// Collector tunables.
+struct CollectorConfig {
+  /// Rows sampled per marked table (size-independent absolute sample, per
+  /// the paper's sampling-size argument).
+  size_t sample_rows = 2000;
+};
+
+/// Outcome counters of one collection pass.
+struct CollectionStats {
+  size_t tables_sampled = 0;
+  size_t groups_measured = 0;
+  size_t groups_materialized = 0;
+};
+
+/// The Statistics Collection module: samples each table marked by the
+/// sensitivity analysis once, computes the selectivities of all its
+/// candidate predicate groups from that single sample (the cost argument of
+/// §3.3: sampling dominates, per-group evaluation is cheap), exposes them
+/// as exact QSS to the current compilation, and assimilates the marked
+/// groups into the QSS archive via maximum-entropy constraints.
+class StatisticsCollector {
+ public:
+  StatisticsCollector(Catalog* catalog, QssArchive* archive, CollectorConfig config)
+      : catalog_(catalog), archive_(archive), config_(config) {}
+
+  CollectionStats Collect(const QueryBlock& block,
+                          const std::vector<PredicateGroup>& groups,
+                          const std::vector<TableDecision>& decisions, Rng* rng,
+                          uint64_t now, QssExact* exact);
+
+ private:
+  Catalog* catalog_;
+  QssArchive* archive_;
+  CollectorConfig config_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_CORE_COLLECTOR_H_

@@ -1,0 +1,43 @@
+#include "core/jits_module.h"
+
+#include "core/migration.h"
+#include "core/query_analysis.h"
+
+namespace jits {
+
+JitsPrepareResult JitsModule::Prepare(const QueryBlock& block, const JitsConfig& config,
+                                      Rng* rng, uint64_t now) {
+  JitsPrepareResult result;
+  if (!config.enabled) return result;
+
+  archive_->set_bucket_budget(config.archive_bucket_budget);
+
+  // 1. Query analysis (Algorithm 1).
+  const std::vector<PredicateGroup> groups = AnalyzeQuery(block, config.max_group_preds);
+  result.candidate_groups = groups.size();
+
+  // 2. Sensitivity analysis (Algorithms 2-4).
+  SensitivityConfig sens_config;
+  sens_config.s_max = config.s_max;
+  sens_config.enabled = config.sensitivity_enabled;
+  SensitivityAnalysis sensitivity(sens_config, catalog_, archive_, history_);
+  result.decisions = sensitivity.Analyze(block, groups);
+
+  // 3. Statistics collection.
+  CollectorConfig coll_config;
+  coll_config.sample_rows = config.sample_rows;
+  StatisticsCollector collector(catalog_, archive_, coll_config);
+  const CollectionStats stats =
+      collector.Collect(block, groups, result.decisions, rng, now, &result.exact);
+  result.tables_sampled = stats.tables_sampled;
+  result.groups_measured = stats.groups_measured;
+  result.groups_materialized = stats.groups_materialized;
+
+  // 4. Periodic statistics migration into the catalog.
+  if (config.migration_interval > 0 && now % config.migration_interval == 0) {
+    MigrateStatistics(*archive_, catalog_, now);
+  }
+  return result;
+}
+
+}  // namespace jits

@@ -1,0 +1,63 @@
+#ifndef JITS_CORE_JITS_MODULE_H_
+#define JITS_CORE_JITS_MODULE_H_
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "core/collector.h"
+#include "core/qss_archive.h"
+#include "core/sensitivity.h"
+#include "feedback/stat_history.h"
+
+namespace jits {
+
+/// All JITS tunables in one place.
+struct JitsConfig {
+  /// Master switch: when false, compilation uses only catalog statistics.
+  bool enabled = false;
+  /// When false, every table is sampled and every group materialized
+  /// (the paper's Table 3 experiment disables the sensitivity analysis).
+  bool sensitivity_enabled = true;
+  /// Collection/materialization threshold s_max (paper §4.3).
+  double s_max = 0.5;
+  /// Sample size per table.
+  size_t sample_rows = 2000;
+  /// QSS archive space budget, in histogram buckets.
+  size_t archive_bucket_budget = 4096;
+  /// Predicate-count cap for group enumeration (2^m growth guard).
+  size_t max_group_preds = 5;
+  /// Migrate archive histograms into the catalog every N queries (0 = off).
+  size_t migration_interval = 0;
+};
+
+/// What one compile-time JITS pass produced.
+struct JitsPrepareResult {
+  QssExact exact;
+  std::vector<TableDecision> decisions;
+  size_t candidate_groups = 0;
+  size_t tables_sampled = 0;
+  size_t groups_measured = 0;
+  size_t groups_materialized = 0;
+};
+
+/// The compile-time JITS pipeline (paper Figure 1): query analysis →
+/// sensitivity analysis → statistics collection → (periodically) migration.
+/// The result's exact QSS feeds the optimizer's estimation sources.
+class JitsModule {
+ public:
+  JitsModule(Catalog* catalog, QssArchive* archive, StatHistory* history)
+      : catalog_(catalog), archive_(archive), history_(history) {}
+
+  /// Runs the pipeline for one query block. `now` is the engine's logical
+  /// clock (used for bucket timestamps, LRU and migration cadence).
+  JitsPrepareResult Prepare(const QueryBlock& block, const JitsConfig& config,
+                            Rng* rng, uint64_t now);
+
+ private:
+  Catalog* catalog_;
+  QssArchive* archive_;
+  StatHistory* history_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_CORE_JITS_MODULE_H_

@@ -1,0 +1,60 @@
+#include "core/migration.h"
+
+#include "core/sensitivity.h"
+#include "storage/table.h"
+
+namespace jits {
+
+size_t MigrateStatistics(const QssArchive& archive, Catalog* catalog, uint64_t now) {
+  size_t migrated = 0;
+  for (const auto& [key, hist] : archive.histograms()) {
+    if (hist.num_dims() != 1) continue;
+    std::string table_name;
+    std::vector<std::string> columns;
+    if (!ParseStatKey(key, &table_name, &columns) || columns.size() != 1) continue;
+    Table* table = catalog->FindTable(table_name);
+    if (table == nullptr) continue;
+    const int col = table->schema().FindColumn(columns[0]);
+    if (col < 0) continue;
+
+    TableStats* stats = catalog->GetStats(table);
+    if (stats->valid && stats->HasColumn(static_cast<size_t>(col)) &&
+        stats->collected_at_time >= hist.max_timestamp()) {
+      continue;  // catalog is at least as fresh
+    }
+    if (!stats->valid) {
+      stats->valid = true;
+      stats->cardinality = static_cast<double>(table->num_rows());
+      stats->collected_at_time = now;
+      stats->collected_at_version = table->version();
+    }
+    if (stats->columns.size() != table->schema().num_columns()) {
+      stats->columns.assign(table->schema().num_columns(), ColumnStats{});
+      stats->column_valid.assign(table->schema().num_columns(), false);
+    }
+
+    ColumnStats& cs = stats->columns[static_cast<size_t>(col)];
+    const std::vector<double>& bs = hist.boundaries(0);
+    std::vector<double> counts;
+    counts.reserve(bs.size() - 1);
+    for (size_t b = 0; b + 1 < bs.size(); ++b) {
+      counts.push_back(hist.CellCount({b}));
+    }
+    EquiDepthHistogram migrated_hist =
+        EquiDepthHistogram::FromBuckets(bs, std::move(counts), {});
+    if (migrated_hist.empty()) continue;
+    if (cs.distinct <= 0) {
+      // No prior knowledge: approximate distinct by the domain width.
+      cs.distinct = std::max(1.0, bs.back() - bs.front());
+    }
+    cs.min_key = bs.front();
+    cs.max_key = bs.back() - 1;
+    cs.histogram = std::move(migrated_hist);
+    cs.frequent_values.clear();
+    stats->column_valid[static_cast<size_t>(col)] = true;
+    ++migrated;
+  }
+  return migrated;
+}
+
+}  // namespace jits

@@ -1,0 +1,22 @@
+#ifndef JITS_CORE_MIGRATION_H_
+#define JITS_CORE_MIGRATION_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "core/qss_archive.h"
+
+namespace jits {
+
+/// The Statistics Migration module (paper Figure 1): periodically folds
+/// single-dimension QSS archive histograms back into the system catalog so
+/// even JITS-disabled compilations benefit from accumulated query-specific
+/// knowledge. A column's catalog histogram is replaced when the archive
+/// histogram carries newer observations than the catalog's collection time.
+///
+/// Returns the number of columns migrated.
+size_t MigrateStatistics(const QssArchive& archive, Catalog* catalog, uint64_t now);
+
+}  // namespace jits
+
+#endif  // JITS_CORE_MIGRATION_H_

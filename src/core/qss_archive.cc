@@ -1,0 +1,88 @@
+#include "core/qss_archive.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace jits {
+
+std::string QssArchive::KeyFor(const std::string& table,
+                               std::vector<std::string> column_names) {
+  for (std::string& c : column_names) c = ToLower(c);
+  std::sort(column_names.begin(), column_names.end());
+  return ToLower(table) + "(" + Join(column_names, ",") + ")";
+}
+
+GridHistogram* QssArchive::Find(const std::string& key) {
+  auto it = histograms_.find(key);
+  return (it == histograms_.end()) ? nullptr : &it->second;
+}
+
+const GridHistogram* QssArchive::Find(const std::string& key) const {
+  auto it = histograms_.find(key);
+  return (it == histograms_.end()) ? nullptr : &it->second;
+}
+
+GridHistogram* QssArchive::GetOrCreate(const std::string& key,
+                                       std::vector<std::string> column_names,
+                                       std::vector<Interval> domain,
+                                       double total_rows, uint64_t now) {
+  auto it = histograms_.find(key);
+  if (it != histograms_.end()) return &it->second;
+  auto [inserted, _] = histograms_.emplace(
+      key, GridHistogram(std::move(column_names), std::move(domain), total_rows, now));
+  inserted->second.Touch(now);
+  return &inserted->second;
+}
+
+std::optional<double> QssArchive::EstimateFraction(const std::string& key,
+                                                   const Box& box, uint64_t now) {
+  GridHistogram* h = Find(key);
+  if (h == nullptr) return std::nullopt;
+  h->Touch(now);
+  return h->EstimateBoxFraction(box);
+}
+
+std::optional<double> QssArchive::Accuracy(const std::string& key, const Box& box) const {
+  const GridHistogram* h = Find(key);
+  if (h == nullptr) return std::nullopt;
+  return h->BoxAccuracy(box);
+}
+
+size_t QssArchive::total_buckets() const {
+  size_t total = 0;
+  for (const auto& [_, h] : histograms_) total += h.num_cells();
+  return total;
+}
+
+void QssArchive::EnforceBudget() {
+  while (histograms_.size() > 1 && total_buckets() > bucket_budget_) {
+    // Prefer almost-uniform histograms; among them (or if none, among all)
+    // evict the least recently used.
+    std::vector<std::pair<const std::string*, const GridHistogram*>> uniform;
+    for (const auto& [key, h] : histograms_) {
+      if (h.UniformityDistance() < kUniformityThreshold) uniform.emplace_back(&key, &h);
+    }
+    const std::string* victim = nullptr;
+    uint64_t oldest = UINT64_MAX;
+    if (!uniform.empty()) {
+      for (const auto& [key, h] : uniform) {
+        if (h->last_used() < oldest) {
+          oldest = h->last_used();
+          victim = key;
+        }
+      }
+    } else {
+      for (const auto& [key, h] : histograms_) {
+        if (h.last_used() < oldest) {
+          oldest = h.last_used();
+          victim = &key;
+        }
+      }
+    }
+    if (victim == nullptr) break;
+    histograms_.erase(*victim);
+  }
+}
+
+}  // namespace jits

@@ -1,0 +1,82 @@
+#ifndef JITS_CORE_QSS_ARCHIVE_H_
+#define JITS_CORE_QSS_ARCHIVE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "histogram/grid_histogram.h"
+
+namespace jits {
+
+class Table;
+
+/// Exact query-specific statistics measured for the *current* compilation:
+/// selectivities of the candidate predicate groups obtained from sampling,
+/// keyed by PredicateGroup::ExactKey, plus refreshed table cardinalities.
+/// These are the "QSS" handed straight to the plan costing (paper Figure 1,
+/// arrow 2) and die with the compilation; reusable knowledge goes to the
+/// archive instead.
+struct QssExact {
+  std::unordered_map<std::string, double> selectivity;
+  std::unordered_map<const Table*, double> cardinality;
+
+  bool empty() const { return selectivity.empty() && cardinality.empty(); }
+};
+
+/// The QSS archive (paper §3.4): a repository of adaptive single- and
+/// multi-dimensional histograms keyed by (table, column set), updated via
+/// maximum entropy and bounded by a bucket budget. Eviction removes
+/// almost-uniform histograms first (they add nothing over the optimizer's
+/// uniformity assumption), breaking ties by LRU.
+class QssArchive {
+ public:
+  /// A histogram is "almost uniform" (eviction candidate) below this
+  /// total-variation distance from uniformity.
+  static constexpr double kUniformityThreshold = 0.05;
+
+  explicit QssArchive(size_t bucket_budget = 4096) : bucket_budget_(bucket_budget) {}
+
+  /// Canonical key "table(c1,c2,...)": lower-case, name-sorted columns.
+  static std::string KeyFor(const std::string& table,
+                            std::vector<std::string> column_names);
+
+  GridHistogram* Find(const std::string& key);
+  const GridHistogram* Find(const std::string& key) const;
+
+  /// Creates (single-cell over `domain`) if absent.
+  GridHistogram* GetOrCreate(const std::string& key,
+                             std::vector<std::string> column_names,
+                             std::vector<Interval> domain, double total_rows,
+                             uint64_t now);
+
+  /// Estimated fraction for `box` from the keyed histogram, if present.
+  /// Touches the histogram's LRU stamp.
+  std::optional<double> EstimateFraction(const std::string& key, const Box& box,
+                                         uint64_t now);
+
+  /// The §3.3.2 accuracy of the keyed histogram for `box`, if present.
+  std::optional<double> Accuracy(const std::string& key, const Box& box) const;
+
+  /// Evicts until the total bucket count fits the budget.
+  void EnforceBudget();
+
+  size_t bucket_budget() const { return bucket_budget_; }
+  void set_bucket_budget(size_t b) { bucket_budget_ = b; }
+  size_t total_buckets() const;
+  size_t size() const { return histograms_.size(); }
+  void Clear() { histograms_.clear(); }
+
+  /// Stable iteration for migration and introspection.
+  const std::map<std::string, GridHistogram>& histograms() const { return histograms_; }
+
+ private:
+  std::map<std::string, GridHistogram> histograms_;
+  size_t bucket_budget_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_CORE_QSS_ARCHIVE_H_

@@ -1,0 +1,37 @@
+#include "core/query_analysis.h"
+
+namespace jits {
+
+std::vector<PredicateGroup> AnalyzeQuery(const QueryBlock& block,
+                                         size_t max_preds_per_table) {
+  std::vector<PredicateGroup> groups;
+  for (size_t t = 0; t < block.tables.size(); ++t) {
+    // P_t: interval-form local predicates of table t.
+    std::vector<int> preds;
+    for (int pi : block.LocalPredIndicesOf(static_cast<int>(t))) {
+      if (block.local_preds[static_cast<size_t>(pi)].has_interval) preds.push_back(pi);
+    }
+    const size_t m = std::min(preds.size(), max_preds_per_table);
+    if (m == 0) continue;
+    // All non-empty subsets of the first m predicates, by increasing size
+    // (i = 1 .. m in the paper's loop).
+    for (uint32_t mask = 1; mask < (1u << m); ++mask) {
+      PredicateGroup g;
+      g.table_idx = static_cast<int>(t);
+      for (size_t i = 0; i < m; ++i) {
+        if (mask & (1u << i)) g.pred_indices.push_back(preds[i]);
+      }
+      groups.push_back(std::move(g));
+    }
+    // Singletons for predicates beyond the enumeration cap.
+    for (size_t i = m; i < preds.size(); ++i) {
+      PredicateGroup g;
+      g.table_idx = static_cast<int>(t);
+      g.pred_indices.push_back(preds[i]);
+      groups.push_back(std::move(g));
+    }
+  }
+  return groups;
+}
+
+}  // namespace jits

@@ -1,0 +1,23 @@
+#ifndef JITS_CORE_QUERY_ANALYSIS_H_
+#define JITS_CORE_QUERY_ANALYSIS_H_
+
+#include <vector>
+
+#include "query/predicate_group.h"
+
+namespace jits {
+
+/// Algorithm 1 (Query Analysis): enumerates all candidate predicate groups
+/// of a query block — for each table occurrence, every non-empty subset of
+/// its local predicates (per SPJ block, since optimization is intra-block).
+///
+/// Not-equal predicates have no interval form and are excluded from the
+/// candidate set. Tables with more than `max_preds_per_table` interval
+/// predicates enumerate subsets over the first `max_preds_per_table` only
+/// (2^m growth guard); the paper's workloads stay well under this.
+std::vector<PredicateGroup> AnalyzeQuery(const QueryBlock& block,
+                                         size_t max_preds_per_table = 5);
+
+}  // namespace jits
+
+#endif  // JITS_CORE_QUERY_ANALYSIS_H_

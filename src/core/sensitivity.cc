@@ -1,0 +1,166 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+#include "storage/table.h"
+
+namespace jits {
+
+bool ParseStatKey(const std::string& key, std::string* table,
+                  std::vector<std::string>* columns) {
+  const size_t open = key.find('(');
+  const size_t close = key.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close < open) {
+    return false;
+  }
+  *table = key.substr(0, open);
+  columns->clear();
+  std::string inside = key.substr(open + 1, close - open - 1);
+  size_t start = 0;
+  while (start <= inside.size() && !inside.empty()) {
+    size_t comma = inside.find(',', start);
+    if (comma == std::string::npos) {
+      columns->push_back(inside.substr(start));
+      break;
+    }
+    columns->push_back(inside.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return true;
+}
+
+double SensitivityAnalysis::AccuracyOfStat(const QueryBlock& block,
+                                           const std::string& stat_key,
+                                           const PredicateGroup& g) const {
+  std::string table_name;
+  std::vector<std::string> columns;
+  if (!ParseStatKey(stat_key, &table_name, &columns) || columns.empty()) return 0;
+  const Table* table = block.tables[static_cast<size_t>(g.table_idx)].table;
+
+  // Build the sub-box of g restricted to the stat's columns (unconstrained
+  // columns contribute accuracy 1).
+  Box box(columns.size(), Interval::All());
+  for (int pi : g.pred_indices) {
+    const LocalPredicate& p = block.local_preds[static_cast<size_t>(pi)];
+    if (!p.has_interval) continue;
+    const std::string col_name =
+        ToLower(table->schema().column(static_cast<size_t>(p.col_idx)).name);
+    for (size_t d = 0; d < columns.size(); ++d) {
+      if (columns[d] == col_name) box[d] = box[d].Clamp(p.interval);
+    }
+  }
+
+  // Archive histogram on exactly these columns?
+  if (archive_ != nullptr) {
+    std::optional<double> acc = archive_->Accuracy(stat_key, box);
+    if (acc.has_value()) return *acc;
+  }
+  // Catalog histogram for single-column stats.
+  if (columns.size() == 1 && catalog_ != nullptr) {
+    const TableStats* stats = catalog_->FindStats(table);
+    const int col = table->schema().FindColumn(columns[0]);
+    if (stats != nullptr && col >= 0 && stats->HasColumn(static_cast<size_t>(col))) {
+      const EquiDepthHistogram& h = stats->columns[static_cast<size_t>(col)].histogram;
+      if (!h.empty()) return h.IntervalAccuracy(box[0].lo, box[0].hi);
+    }
+  }
+  return 0;  // the statistic no longer exists
+}
+
+TableDecision SensitivityAnalysis::ShouldCollectStats(
+    const QueryBlock& block, int table_idx,
+    const std::vector<const PredicateGroup*>& table_groups) const {
+  TableDecision decision;
+  decision.table_idx = table_idx;
+  const Table* table = block.tables[static_cast<size_t>(table_idx)].table;
+
+  if (!config_.enabled) {
+    decision.collect = true;
+    decision.s1 = 1;
+    decision.s2 = 1;
+    decision.score = 1;
+    return decision;
+  }
+
+  // g: the group with the maximum number of predicates.
+  const PredicateGroup* g = nullptr;
+  for (const PredicateGroup* cand : table_groups) {
+    if (g == nullptr || cand->size() > g->size()) g = cand;
+  }
+
+  // s1 = 1 - best historical accuracy of estimating g.
+  double max_acc = 0;
+  if (g != nullptr && history_ != nullptr) {
+    const std::string colgrp = g->ColumnSetKey(block);
+    for (const StatHistoryEntry* h :
+         history_->EntriesForGroup(ToLower(table->name()), colgrp)) {
+      double accu = h->FoldedErrorFactor();
+      for (const std::string& stat : h->statlist) {
+        accu *= AccuracyOfStat(block, stat, *g);
+      }
+      max_acc = std::max(max_acc, accu);
+    }
+  }
+  decision.s1 = 1.0 - max_acc;
+
+  // s2 = data activity since the last collection.
+  const TableStats* stats = (catalog_ != nullptr) ? catalog_->FindStats(table) : nullptr;
+  const double card = (stats != nullptr) ? std::max(1.0, stats->cardinality)
+                                         : static_cast<double>(
+                                               std::max<size_t>(1, table->num_rows()));
+  if (stats == nullptr) {
+    decision.s2 = 1.0;  // never collected: treat all rows as new activity
+  } else {
+    decision.s2 = std::min(1.0, static_cast<double>(table->udi_counter()) / card);
+  }
+
+  decision.score = 0.5 * (decision.s1 + decision.s2);  // f = average
+  decision.collect = decision.score >= config_.s_max;
+  return decision;
+}
+
+bool SensitivityAnalysis::ShouldMaterialize(const QueryBlock& block,
+                                            const PredicateGroup& g) const {
+  if (!config_.enabled) return true;
+  const std::string key = g.ColumnSetKey(block);
+  // An existing histogram on g is always refreshed.
+  if (archive_ != nullptr && archive_->Find(key) != nullptr) return true;
+  if (history_ == nullptr || history_->size() == 0) return false;
+  const double f = static_cast<double>(history_->size());
+  double score = 0;
+  for (const StatHistoryEntry* h : history_->EntriesUsingStat(key)) {
+    score += h->FoldedErrorFactor() * h->count / f;
+  }
+  return score >= config_.s_max;
+}
+
+std::vector<TableDecision> SensitivityAnalysis::Analyze(
+    const QueryBlock& block, const std::vector<PredicateGroup>& groups) const {
+  std::vector<TableDecision> decisions;
+  for (size_t t = 0; t < block.tables.size(); ++t) {
+    std::vector<const PredicateGroup*> table_groups;
+    std::vector<size_t> group_indices;
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      if (groups[gi].table_idx == static_cast<int>(t)) {
+        table_groups.push_back(&groups[gi]);
+        group_indices.push_back(gi);
+      }
+    }
+    TableDecision decision = ShouldCollectStats(block, static_cast<int>(t), table_groups);
+    decision.group_indices = std::move(group_indices);
+    if (decision.collect) {
+      decision.materialize.reserve(decision.group_indices.size());
+      for (size_t gi : decision.group_indices) {
+        decision.materialize.push_back(ShouldMaterialize(block, groups[gi]));
+      }
+    } else {
+      decision.materialize.assign(decision.group_indices.size(), false);
+    }
+    decisions.push_back(std::move(decision));
+  }
+  return decisions;
+}
+
+}  // namespace jits

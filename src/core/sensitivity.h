@@ -1,0 +1,77 @@
+#ifndef JITS_CORE_SENSITIVITY_H_
+#define JITS_CORE_SENSITIVITY_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/qss_archive.h"
+#include "feedback/stat_history.h"
+#include "query/predicate_group.h"
+
+namespace jits {
+
+/// Tunables of the sensitivity analysis (paper §3.3, §4.3).
+struct SensitivityConfig {
+  /// Collection/materialization threshold. 0 collects everything (no
+  /// sensitivity analysis); 1 never collects.
+  double s_max = 0.5;
+  /// When false, every table is marked for collection and every group for
+  /// materialization (the Table 3 "sensitivity off" mode).
+  bool enabled = true;
+};
+
+/// The per-table verdict of Algorithm 2.
+struct TableDecision {
+  int table_idx = -1;
+  bool collect = false;
+  double s1 = 0;  // 1 - best historical estimation accuracy
+  double s2 = 0;  // data activity: UDI / cardinality
+  double score = 0;
+  std::vector<size_t> group_indices;  // indices into the candidate group list
+  std::vector<bool> materialize;      // parallel to group_indices
+};
+
+/// Algorithms 2–4: decides which tables to sample and which measured
+/// statistics to materialize, from the query structure, existing statistics
+/// (catalog + QSS archive) and the data-activity / feedback history.
+class SensitivityAnalysis {
+ public:
+  SensitivityAnalysis(SensitivityConfig config, const Catalog* catalog,
+                      const QssArchive* archive, const StatHistory* history)
+      : config_(config), catalog_(catalog), archive_(archive), history_(history) {}
+
+  /// Algorithm 2 over all candidate groups of the block.
+  std::vector<TableDecision> Analyze(const QueryBlock& block,
+                                     const std::vector<PredicateGroup>& groups) const;
+
+  /// Algorithm 3. Exposed for testing; `table_groups` are the candidate
+  /// groups local to the table.
+  TableDecision ShouldCollectStats(const QueryBlock& block, int table_idx,
+                                   const std::vector<const PredicateGroup*>& table_groups)
+      const;
+
+  /// Algorithm 4: usefulness of materializing `g`, judged by how often and
+  /// how accurately this statistic served past estimates.
+  bool ShouldMaterialize(const QueryBlock& block, const PredicateGroup& g) const;
+
+  /// Accuracy of the statistic `stat_key` for estimating group `g`
+  /// (paper §3.3.2): histogram endpoint accuracy on the columns the stat
+  /// covers. Unknown statistics score 0.
+  double AccuracyOfStat(const QueryBlock& block, const std::string& stat_key,
+                        const PredicateGroup& g) const;
+
+ private:
+  SensitivityConfig config_;
+  const Catalog* catalog_;
+  const QssArchive* archive_;
+  const StatHistory* history_;
+};
+
+/// Splits a canonical stat key "table(c1,c2)" into table and column names.
+bool ParseStatKey(const std::string& key, std::string* table,
+                  std::vector<std::string>* columns);
+
+}  // namespace jits
+
+#endif  // JITS_CORE_SENSITIVITY_H_

@@ -1,0 +1,152 @@
+#include "engine/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/str_util.h"
+
+namespace jits {
+
+std::vector<std::string> SplitCsvLine(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::string QuoteCsvField(const std::string& field, char delimiter) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Result<size_t> ImportCsv(Table* table, const std::string& path,
+                         const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::InvalidArgument("cannot open " + path);
+  }
+  const Schema& schema = table->schema();
+  std::string line;
+  size_t line_number = 0;
+  size_t imported = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line_number == 1 && options.header) continue;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line, options.delimiter);
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected %zu fields, got %zu", path.c_str(), line_number,
+                    schema.num_columns(), fields.size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      const std::string& f = fields[c];
+      switch (schema.column(c).type) {
+        case DataType::kInt64: {
+          char* end = nullptr;
+          const long long v = std::strtoll(f.c_str(), &end, 10);
+          if (end == f.c_str() || *end != '\0') {
+            return Status::InvalidArgument(
+                StrFormat("%s:%zu: '%s' is not an INT", path.c_str(), line_number,
+                          f.c_str()));
+          }
+          row.push_back(Value(static_cast<int64_t>(v)));
+          break;
+        }
+        case DataType::kDouble: {
+          char* end = nullptr;
+          const double v = std::strtod(f.c_str(), &end);
+          if (end == f.c_str() || *end != '\0') {
+            return Status::InvalidArgument(
+                StrFormat("%s:%zu: '%s' is not a DOUBLE", path.c_str(), line_number,
+                          f.c_str()));
+          }
+          row.push_back(Value(v));
+          break;
+        }
+        case DataType::kString:
+          row.push_back(Value(f));
+          break;
+      }
+    }
+    JITS_RETURN_IF_ERROR(table->Insert(row));
+    ++imported;
+  }
+  return imported;
+}
+
+Result<size_t> ExportCsv(const Table& table, const std::string& path,
+                         const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  const Schema& schema = table.schema();
+  if (options.header) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      out << QuoteCsvField(schema.column(c).name, options.delimiter);
+    }
+    out << '\n';
+  }
+  size_t exported = 0;
+  for (uint32_t row = 0; row < table.physical_rows(); ++row) {
+    if (!table.IsVisible(row)) continue;
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      const Value v = table.GetValue(row, c);
+      if (v.is_string()) {
+        out << QuoteCsvField(v.str(), options.delimiter);
+      } else if (v.is_int64()) {
+        out << v.int64();
+      } else {
+        out << StrFormat("%.17g", v.dbl());
+      }
+    }
+    out << '\n';
+    ++exported;
+  }
+  if (!out.good()) return Status::Internal("write failed for " + path);
+  return exported;
+}
+
+}  // namespace jits

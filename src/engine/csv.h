@@ -1,0 +1,40 @@
+#ifndef JITS_ENGINE_CSV_H_
+#define JITS_ENGINE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace jits {
+
+/// CSV bridge for getting real data in and out of the engine.
+///
+/// Format: RFC-4180-style — comma separated, double-quote quoting with
+/// doubled quotes as escapes, first line optionally a header. Values are
+/// coerced to the target column types (INT, DOUBLE, VARCHAR).
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Import: skip the first line. Export: write a header line.
+  bool header = true;
+};
+
+/// Appends the file's rows to `table`. Fails (without partial effects being
+/// rolled back) on arity or numeric-parse errors, reporting the line number.
+Result<size_t> ImportCsv(Table* table, const std::string& path,
+                         const CsvOptions& options = {});
+
+/// Writes all visible rows of `table` to `path`.
+Result<size_t> ExportCsv(const Table& table, const std::string& path,
+                         const CsvOptions& options = {});
+
+/// Parses one CSV record into fields (exposed for testing).
+std::vector<std::string> SplitCsvLine(const std::string& line, char delimiter);
+
+/// Quotes a field if it contains the delimiter, quotes or newlines.
+std::string QuoteCsvField(const std::string& field, char delimiter);
+
+}  // namespace jits
+
+#endif  // JITS_ENGINE_CSV_H_

@@ -1,0 +1,522 @@
+#include "engine/database.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "core/migration.h"
+#include "core/query_analysis.h"
+#include "exec/bitvector.h"
+#include "exec/executor.h"
+#include "exec/predicate_eval.h"
+#include "sql/parser.h"
+#include "storage/sampler.h"
+
+namespace jits {
+
+Database::Database(uint64_t seed)
+    : workload_stats_(SIZE_MAX),  // static store: no eviction
+      feedback_(&history_),
+      jits_(&catalog_, &archive_, &history_),
+      rng_(seed) {}
+
+Status Database::Execute(const std::string& sql) {
+  QueryResult result;
+  return Execute(sql, &result);
+}
+
+Status Database::Execute(const std::string& sql, QueryResult* result) {
+  *result = QueryResult();
+  ++clock_;
+  Stopwatch total_watch;
+
+  Result<StatementAst> ast = ParseStatement(sql);
+  if (!ast.ok()) return ast.status();
+  Result<BoundStatement> bound = Bind(ast.value(), &catalog_);
+  if (!bound.ok()) return bound.status();
+
+  Status status;
+  if (auto* block = std::get_if<QueryBlock>(&bound.value())) {
+    status = RunSelect(block, result, total_watch);
+  } else if (auto* insert = std::get_if<BoundInsert>(&bound.value())) {
+    status = RunInsert(*insert, result);
+  } else if (auto* update = std::get_if<BoundUpdate>(&bound.value())) {
+    status = RunUpdate(*update, result);
+  } else if (auto* del = std::get_if<BoundDelete>(&bound.value())) {
+    status = RunDelete(*del, result);
+  } else if (auto* create = std::get_if<CreateTableAst>(&bound.value())) {
+    Result<Table*> table = catalog_.CreateTable(create->table, Schema(create->columns));
+    status = table.ok() ? Status::OK() : table.status();
+  } else if (auto* analyze = std::get_if<AnalyzeAst>(&bound.value())) {
+    RunStatsOptions options;
+    if (analyze->table.empty()) {
+      status = RunStatsAll(&catalog_, options, &rng_, clock_);
+      result->num_rows = catalog_.tables().size();
+    } else {
+      status = RunStats(&catalog_, catalog_.FindTable(analyze->table), options, &rng_,
+                        clock_);
+      result->num_rows = 1;
+    }
+  } else {
+    status = Status::Internal("unhandled bound statement");
+  }
+  result->total_seconds = total_watch.Seconds();
+  return status;
+}
+
+Status Database::RunSelect(QueryBlock* block, QueryResult* result,
+                           const Stopwatch& compile_watch) {
+  result->is_query = true;
+
+  // --- Compilation: JITS pass, then plan generation & costing. ---
+  const JitsPrepareResult jits = jits_.Prepare(*block, jits_config_, &rng_, clock_);
+  result->tables_sampled = jits.tables_sampled;
+  result->groups_materialized = jits.groups_materialized;
+
+  EstimationSources sources;
+  sources.catalog = &catalog_;
+  sources.archive = &archive_;
+  sources.static_stats = &workload_stats_;
+  sources.exact = &jits.exact;
+  sources.now = clock_;
+  sources.history = &history_;
+  sources.use_feedback_correction = leo_correction_;
+
+  Result<PhysicalPlan> plan = optimizer_.Optimize(*block, sources);
+  if (!plan.ok()) return plan.status();
+  result->plan_text = plan.value().ToString(*block);
+  result->est_rows = plan.value().est_result_rows;
+  result->compile_seconds = compile_watch.Seconds();
+
+  if (block->explain_only) {
+    // EXPLAIN: return the plan rendering, one line per row.
+    result->column_names = {"plan"};
+    std::string line;
+    for (char c : result->plan_text) {
+      if (c == '\n') {
+        result->rows.push_back({Value(line)});
+        line.clear();
+      } else {
+        line += c;
+      }
+    }
+    if (!line.empty()) result->rows.push_back({Value(line)});
+    result->num_rows = result->rows.size();
+    return Status::OK();
+  }
+
+  // --- Execution. ---
+  Stopwatch exec_watch;
+  Executor executor(block);
+  Result<ExecResult> exec = executor.Execute(*plan.value().root);
+  if (!exec.ok()) return exec.status();
+  const Relation& output = exec.value().output;
+
+  if (block->IsAggregate()) {
+    JITS_RETURN_IF_ERROR(AggregateAndMaterialize(*block, output, result));
+    result->execute_seconds = exec_watch.Seconds();
+    for (const EstimationRecord& record : plan.value().estimates) {
+      for (const AccessObservation& ob : exec.value().observations) {
+        if (ob.table_idx != record.table_idx) continue;
+        feedback_.Record(record, ob.passed_rows, ob.denominator_rows);
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  // Tuple presentation order: identity, or ORDER BY keys.
+  std::vector<size_t> order(output.count());
+  for (size_t t = 0; t < order.size(); ++t) order[t] = t;
+  if (!block->order_by.empty()) {
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (const OrderByKey& key : block->order_by) {
+        const int slot = output.SlotOf(key.table_idx);
+        if (slot < 0) continue;
+        const Column& column = block->tables[static_cast<size_t>(key.table_idx)]
+                                   .table->column(static_cast<size_t>(key.col_idx));
+        const uint32_t ra = output.data[a * output.width() + static_cast<size_t>(slot)];
+        const uint32_t rb = output.data[b * output.width() + static_cast<size_t>(slot)];
+        double ka = column.NumericKey(ra);
+        double kb = column.NumericKey(rb);
+        if (column.type() == DataType::kString) {
+          // Order strings lexicographically, not by dictionary code.
+          const std::string& sa = column.DictString(column.codes()[ra]);
+          const std::string& sb = column.DictString(column.codes()[rb]);
+          if (sa != sb) return key.descending ? sa > sb : sa < sb;
+          continue;
+        }
+        if (ka != kb) return key.descending ? ka > kb : ka < kb;
+      }
+      return a < b;  // stable tie-break
+    });
+  }
+  // DISTINCT dedupes before the limit applies, so truncation happens in the
+  // distinct path below instead.
+  if (!block->distinct && block->limit >= 0 &&
+      static_cast<size_t>(block->limit) < order.size()) {
+    order.resize(static_cast<size_t>(block->limit));
+  }
+  result->num_rows = order.size();
+
+  // Materialize projected rows up to the engine row limit.
+  for (const OutputColumn& out : block->outputs) {
+    const TableRef& tr = block->tables[static_cast<size_t>(out.table_idx)];
+    result->column_names.push_back(
+        tr.alias + "." + tr.table->schema().column(static_cast<size_t>(out.col_idx)).name);
+  }
+  auto project = [&](size_t t) {
+    Row row;
+    row.reserve(block->outputs.size());
+    for (const OutputColumn& out : block->outputs) {
+      const int slot = output.SlotOf(out.table_idx);
+      if (slot < 0) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      const uint32_t base_row =
+          output.data[t * output.width() + static_cast<size_t>(slot)];
+      row.push_back(block->tables[static_cast<size_t>(out.table_idx)].table->GetValue(
+          base_row, static_cast<size_t>(out.col_idx)));
+    }
+    return row;
+  };
+
+  if (block->distinct) {
+    // DISTINCT dedupes over projected values, keeping first occurrence in
+    // presentation order; LIMIT applies to the deduped stream.
+    std::unordered_set<std::string> seen;
+    std::vector<Row> rows;
+    for (size_t t : order) {
+      Row row = project(t);
+      std::string key;
+      for (const Value& v : row) {
+        key += v.ToString();
+        key += '\x1f';
+      }
+      if (!seen.insert(key).second) continue;
+      rows.push_back(std::move(row));
+      if (block->limit >= 0 && rows.size() == static_cast<size_t>(block->limit)) break;
+    }
+    result->num_rows = rows.size();
+    const size_t keep = (row_limit_ == 0) ? 0 : std::min(rows.size(), row_limit_);
+    rows.resize(keep);
+    result->rows = std::move(rows);
+  } else {
+    const size_t n_materialize =
+        (row_limit_ == 0) ? 0 : std::min(result->num_rows, row_limit_);
+    for (size_t i = 0; i < n_materialize; ++i) {
+      result->rows.push_back(project(order[i]));
+    }
+  }
+  result->execute_seconds = exec_watch.Seconds();
+
+  // --- Feedback (LEO-lite): estimates vs observed cardinalities. ---
+  for (const EstimationRecord& record : plan.value().estimates) {
+    for (const AccessObservation& ob : exec.value().observations) {
+      if (ob.table_idx != record.table_idx) continue;
+      feedback_.Record(record, ob.passed_rows, ob.denominator_rows);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Running state of one aggregate output within one group.
+struct AggState {
+  double count = 0;
+  double sum = 0;
+  bool has_value = false;
+  Value min;
+  Value max;
+};
+
+bool ValueLess(const Column& column, const Value& a, const Value& b) {
+  if (column.type() == DataType::kString) return a.str() < b.str();
+  return a.AsDouble() < b.AsDouble();
+}
+
+}  // namespace
+
+Status Database::AggregateAndMaterialize(const QueryBlock& block,
+                                         const Relation& output,
+                                         QueryResult* result) {
+  // Group tuples by the (stringified) grouping-key values.
+  struct Group {
+    size_t first_tuple = 0;
+    std::vector<AggState> states;
+  };
+  std::unordered_map<std::string, size_t> group_index;
+  std::vector<Group> groups;
+  const size_t n_tuples = output.count();
+
+  auto value_of = [&](size_t tuple, const OutputColumn& col) {
+    const int slot = output.SlotOf(col.table_idx);
+    const uint32_t row =
+        output.data[tuple * output.width() + static_cast<size_t>(slot)];
+    return block.tables[static_cast<size_t>(col.table_idx)].table->GetValue(
+        row, static_cast<size_t>(col.col_idx));
+  };
+
+  for (size_t t = 0; t < n_tuples; ++t) {
+    std::string key;
+    for (const OutputColumn& g : block.group_by) {
+      key += value_of(t, g).ToString();
+      key += '\x1f';
+    }
+    auto [it, inserted] = group_index.emplace(key, groups.size());
+    if (inserted) {
+      Group group;
+      group.first_tuple = t;
+      group.states.resize(block.outputs.size());
+      groups.push_back(std::move(group));
+    }
+    Group& group = groups[it->second];
+    for (size_t o = 0; o < block.outputs.size(); ++o) {
+      const OutputColumn& out = block.outputs[o];
+      if (out.func == AggFunc::kNone) continue;
+      AggState& state = group.states[o];
+      state.count += 1;
+      if (out.func == AggFunc::kCount) continue;
+      const Value v = value_of(t, out);
+      const Column& column = block.tables[static_cast<size_t>(out.table_idx)]
+                                 .table->column(static_cast<size_t>(out.col_idx));
+      if (out.func == AggFunc::kSum || out.func == AggFunc::kAvg) {
+        state.sum += v.AsDouble();
+      }
+      if (out.func == AggFunc::kMin || out.func == AggFunc::kMax) {
+        if (!state.has_value) {
+          state.min = v;
+          state.max = v;
+          state.has_value = true;
+        } else {
+          if (ValueLess(column, v, state.min)) state.min = v;
+          if (ValueLess(column, state.max, v)) state.max = v;
+        }
+      }
+    }
+  }
+
+  // COUNT(*) over an empty input without GROUP BY yields one zero row.
+  if (groups.empty() && block.group_by.empty()) {
+    Group group;
+    group.states.resize(block.outputs.size());
+    groups.push_back(std::move(group));
+  }
+
+  // Presentation order over groups (ORDER BY validated to use group keys).
+  std::vector<size_t> order(groups.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (!block.order_by.empty()) {
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (const OrderByKey& key : block.order_by) {
+        OutputColumn col{key.table_idx, key.col_idx, AggFunc::kNone};
+        const Column& column = block.tables[static_cast<size_t>(key.table_idx)]
+                                   .table->column(static_cast<size_t>(key.col_idx));
+        const Value va = value_of(groups[a].first_tuple, col);
+        const Value vb = value_of(groups[b].first_tuple, col);
+        if (ValueLess(column, va, vb)) return !key.descending;
+        if (ValueLess(column, vb, va)) return key.descending;
+      }
+      return a < b;
+    });
+  }
+  if (block.limit >= 0 && static_cast<size_t>(block.limit) < order.size()) {
+    order.resize(static_cast<size_t>(block.limit));
+  }
+  result->num_rows = order.size();
+
+  for (const OutputColumn& out : block.outputs) {
+    if (out.func == AggFunc::kCount) {
+      result->column_names.push_back("count(*)");
+      continue;
+    }
+    const TableRef& tr = block.tables[static_cast<size_t>(out.table_idx)];
+    const std::string name =
+        tr.alias + "." +
+        tr.table->schema().column(static_cast<size_t>(out.col_idx)).name;
+    switch (out.func) {
+      case AggFunc::kNone:
+        result->column_names.push_back(name);
+        break;
+      case AggFunc::kSum:
+        result->column_names.push_back("sum(" + name + ")");
+        break;
+      case AggFunc::kAvg:
+        result->column_names.push_back("avg(" + name + ")");
+        break;
+      case AggFunc::kMin:
+        result->column_names.push_back("min(" + name + ")");
+        break;
+      case AggFunc::kMax:
+        result->column_names.push_back("max(" + name + ")");
+        break;
+      case AggFunc::kCount:
+        break;
+    }
+  }
+
+  const size_t n_materialize =
+      (row_limit_ == 0) ? result->num_rows : std::min(result->num_rows, row_limit_);
+  for (size_t i = 0; i < n_materialize; ++i) {
+    const Group& group = groups[order[i]];
+    Row row;
+    row.reserve(block.outputs.size());
+    for (size_t o = 0; o < block.outputs.size(); ++o) {
+      const OutputColumn& out = block.outputs[o];
+      const AggState& state = group.states[o];
+      switch (out.func) {
+        case AggFunc::kNone:
+          row.push_back(n_tuples == 0 ? Value::Null()
+                                      : value_of(group.first_tuple, out));
+          break;
+        case AggFunc::kCount:
+          row.push_back(Value(static_cast<int64_t>(state.count)));
+          break;
+        case AggFunc::kSum: {
+          const DataType type = block.tables[static_cast<size_t>(out.table_idx)]
+                                    .table->schema()
+                                    .column(static_cast<size_t>(out.col_idx))
+                                    .type;
+          if (type == DataType::kInt64) {
+            row.push_back(Value(static_cast<int64_t>(state.sum)));
+          } else {
+            row.push_back(Value(state.sum));
+          }
+          break;
+        }
+        case AggFunc::kAvg:
+          row.push_back(state.count > 0 ? Value(state.sum / state.count)
+                                        : Value::Null());
+          break;
+        case AggFunc::kMin:
+          row.push_back(state.has_value ? state.min : Value::Null());
+          break;
+        case AggFunc::kMax:
+          row.push_back(state.has_value ? state.max : Value::Null());
+          break;
+      }
+    }
+    result->rows.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Status Database::RunInsert(const BoundInsert& stmt, QueryResult* result) {
+  JITS_RETURN_IF_ERROR(stmt.table->Insert(stmt.row));
+  result->num_rows = 1;
+  return Status::OK();
+}
+
+namespace {
+
+/// Row ids of `table` matching all predicates (full scan).
+std::vector<uint32_t> MatchingRows(Table* table,
+                                   const std::vector<LocalPredicate>& preds) {
+  std::vector<CompiledPredicate> compiled;
+  compiled.reserve(preds.size());
+  for (const LocalPredicate& p : preds) {
+    compiled.push_back(CompiledPredicate::Compile(*table, p));
+  }
+  std::vector<uint32_t> rows;
+  for (uint32_t row = 0; row < table->physical_rows(); ++row) {
+    if (!table->IsVisible(row)) continue;
+    if (MatchesAll(compiled, row)) rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace
+
+Status Database::RunUpdate(const BoundUpdate& stmt, QueryResult* result) {
+  const std::vector<uint32_t> rows = MatchingRows(stmt.table, stmt.preds);
+  for (uint32_t row : rows) {
+    for (const auto& [col, value] : stmt.assignments) {
+      JITS_RETURN_IF_ERROR(stmt.table->UpdateRow(row, static_cast<size_t>(col), value));
+    }
+  }
+  result->num_rows = rows.size();
+  return Status::OK();
+}
+
+Status Database::RunDelete(const BoundDelete& stmt, QueryResult* result) {
+  const std::vector<uint32_t> rows = MatchingRows(stmt.table, stmt.preds);
+  for (uint32_t row : rows) {
+    JITS_RETURN_IF_ERROR(stmt.table->DeleteRow(row));
+  }
+  result->num_rows = rows.size();
+  return Status::OK();
+}
+
+Status Database::CollectGeneralStats(size_t sample_rows) {
+  RunStatsOptions options;
+  options.sample_rows = sample_rows;
+  return RunStatsAll(&catalog_, options, &rng_, clock_);
+}
+
+Status Database::CollectWorkloadStats(const std::vector<std::string>& workload_sql) {
+  std::unordered_set<std::string> seen;
+  for (const std::string& sql : workload_sql) {
+    Result<StatementAst> ast = ParseStatement(sql);
+    if (!ast.ok()) continue;  // non-SELECT workload entries are skipped
+    if (!std::holds_alternative<SelectAst>(ast.value())) continue;
+    Result<BoundStatement> bound = Bind(ast.value(), &catalog_);
+    if (!bound.ok()) return bound.status();
+    QueryBlock& block = std::get<QueryBlock>(bound.value());
+
+    for (const PredicateGroup& g : AnalyzeQuery(block)) {
+      Table* table = block.tables[static_cast<size_t>(g.table_idx)].table;
+      std::vector<int> cols;
+      Box box;
+      if (!g.BuildBox(block, &cols, &box)) continue;
+      const std::string exact_key = g.ExactKey(block);
+      if (!seen.insert(exact_key).second) continue;
+
+      // True counts from a full scan (this is offline pre-collection).
+      const double table_rows = static_cast<double>(table->num_rows());
+      std::vector<CompiledPredicate> compiled;
+      for (int pi : g.pred_indices) {
+        compiled.push_back(
+            CompiledPredicate::Compile(*table, block.local_preds[static_cast<size_t>(pi)]));
+      }
+      double count = 0;
+      for (uint32_t row = 0; row < table->physical_rows(); ++row) {
+        if (!table->IsVisible(row)) continue;
+        if (MatchesAll(compiled, row)) count += 1;
+      }
+
+      std::vector<std::string> col_names;
+      std::vector<Interval> domain;
+      for (int c : cols) {
+        const Column& column = table->column(static_cast<size_t>(c));
+        double lo = 0;
+        double hi = 1;
+        bool first = true;
+        for (uint32_t row = 0; row < table->physical_rows(); ++row) {
+          if (!table->IsVisible(row)) continue;
+          const double k = column.NumericKey(row);
+          if (first) {
+            lo = hi = k;
+            first = false;
+          } else {
+            lo = std::min(lo, k);
+            hi = std::max(hi, k);
+          }
+        }
+        col_names.push_back(ToLower(table->schema().column(static_cast<size_t>(c)).name));
+        domain.push_back(Interval{lo, hi + 1});
+      }
+      const std::string key = g.ColumnSetKey(block);
+      GridHistogram* hist =
+          workload_stats_.GetOrCreate(key, col_names, domain, table_rows, clock_);
+      hist->ApplyConstraint(box, count, table_rows, clock_);
+    }
+  }
+  return Status::OK();
+}
+
+size_t Database::MigrateNow() { return MigrateStatistics(archive_, &catalog_, clock_); }
+
+}  // namespace jits

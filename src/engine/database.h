@@ -1,0 +1,111 @@
+#ifndef JITS_ENGINE_DATABASE_H_
+#define JITS_ENGINE_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/runstats.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/jits_module.h"
+#include "core/qss_archive.h"
+#include "feedback/feedback.h"
+#include "optimizer/optimizer.h"
+#include "sql/binder.h"
+
+namespace jits {
+
+/// Result of executing one SQL statement, with the timing breakdown the
+/// paper's experiments report (compilation vs execution vs total).
+struct QueryResult {
+  bool is_query = false;  // SELECT (vs DML/DDL)
+  size_t num_rows = 0;    // result rows (SELECT) or affected rows (DML)
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;  // materialized output, capped at the row limit
+
+  double compile_seconds = 0;  // parse + bind + JITS + optimize
+  double execute_seconds = 0;
+  double total_seconds = 0;
+
+  std::string plan_text;
+  double est_rows = 0;
+  size_t tables_sampled = 0;
+  size_t groups_materialized = 0;
+};
+
+/// The engine facade: a single-session in-memory DBMS wiring together
+/// storage, catalog, SQL front end, JITS, optimizer, executor and the
+/// feedback loop. Every SELECT goes through the full paper pipeline:
+///
+///   parse → bind/rewrite → [JITS: analyze → sensitivity → collect]
+///         → optimize (QSS ≻ archive ≻ workload stats ≻ catalog ≻ defaults)
+///         → execute → feedback (LEO-lite)
+class Database {
+ public:
+  explicit Database(uint64_t seed = 42);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Executes one SQL statement.
+  Status Execute(const std::string& sql, QueryResult* result);
+
+  /// Convenience wrapper discarding the result details.
+  Status Execute(const std::string& sql);
+
+  /// Collects general (basic + distribution) statistics on all tables —
+  /// the "general stats" experimental settings.
+  Status CollectGeneralStats(size_t sample_rows = 0);
+
+  /// Pre-collects *workload statistics*: true multi-dimensional column-group
+  /// statistics for every predicate group appearing in the given SELECT
+  /// statements (experimental setting 3). These are static — they are never
+  /// refreshed, so data updates stale them.
+  Status CollectWorkloadStats(const std::vector<std::string>& workload_sql);
+
+  /// Runs statistics migration (archive → catalog) once.
+  size_t MigrateNow();
+
+  JitsConfig* jits_config() { return &jits_config_; }
+  Catalog* catalog() { return &catalog_; }
+  QssArchive* archive() { return &archive_; }
+  QssArchive* workload_stats() { return &workload_stats_; }
+  StatHistory* history() { return &history_; }
+  Rng* rng() { return &rng_; }
+  uint64_t clock() const { return clock_; }
+
+  /// Maximum number of result rows materialized into QueryResult::rows.
+  void set_row_limit(size_t limit) { row_limit_ = limit; }
+
+  /// LEO-style feedback correction: assumption-based estimates are divided
+  /// by the errorFactor recorded for the same (colgrp, statlist). An
+  /// optional extension over the paper's baseline (default off).
+  void set_leo_correction(bool enabled) { leo_correction_ = enabled; }
+  bool leo_correction() const { return leo_correction_; }
+
+ private:
+  Status RunSelect(QueryBlock* block, QueryResult* result, const Stopwatch& compile_watch);
+  Status AggregateAndMaterialize(const QueryBlock& block, const struct Relation& output,
+                                 QueryResult* result);
+  Status RunInsert(const BoundInsert& stmt, QueryResult* result);
+  Status RunUpdate(const BoundUpdate& stmt, QueryResult* result);
+  Status RunDelete(const BoundDelete& stmt, QueryResult* result);
+
+  Catalog catalog_;
+  QssArchive archive_;
+  QssArchive workload_stats_;
+  StatHistory history_;
+  FeedbackSystem feedback_;
+  Optimizer optimizer_;
+  JitsModule jits_;
+  JitsConfig jits_config_;
+  Rng rng_;
+  uint64_t clock_ = 0;
+  size_t row_limit_ = 100;
+  bool leo_correction_ = false;
+};
+
+}  // namespace jits
+
+#endif  // JITS_ENGINE_DATABASE_H_

@@ -1,0 +1,25 @@
+#include "exec/bitvector.h"
+
+#include <bit>
+
+namespace jits {
+
+size_t BitVector::Count() const {
+  size_t c = 0;
+  for (uint64_t w : words_) c += static_cast<size_t>(std::popcount(w));
+  return c;
+}
+
+size_t BitVector::CountIntersection(const std::vector<const BitVector*>& vs) {
+  if (vs.empty()) return 0;
+  const size_t words = vs[0]->words_.size();
+  size_t c = 0;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t acc = vs[0]->words_[w];
+    for (size_t i = 1; i < vs.size(); ++i) acc &= vs[i]->words_[w];
+    c += static_cast<size_t>(std::popcount(acc));
+  }
+  return c;
+}
+
+}  // namespace jits

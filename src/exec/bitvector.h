@@ -1,0 +1,34 @@
+#ifndef JITS_EXEC_BITVECTOR_H_
+#define JITS_EXEC_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jits {
+
+/// Fixed-size bit vector used for per-predicate match sets during sampling
+/// (the JITS collector intersects these to compute group selectivities).
+class BitVector {
+ public:
+  explicit BitVector(size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  size_t size() const { return n_; }
+
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  bool Get(size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// Number of positions set in every vector of `vs` (all must share size).
+  static size_t CountIntersection(const std::vector<const BitVector*>& vs);
+
+ private:
+  size_t n_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_EXEC_BITVECTOR_H_

@@ -1,0 +1,231 @@
+#include "exec/executor.h"
+
+#include <unordered_map>
+
+#include "exec/predicate_eval.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace jits {
+
+int Relation::SlotOf(int table_idx) const {
+  for (size_t i = 0; i < table_idxs.size(); ++i) {
+    if (table_idxs[i] == table_idx) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<ExecResult> Executor::Execute(const PlanNode& root) {
+  ExecResult result;
+  Result<Relation> rel = ExecuteNode(root, &result.observations);
+  if (!rel.ok()) return rel.status();
+  result.output = std::move(rel).value();
+  return result;
+}
+
+Result<Relation> Executor::ExecuteNode(const PlanNode& node,
+                                       std::vector<AccessObservation>* obs) {
+  switch (node.type) {
+    case PlanNode::Type::kSeqScan:
+    case PlanNode::Type::kIndexScan:
+      return ExecuteScan(node, obs);
+    case PlanNode::Type::kHashJoin:
+      return ExecuteHashJoin(node, obs);
+    case PlanNode::Type::kIndexNLJoin:
+      return ExecuteIndexNLJoin(node, obs);
+  }
+  return Status::Internal("unknown plan node type");
+}
+
+Result<Relation> Executor::ExecuteScan(const PlanNode& node,
+                                       std::vector<AccessObservation>* obs) {
+  Table* table = block_->tables[static_cast<size_t>(node.table_idx)].table;
+  Relation out;
+  out.table_idxs = {node.table_idx};
+
+  AccessObservation ob;
+  ob.table_idx = node.table_idx;
+  ob.denominator_rows = static_cast<double>(table->num_rows());
+
+  if (node.type == PlanNode::Type::kIndexScan) {
+    HashIndex* index = table->GetOrBuildHashIndex(static_cast<size_t>(node.index_col));
+    if (index == nullptr) return Status::Internal("index scan on non-INT column");
+    const LocalPredicate& key_pred =
+        block_->local_preds[static_cast<size_t>(node.index_pred)];
+    const int64_t key = key_pred.v1.CoerceTo(DataType::kInt64).int64();
+    std::vector<int> residual;
+    for (int pi : node.pred_indices) {
+      if (pi != node.index_pred) residual.push_back(pi);
+    }
+    const std::vector<CompiledPredicate> preds =
+        CompilePredicates(*table, block_->local_preds, residual);
+    for (uint32_t row : index->Lookup(key)) {
+      if (!table->IsVisible(row)) continue;
+      if (MatchesAll(preds, row)) out.data.push_back(row);
+    }
+  } else {
+    const std::vector<CompiledPredicate> preds =
+        CompilePredicates(*table, block_->local_preds, node.pred_indices);
+    const uint32_t n = static_cast<uint32_t>(table->physical_rows());
+    for (uint32_t row = 0; row < n; ++row) {
+      if (!table->IsVisible(row)) continue;
+      if (MatchesAll(preds, row)) out.data.push_back(row);
+    }
+  }
+
+  if (!node.pred_indices.empty()) {
+    ob.passed_rows = static_cast<double>(out.data.size());
+    obs->push_back(ob);
+  }
+  return out;
+}
+
+namespace {
+
+/// Checks residual equi-join predicates between a combined tuple layout.
+bool ResidualJoinsMatch(const QueryBlock& block,
+                        const std::vector<JoinPredicate>& residuals,
+                        const Relation& left, size_t left_tuple, uint32_t right_row,
+                        int right_table_idx) {
+  for (const JoinPredicate& j : residuals) {
+    // Each residual connects some slot in `left` to the right row.
+    int lt = j.left_table;
+    int lc = j.left_col;
+    int rt = j.right_table;
+    int rc = j.right_col;
+    if (rt != right_table_idx) {
+      std::swap(lt, rt);
+      std::swap(lc, rc);
+    }
+    const int slot = left.SlotOf(lt);
+    if (slot < 0) return false;
+    const uint32_t lrow = left.data[left_tuple * left.width() + static_cast<size_t>(slot)];
+    const Table& ltab = *block.tables[static_cast<size_t>(lt)].table;
+    const Table& rtab = *block.tables[static_cast<size_t>(rt)].table;
+    const int64_t lv = ltab.column(static_cast<size_t>(lc)).ints()[lrow];
+    const int64_t rv = rtab.column(static_cast<size_t>(rc)).ints()[right_row];
+    if (lv != rv) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Relation> Executor::ExecuteHashJoin(const PlanNode& node,
+                                           std::vector<AccessObservation>* obs) {
+  Result<Relation> left_r = ExecuteNode(*node.left, obs);
+  if (!left_r.ok()) return left_r.status();
+  Result<Relation> right_r = ExecuteNode(*node.right, obs);
+  if (!right_r.ok()) return right_r.status();
+  const Relation left = std::move(left_r).value();
+  const Relation right = std::move(right_r).value();
+
+  // The primary join predicate is oriented right_table == build side table.
+  const int probe_slot = left.SlotOf(node.join.left_table);
+  const int build_slot = right.SlotOf(node.join.right_table);
+  if (probe_slot < 0 || build_slot < 0) {
+    return Status::Internal("hash join slots not found");
+  }
+  const Table& probe_tab = *block_->tables[static_cast<size_t>(node.join.left_table)].table;
+  const Table& build_tab =
+      *block_->tables[static_cast<size_t>(node.join.right_table)].table;
+  const std::vector<int64_t>& probe_keys =
+      probe_tab.column(static_cast<size_t>(node.join.left_col)).ints();
+  const std::vector<int64_t>& build_keys =
+      build_tab.column(static_cast<size_t>(node.join.right_col)).ints();
+
+  std::unordered_map<int64_t, std::vector<uint32_t>> ht;
+  ht.reserve(right.count() * 2);
+  for (size_t t = 0; t < right.count(); ++t) {
+    const uint32_t row = right.data[t * right.width() + static_cast<size_t>(build_slot)];
+    ht[build_keys[row]].push_back(static_cast<uint32_t>(t));
+  }
+
+  Relation out;
+  out.table_idxs = left.table_idxs;
+  out.table_idxs.insert(out.table_idxs.end(), right.table_idxs.begin(),
+                        right.table_idxs.end());
+  const size_t lw = left.width();
+  const size_t rw = right.width();
+  for (size_t t = 0; t < left.count(); ++t) {
+    const uint32_t row = left.data[t * lw + static_cast<size_t>(probe_slot)];
+    auto it = ht.find(probe_keys[row]);
+    if (it == ht.end()) continue;
+    for (uint32_t rt : it->second) {
+      if (!node.residual_joins.empty()) {
+        // Residuals may connect either side; evaluate against the merged
+        // tuple below by checking left-vs-right pairs.
+        const uint32_t rrow =
+            right.data[rt * rw + static_cast<size_t>(build_slot)];
+        if (!ResidualJoinsMatch(*block_, node.residual_joins, left, t, rrow,
+                                node.join.right_table)) {
+          continue;
+        }
+      }
+      const size_t base = out.data.size();
+      out.data.resize(base + lw + rw);
+      for (size_t i = 0; i < lw; ++i) out.data[base + i] = left.data[t * lw + i];
+      for (size_t i = 0; i < rw; ++i) out.data[base + lw + i] = right.data[rt * rw + i];
+    }
+  }
+  return out;
+}
+
+Result<Relation> Executor::ExecuteIndexNLJoin(const PlanNode& node,
+                                              std::vector<AccessObservation>* obs) {
+  Result<Relation> left_r = ExecuteNode(*node.left, obs);
+  if (!left_r.ok()) return left_r.status();
+  const Relation left = std::move(left_r).value();
+
+  Table* inner = block_->tables[static_cast<size_t>(node.table_idx)].table;
+  HashIndex* index = inner->GetOrBuildHashIndex(static_cast<size_t>(node.join.right_col));
+  if (index == nullptr) return Status::Internal("index NL join needs INT join column");
+
+  const int outer_slot = left.SlotOf(node.join.left_table);
+  if (outer_slot < 0) return Status::Internal("index NL join outer slot not found");
+  const Table& outer_tab =
+      *block_->tables[static_cast<size_t>(node.join.left_table)].table;
+  const std::vector<int64_t>& outer_keys =
+      outer_tab.column(static_cast<size_t>(node.join.left_col)).ints();
+
+  const std::vector<CompiledPredicate> preds =
+      CompilePredicates(*inner, block_->local_preds, node.pred_indices);
+
+  Relation out;
+  out.table_idxs = left.table_idxs;
+  out.table_idxs.push_back(node.table_idx);
+  const size_t lw = left.width();
+
+  double tested = 0;
+  double passed = 0;
+  for (size_t t = 0; t < left.count(); ++t) {
+    const uint32_t row = left.data[t * lw + static_cast<size_t>(outer_slot)];
+    for (uint32_t irow : index->Lookup(outer_keys[row])) {
+      if (!inner->IsVisible(irow)) continue;
+      tested += 1;
+      if (!MatchesAll(preds, irow)) continue;
+      passed += 1;
+      if (!node.residual_joins.empty() &&
+          !ResidualJoinsMatch(*block_, node.residual_joins, left, t, irow,
+                              node.table_idx)) {
+        continue;
+      }
+      const size_t base = out.data.size();
+      out.data.resize(base + lw + 1);
+      for (size_t i = 0; i < lw; ++i) out.data[base + i] = left.data[t * lw + i];
+      out.data[base + lw] = irow;
+    }
+  }
+
+  if (!node.pred_indices.empty() && tested > 0) {
+    AccessObservation ob;
+    ob.table_idx = node.table_idx;
+    ob.denominator_rows = tested;
+    ob.passed_rows = passed;
+    ob.conditional = true;
+    obs->push_back(ob);
+  }
+  return out;
+}
+
+}  // namespace jits

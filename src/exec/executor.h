@@ -1,0 +1,70 @@
+#ifndef JITS_EXEC_EXECUTOR_H_
+#define JITS_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/plan.h"
+#include "query/query_block.h"
+
+namespace jits {
+
+/// A materialized intermediate result: tuples of base-table row ids.
+/// `table_idxs[i]` names the table occurrence for slot i of each tuple;
+/// `data` is row-major with stride `table_idxs.size()`.
+struct Relation {
+  std::vector<int> table_idxs;
+  std::vector<uint32_t> data;
+
+  size_t width() const { return table_idxs.size(); }
+  size_t count() const { return width() == 0 ? 0 : data.size() / width(); }
+  int SlotOf(int table_idx) const;
+};
+
+/// What the runtime actually observed at one base-table access — the raw
+/// material of the LEO-lite feedback loop.
+struct AccessObservation {
+  int table_idx = -1;
+  /// Rows against which the access's full predicate group was effectively
+  /// evaluated (table cardinality for scans; probed matches for the inner
+  /// side of an index nested-loop join, making the observation conditional
+  /// on the join).
+  double denominator_rows = 0;
+  /// Rows that satisfied the access's full local predicate group.
+  double passed_rows = 0;
+  /// True when denominator_rows is conditioned on join keys rather than the
+  /// whole table.
+  bool conditional = false;
+};
+
+/// The result of executing a plan: the output relation plus per-access
+/// runtime cardinality observations.
+struct ExecResult {
+  Relation output;
+  std::vector<AccessObservation> observations;
+};
+
+/// Pull-free materializing executor for the physical plans produced by the
+/// optimizer. Each operator fully materializes its output (row ids only, so
+/// intermediates stay small at this engine's scale).
+class Executor {
+ public:
+  explicit Executor(const QueryBlock* block) : block_(block) {}
+
+  Result<ExecResult> Execute(const PlanNode& root);
+
+ private:
+  Result<Relation> ExecuteNode(const PlanNode& node, std::vector<AccessObservation>* obs);
+  Result<Relation> ExecuteScan(const PlanNode& node, std::vector<AccessObservation>* obs);
+  Result<Relation> ExecuteHashJoin(const PlanNode& node,
+                                   std::vector<AccessObservation>* obs);
+  Result<Relation> ExecuteIndexNLJoin(const PlanNode& node,
+                                      std::vector<AccessObservation>* obs);
+
+  const QueryBlock* block_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_EXEC_EXECUTOR_H_

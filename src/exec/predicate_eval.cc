@@ -1,0 +1,129 @@
+#include "exec/predicate_eval.h"
+
+#include <cmath>
+#include <limits>
+
+#include "storage/table.h"
+
+namespace jits {
+namespace {
+
+int64_t FloorToInt64(double x, int64_t unbounded) {
+  if (!std::isfinite(x)) return unbounded;
+  if (x <= static_cast<double>(std::numeric_limits<int64_t>::min())) {
+    return std::numeric_limits<int64_t>::min();
+  }
+  if (x >= static_cast<double>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return static_cast<int64_t>(std::ceil(x));
+}
+
+}  // namespace
+
+CompiledPredicate CompiledPredicate::Compile(const Table& table,
+                                             const LocalPredicate& pred) {
+  CompiledPredicate out;
+  const Column& column = table.column(static_cast<size_t>(pred.col_idx));
+  switch (column.type()) {
+    case DataType::kInt64: {
+      out.ints_ = &column.ints();
+      if (pred.op == CompareOp::kNe) {
+        out.kind_ = Kind::kIntNe;
+        out.int_ne_ = pred.v1.CoerceTo(DataType::kInt64).int64();
+      } else {
+        out.kind_ = Kind::kIntRange;
+        out.int_lo_ = FloorToInt64(pred.interval.lo, std::numeric_limits<int64_t>::min());
+        out.int_hi_ = FloorToInt64(pred.interval.hi, std::numeric_limits<int64_t>::max());
+      }
+      break;
+    }
+    case DataType::kDouble: {
+      out.doubles_ = &column.doubles();
+      if (pred.op == CompareOp::kNe) {
+        out.kind_ = Kind::kDoubleNe;
+        out.dbl_ne_ = pred.v1.CoerceTo(DataType::kDouble).dbl();
+      } else {
+        out.kind_ = Kind::kDoubleRange;
+        out.dbl_lo_ = pred.interval.lo;
+        out.dbl_hi_ = pred.interval.hi;
+        // Half-open intervals exclude the boundary, but SQL <=, = and
+        // BETWEEN are inclusive: Normalize() already nudged hi above the
+        // bound with nextafter for doubles.
+      }
+      break;
+    }
+    case DataType::kString: {
+      out.codes_ = &column.codes();
+      if (pred.op == CompareOp::kNe) {
+        const int32_t code = column.DictCode(pred.v1.is_string() ? pred.v1.str() : "");
+        if (code < 0) {
+          // Unknown string: != matches everything.
+          out.kind_ = Kind::kCodeRange;
+          out.code_lo_ = std::numeric_limits<int32_t>::min();
+          out.code_hi_ = std::numeric_limits<int32_t>::max();
+        } else {
+          out.kind_ = Kind::kCodeNe;
+          out.code_ne_ = code;
+        }
+      } else {
+        // Interval in code space; unknown strings produce key -1 and an
+        // empty range (except unbounded sides).
+        const double lo = pred.interval.lo;
+        const double hi = pred.interval.hi;
+        if (pred.is_equality && column.DictCode(pred.v1.str()) < 0) {
+          out.kind_ = Kind::kNever;
+        } else {
+          out.kind_ = Kind::kCodeRange;
+          out.code_lo_ = std::isfinite(lo)
+                             ? static_cast<int32_t>(std::ceil(lo))
+                             : std::numeric_limits<int32_t>::min();
+          out.code_hi_ = std::isfinite(hi)
+                             ? static_cast<int32_t>(std::ceil(hi))
+                             : std::numeric_limits<int32_t>::max();
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+bool CompiledPredicate::Matches(uint32_t row) const {
+  switch (kind_) {
+    case Kind::kIntRange: {
+      const int64_t v = (*ints_)[row];
+      return v >= int_lo_ && v < int_hi_;
+    }
+    case Kind::kIntNe:
+      return (*ints_)[row] != int_ne_;
+    case Kind::kDoubleRange: {
+      const double v = (*doubles_)[row];
+      return v >= dbl_lo_ && v < dbl_hi_;
+    }
+    case Kind::kDoubleNe:
+      return (*doubles_)[row] != dbl_ne_;
+    case Kind::kCodeRange: {
+      const int32_t v = (*codes_)[row];
+      return v >= code_lo_ && v < code_hi_;
+    }
+    case Kind::kCodeNe:
+      return (*codes_)[row] != code_ne_;
+    case Kind::kNever:
+      return false;
+  }
+  return false;
+}
+
+std::vector<CompiledPredicate> CompilePredicates(const Table& table,
+                                                 const std::vector<LocalPredicate>& preds,
+                                                 const std::vector<int>& pred_indices) {
+  std::vector<CompiledPredicate> out;
+  out.reserve(pred_indices.size());
+  for (int pi : pred_indices) {
+    out.push_back(CompiledPredicate::Compile(table, preds[static_cast<size_t>(pi)]));
+  }
+  return out;
+}
+
+}  // namespace jits

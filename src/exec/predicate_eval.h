@@ -1,0 +1,57 @@
+#ifndef JITS_EXEC_PREDICATE_EVAL_H_
+#define JITS_EXEC_PREDICATE_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/predicate.h"
+
+namespace jits {
+
+class Table;
+
+/// A local predicate specialized for a concrete column representation so
+/// the scan inner loop is branch-light: interval tests on the typed vector
+/// (dictionary codes for strings), with a separate not-equal form.
+class CompiledPredicate {
+ public:
+  static CompiledPredicate Compile(const Table& table, const LocalPredicate& pred);
+
+  bool Matches(uint32_t row) const;
+
+ private:
+  enum class Kind {
+    kIntRange,     // lo <= v < hi
+    kIntNe,        // v != x
+    kDoubleRange,  // lo <= v < hi (hi may be +inf)
+    kDoubleNe,
+    kCodeRange,  // dictionary codes
+    kCodeNe,
+    kNever,  // unmatchable (e.g. equality with unknown dictionary string)
+  };
+
+  Kind kind_ = Kind::kNever;
+  const std::vector<int64_t>* ints_ = nullptr;
+  const std::vector<double>* doubles_ = nullptr;
+  const std::vector<int32_t>* codes_ = nullptr;
+  int64_t int_lo_ = 0, int_hi_ = 0, int_ne_ = 0;
+  double dbl_lo_ = 0, dbl_hi_ = 0, dbl_ne_ = 0;
+  int32_t code_lo_ = 0, code_hi_ = 0, code_ne_ = 0;
+};
+
+/// Compiles every predicate in `pred_indices` against `table`.
+std::vector<CompiledPredicate> CompilePredicates(const Table& table,
+                                                 const std::vector<LocalPredicate>& preds,
+                                                 const std::vector<int>& pred_indices);
+
+/// True if `row` satisfies all compiled predicates.
+inline bool MatchesAll(const std::vector<CompiledPredicate>& preds, uint32_t row) {
+  for (const CompiledPredicate& p : preds) {
+    if (!p.Matches(row)) return false;
+  }
+  return true;
+}
+
+}  // namespace jits
+
+#endif  // JITS_EXEC_PREDICATE_EVAL_H_

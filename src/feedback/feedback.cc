@@ -1,0 +1,19 @@
+#include "feedback/feedback.h"
+
+#include <algorithm>
+
+namespace jits {
+
+void FeedbackSystem::Record(const EstimationRecord& record, double actual_rows,
+                            double table_rows) {
+  if (history_ == nullptr || record.colgrp.empty()) return;
+  if (table_rows <= 0) return;
+  // Guard zero observations: half a row keeps the errorFactor finite while
+  // still signalling a strong miss.
+  const double actual_sel = std::max(actual_rows, 0.5) / table_rows;
+  const double est_sel = std::max(record.est_selectivity, 0.5 / table_rows);
+  const double error_factor = est_sel / actual_sel;
+  history_->Record(record.table_key, record.colgrp, record.statlist, error_factor);
+}
+
+}  // namespace jits

@@ -1,0 +1,46 @@
+#ifndef JITS_FEEDBACK_FEEDBACK_H_
+#define JITS_FEEDBACK_FEEDBACK_H_
+
+#include <string>
+#include <vector>
+
+#include "feedback/stat_history.h"
+
+namespace jits {
+
+class Table;
+
+/// An estimate the optimizer committed to for one table's full local
+/// predicate group, with its provenance (which statistics were combined).
+/// Compared post-execution against the observed selectivity, LEO-style.
+struct EstimationRecord {
+  const Table* table = nullptr;
+  int table_idx = -1;
+  std::string table_key;              // lower-case table name
+  std::string colgrp;                 // column-set key of the full group
+  std::vector<std::string> statlist;  // stats used to produce the estimate
+  std::vector<int> pred_indices;      // block-local predicate indices
+  double est_selectivity = 1.0;
+};
+
+/// The LEO-lite feedback loop: turns (estimate, actual) pairs into
+/// StatHistory errorFactor entries. Runs after every query execution,
+/// whether or not JITS is enabled (the history is what makes the
+/// sensitivity analysis informed).
+class FeedbackSystem {
+ public:
+  explicit FeedbackSystem(StatHistory* history) : history_(history) {}
+
+  /// Records one observation. `actual_rows` is the observed number of rows
+  /// satisfying the group, out of `table_rows` scanned.
+  void Record(const EstimationRecord& record, double actual_rows, double table_rows);
+
+  StatHistory* history() { return history_; }
+
+ private:
+  StatHistory* history_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_FEEDBACK_FEEDBACK_H_

@@ -1,0 +1,64 @@
+#include "feedback/stat_history.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace jits {
+
+double StatHistoryEntry::FoldedErrorFactor() const {
+  if (error_factor <= 0) return 0;
+  return std::min(error_factor, 1.0 / error_factor);
+}
+
+void StatHistory::Record(const std::string& table, const std::string& colgrp,
+                         std::vector<std::string> statlist, double error_factor) {
+  std::sort(statlist.begin(), statlist.end());
+  for (StatHistoryEntry& e : entries_) {
+    if (e.table == table && e.colgrp == colgrp && e.statlist == statlist) {
+      e.count += 1;
+      e.error_factor = error_factor;
+      return;
+    }
+  }
+  StatHistoryEntry e;
+  e.table = table;
+  e.colgrp = colgrp;
+  e.statlist = std::move(statlist);
+  e.count = 1;
+  e.error_factor = error_factor;
+  entries_.push_back(std::move(e));
+}
+
+std::vector<const StatHistoryEntry*> StatHistory::EntriesForGroup(
+    const std::string& table, const std::string& colgrp) const {
+  std::vector<const StatHistoryEntry*> out;
+  for (const StatHistoryEntry& e : entries_) {
+    if (e.table == table && e.colgrp == colgrp) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<const StatHistoryEntry*> StatHistory::EntriesUsingStat(
+    const std::string& stat_key) const {
+  std::vector<const StatHistoryEntry*> out;
+  for (const StatHistoryEntry& e : entries_) {
+    if (std::find(e.statlist.begin(), e.statlist.end(), stat_key) != e.statlist.end()) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+std::string StatHistory::ToString() const {
+  std::string out = StrFormat("%-14s %-28s %-44s %8s %12s\n", "T", "colgrp", "statlist",
+                              "count", "errorfactor");
+  for (const StatHistoryEntry& e : entries_) {
+    out += StrFormat("%-14s %-28s %-44s %8.0f %12.4f\n", e.table.c_str(),
+                     e.colgrp.c_str(), ("{" + Join(e.statlist, ", ") + "}").c_str(),
+                     e.count, e.error_factor);
+  }
+  return out;
+}
+
+}  // namespace jits

@@ -1,0 +1,53 @@
+#ifndef JITS_FEEDBACK_STAT_HISTORY_H_
+#define JITS_FEEDBACK_STAT_HISTORY_H_
+
+#include <string>
+#include <vector>
+
+namespace jits {
+
+/// One row of the paper's StatHistory (Table 1):
+/// which statistics (`statlist`) were used to estimate the selectivity of a
+/// column group (`colgrp`), how often, and how well (errorFactor =
+/// estimated / actual selectivity, most recent observation).
+struct StatHistoryEntry {
+  std::string table;                  // lower-case table name
+  std::string colgrp;                 // column-set key, e.g. "car(make,model)"
+  std::vector<std::string> statlist;  // sorted column-set keys of stats used
+  double count = 0;                   // times this statlist estimated colgrp
+  double error_factor = 1.0;          // latest est/actual
+
+  /// errorFactor folded into [0, 1]: both over- and under-estimation reduce
+  /// accuracy symmetrically (min(ef, 1/ef)).
+  double FoldedErrorFactor() const;
+};
+
+/// The statistics-collection history consumed by the sensitivity analysis
+/// (Algorithms 3 and 4). Entries are keyed by (table, colgrp, statlist);
+/// re-observations bump `count` and refresh `error_factor`.
+class StatHistory {
+ public:
+  /// Upserts an observation.
+  void Record(const std::string& table, const std::string& colgrp,
+              std::vector<std::string> statlist, double error_factor);
+
+  /// Entries whose estimated group is (table, colgrp).
+  std::vector<const StatHistoryEntry*> EntriesForGroup(const std::string& table,
+                                                       const std::string& colgrp) const;
+
+  /// Entries whose statlist contains `stat_key` (Algorithm 4's H).
+  std::vector<const StatHistoryEntry*> EntriesUsingStat(const std::string& stat_key) const;
+
+  const std::vector<StatHistoryEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<StatHistoryEntry> entries_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_FEEDBACK_STAT_HISTORY_H_

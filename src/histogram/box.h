@@ -1,0 +1,52 @@
+#ifndef JITS_HISTOGRAM_BOX_H_
+#define JITS_HISTOGRAM_BOX_H_
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace jits {
+
+/// Half-open interval [lo, hi) in a column's numeric key space.
+///
+/// All predicate shapes are normalized to this form by the query layer
+/// (e.g., on an int column: a = 5 -> [5, 6); a > 5 -> [6, +inf);
+/// a BETWEEN 3 AND 7 -> [3, 8)), so histograms only deal with one geometry.
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  static Interval All() { return Interval{}; }
+  static Interval Range(double lo, double hi) { return Interval{lo, hi}; }
+
+  bool bounded_below() const { return std::isfinite(lo); }
+  bool bounded_above() const { return std::isfinite(hi); }
+  bool is_unbounded() const { return !bounded_below() && !bounded_above(); }
+  bool empty() const { return lo >= hi; }
+  double width() const { return hi - lo; }
+
+  /// Intersection with another interval.
+  Interval Clamp(const Interval& other) const {
+    return Interval{std::max(lo, other.lo), std::min(hi, other.hi)};
+  }
+
+  /// Fraction of [cell_lo, cell_hi) covered by this interval, assuming
+  /// uniformity. Zero-width cells count as fully covered iff their point
+  /// lies inside.
+  double OverlapFraction(double cell_lo, double cell_hi) const {
+    if (cell_hi <= cell_lo) {
+      return (lo <= cell_lo && cell_lo < hi) ? 1.0 : 0.0;
+    }
+    const double olo = std::max(lo, cell_lo);
+    const double ohi = std::min(hi, cell_hi);
+    if (ohi <= olo) return 0.0;
+    return (ohi - olo) / (cell_hi - cell_lo);
+  }
+};
+
+/// Axis-aligned box: one interval per histogram dimension.
+using Box = std::vector<Interval>;
+
+}  // namespace jits
+
+#endif  // JITS_HISTOGRAM_BOX_H_

@@ -1,0 +1,149 @@
+#include "histogram/equi_depth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace jits {
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<double> values,
+                                             size_t num_buckets, double total_rows) {
+  EquiDepthHistogram h;
+  if (values.empty() || num_buckets == 0) return h;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  num_buckets = std::min(num_buckets, n);
+  const double scale = total_rows / static_cast<double>(n);
+
+  // Buckets are half-open [first, next_bucket_first); the final boundary
+  // sits one minimal value-gap past the maximum so discrete domains (ints,
+  // dictionary codes) tile exactly and no value's mass sits on a closed
+  // boundary.
+  double min_gap = 1.0;
+  bool has_gap = false;
+  for (size_t i = 1; i < n; ++i) {
+    const double gap = values[i] - values[i - 1];
+    if (gap > 0 && (!has_gap || gap < min_gap)) {
+      min_gap = gap;
+      has_gap = true;
+    }
+  }
+
+  h.boundaries_.push_back(values.front());
+  size_t start = 0;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    size_t end = (b + 1) * n / num_buckets;  // exclusive sample index
+    if (end <= start) continue;
+    // Extend the bucket so equal values never straddle a boundary.
+    while (end < n && values[end] == values[end - 1]) ++end;
+    if (b + 1 == num_buckets) end = n;
+    double count = static_cast<double>(end - start);
+    double distinct = 1;
+    for (size_t i = start + 1; i < end; ++i) {
+      if (values[i] != values[i - 1]) ++distinct;
+    }
+    h.counts_.push_back(count * scale);
+    h.distinct_counts_.push_back(distinct);
+    h.boundaries_.push_back(end < n ? values[end] : values.back() + min_gap);
+    start = end;
+    if (start >= n) break;
+  }
+  h.total_rows_ = total_rows;
+  return h;
+}
+
+EquiDepthHistogram EquiDepthHistogram::FromBuckets(std::vector<double> boundaries,
+                                                   std::vector<double> counts,
+                                                   std::vector<double> distinct_counts) {
+  EquiDepthHistogram h;
+  if (boundaries.size() != counts.size() + 1 || counts.empty()) return h;
+  if (distinct_counts.empty()) {
+    distinct_counts.reserve(counts.size());
+    for (size_t b = 0; b < counts.size(); ++b) {
+      const double width = std::max(1.0, boundaries[b + 1] - boundaries[b]);
+      distinct_counts.push_back(std::max(1.0, std::min(counts[b], width)));
+    }
+  }
+  h.boundaries_ = std::move(boundaries);
+  h.counts_ = std::move(counts);
+  h.distinct_counts_ = std::move(distinct_counts);
+  h.total_rows_ = 0;
+  for (double c : h.counts_) h.total_rows_ += c;
+  return h;
+}
+
+double EquiDepthHistogram::EstimateRangeFraction(double lo, double hi) const {
+  // Half-open query interval [lo, hi) against half-open buckets; the last
+  // bucket is closed at b_n, which we honor by widening hi by a hair when it
+  // covers the top boundary.
+  if (empty() || total_rows_ <= 0 || lo >= hi) return 0;
+  double mass = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const double blo = boundaries_[b];
+    const double bhi = boundaries_[b + 1];
+    if (bhi > blo) {
+      const double olo = std::max(lo, blo);
+      const double ohi = std::min(hi, bhi);
+      if (ohi > olo) mass += counts_[b] * (ohi - olo) / (bhi - blo);
+    } else if (lo <= blo && blo < hi) {
+      mass += counts_[b];  // singleton bucket fully inside
+    }
+  }
+  return std::min(1.0, mass / total_rows_);
+}
+
+double EquiDepthHistogram::EstimateEqualsFraction(double v) const {
+  if (empty() || total_rows_ <= 0) return 0;
+  if (v < boundaries_.front() || v > boundaries_.back()) return 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const bool last = (b + 1 == counts_.size());
+    const bool singleton = boundaries_[b] == boundaries_[b + 1] && v == boundaries_[b];
+    if (singleton || v < boundaries_[b + 1] || (last && v <= boundaries_[b + 1])) {
+      const double distinct = std::max(1.0, distinct_counts_[b]);
+      return std::min(1.0, (counts_[b] / distinct) / total_rows_);
+    }
+  }
+  return 0;
+}
+
+double EquiDepthHistogram::BoundaryAccuracy(double value) const {
+  if (empty()) return 0;
+  const double b0 = boundaries_.front();
+  const double bn = boundaries_.back();
+  if (value <= b0 || value >= bn) return 1.0;
+  const double total_width = bn - b0;
+  if (total_width <= 0) return 1.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const double blo = boundaries_[b];
+    const double bhi = boundaries_[b + 1];
+    const bool last = (b + 1 == counts_.size());
+    if (value < bhi || (last && value <= bhi)) {
+      const double d1 = value - blo;
+      const double d2 = bhi - value;
+      if (d1 <= 0 || d2 <= 0) return 1.0;  // exactly on a boundary
+      const double u = (std::min(d1, d2) / std::max(d1, d2)) * ((bhi - blo) / total_width);
+      return 1.0 - u;
+    }
+  }
+  return 1.0;
+}
+
+double EquiDepthHistogram::IntervalAccuracy(double lo, double hi) const {
+  double acc = 1.0;
+  if (std::isfinite(lo)) acc *= BoundaryAccuracy(lo);
+  if (std::isfinite(hi)) acc *= BoundaryAccuracy(hi);
+  return acc;
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  std::string out = StrFormat("EquiDepth(total=%.0f, buckets=%zu) [", total_rows_,
+                              counts_.size());
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    out += StrFormat("[%g,%g):%.0f ", boundaries_[b], boundaries_[b + 1], counts_[b]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace jits

@@ -1,0 +1,69 @@
+#ifndef JITS_HISTOGRAM_EQUI_DEPTH_H_
+#define JITS_HISTOGRAM_EQUI_DEPTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jits {
+
+/// Single-column equi-depth histogram over the column's numeric key space —
+/// the "distribution statistics" a traditional optimizer keeps in the
+/// catalog. Buckets are half-open [b_{i-1}, b_i), with the last bucket
+/// closed at b_n.
+class EquiDepthHistogram {
+ public:
+  EquiDepthHistogram() = default;
+
+  /// Builds from a value sample. `values` may be unsorted; it is consumed.
+  /// `total_rows` scales bucket counts from the sample to the full table
+  /// (pass values.size() when building from a full scan).
+  static EquiDepthHistogram Build(std::vector<double> values, size_t num_buckets,
+                                  double total_rows);
+
+  /// Builds directly from bucket boundaries and counts (used when migrating
+  /// QSS archive histograms into the catalog). `distinct_counts` may be
+  /// empty, in which case each bucket's distinct count is approximated by
+  /// min(count, width).
+  static EquiDepthHistogram FromBuckets(std::vector<double> boundaries,
+                                        std::vector<double> counts,
+                                        std::vector<double> distinct_counts);
+
+  bool empty() const { return boundaries_.size() < 2; }
+  size_t num_buckets() const { return counts_.size(); }
+  double total_rows() const { return total_rows_; }
+  double min() const { return boundaries_.front(); }
+  double max() const { return boundaries_.back(); }
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  const std::vector<double>& counts() const { return counts_; }
+
+  /// Estimated fraction of rows with value in the closed interval [lo, hi],
+  /// assuming uniformity within buckets.
+  double EstimateRangeFraction(double lo, double hi) const;
+
+  /// Estimated fraction of rows equal to v (bucket mass / bucket distinct
+  /// count).
+  double EstimateEqualsFraction(double v) const;
+
+  /// The paper's §3.3.2 accuracy of this histogram for a one-sided range
+  /// boundary at `value`:
+  ///   u = min(d1,d2)/max(d1,d2) * bucket_width/total_width, accuracy = 1-u
+  /// Values on a bucket boundary or outside the domain score 1.
+  double BoundaryAccuracy(double value) const;
+
+  /// Accuracy for a (possibly two-sided) interval: product of the endpoint
+  /// accuracies for each finite endpoint.
+  double IntervalAccuracy(double lo, double hi) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<double> boundaries_;       // size num_buckets + 1
+  std::vector<double> counts_;           // rows per bucket (scaled to table)
+  std::vector<double> distinct_counts_;  // distinct values per bucket
+  double total_rows_ = 0;
+};
+
+}  // namespace jits
+
+#endif  // JITS_HISTOGRAM_EQUI_DEPTH_H_

@@ -1,0 +1,514 @@
+#include "histogram/grid_histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace jits {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+bool NearlyEqual(double a, double b) {
+  return std::fabs(a - b) <= kEps * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+/// Advances a multi-dimensional bucket index; returns false on wrap-around.
+bool NextIndex(std::vector<size_t>* idx, const std::vector<size_t>& sizes) {
+  for (size_t d = idx->size(); d-- > 0;) {
+    if (++(*idx)[d] < sizes[d]) return true;
+    (*idx)[d] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+GridHistogram::GridHistogram(std::vector<std::string> column_names,
+                             std::vector<Interval> domain, double total_rows,
+                             uint64_t now)
+    : column_names_(std::move(column_names)) {
+  assert(domain.size() == column_names_.size());
+  boundaries_.reserve(domain.size());
+  for (const Interval& iv : domain) {
+    double lo = iv.lo;
+    double hi = iv.hi;
+    if (!(hi > lo)) hi = lo + 1;  // degenerate domain: one unit-wide cell
+    boundaries_.push_back({lo, hi});
+  }
+  counts_.assign(1, total_rows);
+  stamps_.assign(1, now);
+  RecomputeStrides();
+}
+
+size_t GridHistogram::FlatIndex(const std::vector<size_t>& idx) const {
+  size_t flat = 0;
+  for (size_t d = 0; d < idx.size(); ++d) flat += idx[d] * strides_[d];
+  return flat;
+}
+
+void GridHistogram::RecomputeStrides() {
+  strides_.assign(num_dims(), 1);
+  for (size_t d = num_dims(); d-- > 1;) {
+    strides_[d - 1] = strides_[d] * (boundaries_[d].size() - 1);
+  }
+}
+
+double GridHistogram::total_rows() const {
+  double t = 0;
+  for (double c : counts_) t += c;
+  return t;
+}
+
+bool GridHistogram::InsertBoundary(size_t dim, double x) {
+  std::vector<double>& bs = boundaries_[dim];
+  if (x <= bs.front() || x >= bs.back()) return false;
+  auto it = std::lower_bound(bs.begin(), bs.end(), x);
+  if (it != bs.end() && NearlyEqual(*it, x)) return false;
+  if (it != bs.begin() && NearlyEqual(*(it - 1), x)) return false;
+  const size_t bucket = static_cast<size_t>(it - bs.begin()) - 1;  // bucket being split
+  const double lo = bs[bucket];
+  const double hi = bs[bucket + 1];
+  const double f = (x - lo) / (hi - lo);
+
+  std::vector<size_t> old_sizes(num_dims());
+  for (size_t d = 0; d < num_dims(); ++d) old_sizes[d] = boundaries_[d].size() - 1;
+
+  bs.insert(it, x);
+  std::vector<size_t> new_sizes = old_sizes;
+  new_sizes[dim] += 1;
+
+  size_t new_total = 1;
+  for (size_t s : new_sizes) new_total *= s;
+  std::vector<double> new_counts(new_total, 0);
+  std::vector<uint64_t> new_stamps(new_total, 0);
+
+  // New strides.
+  std::vector<size_t> new_strides(num_dims(), 1);
+  for (size_t d = num_dims(); d-- > 1;) new_strides[d - 1] = new_strides[d] * new_sizes[d];
+
+  std::vector<size_t> idx(num_dims(), 0);
+  do {
+    const size_t old_flat = FlatIndex(idx);
+    std::vector<size_t> nidx = idx;
+    if (idx[dim] > bucket) nidx[dim] = idx[dim] + 1;
+    size_t nflat = 0;
+    for (size_t d = 0; d < num_dims(); ++d) nflat += nidx[d] * new_strides[d];
+    if (idx[dim] == bucket) {
+      // Split uniformly: left child keeps fraction f, right child 1 - f.
+      new_counts[nflat] = counts_[old_flat] * f;
+      new_stamps[nflat] = stamps_[old_flat];
+      const size_t rflat = nflat + new_strides[dim];
+      new_counts[rflat] = counts_[old_flat] * (1 - f);
+      new_stamps[rflat] = stamps_[old_flat];
+    } else {
+      new_counts[nflat] = counts_[old_flat];
+      new_stamps[nflat] = stamps_[old_flat];
+    }
+  } while (NextIndex(&idx, old_sizes));
+
+  counts_ = std::move(new_counts);
+  stamps_ = std::move(new_stamps);
+  RecomputeStrides();
+  return true;
+}
+
+void GridHistogram::MergeBuckets(size_t dim, size_t bucket) {
+  std::vector<size_t> old_sizes(num_dims());
+  for (size_t d = 0; d < num_dims(); ++d) old_sizes[d] = boundaries_[d].size() - 1;
+  assert(bucket + 1 < old_sizes[dim]);
+
+  boundaries_[dim].erase(boundaries_[dim].begin() + static_cast<long>(bucket) + 1);
+  std::vector<size_t> new_sizes = old_sizes;
+  new_sizes[dim] -= 1;
+
+  size_t new_total = 1;
+  for (size_t s : new_sizes) new_total *= s;
+  std::vector<double> new_counts(new_total, 0);
+  std::vector<uint64_t> new_stamps(new_total, 0);
+  std::vector<size_t> new_strides(num_dims(), 1);
+  for (size_t d = num_dims(); d-- > 1;) new_strides[d - 1] = new_strides[d] * new_sizes[d];
+
+  std::vector<size_t> idx(num_dims(), 0);
+  do {
+    const size_t old_flat = FlatIndex(idx);
+    std::vector<size_t> nidx = idx;
+    if (idx[dim] > bucket) nidx[dim] = idx[dim] - 1;
+    size_t nflat = 0;
+    for (size_t d = 0; d < num_dims(); ++d) nflat += nidx[d] * new_strides[d];
+    new_counts[nflat] += counts_[old_flat];
+    new_stamps[nflat] = std::max(new_stamps[nflat], stamps_[old_flat]);
+  } while (NextIndex(&idx, old_sizes));
+
+  counts_ = std::move(new_counts);
+  stamps_ = std::move(new_stamps);
+  RecomputeStrides();
+}
+
+void GridHistogram::EnforceBucketCap(size_t dim) {
+  while (boundaries_[dim].size() - 1 > BucketCap()) {
+    // Merge the adjacent pair with the least combined marginal mass.
+    const size_t nb = boundaries_[dim].size() - 1;
+    std::vector<double> marginal(nb, 0);
+    std::vector<size_t> sizes(num_dims());
+    for (size_t d = 0; d < num_dims(); ++d) sizes[d] = boundaries_[d].size() - 1;
+    std::vector<size_t> idx(num_dims(), 0);
+    do {
+      marginal[idx[dim]] += counts_[FlatIndex(idx)];
+    } while (NextIndex(&idx, sizes));
+    size_t best = 0;
+    double best_mass = marginal[0] + marginal[1];
+    for (size_t b = 1; b + 1 < nb; ++b) {
+      const double m = marginal[b] + marginal[b + 1];
+      if (m < best_mass) {
+        best_mass = m;
+        best = b;
+      }
+    }
+    MergeBuckets(dim, best);
+  }
+}
+
+size_t GridHistogram::BucketCap() const {
+  size_t cap = kMaxBucketsPerDim;
+  for (size_t d = 1; d < num_dims(); ++d) cap = std::max<size_t>(4, cap / 2);
+  return cap;
+}
+
+double GridHistogram::FitOnce(const Box& box, double target_rows) {
+  std::vector<size_t> sizes(num_dims());
+  for (size_t d = 0; d < num_dims(); ++d) sizes[d] = boundaries_[d].size() - 1;
+  const size_t n_cells = counts_.size();
+  std::vector<double> overlap(n_cells, 1.0);
+  std::vector<double> vol_in(n_cells, 0.0);
+  std::vector<double> vol_out(n_cells, 0.0);
+  double in_mass = 0;
+  double total_mass = 0;
+  double total_vol_in = 0;
+  double total_vol_out = 0;
+  std::vector<size_t> idx(num_dims(), 0);
+  do {
+    const size_t flat = FlatIndex(idx);
+    double o = 1.0;
+    double v = 1.0;
+    double cell_vol = 1.0;
+    for (size_t d = 0; d < num_dims(); ++d) {
+      const double clo = boundaries_[d][idx[d]];
+      const double chi = boundaries_[d][idx[d] + 1];
+      o *= box[d].OverlapFraction(clo, chi);
+      const Interval cut = box[d].Clamp(Interval{clo, chi});
+      v *= cut.empty() ? 0.0 : cut.width();
+      cell_vol *= chi - clo;
+    }
+    overlap[flat] = o;
+    vol_in[flat] = v;
+    vol_out[flat] = std::max(0.0, cell_vol - v);
+    in_mass += counts_[flat] * o;
+    total_mass += counts_[flat];
+    total_vol_in += v;
+    total_vol_out += vol_out[flat];
+  } while (NextIndex(&idx, sizes));
+
+  const double in_target = std::clamp(target_rows, 0.0, total_mass);
+  const double out_target = std::max(0.0, total_mass - in_target);
+  const double out_mass = std::max(0.0, total_mass - in_mass);
+  const double deviation =
+      (total_mass > kEps) ? std::fabs(in_mass - in_target) / total_mass : 0;
+
+  // Degenerate constraint: the (clamped) box covers the whole domain yet
+  // claims fewer rows than the table holds — the missing rows live outside
+  // this histogram's domain (the data drifted). There is nowhere to move
+  // the excess mass, so fitting would destroy the total; skip instead.
+  if (out_target > kEps && out_mass <= kEps && total_vol_out <= 0) return 0;
+
+  for (size_t flat = 0; flat < n_cells; ++flat) {
+    const double c_in = counts_[flat] * overlap[flat];
+    const double c_out = counts_[flat] - c_in;
+    double new_in;
+    if (in_mass > kEps) {
+      new_in = c_in * (in_target / in_mass);
+    } else {
+      // No prior mass in the box: distribute the observed rows uniformly
+      // over the box volume (maximum entropy given only the new fact).
+      new_in = (total_vol_in > 0) ? in_target * (vol_in[flat] / total_vol_in) : 0;
+    }
+    double new_out;
+    if (out_mass > kEps) {
+      new_out = c_out * (out_target / out_mass);
+    } else {
+      // Prior knowledge left nothing outside the box, but the new fact says
+      // rows exist there: re-seed uniformly over the outside volume.
+      new_out = (total_vol_out > 0) ? out_target * (vol_out[flat] / total_vol_out) : 0;
+    }
+    counts_[flat] = new_in + new_out;
+  }
+  return deviation;
+}
+
+Box GridHistogram::ClampToDomain(const Box& box) const {
+  Box out(num_dims());
+  for (size_t d = 0; d < num_dims(); ++d) {
+    Interval domain{boundaries_[d].front(), boundaries_[d].back()};
+    Interval iv = (d < box.size()) ? box[d] : Interval::All();
+    out[d] = iv.Clamp(domain);
+    if (out[d].empty()) out[d] = Interval{domain.lo, domain.lo};  // empty box
+  }
+  return out;
+}
+
+void GridHistogram::ApplyConstraint(const Box& box_in, double box_rows,
+                                    double table_rows, uint64_t now) {
+  // 1. Rescale to the current table cardinality (stored constraints scale
+  // along so older knowledge stays proportionally valid).
+  const double t = total_rows();
+  if (t > 0 && table_rows > 0 && !NearlyEqual(t, table_rows)) {
+    const double f = table_rows / t;
+    for (double& c : counts_) c *= f;
+    for (StoredConstraint& c : constraints_) c.rows *= f;
+  }
+
+  Box box = ClampToDomain(box_in);
+  box_rows = std::clamp(box_rows, 0.0, table_rows);
+
+  // 2. Make room, then insert the box's boundaries.
+  std::vector<std::vector<double>> inserted(num_dims());
+  for (size_t d = 0; d < num_dims(); ++d) {
+    while (boundaries_[d].size() - 1 > BucketCap() - 2) {
+      const size_t before = boundaries_[d].size();
+      // Temporarily lower the cap by merging once.
+      const size_t nb = boundaries_[d].size() - 1;
+      std::vector<double> marginal(nb, 0);
+      std::vector<size_t> sizes(num_dims());
+      for (size_t dd = 0; dd < num_dims(); ++dd) sizes[dd] = boundaries_[dd].size() - 1;
+      std::vector<size_t> idx(num_dims(), 0);
+      do {
+        marginal[idx[d]] += counts_[FlatIndex(idx)];
+      } while (NextIndex(&idx, sizes));
+      size_t best = 0;
+      double best_mass = marginal[0] + marginal[1];
+      for (size_t b = 1; b + 1 < nb; ++b) {
+        const double m = marginal[b] + marginal[b + 1];
+        if (m < best_mass) {
+          best_mass = m;
+          best = b;
+        }
+      }
+      MergeBuckets(d, best);
+      if (boundaries_[d].size() == before) break;  // safety
+    }
+    if (box[d].bounded_below() && InsertBoundary(d, box[d].lo)) {
+      inserted[d].push_back(box[d].lo);
+    }
+    if (box[d].bounded_above() && InsertBoundary(d, box[d].hi)) {
+      inserted[d].push_back(box[d].hi);
+    }
+  }
+
+  // 3. Remember the constraint (replacing any earlier observation of the
+  // same box) and run iterative proportional fitting over the window until
+  // all remembered constraints hold — the maximum-entropy solution for a
+  // consistent constraint set.
+  auto same_box = [&](const Box& a, const Box& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t d = 0; d < a.size(); ++d) {
+      if (!NearlyEqual(a[d].lo, b[d].lo) &&
+          !(std::isinf(a[d].lo) && std::isinf(b[d].lo))) {
+        return false;
+      }
+      if (!NearlyEqual(a[d].hi, b[d].hi) &&
+          !(std::isinf(a[d].hi) && std::isinf(b[d].hi))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  bool replaced = false;
+  for (StoredConstraint& c : constraints_) {
+    if (same_box(c.box, box)) {
+      c.rows = box_rows;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) {
+    constraints_.push_back({box, box_rows});
+    if (constraints_.size() > kMaxStoredConstraints) {
+      constraints_.erase(constraints_.begin());
+    }
+  }
+
+  for (size_t round = 0; round < 3; ++round) {
+    double worst = 0;
+    double prev_worst = std::numeric_limits<double>::infinity();
+    for (size_t iter = 0; iter < kMaxIpfIterations; ++iter) {
+      worst = 0;
+      for (const StoredConstraint& c : constraints_) {
+        worst = std::max(worst, FitOnce(c.box, c.rows));
+      }
+      // Always finish by enforcing the newest constraint exactly.
+      FitOnce(box, box_rows);
+      if (worst < 1e-10) break;
+      // Convergence stalled: the constraint set is inconsistent; stop
+      // burning passes (geometric convergence keeps shrinking `worst`
+      // pass over pass when the set is consistent).
+      if (iter >= 6 && worst > 0.9 * prev_worst) break;
+      prev_worst = worst;
+    }
+    if (worst < kInconsistencyTolerance || constraints_.size() <= 1) break;
+    // The window is inconsistent: the data drifted between observations.
+    // Drop the oldest remembered constraint and retry.
+    constraints_.erase(constraints_.begin());
+  }
+
+  // 4. Timestamps: every cell intersecting the box, and every cell with a
+  // face on a newly inserted boundary, is stamped `now` (Figure 2).
+  std::vector<size_t> sizes(num_dims());
+  for (size_t d = 0; d < num_dims(); ++d) sizes[d] = boundaries_[d].size() - 1;
+  const size_t n_cells = counts_.size();
+  std::vector<double> overlap(n_cells, 1.0);
+  std::vector<size_t> idx(num_dims(), 0);
+  do {
+    const size_t flat = FlatIndex(idx);
+    double o = 1.0;
+    for (size_t d = 0; d < num_dims(); ++d) {
+      o *= box[d].OverlapFraction(boundaries_[d][idx[d]], boundaries_[d][idx[d] + 1]);
+    }
+    overlap[flat] = o;
+  } while (NextIndex(&idx, sizes));
+  idx.assign(num_dims(), 0);
+  do {
+    const size_t flat = FlatIndex(idx);
+    bool stamp = overlap[flat] > kEps;
+    if (!stamp) {
+      for (size_t d = 0; d < num_dims() && !stamp; ++d) {
+        const double clo = boundaries_[d][idx[d]];
+        const double chi = boundaries_[d][idx[d] + 1];
+        for (double b : inserted[d]) {
+          if (NearlyEqual(clo, b) || NearlyEqual(chi, b)) {
+            stamp = true;
+            break;
+          }
+        }
+      }
+    }
+    if (stamp) stamps_[flat] = now;
+  } while (NextIndex(&idx, sizes));
+}
+
+double GridHistogram::EstimateBoxFraction(const Box& box_in) const {
+  const double t = total_rows();
+  if (t <= 0) return 0;
+  Box box = ClampToDomain(box_in);
+  std::vector<size_t> sizes(num_dims());
+  for (size_t d = 0; d < num_dims(); ++d) sizes[d] = boundaries_[d].size() - 1;
+  double mass = 0;
+  std::vector<size_t> idx(num_dims(), 0);
+  do {
+    double o = 1.0;
+    for (size_t d = 0; d < num_dims() && o > 0; ++d) {
+      o *= box[d].OverlapFraction(boundaries_[d][idx[d]], boundaries_[d][idx[d] + 1]);
+    }
+    if (o > 0) mass += counts_[FlatIndex(idx)] * o;
+  } while (NextIndex(&idx, sizes));
+  return std::clamp(mass / t, 0.0, 1.0);
+}
+
+namespace {
+
+double BoundaryAccuracy1D(const std::vector<double>& bs, double value) {
+  const double b0 = bs.front();
+  const double bn = bs.back();
+  if (value <= b0 || value >= bn) return 1.0;
+  const double total_width = bn - b0;
+  if (total_width <= 0) return 1.0;
+  auto it = std::upper_bound(bs.begin(), bs.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bs.begin()) - 1;
+  const double lo = bs[bucket];
+  const double hi = bs[std::min(bucket + 1, bs.size() - 1)];
+  const double d1 = value - lo;
+  const double d2 = hi - value;
+  if (d1 <= 0 || d2 <= 0) return 1.0;
+  const double u = (std::min(d1, d2) / std::max(d1, d2)) * ((hi - lo) / total_width);
+  return 1.0 - u;
+}
+
+}  // namespace
+
+double GridHistogram::BoxAccuracy(const Box& box) const {
+  double acc = 1.0;
+  for (size_t d = 0; d < num_dims(); ++d) {
+    const Interval iv = (d < box.size()) ? box[d] : Interval::All();
+    double dim_acc = 1.0;
+    if (iv.bounded_below()) dim_acc *= BoundaryAccuracy1D(boundaries_[d], iv.lo);
+    if (iv.bounded_above()) dim_acc *= BoundaryAccuracy1D(boundaries_[d], iv.hi);
+    acc *= dim_acc;
+  }
+  return acc;
+}
+
+double GridHistogram::UniformityDistance() const {
+  const double t = total_rows();
+  if (t <= 0) return 0;
+  std::vector<size_t> sizes(num_dims());
+  double total_vol = 1.0;
+  for (size_t d = 0; d < num_dims(); ++d) {
+    sizes[d] = boundaries_[d].size() - 1;
+    total_vol *= boundaries_[d].back() - boundaries_[d].front();
+  }
+  if (total_vol <= 0) return 0;
+  double dist = 0;
+  std::vector<size_t> idx(num_dims(), 0);
+  do {
+    double vol = 1.0;
+    for (size_t d = 0; d < num_dims(); ++d) {
+      vol *= boundaries_[d][idx[d] + 1] - boundaries_[d][idx[d]];
+    }
+    const double p = counts_[FlatIndex(idx)] / t;
+    const double v = vol / total_vol;
+    dist += std::fabs(p - v);
+  } while (NextIndex(&idx, sizes));
+  return 0.5 * dist;
+}
+
+uint64_t GridHistogram::min_timestamp() const {
+  uint64_t m = stamps_.empty() ? 0 : stamps_[0];
+  for (uint64_t s : stamps_) m = std::min(m, s);
+  return m;
+}
+
+uint64_t GridHistogram::max_timestamp() const {
+  uint64_t m = 0;
+  for (uint64_t s : stamps_) m = std::max(m, s);
+  return m;
+}
+
+std::string GridHistogram::ToString() const {
+  std::string out = StrFormat("GridHistogram(%s) total=%.1f\n",
+                              Join(column_names_, ",").c_str(), total_rows());
+  std::vector<size_t> sizes(num_dims());
+  for (size_t d = 0; d < num_dims(); ++d) {
+    sizes[d] = boundaries_[d].size() - 1;
+    out += "  dim " + column_names_[d] + " boundaries: [";
+    for (size_t i = 0; i < boundaries_[d].size(); ++i) {
+      if (i > 0) out += ", ";
+      out += StrFormat("%g", boundaries_[d][i]);
+    }
+    out += "]\n";
+  }
+  std::vector<size_t> idx(num_dims(), 0);
+  do {
+    out += "  cell(";
+    for (size_t d = 0; d < num_dims(); ++d) {
+      if (d > 0) out += ",";
+      out += StrFormat("[%g,%g)", boundaries_[d][idx[d]], boundaries_[d][idx[d] + 1]);
+    }
+    const size_t flat = FlatIndex(idx);
+    out += StrFormat(") count=%.2f t=%llu\n", counts_[flat],
+                     static_cast<unsigned long long>(stamps_[flat]));
+  } while (NextIndex(&idx, sizes));
+  return out;
+}
+
+}  // namespace jits

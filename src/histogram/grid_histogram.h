@@ -1,0 +1,128 @@
+#ifndef JITS_HISTOGRAM_GRID_HISTOGRAM_H_
+#define JITS_HISTOGRAM_GRID_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "histogram/box.h"
+
+namespace jits {
+
+/// Adaptive multi-dimensional histogram — the storage unit of the QSS
+/// archive (paper §3.4, Figure 2).
+///
+/// The structure is a grid: per-dimension sorted boundary vectors and a
+/// dense cell array over their product. New knowledge arrives as
+/// *constraints*: "box B contains C rows". Assimilating a constraint
+/// follows the maximum-entropy principle:
+///
+///   1. boundaries of B are inserted into the grid; split cells distribute
+///      their mass uniformly (no further knowledge is assumed),
+///   2. the histogram keeps a window of recently observed constraints and
+///      runs iterative proportional fitting over all of them until
+///      convergence, so consistent constraint sets (like the paper's
+///      Figure 2 sequence) are satisfied exactly while older knowledge is
+///      preserved (the ISOMER-style maximum-entropy solution),
+///   3. every cell touching a newly inserted boundary, and every cell
+///      inside B, receives a fresh timestamp (the paper's per-bucket
+///      recentness signal).
+///
+/// Per-dimension bucket counts are capped; overflowing dimensions coalesce
+/// the adjacent bucket pair with the least combined mass.
+class GridHistogram {
+ public:
+  /// Hard cap on buckets per dimension for 1-D histograms; higher
+  /// dimensionalities halve the per-dim cap per extra dimension so the cell
+  /// count stays bounded (paper: storage space is bounded).
+  static constexpr size_t kMaxBucketsPerDim = 32;
+  /// Window of remembered constraints for iterative proportional fitting.
+  static constexpr size_t kMaxStoredConstraints = 8;
+  /// IPF iteration cap. Consistent sets converge geometrically and exit on
+  /// a 1e-10 residual; inconsistent ones (the data drifted between
+  /// observations) hit the stall detector after a few passes and drop their
+  /// oldest constraint instead of burning cycles.
+  static constexpr size_t kMaxIpfIterations = 64;
+  /// Residual deviation above which the oldest constraints are considered
+  /// inconsistent with newer knowledge and get pruned.
+  static constexpr double kInconsistencyTolerance = 0.02;
+
+  /// Creates a single-cell histogram covering `domain` (all intervals must
+  /// be finite and non-empty) holding `total_rows` rows.
+  GridHistogram(std::vector<std::string> column_names, std::vector<Interval> domain,
+                double total_rows, uint64_t now);
+
+  size_t num_dims() const { return column_names_.size(); }
+  const std::vector<std::string>& column_names() const { return column_names_; }
+  const std::vector<double>& boundaries(size_t dim) const { return boundaries_[dim]; }
+  size_t num_cells() const { return counts_.size(); }
+  double total_rows() const;
+
+  /// Assimilates "box holds box_rows of table_rows total" observed at
+  /// logical time `now`.
+  void ApplyConstraint(const Box& box, double box_rows, double table_rows, uint64_t now);
+
+  /// Estimated fraction of rows inside `box` (uniformity within cells).
+  double EstimateBoxFraction(const Box& box) const;
+
+  /// The paper's §3.3.2 accuracy of this histogram for `box`: product over
+  /// dimensions of the endpoint-accuracy of each finite bound.
+  double BoxAccuracy(const Box& box) const;
+
+  /// Total-variation distance from the volume-uniform distribution, in
+  /// [0, 1]. Near-zero histograms carry no information beyond the
+  /// optimizer's uniformity assumption and are evicted first (paper §3.4).
+  double UniformityDistance() const;
+
+  /// Oldest / newest cell timestamps — the recentness signal.
+  uint64_t min_timestamp() const;
+  uint64_t max_timestamp() const;
+
+  /// LRU bookkeeping: last logical time the optimizer consulted this
+  /// histogram.
+  uint64_t last_used() const { return last_used_; }
+  void Touch(uint64_t now) { last_used_ = now; }
+
+  /// Cell count by multi-dimensional bucket index (tests/debugging).
+  double CellCount(const std::vector<size_t>& idx) const { return counts_[FlatIndex(idx)]; }
+  uint64_t CellTimestamp(const std::vector<size_t>& idx) const { return stamps_[FlatIndex(idx)]; }
+
+  /// Multi-line rendering used by the Figure 2 walk-through.
+  std::string ToString() const;
+
+ private:
+  struct StoredConstraint {
+    Box box;
+    double rows = 0;
+  };
+
+  size_t FlatIndex(const std::vector<size_t>& idx) const;
+  void RecomputeStrides();
+  /// Per-dimension bucket cap for this histogram's dimensionality.
+  size_t BucketCap() const;
+  /// One proportional-fitting step for a single constraint; returns the
+  /// relative deviation before the step.
+  double FitOnce(const Box& box, double target_rows);
+  /// Inserts boundary x into `dim` (no-op if already present); splits cells
+  /// proportionally. Returns true if a boundary was inserted.
+  bool InsertBoundary(size_t dim, double x);
+  /// Coalesces buckets `bucket` and `bucket+1` of `dim`.
+  void MergeBuckets(size_t dim, size_t bucket);
+  /// Enforces kMaxBucketsPerDim on `dim`.
+  void EnforceBucketCap(size_t dim);
+  /// Clamps a (possibly unbounded / lower-dimensional view) box to the
+  /// domain of this histogram.
+  Box ClampToDomain(const Box& box) const;
+
+  std::vector<std::string> column_names_;
+  std::vector<std::vector<double>> boundaries_;  // per dim, size n_d + 1
+  std::vector<size_t> strides_;                  // per dim
+  std::vector<double> counts_;                   // flattened cells
+  std::vector<uint64_t> stamps_;                 // flattened cells
+  std::vector<StoredConstraint> constraints_;    // IPF window, oldest first
+  uint64_t last_used_ = 0;
+};
+
+}  // namespace jits
+
+#endif  // JITS_HISTOGRAM_GRID_HISTOGRAM_H_

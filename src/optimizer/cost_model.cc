@@ -1,0 +1,3 @@
+#include "optimizer/cost_model.h"
+
+// Header-only formulas; this translation unit anchors the module.

@@ -1,0 +1,41 @@
+#ifndef JITS_OPTIMIZER_JOIN_ENUMERATOR_H_
+#define JITS_OPTIMIZER_JOIN_ENUMERATOR_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+#include "optimizer/selectivity.h"
+
+namespace jits {
+
+/// Left-deep dynamic-programming join enumerator with cost-based access
+/// path selection (sequential vs hash-index scan) and physical join choice
+/// (hash join vs index nested-loop join). Cross products are excluded from
+/// the search space: every extension must be connected by a join predicate.
+class JoinEnumerator {
+ public:
+  JoinEnumerator(const QueryBlock* block, const SelectivityEstimator* estimator,
+                 const CostModel* cost_model)
+      : block_(block), estimator_(estimator), cost_model_(cost_model) {}
+
+  /// Produces the cheapest plan tree. Fails if the block has no tables or
+  /// the join graph is disconnected.
+  Result<std::unique_ptr<PlanNode>> Enumerate() const;
+
+  /// Best single-table access path (public for testing): cost-based choice
+  /// between a sequential scan and an equality hash-index scan.
+  std::unique_ptr<PlanNode> BuildBestAccess(int table_idx) const;
+
+ private:
+  static std::unique_ptr<PlanNode> ClonePlan(const PlanNode& node);
+
+  const QueryBlock* block_;
+  const SelectivityEstimator* estimator_;
+  const CostModel* cost_model_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_OPTIMIZER_JOIN_ENUMERATOR_H_

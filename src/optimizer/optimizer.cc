@@ -1,0 +1,41 @@
+#include "optimizer/optimizer.h"
+
+#include "common/str_util.h"
+#include "optimizer/join_enumerator.h"
+#include "query/predicate_group.h"
+#include "storage/table.h"
+
+namespace jits {
+
+Result<PhysicalPlan> Optimizer::Optimize(const QueryBlock& block,
+                                         const EstimationSources& sources) const {
+  SelectivityEstimator estimator(&block, sources);
+  JoinEnumerator enumerator(&block, &estimator, &cost_model_);
+  Result<std::unique_ptr<PlanNode>> root = enumerator.Enumerate();
+  if (!root.ok()) return root.status();
+
+  PhysicalPlan plan;
+  plan.root = std::move(root).value();
+  plan.est_total_cost = plan.root->est_cost;
+  plan.est_result_rows = plan.root->est_rows;
+
+  // Estimation records for the feedback loop: one per table occurrence with
+  // local predicates.
+  for (size_t t = 0; t < block.tables.size(); ++t) {
+    const std::vector<int> preds = block.LocalPredIndicesOf(static_cast<int>(t));
+    if (preds.empty()) continue;
+    const GroupEstimate est = estimator.EstimateGroup(static_cast<int>(t), preds);
+    EstimationRecord record;
+    record.table = block.tables[t].table;
+    record.table_idx = static_cast<int>(t);
+    record.table_key = ToLower(block.tables[t].table->name());
+    record.colgrp = ColumnSetKeyFor(block, static_cast<int>(t), preds);
+    record.statlist = est.statlist;
+    record.pred_indices = preds;
+    record.est_selectivity = est.selectivity;
+    plan.estimates.push_back(std::move(record));
+  }
+  return plan;
+}
+
+}  // namespace jits

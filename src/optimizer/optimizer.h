@@ -1,0 +1,31 @@
+#ifndef JITS_OPTIMIZER_OPTIMIZER_H_
+#define JITS_OPTIMIZER_OPTIMIZER_H_
+
+#include "common/status.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+#include "optimizer/selectivity.h"
+
+namespace jits {
+
+/// The cost-based optimizer: estimates cardinalities through the available
+/// statistics sources and enumerates left-deep plans. Also emits the
+/// estimation records the feedback loop needs (paper Figure 1: "Plan
+/// Generation & Costing" reads the catalog and the QSS archive).
+class Optimizer {
+ public:
+  explicit Optimizer(CostParams cost_params = {}) : cost_model_(cost_params) {}
+
+  /// Optimizes a bound query block against the given statistics sources.
+  Result<PhysicalPlan> Optimize(const QueryBlock& block,
+                                const EstimationSources& sources) const;
+
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  CostModel cost_model_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_OPTIMIZER_OPTIMIZER_H_

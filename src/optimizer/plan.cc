@@ -1,0 +1,75 @@
+#include "optimizer/plan.h"
+
+#include "common/str_util.h"
+#include "storage/table.h"
+
+namespace jits {
+namespace {
+
+std::string PredsToString(const QueryBlock& block, const std::vector<int>& preds) {
+  std::vector<std::string> parts;
+  for (int pi : preds) {
+    const LocalPredicate& p = block.local_preds[static_cast<size_t>(pi)];
+    parts.push_back(p.ToString(*block.tables[static_cast<size_t>(p.table_idx)].table));
+  }
+  return Join(parts, " AND ");
+}
+
+std::string JoinToString(const QueryBlock& block, const JoinPredicate& j) {
+  const TableRef& l = block.tables[static_cast<size_t>(j.left_table)];
+  const TableRef& r = block.tables[static_cast<size_t>(j.right_table)];
+  return StrFormat("%s.%s = %s.%s", l.alias.c_str(),
+                   l.table->schema().column(static_cast<size_t>(j.left_col)).name.c_str(),
+                   r.alias.c_str(),
+                   r.table->schema().column(static_cast<size_t>(j.right_col)).name.c_str());
+}
+
+}  // namespace
+
+std::string PlanNode::Describe(const QueryBlock& block, int indent) const {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out;
+  switch (type) {
+    case Type::kSeqScan:
+    case Type::kIndexScan: {
+      const TableRef& t = block.tables[static_cast<size_t>(table_idx)];
+      if (type == Type::kIndexScan) {
+        out = pad + StrFormat("IndexScan %s (%s) key=%s", t.table->name().c_str(),
+                              t.alias.c_str(),
+                              t.table->schema()
+                                  .column(static_cast<size_t>(index_col))
+                                  .name.c_str());
+      } else {
+        out = pad + StrFormat("SeqScan %s (%s)", t.table->name().c_str(), t.alias.c_str());
+      }
+      if (!pred_indices.empty()) out += " filter: " + PredsToString(block, pred_indices);
+      out += StrFormat("  [rows=%.0f cost=%.0f]", est_rows, est_cost);
+      return out;
+    }
+    case Type::kHashJoin: {
+      out = pad + StrFormat("HashJoin %s  [rows=%.0f cost=%.0f]\n",
+                            JoinToString(block, join).c_str(), est_rows, est_cost);
+      out += left->Describe(block, indent + 1) + "\n";
+      out += right->Describe(block, indent + 1);
+      return out;
+    }
+    case Type::kIndexNLJoin: {
+      const TableRef& t = block.tables[static_cast<size_t>(table_idx)];
+      out = pad + StrFormat("IndexNLJoin %s inner=%s (%s)",
+                            JoinToString(block, join).c_str(), t.table->name().c_str(),
+                            t.alias.c_str());
+      if (!pred_indices.empty()) out += " filter: " + PredsToString(block, pred_indices);
+      out += StrFormat("  [rows=%.0f cost=%.0f]\n", est_rows, est_cost);
+      out += left->Describe(block, indent + 1);
+      return out;
+    }
+  }
+  return out;
+}
+
+std::string PhysicalPlan::ToString(const QueryBlock& block) const {
+  if (root == nullptr) return "(no plan)";
+  return root->Describe(block);
+}
+
+}  // namespace jits

@@ -1,0 +1,61 @@
+#ifndef JITS_OPTIMIZER_PLAN_H_
+#define JITS_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "feedback/feedback.h"
+#include "query/query_block.h"
+
+namespace jits {
+
+/// A physical plan operator. Scans are leaves; joins are left-deep inner
+/// nodes (the right child of a hash join is the build-side access path; an
+/// index nested-loop join's inner side is described inline rather than as a
+/// child, since it is driven by per-tuple index probes).
+struct PlanNode {
+  enum class Type {
+    kSeqScan,     // full scan + residual predicates
+    kIndexScan,   // equality hash-index access + residual predicates
+    kHashJoin,    // left = probe side subplan, right = build side access
+    kIndexNLJoin  // left = outer subplan; inner = base table via join-key index
+  };
+
+  Type type = Type::kSeqScan;
+
+  // Scans (and the inner side of kIndexNLJoin).
+  int table_idx = -1;
+  std::vector<int> pred_indices;  // residual local predicates
+  int index_col = -1;             // kIndexScan: indexed column
+  int index_pred = -1;            // kIndexScan: equality predicate providing the key
+
+  // Joins.
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;                // kHashJoin build side
+  JoinPredicate join;                             // primary equi-join predicate
+  std::vector<JoinPredicate> residual_joins;      // extra join predicates
+
+  // Optimizer annotations.
+  double est_rows = 0;
+  double est_cost = 0;
+
+  bool IsScan() const { return type == Type::kSeqScan || type == Type::kIndexScan; }
+
+  std::string Describe(const QueryBlock& block, int indent = 0) const;
+};
+
+/// The optimizer's output: a plan tree plus the estimation records needed
+/// by the feedback loop (one per table occurrence with local predicates).
+struct PhysicalPlan {
+  std::unique_ptr<PlanNode> root;
+  std::vector<EstimationRecord> estimates;
+  double est_total_cost = 0;
+  double est_result_rows = 0;
+
+  std::string ToString(const QueryBlock& block) const;
+};
+
+}  // namespace jits
+
+#endif  // JITS_OPTIMIZER_PLAN_H_

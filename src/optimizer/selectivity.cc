@@ -1,0 +1,211 @@
+#include "optimizer/selectivity.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "storage/table.h"
+
+namespace jits {
+
+double SelectivityEstimator::CatalogPredicateSelectivity(const Catalog& catalog,
+                                                         const Table& table,
+                                                         const LocalPredicate& pred) {
+  const TableStats* stats = catalog.FindStats(&table);
+  const bool has_col =
+      stats != nullptr && stats->HasColumn(static_cast<size_t>(pred.col_idx));
+  if (!has_col) {
+    if (pred.op == CompareOp::kEq) return DefaultSelectivity::kEquality;
+    if (pred.op == CompareOp::kNe) return DefaultSelectivity::kNotEqual;
+    return DefaultSelectivity::kRange;
+  }
+  const ColumnStats& cs = stats->columns[static_cast<size_t>(pred.col_idx)];
+  if (pred.is_equality) {
+    return cs.EstimateEqualsFraction(pred.eq_key, stats->cardinality);
+  }
+  if (pred.op == CompareOp::kNe) {
+    return std::clamp(1.0 - cs.EstimateEqualsFraction(pred.eq_key, stats->cardinality),
+                      0.0, 1.0);
+  }
+  if (pred.has_interval) {
+    return cs.EstimateRangeFraction(pred.interval.lo, pred.interval.hi);
+  }
+  return DefaultSelectivity::kRange;
+}
+
+std::optional<double> SelectivityEstimator::LookupWholeGroup(
+    int table_idx, const std::vector<int>& pred_indices,
+    std::vector<std::string>* statlist) const {
+  PredicateGroup group;
+  group.table_idx = table_idx;
+  group.pred_indices = pred_indices;
+
+  // 1. Exact measurement from this compilation.
+  if (sources_.exact != nullptr) {
+    const std::string exact_key = group.ExactKey(*block_);
+    auto it = sources_.exact->selectivity.find(exact_key);
+    if (it != sources_.exact->selectivity.end()) {
+      statlist->push_back(group.ColumnSetKey(*block_));
+      return it->second;
+    }
+  }
+
+  // 2./3. Archive and static workload histograms need a box form.
+  std::vector<int> cols;
+  Box box;
+  const bool has_box = group.BuildBox(*block_, &cols, &box);
+  if (has_box) {
+    const std::string key = group.ColumnSetKey(*block_);
+    for (QssArchive* store : {sources_.archive, sources_.static_stats}) {
+      if (store == nullptr) continue;
+      std::optional<double> est = store->EstimateFraction(key, box, sources_.now);
+      if (est.has_value()) {
+        statlist->push_back(key);
+        return est;
+      }
+    }
+  }
+
+  // 4. Catalog statistics cover singletons only.
+  if (pred_indices.size() == 1 && sources_.catalog != nullptr) {
+    const LocalPredicate& pred =
+        block_->local_preds[static_cast<size_t>(pred_indices[0])];
+    const Table& table = *block_->tables[static_cast<size_t>(table_idx)].table;
+    const TableStats* stats = sources_.catalog->FindStats(&table);
+    if (stats != nullptr && stats->HasColumn(static_cast<size_t>(pred.col_idx))) {
+      statlist->push_back(group.ColumnSetKey(*block_));
+      return CatalogPredicateSelectivity(*sources_.catalog, table, pred);
+    }
+  }
+  return std::nullopt;
+}
+
+GroupEstimate SelectivityEstimator::EstimateGroup(int table_idx,
+                                                  std::vector<int> pred_indices) const {
+  std::sort(pred_indices.begin(), pred_indices.end());
+  GroupEstimate out;
+  if (pred_indices.empty()) return out;
+
+  // Whole-group hit: the best case, no assumptions at all.
+  std::optional<double> whole = LookupWholeGroup(table_idx, pred_indices, &out.statlist);
+  if (whole.has_value()) {
+    out.selectivity = std::clamp(*whole, 0.0, 1.0);
+    return out;
+  }
+
+  // Decompose: repeatedly take the largest remaining sub-group with an
+  // available statistic; multiply parts under the independence assumption.
+  std::vector<int> remaining = pred_indices;
+  double selectivity = 1.0;
+  size_t parts = 0;
+  while (!remaining.empty()) {
+    const size_t m = remaining.size();
+    std::optional<double> part;
+    std::vector<int> part_preds;
+    if (m > 1 && m <= 16) {
+      // Subsets by decreasing popcount, skipping the full set (already
+      // tried) on the first pass.
+      for (size_t size = m - 1; size >= 1 && !part.has_value(); --size) {
+        for (uint32_t mask = 1; mask < (1u << m) && !part.has_value(); ++mask) {
+          if (static_cast<size_t>(__builtin_popcount(mask)) != size) continue;
+          std::vector<int> subset;
+          for (size_t i = 0; i < m; ++i) {
+            if (mask & (1u << i)) subset.push_back(remaining[i]);
+          }
+          std::vector<std::string> used;
+          std::optional<double> est = LookupWholeGroup(table_idx, subset, &used);
+          if (est.has_value()) {
+            part = est;
+            part_preds = std::move(subset);
+            for (std::string& k : used) out.statlist.push_back(std::move(k));
+          }
+        }
+        if (size == 1) break;
+      }
+    } else if (m == 1) {
+      std::vector<std::string> used;
+      part = LookupWholeGroup(table_idx, remaining, &used);
+      if (part.has_value()) {
+        part_preds = remaining;
+        for (std::string& k : used) out.statlist.push_back(std::move(k));
+      }
+    }
+
+    if (!part.has_value()) {
+      // No statistic covers anything here: defaults for every leftover.
+      for (int pi : remaining) {
+        const LocalPredicate& p = block_->local_preds[static_cast<size_t>(pi)];
+        double d = DefaultSelectivity::kRange;
+        if (p.op == CompareOp::kEq) d = DefaultSelectivity::kEquality;
+        if (p.op == CompareOp::kNe) d = DefaultSelectivity::kNotEqual;
+        selectivity *= d;
+        ++parts;
+      }
+      out.used_defaults = true;
+      remaining.clear();
+      break;
+    }
+
+    selectivity *= std::clamp(*part, 0.0, 1.0);
+    ++parts;
+    std::vector<int> next;
+    for (int pi : remaining) {
+      if (std::find(part_preds.begin(), part_preds.end(), pi) == part_preds.end()) {
+        next.push_back(pi);
+      }
+    }
+    remaining = std::move(next);
+  }
+  out.used_independence = parts > 1;
+  out.selectivity = std::clamp(selectivity, 0.0, 1.0);
+
+  // LEO-style correction: if this exact (colgrp, statlist) combination has
+  // a recorded errorFactor, undo the systematic error. Only assumption-based
+  // estimates are corrected; measured ones are already right.
+  if (sources_.use_feedback_correction && sources_.history != nullptr &&
+      (out.used_independence || out.used_defaults)) {
+    PredicateGroup group;
+    group.table_idx = table_idx;
+    group.pred_indices = pred_indices;
+    const std::string table_key =
+        ToLower(block_->tables[static_cast<size_t>(table_idx)].table->name());
+    const std::string colgrp = group.ColumnSetKey(*block_);
+    std::vector<std::string> statlist = out.statlist;
+    std::sort(statlist.begin(), statlist.end());
+    for (const StatHistoryEntry* e : sources_.history->EntriesForGroup(table_key, colgrp)) {
+      if (e->statlist != statlist) continue;
+      const double ef = std::clamp(e->error_factor, 0.02, 50.0);
+      out.selectivity = std::clamp(out.selectivity / ef, 0.0, 1.0);
+      out.feedback_corrected = true;
+      break;
+    }
+  }
+  return out;
+}
+
+GroupEstimate SelectivityEstimator::EstimateTableConjunct(int table_idx) const {
+  return EstimateGroup(table_idx, block_->LocalPredIndicesOf(table_idx));
+}
+
+double SelectivityEstimator::EstimateTableCardinality(int table_idx) const {
+  const Table* table = block_->tables[static_cast<size_t>(table_idx)].table;
+  if (sources_.exact != nullptr) {
+    auto it = sources_.exact->cardinality.find(table);
+    if (it != sources_.exact->cardinality.end()) return it->second;
+  }
+  if (sources_.catalog != nullptr) return sources_.catalog->EstimatedCardinality(table);
+  return Catalog::kDefaultCardinality;
+}
+
+double SelectivityEstimator::EstimateJoinColumnDistinct(int table_idx, int col_idx) const {
+  const Table* table = block_->tables[static_cast<size_t>(table_idx)].table;
+  if (sources_.catalog != nullptr) {
+    const TableStats* stats = sources_.catalog->FindStats(table);
+    if (stats != nullptr && stats->HasColumn(static_cast<size_t>(col_idx))) {
+      return std::max(1.0, stats->columns[static_cast<size_t>(col_idx)].distinct);
+    }
+  }
+  // Without statistics assume the column is a key.
+  return std::max(1.0, EstimateTableCardinality(table_idx));
+}
+
+}  // namespace jits

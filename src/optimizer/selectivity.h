@@ -1,0 +1,95 @@
+#ifndef JITS_OPTIMIZER_SELECTIVITY_H_
+#define JITS_OPTIMIZER_SELECTIVITY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/qss_archive.h"
+#include "feedback/stat_history.h"
+#include "query/predicate_group.h"
+#include "query/query_block.h"
+
+namespace jits {
+
+/// Where cardinality knowledge may come from, in decreasing quality:
+/// exact QSS measured for this compilation, the JITS archive, static
+/// pre-collected workload statistics, catalog general statistics, and
+/// finally the System-R default guesses.
+struct EstimationSources {
+  const Catalog* catalog = nullptr;
+  QssArchive* archive = nullptr;       // JITS archive (nullable)
+  QssArchive* static_stats = nullptr;  // pre-collected workload stats (nullable)
+  const QssExact* exact = nullptr;     // current compilation's measurements
+  uint64_t now = 0;
+
+  /// LEO-style correction (Stillger et al., VLDB'01 — the feedback system
+  /// the paper builds on): when the StatHistory holds an errorFactor for
+  /// exactly the (colgrp, statlist) combination an assumption-based
+  /// estimate is about to use, divide the estimate by that factor. Off by
+  /// default; an optional extension over the paper's baseline.
+  const StatHistory* history = nullptr;
+  bool use_feedback_correction = false;
+};
+
+/// Default selectivities used when no statistics apply (System R heritage).
+struct DefaultSelectivity {
+  static constexpr double kEquality = 0.1;
+  static constexpr double kRange = 1.0 / 3.0;
+  static constexpr double kNotEqual = 0.9;
+};
+
+/// An estimate plus its provenance. `statlist` holds the column-set keys of
+/// every real statistic combined into the estimate (empty if it rests on
+/// defaults only) — exactly what the StatHistory records.
+struct GroupEstimate {
+  double selectivity = 1.0;
+  std::vector<std::string> statlist;
+  bool used_defaults = false;
+  bool used_independence = false;  // combined >1 disjoint parts
+  bool feedback_corrected = false;  // LEO-style errorFactor applied
+};
+
+/// Estimates selectivities of predicate groups for one query block,
+/// consulting the sources in precedence order and falling back to
+/// independence across disjoint sub-groups — the paper's estimation model
+/// ("sel(p1^p2^p3) from sel(p1), sel(p2^p3), ...").
+class SelectivityEstimator {
+ public:
+  SelectivityEstimator(const QueryBlock* block, EstimationSources sources)
+      : block_(block), sources_(sources) {}
+
+  /// Estimate for a table occurrence's full local conjunct.
+  GroupEstimate EstimateTableConjunct(int table_idx) const;
+
+  /// Estimate for an arbitrary predicate subset of one table occurrence.
+  GroupEstimate EstimateGroup(int table_idx, std::vector<int> pred_indices) const;
+
+  /// Table cardinality honoring freshly sampled values, then catalog, then
+  /// the default guess.
+  double EstimateTableCardinality(int table_idx) const;
+
+  /// Distinct-value estimate for a join column (catalog, else assume key).
+  double EstimateJoinColumnDistinct(int table_idx, int col_idx) const;
+
+  /// Single-predicate estimate from catalog statistics only (also used by
+  /// UPDATE/DELETE paths).
+  static double CatalogPredicateSelectivity(const Catalog& catalog, const Table& table,
+                                            const LocalPredicate& pred);
+
+ private:
+  /// Looks the group up as a whole (no decomposition): exact -> archive ->
+  /// static stats -> (singletons only) catalog. Returns the selectivity and
+  /// appends the used stat key to `statlist`.
+  std::optional<double> LookupWholeGroup(int table_idx,
+                                         const std::vector<int>& pred_indices,
+                                         std::vector<std::string>* statlist) const;
+
+  const QueryBlock* block_;
+  EstimationSources sources_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_OPTIMIZER_SELECTIVITY_H_

@@ -1,0 +1,84 @@
+#include "query/predicate.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+#include "storage/table.h"
+
+namespace jits {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kBetween:
+      return "BETWEEN";
+  }
+  return "?";
+}
+
+bool LocalPredicate::Normalize(const Table& table) {
+  const Column& column = table.column(static_cast<size_t>(col_idx));
+  const bool discrete =
+      column.type() == DataType::kInt64 || column.type() == DataType::kString;
+  const double k1 = column.KeyForConstant(v1);
+  // One key unit separates adjacent values in discrete key spaces.
+  const double step = discrete ? 1.0 : 0.0;
+
+  has_interval = true;
+  is_equality = false;
+  switch (op) {
+    case CompareOp::kEq:
+      interval = Interval::Range(k1, k1 + (discrete ? 1.0 : 0.0));
+      if (!discrete) interval.hi = std::nextafter(k1, INFINITY);
+      is_equality = discrete;
+      eq_key = k1;
+      break;
+    case CompareOp::kNe:
+      has_interval = false;
+      eq_key = k1;
+      break;
+    case CompareOp::kLt:
+      interval = Interval{-INFINITY, k1};
+      break;
+    case CompareOp::kLe:
+      interval = Interval{-INFINITY, k1 + step};
+      if (!discrete) interval.hi = std::nextafter(k1, INFINITY);
+      break;
+    case CompareOp::kGt:
+      interval = Interval{k1 + step, INFINITY};
+      if (!discrete) interval.lo = std::nextafter(k1, INFINITY);
+      break;
+    case CompareOp::kGe:
+      interval = Interval{k1, INFINITY};
+      break;
+    case CompareOp::kBetween: {
+      const double k2 = column.KeyForConstant(v2);
+      interval = Interval{k1, k2 + step};
+      if (!discrete) interval.hi = std::nextafter(k2, INFINITY);
+      break;
+    }
+  }
+  return has_interval;
+}
+
+std::string LocalPredicate::ToString(const Table& table) const {
+  const std::string& col = table.schema().column(static_cast<size_t>(col_idx)).name;
+  if (op == CompareOp::kBetween) {
+    return StrFormat("%s BETWEEN %s AND %s", col.c_str(), v1.ToString().c_str(),
+                     v2.ToString().c_str());
+  }
+  return StrFormat("%s %s %s", col.c_str(), CompareOpName(op), v1.ToString().c_str());
+}
+
+}  // namespace jits

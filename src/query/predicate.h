@@ -1,0 +1,66 @@
+#ifndef JITS_QUERY_PREDICATE_H_
+#define JITS_QUERY_PREDICATE_H_
+
+#include <string>
+
+#include "common/value.h"
+#include "histogram/box.h"
+
+namespace jits {
+
+class Table;
+
+/// Comparison operators appearing in WHERE conjuncts.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kBetween,  // inclusive on both ends (SQL semantics)
+};
+
+const char* CompareOpName(CompareOp op);
+
+/// A local (single-table) predicate `column op constant`, bound to a table
+/// occurrence in a query block.
+///
+/// Besides the SQL form, the binder computes the normalized half-open
+/// interval in the column's numeric key space, which is what histograms,
+/// the QSS machinery and predicate evaluation consume:
+///   int/string:  a = 5      -> [5, 6)
+///                a > 5      -> [6, +inf)
+///   double:      a > 5.0    -> [5.0, +inf)   (measure-zero boundary)
+/// kNe has no interval form; it is estimated as 1 - eq and excluded from
+/// histogram constraints.
+struct LocalPredicate {
+  int table_idx = -1;  // index into QueryBlock::tables
+  int col_idx = -1;
+  CompareOp op = CompareOp::kEq;
+  Value v1;
+  Value v2;  // BETWEEN upper bound
+
+  Interval interval;           // normalized key-space interval (not for kNe)
+  bool has_interval = false;   // false for kNe or unmappable constants
+  bool is_equality = false;    // kEq on a discrete column
+  double eq_key = 0;           // key for is_equality
+
+  /// Computes interval/eq_key for this predicate against the bound column.
+  /// Returns false for operators without an interval form (kNe).
+  bool Normalize(const Table& table);
+
+  std::string ToString(const Table& table) const;
+};
+
+/// An equi-join predicate `t1.c1 = t2.c2` between two table occurrences.
+struct JoinPredicate {
+  int left_table = -1;
+  int left_col = -1;
+  int right_table = -1;
+  int right_col = -1;
+};
+
+}  // namespace jits
+
+#endif  // JITS_QUERY_PREDICATE_H_

@@ -1,0 +1,77 @@
+#include "query/predicate_group.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+#include "storage/table.h"
+
+namespace jits {
+
+std::vector<int> PredicateGroup::ColumnIndices(const QueryBlock& block) const {
+  const Table* table = block.tables[static_cast<size_t>(table_idx)].table;
+  std::set<int> cols;
+  for (int pi : pred_indices) {
+    cols.insert(block.local_preds[static_cast<size_t>(pi)].col_idx);
+  }
+  // Order by column *name* so the dimension order matches the canonical
+  // column-set key and the dimension order of archive histograms.
+  std::vector<int> out(cols.begin(), cols.end());
+  std::sort(out.begin(), out.end(), [&](int a, int b) {
+    return ToLower(table->schema().column(static_cast<size_t>(a)).name) <
+           ToLower(table->schema().column(static_cast<size_t>(b)).name);
+  });
+  return out;
+}
+
+std::string ColumnSetKeyFor(const QueryBlock& block, int table_idx,
+                            const std::vector<int>& pred_indices) {
+  const Table* table = block.tables[static_cast<size_t>(table_idx)].table;
+  std::set<std::string> names;
+  for (int pi : pred_indices) {
+    const LocalPredicate& p = block.local_preds[static_cast<size_t>(pi)];
+    names.insert(ToLower(table->schema().column(static_cast<size_t>(p.col_idx)).name));
+  }
+  std::string out = ToLower(table->name()) + "(";
+  bool first = true;
+  for (const std::string& n : names) {
+    if (!first) out += ",";
+    out += n;
+    first = false;
+  }
+  out += ")";
+  return out;
+}
+
+std::string PredicateGroup::ColumnSetKey(const QueryBlock& block) const {
+  return ColumnSetKeyFor(block, table_idx, pred_indices);
+}
+
+std::string PredicateGroup::ExactKey(const QueryBlock& block) const {
+  std::string out = ColumnSetKey(block) + "|";
+  std::vector<int> sorted = pred_indices;
+  std::sort(sorted.begin(), sorted.end());
+  for (int pi : sorted) {
+    const LocalPredicate& p = block.local_preds[static_cast<size_t>(pi)];
+    out += StrFormat("[%d:%g,%g)", p.col_idx, p.interval.lo, p.interval.hi);
+  }
+  return out;
+}
+
+bool PredicateGroup::BuildBox(const QueryBlock& block, std::vector<int>* col_indices,
+                              Box* box) const {
+  std::vector<int> cols = ColumnIndices(block);
+  Box out(cols.size(), Interval::All());
+  for (int pi : pred_indices) {
+    const LocalPredicate& p = block.local_preds[static_cast<size_t>(pi)];
+    if (!p.has_interval) return false;
+    const auto it = std::find(cols.begin(), cols.end(), p.col_idx);
+    const size_t dim = static_cast<size_t>(it - cols.begin());
+    out[dim] = out[dim].Clamp(p.interval);
+  }
+  *col_indices = std::move(cols);
+  *box = std::move(out);
+  return true;
+}
+
+}  // namespace jits

@@ -1,0 +1,47 @@
+#ifndef JITS_QUERY_PREDICATE_GROUP_H_
+#define JITS_QUERY_PREDICATE_GROUP_H_
+
+#include <string>
+#include <vector>
+
+#include "histogram/box.h"
+#include "query/query_block.h"
+
+namespace jits {
+
+/// A group of local predicates on one table occurrence — the unit of
+/// query-specific statistics (paper §3.2). The candidate set produced by
+/// query analysis is every non-empty subset of a table's local predicates.
+struct PredicateGroup {
+  int table_idx = -1;
+  std::vector<int> pred_indices;  // sorted indices into block.local_preds
+
+  /// Canonical statistics key: "<table>(<sorted column names>)". Two
+  /// different predicate groups over the same column set share histograms
+  /// but not measured selectivities.
+  std::string ColumnSetKey(const QueryBlock& block) const;
+
+  /// Canonical key including the concrete predicate intervals — identifies
+  /// the exact measured selectivity within one compilation.
+  std::string ExactKey(const QueryBlock& block) const;
+
+  /// Sorted, de-duplicated column indices touched by the group.
+  std::vector<int> ColumnIndices(const QueryBlock& block) const;
+
+  /// The group's axis-aligned box: one interval per column (intersecting
+  /// multiple predicates on the same column). Columns follow
+  /// ColumnIndices() order. Returns false if any member predicate has no
+  /// interval form (kNe).
+  bool BuildBox(const QueryBlock& block, std::vector<int>* col_indices, Box* box) const;
+
+  size_t size() const { return pred_indices.size(); }
+};
+
+/// Helper shared by JITS and the estimator: the key for an arbitrary
+/// predicate-index subset.
+std::string ColumnSetKeyFor(const QueryBlock& block, int table_idx,
+                            const std::vector<int>& pred_indices);
+
+}  // namespace jits
+
+#endif  // JITS_QUERY_PREDICATE_GROUP_H_

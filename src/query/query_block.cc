@@ -1,0 +1,57 @@
+#include "query/query_block.h"
+
+#include "common/str_util.h"
+#include "storage/table.h"
+
+namespace jits {
+
+std::vector<int> QueryBlock::LocalPredIndicesOf(int table_idx) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < local_preds.size(); ++i) {
+    if (local_preds[i].table_idx == table_idx) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+bool QueryBlock::JoinGraphConnected() const {
+  if (tables.size() <= 1) return true;
+  std::vector<bool> reached(tables.size(), false);
+  std::vector<int> stack = {0};
+  reached[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    const int t = stack.back();
+    stack.pop_back();
+    for (const JoinPredicate& j : join_preds) {
+      int other = -1;
+      if (j.left_table == t) other = j.right_table;
+      if (j.right_table == t) other = j.left_table;
+      if (other >= 0 && !reached[static_cast<size_t>(other)]) {
+        reached[static_cast<size_t>(other)] = true;
+        ++count;
+        stack.push_back(other);
+      }
+    }
+  }
+  return count == tables.size();
+}
+
+std::string QueryBlock::ToString() const {
+  std::string out = "QueryBlock tables=[";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tables[i].table->name();
+    if (!tables[i].alias.empty()) out += " " + tables[i].alias;
+  }
+  out += "] preds=[";
+  for (size_t i = 0; i < local_preds.size(); ++i) {
+    if (i > 0) out += " AND ";
+    const LocalPredicate& p = local_preds[i];
+    out += tables[static_cast<size_t>(p.table_idx)].alias + "." +
+           p.ToString(*tables[static_cast<size_t>(p.table_idx)].table);
+  }
+  out += "] joins=" + StrFormat("%zu", join_preds.size());
+  return out;
+}
+
+}  // namespace jits

@@ -1,0 +1,80 @@
+#ifndef JITS_QUERY_QUERY_BLOCK_H_
+#define JITS_QUERY_QUERY_BLOCK_H_
+
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+
+namespace jits {
+
+class Table;
+
+/// One table occurrence in a query block (a table may appear twice under
+/// different aliases).
+struct TableRef {
+  Table* table = nullptr;
+  std::string alias;  // lower-cased; defaults to the table name
+};
+
+/// Aggregate functions supported in the select list.
+enum class AggFunc {
+  kNone,   // plain column reference
+  kCount,  // COUNT(*) — no argument column
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+/// Projection item: a bound column reference, optionally wrapped in an
+/// aggregate (COUNT(*) carries no column).
+struct OutputColumn {
+  int table_idx = -1;
+  int col_idx = -1;
+  AggFunc func = AggFunc::kNone;
+};
+
+/// Bound ORDER BY key.
+struct OrderByKey {
+  int table_idx = -1;
+  int col_idx = -1;
+  bool descending = false;
+};
+
+/// A bound SPJ (select-project-join) query block — the unit the optimizer
+/// and JITS operate on (the paper collects predicate groups per block since
+/// optimization is intra-block).
+struct QueryBlock {
+  std::vector<TableRef> tables;
+  std::vector<LocalPredicate> local_preds;
+  std::vector<JoinPredicate> join_preds;
+  std::vector<OutputColumn> outputs;
+  std::vector<OutputColumn> group_by;  // grouping keys (func always kNone)
+  std::vector<OrderByKey> order_by;
+  int64_t limit = -1;  // -1 = unlimited
+  bool distinct = false;      // SELECT DISTINCT: dedupe projected rows
+  bool explain_only = false;  // EXPLAIN: compile, don't execute
+
+  /// True if the select list aggregates (with or without GROUP BY).
+  bool IsAggregate() const {
+    if (!group_by.empty()) return true;
+    for (const OutputColumn& out : outputs) {
+      if (out.func != AggFunc::kNone) return true;
+    }
+    return false;
+  }
+
+  /// Indices (into local_preds) of the predicates local to table occurrence
+  /// `table_idx`.
+  std::vector<int> LocalPredIndicesOf(int table_idx) const;
+
+  /// True if the join graph connects all tables (no cross products).
+  bool JoinGraphConnected() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace jits
+
+#endif  // JITS_QUERY_QUERY_BLOCK_H_

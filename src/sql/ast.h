@@ -1,0 +1,98 @@
+#ifndef JITS_SQL_AST_H_
+#define JITS_SQL_AST_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+#include "query/predicate.h"
+#include "query/query_block.h"
+
+namespace jits {
+
+/// Possibly-qualified column reference: [qualifier.]column.
+struct ColumnRefAst {
+  std::string qualifier;  // table name or alias; empty if unqualified
+  std::string column;
+};
+
+/// One select-list item: a column, or an aggregate over a column
+/// (COUNT(*) has no argument column).
+struct SelectItemAst {
+  AggFunc func = AggFunc::kNone;
+  ColumnRefAst column;
+};
+
+/// One WHERE conjunct: either `col op literal` / `col BETWEEN a AND b`
+/// (local) or `col = col` (equi-join).
+struct PredicateAst {
+  ColumnRefAst lhs;
+  CompareOp op = CompareOp::kEq;
+  bool is_join = false;
+  ColumnRefAst rhs_column;  // when is_join
+  Value v1;
+  Value v2;  // BETWEEN upper bound
+};
+
+struct TableRefAst {
+  std::string table;
+  std::string alias;  // empty if none
+};
+
+struct OrderByAst {
+  ColumnRefAst column;
+  bool descending = false;
+};
+
+struct SelectAst {
+  bool distinct = false;    // SELECT DISTINCT
+  bool select_all = false;  // SELECT *
+  std::vector<SelectItemAst> items;
+  std::vector<TableRefAst> from;
+  std::vector<PredicateAst> where;
+  std::vector<ColumnRefAst> group_by;
+  std::vector<OrderByAst> order_by;
+  int64_t limit = -1;  // -1 = no LIMIT
+};
+
+/// EXPLAIN <select>: compile only, return the plan rendering.
+struct ExplainAst {
+  SelectAst select;
+};
+
+/// ANALYZE [table]: collect general statistics (RUNSTATS) on one table or,
+/// with no argument, on every table.
+struct AnalyzeAst {
+  std::string table;  // empty = all tables
+};
+
+struct InsertAst {
+  std::string table;
+  std::vector<Value> values;
+};
+
+struct UpdateAst {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> assignments;
+  std::vector<PredicateAst> where;
+};
+
+struct DeleteAst {
+  std::string table;
+  std::vector<PredicateAst> where;
+};
+
+struct CreateTableAst {
+  std::string table;
+  std::vector<ColumnDef> columns;
+};
+
+using StatementAst =
+    std::variant<SelectAst, InsertAst, UpdateAst, DeleteAst, CreateTableAst, ExplainAst,
+                 AnalyzeAst>;
+
+}  // namespace jits
+
+#endif  // JITS_SQL_AST_H_

@@ -1,0 +1,262 @@
+#include "sql/binder.h"
+
+#include "common/str_util.h"
+
+namespace jits {
+namespace {
+
+/// Resolves a (possibly qualified) column reference against the block's
+/// table occurrences. Unqualified names must be unambiguous.
+Status ResolveColumn(const QueryBlock& block, const ColumnRefAst& ref, int* table_idx,
+                     int* col_idx) {
+  const std::string qualifier = ToLower(ref.qualifier);
+  int found_table = -1;
+  int found_col = -1;
+  for (size_t t = 0; t < block.tables.size(); ++t) {
+    const TableRef& tr = block.tables[t];
+    if (!qualifier.empty() && tr.alias != qualifier) continue;
+    const int c = tr.table->schema().FindColumn(ref.column);
+    if (c < 0) continue;
+    if (found_table >= 0) {
+      return Status::BindError("ambiguous column reference: " + ref.column);
+    }
+    found_table = static_cast<int>(t);
+    found_col = c;
+  }
+  if (found_table < 0) {
+    return Status::BindError(StrFormat(
+        "column %s%s%s not found", ref.qualifier.c_str(),
+        ref.qualifier.empty() ? "" : ".", ref.column.c_str()));
+  }
+  *table_idx = found_table;
+  *col_idx = found_col;
+  return Status::OK();
+}
+
+Status CheckLiteral(const Table& table, int col_idx, const Value& v) {
+  const ColumnDef& def = table.schema().column(static_cast<size_t>(col_idx));
+  if (!v.CompatibleWith(def.type) || v.is_null()) {
+    return Status::BindError(StrFormat("literal %s incompatible with %s.%s (%s)",
+                                       v.ToString().c_str(), table.name().c_str(),
+                                       def.name.c_str(), DataTypeName(def.type)));
+  }
+  return Status::OK();
+}
+
+Result<BoundStatement> BindSelect(const SelectAst& ast, Catalog* catalog) {
+  QueryBlock block;
+  for (const TableRefAst& t : ast.from) {
+    Table* table = catalog->FindTable(t.table);
+    if (table == nullptr) return Status::BindError("unknown table " + t.table);
+    TableRef ref;
+    ref.table = table;
+    ref.alias = ToLower(t.alias.empty() ? t.table : t.alias);
+    for (const TableRef& existing : block.tables) {
+      if (existing.alias == ref.alias) {
+        return Status::BindError("duplicate table alias " + ref.alias);
+      }
+    }
+    block.tables.push_back(ref);
+  }
+
+  if (ast.select_all) {
+    for (size_t t = 0; t < block.tables.size(); ++t) {
+      const Schema& schema = block.tables[t].table->schema();
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        block.outputs.push_back({static_cast<int>(t), static_cast<int>(c)});
+      }
+    }
+  } else {
+    for (const SelectItemAst& item : ast.items) {
+      OutputColumn out;
+      out.func = item.func;
+      if (item.func != AggFunc::kCount) {
+        JITS_RETURN_IF_ERROR(
+            ResolveColumn(block, item.column, &out.table_idx, &out.col_idx));
+        if (item.func == AggFunc::kSum || item.func == AggFunc::kAvg) {
+          const DataType type = block.tables[static_cast<size_t>(out.table_idx)]
+                                    .table->schema()
+                                    .column(static_cast<size_t>(out.col_idx))
+                                    .type;
+          if (type == DataType::kString) {
+            return Status::BindError("SUM/AVG require a numeric column");
+          }
+        }
+      }
+      block.outputs.push_back(out);
+    }
+  }
+  for (const ColumnRefAst& key : ast.group_by) {
+    OutputColumn out;
+    JITS_RETURN_IF_ERROR(ResolveColumn(block, key, &out.table_idx, &out.col_idx));
+    block.group_by.push_back(out);
+  }
+  if (block.IsAggregate()) {
+    // Every plain output column must be one of the grouping keys.
+    for (const OutputColumn& out : block.outputs) {
+      if (out.func != AggFunc::kNone) continue;
+      bool grouped = false;
+      for (const OutputColumn& key : block.group_by) {
+        if (key.table_idx == out.table_idx && key.col_idx == out.col_idx) {
+          grouped = true;
+          break;
+        }
+      }
+      if (!grouped) {
+        return Status::BindError(
+            "non-aggregated select column must appear in GROUP BY");
+      }
+    }
+  }
+
+  for (const PredicateAst& p : ast.where) {
+    int lt = -1;
+    int lc = -1;
+    JITS_RETURN_IF_ERROR(ResolveColumn(block, p.lhs, &lt, &lc));
+    if (p.is_join) {
+      int rt = -1;
+      int rc = -1;
+      JITS_RETURN_IF_ERROR(ResolveColumn(block, p.rhs_column, &rt, &rc));
+      if (lt == rt) {
+        return Status::BindError("join predicate must reference two tables");
+      }
+      const Table& ltab = *block.tables[static_cast<size_t>(lt)].table;
+      const Table& rtab = *block.tables[static_cast<size_t>(rt)].table;
+      if (ltab.schema().column(static_cast<size_t>(lc)).type != DataType::kInt64 ||
+          rtab.schema().column(static_cast<size_t>(rc)).type != DataType::kInt64) {
+        return Status::BindError("join columns must be INT");
+      }
+      block.join_preds.push_back({lt, lc, rt, rc});
+    } else {
+      const Table& table = *block.tables[static_cast<size_t>(lt)].table;
+      JITS_RETURN_IF_ERROR(CheckLiteral(table, lc, p.v1));
+      if (p.op == CompareOp::kBetween) JITS_RETURN_IF_ERROR(CheckLiteral(table, lc, p.v2));
+      LocalPredicate pred;
+      pred.table_idx = lt;
+      pred.col_idx = lc;
+      pred.op = p.op;
+      pred.v1 = p.v1;
+      pred.v2 = p.v2;
+      pred.Normalize(table);
+      block.local_preds.push_back(std::move(pred));
+    }
+  }
+  for (const OrderByAst& order : ast.order_by) {
+    OrderByKey key;
+    JITS_RETURN_IF_ERROR(
+        ResolveColumn(block, order.column, &key.table_idx, &key.col_idx));
+    key.descending = order.descending;
+    if (block.IsAggregate()) {
+      bool grouped = false;
+      for (const OutputColumn& g : block.group_by) {
+        if (g.table_idx == key.table_idx && g.col_idx == key.col_idx) {
+          grouped = true;
+          break;
+        }
+      }
+      if (!grouped) {
+        return Status::BindError("ORDER BY under GROUP BY must use grouping keys");
+      }
+    }
+    block.order_by.push_back(key);
+  }
+  block.limit = ast.limit;
+  block.distinct = ast.distinct;
+  if (!block.JoinGraphConnected()) {
+    return Status::BindError("cross products are not supported: join graph disconnected");
+  }
+  return BoundStatement(std::move(block));
+}
+
+Result<std::vector<LocalPredicate>> BindSingleTablePreds(
+    const std::vector<PredicateAst>& where, Table* table) {
+  QueryBlock scratch;
+  scratch.tables.push_back({table, ToLower(table->name())});
+  std::vector<LocalPredicate> out;
+  for (const PredicateAst& p : where) {
+    if (p.is_join) return Status::BindError("join predicates not allowed here");
+    int lt = -1;
+    int lc = -1;
+    JITS_RETURN_IF_ERROR(ResolveColumn(scratch, p.lhs, &lt, &lc));
+    JITS_RETURN_IF_ERROR(CheckLiteral(*table, lc, p.v1));
+    if (p.op == CompareOp::kBetween) JITS_RETURN_IF_ERROR(CheckLiteral(*table, lc, p.v2));
+    LocalPredicate pred;
+    pred.table_idx = 0;
+    pred.col_idx = lc;
+    pred.op = p.op;
+    pred.v1 = p.v1;
+    pred.v2 = p.v2;
+    pred.Normalize(*table);
+    out.push_back(std::move(pred));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BoundStatement> Bind(const StatementAst& ast, Catalog* catalog) {
+  if (const auto* select = std::get_if<SelectAst>(&ast)) {
+    return BindSelect(*select, catalog);
+  }
+  if (const auto* insert = std::get_if<InsertAst>(&ast)) {
+    Table* table = catalog->FindTable(insert->table);
+    if (table == nullptr) return Status::BindError("unknown table " + insert->table);
+    if (insert->values.size() != table->schema().num_columns()) {
+      return Status::BindError(StrFormat("INSERT expects %zu values, got %zu",
+                                         table->schema().num_columns(),
+                                         insert->values.size()));
+    }
+    BoundInsert bound;
+    bound.table = table;
+    bound.row = insert->values;
+    for (size_t i = 0; i < bound.row.size(); ++i) {
+      JITS_RETURN_IF_ERROR(CheckLiteral(*table, static_cast<int>(i), bound.row[i]));
+    }
+    return BoundStatement(std::move(bound));
+  }
+  if (const auto* update = std::get_if<UpdateAst>(&ast)) {
+    Table* table = catalog->FindTable(update->table);
+    if (table == nullptr) return Status::BindError("unknown table " + update->table);
+    BoundUpdate bound;
+    bound.table = table;
+    for (const auto& [col, value] : update->assignments) {
+      const int c = table->schema().FindColumn(col);
+      if (c < 0) return Status::BindError("unknown column " + col);
+      JITS_RETURN_IF_ERROR(CheckLiteral(*table, c, value));
+      bound.assignments.emplace_back(c, value);
+    }
+    Result<std::vector<LocalPredicate>> preds = BindSingleTablePreds(update->where, table);
+    if (!preds.ok()) return preds.status();
+    bound.preds = std::move(preds).value();
+    return BoundStatement(std::move(bound));
+  }
+  if (const auto* del = std::get_if<DeleteAst>(&ast)) {
+    Table* table = catalog->FindTable(del->table);
+    if (table == nullptr) return Status::BindError("unknown table " + del->table);
+    BoundDelete bound;
+    bound.table = table;
+    Result<std::vector<LocalPredicate>> preds = BindSingleTablePreds(del->where, table);
+    if (!preds.ok()) return preds.status();
+    bound.preds = std::move(preds).value();
+    return BoundStatement(std::move(bound));
+  }
+  if (const auto* create = std::get_if<CreateTableAst>(&ast)) {
+    return BoundStatement(*create);
+  }
+  if (const auto* analyze = std::get_if<AnalyzeAst>(&ast)) {
+    if (!analyze->table.empty() && catalog->FindTable(analyze->table) == nullptr) {
+      return Status::BindError("unknown table " + analyze->table);
+    }
+    return BoundStatement(*analyze);
+  }
+  if (const auto* explain = std::get_if<ExplainAst>(&ast)) {
+    Result<BoundStatement> inner = BindSelect(explain->select, catalog);
+    if (!inner.ok()) return inner.status();
+    QueryBlock block = std::get<QueryBlock>(std::move(inner).value());
+    block.explain_only = true;
+    return BoundStatement(std::move(block));
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+}  // namespace jits

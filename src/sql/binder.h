@@ -1,0 +1,40 @@
+#ifndef JITS_SQL_BINDER_H_
+#define JITS_SQL_BINDER_H_
+
+#include <variant>
+
+#include "catalog/catalog.h"
+#include "query/query_block.h"
+#include "sql/ast.h"
+
+namespace jits {
+
+struct BoundInsert {
+  Table* table = nullptr;
+  Row row;
+};
+
+struct BoundUpdate {
+  Table* table = nullptr;
+  std::vector<std::pair<int, Value>> assignments;  // (col_idx, value)
+  std::vector<LocalPredicate> preds;               // table_idx fixed to 0
+};
+
+struct BoundDelete {
+  Table* table = nullptr;
+  std::vector<LocalPredicate> preds;
+};
+
+using BoundStatement =
+    std::variant<QueryBlock, BoundInsert, BoundUpdate, BoundDelete, CreateTableAst,
+                 AnalyzeAst>;
+
+/// Resolves an AST against the catalog: table/column lookup, alias scoping,
+/// literal type checking, and predicate normalization into key-space
+/// intervals. This plays the role of the paper's parse+rewrite front end:
+/// the output QueryBlock is what the optimizer and JITS consume.
+Result<BoundStatement> Bind(const StatementAst& ast, Catalog* catalog);
+
+}  // namespace jits
+
+#endif  // JITS_SQL_BINDER_H_

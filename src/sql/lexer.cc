@@ -1,0 +1,150 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace jits {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto is_ident_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto is_ident = [&](char c) {
+    return is_ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.position = i;
+    if (is_ident_start(c)) {
+      size_t j = i;
+      while (j < n && is_ident(sql[j])) ++j;
+      t.type = TokenType::kIdentifier;
+      t.text = sql.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) || sql[j] == '.')) {
+        if (sql[j] == '.') is_float = true;
+        ++j;
+      }
+      const std::string text = sql.substr(i, j - i);
+      if (is_float) {
+        t.type = TokenType::kFloat;
+        t.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.type = TokenType::kInteger;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      t.text = text;
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string text;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // escaped quote
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text += sql[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError(StrFormat("unterminated string at offset %zu", i));
+      }
+      t.type = TokenType::kString;
+      t.text = std::move(text);
+      i = j;
+    } else {
+      switch (c) {
+        case ',':
+          t.type = TokenType::kComma;
+          ++i;
+          break;
+        case '(':
+          t.type = TokenType::kLParen;
+          ++i;
+          break;
+        case ')':
+          t.type = TokenType::kRParen;
+          ++i;
+          break;
+        case '.':
+          t.type = TokenType::kDot;
+          ++i;
+          break;
+        case '*':
+          t.type = TokenType::kStar;
+          ++i;
+          break;
+        case ';':
+          t.type = TokenType::kSemicolon;
+          ++i;
+          break;
+        case '=':
+          t.type = TokenType::kEq;
+          ++i;
+          break;
+        case '!':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            t.type = TokenType::kNe;
+            i += 2;
+          } else {
+            return Status::ParseError(StrFormat("unexpected '!' at offset %zu", i));
+          }
+          break;
+        case '<':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            t.type = TokenType::kLe;
+            i += 2;
+          } else if (i + 1 < n && sql[i + 1] == '>') {
+            t.type = TokenType::kNe;
+            i += 2;
+          } else {
+            t.type = TokenType::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            t.type = TokenType::kGe;
+            i += 2;
+          } else {
+            t.type = TokenType::kGt;
+            ++i;
+          }
+          break;
+        default:
+          return Status::ParseError(
+              StrFormat("unexpected character '%c' at offset %zu", c, i));
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace jits

@@ -1,0 +1,17 @@
+#ifndef JITS_SQL_LEXER_H_
+#define JITS_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace jits {
+
+/// Tokenizes a SQL string. The token stream always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace jits
+
+#endif  // JITS_SQL_LEXER_H_

@@ -1,0 +1,405 @@
+#include "sql/parser.h"
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace jits {
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<StatementAst> Parse() {
+    if (IsKeyword("EXPLAIN")) {
+      Advance();
+      if (!IsKeyword("SELECT")) return Error("EXPLAIN expects a SELECT");
+      Result<StatementAst> inner = ParseSelect();
+      if (!inner.ok()) return inner.status();
+      ExplainAst explain;
+      explain.select = std::get<SelectAst>(std::move(inner).value());
+      return StatementAst(std::move(explain));
+    }
+    if (IsKeyword("ANALYZE")) {
+      Advance();
+      AnalyzeAst analyze;
+      if (Peek().type == TokenType::kIdentifier) analyze.table = Advance().text;
+      JITS_RETURN_IF_ERROR(ExpectStatementEnd());
+      return StatementAst(std::move(analyze));
+    }
+    if (IsKeyword("SELECT")) return ParseSelect();
+    if (IsKeyword("INSERT")) return ParseInsert();
+    if (IsKeyword("UPDATE")) return ParseUpdate();
+    if (IsKeyword("DELETE")) return ParseDelete();
+    if (IsKeyword("CREATE")) return ParseCreate();
+    return Error("expected SELECT, INSERT, UPDATE, DELETE, CREATE, EXPLAIN or ANALYZE");
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAhead(size_t k) const {
+    return tokens_[std::min(pos_ + k, tokens_.size() - 1)];
+  }
+  Token Advance() { return tokens_[pos_++]; }
+
+  bool IsKeyword(const char* kw) const {
+    return Peek().type == TokenType::kIdentifier && EqualsIgnoreCase(Peek().text, kw);
+  }
+
+  bool MatchKeyword(const char* kw) {
+    if (!IsKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+
+  bool Match(TokenType type) {
+    if (Peek().type != type) return false;
+    Advance();
+    return true;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(
+        StrFormat("%s near '%s' (offset %zu)", what.c_str(), Peek().ToString().c_str(),
+                  Peek().position));
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) return Error(StrFormat("expected %s", kw));
+    return Status::OK();
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (!Match(type)) return Error(StrFormat("expected %s", what));
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error(StrFormat("expected %s", what));
+    }
+    return Advance().text;
+  }
+
+  Result<Value> ExpectLiteral() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger:
+        return Value(Advance().int_value);
+      case TokenType::kFloat:
+        return Value(Advance().float_value);
+      case TokenType::kString:
+        return Value(Advance().text);
+      default:
+        return Error("expected literal");
+    }
+  }
+
+  Result<ColumnRefAst> ParseColumnRef() {
+    Result<std::string> first = ExpectIdentifier("column");
+    if (!first.ok()) return first.status();
+    ColumnRefAst ref;
+    if (Match(TokenType::kDot)) {
+      Result<std::string> second = ExpectIdentifier("column after '.'");
+      if (!second.ok()) return second.status();
+      ref.qualifier = first.value();
+      ref.column = second.value();
+    } else {
+      ref.column = first.value();
+    }
+    return ref;
+  }
+
+  Result<std::vector<PredicateAst>> ParseWhere() {
+    std::vector<PredicateAst> preds;
+    if (!MatchKeyword("WHERE")) return preds;
+    while (true) {
+      Result<PredicateAst> p = ParsePredicate();
+      if (!p.ok()) return p.status();
+      preds.push_back(std::move(p).value());
+      if (!MatchKeyword("AND")) break;
+    }
+    return preds;
+  }
+
+  Result<PredicateAst> ParsePredicate() {
+    Result<ColumnRefAst> lhs = ParseColumnRef();
+    if (!lhs.ok()) return lhs.status();
+    PredicateAst pred;
+    pred.lhs = std::move(lhs).value();
+
+    if (MatchKeyword("BETWEEN")) {
+      pred.op = CompareOp::kBetween;
+      Result<Value> v1 = ExpectLiteral();
+      if (!v1.ok()) return v1.status();
+      JITS_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      Result<Value> v2 = ExpectLiteral();
+      if (!v2.ok()) return v2.status();
+      pred.v1 = std::move(v1).value();
+      pred.v2 = std::move(v2).value();
+      return pred;
+    }
+
+    switch (Peek().type) {
+      case TokenType::kEq:
+        pred.op = CompareOp::kEq;
+        break;
+      case TokenType::kNe:
+        pred.op = CompareOp::kNe;
+        break;
+      case TokenType::kLt:
+        pred.op = CompareOp::kLt;
+        break;
+      case TokenType::kLe:
+        pred.op = CompareOp::kLe;
+        break;
+      case TokenType::kGt:
+        pred.op = CompareOp::kGt;
+        break;
+      case TokenType::kGe:
+        pred.op = CompareOp::kGe;
+        break;
+      default:
+        return Error("expected comparison operator");
+    }
+    Advance();
+
+    if (Peek().type == TokenType::kIdentifier) {
+      if (pred.op != CompareOp::kEq) {
+        return Error("join predicates must use '='");
+      }
+      Result<ColumnRefAst> rhs = ParseColumnRef();
+      if (!rhs.ok()) return rhs.status();
+      pred.is_join = true;
+      pred.rhs_column = std::move(rhs).value();
+      return pred;
+    }
+    Result<Value> v = ExpectLiteral();
+    if (!v.ok()) return v.status();
+    pred.v1 = std::move(v).value();
+    return pred;
+  }
+
+  Status ExpectStatementEnd() {
+    Match(TokenType::kSemicolon);
+    if (Peek().type != TokenType::kEnd) return Error("unexpected trailing input");
+    return Status::OK();
+  }
+
+  /// Returns the aggregate function named by the current token when it is
+  /// followed by '(' (otherwise kNone, leaving the cursor untouched).
+  AggFunc PeekAggFunc() const {
+    if (Peek().type != TokenType::kIdentifier ||
+        PeekAhead(1).type != TokenType::kLParen) {
+      return AggFunc::kNone;
+    }
+    if (EqualsIgnoreCase(Peek().text, "COUNT")) return AggFunc::kCount;
+    if (EqualsIgnoreCase(Peek().text, "SUM")) return AggFunc::kSum;
+    if (EqualsIgnoreCase(Peek().text, "AVG")) return AggFunc::kAvg;
+    if (EqualsIgnoreCase(Peek().text, "MIN")) return AggFunc::kMin;
+    if (EqualsIgnoreCase(Peek().text, "MAX")) return AggFunc::kMax;
+    return AggFunc::kNone;
+  }
+
+  Result<SelectItemAst> ParseSelectItem() {
+    SelectItemAst item;
+    item.func = PeekAggFunc();
+    if (item.func == AggFunc::kNone) {
+      Result<ColumnRefAst> col = ParseColumnRef();
+      if (!col.ok()) return col.status();
+      item.column = std::move(col).value();
+      return item;
+    }
+    Advance();  // function name
+    Advance();  // (
+    if (item.func == AggFunc::kCount) {
+      JITS_RETURN_IF_ERROR(Expect(TokenType::kStar, "*"));
+    } else {
+      Result<ColumnRefAst> col = ParseColumnRef();
+      if (!col.ok()) return col.status();
+      item.column = std::move(col).value();
+    }
+    JITS_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+    return item;
+  }
+
+  Result<StatementAst> ParseSelect() {
+    Advance();  // SELECT
+    SelectAst select;
+    if (MatchKeyword("DISTINCT")) select.distinct = true;
+    if (Match(TokenType::kStar)) {
+      select.select_all = true;
+    } else {
+      while (true) {
+        Result<SelectItemAst> item = ParseSelectItem();
+        if (!item.ok()) return item.status();
+        select.items.push_back(std::move(item).value());
+        if (!Match(TokenType::kComma)) break;
+      }
+    }
+    JITS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    while (true) {
+      Result<std::string> name = ExpectIdentifier("table name");
+      if (!name.ok()) return name.status();
+      TableRefAst ref;
+      ref.table = std::move(name).value();
+      if (MatchKeyword("AS")) {
+        Result<std::string> alias = ExpectIdentifier("alias");
+        if (!alias.ok()) return alias.status();
+        ref.alias = std::move(alias).value();
+      } else if (Peek().type == TokenType::kIdentifier && !IsKeyword("WHERE") &&
+                 !IsKeyword("GROUP") && !IsKeyword("ORDER") && !IsKeyword("LIMIT")) {
+        ref.alias = Advance().text;
+      }
+      select.from.push_back(std::move(ref));
+      if (!Match(TokenType::kComma)) break;
+    }
+    Result<std::vector<PredicateAst>> where = ParseWhere();
+    if (!where.ok()) return where.status();
+    select.where = std::move(where).value();
+    if (MatchKeyword("GROUP")) {
+      JITS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        Result<ColumnRefAst> col = ParseColumnRef();
+        if (!col.ok()) return col.status();
+        select.group_by.push_back(std::move(col).value());
+        if (!Match(TokenType::kComma)) break;
+      }
+    }
+    if (MatchKeyword("ORDER")) {
+      JITS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        Result<ColumnRefAst> col = ParseColumnRef();
+        if (!col.ok()) return col.status();
+        OrderByAst order;
+        order.column = std::move(col).value();
+        if (MatchKeyword("DESC")) {
+          order.descending = true;
+        } else {
+          MatchKeyword("ASC");
+        }
+        select.order_by.push_back(std::move(order));
+        if (!Match(TokenType::kComma)) break;
+      }
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInteger || Peek().int_value < 0) {
+        return Error("LIMIT expects a non-negative integer");
+      }
+      select.limit = Advance().int_value;
+    }
+    JITS_RETURN_IF_ERROR(ExpectStatementEnd());
+    return StatementAst(std::move(select));
+  }
+
+  Result<StatementAst> ParseInsert() {
+    Advance();  // INSERT
+    JITS_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    Result<std::string> name = ExpectIdentifier("table name");
+    if (!name.ok()) return name.status();
+    InsertAst insert;
+    insert.table = std::move(name).value();
+    JITS_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    JITS_RETURN_IF_ERROR(Expect(TokenType::kLParen, "("));
+    while (true) {
+      Result<Value> v = ExpectLiteral();
+      if (!v.ok()) return v.status();
+      insert.values.push_back(std::move(v).value());
+      if (!Match(TokenType::kComma)) break;
+    }
+    JITS_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+    JITS_RETURN_IF_ERROR(ExpectStatementEnd());
+    return StatementAst(std::move(insert));
+  }
+
+  Result<StatementAst> ParseUpdate() {
+    Advance();  // UPDATE
+    Result<std::string> name = ExpectIdentifier("table name");
+    if (!name.ok()) return name.status();
+    UpdateAst update;
+    update.table = std::move(name).value();
+    JITS_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    while (true) {
+      Result<std::string> col = ExpectIdentifier("column");
+      if (!col.ok()) return col.status();
+      JITS_RETURN_IF_ERROR(Expect(TokenType::kEq, "="));
+      Result<Value> v = ExpectLiteral();
+      if (!v.ok()) return v.status();
+      update.assignments.emplace_back(std::move(col).value(), std::move(v).value());
+      if (!Match(TokenType::kComma)) break;
+    }
+    Result<std::vector<PredicateAst>> where = ParseWhere();
+    if (!where.ok()) return where.status();
+    update.where = std::move(where).value();
+    JITS_RETURN_IF_ERROR(ExpectStatementEnd());
+    return StatementAst(std::move(update));
+  }
+
+  Result<StatementAst> ParseDelete() {
+    Advance();  // DELETE
+    JITS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    Result<std::string> name = ExpectIdentifier("table name");
+    if (!name.ok()) return name.status();
+    DeleteAst del;
+    del.table = std::move(name).value();
+    Result<std::vector<PredicateAst>> where = ParseWhere();
+    if (!where.ok()) return where.status();
+    del.where = std::move(where).value();
+    JITS_RETURN_IF_ERROR(ExpectStatementEnd());
+    return StatementAst(std::move(del));
+  }
+
+  Result<StatementAst> ParseCreate() {
+    Advance();  // CREATE
+    JITS_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    Result<std::string> name = ExpectIdentifier("table name");
+    if (!name.ok()) return name.status();
+    CreateTableAst create;
+    create.table = std::move(name).value();
+    JITS_RETURN_IF_ERROR(Expect(TokenType::kLParen, "("));
+    while (true) {
+      Result<std::string> col = ExpectIdentifier("column name");
+      if (!col.ok()) return col.status();
+      Result<std::string> type = ExpectIdentifier("column type");
+      if (!type.ok()) return type.status();
+      ColumnDef def;
+      def.name = std::move(col).value();
+      const std::string t = ToLower(type.value());
+      if (t == "int" || t == "integer" || t == "bigint") {
+        def.type = DataType::kInt64;
+      } else if (t == "double" || t == "float" || t == "real") {
+        def.type = DataType::kDouble;
+      } else if (t == "varchar" || t == "text" || t == "string" || t == "char") {
+        // Optional length: VARCHAR(20)
+        if (Match(TokenType::kLParen)) {
+          if (Peek().type != TokenType::kInteger) return Error("expected length");
+          Advance();
+          JITS_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+        }
+        def.type = DataType::kString;
+      } else {
+        return Error("unknown type " + type.value());
+      }
+      create.columns.push_back(std::move(def));
+      if (!Match(TokenType::kComma)) break;
+    }
+    JITS_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+    JITS_RETURN_IF_ERROR(ExpectStatementEnd());
+    return StatementAst(std::move(create));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<StatementAst> ParseStatement(const std::string& sql) {
+  Result<std::vector<Token>> tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace jits

@@ -1,0 +1,27 @@
+#ifndef JITS_SQL_PARSER_H_
+#define JITS_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace jits {
+
+/// Parses one SQL statement of the supported SPJ dialect:
+///
+///   SELECT * | COUNT(*) | col[, col...]
+///     FROM t [alias][, t [alias]...]
+///     [WHERE pred [AND pred...]]
+///   INSERT INTO t VALUES (v, ...)
+///   UPDATE t SET col = v[, ...] [WHERE ...]
+///   DELETE FROM t [WHERE ...]
+///   CREATE TABLE t (col TYPE, ...)        TYPE in {INT, DOUBLE, VARCHAR}
+///
+/// Predicates: col op literal | col BETWEEN a AND b | col = col (equi-join),
+/// with op in {=, <>, !=, <, <=, >, >=}. Conjunctions only (AND).
+Result<StatementAst> ParseStatement(const std::string& sql);
+
+}  // namespace jits
+
+#endif  // JITS_SQL_PARSER_H_

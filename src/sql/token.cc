@@ -1,0 +1,47 @@
+#include "sql/token.h"
+
+#include "common/str_util.h"
+
+namespace jits {
+
+std::string Token::ToString() const {
+  switch (type) {
+    case TokenType::kEnd:
+      return "<end>";
+    case TokenType::kIdentifier:
+      return text;
+    case TokenType::kInteger:
+      return std::to_string(int_value);
+    case TokenType::kFloat:
+      return StrFormat("%g", float_value);
+    case TokenType::kString:
+      return "'" + text + "'";
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kLParen:
+      return "(";
+    case TokenType::kRParen:
+      return ")";
+    case TokenType::kDot:
+      return ".";
+    case TokenType::kStar:
+      return "*";
+    case TokenType::kSemicolon:
+      return ";";
+    case TokenType::kEq:
+      return "=";
+    case TokenType::kNe:
+      return "<>";
+    case TokenType::kLt:
+      return "<";
+    case TokenType::kLe:
+      return "<=";
+    case TokenType::kGt:
+      return ">";
+    case TokenType::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace jits

@@ -1,0 +1,40 @@
+#ifndef JITS_SQL_TOKEN_H_
+#define JITS_SQL_TOKEN_H_
+
+#include <string>
+
+namespace jits {
+
+enum class TokenType {
+  kEnd,
+  kIdentifier,  // includes keywords; the parser matches case-insensitively
+  kInteger,
+  kFloat,
+  kString,   // single-quoted literal, quotes stripped
+  kComma,
+  kLParen,
+  kRParen,
+  kDot,
+  kStar,
+  kSemicolon,
+  kEq,   // =
+  kNe,   // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier (original case) or literal text
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t position = 0;  // byte offset for error messages
+
+  std::string ToString() const;
+};
+
+}  // namespace jits
+
+#endif  // JITS_SQL_TOKEN_H_

@@ -1,0 +1,92 @@
+#include "storage/column.h"
+
+namespace jits {
+
+size_t Column::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return ints_.size();
+    case DataType::kDouble:
+      return doubles_.size();
+    case DataType::kString:
+      return codes_.size();
+  }
+  return 0;
+}
+
+void Column::Append(const Value& v) {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(v.is_null() ? 0 : v.CoerceTo(DataType::kInt64).int64());
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(v.is_null() ? 0.0 : v.CoerceTo(DataType::kDouble).dbl());
+      break;
+    case DataType::kString:
+      codes_.push_back(v.is_null() ? InternString("") : InternString(v.str()));
+      break;
+  }
+}
+
+void Column::Set(size_t row, const Value& v) {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_[row] = v.CoerceTo(DataType::kInt64).int64();
+      break;
+    case DataType::kDouble:
+      doubles_[row] = v.CoerceTo(DataType::kDouble).dbl();
+      break;
+    case DataType::kString:
+      codes_[row] = InternString(v.str());
+      break;
+  }
+}
+
+Value Column::GetValue(size_t row) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(ints_[row]);
+    case DataType::kDouble:
+      return Value(doubles_[row]);
+    case DataType::kString:
+      return Value(dict_[static_cast<size_t>(codes_[row])]);
+  }
+  return Value::Null();
+}
+
+double Column::NumericKey(size_t row) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<double>(ints_[row]);
+    case DataType::kDouble:
+      return doubles_[row];
+    case DataType::kString:
+      return static_cast<double>(codes_[row]);
+  }
+  return 0;
+}
+
+double Column::KeyForConstant(const Value& v) const {
+  if (type_ == DataType::kString) {
+    if (!v.is_string()) return -1;
+    return static_cast<double>(DictCode(v.str()));
+  }
+  return v.AsDouble();
+}
+
+int32_t Column::DictCode(const std::string& s) const {
+  auto it = dict_index_.find(s);
+  if (it == dict_index_.end()) return -1;
+  return it->second;
+}
+
+int32_t Column::InternString(const std::string& s) {
+  auto it = dict_index_.find(s);
+  if (it != dict_index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(dict_.size());
+  dict_.push_back(s);
+  dict_index_.emplace(s, code);
+  return code;
+}
+
+}  // namespace jits

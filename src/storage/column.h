@@ -1,0 +1,68 @@
+#ifndef JITS_STORAGE_COLUMN_H_
+#define JITS_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace jits {
+
+/// Typed columnar storage for one table column.
+///
+/// Int64 and double columns store raw vectors; string columns are
+/// dictionary-encoded (codes + dictionary). Histograms and predicate
+/// evaluation view every column through a numeric key space: numeric columns
+/// use their value, string columns use the dictionary code. This mirrors the
+/// paper's "categorical and character data types can be represented as
+/// numerical values using a mapping function".
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const;
+
+  /// Appends a value (coerced to the column type). Null is stored as the
+  /// type's sentinel zero value; the schema in this system is NOT NULL.
+  void Append(const Value& v);
+
+  /// Replaces the value at `row`.
+  void Set(size_t row, const Value& v);
+
+  Value GetValue(size_t row) const;
+
+  /// Numeric key for histograms/predicates: the value itself for numeric
+  /// columns, the dictionary code for string columns.
+  double NumericKey(size_t row) const;
+
+  /// Maps a constant to this column's numeric key space. For strings absent
+  /// from the dictionary returns -1 (matches no row).
+  double KeyForConstant(const Value& v) const;
+
+  // Typed accessors for hot paths. Valid only for the matching type.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<int32_t>& codes() const { return codes_; }
+
+  /// Dictionary code for `s`, or -1 if not present.
+  int32_t DictCode(const std::string& s) const;
+  const std::string& DictString(int32_t code) const { return dict_[static_cast<size_t>(code)]; }
+  size_t dict_size() const { return dict_.size(); }
+
+ private:
+  int32_t InternString(const std::string& s);
+
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int32_t> dict_index_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_STORAGE_COLUMN_H_

@@ -1,0 +1,32 @@
+#include "storage/index.h"
+
+#include "storage/table.h"
+
+namespace jits {
+
+HashIndex::HashIndex(const Table& table, size_t col) { Rebuild(table, col); }
+
+void HashIndex::Rebuild(const Table& table, size_t col) {
+  map_.clear();
+  indexed_rows_ = 0;
+  map_.reserve(table.physical_rows());
+  AppendNewRows(table, col);
+}
+
+void HashIndex::AppendNewRows(const Table& table, size_t col) {
+  const Column& c = table.column(col);
+  const std::vector<int64_t>& ints = c.ints();
+  for (uint32_t row = static_cast<uint32_t>(indexed_rows_); row < ints.size(); ++row) {
+    // Tombstoned rows are included; lookups filter via Table::IsVisible.
+    map_[ints[row]].push_back(row);
+  }
+  indexed_rows_ = ints.size();
+}
+
+const std::vector<uint32_t>& HashIndex::Lookup(int64_t key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return empty_;
+  return it->second;
+}
+
+}  // namespace jits

@@ -1,0 +1,47 @@
+#ifndef JITS_STORAGE_INDEX_H_
+#define JITS_STORAGE_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace jits {
+
+class Table;
+
+/// Equality index over an int64 column: key -> visible row ids.
+///
+/// Used for PK lookups and as the inner side of index nested-loop joins.
+/// The index snapshots the table at a version; Table rebuilds it lazily when
+/// the version moves (bulk rebuild is cheaper than incremental maintenance
+/// under the workload's batched updates).
+/// Maintenance is incremental where possible: inserts append, deletes are
+/// filtered by the caller via Table::IsVisible, and only in-place updates of
+/// the indexed column force a rebuild (Table tracks that per column).
+class HashIndex {
+ public:
+  HashIndex(const Table& table, size_t col);
+
+  /// Rebuilds from the current table contents.
+  void Rebuild(const Table& table, size_t col);
+
+  /// Appends physical rows [indexed_rows, table.physical_rows()).
+  void AppendNewRows(const Table& table, size_t col);
+
+  /// Row ids matching `key` (empty vector if none). May contain deleted
+  /// rows; callers must check Table::IsVisible.
+  const std::vector<uint32_t>& Lookup(int64_t key) const;
+
+  size_t indexed_rows() const { return indexed_rows_; }
+  size_t num_keys() const { return map_.size(); }
+
+ private:
+  std::unordered_map<int64_t, std::vector<uint32_t>> map_;
+  std::vector<uint32_t> empty_;
+  size_t indexed_rows_ = 0;
+};
+
+}  // namespace jits
+
+#endif  // JITS_STORAGE_INDEX_H_

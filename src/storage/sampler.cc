@@ -1,0 +1,43 @@
+#include "storage/sampler.h"
+
+#include "storage/table.h"
+
+namespace jits {
+
+std::vector<uint32_t> Sampler::SampleRows(const Table& table, size_t target_rows, Rng* rng) {
+  const uint32_t physical = static_cast<uint32_t>(table.physical_rows());
+  if (table.num_rows() <= target_rows) return AllRows(table);
+
+  // Oversample physical slots to compensate for tombstones, then filter.
+  const double visible_fraction =
+      static_cast<double>(table.num_rows()) / static_cast<double>(physical);
+  uint32_t draw = static_cast<uint32_t>(static_cast<double>(target_rows) / visible_fraction * 1.1) + 8;
+  if (draw > physical) draw = physical;
+
+  std::vector<uint32_t> out;
+  out.reserve(target_rows);
+  for (int attempt = 0; attempt < 4 && out.size() < target_rows; ++attempt) {
+    out.clear();
+    std::vector<uint32_t> candidates = rng->SampleWithoutReplacement(physical, draw);
+    for (uint32_t row : candidates) {
+      if (table.IsVisible(row)) {
+        out.push_back(row);
+        if (out.size() == target_rows) break;
+      }
+    }
+    if (draw == physical) break;
+    draw = std::min(physical, draw * 2);
+  }
+  return out;
+}
+
+std::vector<uint32_t> Sampler::AllRows(const Table& table) {
+  std::vector<uint32_t> out;
+  out.reserve(table.num_rows());
+  for (uint32_t row = 0; row < table.physical_rows(); ++row) {
+    if (table.IsVisible(row)) out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace jits

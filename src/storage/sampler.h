@@ -1,0 +1,31 @@
+#ifndef JITS_STORAGE_SAMPLER_H_
+#define JITS_STORAGE_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace jits {
+
+class Table;
+
+/// Row-level uniform sampling over visible rows — the RUNSTATS-with-sampling
+/// equivalent used by both general statistics collection and JITS
+/// query-specific collection. Per the paper (§4, citing [1,8,12]) the sample
+/// size sufficient for accurate statistics is independent of table size, so
+/// callers pass an absolute target row count.
+class Sampler {
+ public:
+  /// Returns up to `target_rows` distinct visible row ids, uniformly chosen.
+  /// If the table has fewer visible rows than `target_rows`, returns all of
+  /// them (a full scan).
+  static std::vector<uint32_t> SampleRows(const Table& table, size_t target_rows, Rng* rng);
+
+  /// All visible row ids (full scan).
+  static std::vector<uint32_t> AllRows(const Table& table);
+};
+
+}  // namespace jits
+
+#endif  // JITS_STORAGE_SAMPLER_H_

@@ -1,0 +1,90 @@
+#include "storage/table.h"
+
+#include "common/str_util.h"
+#include "storage/index.h"
+
+namespace jits {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (const ColumnDef& def : schema_.columns()) {
+    columns_.push_back(std::make_unique<Column>(def.type));
+  }
+  hash_indexes_.resize(schema_.num_columns());
+  index_dirty_.assign(schema_.num_columns(), false);
+}
+
+Table::~Table() = default;
+
+Status Table::Insert(const Row& row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("table %s expects %zu values, got %zu", name_.c_str(),
+                  schema_.num_columns(), row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].CompatibleWith(schema_.column(i).type)) {
+      return Status::InvalidArgument(
+          StrFormat("value %s incompatible with column %s %s", row[i].ToString().c_str(),
+                    schema_.column(i).name.c_str(), DataTypeName(schema_.column(i).type)));
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i]->Append(row[i]);
+  }
+  tombstone_.push_back(false);
+  ++physical_rows_;
+  ++visible_rows_;
+  ++udi_counter_;
+  ++version_;
+  return Status::OK();
+}
+
+Status Table::UpdateRow(uint32_t row, size_t col, const Value& v) {
+  if (row >= physical_rows_ || tombstone_[row]) {
+    return Status::NotFound(StrFormat("row %u not visible in %s", row, name_.c_str()));
+  }
+  if (!v.CompatibleWith(schema_.column(col).type)) {
+    return Status::InvalidArgument("update value type mismatch");
+  }
+  columns_[col]->Set(row, v);
+  if (hash_indexes_[col] != nullptr) index_dirty_[col] = true;
+  ++udi_counter_;
+  ++version_;
+  return Status::OK();
+}
+
+Status Table::DeleteRow(uint32_t row) {
+  if (row >= physical_rows_ || tombstone_[row]) {
+    return Status::NotFound(StrFormat("row %u not visible in %s", row, name_.c_str()));
+  }
+  tombstone_[row] = true;
+  --visible_rows_;
+  ++udi_counter_;
+  ++version_;
+  return Status::OK();
+}
+
+Row Table::GetRow(uint32_t row) const {
+  Row out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.push_back(c->GetValue(row));
+  return out;
+}
+
+HashIndex* Table::GetOrBuildHashIndex(size_t col) {
+  if (schema_.column(col).type != DataType::kInt64) return nullptr;
+  std::unique_ptr<HashIndex>& slot = hash_indexes_[col];
+  if (slot == nullptr) {
+    slot = std::make_unique<HashIndex>(*this, col);
+  } else if (index_dirty_[col]) {
+    slot->Rebuild(*this, col);
+    index_dirty_[col] = false;
+  } else if (slot->indexed_rows() < physical_rows_) {
+    slot->AppendNewRows(*this, col);
+  }
+  return slot.get();
+}
+
+}  // namespace jits

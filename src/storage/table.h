@@ -1,0 +1,78 @@
+#ifndef JITS_STORAGE_TABLE_H_
+#define JITS_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace jits {
+
+class HashIndex;
+
+/// In-memory columnar table with tombstone deletes.
+///
+/// The table tracks a UDI (update/delete/insert) counter since the last
+/// statistics collection — the data-activity signal consumed by the JITS
+/// sensitivity analysis (paper §3.3.1).
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+  ~Table();
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of visible (non-deleted) rows.
+  size_t num_rows() const { return visible_rows_; }
+  /// Number of physical row slots including tombstones.
+  size_t physical_rows() const { return physical_rows_; }
+
+  Status Insert(const Row& row);
+  Status UpdateRow(uint32_t row, size_t col, const Value& v);
+  Status DeleteRow(uint32_t row);
+
+  bool IsVisible(uint32_t row) const { return !tombstone_[row]; }
+
+  const Column& column(size_t i) const { return *columns_[i]; }
+  Column* mutable_column(size_t i) { return columns_[i].get(); }
+
+  Value GetValue(uint32_t row, size_t col) const { return columns_[col]->GetValue(row); }
+  Row GetRow(uint32_t row) const;
+
+  /// Updates + deletes + inserts since the last ResetUdi(). Used as the
+  /// staleness signal s2 = UDI / cardinality.
+  uint64_t udi_counter() const { return udi_counter_; }
+  void ResetUdi() { udi_counter_ = 0; }
+
+  /// Monotonic version, bumped by every mutation; consumers (indexes,
+  /// cached stats) use it for invalidation.
+  uint64_t version() const { return version_; }
+
+  /// Returns (building lazily) an equality index on an int64 column.
+  /// Rebuilt automatically when the table version has moved.
+  HashIndex* GetOrBuildHashIndex(size_t col);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  std::vector<bool> tombstone_;
+  size_t physical_rows_ = 0;
+  size_t visible_rows_ = 0;
+  uint64_t udi_counter_ = 0;
+  uint64_t version_ = 0;
+  std::vector<std::unique_ptr<HashIndex>> hash_indexes_;  // per column, may be null
+  std::vector<bool> index_dirty_;  // indexed column updated in place
+};
+
+}  // namespace jits
+
+#endif  // JITS_STORAGE_TABLE_H_

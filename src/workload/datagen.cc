@@ -1,0 +1,173 @@
+#include "workload/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace jits {
+namespace carschema {
+
+const std::vector<std::string>& Makes() {
+  static const std::vector<std::string>* makes = new std::vector<std::string>{
+      "Toyota", "Honda", "Ford", "Chevrolet", "BMW", "Mercedes", "Nissan", "Volkswagen"};
+  return *makes;
+}
+
+const std::vector<std::string>& AllModels() {
+  static const std::vector<std::string>* models = new std::vector<std::string>{
+      // Toyota
+      "Camry", "Corolla", "RAV4", "Prius", "Highlander",
+      // Honda
+      "Civic", "Accord", "CRV", "Pilot", "Odyssey",
+      // Ford
+      "F150", "Focus", "Escape", "Mustang", "Explorer",
+      // Chevrolet
+      "Silverado", "Malibu", "Impala", "Tahoe", "Equinox",
+      // BMW
+      "325i", "530i", "X3", "X5", "Z4",
+      // Mercedes
+      "C230", "E320", "S500", "ML350", "SLK",
+      // Nissan
+      "Altima", "Sentra", "Maxima", "Pathfinder", "Murano",
+      // Volkswagen
+      "Jetta", "Passat", "Golf", "Beetle", "Touareg"};
+  return *models;
+}
+
+const std::vector<std::string>& ModelsOf(size_t make_idx) {
+  static std::vector<std::vector<std::string>>* per_make = [] {
+    auto* out = new std::vector<std::vector<std::string>>();
+    const std::vector<std::string>& all = AllModels();
+    for (size_t m = 0; m < Makes().size(); ++m) {
+      out->emplace_back(all.begin() + static_cast<long>(m * 5),
+                        all.begin() + static_cast<long>(m * 5 + 5));
+    }
+    return out;
+  }();
+  return (*per_make)[make_idx];
+}
+
+const std::vector<std::string>& Cities() {
+  static const std::vector<std::string>* cities = new std::vector<std::string>{
+      // CA
+      "Ottawa", "Toronto", "Montreal", "Vancouver", "Calgary",
+      // US
+      "NewYork", "Chicago", "Houston", "Seattle", "Boston",
+      // DE
+      "Berlin", "Munich", "Hamburg", "Frankfurt", "Cologne",
+      // FR
+      "Paris", "Lyon", "Marseille", "Toulouse", "Nice",
+      // UK
+      "London", "Manchester", "Birmingham", "Leeds", "Glasgow",
+      // JP
+      "Tokyo", "Osaka", "Nagoya", "Sapporo", "Fukuoka"};
+  return *cities;
+}
+
+const std::vector<std::string>& Countries() {
+  static const std::vector<std::string>* countries =
+      new std::vector<std::string>{"CA", "US", "DE", "FR", "UK", "JP"};
+  return *countries;
+}
+
+const std::string& CountryOf(size_t city_idx) { return Countries()[city_idx / 5]; }
+
+}  // namespace carschema
+
+SchemaSizes SchemaSizes::ForScale(double scale) {
+  SchemaSizes s;
+  s.car = static_cast<size_t>(carschema::kPaperCarRows * scale);
+  s.owner = static_cast<size_t>(carschema::kPaperOwnerRows * scale);
+  s.demographics = static_cast<size_t>(carschema::kPaperDemographicsRows * scale);
+  s.accidents = static_cast<size_t>(carschema::kPaperAccidentsRows * scale);
+  return s;
+}
+
+Status GenerateCarDatabase(Database* db, const DataGenConfig& config) {
+  using namespace carschema;
+  const SchemaSizes sizes = SchemaSizes::ForScale(config.scale);
+  Rng rng(config.seed);
+
+  JITS_RETURN_IF_ERROR(
+      db->Execute("CREATE TABLE owner (id INT, name VARCHAR, age INT, salary DOUBLE)"));
+  JITS_RETURN_IF_ERROR(db->Execute(
+      "CREATE TABLE demographics (ownerid INT, city VARCHAR, country VARCHAR, "
+      "gender VARCHAR, education VARCHAR)"));
+  JITS_RETURN_IF_ERROR(db->Execute(
+      "CREATE TABLE car (id INT, ownerid INT, make VARCHAR, model VARCHAR, "
+      "year INT, price DOUBLE, color VARCHAR)"));
+  JITS_RETURN_IF_ERROR(db->Execute(
+      "CREATE TABLE accidents (id INT, carid INT, driver VARCHAR, damage DOUBLE, "
+      "severity INT, year INT)"));
+
+  Table* owner = db->catalog()->FindTable("owner");
+  Table* demographics = db->catalog()->FindTable("demographics");
+  Table* car = db->catalog()->FindTable("car");
+  Table* accidents = db->catalog()->FindTable("accidents");
+
+  static const std::vector<std::string> kGenders = {"M", "F"};
+  static const std::vector<std::string> kEducation = {"HighSchool", "College", "Bachelor",
+                                                      "Master", "PhD"};
+  static const std::vector<std::string> kColors = {"White", "Black", "Silver", "Red",
+                                                   "Blue", "Gray", "Green", "Brown"};
+  static const std::vector<std::string> kDrivers = {"owner", "spouse", "child", "other"};
+
+  // --- OWNER + DEMOGRAPHICS (1:1) ---
+  for (size_t i = 0; i < sizes.owner; ++i) {
+    const int64_t id = static_cast<int64_t>(i) + 1;
+    const int64_t age = std::clamp<int64_t>(
+        static_cast<int64_t>(rng.Gaussian(42, 14)), 18, 85);
+    // City skew drives salary (correlation: big-city salaries are higher).
+    const size_t city = rng.Zipf(Cities().size(), 0.35);
+    const double city_factor = 1.0 + 0.4 * (1.0 - static_cast<double>(city) /
+                                                      static_cast<double>(Cities().size()));
+    const double salary =
+        std::max(800.0, rng.Gaussian(4500 * city_factor, 2500));
+    JITS_RETURN_IF_ERROR(owner->Insert({Value(id), Value(StrFormat("owner_%zu", i + 1)),
+                                        Value(age), Value(salary)}));
+    JITS_RETURN_IF_ERROR(demographics->Insert(
+        {Value(id), Value(Cities()[city]), Value(CountryOf(city)),
+         Value(kGenders[rng.PickIndex(2)]),
+         Value(kEducation[rng.Zipf(kEducation.size(), 0.5)])}));
+  }
+
+  // --- CAR ---
+  for (size_t i = 0; i < sizes.car; ++i) {
+    const int64_t id = static_cast<int64_t>(i) + 1;
+    const int64_t ownerid = rng.Uniform(1, static_cast<int64_t>(sizes.owner));
+    const size_t make = rng.Zipf(Makes().size(), 0.9);
+    const size_t model_in_make = rng.Zipf(5, 1.3);
+    // Year skews recent: u^0.6 pushes mass toward kMaxYear.
+    const double u = rng.UniformDouble(0, 1);
+    const int64_t year =
+        kMinYear + static_cast<int64_t>((kMaxYear - kMinYear) * std::pow(u, 0.6));
+    // Price correlates with year and make.
+    const double price = std::max(
+        500.0, 4000.0 + 900.0 * static_cast<double>(year - kMinYear) +
+                   3000.0 * static_cast<double>(Makes().size() - make) / 2.0 +
+                   rng.Gaussian(0, 2000));
+    JITS_RETURN_IF_ERROR(
+        car->Insert({Value(id), Value(ownerid), Value(Makes()[make]),
+                     Value(ModelsOf(make)[model_in_make]), Value(year), Value(price),
+                     Value(kColors[rng.Zipf(kColors.size(), 0.4)])}));
+  }
+
+  // --- ACCIDENTS ---
+  for (size_t i = 0; i < sizes.accidents; ++i) {
+    const int64_t id = static_cast<int64_t>(i) + 1;
+    const int64_t carid = rng.Uniform(1, static_cast<int64_t>(sizes.car));
+    const int64_t severity = 1 + static_cast<int64_t>(rng.Zipf(5, 1.1));
+    // Damage correlates with severity.
+    const double damage =
+        std::max(100.0, static_cast<double>(severity) * 2000.0 *
+                            rng.UniformDouble(0.5, 1.5));
+    const int64_t year = rng.Uniform(kMinYear + 1, kMaxYear);
+    JITS_RETURN_IF_ERROR(accidents->Insert(
+        {Value(id), Value(carid), Value(kDrivers[rng.Zipf(kDrivers.size(), 0.8)]),
+         Value(damage), Value(severity), Value(year)}));
+  }
+  return Status::OK();
+}
+
+}  // namespace jits

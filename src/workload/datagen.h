@@ -1,0 +1,66 @@
+#ifndef JITS_WORKLOAD_DATAGEN_H_
+#define JITS_WORKLOAD_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace jits {
+
+/// Domain constants of the paper's car-insurance schema. The generator
+/// injects the correlations the paper exploits: model functionally
+/// determines make, city determines country, price correlates with year and
+/// make, damage correlates with severity — exactly the structures that
+/// break the optimizer's independence/uniformity assumptions.
+namespace carschema {
+
+/// Paper Table 2 row counts (scale 1.0).
+inline constexpr double kPaperCarRows = 1430798;
+inline constexpr double kPaperOwnerRows = 1000000;
+inline constexpr double kPaperDemographicsRows = 1000000;
+inline constexpr double kPaperAccidentsRows = 4289980;
+
+const std::vector<std::string>& Makes();
+/// Models of one make (5 per make).
+const std::vector<std::string>& ModelsOf(size_t make_idx);
+/// All models, flattened (make_idx = model_idx / 5).
+const std::vector<std::string>& AllModels();
+const std::vector<std::string>& Cities();
+/// Country of a city (6 countries, 5 cities each).
+const std::string& CountryOf(size_t city_idx);
+const std::vector<std::string>& Countries();
+
+inline constexpr int kMinYear = 1995;
+inline constexpr int kMaxYear = 2006;
+
+}  // namespace carschema
+
+/// Generator configuration.
+struct DataGenConfig {
+  /// Fraction of the paper's table sizes (1.0 = full paper scale).
+  double scale = 0.03;
+  uint64_t seed = 1234;
+};
+
+/// Row counts at a given scale.
+struct SchemaSizes {
+  size_t car = 0;
+  size_t owner = 0;
+  size_t demographics = 0;
+  size_t accidents = 0;
+
+  static SchemaSizes ForScale(double scale);
+};
+
+/// Creates and populates the four tables:
+///   owner(id, name, age, salary)
+///   demographics(ownerid, city, country, gender, education)
+///   car(id, ownerid, make, model, year, price, color)
+///   accidents(id, carid, driver, damage, severity, year)
+Status GenerateCarDatabase(Database* db, const DataGenConfig& config);
+
+}  // namespace jits
+
+#endif  // JITS_WORKLOAD_DATAGEN_H_

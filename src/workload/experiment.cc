@@ -1,0 +1,234 @@
+#include "workload/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/timer.h"
+
+namespace jits {
+
+const char* SettingName(ExperimentSetting setting) {
+  switch (setting) {
+    case ExperimentSetting::kNoStats:
+      return "no-stats";
+    case ExperimentSetting::kGeneralStats:
+      return "general-stats";
+    case ExperimentSetting::kWorkloadStats:
+      return "workload-stats";
+    case ExperimentSetting::kJits:
+      return "jits";
+  }
+  return "?";
+}
+
+std::vector<double> WorkloadRunResult::TotalTimes() const {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const QueryTiming& q : queries) out.push_back(q.total_seconds);
+  return out;
+}
+
+double WorkloadRunResult::AvgCompileSeconds() const {
+  if (queries.empty()) return 0;
+  double sum = 0;
+  for (const QueryTiming& q : queries) sum += q.compile_seconds;
+  return sum / static_cast<double>(queries.size());
+}
+
+size_t WorkloadRunResult::TotalCollections() const {
+  size_t total = 0;
+  for (const QueryTiming& q : queries) total += q.tables_sampled;
+  return total;
+}
+
+double WorkloadRunResult::AvgExecuteSeconds() const {
+  if (queries.empty()) return 0;
+  double sum = 0;
+  for (const QueryTiming& q : queries) sum += q.execute_seconds;
+  return sum / static_cast<double>(queries.size());
+}
+
+std::unique_ptr<Database> BuildExperimentDatabase(ExperimentSetting setting,
+                                                  const ExperimentOptions& options,
+                                                  const std::vector<WorkloadItem>& items,
+                                                  double* setup_seconds) {
+  Stopwatch setup;
+  auto db = std::make_unique<Database>(options.datagen.seed);
+  db->set_row_limit(0);  // experiments count rows, not fetch them
+  Status status = GenerateCarDatabase(db.get(), options.datagen);
+  if (!status.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n", status.ToString().c_str());
+    return nullptr;
+  }
+
+  switch (setting) {
+    case ExperimentSetting::kNoStats:
+      break;
+    case ExperimentSetting::kGeneralStats:
+      (void)db->CollectGeneralStats();
+      break;
+    case ExperimentSetting::kWorkloadStats: {
+      (void)db->CollectGeneralStats();
+      std::vector<std::string> selects;
+      for (const WorkloadItem& item : items) {
+        if (!item.is_update) selects.push_back(item.sql());
+      }
+      (void)db->CollectWorkloadStats(selects);
+      break;
+    }
+    case ExperimentSetting::kJits: {
+      JitsConfig* config = db->jits_config();
+      config->enabled = true;
+      config->sensitivity_enabled = options.sensitivity_enabled;
+      config->s_max = options.s_max;
+      config->sample_rows = options.sample_rows;
+      break;
+    }
+  }
+  if (setup_seconds != nullptr) *setup_seconds = setup.Seconds();
+  return db;
+}
+
+WorkloadRunResult RunWorkloadExperiment(ExperimentSetting setting,
+                                        const ExperimentOptions& options) {
+  ExperimentOptions opts = options;
+  opts.workload.scale = opts.datagen.scale;
+  const std::vector<WorkloadItem> items = GenerateWorkload(opts.workload);
+
+  WorkloadRunResult result;
+  result.setting = setting;
+  std::unique_ptr<Database> db =
+      BuildExperimentDatabase(setting, opts, items, &result.setup_seconds);
+  if (db == nullptr) return result;
+
+  Stopwatch workload_watch;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const WorkloadItem& item = items[i];
+    if (item.is_update) {
+      for (const std::string& sql : item.statements) {
+        Status status = db->Execute(sql);
+        if (!status.ok()) {
+          std::fprintf(stderr, "update failed: %s\n  %s\n", status.ToString().c_str(),
+                       sql.c_str());
+        }
+      }
+      continue;
+    }
+    QueryResult qr;
+    Status status = db->Execute(item.sql(), &qr);
+    if (!status.ok()) {
+      std::fprintf(stderr, "query failed: %s\n  %s\n", status.ToString().c_str(),
+                   item.sql().c_str());
+      continue;
+    }
+    QueryTiming timing;
+    timing.item_index = i;
+    timing.template_id = item.template_id;
+    timing.compile_seconds = qr.compile_seconds;
+    timing.execute_seconds = qr.execute_seconds;
+    timing.total_seconds = qr.total_seconds;
+    timing.tables_sampled = qr.tables_sampled;
+    result.queries.push_back(timing);
+  }
+  result.workload_seconds = workload_watch.Seconds();
+  return result;
+}
+
+std::vector<WorkloadRunResult> RunPairedWorkloadExperiment(
+    const std::vector<ExperimentSetting>& settings, const ExperimentOptions& options) {
+  ExperimentOptions opts = options;
+  opts.workload.scale = opts.datagen.scale;
+  const std::vector<WorkloadItem> items = GenerateWorkload(opts.workload);
+
+  std::vector<WorkloadRunResult> results(settings.size());
+  std::vector<std::unique_ptr<Database>> dbs(settings.size());
+  for (size_t s = 0; s < settings.size(); ++s) {
+    results[s].setting = settings[s];
+    dbs[s] = BuildExperimentDatabase(settings[s], opts, items, &results[s].setup_seconds);
+    if (dbs[s] == nullptr) return results;
+  }
+
+  Stopwatch workload_watch;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const WorkloadItem& item = items[i];
+    for (size_t s = 0; s < settings.size(); ++s) {
+      if (item.is_update) {
+        for (const std::string& sql : item.statements) {
+          (void)dbs[s]->Execute(sql);
+        }
+        continue;
+      }
+      QueryResult qr;
+      Status status = dbs[s]->Execute(item.sql(), &qr);
+      if (!status.ok()) continue;
+      QueryTiming timing;
+      timing.item_index = i;
+      timing.template_id = item.template_id;
+      timing.compile_seconds = qr.compile_seconds;
+      timing.execute_seconds = qr.execute_seconds;
+      timing.total_seconds = qr.total_seconds;
+      timing.tables_sampled = qr.tables_sampled;
+      results[s].queries.push_back(timing);
+    }
+  }
+  for (WorkloadRunResult& r : results) r.workload_seconds = workload_watch.Seconds();
+  return results;
+}
+
+std::vector<WorkloadRunResult> RunPairedSmaxSweep(const std::vector<double>& s_max_values,
+                                                  const ExperimentOptions& options) {
+  ExperimentOptions opts = options;
+  opts.workload.scale = opts.datagen.scale;
+  const std::vector<WorkloadItem> items = GenerateWorkload(opts.workload);
+
+  std::vector<WorkloadRunResult> results(s_max_values.size());
+  std::vector<std::unique_ptr<Database>> dbs(s_max_values.size());
+  for (size_t s = 0; s < s_max_values.size(); ++s) {
+    results[s].setting = ExperimentSetting::kJits;
+    ExperimentOptions run = opts;
+    run.s_max = s_max_values[s];
+    dbs[s] = BuildExperimentDatabase(ExperimentSetting::kJits, run, items,
+                                     &results[s].setup_seconds);
+    if (dbs[s] == nullptr) return results;
+  }
+
+  Stopwatch workload_watch;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const WorkloadItem& item = items[i];
+    for (size_t s = 0; s < s_max_values.size(); ++s) {
+      if (item.is_update) {
+        for (const std::string& sql : item.statements) {
+          (void)dbs[s]->Execute(sql);
+        }
+        continue;
+      }
+      QueryResult qr;
+      if (!dbs[s]->Execute(item.sql(), &qr).ok()) continue;
+      QueryTiming timing;
+      timing.item_index = i;
+      timing.template_id = item.template_id;
+      timing.compile_seconds = qr.compile_seconds;
+      timing.execute_seconds = qr.execute_seconds;
+      timing.total_seconds = qr.total_seconds;
+      timing.tables_sampled = qr.tables_sampled;
+      results[s].queries.push_back(timing);
+    }
+  }
+  for (WorkloadRunResult& r : results) r.workload_seconds = workload_watch.Seconds();
+  return results;
+}
+
+std::vector<double> FiveNumberSummary(std::vector<double> values) {
+  if (values.empty()) return {0, 0, 0, 0, 0};
+  std::sort(values.begin(), values.end());
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1 - frac) + values[hi] * frac;
+  };
+  return {values.front(), quantile(0.25), quantile(0.5), quantile(0.75), values.back()};
+}
+
+}  // namespace jits

@@ -1,0 +1,89 @@
+#ifndef JITS_WORKLOAD_EXPERIMENT_H_
+#define JITS_WORKLOAD_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "workload/datagen.h"
+#include "workload/workload_gen.h"
+
+namespace jits {
+
+/// The four experimental settings of paper §4.2.
+enum class ExperimentSetting {
+  kNoStats,        // 1. JITS disabled, no initial statistics
+  kGeneralStats,   // 2. JITS disabled, basic + distribution stats on all tables
+  kWorkloadStats,  // 3. JITS disabled, general + per-column-group workload stats
+  kJits,           // 4. JITS enabled, no initial statistics
+};
+
+const char* SettingName(ExperimentSetting setting);
+
+/// Per-SELECT timing sample.
+struct QueryTiming {
+  size_t item_index = 0;
+  int template_id = -1;
+  double compile_seconds = 0;
+  double execute_seconds = 0;
+  double total_seconds = 0;
+  size_t tables_sampled = 0;  // JITS collections during this compilation
+};
+
+/// One workload run under one setting.
+struct WorkloadRunResult {
+  ExperimentSetting setting = ExperimentSetting::kNoStats;
+  std::vector<QueryTiming> queries;
+  double setup_seconds = 0;  // data load + statistics pre-collection
+  double workload_seconds = 0;
+
+  std::vector<double> TotalTimes() const;
+  double AvgCompileSeconds() const;
+  double AvgExecuteSeconds() const;
+  /// Total JITS table samplings across the workload.
+  size_t TotalCollections() const;
+};
+
+/// Shared experiment parameters.
+struct ExperimentOptions {
+  DataGenConfig datagen;
+  WorkloadConfig workload;
+  /// JITS tunables for the kJits setting.
+  double s_max = 0.5;
+  bool sensitivity_enabled = true;
+  size_t sample_rows = 2000;
+  /// Pass to pin table sizes; workload.scale is forced to datagen.scale.
+  ExperimentOptions() { workload.scale = datagen.scale; }
+};
+
+/// Builds a freshly loaded database prepared for `setting` (statistics
+/// pre-collection included). The same seeds produce identical data across
+/// settings.
+std::unique_ptr<Database> BuildExperimentDatabase(ExperimentSetting setting,
+                                                  const ExperimentOptions& options,
+                                                  const std::vector<WorkloadItem>& items,
+                                                  double* setup_seconds);
+
+/// Runs the full workload under one setting.
+WorkloadRunResult RunWorkloadExperiment(ExperimentSetting setting,
+                                        const ExperimentOptions& options);
+
+/// Runs the workload under several settings *paired*: one database per
+/// setting, each workload item executed on every database back-to-back.
+/// Per-query comparisons across settings are then robust to machine drift
+/// (cache state, frequency scaling) that independent runs would pick up.
+std::vector<WorkloadRunResult> RunPairedWorkloadExperiment(
+    const std::vector<ExperimentSetting>& settings, const ExperimentOptions& options);
+
+/// Paired sweep of the JITS sensitivity threshold (Figure 6): one database
+/// per s_max value, all starting without statistics, items interleaved.
+std::vector<WorkloadRunResult> RunPairedSmaxSweep(const std::vector<double>& s_max_values,
+                                                  const ExperimentOptions& options);
+
+/// {min, q1, median, q3, max} of a sample (empty input -> zeros).
+std::vector<double> FiveNumberSummary(std::vector<double> values);
+
+}  // namespace jits
+
+#endif  // JITS_WORKLOAD_EXPERIMENT_H_

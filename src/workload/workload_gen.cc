@@ -1,0 +1,212 @@
+#include "workload/workload_gen.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "workload/datagen.h"
+
+namespace jits {
+
+std::string PaperSingleQuery() {
+  return "SELECT o.name, driver, damage "
+         "FROM car c, accidents a, demographics d, owner o "
+         "WHERE d.ownerid = o.id AND a.carid = c.id AND c.ownerid = o.id "
+         "AND make = 'Toyota' AND model = 'Camry' AND city = 'Ottawa' "
+         "AND country = 'CA' AND salary > 5000";
+}
+
+namespace {
+
+using carschema::AllModels;
+using carschema::Cities;
+using carschema::CountryOf;
+using carschema::Makes;
+using carschema::ModelsOf;
+
+/// Picks a make and a model of that make; skewed toward popular makes so
+/// query shapes recur (which is what lets materialized QSS pay off).
+void PickMakeModel(Rng* rng, std::string* make, std::string* model) {
+  const size_t m = rng->Zipf(Makes().size(), 1.2);
+  *make = Makes()[m];
+  *model = ModelsOf(m)[rng->Zipf(5, 1.0)];
+}
+
+size_t PickCity(Rng* rng) { return rng->Zipf(Cities().size(), 1.0); }
+
+}  // namespace
+
+std::vector<WorkloadItem> GenerateWorkload(const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  const SchemaSizes sizes = SchemaSizes::ForScale(config.scale);
+  std::vector<WorkloadItem> items;
+  items.reserve(config.num_items);
+
+  // Mutable generator state driven forward by the update batches.
+  int64_t next_car_id = static_cast<int64_t>(sizes.car) + 1;
+  int64_t next_accident_id = static_cast<int64_t>(sizes.accidents) + 1;
+  int64_t deleted_accidents_upto = 0;
+  int update_kind = 0;
+
+  for (size_t i = 0; i < config.num_items; ++i) {
+    WorkloadItem item;
+    if (rng.Chance(config.update_fraction)) {
+      // --- DML batch: shift the data distribution. ---
+      item.is_update = true;
+      item.template_id = 100 + (update_kind % 5);
+      switch (update_kind % 5) {
+        case 0: {
+          // Price inflation for one model year of one make.
+          std::string make;
+          std::string model;
+          PickMakeModel(&rng, &make, &model);
+          const int64_t year =
+              rng.Uniform(carschema::kMinYear, carschema::kMaxYear);
+          const double price = rng.UniformDouble(15000, 40000);
+          item.statements.push_back(
+              StrFormat("UPDATE car SET price = %.0f WHERE year = %lld AND make = '%s'",
+                        price, static_cast<long long>(year), make.c_str()));
+          break;
+        }
+        case 1: {
+          // New 2007 model-year cars arrive (year histograms go stale).
+          std::string make;
+          std::string model;
+          for (int k = 0; k < 40; ++k) {
+            PickMakeModel(&rng, &make, &model);
+            const int64_t owner = rng.Uniform(1, static_cast<int64_t>(sizes.owner));
+            const double price = rng.UniformDouble(18000, 45000);
+            item.statements.push_back(StrFormat(
+                "INSERT INTO car VALUES (%lld, %lld, '%s', '%s', 2007, %.0f, 'White')",
+                static_cast<long long>(next_car_id++), static_cast<long long>(owner),
+                make.c_str(), model.c_str(), price));
+          }
+          break;
+        }
+        case 2: {
+          // Salary drift for one band of owners.
+          const double lo = rng.UniformDouble(1000, 8000);
+          const double hi = lo + rng.UniformDouble(300, 1200);
+          const double salary = hi * rng.UniformDouble(1.2, 1.8);
+          item.statements.push_back(StrFormat(
+              "UPDATE owner SET salary = %.0f WHERE salary BETWEEN %.0f AND %.0f",
+              salary, lo, hi));
+          break;
+        }
+        case 3: {
+          // Fresh accidents (new year, higher damage) plus pruning of the
+          // oldest ones.
+          for (int k = 0; k < 60; ++k) {
+            const int64_t carid = rng.Uniform(1, static_cast<int64_t>(sizes.car));
+            const int64_t severity = 1 + static_cast<int64_t>(rng.Zipf(5, 0.6));
+            const double damage = static_cast<double>(severity) * 3000.0 *
+                                  rng.UniformDouble(0.8, 1.8);
+            item.statements.push_back(StrFormat(
+                "INSERT INTO accidents VALUES (%lld, %lld, 'owner', %.0f, %lld, 2007)",
+                static_cast<long long>(next_accident_id++),
+                static_cast<long long>(carid), damage,
+                static_cast<long long>(severity)));
+          }
+          const int64_t prune = 120;
+          item.statements.push_back(StrFormat(
+              "DELETE FROM accidents WHERE id BETWEEN %lld AND %lld",
+              static_cast<long long>(deleted_accidents_upto + 1),
+              static_cast<long long>(deleted_accidents_upto + prune)));
+          deleted_accidents_upto += prune;
+          break;
+        }
+        case 4: {
+          // Migration: a block of owners moves to another city.
+          const size_t city = PickCity(&rng);
+          const int64_t lo = rng.Uniform(1, static_cast<int64_t>(sizes.owner) - 500);
+          item.statements.push_back(StrFormat(
+              "UPDATE demographics SET city = '%s', country = '%s' "
+              "WHERE ownerid BETWEEN %lld AND %lld",
+              Cities()[city].c_str(), CountryOf(city).c_str(),
+              static_cast<long long>(lo), static_cast<long long>(lo + 400)));
+          break;
+        }
+      }
+      ++update_kind;
+    } else {
+      // --- SELECT from one of 8 templates. ---
+      item.template_id = static_cast<int>(rng.Zipf(8, 0.3));
+      std::string make;
+      std::string model;
+      PickMakeModel(&rng, &make, &model);
+      const size_t city = PickCity(&rng);
+      const int64_t year = rng.Uniform(1999, carschema::kMaxYear);
+      const double salary = rng.UniformDouble(3000, 9000);
+      switch (item.template_id) {
+        case 0:
+          item.statements.push_back(StrFormat(
+              "SELECT price FROM car WHERE make = '%s' AND model = '%s' AND year > %lld",
+              make.c_str(), model.c_str(), static_cast<long long>(year)));
+          break;
+        case 1:
+          item.statements.push_back(StrFormat(
+              "SELECT o.name FROM car c, owner o WHERE c.ownerid = o.id "
+              "AND make = '%s' AND model = '%s' AND o.salary > %.0f",
+              make.c_str(), model.c_str(), salary));
+          break;
+        case 2: {
+          const double lo = rng.UniformDouble(2000, 6000);
+          item.statements.push_back(StrFormat(
+              "SELECT o.name FROM owner o, demographics d WHERE d.ownerid = o.id "
+              "AND d.city = '%s' AND d.country = '%s' AND o.salary BETWEEN %.0f AND %.0f",
+              Cities()[city].c_str(), CountryOf(city).c_str(), lo,
+              lo + rng.UniformDouble(1500, 6000)));
+          break;
+        }
+        case 3:
+          // The paper's 4-way join shape with randomized constants.
+          item.statements.push_back(StrFormat(
+              "SELECT o.name, driver, damage "
+              "FROM car c, accidents a, demographics d, owner o "
+              "WHERE d.ownerid = o.id AND a.carid = c.id AND c.ownerid = o.id "
+              "AND make = '%s' AND model = '%s' AND city = '%s' AND country = '%s' "
+              "AND salary > %.0f",
+              make.c_str(), model.c_str(), Cities()[city].c_str(),
+              CountryOf(city).c_str(), salary));
+          break;
+        case 4: {
+          const int64_t severity = rng.Uniform(2, 4);
+          item.statements.push_back(StrFormat(
+              "SELECT a.damage FROM accidents a, car c WHERE a.carid = c.id "
+              "AND a.severity >= %lld AND a.damage > %.0f AND c.make = '%s'",
+              static_cast<long long>(severity),
+              static_cast<double>(severity) * 2000.0, make.c_str()));
+          break;
+        }
+        case 5: {
+          const int64_t y1 = rng.Uniform(1997, 2004);
+          const double p1 = rng.UniformDouble(5000, 12000);
+          item.statements.push_back(StrFormat(
+              "SELECT id FROM car WHERE year BETWEEN %lld AND %lld "
+              "AND price BETWEEN %.0f AND %.0f",
+              static_cast<long long>(y1), static_cast<long long>(y1 + 3), p1,
+              p1 + rng.UniformDouble(3000, 10000)));
+          break;
+        }
+        case 6:
+          item.statements.push_back(StrFormat(
+              "SELECT c.id FROM car c, accidents a WHERE a.carid = c.id "
+              "AND c.make = '%s' AND c.model = '%s' AND a.year > %lld",
+              make.c_str(), model.c_str(), static_cast<long long>(year)));
+          break;
+        case 7:
+        default:
+          item.statements.push_back(StrFormat(
+              "SELECT o.name FROM car c, owner o, demographics d "
+              "WHERE c.ownerid = o.id AND d.ownerid = o.id "
+              "AND c.make = '%s' AND d.city = '%s'",
+              make.c_str(), Cities()[city].c_str()));
+          break;
+      }
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace jits

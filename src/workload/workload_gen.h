@@ -1,0 +1,42 @@
+#ifndef JITS_WORKLOAD_WORKLOAD_GEN_H_
+#define JITS_WORKLOAD_WORKLOAD_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jits {
+
+/// One workload item: either a single SELECT or a DML batch (the paper's
+/// 840-query workload "including data updates to simulate a real-world
+/// operational database").
+struct WorkloadItem {
+  std::vector<std::string> statements;
+  bool is_update = false;
+  int template_id = -1;
+
+  const std::string& sql() const { return statements.front(); }
+};
+
+struct WorkloadConfig {
+  size_t num_items = 840;
+  /// Fraction of items that are DML batches interleaved with the queries.
+  double update_fraction = 0.25;
+  /// Must match the DataGenConfig scale so generated ids are in range.
+  double scale = 0.03;
+  uint64_t seed = 99;
+};
+
+/// Deterministically generates the workload: SPJ queries over the
+/// correlated predicate groups (make/model, city/country, year/price,
+/// severity/damage) across 8 templates, interleaved with distribution-
+/// shifting update batches (price inflation, new model years, salary
+/// drift, city migration, accident churn).
+std::vector<WorkloadItem> GenerateWorkload(const WorkloadConfig& config);
+
+/// The paper's §4.1 single query (Toyota Camry / Ottawa / salary > 5000).
+std::string PaperSingleQuery();
+
+}  // namespace jits
+
+#endif  // JITS_WORKLOAD_WORKLOAD_GEN_H_

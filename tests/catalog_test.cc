@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/runstats.h"
+#include "common/rng.h"
+
+namespace jits {
+namespace {
+
+// ---------- Catalog ----------
+
+TEST(CatalogTest, CreateAndFindCaseInsensitive) {
+  Catalog catalog;
+  Result<Table*> t = catalog.CreateTable("Car", Schema({{"id", DataType::kInt64}}));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(catalog.FindTable("CAR"), t.value());
+  EXPECT_EQ(catalog.FindTable("car"), t.value());
+  EXPECT_EQ(catalog.FindTable("nope"), nullptr);
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", Schema({{"a", DataType::kInt64}})).ok());
+  EXPECT_EQ(catalog.CreateTable("T", Schema({{"a", DataType::kInt64}})).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, DefaultCardinalityWithoutStats) {
+  Catalog catalog;
+  Table* t = catalog.CreateTable("t", Schema({{"a", DataType::kInt64}})).value();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(t->Insert({Value(int64_t{i})}).ok());
+  }
+  EXPECT_DOUBLE_EQ(catalog.EstimatedCardinality(t), Catalog::kDefaultCardinality);
+  EXPECT_EQ(catalog.FindStats(t), nullptr);
+}
+
+TEST(CatalogTest, ClearStatsResetsToDefaults) {
+  Catalog catalog;
+  Table* t = catalog.CreateTable("t", Schema({{"a", DataType::kInt64}})).value();
+  ASSERT_TRUE(t->Insert({Value(int64_t{1})}).ok());
+  Rng rng(1);
+  ASSERT_TRUE(RunStats(&catalog, t, {}, &rng, 1).ok());
+  EXPECT_NE(catalog.FindStats(t), nullptr);
+  catalog.ClearStats();
+  EXPECT_EQ(catalog.FindStats(t), nullptr);
+}
+
+// ---------- Duj1 distinct estimator ----------
+
+TEST(Duj1Test, FullScanReturnsSampleDistinct) {
+  EXPECT_DOUBLE_EQ(EstimateDistinctDuj1(50, 10, 1000, 1000), 50);
+}
+
+TEST(Duj1Test, AllSingletonsSuggestsKeyColumn) {
+  // Every sampled value unique -> estimate near table size.
+  const double est = EstimateDistinctDuj1(100, 100, 100, 10000);
+  EXPECT_GT(est, 5000);
+}
+
+TEST(Duj1Test, NoSingletonsKeepsSampleDistinct) {
+  // All values repeated in the sample: distinct is close to what we saw.
+  const double est = EstimateDistinctDuj1(10, 0, 1000, 100000);
+  EXPECT_DOUBLE_EQ(est, 10);
+}
+
+TEST(Duj1Test, NeverExceedsTableSize) {
+  EXPECT_LE(EstimateDistinctDuj1(100, 100, 100, 500), 500);
+}
+
+// ---------- RunStats ----------
+
+class RunStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = catalog_
+                 .CreateTable("cars", Schema({{"year", DataType::kInt64},
+                                              {"make", DataType::kString},
+                                              {"price", DataType::kDouble}}))
+                 .value();
+    Rng data_rng(5);
+    for (int i = 0; i < 2000; ++i) {
+      const int64_t year = 1995 + (i % 12);
+      const std::string make = (i % 10 < 7) ? "Toyota" : "Honda";  // 70/30 skew
+      const double price = 5000.0 + static_cast<double>(i % 100) * 100;
+      ASSERT_TRUE(table_->Insert({Value(year), Value(make), Value(price)}).ok());
+    }
+  }
+
+  Catalog catalog_;
+  Table* table_ = nullptr;
+  Rng rng_{7};
+};
+
+TEST_F(RunStatsTest, FullScanStatsAreExact) {
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng_, 3).ok());
+  const TableStats* stats = catalog_.FindStats(table_);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_DOUBLE_EQ(stats->cardinality, 2000);
+  EXPECT_EQ(stats->collected_at_time, 3u);
+  ASSERT_TRUE(stats->HasColumn(0));
+  EXPECT_NEAR(stats->columns[0].distinct, 12, 0.5);
+  EXPECT_DOUBLE_EQ(stats->columns[0].min_key, 1995);
+  EXPECT_DOUBLE_EQ(stats->columns[0].max_key, 2006);
+}
+
+TEST_F(RunStatsTest, ResetsUdiCounter) {
+  EXPECT_GT(table_->udi_counter(), 0u);
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng_, 1).ok());
+  EXPECT_EQ(table_->udi_counter(), 0u);
+}
+
+TEST_F(RunStatsTest, FrequentValuesCaptureSkew) {
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng_, 1).ok());
+  const TableStats* stats = catalog_.FindStats(table_);
+  const ColumnStats& make = stats->columns[1];
+  ASSERT_FALSE(make.frequent_values.empty());
+  // Toyota is dict code 0 and holds ~70% of rows.
+  EXPECT_DOUBLE_EQ(make.frequent_values[0].first, 0);
+  EXPECT_NEAR(make.frequent_values[0].second, 1400, 50);
+}
+
+TEST_F(RunStatsTest, SampledStatsApproximateFullStats) {
+  RunStatsOptions options;
+  options.sample_rows = 500;
+  ASSERT_TRUE(RunStats(&catalog_, table_, options, &rng_, 1).ok());
+  const TableStats* stats = catalog_.FindStats(table_);
+  EXPECT_DOUBLE_EQ(stats->cardinality, 2000);
+  // Histogram total scaled to table size.
+  EXPECT_NEAR(stats->columns[0].histogram.total_rows(), 2000, 1e-6);
+  // Distinct (12 years) well covered by 500 rows.
+  EXPECT_NEAR(stats->columns[0].distinct, 12, 2);
+}
+
+TEST_F(RunStatsTest, EqualsEstimateUsesFrequentValues) {
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng_, 1).ok());
+  const TableStats* stats = catalog_.FindStats(table_);
+  const ColumnStats& make = stats->columns[1];
+  EXPECT_NEAR(make.EstimateEqualsFraction(0, 2000), 0.7, 0.05);   // Toyota
+  EXPECT_NEAR(make.EstimateEqualsFraction(1, 2000), 0.3, 0.05);   // Honda
+}
+
+TEST_F(RunStatsTest, RangeEstimateFromHistogram) {
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng_, 1).ok());
+  const TableStats* stats = catalog_.FindStats(table_);
+  // year in [2001, 2007) is 6 of 12 uniform years.
+  EXPECT_NEAR(stats->columns[0].EstimateRangeFraction(2001, 2007), 0.5, 0.05);
+}
+
+TEST_F(RunStatsTest, RunStatsAllCoversEveryTable) {
+  Table* other =
+      catalog_.CreateTable("other", Schema({{"x", DataType::kInt64}})).value();
+  ASSERT_TRUE(other->Insert({Value(int64_t{1})}).ok());
+  ASSERT_TRUE(RunStatsAll(&catalog_, {}, &rng_, 1).ok());
+  EXPECT_NE(catalog_.FindStats(table_), nullptr);
+  EXPECT_NE(catalog_.FindStats(other), nullptr);
+}
+
+// ---------- ColumnStats fallbacks ----------
+
+TEST(ColumnStatsTest, RangeFallsBackToMinMaxInterpolation) {
+  ColumnStats cs;
+  cs.min_key = 0;
+  cs.max_key = 99;
+  EXPECT_NEAR(cs.EstimateRangeFraction(0, 50), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(cs.EstimateRangeFraction(200, 300), 0);
+}
+
+TEST(ColumnStatsTest, EqualsFallsBackToDistinct) {
+  ColumnStats cs;
+  cs.distinct = 50;
+  EXPECT_DOUBLE_EQ(cs.EstimateEqualsFraction(7, 1000), 1.0 / 50);
+}
+
+}  // namespace
+}  // namespace jits

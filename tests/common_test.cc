@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/value.h"
+
+namespace jits {
+namespace {
+
+// ---------- Status ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table foo");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table foo");
+  EXPECT_EQ(s.ToString(), "NotFound: table foo");
+}
+
+TEST(StatusTest, EveryFactoryProducesMatchingCode) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::BindError("x").code(), StatusCode::kBindError);
+  EXPECT_EQ(Status::ExecutionError("x").code(), StatusCode::kExecutionError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> r(std::string(1000, 'x'));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved.size(), 1000u);
+}
+
+// ---------- Value ----------
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, Int64RoundTrip) {
+  Value v(int64_t{-7});
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), -7);
+  EXPECT_EQ(v.ToString(), "-7");
+  EXPECT_DOUBLE_EQ(v.AsDouble(), -7.0);
+}
+
+TEST(ValueTest, DoubleRoundTrip) {
+  Value v(3.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.dbl(), 3.5);
+  EXPECT_EQ(v.ToString(), "3.5");
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.str(), "hello");
+  EXPECT_EQ(v.ToString(), "'hello'");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // typed comparison
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, IntCompatibleWithDouble) {
+  EXPECT_TRUE(Value(int64_t{5}).CompatibleWith(DataType::kDouble));
+  EXPECT_FALSE(Value(5.0).CompatibleWith(DataType::kInt64));
+  EXPECT_FALSE(Value("x").CompatibleWith(DataType::kInt64));
+  EXPECT_TRUE(Value::Null().CompatibleWith(DataType::kString));
+}
+
+struct CoercionCase {
+  Value input;
+  DataType target;
+  Value expected;
+};
+
+class ValueCoercionTest : public ::testing::TestWithParam<CoercionCase> {};
+
+TEST_P(ValueCoercionTest, CoercesAsExpected) {
+  const CoercionCase& c = GetParam();
+  EXPECT_EQ(c.input.CoerceTo(c.target), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Coercions, ValueCoercionTest,
+    ::testing::Values(
+        CoercionCase{Value(int64_t{3}), DataType::kDouble, Value(3.0)},
+        CoercionCase{Value(2.9), DataType::kInt64, Value(int64_t{2})},
+        CoercionCase{Value(int64_t{3}), DataType::kInt64, Value(int64_t{3})},
+        CoercionCase{Value(1.5), DataType::kDouble, Value(1.5)},
+        CoercionCase{Value("s"), DataType::kString, Value("s")},
+        CoercionCase{Value::Null(), DataType::kInt64, Value::Null()}));
+
+// ---------- Schema ----------
+
+TEST(SchemaTest, FindColumnIsCaseInsensitive) {
+  Schema s({{"Make", DataType::kString}, {"Year", DataType::kInt64}});
+  EXPECT_EQ(s.FindColumn("make"), 0);
+  EXPECT_EQ(s.FindColumn("YEAR"), 1);
+  EXPECT_EQ(s.FindColumn("price"), -1);
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+  EXPECT_EQ(s.ToString(), "(a INT, b DOUBLE)");
+}
+
+// ---------- StrUtil ----------
+
+TEST(StrUtilTest, ToLower) { EXPECT_EQ(ToLower("AbC_9"), "abc_9"); }
+
+TEST(StrUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StrUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Uniform(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowIndices) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.Zipf(10, 1.0)]++;
+  EXPECT_GT(counts[0], counts[9] * 3);
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(total, 20000);
+}
+
+TEST(RngTest, ZipfZeroSkewIsRoughlyUniform) {
+  Rng rng(7);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) counts[rng.Zipf(4, 0.0)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 600);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(11);
+  const std::vector<uint32_t> sample = rng.SampleWithoutReplacement(1000, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (uint32_t v : sample) EXPECT_LT(v, 1000u);
+}
+
+TEST(RngTest, SampleWithoutReplacementReturnsAllWhenKTooLarge) {
+  Rng rng(11);
+  const std::vector<uint32_t> sample = rng.SampleWithoutReplacement(10, 50);
+  EXPECT_EQ(sample.size(), 10u);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, GaussianRoughMoments) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10, 2);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+}  // namespace
+}  // namespace jits

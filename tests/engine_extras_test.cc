@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/str_util.h"
+#include "engine/csv.h"
+#include "engine/database.h"
+
+namespace jits {
+namespace {
+
+// ---------- ANALYZE ----------
+
+class AnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE a (x INT)").ok());
+    ASSERT_TRUE(db_.Execute("CREATE TABLE b (y INT)").ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db_.Execute(StrFormat("INSERT INTO a VALUES (%d)", i % 10)).ok());
+      ASSERT_TRUE(db_.Execute(StrFormat("INSERT INTO b VALUES (%d)", i)).ok());
+    }
+  }
+  Database db_;
+};
+
+TEST_F(AnalyzeTest, AnalyzeSingleTable) {
+  QueryResult r;
+  ASSERT_TRUE(db_.Execute("ANALYZE a", &r).ok());
+  EXPECT_EQ(r.num_rows, 1u);
+  EXPECT_NE(db_.catalog()->FindStats(db_.catalog()->FindTable("a")), nullptr);
+  EXPECT_EQ(db_.catalog()->FindStats(db_.catalog()->FindTable("b")), nullptr);
+}
+
+TEST_F(AnalyzeTest, AnalyzeAllTables) {
+  QueryResult r;
+  ASSERT_TRUE(db_.Execute("ANALYZE", &r).ok());
+  EXPECT_EQ(r.num_rows, 2u);
+  EXPECT_NE(db_.catalog()->FindStats(db_.catalog()->FindTable("a")), nullptr);
+  EXPECT_NE(db_.catalog()->FindStats(db_.catalog()->FindTable("b")), nullptr);
+}
+
+TEST_F(AnalyzeTest, AnalyzeUnknownTableRejected) {
+  EXPECT_EQ(db_.Execute("ANALYZE nope").code(), StatusCode::kBindError);
+}
+
+TEST_F(AnalyzeTest, AnalyzeImprovesEstimates) {
+  QueryResult blind;
+  ASSERT_TRUE(db_.Execute("SELECT x FROM a WHERE x = 3", &blind).ok());
+  ASSERT_TRUE(db_.Execute("ANALYZE a").ok());
+  QueryResult informed;
+  ASSERT_TRUE(db_.Execute("SELECT x FROM a WHERE x = 3", &informed).ok());
+  EXPECT_NEAR(informed.est_rows, 10, 2);
+}
+
+// ---------- DISTINCT ----------
+
+class DistinctTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE t (k INT, s VARCHAR)").ok());
+    const char* names[] = {"a", "b", "a", "c", "b", "a"};
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(
+          db_.Execute(StrFormat("INSERT INTO t VALUES (%d, '%s')", i % 3, names[i]))
+              .ok());
+    }
+  }
+  Database db_;
+};
+
+TEST_F(DistinctTest, DedupesSingleColumn) {
+  QueryResult r;
+  ASSERT_TRUE(db_.Execute("SELECT DISTINCT s FROM t ORDER BY s", &r).ok());
+  ASSERT_EQ(r.num_rows, 3u);
+  EXPECT_EQ(r.rows[0][0].str(), "a");
+  EXPECT_EQ(r.rows[1][0].str(), "b");
+  EXPECT_EQ(r.rows[2][0].str(), "c");
+}
+
+TEST_F(DistinctTest, DedupesOverProjectionNotWholeRow) {
+  QueryResult r;
+  ASSERT_TRUE(db_.Execute("SELECT DISTINCT k FROM t", &r).ok());
+  EXPECT_EQ(r.num_rows, 3u);
+}
+
+TEST_F(DistinctTest, DistinctWithLimit) {
+  QueryResult r;
+  ASSERT_TRUE(db_.Execute("SELECT DISTINCT s FROM t ORDER BY s LIMIT 2", &r).ok());
+  EXPECT_EQ(r.num_rows, 2u);
+}
+
+TEST_F(DistinctTest, DistinctOverTwoColumns) {
+  QueryResult all;
+  ASSERT_TRUE(db_.Execute("SELECT DISTINCT k, s FROM t", &all).ok());
+  // (0,a),(1,b),(2,a),(0,c) are distinct; (1,b) and (2,a) recur.
+  EXPECT_EQ(all.num_rows, 4u);
+}
+
+// ---------- CSV ----------
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "jits_csv_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string PathFor(const std::string& name) { return (dir_ / name).string(); }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(content.c_str(), f);
+    std::fclose(f);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, SplitHandlesQuotingAndEscapes) {
+  const std::vector<std::string> fields =
+      SplitCsvLine("1,\"hello, world\",\"she said \"\"hi\"\"\",plain", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "1");
+  EXPECT_EQ(fields[1], "hello, world");
+  EXPECT_EQ(fields[2], "she said \"hi\"");
+  EXPECT_EQ(fields[3], "plain");
+}
+
+TEST_F(CsvTest, QuoteFieldOnlyWhenNeeded) {
+  EXPECT_EQ(QuoteCsvField("plain", ','), "plain");
+  EXPECT_EQ(QuoteCsvField("a,b", ','), "\"a,b\"");
+  EXPECT_EQ(QuoteCsvField("say \"hi\"", ','), "\"say \"\"hi\"\"\"");
+}
+
+TEST_F(CsvTest, ImportParsesTypedColumns) {
+  Table t("t", Schema({{"id", DataType::kInt64},
+                       {"price", DataType::kDouble},
+                       {"name", DataType::kString}}));
+  const std::string path = PathFor("in.csv");
+  WriteFile(path, "id,price,name\n1,9.5,\"Toyota, Camry\"\n2,12,Civic\n");
+  Result<size_t> imported = ImportCsv(&t, path);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(imported.value(), 2u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.GetValue(0, 2).str(), "Toyota, Camry");
+  EXPECT_DOUBLE_EQ(t.GetValue(1, 1).dbl(), 12.0);
+}
+
+TEST_F(CsvTest, ImportRejectsBadArityAndTypes) {
+  Table t("t", Schema({{"id", DataType::kInt64}}));
+  const std::string arity = PathFor("arity.csv");
+  WriteFile(arity, "id\n1,2\n");
+  EXPECT_FALSE(ImportCsv(&t, arity).ok());
+  const std::string type = PathFor("type.csv");
+  WriteFile(type, "id\nnot_a_number\n");
+  EXPECT_FALSE(ImportCsv(&t, type).ok());
+  EXPECT_FALSE(ImportCsv(&t, PathFor("missing.csv")).ok());
+}
+
+TEST_F(CsvTest, RoundTripPreservesData) {
+  Table t("t", Schema({{"id", DataType::kInt64},
+                       {"v", DataType::kDouble},
+                       {"s", DataType::kString}}));
+  ASSERT_TRUE(t.Insert({Value(int64_t{1}), Value(2.25), Value("plain")}).ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{2}), Value(-0.5), Value("with,comma")}).ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{3}), Value(1e-9), Value("quote\"inside")}).ok());
+  const std::string path = PathFor("round.csv");
+  Result<size_t> exported = ExportCsv(t, path);
+  ASSERT_TRUE(exported.ok());
+  EXPECT_EQ(exported.value(), 3u);
+
+  Table back("back", t.schema());
+  Result<size_t> imported = ImportCsv(&back, path);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  ASSERT_EQ(back.num_rows(), 3u);
+  for (uint32_t row = 0; row < 3; ++row) {
+    EXPECT_EQ(back.GetRow(row), t.GetRow(row)) << "row " << row;
+  }
+}
+
+TEST_F(CsvTest, ExportSkipsDeletedRows) {
+  Table t("t", Schema({{"id", DataType::kInt64}}));
+  ASSERT_TRUE(t.Insert({Value(int64_t{1})}).ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{2})}).ok());
+  ASSERT_TRUE(t.DeleteRow(0).ok());
+  const std::string path = PathFor("del.csv");
+  Result<size_t> exported = ExportCsv(t, path);
+  ASSERT_TRUE(exported.ok());
+  EXPECT_EQ(exported.value(), 1u);
+}
+
+TEST_F(CsvTest, ImportedDataQueriesEndToEnd) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE cars (id INT, make VARCHAR)").ok());
+  const std::string path = PathFor("cars.csv");
+  WriteFile(path, "id,make\n1,Toyota\n2,Honda\n3,Toyota\n");
+  Result<size_t> imported = ImportCsv(db.catalog()->FindTable("cars"), path);
+  ASSERT_TRUE(imported.ok());
+  QueryResult r;
+  ASSERT_TRUE(db.Execute("SELECT id FROM cars WHERE make = 'Toyota'", &r).ok());
+  EXPECT_EQ(r.num_rows, 2u);
+}
+
+}  // namespace
+}  // namespace jits

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "histogram/equi_depth.h"
+
+namespace jits {
+namespace {
+
+TEST(EquiDepthTest, EmptyInputYieldsEmptyHistogram) {
+  EquiDepthHistogram h = EquiDepthHistogram::Build({}, 10, 0);
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.EstimateRangeFraction(0, 10), 0);
+}
+
+TEST(EquiDepthTest, CountsSumToTotal) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(static_cast<double>(i % 97));
+  EquiDepthHistogram h = EquiDepthHistogram::Build(std::move(values), 16, 1000);
+  double sum = 0;
+  for (double c : h.counts()) sum += c;
+  EXPECT_NEAR(sum, 1000, 1e-6);
+}
+
+TEST(EquiDepthTest, BoundariesAreSorted) {
+  std::vector<double> values;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) values.push_back(rng.UniformDouble(0, 100));
+  EquiDepthHistogram h = EquiDepthHistogram::Build(std::move(values), 8, 500);
+  for (size_t i = 1; i < h.boundaries().size(); ++i) {
+    EXPECT_LE(h.boundaries()[i - 1], h.boundaries()[i]);
+  }
+}
+
+TEST(EquiDepthTest, ScalesSampleToTableRows) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i));
+  EquiDepthHistogram h = EquiDepthHistogram::Build(std::move(values), 4, 10000);
+  EXPECT_DOUBLE_EQ(h.total_rows(), 10000);
+  double sum = 0;
+  for (double c : h.counts()) sum += c;
+  EXPECT_NEAR(sum, 10000, 1e-6);
+}
+
+TEST(EquiDepthTest, FullRangeFractionIsOne) {
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(static_cast<double>(i));
+  EquiDepthHistogram h = EquiDepthHistogram::Build(std::move(values), 10, 200);
+  EXPECT_NEAR(h.EstimateRangeFraction(-10, 1000), 1.0, 1e-9);
+}
+
+TEST(EquiDepthTest, DisjointRangeFractionIsZero) {
+  std::vector<double> values = {1, 2, 3, 4, 5};
+  EquiDepthHistogram h = EquiDepthHistogram::Build(std::move(values), 2, 5);
+  EXPECT_DOUBLE_EQ(h.EstimateRangeFraction(100, 200), 0);
+  EXPECT_DOUBLE_EQ(h.EstimateRangeFraction(5, 4), 0);  // inverted
+}
+
+TEST(EquiDepthTest, EqualsFractionUsesDistinctCounts) {
+  // 100 rows over 10 distinct values, uniform.
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i % 10));
+  EquiDepthHistogram h = EquiDepthHistogram::Build(std::move(values), 5, 100);
+  EXPECT_NEAR(h.EstimateEqualsFraction(3), 0.1, 0.05);
+  EXPECT_DOUBLE_EQ(h.EstimateEqualsFraction(42), 0);
+}
+
+TEST(EquiDepthTest, EqualValuesNeverStraddleBoundaries) {
+  // Heavy duplication: one value dominates.
+  std::vector<double> values;
+  for (int i = 0; i < 900; ++i) values.push_back(5.0);
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(10 + i));
+  EquiDepthHistogram h = EquiDepthHistogram::Build(std::move(values), 10, 1000);
+  // The run of 5s must live in a single bucket: estimating =5 should see
+  // most of the mass.
+  EXPECT_GT(h.EstimateEqualsFraction(5.0), 0.4);
+}
+
+// Property sweep: uniform data => range estimates track the true fraction.
+struct EstimateSweepCase {
+  size_t n;
+  size_t buckets;
+  double lo;
+  double hi;
+};
+
+class EquiDepthSweepTest : public ::testing::TestWithParam<EstimateSweepCase> {};
+
+TEST_P(EquiDepthSweepTest, RangeEstimateTracksTruth) {
+  const EstimateSweepCase& c = GetParam();
+  Rng rng(42);
+  std::vector<double> values;
+  values.reserve(c.n);
+  for (size_t i = 0; i < c.n; ++i) values.push_back(rng.UniformDouble(0, 1000));
+  std::vector<double> copy = values;
+  EquiDepthHistogram h =
+      EquiDepthHistogram::Build(std::move(copy), c.buckets, static_cast<double>(c.n));
+  double truth = 0;
+  for (double v : values) {
+    if (v >= c.lo && v < c.hi) truth += 1;
+  }
+  truth /= static_cast<double>(c.n);
+  EXPECT_NEAR(h.EstimateRangeFraction(c.lo, c.hi), truth, 0.05)
+      << "n=" << c.n << " buckets=" << c.buckets;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquiDepthSweepTest,
+    ::testing::Values(EstimateSweepCase{1000, 10, 0, 100},
+                      EstimateSweepCase{1000, 10, 250, 750},
+                      EstimateSweepCase{1000, 20, 900, 1000},
+                      EstimateSweepCase{5000, 8, 100, 150},
+                      EstimateSweepCase{5000, 32, 0, 500},
+                      EstimateSweepCase{200, 4, 300, 600},
+                      EstimateSweepCase{10000, 16, 499, 501}));
+
+// ---------- Accuracy metric (paper §3.3.2) ----------
+
+EquiDepthHistogram UniformHistogram() {
+  // Values 0..99 -> 10 buckets of width ~10.
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i));
+  return EquiDepthHistogram::Build(std::move(values), 10, 100);
+}
+
+TEST(AccuracyTest, ExactOnBoundary) {
+  EquiDepthHistogram h = UniformHistogram();
+  for (double b : h.boundaries()) {
+    EXPECT_DOUBLE_EQ(h.BoundaryAccuracy(b), 1.0);
+  }
+}
+
+TEST(AccuracyTest, ExactOutsideDomain) {
+  EquiDepthHistogram h = UniformHistogram();
+  EXPECT_DOUBLE_EQ(h.BoundaryAccuracy(-5), 1.0);
+  EXPECT_DOUBLE_EQ(h.BoundaryAccuracy(1e9), 1.0);
+}
+
+TEST(AccuracyTest, WorstAtBucketCenter) {
+  EquiDepthHistogram h = UniformHistogram();
+  const double lo = h.boundaries()[0];
+  const double hi = h.boundaries()[1];
+  const double center = (lo + hi) / 2;
+  const double acc_center = h.BoundaryAccuracy(center);
+  const double acc_near_edge = h.BoundaryAccuracy(lo + (hi - lo) * 0.1);
+  EXPECT_LT(acc_center, acc_near_edge);
+  // u = 1 * width/total = 0.1 at the center of a 1/10-width bucket.
+  EXPECT_NEAR(acc_center, 0.9, 0.03);
+}
+
+TEST(AccuracyTest, WiderBucketsAreLessAccurate) {
+  // Skewed data: one wide sparse bucket at the top.
+  std::vector<double> values;
+  for (int i = 0; i < 900; ++i) values.push_back(static_cast<double>(i % 30));
+  for (int i = 0; i < 100; ++i) values.push_back(1000.0 + 100.0 * i);
+  EquiDepthHistogram h = EquiDepthHistogram::Build(std::move(values), 10, 1000);
+  // A point mid-narrow-bucket vs a point mid-widest-bucket.
+  double narrow_width = 1e18;
+  double wide_width = 0;
+  double narrow_mid = 0;
+  double wide_mid = 0;
+  for (size_t b = 0; b < h.num_buckets(); ++b) {
+    const double w = h.boundaries()[b + 1] - h.boundaries()[b];
+    if (w <= 0) continue;
+    if (w < narrow_width) {
+      narrow_width = w;
+      narrow_mid = (h.boundaries()[b] + h.boundaries()[b + 1]) / 2;
+    }
+    if (w > wide_width) {
+      wide_width = w;
+      wide_mid = (h.boundaries()[b] + h.boundaries()[b + 1]) / 2;
+    }
+  }
+  EXPECT_GT(h.BoundaryAccuracy(narrow_mid), h.BoundaryAccuracy(wide_mid));
+}
+
+TEST(AccuracyTest, IntervalAccuracyIsEndpointProduct) {
+  EquiDepthHistogram h = UniformHistogram();
+  const double lo = 13.7;
+  const double hi = 55.2;
+  EXPECT_NEAR(h.IntervalAccuracy(lo, hi),
+              h.BoundaryAccuracy(lo) * h.BoundaryAccuracy(hi), 1e-12);
+  // One-sided intervals only count the finite endpoint.
+  EXPECT_NEAR(h.IntervalAccuracy(lo, INFINITY), h.BoundaryAccuracy(lo), 1e-12);
+}
+
+TEST(AccuracyTest, AlwaysInUnitInterval) {
+  EquiDepthHistogram h = UniformHistogram();
+  for (double v = -10; v < 120; v += 0.7) {
+    const double a = h.BoundaryAccuracy(v);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+// ---------- FromBuckets ----------
+
+TEST(FromBucketsTest, RoundTripsCounts) {
+  EquiDepthHistogram h =
+      EquiDepthHistogram::FromBuckets({0, 10, 20, 40}, {100, 50, 50}, {});
+  EXPECT_EQ(h.num_buckets(), 3u);
+  EXPECT_DOUBLE_EQ(h.total_rows(), 200);
+  EXPECT_NEAR(h.EstimateRangeFraction(0, 10), 0.5, 1e-9);
+  EXPECT_NEAR(h.EstimateRangeFraction(20, 40), 0.25, 1e-9);
+}
+
+TEST(FromBucketsTest, RejectsMalformedInput) {
+  EXPECT_TRUE(EquiDepthHistogram::FromBuckets({0, 1}, {1, 2}, {}).empty());
+  EXPECT_TRUE(EquiDepthHistogram::FromBuckets({}, {}, {}).empty());
+}
+
+}  // namespace
+}  // namespace jits

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "feedback/feedback.h"
+#include "feedback/stat_history.h"
+
+namespace jits {
+namespace {
+
+TEST(StatHistoryTest, RecordInsertsNewEntry) {
+  StatHistory history;
+  history.Record("car", "car(make,model)", {"car(make)", "car(model)"}, 0.4);
+  ASSERT_EQ(history.size(), 1u);
+  const StatHistoryEntry& e = history.entries()[0];
+  EXPECT_EQ(e.table, "car");
+  EXPECT_EQ(e.colgrp, "car(make,model)");
+  EXPECT_DOUBLE_EQ(e.count, 1);
+  EXPECT_DOUBLE_EQ(e.error_factor, 0.4);
+}
+
+TEST(StatHistoryTest, RecordUpsertsMatchingStatlist) {
+  StatHistory history;
+  history.Record("car", "car(make,model)", {"car(model)", "car(make)"}, 0.4);
+  // Same statlist in different order: must merge (statlists are sorted).
+  history.Record("car", "car(make,model)", {"car(make)", "car(model)"}, 0.9);
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_DOUBLE_EQ(history.entries()[0].count, 2);
+  EXPECT_DOUBLE_EQ(history.entries()[0].error_factor, 0.9);  // latest wins
+}
+
+TEST(StatHistoryTest, DifferentStatlistsAreDistinctEntries) {
+  StatHistory history;
+  history.Record("t1", "t1(a,b,c)", {"t1(a,b)", "t1(c)"}, 0.5);
+  history.Record("t1", "t1(a,b,c)", {"t1(a)", "t1(b,c)"}, 0.8);
+  history.Record("t1", "t1(a,b,c)", {"t1(a,b,c)"}, 1.0);
+  EXPECT_EQ(history.size(), 3u);
+  EXPECT_EQ(history.EntriesForGroup("t1", "t1(a,b,c)").size(), 3u);
+}
+
+TEST(StatHistoryTest, EntriesUsingStatFindsStatlistMembers) {
+  // Mirrors the paper's Table 1 example: the stat (a,b) serves both the
+  // (a,b,c) and (a,b,d) groups.
+  StatHistory history;
+  history.Record("t1", "t1(a,b,c)", {"t1(a,b)", "t1(c)"}, 0.5);
+  history.Record("t1", "t1(a,b,c)", {"t1(a)", "t1(b,c)"}, 0.8);
+  history.Record("t1", "t1(a,b,c)", {"t1(a,b,c)"}, 1.0);
+  history.Record("t1", "t1(a,b,d)", {"t1(a,b)", "t1(d)"}, 0.3);
+  EXPECT_EQ(history.EntriesUsingStat("t1(a,b)").size(), 2u);
+  EXPECT_EQ(history.EntriesUsingStat("t1(c)").size(), 1u);
+  EXPECT_EQ(history.EntriesUsingStat("t1(zz)").size(), 0u);
+}
+
+TEST(StatHistoryTest, FoldedErrorFactorSymmetric) {
+  StatHistoryEntry over;
+  over.error_factor = 4.0;  // 4x overestimate
+  StatHistoryEntry under;
+  under.error_factor = 0.25;  // 4x underestimate
+  EXPECT_DOUBLE_EQ(over.FoldedErrorFactor(), 0.25);
+  EXPECT_DOUBLE_EQ(under.FoldedErrorFactor(), 0.25);
+  StatHistoryEntry exact;
+  exact.error_factor = 1.0;
+  EXPECT_DOUBLE_EQ(exact.FoldedErrorFactor(), 1.0);
+  StatHistoryEntry broken;
+  broken.error_factor = 0;
+  EXPECT_DOUBLE_EQ(broken.FoldedErrorFactor(), 0);
+}
+
+TEST(StatHistoryTest, ToStringRendersTableLikePaper) {
+  StatHistory history;
+  history.Record("t1", "t1(a,b,c)", {"t1(a,b)", "t1(c)"}, 0.5);
+  const std::string s = history.ToString();
+  EXPECT_NE(s.find("colgrp"), std::string::npos);
+  EXPECT_NE(s.find("errorfactor"), std::string::npos);
+  EXPECT_NE(s.find("t1(a,b,c)"), std::string::npos);
+}
+
+// ---------- FeedbackSystem ----------
+
+TEST(FeedbackTest, ComputesErrorFactorEstOverActual) {
+  StatHistory history;
+  FeedbackSystem feedback(&history);
+  EstimationRecord record;
+  record.table_key = "car";
+  record.colgrp = "car(make)";
+  record.statlist = {"car(make)"};
+  record.est_selectivity = 0.1;
+  feedback.Record(record, /*actual_rows=*/500, /*table_rows=*/1000);
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_NEAR(history.entries()[0].error_factor, 0.2, 1e-9);  // 0.1 / 0.5
+}
+
+TEST(FeedbackTest, ZeroActualRowsGuarded) {
+  StatHistory history;
+  FeedbackSystem feedback(&history);
+  EstimationRecord record;
+  record.table_key = "car";
+  record.colgrp = "car(make)";
+  record.est_selectivity = 0.1;
+  feedback.Record(record, 0, 1000);
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_TRUE(std::isfinite(history.entries()[0].error_factor));
+  EXPECT_GT(history.entries()[0].error_factor, 1.0);  // overestimate
+}
+
+TEST(FeedbackTest, EmptyColgrpIgnored) {
+  StatHistory history;
+  FeedbackSystem feedback(&history);
+  EstimationRecord record;
+  feedback.Record(record, 10, 100);
+  EXPECT_EQ(history.size(), 0u);
+}
+
+TEST(FeedbackTest, AccurateEstimateYieldsUnitFactor) {
+  StatHistory history;
+  FeedbackSystem feedback(&history);
+  EstimationRecord record;
+  record.table_key = "t";
+  record.colgrp = "t(a)";
+  record.est_selectivity = 0.25;
+  feedback.Record(record, 250, 1000);
+  EXPECT_NEAR(history.entries()[0].error_factor, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace jits

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "histogram/grid_histogram.h"
+
+namespace jits {
+namespace {
+
+Box Box1D(double lo, double hi) { return {Interval{lo, hi}}; }
+
+Box Box2D(Interval a, Interval b) { return {a, b}; }
+
+// ---------- The paper's Figure 2 walk-through ----------
+// 2-D histogram on (a, b); a in [0, 50), b in [0, 100); 100 tuples.
+
+class Figure2Test : public ::testing::Test {
+ protected:
+  Figure2Test()
+      : hist_({"a", "b"}, {Interval{0, 50}, Interval{0, 100}}, 100, /*now=*/1) {}
+  GridHistogram hist_;
+};
+
+TEST_F(Figure2Test, StartsAsSingleBucket) {
+  EXPECT_EQ(hist_.num_cells(), 1u);
+  EXPECT_DOUBLE_EQ(hist_.total_rows(), 100);
+}
+
+TEST_F(Figure2Test, FirstQuerySplitsIntoFourBuckets) {
+  // Query (a > 20 AND b > 60): joint count 20, marginals 70 and 30.
+  hist_.ApplyConstraint(Box2D(Interval{20, INFINITY}, Interval::All()), 70, 100, 2);
+  hist_.ApplyConstraint(Box2D(Interval::All(), Interval{60, INFINITY}), 30, 100, 2);
+  hist_.ApplyConstraint(Box2D(Interval{20, INFINITY}, Interval{60, INFINITY}), 20, 100,
+                        2);
+  EXPECT_EQ(hist_.num_cells(), 4u);
+
+  // The joint constraint holds exactly.
+  EXPECT_NEAR(hist_.EstimateBoxFraction(
+                  Box2D(Interval{20, INFINITY}, Interval{60, INFINITY})),
+              0.20, 1e-9);
+  // Marginals hold exactly (Figure 2(b): 70 tuples with a>20, 30 with b>60).
+  EXPECT_NEAR(hist_.EstimateBoxFraction(Box2D(Interval{20, INFINITY}, Interval::All())),
+              0.70, 1e-9);
+  EXPECT_NEAR(hist_.EstimateBoxFraction(Box2D(Interval::All(), Interval{60, INFINITY})),
+              0.30, 1e-9);
+  // Total preserved.
+  EXPECT_NEAR(hist_.total_rows(), 100, 1e-9);
+  // Figure 2(b) cell values: (a<=20, b<=60)=20, (a>20,b<=60)=50,
+  // (a<=20,b>60)=10, (a>20,b>60)=20.
+  EXPECT_NEAR(hist_.CellCount({0, 0}), 20, 1e-6);
+  EXPECT_NEAR(hist_.CellCount({1, 0}), 50, 1e-6);
+  EXPECT_NEAR(hist_.CellCount({0, 1}), 10, 1e-6);
+  EXPECT_NEAR(hist_.CellCount({1, 1}), 20, 1e-6);
+  // All four cells were stamped with the new time.
+  EXPECT_EQ(hist_.CellTimestamp({0, 0}), 2u);
+  EXPECT_EQ(hist_.CellTimestamp({1, 1}), 2u);
+}
+
+TEST_F(Figure2Test, SecondQuerySplitsWithUniformityAssumption) {
+  // First query as above.
+  hist_.ApplyConstraint(Box2D(Interval{20, INFINITY}, Interval::All()), 70, 100, 2);
+  hist_.ApplyConstraint(Box2D(Interval::All(), Interval{60, INFINITY}), 30, 100, 2);
+  hist_.ApplyConstraint(Box2D(Interval{20, INFINITY}, Interval{60, INFINITY}), 20, 100,
+                        2);
+  // Second query: (a > 40) with 14 tuples.
+  hist_.ApplyConstraint(Box2D(Interval{40, INFINITY}, Interval::All()), 14, 100, 3);
+  EXPECT_EQ(hist_.num_cells(), 6u);
+  EXPECT_NEAR(hist_.EstimateBoxFraction(Box2D(Interval{40, INFINITY}, Interval::All())),
+              0.14, 1e-9);
+  EXPECT_NEAR(hist_.total_rows(), 100, 1e-9);
+  // The constraint from the first query is preserved: a>20 ∧ b>60 is 20.
+  EXPECT_NEAR(hist_.EstimateBoxFraction(
+                  Box2D(Interval{20, INFINITY}, Interval{60, INFINITY})),
+              0.20, 1e-6);
+  // Cells adjacent to the inserted a=40 boundary carry the new stamp, the
+  // far-left cells keep the old one.
+  EXPECT_EQ(hist_.CellTimestamp({1, 0}), 3u);  // [20,40) x [0,60): touches a=40
+  EXPECT_EQ(hist_.CellTimestamp({2, 0}), 3u);  // [40,50) x [0,60)
+  EXPECT_EQ(hist_.CellTimestamp({0, 0}), 2u);  // [0,20) x [0,60): untouched
+}
+
+// ---------- Constraint satisfaction properties ----------
+
+TEST(GridHistogramTest, ConstraintDrivesBoxEstimateExactly) {
+  GridHistogram h({"x"}, {Interval{0, 100}}, 1000, 1);
+  h.ApplyConstraint(Box1D(10, 30), 400, 1000, 2);
+  EXPECT_NEAR(h.EstimateBoxFraction(Box1D(10, 30)), 0.4, 1e-9);
+  EXPECT_NEAR(h.total_rows(), 1000, 1e-9);
+}
+
+TEST(GridHistogramTest, RescalesToNewTableCardinality) {
+  GridHistogram h({"x"}, {Interval{0, 100}}, 1000, 1);
+  h.ApplyConstraint(Box1D(0, 50), 700, 2000, 2);  // table grew to 2000
+  EXPECT_NEAR(h.total_rows(), 2000, 1e-9);
+  EXPECT_NEAR(h.EstimateBoxFraction(Box1D(0, 50)), 0.35, 1e-9);
+}
+
+TEST(GridHistogramTest, ZeroMassBoxGetsUniformDistribution) {
+  GridHistogram h({"x"}, {Interval{0, 100}}, 1000, 1);
+  h.ApplyConstraint(Box1D(0, 50), 1000, 1000, 2);  // all mass on the left
+  // Now assert 100 rows live in the (previously empty) right half.
+  h.ApplyConstraint(Box1D(50, 100), 100, 1000, 3);
+  EXPECT_NEAR(h.EstimateBoxFraction(Box1D(50, 100)), 0.1, 1e-9);
+  EXPECT_NEAR(h.EstimateBoxFraction(Box1D(0, 50)), 0.9, 1e-9);
+}
+
+TEST(GridHistogramTest, RandomConstraintSequencePreservesInvariants) {
+  Rng rng(77);
+  GridHistogram h({"x", "y"}, {Interval{0, 100}, Interval{0, 100}}, 5000, 1);
+  for (uint64_t step = 2; step < 40; ++step) {
+    const double lo_x = rng.UniformDouble(0, 90);
+    const double hi_x = lo_x + rng.UniformDouble(1, 100 - lo_x);
+    const double lo_y = rng.UniformDouble(0, 90);
+    const double hi_y = lo_y + rng.UniformDouble(1, 100 - lo_y);
+    const Box box = Box2D(Interval{lo_x, hi_x}, Interval{lo_y, hi_y});
+    const double count = rng.UniformDouble(0, 5000);
+    h.ApplyConstraint(box, count, 5000, step);
+    // Invariant 1: the just-applied constraint holds.
+    EXPECT_NEAR(h.EstimateBoxFraction(box), count / 5000, 1e-6) << "step " << step;
+    // Invariant 2: total preserved.
+    EXPECT_NEAR(h.total_rows(), 5000, 1e-6);
+    // Invariant 3: no negative cells.
+    std::vector<size_t> sizes = {h.boundaries(0).size() - 1, h.boundaries(1).size() - 1};
+    for (size_t i = 0; i < sizes[0]; ++i) {
+      for (size_t j = 0; j < sizes[1]; ++j) {
+        EXPECT_GE(h.CellCount({i, j}), -1e-9);
+      }
+    }
+    // Invariant 4: bucket cap respected.
+    EXPECT_LE(h.boundaries(0).size() - 1, GridHistogram::kMaxBucketsPerDim);
+    EXPECT_LE(h.boundaries(1).size() - 1, GridHistogram::kMaxBucketsPerDim);
+  }
+}
+
+TEST(GridHistogramTest, BucketCapCoalescesLeastMass) {
+  GridHistogram h({"x"}, {Interval{0, 1000}}, 1000, 1);
+  for (uint64_t i = 0; i < 3 * GridHistogram::kMaxBucketsPerDim; ++i) {
+    const double lo = static_cast<double>(i * 7 % 990);
+    h.ApplyConstraint(Box1D(lo, lo + 5), 5, 1000, i + 2);
+  }
+  EXPECT_LE(h.boundaries(0).size() - 1, GridHistogram::kMaxBucketsPerDim);
+  EXPECT_NEAR(h.total_rows(), 1000, 1e-6);
+}
+
+TEST(GridHistogramTest, EstimateInterpolatesPartialCells) {
+  GridHistogram h({"x"}, {Interval{0, 100}}, 100, 1);
+  // Single cell: any sub-range is volume-proportional.
+  EXPECT_NEAR(h.EstimateBoxFraction(Box1D(0, 25)), 0.25, 1e-9);
+  EXPECT_NEAR(h.EstimateBoxFraction(Box1D(90, 200)), 0.10, 1e-9);
+}
+
+TEST(GridHistogramTest, LowerDimensionalBoxIsUnbounded) {
+  GridHistogram h({"x", "y"}, {Interval{0, 10}, Interval{0, 10}}, 100, 1);
+  // A box with only dim 0 constrained behaves like (x, ALL).
+  Box partial = {Interval{0, 5}};
+  EXPECT_NEAR(h.EstimateBoxFraction(partial), 0.5, 1e-9);
+}
+
+// ---------- Accuracy ----------
+
+TEST(GridHistogramTest, AccuracyPerfectOnBoundaries) {
+  GridHistogram h({"x"}, {Interval{0, 100}}, 100, 1);
+  h.ApplyConstraint(Box1D(50, 100), 60, 100, 2);
+  EXPECT_DOUBLE_EQ(h.BoxAccuracy(Box1D(50, INFINITY)), 1.0);
+  EXPECT_LT(h.BoxAccuracy(Box1D(25, INFINITY)), 1.0);
+}
+
+TEST(GridHistogramTest, AccuracyIsDimensionProduct) {
+  GridHistogram h({"x", "y"}, {Interval{0, 100}, Interval{0, 100}}, 100, 1);
+  const double ax = h.BoxAccuracy(Box2D(Interval{50, INFINITY}, Interval::All()));
+  const double ay = h.BoxAccuracy(Box2D(Interval::All(), Interval{50, INFINITY}));
+  const double both = h.BoxAccuracy(Box2D(Interval{50, INFINITY}, Interval{50, INFINITY}));
+  EXPECT_NEAR(both, ax * ay, 1e-12);
+}
+
+// ---------- Uniformity distance & eviction signal ----------
+
+TEST(GridHistogramTest, FreshHistogramIsUniform) {
+  GridHistogram h({"x"}, {Interval{0, 100}}, 100, 1);
+  EXPECT_NEAR(h.UniformityDistance(), 0.0, 1e-12);
+}
+
+TEST(GridHistogramTest, SkewedConstraintRaisesUniformityDistance) {
+  GridHistogram h({"x"}, {Interval{0, 100}}, 100, 1);
+  h.ApplyConstraint(Box1D(0, 10), 90, 100, 2);  // 90% of mass in 10% of space
+  EXPECT_GT(h.UniformityDistance(), 0.5);
+}
+
+TEST(GridHistogramTest, UniformConstraintKeepsDistanceLow) {
+  GridHistogram h({"x"}, {Interval{0, 100}}, 100, 1);
+  h.ApplyConstraint(Box1D(0, 50), 50, 100, 2);  // matches uniformity exactly
+  EXPECT_NEAR(h.UniformityDistance(), 0.0, 1e-9);
+}
+
+// ---------- Timestamps / LRU ----------
+
+TEST(GridHistogramTest, TimestampsTrackUpdates) {
+  GridHistogram h({"x"}, {Interval{0, 100}}, 100, 5);
+  EXPECT_EQ(h.min_timestamp(), 5u);
+  h.ApplyConstraint(Box1D(0, 50), 70, 100, 9);
+  EXPECT_EQ(h.max_timestamp(), 9u);
+  h.Touch(12);
+  EXPECT_EQ(h.last_used(), 12u);
+}
+
+TEST(GridHistogramTest, ToStringMentionsDimsAndCells) {
+  GridHistogram h({"a", "b"}, {Interval{0, 10}, Interval{0, 10}}, 100, 1);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("a,b"), std::string::npos);
+  EXPECT_NE(s.find("cell"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jits

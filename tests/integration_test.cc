@@ -1,0 +1,215 @@
+// End-to-end integration tests over the full paper pipeline: the behaviours
+// the evaluation section depends on, asserted on counts and estimates
+// (never on wall-clock, which is machine-dependent).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/str_util.h"
+#include "engine/database.h"
+#include "workload/datagen.h"
+#include "workload/experiment.h"
+#include "workload/workload_gen.h"
+
+namespace jits {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    options_ = new ExperimentOptions();
+    options_->datagen.scale = 0.005;
+    options_->workload.num_items = 120;
+    options_->workload.scale = options_->datagen.scale;
+    items_ = new std::vector<WorkloadItem>(GenerateWorkload(options_->workload));
+  }
+  static void TearDownTestSuite() {
+    delete options_;
+    delete items_;
+  }
+
+  static ExperimentOptions* options_;
+  static std::vector<WorkloadItem>* items_;
+};
+
+ExperimentOptions* IntegrationTest::options_ = nullptr;
+std::vector<WorkloadItem>* IntegrationTest::items_ = nullptr;
+
+TEST_F(IntegrationTest, AllSettingsReturnIdenticalResults) {
+  // Correctness invariant: plan choice must never change results.
+  std::vector<std::unique_ptr<Database>> dbs;
+  for (ExperimentSetting s :
+       {ExperimentSetting::kNoStats, ExperimentSetting::kGeneralStats,
+        ExperimentSetting::kWorkloadStats, ExperimentSetting::kJits}) {
+    double setup = 0;
+    dbs.push_back(BuildExperimentDatabase(s, *options_, *items_, &setup));
+    ASSERT_NE(dbs.back(), nullptr);
+  }
+  for (const WorkloadItem& item : *items_) {
+    std::vector<size_t> counts;
+    for (auto& db : dbs) {
+      if (item.is_update) {
+        for (const std::string& sql : item.statements) {
+          ASSERT_TRUE(db->Execute(sql).ok()) << sql;
+        }
+        continue;
+      }
+      QueryResult qr;
+      ASSERT_TRUE(db->Execute(item.sql(), &qr).ok()) << item.sql();
+      counts.push_back(qr.num_rows);
+    }
+    for (size_t i = 1; i < counts.size(); ++i) {
+      EXPECT_EQ(counts[i], counts[0]) << item.sql();
+    }
+  }
+}
+
+TEST_F(IntegrationTest, JitsEstimatesBeatGeneralStatsEstimates) {
+  double setup = 0;
+  auto general = BuildExperimentDatabase(ExperimentSetting::kGeneralStats, *options_,
+                                         *items_, &setup);
+  auto jits = BuildExperimentDatabase(ExperimentSetting::kJits, *options_, *items_,
+                                      &setup);
+  // Force collection on every query so the comparison isolates estimation.
+  jits->jits_config()->sensitivity_enabled = false;
+
+  double general_err = 0;
+  double jits_err = 0;
+  size_t n = 0;
+  for (const WorkloadItem& item : *items_) {
+    for (const std::string& sql : item.statements) {
+      QueryResult g;
+      QueryResult j;
+      ASSERT_TRUE(general->Execute(sql, &g).ok());
+      ASSERT_TRUE(jits->Execute(sql, &j).ok());
+      if (!g.is_query) continue;
+      const double actual = std::max<double>(1, g.num_rows);
+      general_err += std::fabs(std::log2(std::max(1.0, g.est_rows) / actual));
+      jits_err += std::fabs(std::log2(std::max(1.0, j.est_rows) / actual));
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 50u);
+  // JITS estimates must be at least 2x closer (in log space) on average.
+  EXPECT_LT(jits_err, general_err / 2)
+      << "avg |log2 ef|: general=" << general_err / n << " jits=" << jits_err / n;
+}
+
+TEST_F(IntegrationTest, ArchiveGrowsAndStaysWithinBudget) {
+  double setup = 0;
+  auto db = BuildExperimentDatabase(ExperimentSetting::kJits, *options_, *items_, &setup);
+  db->jits_config()->archive_bucket_budget = 512;
+  for (const WorkloadItem& item : *items_) {
+    for (const std::string& sql : item.statements) {
+      ASSERT_TRUE(db->Execute(sql).ok());
+    }
+  }
+  EXPECT_GT(db->archive()->size(), 0u);
+  EXPECT_LE(db->archive()->total_buckets(), 512u);
+  EXPECT_GT(db->history()->size(), 0u);
+}
+
+TEST_F(IntegrationTest, SensitivityReducesCollectionOverTime) {
+  double setup = 0;
+  auto db = BuildExperimentDatabase(ExperimentSetting::kJits, *options_, *items_, &setup);
+  size_t first_half = 0;
+  size_t second_half = 0;
+  size_t i = 0;
+  for (const WorkloadItem& item : *items_) {
+    ++i;
+    for (const std::string& sql : item.statements) {
+      QueryResult qr;
+      ASSERT_TRUE(db->Execute(sql, &qr).ok());
+      if (!qr.is_query) continue;
+      if (i <= items_->size() / 2) {
+        first_half += qr.tables_sampled;
+      } else {
+        second_half += qr.tables_sampled;
+      }
+    }
+  }
+  // Collection concentrates early (cold start); once the archive and the
+  // history warm up, the sensitivity analysis suppresses most of it.
+  EXPECT_GT(first_half, 0u);
+  EXPECT_LT(second_half, first_half);
+}
+
+TEST_F(IntegrationTest, MigrationPropagatesArchiveKnowledgeToCatalog) {
+  double setup = 0;
+  auto db = BuildExperimentDatabase(ExperimentSetting::kJits, *options_, *items_, &setup);
+  db->jits_config()->migration_interval = 10;  // migrate every 10 queries
+  for (const WorkloadItem& item : *items_) {
+    for (const std::string& sql : item.statements) {
+      ASSERT_TRUE(db->Execute(sql).ok());
+    }
+  }
+  // After migration the catalog holds histograms for queried columns even
+  // though RunStatsAll never ran.
+  Table* car = db->catalog()->FindTable("car");
+  const TableStats* stats = db->catalog()->FindStats(car);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_TRUE(stats->valid);
+}
+
+TEST_F(IntegrationTest, UpdatesInvalidateAndRecollect) {
+  Database db(7);
+  DataGenConfig config;
+  config.scale = 0.005;
+  ASSERT_TRUE(GenerateCarDatabase(&db, config).ok());
+  db.jits_config()->enabled = true;
+  db.set_row_limit(0);
+
+  const std::string sql =
+      "SELECT id FROM car WHERE make = 'Toyota' AND model = 'Camry' AND year > 2000";
+  QueryResult r1;
+  ASSERT_TRUE(db.Execute(sql, &r1).ok());
+  EXPECT_GT(r1.tables_sampled, 0u);  // cold start collects
+
+  // Massive update: moves half the Toyotas to year 1995.
+  QueryResult upd;
+  ASSERT_TRUE(db.Execute("UPDATE car SET year = 1995 WHERE make = 'Toyota' AND "
+                         "year > 2002",
+                         &upd)
+                  .ok());
+  ASSERT_GT(upd.num_rows, 0u);
+
+  // Re-running must trigger re-collection (s2 = UDI / cardinality spiked)
+  // within a couple of compilations, and estimates must track the new truth.
+  size_t sampled = 0;
+  QueryResult r2;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(db.Execute(sql, &r2).ok());
+    sampled += r2.tables_sampled;
+  }
+  EXPECT_GT(sampled, 0u);
+  const double rel_err =
+      std::fabs(r2.est_rows - static_cast<double>(r2.num_rows)) /
+      std::max<double>(1, r2.num_rows);
+  EXPECT_LT(rel_err, 0.5) << "est " << r2.est_rows << " actual " << r2.num_rows;
+}
+
+TEST_F(IntegrationTest, PairedRunnerKeepsSettingsAligned) {
+  ExperimentOptions small = *options_;
+  small.workload.num_items = 40;
+  const std::vector<WorkloadRunResult> results = RunPairedWorkloadExperiment(
+      {ExperimentSetting::kNoStats, ExperimentSetting::kJits}, small);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_EQ(results[0].queries.size(), results[1].queries.size());
+  for (size_t i = 0; i < results[0].queries.size(); ++i) {
+    EXPECT_EQ(results[0].queries[i].item_index, results[1].queries[i].item_index);
+  }
+}
+
+TEST_F(IntegrationTest, SmaxSweepMonotoneCollectionCounts) {
+  ExperimentOptions small = *options_;
+  small.workload.num_items = 60;
+  const std::vector<WorkloadRunResult> sweep =
+      RunPairedSmaxSweep({0.0, 0.5, 1.0}, small);
+  ASSERT_EQ(sweep.size(), 3u);
+  // s_max = 0 collects the most; s_max = 1 collects (almost) nothing.
+  EXPECT_GT(sweep[0].TotalCollections(), sweep[1].TotalCollections());
+  EXPECT_GE(sweep[1].TotalCollections(), sweep[2].TotalCollections());
+}
+
+}  // namespace
+}  // namespace jits

@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include "catalog/runstats.h"
+#include "common/str_util.h"
+#include "core/collector.h"
+#include "core/jits_module.h"
+#include "core/migration.h"
+#include "core/qss_archive.h"
+#include "core/query_analysis.h"
+#include "core/sensitivity.h"
+#include "tests/test_util.h"
+
+namespace jits {
+namespace {
+
+// ---------- QssArchive ----------
+
+TEST(QssArchiveTest, KeyForCanonicalizes) {
+  EXPECT_EQ(QssArchive::KeyFor("Car", {"Model", "make"}), "car(make,model)");
+  EXPECT_EQ(QssArchive::KeyFor("t", {"a"}), "t(a)");
+}
+
+TEST(QssArchiveTest, GetOrCreateIsIdempotent) {
+  QssArchive archive;
+  GridHistogram* h1 =
+      archive.GetOrCreate("t(a)", {"a"}, {Interval{0, 10}}, 100, 1);
+  GridHistogram* h2 =
+      archive.GetOrCreate("t(a)", {"a"}, {Interval{0, 10}}, 999, 2);
+  EXPECT_EQ(h1, h2);
+  EXPECT_DOUBLE_EQ(h1->total_rows(), 100);  // not recreated
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(QssArchiveTest, EstimateTouchesLru) {
+  QssArchive archive;
+  archive.GetOrCreate("t(a)", {"a"}, {Interval{0, 10}}, 100, 1);
+  std::optional<double> est = archive.EstimateFraction("t(a)", {Interval{0, 5}}, 7);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(*est, 0.5, 1e-9);
+  EXPECT_EQ(archive.Find("t(a)")->last_used(), 7u);
+  EXPECT_FALSE(archive.EstimateFraction("missing", {Interval{0, 5}}, 8).has_value());
+}
+
+TEST(QssArchiveTest, EvictsAlmostUniformFirst) {
+  QssArchive archive(/*bucket_budget=*/5);
+  // Uniform histogram (no information).
+  GridHistogram* uniform =
+      archive.GetOrCreate("t(u)", {"u"}, {Interval{0, 10}}, 100, 1);
+  uniform->ApplyConstraint({Interval{0, 5}}, 50, 100, 2);  // matches uniformity
+  uniform->Touch(50);                                      // recently used!
+  // Skewed histogram (valuable).
+  GridHistogram* skewed =
+      archive.GetOrCreate("t(s)", {"s"}, {Interval{0, 10}}, 100, 1);
+  skewed->ApplyConstraint({Interval{0, 1}}, 90, 100, 2);
+  skewed->Touch(3);  // old
+  // 4 buckets total <= 5: nothing evicted yet.
+  archive.EnforceBudget();
+  EXPECT_EQ(archive.size(), 2u);
+  // Add a third histogram to exceed the budget.
+  GridHistogram* third =
+      archive.GetOrCreate("t(v)", {"v"}, {Interval{0, 10}}, 100, 1);
+  third->ApplyConstraint({Interval{0, 2}}, 80, 100, 2);
+  third->Touch(10);
+  archive.EnforceBudget();
+  // The uniform one must be gone despite being most recently used.
+  EXPECT_EQ(archive.Find("t(u)"), nullptr);
+  EXPECT_NE(archive.Find("t(s)"), nullptr);
+}
+
+TEST(QssArchiveTest, LruBreaksTiesAmongUniform) {
+  QssArchive archive(/*bucket_budget=*/2);
+  GridHistogram* a = archive.GetOrCreate("t(a)", {"a"}, {Interval{0, 10}}, 100, 1);
+  a->Touch(5);
+  GridHistogram* b = archive.GetOrCreate("t(b)", {"b"}, {Interval{0, 10}}, 100, 1);
+  b->Touch(9);
+  archive.EnforceBudget();  // both uniform single-cell; budget 2 forces... 2 cells fit
+  EXPECT_EQ(archive.size(), 2u);
+  GridHistogram* c = archive.GetOrCreate("t(c)", {"c"}, {Interval{0, 10}}, 100, 1);
+  c->Touch(9);
+  archive.EnforceBudget();
+  EXPECT_EQ(archive.Find("t(a)"), nullptr);  // oldest uniform evicted
+}
+
+// ---------- ParseStatKey ----------
+
+TEST(ParseStatKeyTest, SplitsTableAndColumns) {
+  std::string table;
+  std::vector<std::string> cols;
+  ASSERT_TRUE(ParseStatKey("car(make,model)", &table, &cols));
+  EXPECT_EQ(table, "car");
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], "make");
+  EXPECT_EQ(cols[1], "model");
+  EXPECT_FALSE(ParseStatKey("garbage", &table, &cols));
+}
+
+// ---------- Sensitivity analysis ----------
+
+class SensitivityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = testing_util::MakeAbsTable(&catalog_, "t", 1000, 10, 20, {"x", "y"});
+    block_ = testing_util::BindSelect(&catalog_,
+                                      "SELECT a FROM t WHERE a = 3 AND b = 13");
+    groups_ = AnalyzeQuery(block_);
+  }
+
+  SensitivityAnalysis Make(double s_max = 0.5, bool enabled = true) {
+    SensitivityConfig config;
+    config.s_max = s_max;
+    config.enabled = enabled;
+    return SensitivityAnalysis(config, &catalog_, &archive_, &history_);
+  }
+
+  Catalog catalog_;
+  QssArchive archive_;
+  StatHistory history_;
+  Table* table_ = nullptr;
+  QueryBlock block_;
+  std::vector<PredicateGroup> groups_;
+};
+
+TEST_F(SensitivityTest, DisabledAlwaysCollectsAndMaterializes) {
+  SensitivityAnalysis sens = Make(0.5, /*enabled=*/false);
+  std::vector<TableDecision> decisions = sens.Analyze(block_, groups_);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0].collect);
+  for (bool m : decisions[0].materialize) EXPECT_TRUE(m);
+}
+
+TEST_F(SensitivityTest, NoHistoryNoStatsMeansCollect) {
+  // s1 = 1 (no history), s2 = 1 (no stats) -> score 1 >= any s_max < 1.
+  SensitivityAnalysis sens = Make(0.9);
+  std::vector<TableDecision> decisions = sens.Analyze(block_, groups_);
+  EXPECT_TRUE(decisions[0].collect);
+  EXPECT_DOUBLE_EQ(decisions[0].s1, 1.0);
+  EXPECT_DOUBLE_EQ(decisions[0].s2, 1.0);
+}
+
+TEST_F(SensitivityTest, SmaxOneNeverCollects) {
+  SensitivityAnalysis sens = Make(1.0 + 1e-12);
+  std::vector<TableDecision> decisions = sens.Analyze(block_, groups_);
+  EXPECT_FALSE(decisions[0].collect);
+}
+
+TEST_F(SensitivityTest, AccurateHistoryAndFreshStatsSuppressCollection) {
+  Rng rng(3);
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng, 1).ok());  // resets UDI -> s2 = 0
+  // History: full group estimated from an archive histogram with ef = 1.
+  GridHistogram* h = archive_.GetOrCreate(
+      "t(a,b)", {"a", "b"}, {Interval{0, 10}, Interval{0, 20}}, 1000, 1);
+  // Refine so the group's box boundaries are bucket boundaries (accuracy 1).
+  h->ApplyConstraint({Interval{3, 4}, Interval{13, 14}}, 50, 1000, 2);
+  history_.Record("t", "t(a,b)", {"t(a,b)"}, 1.0);
+  SensitivityAnalysis sens = Make(0.5);
+  std::vector<TableDecision> decisions = sens.Analyze(block_, groups_);
+  EXPECT_FALSE(decisions[0].collect);
+  EXPECT_NEAR(decisions[0].s1, 0.0, 0.01);
+  EXPECT_NEAR(decisions[0].s2, 0.0, 0.01);
+}
+
+TEST_F(SensitivityTest, HeavyUpdatesRaiseS2) {
+  Rng rng(3);
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng, 1).ok());
+  // Mutate 60% of rows.
+  for (uint32_t row = 0; row < 600; ++row) {
+    ASSERT_TRUE(table_->UpdateRow(row, 0, Value(int64_t{5})).ok());
+  }
+  SensitivityAnalysis sens = Make(0.5);
+  std::vector<TableDecision> decisions = sens.Analyze(block_, groups_);
+  EXPECT_NEAR(decisions[0].s2, 0.6, 0.01);
+}
+
+TEST_F(SensitivityTest, BadHistoryRaisesS1) {
+  Rng rng(3);
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng, 1).ok());
+  history_.Record("t", "t(a,b)", {"t(a)", "t(b)"}, 0.1);  // 10x underestimate
+  SensitivityAnalysis sens = Make(0.5);
+  std::vector<TableDecision> decisions = sens.Analyze(block_, groups_);
+  EXPECT_GT(decisions[0].s1, 0.85);
+}
+
+TEST_F(SensitivityTest, MaterializeWhenHistogramExists) {
+  archive_.GetOrCreate("t(a,b)", {"a", "b"}, {Interval{0, 10}, Interval{0, 20}}, 1000,
+                       1);
+  SensitivityAnalysis sens = Make(0.5);
+  PredicateGroup full;
+  full.table_idx = 0;
+  full.pred_indices = {0, 1};
+  EXPECT_TRUE(sens.ShouldMaterialize(block_, full));
+}
+
+TEST_F(SensitivityTest, MaterializeRequiresUsefulHistory) {
+  SensitivityAnalysis sens = Make(0.5);
+  PredicateGroup full;
+  full.table_idx = 0;
+  full.pred_indices = {0, 1};
+  // No history: not materialized.
+  EXPECT_FALSE(sens.ShouldMaterialize(block_, full));
+  // A frequently used, accurate stat: materialized.
+  history_.Record("t", "t(a,b)", {"t(a,b)"}, 1.0);
+  history_.Record("t", "t(a,b)", {"t(a,b)"}, 1.0);
+  EXPECT_TRUE(sens.ShouldMaterialize(block_, full));
+}
+
+TEST_F(SensitivityTest, RarelyUsedInaccurateStatNotMaterialized) {
+  // Many entries, the candidate appears once with a bad error factor.
+  for (int i = 0; i < 20; ++i) {
+    history_.Record("t", StrFormat("t(c%d)", i), {StrFormat("t(c%d)", i)}, 1.0);
+  }
+  history_.Record("t", "t(a,b)", {"t(a,b)"}, 0.05);
+  SensitivityAnalysis sens = Make(0.5);
+  PredicateGroup full;
+  full.table_idx = 0;
+  full.pred_indices = {0, 1};
+  EXPECT_FALSE(sens.ShouldMaterialize(block_, full));
+}
+
+TEST_F(SensitivityTest, AccuracyOfUnknownStatIsZero) {
+  SensitivityAnalysis sens = Make(0.5);
+  PredicateGroup full;
+  full.table_idx = 0;
+  full.pred_indices = {0, 1};
+  EXPECT_DOUBLE_EQ(sens.AccuracyOfStat(block_, "t(zz)", full), 0.0);
+}
+
+TEST_F(SensitivityTest, AccuracyOfCatalogSingleColumnStat) {
+  Rng rng(3);
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng, 1).ok());
+  SensitivityAnalysis sens = Make(0.5);
+  PredicateGroup single;
+  single.table_idx = 0;
+  single.pred_indices = {0};  // a = 3
+  const double acc = sens.AccuracyOfStat(block_, "t(a)", single);
+  EXPECT_GT(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+// ---------- Collector ----------
+
+class CollectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = testing_util::MakeAbsTable(&catalog_, "t", 2000, 10, 20, {"x", "y"});
+    block_ = testing_util::BindSelect(&catalog_,
+                                      "SELECT a FROM t WHERE a = 3 AND b = 13");
+    groups_ = AnalyzeQuery(block_);
+  }
+
+  Catalog catalog_;
+  QssArchive archive_;
+  Table* table_ = nullptr;
+  QueryBlock block_;
+  std::vector<PredicateGroup> groups_;
+  Rng rng_{17};
+};
+
+TEST_F(CollectorTest, MeasuresAllGroupsFromOneSample) {
+  TableDecision decision;
+  decision.table_idx = 0;
+  decision.collect = true;
+  for (size_t gi = 0; gi < groups_.size(); ++gi) decision.group_indices.push_back(gi);
+  decision.materialize.assign(groups_.size(), false);
+
+  StatisticsCollector collector(&catalog_, &archive_, {.sample_rows = 1000});
+  QssExact exact;
+  CollectionStats stats =
+      collector.Collect(block_, groups_, {decision}, &rng_, 5, &exact);
+  EXPECT_EQ(stats.tables_sampled, 1u);
+  EXPECT_EQ(stats.groups_measured, 3u);
+  EXPECT_EQ(stats.groups_materialized, 0u);
+  EXPECT_DOUBLE_EQ(exact.cardinality[table_], 2000);
+
+  // True selectivities: a=3 -> 0.1, b=13 -> 0.05, joint -> 0.05.
+  PredicateGroup joint;
+  joint.table_idx = 0;
+  joint.pred_indices = {0, 1};
+  ASSERT_TRUE(exact.selectivity.count(joint.ExactKey(block_)));
+  EXPECT_NEAR(exact.selectivity[joint.ExactKey(block_)], 0.05, 0.02);
+}
+
+TEST_F(CollectorTest, MaterializedGroupEntersArchive) {
+  TableDecision decision;
+  decision.table_idx = 0;
+  decision.collect = true;
+  for (size_t gi = 0; gi < groups_.size(); ++gi) decision.group_indices.push_back(gi);
+  decision.materialize.assign(groups_.size(), true);
+
+  StatisticsCollector collector(&catalog_, &archive_, {.sample_rows = 2000});
+  QssExact exact;
+  CollectionStats stats =
+      collector.Collect(block_, groups_, {decision}, &rng_, 5, &exact);
+  EXPECT_EQ(stats.groups_materialized, 3u);
+  EXPECT_NE(archive_.Find("t(a)"), nullptr);
+  EXPECT_NE(archive_.Find("t(a,b)"), nullptr);
+  // The 2-D histogram reproduces the joint selectivity.
+  std::optional<double> est =
+      archive_.EstimateFraction("t(a,b)", {Interval{3, 4}, Interval{13, 14}}, 9);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(*est, 0.05, 0.02);
+}
+
+TEST_F(CollectorTest, CollectionResetsUdiAndRefreshesCardinality) {
+  EXPECT_GT(table_->udi_counter(), 0u);
+  TableDecision decision;
+  decision.table_idx = 0;
+  decision.collect = true;
+  StatisticsCollector collector(&catalog_, &archive_, {});
+  QssExact exact;
+  collector.Collect(block_, groups_, {decision}, &rng_, 5, &exact);
+  EXPECT_EQ(table_->udi_counter(), 0u);
+  const TableStats* stats = catalog_.FindStats(table_);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_DOUBLE_EQ(stats->cardinality, 2000);
+}
+
+TEST_F(CollectorTest, SkipsTablesNotMarked) {
+  TableDecision decision;
+  decision.table_idx = 0;
+  decision.collect = false;
+  StatisticsCollector collector(&catalog_, &archive_, {});
+  QssExact exact;
+  CollectionStats stats =
+      collector.Collect(block_, groups_, {decision}, &rng_, 5, &exact);
+  EXPECT_EQ(stats.tables_sampled, 0u);
+  EXPECT_TRUE(exact.empty());
+}
+
+// ---------- Migration ----------
+
+TEST(MigrationTest, FoldsOneDimHistogramsIntoCatalog) {
+  Catalog catalog;
+  Table* t = testing_util::MakeAbsTable(&catalog, "t", 100, 10, 20, {"x"});
+  QssArchive archive;
+  GridHistogram* h = archive.GetOrCreate("t(a)", {"a"}, {Interval{0, 10}}, 100, 5);
+  h->ApplyConstraint({Interval{0, 3}}, 80, 100, 6);
+
+  EXPECT_EQ(catalog.FindStats(t), nullptr);
+  const size_t migrated = MigrateStatistics(archive, &catalog, 7);
+  EXPECT_EQ(migrated, 1u);
+  const TableStats* stats = catalog.FindStats(t);
+  ASSERT_NE(stats, nullptr);
+  ASSERT_TRUE(stats->HasColumn(0));
+  EXPECT_NEAR(stats->columns[0].EstimateRangeFraction(0, 3), 0.8, 1e-6);
+}
+
+TEST(MigrationTest, SkipsFresherCatalogStats) {
+  Catalog catalog;
+  Table* t = testing_util::MakeAbsTable(&catalog, "t", 100, 10, 20, {"x"});
+  Rng rng(3);
+  ASSERT_TRUE(RunStats(&catalog, t, {}, &rng, /*logical_time=*/50).ok());
+  QssArchive archive;
+  GridHistogram* h = archive.GetOrCreate("t(a)", {"a"}, {Interval{0, 10}}, 100, 5);
+  h->ApplyConstraint({Interval{0, 3}}, 80, 100, 6);  // stamped 6 < 50
+  EXPECT_EQ(MigrateStatistics(archive, &catalog, 51), 0u);
+}
+
+TEST(MigrationTest, IgnoresMultiDimAndUnknownTables) {
+  Catalog catalog;
+  testing_util::MakeAbsTable(&catalog, "t", 10, 10, 20, {"x"});
+  QssArchive archive;
+  archive.GetOrCreate("t(a,b)", {"a", "b"}, {Interval{0, 10}, Interval{0, 20}}, 10, 1);
+  archive.GetOrCreate("ghost(a)", {"a"}, {Interval{0, 10}}, 10, 1);
+  EXPECT_EQ(MigrateStatistics(archive, &catalog, 2), 0u);
+}
+
+// ---------- JitsModule pipeline ----------
+
+TEST(JitsModuleTest, DisabledDoesNothing) {
+  Catalog catalog;
+  testing_util::MakeAbsTable(&catalog, "t", 100, 10, 20, {"x"});
+  QssArchive archive;
+  StatHistory history;
+  JitsModule jits(&catalog, &archive, &history);
+  QueryBlock block = testing_util::BindSelect(&catalog, "SELECT a FROM t WHERE a = 1");
+  JitsConfig config;  // disabled by default
+  Rng rng(1);
+  JitsPrepareResult result = jits.Prepare(block, config, &rng, 1);
+  EXPECT_TRUE(result.exact.empty());
+  EXPECT_EQ(result.tables_sampled, 0u);
+}
+
+TEST(JitsModuleTest, EnabledCollectsOnColdStart) {
+  Catalog catalog;
+  testing_util::MakeAbsTable(&catalog, "t", 1000, 10, 20, {"x"});
+  QssArchive archive;
+  StatHistory history;
+  JitsModule jits(&catalog, &archive, &history);
+  QueryBlock block =
+      testing_util::BindSelect(&catalog, "SELECT a FROM t WHERE a = 3 AND b = 13");
+  JitsConfig config;
+  config.enabled = true;
+  Rng rng(1);
+  JitsPrepareResult result = jits.Prepare(block, config, &rng, 1);
+  EXPECT_EQ(result.candidate_groups, 3u);
+  EXPECT_EQ(result.tables_sampled, 1u);
+  EXPECT_EQ(result.groups_measured, 3u);
+  EXPECT_FALSE(result.exact.selectivity.empty());
+}
+
+TEST(JitsModuleTest, RepeatedQueryConvergesToNoCollection) {
+  // The intended JITS lifecycle for a recurring query shape:
+  //   query 1: cold start -> sample, nothing materialized (no history yet);
+  //   query 2: history says the exact full-group stat was accurate and
+  //            used -> sample again AND materialize it into the archive;
+  //   query 3: the archive histogram answers the group with accuracy 1 and
+  //            the table saw no updates -> no collection at all.
+  Catalog catalog;
+  testing_util::MakeAbsTable(&catalog, "t", 1000, 10, 20, {"x"});
+  QssArchive archive;
+  StatHistory history;
+  JitsModule jits(&catalog, &archive, &history);
+  QueryBlock block =
+      testing_util::BindSelect(&catalog, "SELECT a FROM t WHERE a = 3 AND b = 13");
+  JitsConfig config;
+  config.enabled = true;
+  Rng rng(1);
+
+  JitsPrepareResult first = jits.Prepare(block, config, &rng, 1);
+  EXPECT_EQ(first.tables_sampled, 1u);
+  EXPECT_EQ(first.groups_materialized, 0u);
+  history.Record("t", "t(a,b)", {"t(a,b)"}, 1.0);  // accurate feedback
+
+  JitsPrepareResult second = jits.Prepare(block, config, &rng, 2);
+  EXPECT_EQ(second.tables_sampled, 1u);
+  EXPECT_GT(second.groups_materialized, 0u);
+  EXPECT_NE(archive.Find("t(a,b)"), nullptr);
+  history.Record("t", "t(a,b)", {"t(a,b)"}, 1.0);
+
+  JitsPrepareResult third = jits.Prepare(block, config, &rng, 3);
+  EXPECT_EQ(third.tables_sampled, 0u);
+}
+
+}  // namespace
+}  // namespace jits

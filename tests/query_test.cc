@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/query_analysis.h"
+#include "query/predicate.h"
+#include "query/predicate_group.h"
+#include "query/query_block.h"
+#include "tests/test_util.h"
+
+namespace jits {
+namespace {
+
+// ---------- Predicate normalization ----------
+
+struct NormalizeCase {
+  CompareOp op;
+  int64_t v1;
+  int64_t v2;
+  double expect_lo;
+  double expect_hi;
+};
+
+class NormalizeIntTest : public ::testing::TestWithParam<NormalizeCase> {};
+
+TEST_P(NormalizeIntTest, IntColumnIntervals) {
+  Catalog catalog;
+  Table* t = testing_util::MakeAbsTable(&catalog, "t", 10, 10, 10, {"x"});
+  LocalPredicate p;
+  p.table_idx = 0;
+  p.col_idx = 0;  // int column a
+  p.op = GetParam().op;
+  p.v1 = Value(GetParam().v1);
+  p.v2 = Value(GetParam().v2);
+  ASSERT_TRUE(p.Normalize(*t));
+  EXPECT_DOUBLE_EQ(p.interval.lo, GetParam().expect_lo);
+  EXPECT_DOUBLE_EQ(p.interval.hi, GetParam().expect_hi);
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, NormalizeIntTest,
+    ::testing::Values(NormalizeCase{CompareOp::kEq, 5, 0, 5, 6},
+                      NormalizeCase{CompareOp::kLt, 5, 0, -kInf, 5},
+                      NormalizeCase{CompareOp::kLe, 5, 0, -kInf, 6},
+                      NormalizeCase{CompareOp::kGt, 5, 0, 6, kInf},
+                      NormalizeCase{CompareOp::kGe, 5, 0, 5, kInf},
+                      NormalizeCase{CompareOp::kBetween, 3, 7, 3, 8}));
+
+TEST(NormalizeTest, NeHasNoInterval) {
+  Catalog catalog;
+  Table* t = testing_util::MakeAbsTable(&catalog, "t", 10, 10, 10, {"x"});
+  LocalPredicate p;
+  p.table_idx = 0;
+  p.col_idx = 0;
+  p.op = CompareOp::kNe;
+  p.v1 = Value(int64_t{5});
+  EXPECT_FALSE(p.Normalize(*t));
+  EXPECT_FALSE(p.has_interval);
+}
+
+TEST(NormalizeTest, StringEqualityUsesDictCode) {
+  Catalog catalog;
+  Table* t = testing_util::MakeAbsTable(&catalog, "t", 10, 10, 10, {"x", "y"});
+  LocalPredicate p;
+  p.table_idx = 0;
+  p.col_idx = 2;  // string column s
+  p.op = CompareOp::kEq;
+  p.v1 = Value("y");
+  ASSERT_TRUE(p.Normalize(*t));
+  EXPECT_TRUE(p.is_equality);
+  EXPECT_DOUBLE_EQ(p.eq_key, 1.0);  // "y" interned second
+  EXPECT_DOUBLE_EQ(p.interval.lo, 1.0);
+  EXPECT_DOUBLE_EQ(p.interval.hi, 2.0);
+}
+
+TEST(NormalizeTest, DoubleGtExcludesBoundary) {
+  Catalog catalog;
+  Table* t = catalog.CreateTable("d", Schema({{"v", DataType::kDouble}})).value();
+  ASSERT_TRUE(t->Insert({Value(1.0)}).ok());
+  LocalPredicate p;
+  p.table_idx = 0;
+  p.col_idx = 0;
+  p.op = CompareOp::kGt;
+  p.v1 = Value(5.0);
+  ASSERT_TRUE(p.Normalize(*t));
+  EXPECT_GT(p.interval.lo, 5.0);
+  EXPECT_LT(p.interval.lo, 5.0 + 1e-9);
+}
+
+// ---------- Query block ----------
+
+TEST(QueryBlockTest, LocalPredIndicesPerTable) {
+  Catalog catalog;
+  testing_util::MakeJoinTables(&catalog, 100, 10);
+  QueryBlock block = testing_util::BindSelect(
+      &catalog,
+      "SELECT f.id FROM fact f, dim d WHERE f.dim_id = d.id AND f.v < 10 AND d.w = 3");
+  EXPECT_EQ(block.LocalPredIndicesOf(0).size(), 1u);
+  EXPECT_EQ(block.LocalPredIndicesOf(1).size(), 1u);
+  EXPECT_TRUE(block.JoinGraphConnected());
+}
+
+// ---------- Predicate groups ----------
+
+class GroupTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing_util::MakeAbsTable(&catalog_, "t", 100, 10, 20, {"x", "y"});
+    block_ = testing_util::BindSelect(
+        &catalog_, "SELECT a FROM t WHERE a = 3 AND b > 5 AND s = 'x'");
+  }
+  Catalog catalog_;
+  QueryBlock block_;
+};
+
+TEST_F(GroupTest, ColumnSetKeyIsCanonical) {
+  PredicateGroup g;
+  g.table_idx = 0;
+  g.pred_indices = {1, 0};  // b, a in reverse order
+  EXPECT_EQ(g.ColumnSetKey(block_), "t(a,b)");
+  g.pred_indices = {0, 1};
+  EXPECT_EQ(g.ColumnSetKey(block_), "t(a,b)");
+}
+
+TEST_F(GroupTest, ExactKeyDistinguishesIntervals) {
+  PredicateGroup g1;
+  g1.table_idx = 0;
+  g1.pred_indices = {0};
+  QueryBlock other = testing_util::BindSelect(&catalog_, "SELECT a FROM t WHERE a = 4");
+  PredicateGroup g2;
+  g2.table_idx = 0;
+  g2.pred_indices = {0};
+  EXPECT_NE(g1.ExactKey(block_), g2.ExactKey(other));
+}
+
+TEST_F(GroupTest, BuildBoxIntersectsSameColumnPredicates) {
+  QueryBlock block = testing_util::BindSelect(
+      &catalog_, "SELECT a FROM t WHERE a > 2 AND a < 8");
+  PredicateGroup g;
+  g.table_idx = 0;
+  g.pred_indices = {0, 1};
+  std::vector<int> cols;
+  Box box;
+  ASSERT_TRUE(g.BuildBox(block, &cols, &box));
+  ASSERT_EQ(cols.size(), 1u);
+  ASSERT_EQ(box.size(), 1u);
+  EXPECT_DOUBLE_EQ(box[0].lo, 3);
+  EXPECT_DOUBLE_EQ(box[0].hi, 8);
+}
+
+TEST_F(GroupTest, BuildBoxOrdersDimsByColumnName) {
+  QueryBlock block = testing_util::BindSelect(
+      &catalog_, "SELECT a FROM t WHERE s = 'x' AND a = 3");  // s first in SQL
+  PredicateGroup g;
+  g.table_idx = 0;
+  g.pred_indices = {0, 1};
+  std::vector<int> cols;
+  Box box;
+  ASSERT_TRUE(g.BuildBox(block, &cols, &box));
+  // Dimension order a (col 0) then s (col 2), by name.
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 2);
+  EXPECT_DOUBLE_EQ(box[0].lo, 3);
+}
+
+// ---------- Algorithm 1: query analysis ----------
+
+TEST(QueryAnalysisTest, EnumeratesAllSubsets) {
+  Catalog catalog;
+  testing_util::MakeAbsTable(&catalog, "t", 100, 10, 20, {"x", "y"});
+  QueryBlock block = testing_util::BindSelect(
+      &catalog, "SELECT a FROM t WHERE a = 3 AND b > 5 AND s = 'x'");
+  const std::vector<PredicateGroup> groups = AnalyzeQuery(block);
+  EXPECT_EQ(groups.size(), 7u);  // 2^3 - 1
+  size_t singles = 0;
+  size_t pairs = 0;
+  size_t triples = 0;
+  for (const PredicateGroup& g : groups) {
+    if (g.size() == 1) ++singles;
+    if (g.size() == 2) ++pairs;
+    if (g.size() == 3) ++triples;
+  }
+  EXPECT_EQ(singles, 3u);
+  EXPECT_EQ(pairs, 3u);
+  EXPECT_EQ(triples, 1u);
+}
+
+TEST(QueryAnalysisTest, GroupsArePerTable) {
+  Catalog catalog;
+  testing_util::MakeJoinTables(&catalog, 100, 10);
+  QueryBlock block = testing_util::BindSelect(
+      &catalog,
+      "SELECT f.id FROM fact f, dim d WHERE f.dim_id = d.id AND f.v < 10 AND d.w = 3");
+  const std::vector<PredicateGroup> groups = AnalyzeQuery(block);
+  EXPECT_EQ(groups.size(), 2u);  // one singleton per table
+  EXPECT_NE(groups[0].table_idx, groups[1].table_idx);
+}
+
+TEST(QueryAnalysisTest, ExcludesNePredicates) {
+  Catalog catalog;
+  testing_util::MakeAbsTable(&catalog, "t", 100, 10, 20, {"x"});
+  QueryBlock block =
+      testing_util::BindSelect(&catalog, "SELECT a FROM t WHERE a <> 3 AND b > 5");
+  const std::vector<PredicateGroup> groups = AnalyzeQuery(block);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].ColumnSetKey(block), "t(b)");
+}
+
+TEST(QueryAnalysisTest, CapsSubsetEnumeration) {
+  Catalog catalog;
+  Schema schema({{"c0", DataType::kInt64},
+                 {"c1", DataType::kInt64},
+                 {"c2", DataType::kInt64},
+                 {"c3", DataType::kInt64},
+                 {"c4", DataType::kInt64},
+                 {"c5", DataType::kInt64},
+                 {"c6", DataType::kInt64}});
+  Table* t = catalog.CreateTable("wide", schema).value();
+  ASSERT_TRUE(t->Insert({Value(int64_t{0}), Value(int64_t{0}), Value(int64_t{0}),
+                         Value(int64_t{0}), Value(int64_t{0}), Value(int64_t{0}),
+                         Value(int64_t{0})})
+                  .ok());
+  QueryBlock block = testing_util::BindSelect(
+      &catalog,
+      "SELECT c0 FROM wide WHERE c0 = 1 AND c1 = 1 AND c2 = 1 AND c3 = 1 "
+      "AND c4 = 1 AND c5 = 1 AND c6 = 1");
+  const std::vector<PredicateGroup> groups = AnalyzeQuery(block, 5);
+  // 2^5 - 1 subsets over the first five + singletons for the remaining two.
+  EXPECT_EQ(groups.size(), 31u + 2u);
+}
+
+TEST(QueryAnalysisTest, NoPredicatesNoGroups) {
+  Catalog catalog;
+  testing_util::MakeJoinTables(&catalog, 10, 5);
+  QueryBlock block = testing_util::BindSelect(
+      &catalog, "SELECT f.id FROM fact f, dim d WHERE f.dim_id = d.id");
+  EXPECT_TRUE(AnalyzeQuery(block).empty());
+}
+
+}  // namespace
+}  // namespace jits

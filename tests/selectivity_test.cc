@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "catalog/runstats.h"
+#include "optimizer/selectivity.h"
+#include "tests/test_util.h"
+
+namespace jits {
+namespace {
+
+// Data: a = i % 10 and b = i % 20 over 1000 rows -> a and b are correlated
+// (a = b mod 10). sel(a=3) = 0.1, sel(b=13) = 0.05, joint sel = 0.05
+// (independence would predict 0.005: 10x underestimate).
+class SelectivityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = testing_util::MakeAbsTable(&catalog_, "t", 1000, 10, 20, {"x", "y"});
+    block_ = testing_util::BindSelect(&catalog_,
+                                      "SELECT a FROM t WHERE a = 3 AND b = 13");
+    sources_.catalog = &catalog_;
+  }
+
+  GroupEstimate Estimate() {
+    SelectivityEstimator estimator(&block_, sources_);
+    return estimator.EstimateTableConjunct(0);
+  }
+
+  Catalog catalog_;
+  Table* table_ = nullptr;
+  QueryBlock block_;
+  EstimationSources sources_;
+  Rng rng_{3};
+};
+
+TEST_F(SelectivityTest, DefaultsWhenNoStats) {
+  GroupEstimate est = Estimate();
+  EXPECT_TRUE(est.used_defaults);
+  EXPECT_TRUE(est.statlist.empty());
+  EXPECT_NEAR(est.selectivity,
+              DefaultSelectivity::kEquality * DefaultSelectivity::kEquality, 1e-9);
+}
+
+TEST_F(SelectivityTest, CatalogIndependenceUnderestimatesCorrelation) {
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng_, 1).ok());
+  GroupEstimate est = Estimate();
+  EXPECT_FALSE(est.used_defaults);
+  EXPECT_TRUE(est.used_independence);
+  EXPECT_EQ(est.statlist.size(), 2u);
+  // Independence: 0.1 * 0.05 = 0.005 (true joint is 0.05).
+  EXPECT_NEAR(est.selectivity, 0.005, 0.002);
+}
+
+TEST_F(SelectivityTest, ExactQssWinsOverEverything) {
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng_, 1).ok());
+  QssExact exact;
+  PredicateGroup full;
+  full.table_idx = 0;
+  full.pred_indices = {0, 1};
+  exact.selectivity[full.ExactKey(block_)] = 0.05;
+  sources_.exact = &exact;
+  GroupEstimate est = Estimate();
+  EXPECT_FALSE(est.used_independence);
+  EXPECT_DOUBLE_EQ(est.selectivity, 0.05);
+  ASSERT_EQ(est.statlist.size(), 1u);
+  EXPECT_EQ(est.statlist[0], "t(a,b)");
+}
+
+TEST_F(SelectivityTest, ArchiveHistogramBeatsCatalog) {
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng_, 1).ok());
+  QssArchive archive;
+  GridHistogram* h = archive.GetOrCreate(
+      "t(a,b)", {"a", "b"}, {Interval{0, 10}, Interval{0, 20}}, 1000, 1);
+  // Constrain the joint box (a in [3,4), b in [13,14)) to the true 50 rows.
+  h->ApplyConstraint({Interval{3, 4}, Interval{13, 14}}, 50, 1000, 2);
+  sources_.archive = &archive;
+  GroupEstimate est = Estimate();
+  EXPECT_NEAR(est.selectivity, 0.05, 1e-6);
+  ASSERT_EQ(est.statlist.size(), 1u);
+}
+
+TEST_F(SelectivityTest, StaticWorkloadStatsConsultedAfterArchive) {
+  QssArchive static_stats;
+  GridHistogram* h = static_stats.GetOrCreate(
+      "t(a,b)", {"a", "b"}, {Interval{0, 10}, Interval{0, 20}}, 1000, 1);
+  h->ApplyConstraint({Interval{3, 4}, Interval{13, 14}}, 50, 1000, 2);
+  sources_.static_stats = &static_stats;
+  GroupEstimate est = Estimate();
+  EXPECT_NEAR(est.selectivity, 0.05, 1e-6);
+}
+
+TEST_F(SelectivityTest, PartialCoverCombinesSources) {
+  // Exact QSS for {a} only; catalog for {b}: expect product of parts.
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng_, 1).ok());
+  QssExact exact;
+  PredicateGroup ga;
+  ga.table_idx = 0;
+  ga.pred_indices = {0};
+  exact.selectivity[ga.ExactKey(block_)] = 0.1;
+  sources_.exact = &exact;
+  GroupEstimate est = Estimate();
+  EXPECT_TRUE(est.used_independence);
+  EXPECT_EQ(est.statlist.size(), 2u);
+  EXPECT_NEAR(est.selectivity, 0.1 * 0.05, 0.01);
+}
+
+TEST_F(SelectivityTest, CardinalityPrecedence) {
+  SelectivityEstimator no_stats(&block_, sources_);
+  EXPECT_DOUBLE_EQ(no_stats.EstimateTableCardinality(0), Catalog::kDefaultCardinality);
+
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng_, 1).ok());
+  SelectivityEstimator with_catalog(&block_, sources_);
+  EXPECT_DOUBLE_EQ(with_catalog.EstimateTableCardinality(0), 1000);
+
+  QssExact exact;
+  exact.cardinality[table_] = 1234;
+  sources_.exact = &exact;
+  SelectivityEstimator with_exact(&block_, sources_);
+  EXPECT_DOUBLE_EQ(with_exact.EstimateTableCardinality(0), 1234);
+}
+
+TEST_F(SelectivityTest, JoinColumnDistinct) {
+  SelectivityEstimator no_stats(&block_, sources_);
+  // Without stats, assume key: distinct == default cardinality.
+  EXPECT_DOUBLE_EQ(no_stats.EstimateJoinColumnDistinct(0, 0),
+                   Catalog::kDefaultCardinality);
+  ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng_, 1).ok());
+  SelectivityEstimator with_stats(&block_, sources_);
+  EXPECT_NEAR(with_stats.EstimateJoinColumnDistinct(0, 0), 10, 1);
+}
+
+TEST_F(SelectivityTest, EmptyGroupIsOne) {
+  SelectivityEstimator estimator(&block_, sources_);
+  EXPECT_DOUBLE_EQ(estimator.EstimateGroup(0, {}).selectivity, 1.0);
+}
+
+// ---------- Catalog-only single predicate paths ----------
+
+class CatalogSelectivityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = testing_util::MakeAbsTable(&catalog_, "t", 1000, 10, 20, {"x", "y"});
+    Rng rng(3);
+    ASSERT_TRUE(RunStats(&catalog_, table_, {}, &rng, 1).ok());
+  }
+  Catalog catalog_;
+  Table* table_ = nullptr;
+};
+
+TEST_F(CatalogSelectivityTest, RangePredicate) {
+  QueryBlock block = testing_util::BindSelect(&catalog_, "SELECT a FROM t WHERE a < 5");
+  EXPECT_NEAR(SelectivityEstimator::CatalogPredicateSelectivity(catalog_, *table_,
+                                                                block.local_preds[0]),
+              0.5, 0.05);
+}
+
+TEST_F(CatalogSelectivityTest, NePredicate) {
+  QueryBlock block = testing_util::BindSelect(&catalog_, "SELECT a FROM t WHERE a <> 3");
+  EXPECT_NEAR(SelectivityEstimator::CatalogPredicateSelectivity(catalog_, *table_,
+                                                                block.local_preds[0]),
+              0.9, 0.05);
+}
+
+TEST_F(CatalogSelectivityTest, StringEquality) {
+  QueryBlock block = testing_util::BindSelect(&catalog_, "SELECT a FROM t WHERE s = 'x'");
+  EXPECT_NEAR(SelectivityEstimator::CatalogPredicateSelectivity(catalog_, *table_,
+                                                                block.local_preds[0]),
+              0.5, 0.05);
+}
+
+TEST_F(CatalogSelectivityTest, BetweenPredicate) {
+  QueryBlock block =
+      testing_util::BindSelect(&catalog_, "SELECT a FROM t WHERE b BETWEEN 5 AND 9");
+  EXPECT_NEAR(SelectivityEstimator::CatalogPredicateSelectivity(catalog_, *table_,
+                                                                block.local_preds[0]),
+              0.25, 0.05);
+}
+
+}  // namespace
+}  // namespace jits

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "common/str_util.h"
+#include "engine/database.h"
+#include "sql/parser.h"
+
+namespace jits {
+namespace {
+
+// ---------- Parser: ORDER BY / LIMIT / EXPLAIN ----------
+
+TEST(OrderByParseTest, SingleKeyDefaultsAscending) {
+  Result<StatementAst> r = ParseStatement("SELECT a FROM t ORDER BY a");
+  ASSERT_TRUE(r.ok());
+  const SelectAst& s = std::get<SelectAst>(r.value());
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_FALSE(s.order_by[0].descending);
+  EXPECT_EQ(s.limit, -1);
+}
+
+TEST(OrderByParseTest, MultipleKeysWithDirections) {
+  Result<StatementAst> r =
+      ParseStatement("SELECT a FROM t ORDER BY a DESC, t.b ASC LIMIT 10");
+  ASSERT_TRUE(r.ok());
+  const SelectAst& s = std::get<SelectAst>(r.value());
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_TRUE(s.order_by[0].descending);
+  EXPECT_FALSE(s.order_by[1].descending);
+  EXPECT_EQ(s.order_by[1].column.qualifier, "t");
+  EXPECT_EQ(s.limit, 10);
+}
+
+TEST(OrderByParseTest, LimitWithoutOrderBy) {
+  Result<StatementAst> r = ParseStatement("SELECT a FROM t LIMIT 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get<SelectAst>(r.value()).limit, 5);
+}
+
+TEST(OrderByParseTest, TableAliasNotConfusedWithKeywords) {
+  Result<StatementAst> r = ParseStatement("SELECT x.a FROM t x ORDER BY x.a LIMIT 1");
+  ASSERT_TRUE(r.ok());
+  const SelectAst& s = std::get<SelectAst>(r.value());
+  EXPECT_EQ(s.from[0].alias, "x");
+}
+
+TEST(OrderByParseTest, NegativeLimitRejected) {
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t LIMIT -1").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t ORDER BY").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t LIMIT abc").ok());
+}
+
+TEST(ExplainParseTest, WrapsSelect) {
+  Result<StatementAst> r = ParseStatement("EXPLAIN SELECT a FROM t WHERE a = 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(std::holds_alternative<ExplainAst>(r.value()));
+  const ExplainAst& e = std::get<ExplainAst>(r.value());
+  EXPECT_EQ(e.select.where.size(), 1u);
+}
+
+TEST(ExplainParseTest, RejectsNonSelect) {
+  EXPECT_FALSE(ParseStatement("EXPLAIN DELETE FROM t").ok());
+  EXPECT_FALSE(ParseStatement("EXPLAIN").ok());
+}
+
+// ---------- Engine: ordering, limiting, explaining ----------
+
+class SqlExtensionEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE t (id INT, v DOUBLE, s VARCHAR)").ok());
+    const char* names[] = {"delta", "alpha", "charlie", "bravo", "echo"};
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(db_.Execute(StrFormat("INSERT INTO t VALUES (%d, %d.5, '%s')", i,
+                                        10 - i, names[i]))
+                      .ok());
+    }
+  }
+  Database db_;
+};
+
+TEST_F(SqlExtensionEngineTest, OrderByNumericAscending) {
+  QueryResult r;
+  ASSERT_TRUE(db_.Execute("SELECT id FROM t ORDER BY v", &r).ok());
+  ASSERT_EQ(r.rows.size(), 5u);
+  // v = 10.5 - i, so ascending v means descending id.
+  EXPECT_EQ(r.rows[0][0].int64(), 4);
+  EXPECT_EQ(r.rows[4][0].int64(), 0);
+}
+
+TEST_F(SqlExtensionEngineTest, OrderByDescending) {
+  QueryResult r;
+  ASSERT_TRUE(db_.Execute("SELECT id FROM t ORDER BY id DESC", &r).ok());
+  EXPECT_EQ(r.rows[0][0].int64(), 4);
+}
+
+TEST_F(SqlExtensionEngineTest, OrderByStringIsLexicographic) {
+  QueryResult r;
+  ASSERT_TRUE(db_.Execute("SELECT s FROM t ORDER BY s", &r).ok());
+  // Insertion order is delta, alpha, charlie, bravo, echo — dictionary codes
+  // follow insertion, so a code sort would give the wrong answer.
+  EXPECT_EQ(r.rows[0][0].str(), "alpha");
+  EXPECT_EQ(r.rows[1][0].str(), "bravo");
+  EXPECT_EQ(r.rows[4][0].str(), "echo");
+}
+
+TEST_F(SqlExtensionEngineTest, LimitCapsRowsAndCount) {
+  QueryResult r;
+  ASSERT_TRUE(db_.Execute("SELECT id FROM t ORDER BY id LIMIT 2", &r).ok());
+  EXPECT_EQ(r.num_rows, 2u);
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].int64(), 0);
+  EXPECT_EQ(r.rows[1][0].int64(), 1);
+}
+
+TEST_F(SqlExtensionEngineTest, LimitZero) {
+  QueryResult r;
+  ASSERT_TRUE(db_.Execute("SELECT id FROM t LIMIT 0", &r).ok());
+  EXPECT_EQ(r.num_rows, 0u);
+}
+
+TEST_F(SqlExtensionEngineTest, LimitLargerThanResult) {
+  QueryResult r;
+  ASSERT_TRUE(db_.Execute("SELECT id FROM t LIMIT 100", &r).ok());
+  EXPECT_EQ(r.num_rows, 5u);
+}
+
+TEST_F(SqlExtensionEngineTest, OrderByJoinColumnFromEitherTable) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE u (id INT, w INT)").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db_.Execute(StrFormat("INSERT INTO u VALUES (%d, %d)", i, 100 - i)).ok());
+  }
+  QueryResult r;
+  ASSERT_TRUE(db_.Execute("SELECT t.id FROM t, u WHERE t.id = u.id ORDER BY u.w", &r)
+                  .ok());
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][0].int64(), 4);  // smallest w = 96 belongs to id 4
+}
+
+TEST_F(SqlExtensionEngineTest, ExplainReturnsPlanWithoutExecuting) {
+  QueryResult r;
+  ASSERT_TRUE(db_.Execute("EXPLAIN SELECT id FROM t WHERE v > 3.0", &r).ok());
+  EXPECT_TRUE(r.is_query);
+  ASSERT_FALSE(r.rows.empty());
+  EXPECT_NE(r.rows[0][0].str().find("SeqScan"), std::string::npos);
+  EXPECT_DOUBLE_EQ(r.execute_seconds, 0);
+  // EXPLAIN must leave the feedback history untouched (nothing executed).
+  EXPECT_EQ(db_.history()->size(), 0u);
+}
+
+// ---------- LEO-style feedback correction ----------
+
+class LeoCorrectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE c (a INT, b INT)").ok());
+    // a and b fully correlated: b = a, ten distinct values.
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(db_.Execute(StrFormat("INSERT INTO c VALUES (%d, %d)", i % 10, i % 10))
+                      .ok());
+    }
+    ASSERT_TRUE(db_.CollectGeneralStats().ok());
+  }
+  Database db_;
+};
+
+TEST_F(LeoCorrectionTest, RepairsRecurringIndependenceError) {
+  const std::string sql = "SELECT a FROM c WHERE a = 3 AND b = 3";
+  QueryResult first;
+  ASSERT_TRUE(db_.Execute(sql, &first).ok());
+  // Independence: 0.1 * 0.1 * 1000 = 10 est vs 100 actual.
+  EXPECT_NEAR(first.est_rows, 10, 3);
+  EXPECT_EQ(first.num_rows, 100u);
+
+  db_.set_leo_correction(true);
+  QueryResult second;
+  ASSERT_TRUE(db_.Execute(sql, &second).ok());
+  // The recorded errorFactor (~0.1) is divided out.
+  EXPECT_NEAR(second.est_rows, 100, 20);
+}
+
+TEST_F(LeoCorrectionTest, OffByDefault) {
+  const std::string sql = "SELECT a FROM c WHERE a = 3 AND b = 3";
+  QueryResult first;
+  ASSERT_TRUE(db_.Execute(sql, &first).ok());
+  QueryResult second;
+  ASSERT_TRUE(db_.Execute(sql, &second).ok());
+  EXPECT_NEAR(second.est_rows, first.est_rows, 1);  // no correction applied
+}
+
+TEST_F(LeoCorrectionTest, DoesNotTouchMeasuredEstimates) {
+  db_.set_leo_correction(true);
+  db_.jits_config()->enabled = true;
+  db_.jits_config()->sensitivity_enabled = false;
+  db_.jits_config()->sample_rows = 1000;  // full table: exact
+  const std::string sql = "SELECT a FROM c WHERE a = 4 AND b = 4";
+  QueryResult r;
+  ASSERT_TRUE(db_.Execute(sql, &r).ok());
+  EXPECT_NEAR(r.est_rows, 100, 5);  // exact measurement, not over-corrected
+  QueryResult again;
+  ASSERT_TRUE(db_.Execute(sql, &again).ok());
+  EXPECT_NEAR(again.est_rows, 100, 5);
+}
+
+}  // namespace
+}  // namespace jits

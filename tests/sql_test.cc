@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace jits {
+namespace {
+
+// ---------- Lexer ----------
+
+TEST(LexerTest, TokenizesOperatorsAndLiterals) {
+  Result<std::vector<Token>> r = Tokenize("a >= 10 AND b <> 'x''y' OR c < 2.5");
+  ASSERT_TRUE(r.ok());
+  const std::vector<Token>& t = r.value();
+  EXPECT_EQ(t[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(t[1].type, TokenType::kGe);
+  EXPECT_EQ(t[2].int_value, 10);
+  EXPECT_EQ(t[4].type, TokenType::kIdentifier);  // b
+  EXPECT_EQ(t[5].type, TokenType::kNe);
+  EXPECT_EQ(t[6].text, "x'y");  // escaped quote
+  EXPECT_EQ(t[9].type, TokenType::kLt);
+  EXPECT_DOUBLE_EQ(t[10].float_value, 2.5);
+  EXPECT_EQ(t.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, NegativeNumbers) {
+  Result<std::vector<Token>> r = Tokenize("-5 -2.5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].int_value, -5);
+  EXPECT_DOUBLE_EQ(r.value()[1].float_value, -2.5);
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  EXPECT_EQ(Tokenize("'abc").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, RejectsStrayCharacter) {
+  EXPECT_EQ(Tokenize("a # b").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, BangEqualsIsNe) {
+  Result<std::vector<Token>> r = Tokenize("a != 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[1].type, TokenType::kNe);
+}
+
+// ---------- Parser ----------
+
+TEST(ParserTest, SimpleSelect) {
+  Result<StatementAst> r =
+      ParseStatement("SELECT price FROM car WHERE make = 'Toyota' AND year > 2000");
+  ASSERT_TRUE(r.ok());
+  const SelectAst& s = std::get<SelectAst>(r.value());
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_EQ(s.items[0].column.column, "price");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "car");
+  ASSERT_EQ(s.where.size(), 2u);
+  EXPECT_EQ(s.where[0].op, CompareOp::kEq);
+  EXPECT_EQ(s.where[0].v1, Value("Toyota"));
+  EXPECT_EQ(s.where[1].op, CompareOp::kGt);
+}
+
+TEST(ParserTest, SelectStarAndCountStar) {
+  Result<StatementAst> star = ParseStatement("SELECT * FROM t");
+  ASSERT_TRUE(star.ok());
+  EXPECT_TRUE(std::get<SelectAst>(star.value()).select_all);
+
+  Result<StatementAst> count = ParseStatement("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  const SelectAst& c = std::get<SelectAst>(count.value());
+  ASSERT_EQ(c.items.size(), 1u);
+  EXPECT_EQ(c.items[0].func, AggFunc::kCount);
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  Result<StatementAst> r =
+      ParseStatement("SELECT c.id FROM car AS c, owner o WHERE c.ownerid = o.id");
+  ASSERT_TRUE(r.ok());
+  const SelectAst& s = std::get<SelectAst>(r.value());
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[0].alias, "c");
+  EXPECT_EQ(s.from[1].alias, "o");
+  ASSERT_EQ(s.where.size(), 1u);
+  EXPECT_TRUE(s.where[0].is_join);
+  EXPECT_EQ(s.where[0].rhs_column.qualifier, "o");
+}
+
+TEST(ParserTest, BetweenPredicate) {
+  Result<StatementAst> r =
+      ParseStatement("SELECT id FROM car WHERE year BETWEEN 2000 AND 2004");
+  ASSERT_TRUE(r.ok());
+  const SelectAst& s = std::get<SelectAst>(r.value());
+  EXPECT_EQ(s.where[0].op, CompareOp::kBetween);
+  EXPECT_EQ(s.where[0].v1, Value(int64_t{2000}));
+  EXPECT_EQ(s.where[0].v2, Value(int64_t{2004}));
+}
+
+TEST(ParserTest, InsertStatement) {
+  Result<StatementAst> r =
+      ParseStatement("INSERT INTO car VALUES (1, 'Toyota', 2.5)");
+  ASSERT_TRUE(r.ok());
+  const InsertAst& ins = std::get<InsertAst>(r.value());
+  EXPECT_EQ(ins.table, "car");
+  ASSERT_EQ(ins.values.size(), 3u);
+  EXPECT_EQ(ins.values[1], Value("Toyota"));
+}
+
+TEST(ParserTest, UpdateStatement) {
+  Result<StatementAst> r =
+      ParseStatement("UPDATE car SET price = 100, year = 2007 WHERE id = 5");
+  ASSERT_TRUE(r.ok());
+  const UpdateAst& up = std::get<UpdateAst>(r.value());
+  ASSERT_EQ(up.assignments.size(), 2u);
+  EXPECT_EQ(up.assignments[0].first, "price");
+  ASSERT_EQ(up.where.size(), 1u);
+}
+
+TEST(ParserTest, DeleteStatement) {
+  Result<StatementAst> r = ParseStatement("DELETE FROM car WHERE id BETWEEN 1 AND 10");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get<DeleteAst>(r.value()).table, "car");
+}
+
+TEST(ParserTest, CreateTableStatement) {
+  Result<StatementAst> r = ParseStatement(
+      "CREATE TABLE t (id INT, name VARCHAR(20), price DOUBLE)");
+  ASSERT_TRUE(r.ok());
+  const CreateTableAst& c = std::get<CreateTableAst>(r.value());
+  ASSERT_EQ(c.columns.size(), 3u);
+  EXPECT_EQ(c.columns[0].type, DataType::kInt64);
+  EXPECT_EQ(c.columns[1].type, DataType::kString);
+  EXPECT_EQ(c.columns[2].type, DataType::kDouble);
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(ParseStatement("SELECT * FROM t;").ok());
+}
+
+struct BadSqlCase {
+  const char* sql;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadSqlCase> {};
+
+TEST_P(ParserErrorTest, RejectsMalformedStatement) {
+  Result<StatementAst> r = ParseStatement(GetParam().sql);
+  EXPECT_FALSE(r.ok()) << GetParam().sql;
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadSql, ParserErrorTest,
+    ::testing::Values(BadSqlCase{"SELECT"}, BadSqlCase{"SELECT FROM t"},
+                      BadSqlCase{"SELECT a FROM"},
+                      BadSqlCase{"SELECT a FROM t WHERE"},
+                      BadSqlCase{"SELECT a FROM t WHERE a >"},
+                      BadSqlCase{"SELECT a FROM t WHERE a BETWEEN 1"},
+                      BadSqlCase{"SELECT a FROM t WHERE a < b"},  // join must use =
+                      BadSqlCase{"INSERT INTO t VALUES 1, 2"},
+                      BadSqlCase{"UPDATE t SET"},
+                      BadSqlCase{"DELETE t WHERE a = 1"},
+                      BadSqlCase{"CREATE TABLE t (a BLOB)"},
+                      BadSqlCase{"DROP TABLE t"},
+                      BadSqlCase{"SELECT a FROM t extra garbage"}));
+
+// ---------- Binder ----------
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing_util::MakeAbsTable(&catalog_, "t1", 100, 10, 20, {"x", "y"});
+    testing_util::MakeAbsTable(&catalog_, "t2", 50, 5, 5, {"p", "q"});
+  }
+
+  Result<BoundStatement> BindSql(const std::string& sql) {
+    Result<StatementAst> ast = ParseStatement(sql);
+    if (!ast.ok()) return ast.status();
+    return Bind(ast.value(), &catalog_);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, ResolvesQualifiedColumns) {
+  Result<BoundStatement> r =
+      BindSql("SELECT x.a FROM t1 x, t2 WHERE x.b = t2.a AND x.s = 'p'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const QueryBlock& block = std::get<QueryBlock>(r.value());
+  ASSERT_EQ(block.join_preds.size(), 1u);
+  ASSERT_EQ(block.local_preds.size(), 1u);
+  EXPECT_EQ(block.local_preds[0].table_idx, 0);
+  EXPECT_EQ(block.local_preds[0].col_idx, 2);
+}
+
+TEST_F(BinderTest, AmbiguousColumnRejected) {
+  Result<BoundStatement> r = BindSql("SELECT a FROM t1, t2 WHERE t1.a = t2.a");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, UnknownTableRejected) {
+  EXPECT_EQ(BindSql("SELECT a FROM nope").status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, UnknownColumnRejected) {
+  EXPECT_EQ(BindSql("SELECT zz FROM t1").status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, DuplicateAliasRejected) {
+  EXPECT_FALSE(BindSql("SELECT x.a FROM t1 x, t2 x WHERE x.a = x.b").ok());
+}
+
+TEST_F(BinderTest, TypeMismatchRejected) {
+  EXPECT_FALSE(BindSql("SELECT a FROM t1 WHERE a = 'string'").ok());
+  EXPECT_FALSE(BindSql("SELECT a FROM t1 WHERE s > 5").ok());
+}
+
+TEST_F(BinderTest, CrossProductRejected) {
+  Result<BoundStatement> r = BindSql("SELECT t1.a FROM t1, t2 WHERE t1.a = 1");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BinderTest, JoinOnStringColumnsRejected) {
+  EXPECT_FALSE(BindSql("SELECT t1.a FROM t1, t2 WHERE t1.s = t2.s").ok());
+}
+
+TEST_F(BinderTest, SelectStarExpandsAllColumns) {
+  Result<BoundStatement> r = BindSql("SELECT * FROM t1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get<QueryBlock>(r.value()).outputs.size(), 3u);
+}
+
+TEST_F(BinderTest, BindsUpdateAssignmentsAndPreds) {
+  Result<BoundStatement> r = BindSql("UPDATE t1 SET a = 3 WHERE b >= 5");
+  ASSERT_TRUE(r.ok());
+  const BoundUpdate& up = std::get<BoundUpdate>(r.value());
+  ASSERT_EQ(up.assignments.size(), 1u);
+  EXPECT_EQ(up.assignments[0].first, 0);
+  ASSERT_EQ(up.preds.size(), 1u);
+  EXPECT_EQ(up.preds[0].col_idx, 1);
+}
+
+TEST_F(BinderTest, InsertArityChecked) {
+  EXPECT_FALSE(BindSql("INSERT INTO t1 VALUES (1, 2)").ok());
+  EXPECT_TRUE(BindSql("INSERT INTO t1 VALUES (1, 2, 'x')").ok());
+}
+
+TEST_F(BinderTest, JoinPredicateWithinOneTableRejected) {
+  EXPECT_FALSE(BindSql("SELECT a FROM t1 WHERE t1.a = t1.b").ok());
+}
+
+}  // namespace
+}  // namespace jits

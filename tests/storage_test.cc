@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "storage/column.h"
+#include "storage/index.h"
+#include "storage/sampler.h"
+#include "storage/table.h"
+
+namespace jits {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"make", DataType::kString}});
+}
+
+// ---------- Column ----------
+
+TEST(ColumnTest, IntAppendAndGet) {
+  Column c(DataType::kInt64);
+  c.Append(Value(int64_t{5}));
+  c.Append(Value(int64_t{-3}));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.GetValue(0), Value(int64_t{5}));
+  EXPECT_DOUBLE_EQ(c.NumericKey(1), -3.0);
+}
+
+TEST(ColumnTest, DoubleCoercesIntLiterals) {
+  Column c(DataType::kDouble);
+  c.Append(Value(int64_t{4}));
+  EXPECT_DOUBLE_EQ(c.GetValue(0).dbl(), 4.0);
+}
+
+TEST(ColumnTest, StringDictionaryEncoding) {
+  Column c(DataType::kString);
+  c.Append(Value("Toyota"));
+  c.Append(Value("Honda"));
+  c.Append(Value("Toyota"));
+  EXPECT_EQ(c.dict_size(), 2u);
+  EXPECT_EQ(c.codes()[0], c.codes()[2]);
+  EXPECT_NE(c.codes()[0], c.codes()[1]);
+  EXPECT_EQ(c.DictCode("Toyota"), c.codes()[0]);
+  EXPECT_EQ(c.DictCode("BMW"), -1);
+  EXPECT_EQ(c.GetValue(1).str(), "Honda");
+}
+
+TEST(ColumnTest, KeyForConstantOnStrings) {
+  Column c(DataType::kString);
+  c.Append(Value("x"));
+  EXPECT_DOUBLE_EQ(c.KeyForConstant(Value("x")), 0.0);
+  EXPECT_DOUBLE_EQ(c.KeyForConstant(Value("unknown")), -1.0);
+}
+
+TEST(ColumnTest, SetOverwrites) {
+  Column c(DataType::kInt64);
+  c.Append(Value(int64_t{1}));
+  c.Set(0, Value(int64_t{9}));
+  EXPECT_EQ(c.GetValue(0).int64(), 9);
+}
+
+// ---------- Table ----------
+
+TEST(TableTest, InsertAndRead) {
+  Table t("cars", TestSchema());
+  ASSERT_TRUE(t.Insert({Value(int64_t{1}), Value(9.5), Value("Toyota")}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+  const Row row = t.GetRow(0);
+  EXPECT_EQ(row[0], Value(int64_t{1}));
+  EXPECT_EQ(row[2], Value("Toyota"));
+}
+
+TEST(TableTest, InsertRejectsWrongArity) {
+  Table t("cars", TestSchema());
+  EXPECT_EQ(t.Insert({Value(int64_t{1})}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, InsertRejectsWrongType) {
+  Table t("cars", TestSchema());
+  EXPECT_FALSE(t.Insert({Value("oops"), Value(1.0), Value("x")}).ok());
+}
+
+TEST(TableTest, DeleteHidesRow) {
+  Table t("cars", TestSchema());
+  ASSERT_TRUE(t.Insert({Value(int64_t{1}), Value(1.0), Value("a")}).ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{2}), Value(2.0), Value("b")}).ok());
+  ASSERT_TRUE(t.DeleteRow(0).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.physical_rows(), 2u);
+  EXPECT_FALSE(t.IsVisible(0));
+  EXPECT_TRUE(t.IsVisible(1));
+  EXPECT_EQ(t.DeleteRow(0).code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, UpdateChangesValueAndRejectsDeleted) {
+  Table t("cars", TestSchema());
+  ASSERT_TRUE(t.Insert({Value(int64_t{1}), Value(1.0), Value("a")}).ok());
+  ASSERT_TRUE(t.UpdateRow(0, 1, Value(7.5)).ok());
+  EXPECT_DOUBLE_EQ(t.GetValue(0, 1).dbl(), 7.5);
+  ASSERT_TRUE(t.DeleteRow(0).ok());
+  EXPECT_FALSE(t.UpdateRow(0, 1, Value(1.0)).ok());
+}
+
+TEST(TableTest, UdiCounterTracksMutations) {
+  Table t("cars", TestSchema());
+  EXPECT_EQ(t.udi_counter(), 0u);
+  ASSERT_TRUE(t.Insert({Value(int64_t{1}), Value(1.0), Value("a")}).ok());
+  ASSERT_TRUE(t.UpdateRow(0, 1, Value(2.0)).ok());
+  EXPECT_EQ(t.udi_counter(), 2u);
+  t.ResetUdi();
+  EXPECT_EQ(t.udi_counter(), 0u);
+  ASSERT_TRUE(t.DeleteRow(0).ok());
+  EXPECT_EQ(t.udi_counter(), 1u);
+}
+
+TEST(TableTest, VersionAdvancesOnEveryMutation) {
+  Table t("cars", TestSchema());
+  const uint64_t v0 = t.version();
+  ASSERT_TRUE(t.Insert({Value(int64_t{1}), Value(1.0), Value("a")}).ok());
+  const uint64_t v1 = t.version();
+  EXPECT_GT(v1, v0);
+  ASSERT_TRUE(t.UpdateRow(0, 0, Value(int64_t{2})).ok());
+  EXPECT_GT(t.version(), v1);
+}
+
+// ---------- HashIndex ----------
+
+TEST(HashIndexTest, LookupFindsAllMatches) {
+  Table t("t", Schema({{"k", DataType::kInt64}}));
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.Insert({Value(i % 10)}).ok());
+  }
+  HashIndex* index = t.GetOrBuildHashIndex(0);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->num_keys(), 10u);
+  EXPECT_EQ(index->Lookup(3).size(), 10u);
+  EXPECT_TRUE(index->Lookup(42).empty());
+}
+
+TEST(HashIndexTest, AppendsNewRowsIncrementally) {
+  Table t("t", Schema({{"k", DataType::kInt64}}));
+  ASSERT_TRUE(t.Insert({Value(int64_t{1})}).ok());
+  HashIndex* index = t.GetOrBuildHashIndex(0);
+  EXPECT_EQ(index->Lookup(1).size(), 1u);
+  ASSERT_TRUE(t.Insert({Value(int64_t{1})}).ok());
+  index = t.GetOrBuildHashIndex(0);
+  EXPECT_EQ(index->Lookup(1).size(), 2u);
+  EXPECT_EQ(index->indexed_rows(), 2u);
+}
+
+TEST(HashIndexTest, DeletedRowsStayButCallersFilterVisibility) {
+  Table t("t", Schema({{"k", DataType::kInt64}}));
+  ASSERT_TRUE(t.Insert({Value(int64_t{5})}).ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{5})}).ok());
+  ASSERT_TRUE(t.DeleteRow(0).ok());
+  HashIndex* index = t.GetOrBuildHashIndex(0);
+  size_t visible = 0;
+  for (uint32_t row : index->Lookup(5)) {
+    if (t.IsVisible(row)) ++visible;
+  }
+  EXPECT_EQ(visible, 1u);
+}
+
+TEST(HashIndexTest, RebuiltAfterIndexedColumnUpdate) {
+  Table t("t", Schema({{"k", DataType::kInt64}, {"v", DataType::kInt64}}));
+  ASSERT_TRUE(t.Insert({Value(int64_t{1}), Value(int64_t{0})}).ok());
+  HashIndex* index = t.GetOrBuildHashIndex(0);
+  EXPECT_EQ(index->Lookup(1).size(), 1u);
+  // Updating a non-indexed column must not invalidate the index contents.
+  ASSERT_TRUE(t.UpdateRow(0, 1, Value(int64_t{9})).ok());
+  index = t.GetOrBuildHashIndex(0);
+  EXPECT_EQ(index->Lookup(1).size(), 1u);
+  // Updating the indexed column forces a rebuild with the new key.
+  ASSERT_TRUE(t.UpdateRow(0, 0, Value(int64_t{2})).ok());
+  index = t.GetOrBuildHashIndex(0);
+  EXPECT_TRUE(index->Lookup(1).empty());
+  EXPECT_EQ(index->Lookup(2).size(), 1u);
+}
+
+TEST(HashIndexTest, NullForNonIntColumns) {
+  Table t("t", Schema({{"s", DataType::kString}}));
+  EXPECT_EQ(t.GetOrBuildHashIndex(0), nullptr);
+}
+
+// ---------- Sampler ----------
+
+class SamplerSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SamplerSizeTest, SamplesExactlyTargetDistinctVisibleRows) {
+  const size_t target = GetParam();
+  Table t("t", Schema({{"k", DataType::kInt64}}));
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(t.Insert({Value(i)}).ok());
+  }
+  // Delete every 5th row to exercise tombstone handling.
+  for (uint32_t i = 0; i < 500; i += 5) {
+    ASSERT_TRUE(t.DeleteRow(i).ok());
+  }
+  Rng rng(9);
+  const std::vector<uint32_t> sample = Sampler::SampleRows(t, target, &rng);
+  if (target >= t.num_rows()) {
+    EXPECT_EQ(sample.size(), t.num_rows());
+  } else {
+    EXPECT_EQ(sample.size(), target);
+  }
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), sample.size());
+  for (uint32_t row : sample) EXPECT_TRUE(t.IsVisible(row));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SamplerSizeTest,
+                         ::testing::Values(1, 10, 100, 399, 400, 1000));
+
+TEST(SamplerTest, AllRowsSkipsTombstones) {
+  Table t("t", Schema({{"k", DataType::kInt64}}));
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert({Value(i)}).ok());
+  }
+  ASSERT_TRUE(t.DeleteRow(3).ok());
+  const std::vector<uint32_t> rows = Sampler::AllRows(t);
+  EXPECT_EQ(rows.size(), 9u);
+  for (uint32_t row : rows) EXPECT_NE(row, 3u);
+}
+
+TEST(SamplerTest, SampleIsUnbiasedEnough) {
+  // Rows 0..999 with value i%2; a large sample should see ~50% each.
+  Table t("t", Schema({{"k", DataType::kInt64}}));
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t.Insert({Value(i % 2)}).ok());
+  }
+  Rng rng(17);
+  const std::vector<uint32_t> sample = Sampler::SampleRows(t, 400, &rng);
+  size_t ones = 0;
+  for (uint32_t row : sample) ones += static_cast<size_t>(t.GetValue(row, 0).int64());
+  EXPECT_NEAR(static_cast<double>(ones) / 400.0, 0.5, 0.08);
+}
+
+}  // namespace
+}  // namespace jits

@@ -1,0 +1,78 @@
+#ifndef JITS_TESTS_TEST_UTIL_H_
+#define JITS_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "engine/database.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace jits {
+namespace testing_util {
+
+/// Creates a table with int columns a,b and string column s, populated with
+/// `n` rows: a = i % a_mod, b = i % b_mod (correlated with a when moduli
+/// share factors), s cycles over `strings`.
+inline Table* MakeAbsTable(Catalog* catalog, const std::string& name, size_t n,
+                           int64_t a_mod, int64_t b_mod,
+                           const std::vector<std::string>& strings) {
+  Schema schema({{"a", DataType::kInt64},
+                 {"b", DataType::kInt64},
+                 {"s", DataType::kString}});
+  Table* t = catalog->CreateTable(name, schema).value();
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t v = static_cast<int64_t>(i);
+    Status s = t->Insert({Value(v % a_mod), Value(v % b_mod),
+                          Value(strings[i % strings.size()])});
+    (void)s;
+  }
+  return t;
+}
+
+/// Parses and binds a SELECT into a QueryBlock (aborts on failure).
+inline QueryBlock BindSelect(Catalog* catalog, const std::string& sql) {
+  Result<StatementAst> ast = ParseStatement(sql);
+  if (!ast.ok()) {
+    fprintf(stderr, "parse failed: %s\n", ast.status().ToString().c_str());
+    abort();
+  }
+  Result<BoundStatement> bound = Bind(ast.value(), catalog);
+  if (!bound.ok()) {
+    fprintf(stderr, "bind failed: %s\n", bound.status().ToString().c_str());
+    abort();
+  }
+  return std::get<QueryBlock>(std::move(bound).value());
+}
+
+/// A small two-table database for join tests:
+///   fact(id, dim_id, v)   n_fact rows, dim_id = id % n_dim, v = id % 100
+///   dim(id, w)            n_dim rows, w = id % 10
+inline void MakeJoinTables(Catalog* catalog, size_t n_fact, size_t n_dim) {
+  Table* dim = catalog
+                   ->CreateTable("dim", Schema({{"id", DataType::kInt64},
+                                                {"w", DataType::kInt64}}))
+                   .value();
+  for (size_t i = 0; i < n_dim; ++i) {
+    (void)dim->Insert({Value(static_cast<int64_t>(i)),
+                       Value(static_cast<int64_t>(i) % 10)});
+  }
+  Table* fact = catalog
+                    ->CreateTable("fact", Schema({{"id", DataType::kInt64},
+                                                  {"dim_id", DataType::kInt64},
+                                                  {"v", DataType::kInt64}}))
+                    .value();
+  for (size_t i = 0; i < n_fact; ++i) {
+    (void)fact->Insert({Value(static_cast<int64_t>(i)),
+                        Value(static_cast<int64_t>(i % n_dim)),
+                        Value(static_cast<int64_t>(i % 100))});
+  }
+}
+
+}  // namespace testing_util
+}  // namespace jits
+
+#endif  // JITS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/database.h"
+#include "workload/datagen.h"
+#include "workload/experiment.h"
+#include "workload/workload_gen.h"
+
+namespace jits {
+namespace {
+
+// ---------- Data generator ----------
+
+class DataGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database(1);
+    DataGenConfig config;
+    config.scale = 0.002;  // tiny but non-degenerate
+    ASSERT_TRUE(GenerateCarDatabase(db_, config).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+};
+
+Database* DataGenTest::db_ = nullptr;
+
+TEST_F(DataGenTest, TableSizesMatchScale) {
+  const SchemaSizes sizes = SchemaSizes::ForScale(0.002);
+  EXPECT_EQ(db_->catalog()->FindTable("car")->num_rows(), sizes.car);
+  EXPECT_EQ(db_->catalog()->FindTable("owner")->num_rows(), sizes.owner);
+  EXPECT_EQ(db_->catalog()->FindTable("demographics")->num_rows(), sizes.demographics);
+  EXPECT_EQ(db_->catalog()->FindTable("accidents")->num_rows(), sizes.accidents);
+}
+
+TEST_F(DataGenTest, PaperScaleSizesMatchTable2) {
+  const SchemaSizes paper = SchemaSizes::ForScale(1.0);
+  EXPECT_EQ(paper.car, 1430798u);
+  EXPECT_EQ(paper.owner, 1000000u);
+  EXPECT_EQ(paper.demographics, 1000000u);
+  EXPECT_EQ(paper.accidents, 4289980u);
+}
+
+TEST_F(DataGenTest, ModelFunctionallyDeterminesMake) {
+  Table* car = db_->catalog()->FindTable("car");
+  const int make_col = car->schema().FindColumn("make");
+  const int model_col = car->schema().FindColumn("model");
+  std::map<std::string, std::string> model_to_make;
+  for (uint32_t row = 0; row < car->num_rows(); ++row) {
+    const std::string make = car->GetValue(row, static_cast<size_t>(make_col)).str();
+    const std::string model = car->GetValue(row, static_cast<size_t>(model_col)).str();
+    auto [it, inserted] = model_to_make.emplace(model, make);
+    EXPECT_EQ(it->second, make) << "model " << model << " maps to two makes";
+  }
+  EXPECT_GT(model_to_make.size(), 20u);  // many models seen
+}
+
+TEST_F(DataGenTest, CityDeterminesCountry) {
+  Table* demo = db_->catalog()->FindTable("demographics");
+  const int city_col = demo->schema().FindColumn("city");
+  const int country_col = demo->schema().FindColumn("country");
+  std::map<std::string, std::string> city_to_country;
+  for (uint32_t row = 0; row < demo->num_rows(); ++row) {
+    const std::string city = demo->GetValue(row, static_cast<size_t>(city_col)).str();
+    const std::string country =
+        demo->GetValue(row, static_cast<size_t>(country_col)).str();
+    auto [it, inserted] = city_to_country.emplace(city, country);
+    EXPECT_EQ(it->second, country);
+  }
+}
+
+TEST_F(DataGenTest, MakesAreSkewed) {
+  QueryResult toyota;
+  ASSERT_TRUE(
+      db_->Execute("SELECT COUNT(*) FROM car WHERE make = 'Toyota'", &toyota).ok());
+  QueryResult vw;
+  ASSERT_TRUE(
+      db_->Execute("SELECT COUNT(*) FROM car WHERE make = 'Volkswagen'", &vw).ok());
+  ASSERT_EQ(toyota.num_rows, 1u);
+  EXPECT_GT(toyota.rows[0][0].int64(), vw.rows[0][0].int64() * 2);
+}
+
+TEST_F(DataGenTest, DamageCorrelatesWithSeverity) {
+  Table* acc = db_->catalog()->FindTable("accidents");
+  const int dmg = acc->schema().FindColumn("damage");
+  const int sev = acc->schema().FindColumn("severity");
+  double sum_low = 0, n_low = 0, sum_high = 0, n_high = 0;
+  for (uint32_t row = 0; row < acc->num_rows(); ++row) {
+    const double d = acc->GetValue(row, static_cast<size_t>(dmg)).dbl();
+    const int64_t s = acc->GetValue(row, static_cast<size_t>(sev)).int64();
+    if (s == 1) {
+      sum_low += d;
+      ++n_low;
+    } else if (s >= 4) {
+      sum_high += d;
+      ++n_high;
+    }
+  }
+  ASSERT_GT(n_low, 0);
+  ASSERT_GT(n_high, 0);
+  EXPECT_GT(sum_high / n_high, 2 * sum_low / n_low);
+}
+
+TEST_F(DataGenTest, PaperQueryRunsAndReturnsRows) {
+  QueryResult r;
+  ASSERT_TRUE(db_->Execute(PaperSingleQuery(), &r).ok());
+  EXPECT_TRUE(r.is_query);
+}
+
+// ---------- Workload generator ----------
+
+TEST(WorkloadGenTest, GeneratesRequestedItemCount) {
+  WorkloadConfig config;
+  config.num_items = 100;
+  const std::vector<WorkloadItem> items = GenerateWorkload(config);
+  EXPECT_EQ(items.size(), 100u);
+}
+
+TEST(WorkloadGenTest, DeterministicForSameSeed) {
+  WorkloadConfig config;
+  config.num_items = 50;
+  const std::vector<WorkloadItem> a = GenerateWorkload(config);
+  const std::vector<WorkloadItem> b = GenerateWorkload(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].statements, b[i].statements);
+  }
+}
+
+TEST(WorkloadGenTest, MixesQueriesAndUpdates) {
+  WorkloadConfig config;
+  config.num_items = 400;
+  config.update_fraction = 0.25;
+  const std::vector<WorkloadItem> items = GenerateWorkload(config);
+  size_t updates = 0;
+  for (const WorkloadItem& item : items) {
+    if (item.is_update) ++updates;
+  }
+  EXPECT_GT(updates, 60u);
+  EXPECT_LT(updates, 140u);
+}
+
+TEST(WorkloadGenTest, ZeroUpdateFractionMeansAllSelects) {
+  WorkloadConfig config;
+  config.num_items = 50;
+  config.update_fraction = 0;
+  for (const WorkloadItem& item : GenerateWorkload(config)) {
+    EXPECT_FALSE(item.is_update);
+    EXPECT_EQ(item.statements.size(), 1u);
+  }
+}
+
+TEST(WorkloadGenTest, AllStatementsParseAndBind) {
+  Database db(1);
+  DataGenConfig datagen;
+  datagen.scale = 0.001;
+  ASSERT_TRUE(GenerateCarDatabase(&db, datagen).ok());
+  WorkloadConfig config;
+  config.num_items = 300;
+  config.scale = 0.001;
+  for (const WorkloadItem& item : GenerateWorkload(config)) {
+    for (const std::string& sql : item.statements) {
+      Status s = db.Execute(sql);
+      EXPECT_TRUE(s.ok()) << sql << " -> " << s.ToString();
+    }
+  }
+}
+
+// ---------- Experiment helpers ----------
+
+TEST(ExperimentTest, FiveNumberSummaryOrdering) {
+  const std::vector<double> s = FiveNumberSummary({5, 1, 4, 2, 3});
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_DOUBLE_EQ(s[0], 1);
+  EXPECT_DOUBLE_EQ(s[2], 3);
+  EXPECT_DOUBLE_EQ(s[4], 5);
+  EXPECT_LE(s[1], s[2]);
+  EXPECT_LE(s[2], s[3]);
+}
+
+TEST(ExperimentTest, FiveNumberSummaryEmptyInput) {
+  const std::vector<double> s = FiveNumberSummary({});
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_DOUBLE_EQ(s[0], 0);
+}
+
+TEST(ExperimentTest, SettingNamesDistinct) {
+  std::set<std::string> names;
+  names.insert(SettingName(ExperimentSetting::kNoStats));
+  names.insert(SettingName(ExperimentSetting::kGeneralStats));
+  names.insert(SettingName(ExperimentSetting::kWorkloadStats));
+  names.insert(SettingName(ExperimentSetting::kJits));
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(ExperimentTest, BuildDatabasePreparesSettings) {
+  ExperimentOptions options;
+  options.datagen.scale = 0.001;
+  options.workload.num_items = 20;
+  options.workload.scale = 0.001;
+  const std::vector<WorkloadItem> items = GenerateWorkload(options.workload);
+
+  double setup = 0;
+  std::unique_ptr<Database> none =
+      BuildExperimentDatabase(ExperimentSetting::kNoStats, options, items, &setup);
+  ASSERT_NE(none, nullptr);
+  EXPECT_EQ(none->catalog()->FindStats(none->catalog()->FindTable("car")), nullptr);
+
+  std::unique_ptr<Database> general =
+      BuildExperimentDatabase(ExperimentSetting::kGeneralStats, options, items, &setup);
+  EXPECT_NE(general->catalog()->FindStats(general->catalog()->FindTable("car")),
+            nullptr);
+
+  std::unique_ptr<Database> workload = BuildExperimentDatabase(
+      ExperimentSetting::kWorkloadStats, options, items, &setup);
+  EXPECT_GT(workload->workload_stats()->size(), 0u);
+
+  std::unique_ptr<Database> jits =
+      BuildExperimentDatabase(ExperimentSetting::kJits, options, items, &setup);
+  EXPECT_TRUE(jits->jits_config()->enabled);
+}
+
+TEST(ExperimentTest, RunWorkloadProducesTimings) {
+  ExperimentOptions options;
+  options.datagen.scale = 0.001;
+  options.workload.num_items = 30;
+  const WorkloadRunResult result =
+      RunWorkloadExperiment(ExperimentSetting::kJits, options);
+  EXPECT_GT(result.queries.size(), 10u);
+  for (const QueryTiming& q : result.queries) {
+    EXPECT_GT(q.total_seconds, 0);
+    EXPECT_GE(q.total_seconds, q.compile_seconds);
+  }
+  EXPECT_GT(result.AvgCompileSeconds(), 0);
+  EXPECT_GT(result.AvgExecuteSeconds(), 0);
+}
+
+}  // namespace
+}  // namespace jits
