@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_maxent_vs_rebuild.dir/bench_ablation_maxent_vs_rebuild.cpp.o"
+  "CMakeFiles/bench_ablation_maxent_vs_rebuild.dir/bench_ablation_maxent_vs_rebuild.cpp.o.d"
+  "bench_ablation_maxent_vs_rebuild"
+  "bench_ablation_maxent_vs_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_maxent_vs_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

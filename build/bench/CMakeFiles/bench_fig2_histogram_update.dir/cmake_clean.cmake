@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_histogram_update.dir/bench_fig2_histogram_update.cpp.o"
+  "CMakeFiles/bench_fig2_histogram_update.dir/bench_fig2_histogram_update.cpp.o.d"
+  "bench_fig2_histogram_update"
+  "bench_fig2_histogram_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_histogram_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

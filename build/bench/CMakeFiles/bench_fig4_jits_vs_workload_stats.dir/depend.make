@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_jits_vs_workload_stats.
+# This may be replaced when dependencies are built.

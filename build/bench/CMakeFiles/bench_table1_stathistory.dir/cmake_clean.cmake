@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_stathistory.dir/bench_table1_stathistory.cpp.o"
+  "CMakeFiles/bench_table1_stathistory.dir/bench_table1_stathistory.cpp.o.d"
+  "bench_table1_stathistory"
+  "bench_table1_stathistory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_stathistory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

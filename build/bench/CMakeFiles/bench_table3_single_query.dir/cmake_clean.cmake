@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_single_query.dir/bench_table3_single_query.cpp.o"
+  "CMakeFiles/bench_table3_single_query.dir/bench_table3_single_query.cpp.o.d"
+  "bench_table3_single_query"
+  "bench_table3_single_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_single_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlated_predicates.dir/correlated_predicates.cpp.o"
+  "CMakeFiles/correlated_predicates.dir/correlated_predicates.cpp.o.d"
+  "correlated_predicates"
+  "correlated_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlated_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

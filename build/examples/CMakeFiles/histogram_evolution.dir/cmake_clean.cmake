@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_evolution.dir/histogram_evolution.cpp.o"
+  "CMakeFiles/histogram_evolution.dir/histogram_evolution.cpp.o.d"
+  "histogram_evolution"
+  "histogram_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

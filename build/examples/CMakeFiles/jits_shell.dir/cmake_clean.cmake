@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jits_shell.dir/jits_shell.cpp.o"
+  "CMakeFiles/jits_shell.dir/jits_shell.cpp.o.d"
+  "jits_shell"
+  "jits_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jits_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

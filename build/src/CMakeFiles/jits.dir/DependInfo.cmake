@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/jits.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/jits.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/column_stats.cc" "src/CMakeFiles/jits.dir/catalog/column_stats.cc.o" "gcc" "src/CMakeFiles/jits.dir/catalog/column_stats.cc.o.d"
+  "/root/repo/src/catalog/runstats.cc" "src/CMakeFiles/jits.dir/catalog/runstats.cc.o" "gcc" "src/CMakeFiles/jits.dir/catalog/runstats.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/jits.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/jits.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/jits.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/jits.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/jits.dir/common/status.cc.o" "gcc" "src/CMakeFiles/jits.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/jits.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/jits.dir/common/str_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/jits.dir/common/value.cc.o" "gcc" "src/CMakeFiles/jits.dir/common/value.cc.o.d"
+  "/root/repo/src/core/collector.cc" "src/CMakeFiles/jits.dir/core/collector.cc.o" "gcc" "src/CMakeFiles/jits.dir/core/collector.cc.o.d"
+  "/root/repo/src/core/jits_module.cc" "src/CMakeFiles/jits.dir/core/jits_module.cc.o" "gcc" "src/CMakeFiles/jits.dir/core/jits_module.cc.o.d"
+  "/root/repo/src/core/migration.cc" "src/CMakeFiles/jits.dir/core/migration.cc.o" "gcc" "src/CMakeFiles/jits.dir/core/migration.cc.o.d"
+  "/root/repo/src/core/qss_archive.cc" "src/CMakeFiles/jits.dir/core/qss_archive.cc.o" "gcc" "src/CMakeFiles/jits.dir/core/qss_archive.cc.o.d"
+  "/root/repo/src/core/query_analysis.cc" "src/CMakeFiles/jits.dir/core/query_analysis.cc.o" "gcc" "src/CMakeFiles/jits.dir/core/query_analysis.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/CMakeFiles/jits.dir/core/sensitivity.cc.o" "gcc" "src/CMakeFiles/jits.dir/core/sensitivity.cc.o.d"
+  "/root/repo/src/engine/csv.cc" "src/CMakeFiles/jits.dir/engine/csv.cc.o" "gcc" "src/CMakeFiles/jits.dir/engine/csv.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/jits.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/jits.dir/engine/database.cc.o.d"
+  "/root/repo/src/exec/bitvector.cc" "src/CMakeFiles/jits.dir/exec/bitvector.cc.o" "gcc" "src/CMakeFiles/jits.dir/exec/bitvector.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/jits.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/jits.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/predicate_eval.cc" "src/CMakeFiles/jits.dir/exec/predicate_eval.cc.o" "gcc" "src/CMakeFiles/jits.dir/exec/predicate_eval.cc.o.d"
+  "/root/repo/src/feedback/feedback.cc" "src/CMakeFiles/jits.dir/feedback/feedback.cc.o" "gcc" "src/CMakeFiles/jits.dir/feedback/feedback.cc.o.d"
+  "/root/repo/src/feedback/stat_history.cc" "src/CMakeFiles/jits.dir/feedback/stat_history.cc.o" "gcc" "src/CMakeFiles/jits.dir/feedback/stat_history.cc.o.d"
+  "/root/repo/src/histogram/equi_depth.cc" "src/CMakeFiles/jits.dir/histogram/equi_depth.cc.o" "gcc" "src/CMakeFiles/jits.dir/histogram/equi_depth.cc.o.d"
+  "/root/repo/src/histogram/grid_histogram.cc" "src/CMakeFiles/jits.dir/histogram/grid_histogram.cc.o" "gcc" "src/CMakeFiles/jits.dir/histogram/grid_histogram.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/jits.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/jits.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/join_enumerator.cc" "src/CMakeFiles/jits.dir/optimizer/join_enumerator.cc.o" "gcc" "src/CMakeFiles/jits.dir/optimizer/join_enumerator.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/jits.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/jits.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/CMakeFiles/jits.dir/optimizer/plan.cc.o" "gcc" "src/CMakeFiles/jits.dir/optimizer/plan.cc.o.d"
+  "/root/repo/src/optimizer/selectivity.cc" "src/CMakeFiles/jits.dir/optimizer/selectivity.cc.o" "gcc" "src/CMakeFiles/jits.dir/optimizer/selectivity.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/jits.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/jits.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/predicate_group.cc" "src/CMakeFiles/jits.dir/query/predicate_group.cc.o" "gcc" "src/CMakeFiles/jits.dir/query/predicate_group.cc.o.d"
+  "/root/repo/src/query/query_block.cc" "src/CMakeFiles/jits.dir/query/query_block.cc.o" "gcc" "src/CMakeFiles/jits.dir/query/query_block.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/jits.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/jits.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/jits.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/jits.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/jits.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/jits.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/token.cc" "src/CMakeFiles/jits.dir/sql/token.cc.o" "gcc" "src/CMakeFiles/jits.dir/sql/token.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/jits.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/jits.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/jits.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/jits.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/sampler.cc" "src/CMakeFiles/jits.dir/storage/sampler.cc.o" "gcc" "src/CMakeFiles/jits.dir/storage/sampler.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/jits.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/jits.dir/storage/table.cc.o.d"
+  "/root/repo/src/workload/datagen.cc" "src/CMakeFiles/jits.dir/workload/datagen.cc.o" "gcc" "src/CMakeFiles/jits.dir/workload/datagen.cc.o.d"
+  "/root/repo/src/workload/experiment.cc" "src/CMakeFiles/jits.dir/workload/experiment.cc.o" "gcc" "src/CMakeFiles/jits.dir/workload/experiment.cc.o.d"
+  "/root/repo/src/workload/workload_gen.cc" "src/CMakeFiles/jits.dir/workload/workload_gen.cc.o" "gcc" "src/CMakeFiles/jits.dir/workload/workload_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jits_core_test.dir/jits_core_test.cc.o"
+  "CMakeFiles/jits_core_test.dir/jits_core_test.cc.o.d"
+  "jits_core_test"
+  "jits_core_test.pdb"
+  "jits_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jits_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
