@@ -48,5 +48,10 @@ int main() {
     for (const QueryTiming& q : r.queries) exec.push_back(q.execute_seconds);
     bench::PrintFiveNumber(SettingName(r.setting), exec);
   }
+
+  std::printf("\n");
+  for (const WorkloadRunResult& r : results) {
+    bench::PrintJsonResultLine("fig3_workload", options, r);
+  }
   return 0;
 }

@@ -84,5 +84,9 @@ int main() {
   }
   std::printf("(paper: JITS suffers early from collection overhead, then wins as the\n"
               " pre-collected workload statistics go stale under updates)\n");
+  std::printf("\n");
+  for (const WorkloadRunResult& r : results) {
+    bench::PrintJsonResultLine("fig4_jits_vs_workload_stats", options, r);
+  }
   return 0;
 }

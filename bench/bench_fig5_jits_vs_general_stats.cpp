@@ -72,5 +72,9 @@ int main() {
   std::printf("(paper: almost all queries improve; ours shows the execution-time\n"
               " improvement while the compile-time sampling overhead — relatively\n"
               " larger on an in-memory engine — moves some totals above the diagonal)\n");
+  std::printf("\n");
+  for (const WorkloadRunResult& r : results) {
+    bench::PrintJsonResultLine("fig5_jits_vs_general_stats", options, r);
+  }
   return 0;
 }

@@ -59,6 +59,35 @@ inline void PrintFiveNumber(const char* label, const std::vector<double>& second
               five[4] * 1e3);
 }
 
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// One machine-readable result line per run, greppable as `^JITS_RESULT `.
+/// The trailing "metrics" object is the database's full metrics dump
+/// (MetricsRegistry::ExportJson), so downstream tooling can chart e.g.
+/// jits.tables_sampled or feedback.qerror without parsing the human tables.
+inline void PrintJsonResultLine(const char* experiment, const ExperimentOptions& options,
+                                const WorkloadRunResult& result) {
+  const std::string metrics =
+      result.metrics_json.empty() ? std::string("{}") : result.metrics_json;
+  std::printf(
+      "JITS_RESULT {\"experiment\":\"%s\",\"setting\":\"%s\",\"scale\":%.4f,"
+      "\"items\":%zu,\"queries\":%zu,\"setup_seconds\":%.6f,"
+      "\"workload_seconds\":%.6f,\"avg_compile_seconds\":%.6f,"
+      "\"avg_execute_seconds\":%.6f,\"collections\":%zu,\"metrics\":%s}\n",
+      JsonEscape(experiment).c_str(), SettingName(result.setting),
+      options.datagen.scale, options.workload.num_items, result.queries.size(),
+      result.setup_seconds, result.workload_seconds, result.AvgCompileSeconds(),
+      result.AvgExecuteSeconds(), result.TotalCollections(), metrics.c_str());
+}
+
 }  // namespace bench
 }  // namespace jits
 

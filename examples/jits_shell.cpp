@@ -13,6 +13,9 @@
 //   \tables              list tables
 //   \timing on|off       per-query timing breakdown
 //   \quit
+// and the observability commands (also accepted with a '.' prefix):
+//   .metrics [prom]      dump the metrics registry (JSON, or Prometheus text)
+//   .trace on|off        per-query pipeline trace trees
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -84,7 +87,9 @@ int main(int argc, char** argv) {
     if (!std::getline(std::cin, line)) break;
     if (line.empty()) continue;
 
-    if (line[0] == '\\') {
+    if (line[0] == '\\' || line[0] == '.') {
+      // Meta commands accept either prefix; normalize to backslash.
+      if (line[0] == '.') line[0] = '\\';
       if (line == "\\quit" || line == "\\q") break;
       if (line == "\\jits on") {
         db.jits_config()->enabled = true;
@@ -120,6 +125,13 @@ int main(int argc, char** argv) {
         }
       } else if (line == "\\timing on" || line == "\\timing off") {
         timing = (line == "\\timing on");
+      } else if (line == "\\metrics") {
+        std::printf("%s\n", db.metrics()->ExportJson().c_str());
+      } else if (line == "\\metrics prom") {
+        std::printf("%s", db.metrics()->ExportPrometheus().c_str());
+      } else if (line == "\\trace on" || line == "\\trace off") {
+        db.tracer()->set_enabled(line == "\\trace on");
+        std::printf("tracing %s\n", db.tracer()->enabled() ? "on" : "off");
       } else {
         std::printf("unknown command: %s\n", line.c_str());
       }
@@ -133,6 +145,9 @@ int main(int argc, char** argv) {
       continue;
     }
     PrintResult(result, timing);
+    if (db.tracer()->enabled() && !result.trace.empty()) {
+      std::printf("%s", result.trace.ToString().c_str());
+    }
   }
   return 0;
 }

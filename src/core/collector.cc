@@ -44,8 +44,10 @@ Interval ColumnDomain(const Catalog& catalog, const Table& table, int col_idx) {
 CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
                                              const std::vector<PredicateGroup>& groups,
                                              const std::vector<TableDecision>& decisions,
-                                             Rng* rng, uint64_t now, QssExact* exact) {
+                                             Rng* rng, uint64_t now, QssExact* exact,
+                                             const ObsContext* obs) {
   CollectionStats out;
+  size_t maxent_iterations = 0;
   for (const TableDecision& decision : decisions) {
     if (!decision.collect) continue;
     Table* table = block.tables[static_cast<size_t>(decision.table_idx)].table;
@@ -125,6 +127,7 @@ CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
       const bool materialize =
           (k < decision.materialize.size()) && decision.materialize[k];
       if (!materialize || archive_ == nullptr) continue;
+      TraceSpan materialize_span(ObsTracer(obs), "jits.materialize");
 
       std::vector<int> cols;
       Box box;
@@ -156,15 +159,25 @@ CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
               static_cast<double>(BitVector::CountIntersection(dim_vs));
           Box dim_box(cols.size(), Interval::All());
           dim_box[d] = box[d];
-          hist->ApplyConstraint(dim_box, dim_count / n * table_rows, table_rows, now);
+          maxent_iterations +=
+              hist->ApplyConstraint(dim_box, dim_count / n * table_rows, table_rows, now);
         }
       }
-      hist->ApplyConstraint(box, sel * table_rows, table_rows, now);
+      maxent_iterations += hist->ApplyConstraint(box, sel * table_rows, table_rows, now);
       hist->Touch(now);
       ++out.groups_materialized;
     }
   }
-  if (archive_ != nullptr) archive_->EnforceBudget();
+  size_t evictions = 0;
+  if (archive_ != nullptr) evictions = archive_->EnforceBudget();
+  if (obs != nullptr) {
+    if (maxent_iterations > 0) {
+      obs->Count("jits.maxent.iterations", static_cast<double>(maxent_iterations));
+    }
+    if (evictions > 0) {
+      obs->Count("jits.archive.evictions", static_cast<double>(evictions));
+    }
+  }
   return out;
 }
 

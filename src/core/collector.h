@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "core/qss_archive.h"
 #include "core/sensitivity.h"
+#include "obs/obs_context.h"
 #include "query/predicate_group.h"
 
 namespace jits {
@@ -36,10 +37,14 @@ class StatisticsCollector {
   StatisticsCollector(Catalog* catalog, QssArchive* archive, CollectorConfig config)
       : catalog_(catalog), archive_(archive), config_(config) {}
 
+  /// `obs` (nullable) receives collection-effort metrics
+  /// (jits.maxent.iterations, jits.archive.evictions) and per-group
+  /// jits.materialize trace spans.
   CollectionStats Collect(const QueryBlock& block,
                           const std::vector<PredicateGroup>& groups,
                           const std::vector<TableDecision>& decisions, Rng* rng,
-                          uint64_t now, QssExact* exact);
+                          uint64_t now, QssExact* exact,
+                          const ObsContext* obs = nullptr);
 
  private:
   Catalog* catalog_;

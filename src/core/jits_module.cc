@@ -1,41 +1,80 @@
 #include "core/jits_module.h"
 
+#include "common/str_util.h"
 #include "core/migration.h"
 #include "core/query_analysis.h"
+#include "query/query_block.h"
+#include "storage/table.h"
 
 namespace jits {
 
 JitsPrepareResult JitsModule::Prepare(const QueryBlock& block, const JitsConfig& config,
-                                      Rng* rng, uint64_t now) {
+                                      Rng* rng, uint64_t now, const ObsContext* obs) {
   JitsPrepareResult result;
   if (!config.enabled) return result;
 
   archive_->set_bucket_budget(config.archive_bucket_budget);
 
   // 1. Query analysis (Algorithm 1).
-  const std::vector<PredicateGroup> groups = AnalyzeQuery(block, config.max_group_preds);
+  std::vector<PredicateGroup> groups;
+  {
+    TraceSpan span(ObsTracer(obs), "jits.analyze");
+    groups = AnalyzeQuery(block, config.max_group_preds);
+  }
   result.candidate_groups = groups.size();
 
   // 2. Sensitivity analysis (Algorithms 2-4).
-  SensitivityConfig sens_config;
-  sens_config.s_max = config.s_max;
-  sens_config.enabled = config.sensitivity_enabled;
-  SensitivityAnalysis sensitivity(sens_config, catalog_, archive_, history_);
-  result.decisions = sensitivity.Analyze(block, groups);
+  {
+    TraceSpan span(ObsTracer(obs), "jits.sensitivity");
+    SensitivityConfig sens_config;
+    sens_config.s_max = config.s_max;
+    sens_config.enabled = config.sensitivity_enabled;
+    SensitivityAnalysis sensitivity(sens_config, catalog_, archive_, history_);
+    result.decisions = sensitivity.Analyze(block, groups);
+  }
+  if (obs != nullptr && obs->metrics != nullptr) {
+    // Last-seen per-table sensitivity scores, surfaced by SHOW JITS STATUS.
+    for (const TableDecision& d : result.decisions) {
+      const std::string table =
+          ToLower(block.tables[static_cast<size_t>(d.table_idx)].table->name());
+      obs->SetGauge("jits.sensitivity.s1{table=\"" + table + "\"}", d.s1);
+      obs->SetGauge("jits.sensitivity.s2{table=\"" + table + "\"}", d.s2);
+    }
+  }
 
   // 3. Statistics collection.
-  CollectorConfig coll_config;
-  coll_config.sample_rows = config.sample_rows;
-  StatisticsCollector collector(catalog_, archive_, coll_config);
-  const CollectionStats stats =
-      collector.Collect(block, groups, result.decisions, rng, now, &result.exact);
-  result.tables_sampled = stats.tables_sampled;
-  result.groups_measured = stats.groups_measured;
-  result.groups_materialized = stats.groups_materialized;
+  {
+    TraceSpan span(ObsTracer(obs), "jits.collect");
+    CollectorConfig coll_config;
+    coll_config.sample_rows = config.sample_rows;
+    StatisticsCollector collector(catalog_, archive_, coll_config);
+    const CollectionStats stats =
+        collector.Collect(block, groups, result.decisions, rng, now, &result.exact, obs);
+    result.tables_sampled = stats.tables_sampled;
+    result.groups_measured = stats.groups_measured;
+    result.groups_materialized = stats.groups_materialized;
+  }
+  if (obs != nullptr) {
+    obs->Count("jits.candidate_groups", static_cast<double>(result.candidate_groups));
+    obs->Count("jits.tables_sampled", static_cast<double>(result.tables_sampled));
+    obs->Count("jits.groups_measured", static_cast<double>(result.groups_measured));
+    obs->Count("jits.groups_materialized",
+               static_cast<double>(result.groups_materialized));
+    obs->SetGauge("jits.archive.buckets_used",
+                  static_cast<double>(archive_->total_buckets()));
+    obs->SetGauge("jits.archive.histograms", static_cast<double>(archive_->size()));
+    obs->SetGauge("jits.archive.bucket_budget",
+                  static_cast<double>(archive_->bucket_budget()));
+  }
 
   // 4. Periodic statistics migration into the catalog.
   if (config.migration_interval > 0 && now % config.migration_interval == 0) {
-    MigrateStatistics(*archive_, catalog_, now);
+    TraceSpan span(ObsTracer(obs), "migrate");
+    const size_t migrated = MigrateStatistics(*archive_, catalog_, now);
+    if (obs != nullptr) {
+      obs->Count("jits.migrations");
+      obs->Count("jits.migrated_columns", static_cast<double>(migrated));
+    }
   }
   return result;
 }

@@ -48,9 +48,11 @@ class JitsModule {
       : catalog_(catalog), archive_(archive), history_(history) {}
 
   /// Runs the pipeline for one query block. `now` is the engine's logical
-  /// clock (used for bucket timestamps, LRU and migration cadence).
+  /// clock (used for bucket timestamps, LRU and migration cadence). `obs`
+  /// (nullable) receives per-stage trace spans (jits.analyze,
+  /// jits.sensitivity, jits.collect, migrate) and the jits.* metrics.
   JitsPrepareResult Prepare(const QueryBlock& block, const JitsConfig& config,
-                            Rng* rng, uint64_t now);
+                            Rng* rng, uint64_t now, const ObsContext* obs = nullptr);
 
  private:
   Catalog* catalog_;

@@ -55,7 +55,8 @@ size_t QssArchive::total_buckets() const {
   return total;
 }
 
-void QssArchive::EnforceBudget() {
+size_t QssArchive::EnforceBudget() {
+  size_t evicted = 0;
   while (histograms_.size() > 1 && total_buckets() > bucket_budget_) {
     // Prefer almost-uniform histograms; among them (or if none, among all)
     // evict the least recently used.
@@ -82,7 +83,9 @@ void QssArchive::EnforceBudget() {
     }
     if (victim == nullptr) break;
     histograms_.erase(*victim);
+    ++evicted;
   }
+  return evicted;
 }
 
 }  // namespace jits

@@ -60,8 +60,9 @@ class QssArchive {
   /// The §3.3.2 accuracy of the keyed histogram for `box`, if present.
   std::optional<double> Accuracy(const std::string& key, const Box& box) const;
 
-  /// Evicts until the total bucket count fits the budget.
-  void EnforceBudget();
+  /// Evicts until the total bucket count fits the budget. Returns the
+  /// number of histograms evicted (observability feeds on this).
+  size_t EnforceBudget();
 
   size_t bucket_budget() const { return bucket_budget_; }
   void set_bucket_budget(size_t b) { bucket_budget_ = b; }

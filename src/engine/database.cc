@@ -18,7 +18,9 @@ Database::Database(uint64_t seed)
     : workload_stats_(SIZE_MAX),  // static store: no eviction
       feedback_(&history_),
       jits_(&catalog_, &archive_, &history_),
-      rng_(seed) {}
+      rng_(seed) {
+  feedback_.set_metrics(&metrics_);
+}
 
 Status Database::Execute(const std::string& sql) {
   QueryResult result;
@@ -29,10 +31,34 @@ Status Database::Execute(const std::string& sql, QueryResult* result) {
   *result = QueryResult();
   ++clock_;
   Stopwatch total_watch;
+  tracer_.BeginQuery(sql);
+  // Count up front so a SHOW METRICS snapshot taken mid-statement includes
+  // the statement itself (its latency.parse already does).
+  metrics_.GetCounter("queries.total")->Increment();
+  const Status status = ExecuteInner(sql, result, total_watch);
+  result->total_seconds = total_watch.Seconds();
+  obs_.ObserveLatency("latency.total", result->total_seconds);
+  result->trace = tracer_.EndQuery();
+  return status;
+}
 
-  Result<StatementAst> ast = ParseStatement(sql);
+Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
+                              const Stopwatch& total_watch) {
+  Result<StatementAst> ast = [&] {
+    TraceSpan span(&tracer_, "parse");
+    Stopwatch watch;
+    Result<StatementAst> r = ParseStatement(sql);
+    obs_.ObserveLatency("latency.parse", watch.Seconds());
+    return r;
+  }();
   if (!ast.ok()) return ast.status();
-  Result<BoundStatement> bound = Bind(ast.value(), &catalog_);
+  Result<BoundStatement> bound = [&] {
+    TraceSpan span(&tracer_, "bind");
+    Stopwatch watch;
+    Result<BoundStatement> r = Bind(ast.value(), &catalog_);
+    obs_.ObserveLatency("latency.bind", watch.Seconds());
+    return r;
+  }();
   if (!bound.ok()) return bound.status();
 
   Status status;
@@ -57,21 +83,51 @@ Status Database::Execute(const std::string& sql, QueryResult* result) {
                         clock_);
       result->num_rows = 1;
     }
+  } else if (auto* show = std::get_if<ShowAst>(&bound.value())) {
+    status = RunShow(*show, result);
   } else {
     status = Status::Internal("unhandled bound statement");
   }
-  result->total_seconds = total_watch.Seconds();
   return status;
 }
+
+namespace {
+
+/// Splits a plan rendering into one single-column row per line.
+void PlanTextToRows(const std::string& plan_text, QueryResult* result) {
+  result->column_names = {"plan"};
+  std::string line;
+  for (char c : plan_text) {
+    if (c == '\n') {
+      result->rows.push_back({Value(line)});
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  if (!line.empty()) result->rows.push_back({Value(line)});
+  result->num_rows = result->rows.size();
+}
+
+}  // namespace
 
 Status Database::RunSelect(QueryBlock* block, QueryResult* result,
                            const Stopwatch& compile_watch) {
   result->is_query = true;
 
   // --- Compilation: JITS pass, then plan generation & costing. ---
-  const JitsPrepareResult jits = jits_.Prepare(*block, jits_config_, &rng_, clock_);
-  result->tables_sampled = jits.tables_sampled;
-  result->groups_materialized = jits.groups_materialized;
+  // QueryResult's sampling counters are metric deltas around the pass, so
+  // the registry stays the single source of truth.
+  const double sampled_before = metrics_.CounterValue("jits.tables_sampled");
+  const double materialized_before = metrics_.CounterValue("jits.groups_materialized");
+  Stopwatch jits_watch;
+  const JitsPrepareResult jits =
+      jits_.Prepare(*block, jits_config_, &rng_, clock_, &obs_);
+  obs_.ObserveLatency("latency.jits", jits_watch.Seconds());
+  result->tables_sampled = static_cast<size_t>(
+      metrics_.CounterValue("jits.tables_sampled") - sampled_before);
+  result->groups_materialized = static_cast<size_t>(
+      metrics_.CounterValue("jits.groups_materialized") - materialized_before);
 
   EstimationSources sources;
   sources.catalog = &catalog_;
@@ -82,7 +138,13 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
   sources.history = &history_;
   sources.use_feedback_correction = leo_correction_;
 
-  Result<PhysicalPlan> plan = optimizer_.Optimize(*block, sources);
+  Result<PhysicalPlan> plan = [&] {
+    TraceSpan span(&tracer_, "optimize");
+    Stopwatch watch;
+    Result<PhysicalPlan> r = optimizer_.Optimize(*block, sources, &obs_);
+    obs_.ObserveLatency("latency.optimize", watch.Seconds());
+    return r;
+  }();
   if (!plan.ok()) return plan.status();
   result->plan_text = plan.value().ToString(*block);
   result->est_rows = plan.value().est_result_rows;
@@ -90,31 +152,27 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
 
   if (block->explain_only) {
     // EXPLAIN: return the plan rendering, one line per row.
-    result->column_names = {"plan"};
-    std::string line;
-    for (char c : result->plan_text) {
-      if (c == '\n') {
-        result->rows.push_back({Value(line)});
-        line.clear();
-      } else {
-        line += c;
-      }
-    }
-    if (!line.empty()) result->rows.push_back({Value(line)});
-    result->num_rows = result->rows.size();
+    PlanTextToRows(result->plan_text, result);
     return Status::OK();
   }
 
   // --- Execution. ---
   Stopwatch exec_watch;
   Executor executor(block);
-  Result<ExecResult> exec = executor.Execute(*plan.value().root);
+  Result<ExecResult> exec = [&] {
+    TraceSpan span(&tracer_, "execute");
+    Stopwatch watch;
+    Result<ExecResult> r = executor.Execute(*plan.value().root);
+    obs_.ObserveLatency("latency.execute", watch.Seconds());
+    return r;
+  }();
   if (!exec.ok()) return exec.status();
   const Relation& output = exec.value().output;
 
-  if (block->IsAggregate()) {
-    JITS_RETURN_IF_ERROR(AggregateAndMaterialize(*block, output, result));
-    result->execute_seconds = exec_watch.Seconds();
+  // --- Feedback (LEO-lite): estimates vs observed cardinalities. ---
+  auto record_feedback = [&] {
+    TraceSpan span(&tracer_, "feedback");
+    Stopwatch watch;
     for (const EstimationRecord& record : plan.value().estimates) {
       for (const AccessObservation& ob : exec.value().observations) {
         if (ob.table_idx != record.table_idx) continue;
@@ -122,6 +180,33 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
         break;
       }
     }
+    obs_.ObserveLatency("latency.feedback", watch.Seconds());
+  };
+
+  if (block->explain_analyze) {
+    // EXPLAIN ANALYZE: the plan annotated with per-operator observed
+    // cardinalities and q-errors, followed by a summary line. Feedback still
+    // runs — an analyzed query should train the history like any other.
+    result->execute_seconds = exec_watch.Seconds();
+    record_feedback();
+    result->plan_text = plan.value().ToString(*block, &exec.value().node_actuals);
+    PlanTextToRows(result->plan_text, result);
+    double max_q = 1.0;
+    for (const auto& [node, rows] : exec.value().node_actuals) {
+      const double e = std::max(node->est_rows, 0.5);
+      const double a = std::max(rows, 0.5);
+      max_q = std::max(max_q, std::max(e / a, a / e));
+    }
+    result->rows.push_back({Value(StrFormat(
+        "actual rows: %zu, max operator q-error: %.2f", output.count(), max_q))});
+    result->num_rows = result->rows.size();
+    return Status::OK();
+  }
+
+  if (block->IsAggregate()) {
+    JITS_RETURN_IF_ERROR(AggregateAndMaterialize(*block, output, result));
+    result->execute_seconds = exec_watch.Seconds();
+    record_feedback();
     return Status::OK();
   }
 
@@ -211,14 +296,7 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
   }
   result->execute_seconds = exec_watch.Seconds();
 
-  // --- Feedback (LEO-lite): estimates vs observed cardinalities. ---
-  for (const EstimationRecord& record : plan.value().estimates) {
-    for (const AccessObservation& ob : exec.value().observations) {
-      if (ob.table_idx != record.table_idx) continue;
-      feedback_.Record(record, ob.passed_rows, ob.denominator_rows);
-      break;
-    }
-  }
+  record_feedback();
   return Status::OK();
 }
 
@@ -514,6 +592,69 @@ Status Database::CollectWorkloadStats(const std::vector<std::string>& workload_s
       hist->ApplyConstraint(box, count, table_rows, clock_);
     }
   }
+  return Status::OK();
+}
+
+Status Database::RunShow(const ShowAst& show, QueryResult* result) {
+  result->is_query = true;  // SHOW returns rows, not an affected-count
+  if (show.what == ShowAst::What::kMetrics) {
+    // SHOW METRICS: one row per metric. Histograms report count and sum;
+    // the full bucket layout is available via metrics()->ExportJson().
+    result->column_names = {"metric", "type", "value"};
+    for (const MetricSnapshot& m : metrics_.Snapshot()) {
+      switch (m.kind) {
+        case MetricSnapshot::Kind::kCounter:
+          result->rows.push_back({Value(m.name), Value("counter"), Value(m.value)});
+          break;
+        case MetricSnapshot::Kind::kGauge:
+          result->rows.push_back({Value(m.name), Value("gauge"), Value(m.value)});
+          break;
+        case MetricSnapshot::Kind::kHistogram:
+          result->rows.push_back(
+              {Value(m.name), Value("histogram"),
+               Value(StrFormat("count=%llu sum=%.6f",
+                               static_cast<unsigned long long>(m.count), m.sum))});
+          break;
+      }
+    }
+    result->num_rows = result->rows.size();
+    return Status::OK();
+  }
+
+  // SHOW JITS STATUS: configuration, archive occupancy, history size,
+  // per-table sensitivity scores and migration counts as property/value rows.
+  result->column_names = {"property", "value"};
+  auto add = [&](const std::string& property, const std::string& value) {
+    result->rows.push_back({Value(property), Value(value)});
+  };
+  add("jits.enabled", jits_config_.enabled ? "true" : "false");
+  add("jits.sensitivity_enabled", jits_config_.sensitivity_enabled ? "true" : "false");
+  add("jits.s_max", StrFormat("%.3f", jits_config_.s_max));
+  add("jits.sample_rows", StrFormat("%zu", jits_config_.sample_rows));
+  add("archive.histograms", StrFormat("%zu", archive_.size()));
+  add("archive.buckets_used", StrFormat("%zu", archive_.total_buckets()));
+  add("archive.bucket_budget", StrFormat("%zu", archive_.bucket_budget()));
+  const double budget = static_cast<double>(archive_.bucket_budget());
+  add("archive.occupancy",
+      StrFormat("%.1f%%", budget > 0
+                              ? 100.0 * static_cast<double>(archive_.total_buckets()) / budget
+                              : 0.0));
+  add("stat_history.entries", StrFormat("%zu", history_.size()));
+  add("migrations", StrFormat("%.0f", metrics_.CounterValue("jits.migrations")));
+  add("migrated_columns",
+      StrFormat("%.0f", metrics_.CounterValue("jits.migrated_columns")));
+  // Last-seen sensitivity scores, one pair of gauges per table.
+  const std::string s1_prefix = "jits.sensitivity.s1{table=\"";
+  for (const MetricSnapshot& m : metrics_.Snapshot()) {
+    if (m.kind != MetricSnapshot::Kind::kGauge) continue;
+    if (m.name.rfind(s1_prefix, 0) != 0) continue;
+    const std::string table =
+        m.name.substr(s1_prefix.size(), m.name.size() - s1_prefix.size() - 2);
+    const double s2 =
+        metrics_.GetGauge("jits.sensitivity.s2{table=\"" + table + "\"}")->Value();
+    add("sensitivity." + table, StrFormat("s1=%.3f s2=%.3f", m.value, s2));
+  }
+  result->num_rows = result->rows.size();
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #include "core/jits_module.h"
 #include "core/qss_archive.h"
 #include "feedback/feedback.h"
+#include "obs/obs_context.h"
 #include "optimizer/optimizer.h"
 #include "sql/binder.h"
 
@@ -30,8 +31,15 @@ struct QueryResult {
 
   std::string plan_text;
   double est_rows = 0;
+  /// Derived from the `jits.tables_sampled` / `jits.groups_materialized`
+  /// counter deltas around the JITS pass — the metrics registry is the
+  /// single source of truth for these.
   size_t tables_sampled = 0;
   size_t groups_materialized = 0;
+
+  /// Per-query pipeline trace (empty unless the Database's tracer is
+  /// enabled). Render with trace.ToString().
+  TraceNode trace;
 };
 
 /// The engine facade: a single-session in-memory DBMS wiring together
@@ -69,6 +77,8 @@ class Database {
 
   JitsConfig* jits_config() { return &jits_config_; }
   Catalog* catalog() { return &catalog_; }
+  MetricsRegistry* metrics() { return &metrics_; }
+  Tracer* tracer() { return &tracer_; }
   QssArchive* archive() { return &archive_; }
   QssArchive* workload_stats() { return &workload_stats_; }
   StatHistory* history() { return &history_; }
@@ -85,13 +95,19 @@ class Database {
   bool leo_correction() const { return leo_correction_; }
 
  private:
+  Status ExecuteInner(const std::string& sql, QueryResult* result,
+                      const Stopwatch& total_watch);
   Status RunSelect(QueryBlock* block, QueryResult* result, const Stopwatch& compile_watch);
   Status AggregateAndMaterialize(const QueryBlock& block, const struct Relation& output,
                                  QueryResult* result);
   Status RunInsert(const BoundInsert& stmt, QueryResult* result);
   Status RunUpdate(const BoundUpdate& stmt, QueryResult* result);
   Status RunDelete(const BoundDelete& stmt, QueryResult* result);
+  Status RunShow(const ShowAst& show, QueryResult* result);
 
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  ObsContext obs_{&metrics_, &tracer_};
   Catalog catalog_;
   QssArchive archive_;
   QssArchive workload_stats_;

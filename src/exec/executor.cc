@@ -17,28 +17,32 @@ int Relation::SlotOf(int table_idx) const {
 
 Result<ExecResult> Executor::Execute(const PlanNode& root) {
   ExecResult result;
-  Result<Relation> rel = ExecuteNode(root, &result.observations);
+  Result<Relation> rel = ExecuteNode(root, &result);
   if (!rel.ok()) return rel.status();
   result.output = std::move(rel).value();
   return result;
 }
 
-Result<Relation> Executor::ExecuteNode(const PlanNode& node,
-                                       std::vector<AccessObservation>* obs) {
-  switch (node.type) {
-    case PlanNode::Type::kSeqScan:
-    case PlanNode::Type::kIndexScan:
-      return ExecuteScan(node, obs);
-    case PlanNode::Type::kHashJoin:
-      return ExecuteHashJoin(node, obs);
-    case PlanNode::Type::kIndexNLJoin:
-      return ExecuteIndexNLJoin(node, obs);
+Result<Relation> Executor::ExecuteNode(const PlanNode& node, ExecResult* result) {
+  Result<Relation> rel = [&]() -> Result<Relation> {
+    switch (node.type) {
+      case PlanNode::Type::kSeqScan:
+      case PlanNode::Type::kIndexScan:
+        return ExecuteScan(node, result);
+      case PlanNode::Type::kHashJoin:
+        return ExecuteHashJoin(node, result);
+      case PlanNode::Type::kIndexNLJoin:
+        return ExecuteIndexNLJoin(node, result);
+    }
+    return Status::Internal("unknown plan node type");
+  }();
+  if (rel.ok()) {
+    result->node_actuals.emplace_back(&node, static_cast<double>(rel.value().count()));
   }
-  return Status::Internal("unknown plan node type");
+  return rel;
 }
 
-Result<Relation> Executor::ExecuteScan(const PlanNode& node,
-                                       std::vector<AccessObservation>* obs) {
+Result<Relation> Executor::ExecuteScan(const PlanNode& node, ExecResult* result) {
   Table* table = block_->tables[static_cast<size_t>(node.table_idx)].table;
   Relation out;
   out.table_idxs = {node.table_idx};
@@ -75,7 +79,7 @@ Result<Relation> Executor::ExecuteScan(const PlanNode& node,
 
   if (!node.pred_indices.empty()) {
     ob.passed_rows = static_cast<double>(out.data.size());
-    obs->push_back(ob);
+    result->observations.push_back(ob);
   }
   return out;
 }
@@ -111,11 +115,10 @@ bool ResidualJoinsMatch(const QueryBlock& block,
 
 }  // namespace
 
-Result<Relation> Executor::ExecuteHashJoin(const PlanNode& node,
-                                           std::vector<AccessObservation>* obs) {
-  Result<Relation> left_r = ExecuteNode(*node.left, obs);
+Result<Relation> Executor::ExecuteHashJoin(const PlanNode& node, ExecResult* result) {
+  Result<Relation> left_r = ExecuteNode(*node.left, result);
   if (!left_r.ok()) return left_r.status();
-  Result<Relation> right_r = ExecuteNode(*node.right, obs);
+  Result<Relation> right_r = ExecuteNode(*node.right, result);
   if (!right_r.ok()) return right_r.status();
   const Relation left = std::move(left_r).value();
   const Relation right = std::move(right_r).value();
@@ -172,8 +175,8 @@ Result<Relation> Executor::ExecuteHashJoin(const PlanNode& node,
 }
 
 Result<Relation> Executor::ExecuteIndexNLJoin(const PlanNode& node,
-                                              std::vector<AccessObservation>* obs) {
-  Result<Relation> left_r = ExecuteNode(*node.left, obs);
+                                              ExecResult* result) {
+  Result<Relation> left_r = ExecuteNode(*node.left, result);
   if (!left_r.ok()) return left_r.status();
   const Relation left = std::move(left_r).value();
 
@@ -223,7 +226,7 @@ Result<Relation> Executor::ExecuteIndexNLJoin(const PlanNode& node,
     ob.denominator_rows = tested;
     ob.passed_rows = passed;
     ob.conditional = true;
-    obs->push_back(ob);
+    result->observations.push_back(ob);
   }
   return out;
 }

@@ -43,6 +43,11 @@ struct AccessObservation {
 struct ExecResult {
   Relation output;
   std::vector<AccessObservation> observations;
+  /// Observed output cardinality of every operator, post-order (children
+  /// before parents). Pointers refer into the executed plan tree; they stay
+  /// valid as long as the PhysicalPlan does. EXPLAIN ANALYZE joins these
+  /// against the optimizer's est_rows annotations.
+  std::vector<std::pair<const PlanNode*, double>> node_actuals;
 };
 
 /// Pull-free materializing executor for the physical plans produced by the
@@ -55,12 +60,10 @@ class Executor {
   Result<ExecResult> Execute(const PlanNode& root);
 
  private:
-  Result<Relation> ExecuteNode(const PlanNode& node, std::vector<AccessObservation>* obs);
-  Result<Relation> ExecuteScan(const PlanNode& node, std::vector<AccessObservation>* obs);
-  Result<Relation> ExecuteHashJoin(const PlanNode& node,
-                                   std::vector<AccessObservation>* obs);
-  Result<Relation> ExecuteIndexNLJoin(const PlanNode& node,
-                                      std::vector<AccessObservation>* obs);
+  Result<Relation> ExecuteNode(const PlanNode& node, ExecResult* result);
+  Result<Relation> ExecuteScan(const PlanNode& node, ExecResult* result);
+  Result<Relation> ExecuteHashJoin(const PlanNode& node, ExecResult* result);
+  Result<Relation> ExecuteIndexNLJoin(const PlanNode& node, ExecResult* result);
 
   const QueryBlock* block_;
 };

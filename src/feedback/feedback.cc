@@ -14,6 +14,11 @@ void FeedbackSystem::Record(const EstimationRecord& record, double actual_rows,
   const double est_sel = std::max(record.est_selectivity, 0.5 / table_rows);
   const double error_factor = est_sel / actual_sel;
   history_->Record(record.table_key, record.colgrp, record.statlist, error_factor);
+  if (metrics_ != nullptr) {
+    const double qerror = std::max(error_factor, 1.0 / error_factor);
+    metrics_->GetHistogram("feedback.qerror", MetricBuckets::QError())->Observe(qerror);
+    metrics_->GetCounter("feedback.records")->Increment();
+  }
 }
 
 }  // namespace jits

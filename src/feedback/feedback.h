@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "feedback/stat_history.h"
+#include "obs/metrics.h"
 
 namespace jits {
 
@@ -37,8 +38,13 @@ class FeedbackSystem {
 
   StatHistory* history() { return history_; }
 
+  /// Optional metrics sink: every Record() observes the q-error into the
+  /// `feedback.qerror` histogram and bumps `feedback.records`.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   StatHistory* history_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace jits

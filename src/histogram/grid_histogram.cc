@@ -181,6 +181,26 @@ double GridHistogram::FitOnce(const Box& box, double target_rows) {
   std::vector<size_t> sizes(num_dims());
   for (size_t d = 0; d < num_dims(); ++d) sizes[d] = boundaries_[d].size() - 1;
   const size_t n_cells = counts_.size();
+  // Overlap fraction / clamped width / cell width only depend on one
+  // dimension's bucket, so compute them per dimension up front; the cell
+  // loop below then just multiplies (sum(n_d) Interval evaluations instead
+  // of n_cells * dims).
+  std::vector<std::vector<double>> dim_overlap(num_dims());
+  std::vector<std::vector<double>> dim_cut(num_dims());
+  std::vector<std::vector<double>> dim_width(num_dims());
+  for (size_t d = 0; d < num_dims(); ++d) {
+    dim_overlap[d].resize(sizes[d]);
+    dim_cut[d].resize(sizes[d]);
+    dim_width[d].resize(sizes[d]);
+    for (size_t b = 0; b < sizes[d]; ++b) {
+      const double clo = boundaries_[d][b];
+      const double chi = boundaries_[d][b + 1];
+      dim_overlap[d][b] = box[d].OverlapFraction(clo, chi);
+      const Interval cut = box[d].Clamp(Interval{clo, chi});
+      dim_cut[d][b] = cut.empty() ? 0.0 : cut.width();
+      dim_width[d][b] = chi - clo;
+    }
+  }
   std::vector<double> overlap(n_cells, 1.0);
   std::vector<double> vol_in(n_cells, 0.0);
   std::vector<double> vol_out(n_cells, 0.0);
@@ -195,12 +215,9 @@ double GridHistogram::FitOnce(const Box& box, double target_rows) {
     double v = 1.0;
     double cell_vol = 1.0;
     for (size_t d = 0; d < num_dims(); ++d) {
-      const double clo = boundaries_[d][idx[d]];
-      const double chi = boundaries_[d][idx[d] + 1];
-      o *= box[d].OverlapFraction(clo, chi);
-      const Interval cut = box[d].Clamp(Interval{clo, chi});
-      v *= cut.empty() ? 0.0 : cut.width();
-      cell_vol *= chi - clo;
+      o *= dim_overlap[d][idx[d]];
+      v *= dim_cut[d][idx[d]];
+      cell_vol *= dim_width[d][idx[d]];
     }
     overlap[flat] = o;
     vol_in[flat] = v;
@@ -258,8 +275,8 @@ Box GridHistogram::ClampToDomain(const Box& box) const {
   return out;
 }
 
-void GridHistogram::ApplyConstraint(const Box& box_in, double box_rows,
-                                    double table_rows, uint64_t now) {
+size_t GridHistogram::ApplyConstraint(const Box& box_in, double box_rows,
+                                      double table_rows, uint64_t now) {
   // 1. Rescale to the current table cardinality (stored constraints scale
   // along so older knowledge stays proportionally valid).
   const double t = total_rows();
@@ -339,10 +356,12 @@ void GridHistogram::ApplyConstraint(const Box& box_in, double box_rows,
     }
   }
 
+  size_t ipf_iterations = 0;
   for (size_t round = 0; round < 3; ++round) {
     double worst = 0;
     double prev_worst = std::numeric_limits<double>::infinity();
     for (size_t iter = 0; iter < kMaxIpfIterations; ++iter) {
+      ++ipf_iterations;
       worst = 0;
       for (const StoredConstraint& c : constraints_) {
         worst = std::max(worst, FitOnce(c.box, c.rows));
@@ -395,6 +414,7 @@ void GridHistogram::ApplyConstraint(const Box& box_in, double box_rows,
     }
     if (stamp) stamps_[flat] = now;
   } while (NextIndex(&idx, sizes));
+  return ipf_iterations;
 }
 
 double GridHistogram::EstimateBoxFraction(const Box& box_in) const {

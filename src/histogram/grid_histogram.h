@@ -59,8 +59,10 @@ class GridHistogram {
   double total_rows() const;
 
   /// Assimilates "box holds box_rows of table_rows total" observed at
-  /// logical time `now`.
-  void ApplyConstraint(const Box& box, double box_rows, double table_rows, uint64_t now);
+  /// logical time `now`. Returns the number of maximum-entropy refinement
+  /// (IPF) iterations spent, so callers can account collection effort.
+  size_t ApplyConstraint(const Box& box, double box_rows, double table_rows,
+                         uint64_t now);
 
   /// Estimated fraction of rows inside `box` (uniformity within cells).
   double EstimateBoxFraction(const Box& box) const;

@@ -1,0 +1,252 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace jits {
+namespace {
+
+/// Splits `name` into a Prometheus metric name and label block:
+/// `optimizer.est_source{source="archive"}` ->
+/// (`optimizer_est_source`, `{source="archive"}`).
+void SplitPrometheusName(const std::string& name, std::string* base,
+                         std::string* labels) {
+  const size_t brace = name.find('{');
+  *base = name.substr(0, brace);
+  *labels = (brace == std::string::npos) ? "" : name.substr(brace);
+  for (char& c : *base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+}
+
+/// Formats a double without trailing-zero noise ("3" not "3.000000").
+std::string NumberToString(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    return StrFormat("%.0f", v);
+  }
+  return StrFormat("%g", v);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Prometheus `le` label value for a bucket bound.
+std::string LeValue(double bound) {
+  if (std::isinf(bound)) return "+Inf";
+  return StrFormat("%g", bound);
+}
+
+/// Merges an `le` label into an existing (possibly empty) label block.
+std::string WithLeLabel(const std::string& labels, double bound) {
+  const std::string le = "le=\"" + LeValue(bound) + "\"";
+  if (labels.empty()) return "{" + le + "}";
+  std::string out = labels;
+  out.insert(out.size() - 1, "," + le);
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double v) {
+  const size_t bucket = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  // upper_bound yields the first bound strictly greater than v; Prometheus
+  // buckets are inclusive upper bounds, so step back onto an exact match.
+  size_t b = bucket;
+  if (b > 0 && bounds_[b - 1] == v) --b;
+  ++counts_[b];
+  ++count_;
+  sum_ += v;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+std::vector<double> MetricBuckets::Latency() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade <= 1.0; decade *= 10) {
+    for (double m : {1.0, 2.5, 5.0}) bounds.push_back(decade * m);
+  }
+  bounds.push_back(10.0);
+  return bounds;
+}
+
+std::vector<double> MetricBuckets::QError() {
+  return {1.0, 1.2, 1.5, 2.0, 3.0, 5.0, 10.0, 25.0, 100.0, 1000.0};
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>(std::move(bounds))).first;
+  }
+  return it->second.get();
+}
+
+double MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return (it == counters_.end()) ? 0.0 : it->second->Value();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kCounter;
+    s.value = c->Value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kGauge;
+    s.value = g->Value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kHistogram;
+    s.count = h->count();
+    s.sum = h->sum();
+    const std::vector<uint64_t> counts = h->BucketCounts();
+    const std::vector<double>& bounds = h->bounds();
+    for (size_t i = 0; i < bounds.size(); ++i) s.buckets.emplace_back(bounds[i], counts[i]);
+    s.buckets.emplace_back(std::numeric_limits<double>::infinity(), counts.back());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  const std::vector<MetricSnapshot> snap = Snapshot();
+  std::string counters;
+  std::string gauges;
+  std::string histograms;
+  for (const MetricSnapshot& s : snap) {
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        if (!counters.empty()) counters += ",";
+        counters += "\"" + JsonEscape(s.name) + "\":" + NumberToString(s.value);
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        gauges += "\"" + JsonEscape(s.name) + "\":" + NumberToString(s.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        if (!histograms.empty()) histograms += ",";
+        std::string buckets;
+        for (const auto& [bound, count] : s.buckets) {
+          if (!buckets.empty()) buckets += ",";
+          const std::string le =
+              std::isinf(bound) ? "\"+Inf\"" : NumberToString(bound);
+          buckets += StrFormat("{\"le\":%s,\"count\":%llu}", le.c_str(),
+                               static_cast<unsigned long long>(count));
+        }
+        histograms += StrFormat(
+            "\"%s\":{\"count\":%llu,\"sum\":%s,\"buckets\":[%s]}",
+            JsonEscape(s.name).c_str(), static_cast<unsigned long long>(s.count),
+            NumberToString(s.sum).c_str(), buckets.c_str());
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  const std::vector<MetricSnapshot> snap = Snapshot();
+  std::string out;
+  std::string last_typed;  // suppress repeated # TYPE for labeled series
+  for (const MetricSnapshot& s : snap) {
+    std::string base;
+    std::string labels;
+    SplitPrometheusName(s.name, &base, &labels);
+    const char* type = "counter";
+    if (s.kind == MetricSnapshot::Kind::kGauge) type = "gauge";
+    if (s.kind == MetricSnapshot::Kind::kHistogram) type = "histogram";
+    if (base != last_typed) {
+      out += "# TYPE " + base + " " + type + "\n";
+      last_typed = base;
+    }
+    if (s.kind == MetricSnapshot::Kind::kHistogram) {
+      uint64_t cumulative = 0;
+      for (const auto& [bound, count] : s.buckets) {
+        cumulative += count;
+        out += base + "_bucket" + WithLeLabel(labels, bound) + " " +
+               StrFormat("%llu", static_cast<unsigned long long>(cumulative)) + "\n";
+      }
+      out += base + "_sum" + labels + " " + NumberToString(s.sum) + "\n";
+      out += base + "_count" + labels + " " +
+             StrFormat("%llu", static_cast<unsigned long long>(s.count)) + "\n";
+    } else {
+      out += base + labels + " " + NumberToString(s.value) + "\n";
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace jits

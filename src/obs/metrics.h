@@ -1,0 +1,126 @@
+#ifndef JITS_OBS_METRICS_H_
+#define JITS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jits {
+
+/// Monotonically increasing counter. Lock-free; safe to share across
+/// threads once obtained from the registry.
+class Counter {
+ public:
+  void Increment(double delta = 1.0) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time value (archive occupancy, scores, sizes).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: upper-bound boundaries are set at creation and
+/// never move (the equi-depth idiom from histogram/equi_depth.h, with the
+/// bucket count traded for lock-cheap concurrent updates). Bucket i counts
+/// observations <= bounds[i]; one implicit overflow bucket (+Inf) catches
+/// the rest.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const;
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size bounds().size() + 1, last entry is +Inf.
+  std::vector<uint64_t> BucketCounts() const;
+
+ private:
+  std::vector<double> bounds_;  // sorted upper bounds
+  mutable std::mutex mu_;
+  std::vector<uint64_t> counts_;  // size bounds_.size() + 1
+  uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// Default bucket layouts for the engine's two histogram families.
+struct MetricBuckets {
+  /// Exponential latency buckets in seconds, ~1us to 10s.
+  static std::vector<double> Latency();
+  /// q-error buckets, 1 (perfect) to 1000+.
+  static std::vector<double> QError();
+};
+
+/// A flattened view of one metric for introspection (SHOW METRICS).
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0;     // counters/gauges
+  uint64_t count = 0;   // histograms
+  double sum = 0;       // histograms
+  std::vector<std::pair<double, uint64_t>> buckets;  // (upper bound, count)
+};
+
+/// Thread-safe named-metric registry, one per Database. Metric names are
+/// dotted paths with optional Prometheus-style labels, e.g.
+/// `jits.tables_sampled` or `optimizer.est_source{source="archive"}`.
+/// Getters create on first use and return stable pointers that remain valid
+/// for the registry's lifetime, so hot paths can cache them.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies only on first creation; later calls return the
+  /// existing histogram regardless of the bounds passed.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  /// Counter value, or 0 when the counter does not exist (does not create).
+  double CounterValue(const std::string& name) const;
+
+  /// Stable-ordered snapshot of every registered metric.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  std::string ExportJson() const;
+
+  /// Prometheus text exposition format (# TYPE lines, _bucket/_sum/_count
+  /// series for histograms, labels preserved).
+  std::string ExportPrometheus() const;
+
+  /// Drops every metric (tests and shell resets).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_OBS_METRICS_H_

@@ -1,0 +1,41 @@
+#ifndef JITS_OBS_OBS_CONTEXT_H_
+#define JITS_OBS_OBS_CONTEXT_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace jits {
+
+/// The observability handles threaded through the pipeline (Database owns
+/// both; modules receive a pointer and may be handed nullptr, e.g. when
+/// driven directly from tests or benchmarks). All helpers tolerate a null
+/// context so instrumented code needs no branching.
+struct ObsContext {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+
+  Tracer* tracer_or_null() const { return tracer; }
+
+  void Count(const char* name, double delta = 1.0) const {
+    if (metrics != nullptr) metrics->GetCounter(name)->Increment(delta);
+  }
+
+  void SetGauge(const std::string& name, double value) const {
+    if (metrics != nullptr) metrics->GetGauge(name)->Set(value);
+  }
+
+  void ObserveLatency(const char* name, double seconds) const {
+    if (metrics != nullptr) {
+      metrics->GetHistogram(name, MetricBuckets::Latency())->Observe(seconds);
+    }
+  }
+};
+
+/// Null-safe accessor for call sites holding `const ObsContext*`.
+inline Tracer* ObsTracer(const ObsContext* obs) {
+  return (obs == nullptr) ? nullptr : obs->tracer;
+}
+
+}  // namespace jits
+
+#endif  // JITS_OBS_OBS_CONTEXT_H_

@@ -1,0 +1,61 @@
+#include "obs/trace.h"
+
+#include "common/str_util.h"
+
+namespace jits {
+namespace {
+
+void Render(const TraceNode& node, const TraceNode& root, int depth, std::string* out) {
+  const std::string pad(static_cast<size_t>(depth) * 2, ' ');
+  std::string line = pad + node.name;
+  if (line.size() < 28) line.resize(28, ' ');
+  line += StrFormat(" %9.3fms", node.duration_seconds * 1e3);
+  if (depth > 0 && root.duration_seconds > 0) {
+    line += StrFormat("  (%5.1f%%)",
+                      100.0 * node.duration_seconds / root.duration_seconds);
+  }
+  *out += line + "\n";
+  for (const TraceNode& child : node.children) Render(child, root, depth + 1, out);
+}
+
+}  // namespace
+
+std::string TraceNode::ToString() const {
+  if (empty()) return "";
+  std::string out;
+  Render(*this, *this, 0, &out);
+  return out;
+}
+
+void Tracer::BeginQuery(const std::string& label) {
+  stack_.clear();
+  root_ = TraceNode();
+  if (!enabled_) return;
+  root_.name = label;
+  watch_.Restart();
+  stack_.push_back(&root_);
+}
+
+TraceNode Tracer::EndQuery() {
+  while (!stack_.empty()) Pop(stack_.back());
+  return std::move(root_);
+}
+
+TraceNode* Tracer::Push(const char* name) {
+  if (stack_.empty()) return nullptr;
+  TraceNode* top = stack_.back();
+  top->children.emplace_back();
+  TraceNode* node = &top->children.back();
+  node->name = name;
+  node->start_seconds = watch_.Seconds();
+  stack_.push_back(node);
+  return node;
+}
+
+void Tracer::Pop(TraceNode* node) {
+  if (stack_.empty() || stack_.back() != node) return;  // unbalanced: drop
+  node->duration_seconds = watch_.Seconds() - node->start_seconds;
+  stack_.pop_back();
+}
+
+}  // namespace jits

@@ -1,0 +1,80 @@
+#ifndef JITS_OBS_TRACE_H_
+#define JITS_OBS_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace jits {
+
+/// One node of a per-query trace tree: a named pipeline stage with its
+/// offset from the query start and its duration, both from the monotonic
+/// clock (common/timer.h).
+struct TraceNode {
+  std::string name;
+  double start_seconds = 0;     // relative to the trace root's start
+  double duration_seconds = 0;  // 0 while the span is still open
+  std::vector<TraceNode> children;
+
+  bool empty() const { return name.empty(); }
+
+  /// Flame-style indented rendering:
+  ///   query                     1.234ms
+  ///     parse                   0.012ms  ( 1.0%)
+  ///     jits.collect            0.800ms  (64.8%)
+  std::string ToString() const;
+};
+
+/// Per-query trace collector. Single-threaded by design (one query pipeline
+/// at a time per Database); spans nest via an explicit stack. When disabled,
+/// every entry point is a cheap early-out so tracing costs one branch.
+class Tracer {
+ public:
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Opens the root span and resets prior state. No-op when disabled.
+  void BeginQuery(const std::string& label);
+
+  /// Closes all open spans and returns the finished tree (empty when
+  /// disabled or BeginQuery was never called).
+  TraceNode EndQuery();
+
+  /// True between BeginQuery and EndQuery while enabled.
+  bool active() const { return !stack_.empty(); }
+
+  /// Span plumbing used by TraceSpan; Push returns nullptr when inactive.
+  TraceNode* Push(const char* name);
+  void Pop(TraceNode* node);
+
+ private:
+  bool enabled_ = false;
+  TraceNode root_;
+  std::vector<TraceNode*> stack_;  // open spans, root first
+  Stopwatch watch_;                // started at BeginQuery
+};
+
+/// RAII pipeline span: opens a named child of the innermost open span and
+/// closes it (recording the duration) on scope exit. Null/disabled tracers
+/// make this a no-op.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, const char* name)
+      : tracer_(tracer), node_(tracer == nullptr ? nullptr : tracer->Push(name)) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (node_ != nullptr) tracer_->Pop(node_);
+  }
+
+ private:
+  Tracer* tracer_;
+  TraceNode* node_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_OBS_TRACE_H_

@@ -8,7 +8,8 @@
 namespace jits {
 
 Result<PhysicalPlan> Optimizer::Optimize(const QueryBlock& block,
-                                         const EstimationSources& sources) const {
+                                         const EstimationSources& sources,
+                                         const ObsContext* obs) const {
   SelectivityEstimator estimator(&block, sources);
   JoinEnumerator enumerator(&block, &estimator, &cost_model_);
   Result<std::unique_ptr<PlanNode>> root = enumerator.Enumerate();
@@ -21,10 +22,12 @@ Result<PhysicalPlan> Optimizer::Optimize(const QueryBlock& block,
 
   // Estimation records for the feedback loop: one per table occurrence with
   // local predicates.
+  SourceMix mix;
   for (size_t t = 0; t < block.tables.size(); ++t) {
     const std::vector<int> preds = block.LocalPredIndicesOf(static_cast<int>(t));
     if (preds.empty()) continue;
     const GroupEstimate est = estimator.EstimateGroup(static_cast<int>(t), preds);
+    mix.Add(est.sources);
     EstimationRecord record;
     record.table = block.tables[t].table;
     record.table_idx = static_cast<int>(t);
@@ -34,6 +37,18 @@ Result<PhysicalPlan> Optimizer::Optimize(const QueryBlock& block,
     record.pred_indices = preds;
     record.est_selectivity = est.selectivity;
     plan.estimates.push_back(std::move(record));
+  }
+  if (obs != nullptr) {
+    obs->Count("optimizer.est_source{source=\"exact\"}",
+               static_cast<double>(mix.exact));
+    obs->Count("optimizer.est_source{source=\"archive\"}",
+               static_cast<double>(mix.archive));
+    obs->Count("optimizer.est_source{source=\"workload\"}",
+               static_cast<double>(mix.workload));
+    obs->Count("optimizer.est_source{source=\"catalog\"}",
+               static_cast<double>(mix.catalog));
+    obs->Count("optimizer.est_source{source=\"default\"}",
+               static_cast<double>(mix.defaults));
   }
   return plan;
 }

@@ -2,6 +2,7 @@
 #define JITS_OPTIMIZER_OPTIMIZER_H_
 
 #include "common/status.h"
+#include "obs/obs_context.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/plan.h"
 #include "optimizer/selectivity.h"
@@ -17,8 +18,11 @@ class Optimizer {
   explicit Optimizer(CostParams cost_params = {}) : cost_model_(cost_params) {}
 
   /// Optimizes a bound query block against the given statistics sources.
+  /// `obs` (nullable) receives `optimizer.est_source{source=...}` counters
+  /// describing where the cardinality knowledge came from.
   Result<PhysicalPlan> Optimize(const QueryBlock& block,
-                                const EstimationSources& sources) const;
+                                const EstimationSources& sources,
+                                const ObsContext* obs = nullptr) const;
 
   const CostModel& cost_model() const { return cost_model_; }
 

@@ -1,10 +1,28 @@
 #include "optimizer/plan.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 #include "storage/table.h"
 
 namespace jits {
 namespace {
+
+/// `actual=N q=X` annotation for one operator, empty when no actuals are
+/// available (plain EXPLAIN) or the node never executed.
+std::string ActualSuffix(const PlanNode* node, double est_rows,
+                         const std::vector<std::pair<const PlanNode*, double>>* actuals) {
+  if (actuals == nullptr) return "";
+  for (const auto& [n, rows] : *actuals) {
+    if (n != node) continue;
+    // Half-a-row guards keep the q-error finite on empty results.
+    const double e = std::max(est_rows, 0.5);
+    const double a = std::max(rows, 0.5);
+    const double q = std::max(e / a, a / e);
+    return StrFormat("  [actual=%.0f q=%.2f]", rows, q);
+  }
+  return "";
+}
 
 std::string PredsToString(const QueryBlock& block, const std::vector<int>& preds) {
   std::vector<std::string> parts;
@@ -26,8 +44,11 @@ std::string JoinToString(const QueryBlock& block, const JoinPredicate& j) {
 
 }  // namespace
 
-std::string PlanNode::Describe(const QueryBlock& block, int indent) const {
+std::string PlanNode::Describe(
+    const QueryBlock& block, int indent,
+    const std::vector<std::pair<const PlanNode*, double>>* actuals) const {
   const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  const std::string actual = ActualSuffix(this, est_rows, actuals);
   std::string out;
   switch (type) {
     case Type::kSeqScan:
@@ -43,14 +64,15 @@ std::string PlanNode::Describe(const QueryBlock& block, int indent) const {
         out = pad + StrFormat("SeqScan %s (%s)", t.table->name().c_str(), t.alias.c_str());
       }
       if (!pred_indices.empty()) out += " filter: " + PredsToString(block, pred_indices);
-      out += StrFormat("  [rows=%.0f cost=%.0f]", est_rows, est_cost);
+      out += StrFormat("  [rows=%.0f cost=%.0f]", est_rows, est_cost) + actual;
       return out;
     }
     case Type::kHashJoin: {
-      out = pad + StrFormat("HashJoin %s  [rows=%.0f cost=%.0f]\n",
+      out = pad + StrFormat("HashJoin %s  [rows=%.0f cost=%.0f]",
                             JoinToString(block, join).c_str(), est_rows, est_cost);
-      out += left->Describe(block, indent + 1) + "\n";
-      out += right->Describe(block, indent + 1);
+      out += actual + "\n";
+      out += left->Describe(block, indent + 1, actuals) + "\n";
+      out += right->Describe(block, indent + 1, actuals);
       return out;
     }
     case Type::kIndexNLJoin: {
@@ -59,17 +81,19 @@ std::string PlanNode::Describe(const QueryBlock& block, int indent) const {
                             JoinToString(block, join).c_str(), t.table->name().c_str(),
                             t.alias.c_str());
       if (!pred_indices.empty()) out += " filter: " + PredsToString(block, pred_indices);
-      out += StrFormat("  [rows=%.0f cost=%.0f]\n", est_rows, est_cost);
-      out += left->Describe(block, indent + 1);
+      out += StrFormat("  [rows=%.0f cost=%.0f]", est_rows, est_cost) + actual + "\n";
+      out += left->Describe(block, indent + 1, actuals);
       return out;
     }
   }
   return out;
 }
 
-std::string PhysicalPlan::ToString(const QueryBlock& block) const {
+std::string PhysicalPlan::ToString(
+    const QueryBlock& block,
+    const std::vector<std::pair<const PlanNode*, double>>* actuals) const {
   if (root == nullptr) return "(no plan)";
-  return root->Describe(block);
+  return root->Describe(block, 0, actuals);
 }
 
 }  // namespace jits

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "feedback/feedback.h"
@@ -42,7 +43,12 @@ struct PlanNode {
 
   bool IsScan() const { return type == Type::kSeqScan || type == Type::kIndexScan; }
 
-  std::string Describe(const QueryBlock& block, int indent = 0) const;
+  /// Renders the subtree. When `actuals` (per-node observed cardinalities,
+  /// as produced by the executor) is supplied, each operator line is
+  /// annotated with `actual=N q=X` — the EXPLAIN ANALYZE view.
+  std::string Describe(
+      const QueryBlock& block, int indent = 0,
+      const std::vector<std::pair<const PlanNode*, double>>* actuals = nullptr) const;
 };
 
 /// The optimizer's output: a plan tree plus the estimation records needed
@@ -53,7 +59,9 @@ struct PhysicalPlan {
   double est_total_cost = 0;
   double est_result_rows = 0;
 
-  std::string ToString(const QueryBlock& block) const;
+  std::string ToString(
+      const QueryBlock& block,
+      const std::vector<std::pair<const PlanNode*, double>>* actuals = nullptr) const;
 };
 
 }  // namespace jits

@@ -34,7 +34,7 @@ double SelectivityEstimator::CatalogPredicateSelectivity(const Catalog& catalog,
 
 std::optional<double> SelectivityEstimator::LookupWholeGroup(
     int table_idx, const std::vector<int>& pred_indices,
-    std::vector<std::string>* statlist) const {
+    std::vector<std::string>* statlist, SourceMix* mix) const {
   PredicateGroup group;
   group.table_idx = table_idx;
   group.pred_indices = pred_indices;
@@ -45,6 +45,7 @@ std::optional<double> SelectivityEstimator::LookupWholeGroup(
     auto it = sources_.exact->selectivity.find(exact_key);
     if (it != sources_.exact->selectivity.end()) {
       statlist->push_back(group.ColumnSetKey(*block_));
+      ++mix->exact;
       return it->second;
     }
   }
@@ -60,6 +61,11 @@ std::optional<double> SelectivityEstimator::LookupWholeGroup(
       std::optional<double> est = store->EstimateFraction(key, box, sources_.now);
       if (est.has_value()) {
         statlist->push_back(key);
+        if (store == sources_.archive) {
+          ++mix->archive;
+        } else {
+          ++mix->workload;
+        }
         return est;
       }
     }
@@ -73,6 +79,7 @@ std::optional<double> SelectivityEstimator::LookupWholeGroup(
     const TableStats* stats = sources_.catalog->FindStats(&table);
     if (stats != nullptr && stats->HasColumn(static_cast<size_t>(pred.col_idx))) {
       statlist->push_back(group.ColumnSetKey(*block_));
+      ++mix->catalog;
       return CatalogPredicateSelectivity(*sources_.catalog, table, pred);
     }
   }
@@ -86,7 +93,8 @@ GroupEstimate SelectivityEstimator::EstimateGroup(int table_idx,
   if (pred_indices.empty()) return out;
 
   // Whole-group hit: the best case, no assumptions at all.
-  std::optional<double> whole = LookupWholeGroup(table_idx, pred_indices, &out.statlist);
+  std::optional<double> whole =
+      LookupWholeGroup(table_idx, pred_indices, &out.statlist, &out.sources);
   if (whole.has_value()) {
     out.selectivity = std::clamp(*whole, 0.0, 1.0);
     return out;
@@ -112,7 +120,8 @@ GroupEstimate SelectivityEstimator::EstimateGroup(int table_idx,
             if (mask & (1u << i)) subset.push_back(remaining[i]);
           }
           std::vector<std::string> used;
-          std::optional<double> est = LookupWholeGroup(table_idx, subset, &used);
+          std::optional<double> est =
+              LookupWholeGroup(table_idx, subset, &used, &out.sources);
           if (est.has_value()) {
             part = est;
             part_preds = std::move(subset);
@@ -123,7 +132,7 @@ GroupEstimate SelectivityEstimator::EstimateGroup(int table_idx,
       }
     } else if (m == 1) {
       std::vector<std::string> used;
-      part = LookupWholeGroup(table_idx, remaining, &used);
+      part = LookupWholeGroup(table_idx, remaining, &used, &out.sources);
       if (part.has_value()) {
         part_preds = remaining;
         for (std::string& k : used) out.statlist.push_back(std::move(k));
@@ -139,6 +148,7 @@ GroupEstimate SelectivityEstimator::EstimateGroup(int table_idx,
         if (p.op == CompareOp::kNe) d = DefaultSelectivity::kNotEqual;
         selectivity *= d;
         ++parts;
+        ++out.sources.defaults;
       }
       out.used_defaults = true;
       remaining.clear();

@@ -40,12 +40,31 @@ struct DefaultSelectivity {
   static constexpr double kNotEqual = 0.9;
 };
 
+/// How many sub-estimates of a group estimate came from which statistics
+/// source — the provenance breakdown behind `optimizer.est_source` metrics.
+struct SourceMix {
+  size_t exact = 0;     // QSS measured this compilation
+  size_t archive = 0;   // JITS archive histogram
+  size_t workload = 0;  // static pre-collected workload statistics
+  size_t catalog = 0;   // catalog general statistics
+  size_t defaults = 0;  // System-R default guesses
+
+  void Add(const SourceMix& o) {
+    exact += o.exact;
+    archive += o.archive;
+    workload += o.workload;
+    catalog += o.catalog;
+    defaults += o.defaults;
+  }
+};
+
 /// An estimate plus its provenance. `statlist` holds the column-set keys of
 /// every real statistic combined into the estimate (empty if it rests on
 /// defaults only) — exactly what the StatHistory records.
 struct GroupEstimate {
   double selectivity = 1.0;
   std::vector<std::string> statlist;
+  SourceMix sources;
   bool used_defaults = false;
   bool used_independence = false;  // combined >1 disjoint parts
   bool feedback_corrected = false;  // LEO-style errorFactor applied
@@ -80,11 +99,13 @@ class SelectivityEstimator {
 
  private:
   /// Looks the group up as a whole (no decomposition): exact -> archive ->
-  /// static stats -> (singletons only) catalog. Returns the selectivity and
-  /// appends the used stat key to `statlist`.
+  /// static stats -> (singletons only) catalog. Returns the selectivity,
+  /// appends the used stat key to `statlist` and bumps the matching source
+  /// in `mix`.
   std::optional<double> LookupWholeGroup(int table_idx,
                                          const std::vector<int>& pred_indices,
-                                         std::vector<std::string>* statlist) const;
+                                         std::vector<std::string>* statlist,
+                                         SourceMix* mix) const;
 
   const QueryBlock* block_;
   EstimationSources sources_;

@@ -55,6 +55,9 @@ struct QueryBlock {
   int64_t limit = -1;  // -1 = unlimited
   bool distinct = false;      // SELECT DISTINCT: dedupe projected rows
   bool explain_only = false;  // EXPLAIN: compile, don't execute
+  /// EXPLAIN ANALYZE: compile AND execute, then return the plan annotated
+  /// with per-operator observed cardinalities and q-errors.
+  bool explain_analyze = false;
 
   /// True if the select list aggregates (with or without GROUP BY).
   bool IsAggregate() const {

@@ -58,8 +58,17 @@ struct SelectAst {
 };
 
 /// EXPLAIN <select>: compile only, return the plan rendering.
+/// EXPLAIN ANALYZE <select>: also execute and annotate every operator with
+/// its observed cardinality and q-error.
 struct ExplainAst {
   SelectAst select;
+  bool analyze = false;
+};
+
+/// SHOW METRICS / SHOW JITS STATUS: engine introspection.
+struct ShowAst {
+  enum class What { kMetrics, kJitsStatus };
+  What what = What::kMetrics;
 };
 
 /// ANALYZE [table]: collect general statistics (RUNSTATS) on one table or,
@@ -91,7 +100,7 @@ struct CreateTableAst {
 
 using StatementAst =
     std::variant<SelectAst, InsertAst, UpdateAst, DeleteAst, CreateTableAst, ExplainAst,
-                 AnalyzeAst>;
+                 AnalyzeAst, ShowAst>;
 
 }  // namespace jits
 

@@ -253,8 +253,12 @@ Result<BoundStatement> Bind(const StatementAst& ast, Catalog* catalog) {
     Result<BoundStatement> inner = BindSelect(explain->select, catalog);
     if (!inner.ok()) return inner.status();
     QueryBlock block = std::get<QueryBlock>(std::move(inner).value());
-    block.explain_only = true;
+    block.explain_only = !explain->analyze;
+    block.explain_analyze = explain->analyze;
     return BoundStatement(std::move(block));
+  }
+  if (const auto* show = std::get_if<ShowAst>(&ast)) {
+    return BoundStatement(*show);
   }
   return Status::Internal("unhandled statement kind");
 }

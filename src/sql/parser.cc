@@ -14,12 +14,27 @@ class Parser {
   Result<StatementAst> Parse() {
     if (IsKeyword("EXPLAIN")) {
       Advance();
+      ExplainAst explain;
+      if (MatchKeyword("ANALYZE")) explain.analyze = true;
       if (!IsKeyword("SELECT")) return Error("EXPLAIN expects a SELECT");
       Result<StatementAst> inner = ParseSelect();
       if (!inner.ok()) return inner.status();
-      ExplainAst explain;
       explain.select = std::get<SelectAst>(std::move(inner).value());
       return StatementAst(std::move(explain));
+    }
+    if (IsKeyword("SHOW")) {
+      Advance();
+      ShowAst show;
+      if (MatchKeyword("METRICS")) {
+        show.what = ShowAst::What::kMetrics;
+      } else if (MatchKeyword("JITS")) {
+        JITS_RETURN_IF_ERROR(ExpectKeyword("STATUS"));
+        show.what = ShowAst::What::kJitsStatus;
+      } else {
+        return Error("expected METRICS or JITS STATUS after SHOW");
+      }
+      JITS_RETURN_IF_ERROR(ExpectStatementEnd());
+      return StatementAst(show);
     }
     if (IsKeyword("ANALYZE")) {
       Advance();
@@ -33,7 +48,8 @@ class Parser {
     if (IsKeyword("UPDATE")) return ParseUpdate();
     if (IsKeyword("DELETE")) return ParseDelete();
     if (IsKeyword("CREATE")) return ParseCreate();
-    return Error("expected SELECT, INSERT, UPDATE, DELETE, CREATE, EXPLAIN or ANALYZE");
+    return Error(
+        "expected SELECT, INSERT, UPDATE, DELETE, CREATE, EXPLAIN, ANALYZE or SHOW");
   }
 
  private:

@@ -131,6 +131,7 @@ WorkloadRunResult RunWorkloadExperiment(ExperimentSetting setting,
     result.queries.push_back(timing);
   }
   result.workload_seconds = workload_watch.Seconds();
+  result.metrics_json = db->metrics()->ExportJson();
   return result;
 }
 
@@ -172,6 +173,9 @@ std::vector<WorkloadRunResult> RunPairedWorkloadExperiment(
     }
   }
   for (WorkloadRunResult& r : results) r.workload_seconds = workload_watch.Seconds();
+  for (size_t s = 0; s < settings.size(); ++s) {
+    results[s].metrics_json = dbs[s]->metrics()->ExportJson();
+  }
   return results;
 }
 
@@ -215,6 +219,9 @@ std::vector<WorkloadRunResult> RunPairedSmaxSweep(const std::vector<double>& s_m
     }
   }
   for (WorkloadRunResult& r : results) r.workload_seconds = workload_watch.Seconds();
+  for (size_t s = 0; s < s_max_values.size(); ++s) {
+    results[s].metrics_json = dbs[s]->metrics()->ExportJson();
+  }
   return results;
 }
 

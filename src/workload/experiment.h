@@ -37,6 +37,8 @@ struct WorkloadRunResult {
   std::vector<QueryTiming> queries;
   double setup_seconds = 0;  // data load + statistics pre-collection
   double workload_seconds = 0;
+  /// MetricsRegistry::ExportJson() of the database after the workload ran.
+  std::string metrics_json;
 
   std::vector<double> TotalTimes() const;
   double AvgCompileSeconds() const;

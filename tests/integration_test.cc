@@ -3,6 +3,7 @@
 // (never on wall-clock, which is machine-dependent).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/str_util.h"
@@ -198,6 +199,142 @@ TEST_F(IntegrationTest, PairedRunnerKeepsSettingsAligned) {
   for (size_t i = 0; i < results[0].queries.size(); ++i) {
     EXPECT_EQ(results[0].queries[i].item_index, results[1].queries[i].item_index);
   }
+}
+
+TEST_F(IntegrationTest, MetricsAccumulateOverWorkload) {
+  double setup = 0;
+  auto db = BuildExperimentDatabase(ExperimentSetting::kJits, *options_, *items_, &setup);
+  size_t queries = 0;
+  for (const WorkloadItem& item : *items_) {
+    for (const std::string& sql : item.statements) {
+      ASSERT_TRUE(db->Execute(sql).ok());
+      ++queries;
+    }
+  }
+  ASSERT_GE(queries, 20u);
+
+  MetricsRegistry* metrics = db->metrics();
+  EXPECT_GT(metrics->CounterValue("queries.total"), 0.0);
+  EXPECT_GT(metrics->CounterValue("jits.tables_sampled"), 0.0);
+  EXPECT_GT(metrics->CounterValue("jits.groups_materialized"), 0.0);
+  EXPECT_GT(metrics->GetHistogram("feedback.qerror", MetricBuckets::QError())->count(),
+            0u);
+  // Per-stage latency histograms fill on every SELECT.
+  for (const char* stage :
+       {"latency.parse", "latency.bind", "latency.jits", "latency.optimize",
+        "latency.execute", "latency.feedback", "latency.total"}) {
+    EXPECT_GT(metrics->GetHistogram(stage, MetricBuckets::Latency())->count(), 0u)
+        << stage;
+  }
+
+  // SHOW METRICS surfaces the same registry as rows.
+  QueryResult show;
+  ASSERT_TRUE(db->Execute("SHOW METRICS", &show).ok());
+  ASSERT_EQ(show.column_names.size(), 3u);
+  bool saw_sampled = false;
+  for (const Row& row : show.rows) {
+    if (row[0].str() == "jits.tables_sampled") {
+      saw_sampled = true;
+      EXPECT_GT(row[2].AsDouble(), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_sampled);
+
+  // SHOW JITS STATUS reports archive occupancy and history size.
+  QueryResult status;
+  ASSERT_TRUE(db->Execute("SHOW JITS STATUS", &status).ok());
+  ASSERT_EQ(status.column_names.size(), 2u);
+  bool saw_occupancy = false;
+  bool saw_history = false;
+  for (const Row& row : status.rows) {
+    if (row[0].str() == "archive.occupancy") saw_occupancy = true;
+    if (row[0].str() == "stat_history.entries") saw_history = true;
+  }
+  EXPECT_TRUE(saw_occupancy);
+  EXPECT_TRUE(saw_history);
+
+  // Both export formats are well-formed enough to carry the counters.
+  EXPECT_NE(metrics->ExportJson().find("\"jits.tables_sampled\""), std::string::npos);
+  EXPECT_NE(metrics->ExportPrometheus().find("jits_tables_sampled"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, QueryResultCountersMatchMetricDeltas) {
+  double setup = 0;
+  auto db = BuildExperimentDatabase(ExperimentSetting::kJits, *options_, *items_, &setup);
+  for (const WorkloadItem& item : *items_) {
+    for (const std::string& sql : item.statements) {
+      const double sampled_before = db->metrics()->CounterValue("jits.tables_sampled");
+      const double mat_before = db->metrics()->CounterValue("jits.groups_materialized");
+      QueryResult qr;
+      ASSERT_TRUE(db->Execute(sql, &qr).ok());
+      if (!qr.is_query) continue;
+      EXPECT_DOUBLE_EQ(
+          static_cast<double>(qr.tables_sampled),
+          db->metrics()->CounterValue("jits.tables_sampled") - sampled_before);
+      EXPECT_DOUBLE_EQ(
+          static_cast<double>(qr.groups_materialized),
+          db->metrics()->CounterValue("jits.groups_materialized") - mat_before);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, ExplainAnalyzeReportsActualsAndQError) {
+  double setup = 0;
+  auto db = BuildExperimentDatabase(ExperimentSetting::kJits, *options_, *items_, &setup);
+
+  // A multi-predicate SELECT the generated car schema always supports.
+  const std::string select =
+      "SELECT id FROM car WHERE year <= 2002 AND price <= 20000";
+  QueryResult plain;
+  ASSERT_TRUE(db->Execute(select, &plain).ok());
+
+  QueryResult analyzed;
+  ASSERT_TRUE(db->Execute("EXPLAIN ANALYZE " + select, &analyzed).ok());
+  ASSERT_EQ(analyzed.column_names, std::vector<std::string>{"plan"});
+  ASSERT_FALSE(analyzed.rows.empty());
+  std::string text;
+  for (const Row& row : analyzed.rows) text += row[0].str() + "\n";
+  // Per-operator estimate vs actual, plus the q-error annotations and the
+  // trailing summary line.
+  EXPECT_NE(text.find("rows="), std::string::npos) << text;
+  EXPECT_NE(text.find("actual="), std::string::npos) << text;
+  EXPECT_NE(text.find("q="), std::string::npos) << text;
+  EXPECT_NE(text.find("max operator q-error"), std::string::npos) << text;
+  // The reported actual row count matches the plain execution.
+  EXPECT_NE(text.find(StrFormat("actual rows: %zu", plain.num_rows)),
+            std::string::npos)
+      << text;
+  // Plain EXPLAIN must not execute and must not carry actuals.
+  QueryResult explain_only;
+  ASSERT_TRUE(db->Execute("EXPLAIN " + select, &explain_only).ok());
+  std::string explain_text;
+  for (const Row& row : explain_only.rows) explain_text += row[0].str() + "\n";
+  EXPECT_EQ(explain_text.find("actual="), std::string::npos) << explain_text;
+}
+
+TEST_F(IntegrationTest, TracerProducesPipelineTree) {
+  double setup = 0;
+  auto db = BuildExperimentDatabase(ExperimentSetting::kJits, *options_, *items_, &setup);
+  db->tracer()->set_enabled(true);
+  QueryResult qr;
+  ASSERT_TRUE(
+      db->Execute("SELECT id FROM car WHERE year <= 2002 AND price <= 20000", &qr).ok());
+  ASSERT_FALSE(qr.trace.empty());
+  std::vector<std::string> stages;
+  for (const TraceNode& child : qr.trace.children) stages.push_back(child.name);
+  EXPECT_NE(std::find(stages.begin(), stages.end(), "parse"), stages.end());
+  EXPECT_NE(std::find(stages.begin(), stages.end(), "bind"), stages.end());
+  EXPECT_NE(std::find(stages.begin(), stages.end(), "optimize"), stages.end());
+  EXPECT_NE(std::find(stages.begin(), stages.end(), "execute"), stages.end());
+  EXPECT_NE(std::find(stages.begin(), stages.end(), "feedback"), stages.end());
+  const std::string rendered = qr.trace.ToString();
+  EXPECT_NE(rendered.find("optimize"), std::string::npos);
+
+  // Disabled again: traces vanish.
+  db->tracer()->set_enabled(false);
+  QueryResult quiet;
+  ASSERT_TRUE(db->Execute("SELECT id FROM car WHERE year <= 2002", &quiet).ok());
+  EXPECT_TRUE(quiet.trace.empty());
 }
 
 TEST_F(IntegrationTest, SmaxSweepMonotoneCollectionCounts) {

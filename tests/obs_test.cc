@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs_context.h"
+#include "obs/trace.h"
+
+namespace jits {
+namespace {
+
+// ---------- Counter / Gauge ----------
+
+TEST(CounterTest, IncrementAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0.0);
+  c.Increment();
+  c.Increment(2.5);
+  EXPECT_DOUBLE_EQ(c.Value(), 3.5);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  Gauge g;
+  g.Set(7.0);
+  g.Set(-1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), -1.5);
+}
+
+// ---------- Histogram ----------
+
+TEST(HistogramTest, BucketsAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.Observe(0.5);  // bucket 0 (<=1)
+  h.Observe(1.0);  // bucket 0 (inclusive bound)
+  h.Observe(1.5);  // bucket 1 (<=2)
+  h.Observe(5.0);  // bucket 2 (inclusive bound)
+  h.Observe(9.0);  // overflow (+Inf)
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 5.0 + 9.0);
+}
+
+TEST(HistogramTest, DefaultBucketLayoutsAreSortedAndUnique) {
+  for (const std::vector<double>& bounds :
+       {MetricBuckets::Latency(), MetricBuckets::QError()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (size_t i = 1; i < bounds.size(); ++i) EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// ---------- Registry ----------
+
+TEST(MetricsRegistryTest, GettersReturnStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("a");
+  reg.GetCounter("b");
+  reg.GetGauge("g");
+  reg.GetHistogram("h", MetricBuckets::QError());
+  EXPECT_EQ(a, reg.GetCounter("a"));
+  a->Increment(3);
+  EXPECT_DOUBLE_EQ(reg.CounterValue("a"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.CounterValue("missing"), 0.0);  // does not create
+}
+
+TEST(MetricsRegistryTest, SnapshotCoversAllKindsInOrder) {
+  MetricsRegistry reg;
+  reg.GetCounter("z.counter")->Increment();
+  reg.GetCounter("a.counter")->Increment(2);
+  reg.GetGauge("m.gauge")->Set(4);
+  reg.GetHistogram("q.hist", {1.0, 10.0})->Observe(3.0);
+  const std::vector<MetricSnapshot> snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Counters first (name-sorted), then gauges, then histograms.
+  EXPECT_EQ(snap[0].name, "a.counter");
+  EXPECT_EQ(snap[1].name, "z.counter");
+  EXPECT_EQ(snap[2].name, "m.gauge");
+  EXPECT_EQ(snap[3].name, "q.hist");
+  EXPECT_EQ(snap[3].count, 1u);
+  ASSERT_EQ(snap[3].buckets.size(), 3u);  // 2 bounds + overflow
+  EXPECT_TRUE(std::isinf(snap[3].buckets.back().first));
+}
+
+TEST(MetricsRegistryTest, ExportJsonGolden) {
+  MetricsRegistry reg;
+  reg.GetCounter("queries.total")->Increment(3);
+  reg.GetGauge("archive.occupancy")->Set(0.5);
+  reg.GetHistogram("qerror", {2.0})->Observe(1.0);
+  EXPECT_EQ(reg.ExportJson(),
+            "{\"counters\":{\"queries.total\":3},"
+            "\"gauges\":{\"archive.occupancy\":0.5},"
+            "\"histograms\":{\"qerror\":{\"count\":1,\"sum\":1,"
+            "\"buckets\":[{\"le\":2,\"count\":1},{\"le\":\"+Inf\",\"count\":0}]}}}");
+}
+
+TEST(MetricsRegistryTest, ResetDropsEverything) {
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Increment();
+  reg.Reset();
+  EXPECT_DOUBLE_EQ(reg.CounterValue("c"), 0.0);
+  EXPECT_TRUE(reg.Snapshot().empty());
+}
+
+// ---------- Prometheus export ----------
+
+/// Minimal format check over the exposition text: every non-comment line is
+/// `name{labels} value`, every metric name has exactly one preceding # TYPE
+/// for its base name, and histogram bucket counts are cumulative and end
+/// with +Inf == _count.
+TEST(MetricsRegistryTest, ExportPrometheusFormatRoundTrip) {
+  MetricsRegistry reg;
+  reg.GetCounter("jits.tables_sampled")->Increment(4);
+  reg.GetCounter("optimizer.est_source{source=\"archive\"}")->Increment(2);
+  reg.GetCounter("optimizer.est_source{source=\"default\"}")->Increment(1);
+  reg.GetGauge("jits.archive.buckets_used")->Set(128);
+  Histogram* h = reg.GetHistogram("feedback.qerror", MetricBuckets::QError());
+  h->Observe(1.0);
+  h->Observe(3.5);
+  h->Observe(400.0);
+
+  const std::string text = reg.ExportPrometheus();
+  std::istringstream lines(text);
+  std::string line;
+  std::string last_type_base;
+  int type_lines = 0;
+  uint64_t prev_bucket = 0;
+  uint64_t last_bucket = 0;
+  bool saw_inf_bucket = false;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE ", 0) == 0) {
+      ++type_lines;
+      std::istringstream parts(line.substr(7));
+      std::string base, type;
+      parts >> base >> type;
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram") << line;
+      EXPECT_NE(base, last_type_base) << "duplicate # TYPE for " << base;
+      last_type_base = base;
+      prev_bucket = 0;
+      continue;
+    }
+    // Sample line: `name[{labels}] value`, name restricted to [a-zA-Z0-9_:].
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string series = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    const size_t brace = series.find('{');
+    const std::string name = series.substr(0, brace);
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      EXPECT_TRUE(ok) << "bad char in metric name: " << line;
+    }
+    EXPECT_EQ(name.rfind(last_type_base, 0), 0u)
+        << "series " << name << " not under # TYPE " << last_type_base;
+    if (name == last_type_base + "_bucket") {
+      const uint64_t count = std::stoull(value);
+      EXPECT_GE(count, prev_bucket) << "buckets must be cumulative: " << line;
+      prev_bucket = count;
+      last_bucket = count;
+      if (series.find("le=\"+Inf\"") != std::string::npos) saw_inf_bucket = true;
+    }
+    if (name == last_type_base + "_count") {
+      EXPECT_EQ(std::stoull(value), last_bucket) << "+Inf bucket must equal _count";
+    }
+  }
+  EXPECT_TRUE(saw_inf_bucket);
+  // Bases: feedback_qerror, jits_archive_buckets_used, jits_tables_sampled,
+  // optimizer_est_source (one TYPE line shared by its two labeled series).
+  EXPECT_EQ(type_lines, 4);
+  EXPECT_NE(text.find("optimizer_est_source{source=\"archive\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("feedback_qerror_count 3"), std::string::npos);
+}
+
+// ---------- Tracer / spans ----------
+
+TEST(TracerTest, DisabledTracerIsInert) {
+  Tracer tracer;
+  tracer.BeginQuery("q");
+  EXPECT_FALSE(tracer.active());
+  EXPECT_EQ(tracer.Push("x"), nullptr);
+  { TraceSpan span(&tracer, "y"); }
+  { TraceSpan span(nullptr, "z"); }  // null tracer also fine
+  EXPECT_TRUE(tracer.EndQuery().empty());
+}
+
+TEST(TracerTest, SpansNestAndTimingsAreMonotonic) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.BeginQuery("query");
+  EXPECT_TRUE(tracer.active());
+  {
+    TraceSpan parse(&tracer, "parse");
+  }
+  {
+    TraceSpan jits(&tracer, "jits.collect");
+    TraceSpan inner(&tracer, "jits.materialize");
+  }
+  const TraceNode root = tracer.EndQuery();
+  EXPECT_FALSE(tracer.active());
+  ASSERT_EQ(root.name, "query");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "parse");
+  EXPECT_EQ(root.children[1].name, "jits.collect");
+  ASSERT_EQ(root.children[1].children.size(), 1u);
+  EXPECT_EQ(root.children[1].children[0].name, "jits.materialize");
+
+  // Monotonicity: children start at/after their parent, durations are
+  // non-negative, and a child never outlives its parent.
+  const TraceNode& collect = root.children[1];
+  const TraceNode& materialize = collect.children[0];
+  EXPECT_GE(root.duration_seconds, 0.0);
+  EXPECT_GE(collect.start_seconds, root.start_seconds);
+  EXPECT_GE(materialize.start_seconds, collect.start_seconds);
+  EXPECT_GE(collect.duration_seconds, materialize.duration_seconds);
+  EXPECT_GE(root.duration_seconds,
+            collect.start_seconds + collect.duration_seconds - root.start_seconds);
+  EXPECT_GE(collect.start_seconds, root.children[0].start_seconds);
+}
+
+TEST(TracerTest, EndQueryClosesOpenSpans) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.BeginQuery("q");
+  tracer.Push("left.open");  // never popped
+  const TraceNode root = tracer.EndQuery();
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_GE(root.children[0].duration_seconds, 0.0);
+  EXPECT_FALSE(tracer.active());
+}
+
+TEST(TracerTest, RenderContainsStageNamesAndPercentages) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.BeginQuery("query");
+  { TraceSpan span(&tracer, "optimize"); }
+  const TraceNode root = tracer.EndQuery();
+  const std::string text = root.ToString();
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("optimize"), std::string::npos);
+  EXPECT_NE(text.find("ms"), std::string::npos);
+  EXPECT_NE(text.find('%'), std::string::npos);
+  EXPECT_EQ(TraceNode().ToString(), "");
+}
+
+// ---------- ObsContext ----------
+
+TEST(ObsContextTest, NullTolerant) {
+  ObsContext obs;  // no sinks attached
+  obs.Count("c");
+  obs.SetGauge("g", 1.0);
+  obs.ObserveLatency("l", 0.1);
+  EXPECT_EQ(ObsTracer(nullptr), nullptr);
+  EXPECT_EQ(ObsTracer(&obs), nullptr);
+}
+
+TEST(ObsContextTest, ForwardsToSinks) {
+  MetricsRegistry reg;
+  Tracer tracer;
+  ObsContext obs{&reg, &tracer};
+  obs.Count("c", 2.0);
+  obs.SetGauge("g", 5.0);
+  obs.ObserveLatency("l", 0.25);
+  EXPECT_DOUBLE_EQ(reg.CounterValue("c"), 2.0);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("g")->Value(), 5.0);
+  EXPECT_EQ(reg.GetHistogram("l", MetricBuckets::Latency())->count(), 1u);
+  EXPECT_EQ(ObsTracer(&obs), &tracer);
+}
+
+}  // namespace
+}  // namespace jits

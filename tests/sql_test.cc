@@ -252,5 +252,61 @@ TEST_F(BinderTest, JoinPredicateWithinOneTableRejected) {
   EXPECT_FALSE(BindSql("SELECT a FROM t1 WHERE t1.a = t1.b").ok());
 }
 
+// ---------- Introspection statements ----------
+
+TEST(ParserTest, ShowMetrics) {
+  Result<StatementAst> r = ParseStatement("SHOW METRICS");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ShowAst& show = std::get<ShowAst>(r.value());
+  EXPECT_EQ(show.what, ShowAst::What::kMetrics);
+}
+
+TEST(ParserTest, ShowJitsStatus) {
+  Result<StatementAst> r = ParseStatement("show jits status;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(std::get<ShowAst>(r.value()).what, ShowAst::What::kJitsStatus);
+}
+
+TEST(ParserTest, ShowRejectsUnknownTopic) {
+  EXPECT_FALSE(ParseStatement("SHOW TABLES").ok());
+  EXPECT_FALSE(ParseStatement("SHOW JITS").ok());
+  EXPECT_FALSE(ParseStatement("SHOW METRICS now").ok());
+}
+
+TEST(ParserTest, ExplainAnalyzeSetsFlag) {
+  Result<StatementAst> plain = ParseStatement("EXPLAIN SELECT a FROM t");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(std::get<ExplainAst>(plain.value()).analyze);
+
+  Result<StatementAst> analyze = ParseStatement("EXPLAIN ANALYZE SELECT a FROM t");
+  ASSERT_TRUE(analyze.ok()) << analyze.status().ToString();
+  const ExplainAst& ast = std::get<ExplainAst>(analyze.value());
+  EXPECT_TRUE(ast.analyze);
+  ASSERT_EQ(ast.select.items.size(), 1u);
+  EXPECT_FALSE(ParseStatement("EXPLAIN ANALYZE INSERT INTO t VALUES (1)").ok());
+}
+
+TEST_F(BinderTest, BindsShowStatements) {
+  Result<BoundStatement> r = BindSql("SHOW METRICS");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(std::get<ShowAst>(r.value()).what, ShowAst::What::kMetrics);
+  Result<BoundStatement> s = BindSql("SHOW JITS STATUS");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(std::get<ShowAst>(s.value()).what, ShowAst::What::kJitsStatus);
+}
+
+TEST_F(BinderTest, ExplainAnalyzeBindsToExecutableBlock) {
+  Result<BoundStatement> r = BindSql("EXPLAIN ANALYZE SELECT a FROM t1 WHERE a < 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const QueryBlock& block = std::get<QueryBlock>(r.value());
+  EXPECT_FALSE(block.explain_only);
+  EXPECT_TRUE(block.explain_analyze);
+
+  Result<BoundStatement> plain = BindSql("EXPLAIN SELECT a FROM t1 WHERE a < 5");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(std::get<QueryBlock>(plain.value()).explain_only);
+  EXPECT_FALSE(std::get<QueryBlock>(plain.value()).explain_analyze);
+}
+
 }  // namespace
 }  // namespace jits
