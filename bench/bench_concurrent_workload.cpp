@@ -1,0 +1,62 @@
+// Concurrent query serving: replays the 840-item car-insurance workload
+// (SELECTs plus interleaved update batches) from N client threads against
+// one shared Database with JITS enabled, and reports throughput and tail
+// latency per thread count. Statement-level table locks serialize writers;
+// the JITS state (archive, history, catalog stats) is internally
+// synchronized, so the expectation is near-linear query throughput up to
+// the core count.
+//
+// Env knobs: JITS_SCALE / JITS_ITEMS / JITS_SEED as usual, plus
+// JITS_THREADS as a comma-free max thread count (default 8; the sweep runs
+// 1,2,4,...,max powers of two).
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workload/concurrent_driver.h"
+
+int main() {
+  using namespace jits;
+  ExperimentOptions options = bench::OptionsFromEnv();
+  bench::PrintHeader("Concurrent workload serving", "multi-client throughput scaling",
+                     options);
+
+  size_t max_threads = 8;
+  if (const char* t = std::getenv("JITS_THREADS")) {
+    max_threads = static_cast<size_t>(std::atoll(t));
+    if (max_threads == 0) max_threads = 1;
+  }
+  std::printf("hardware_concurrency=%u\n\n", std::thread::hardware_concurrency());
+
+  std::vector<size_t> thread_counts;
+  for (size_t n = 1; n <= max_threads; n *= 2) thread_counts.push_back(n);
+
+  std::printf("%8s %12s %12s %10s %10s %10s %8s %8s\n", "threads", "stmts/s",
+              "speedup", "p50(ms)", "p95(ms)", "p99(ms)", "errors", "wall(s)");
+  double base_sps = 0;
+  for (size_t n : thread_counts) {
+    ConcurrentWorkloadOptions copts;
+    copts.setting = ExperimentSetting::kJits;
+    copts.experiment = options;
+    copts.num_threads = n;
+    const ConcurrentWorkloadResult r = RunConcurrentWorkload(copts);
+    if (n == 1) base_sps = r.throughput_sps;
+    const double speedup = base_sps > 0 ? r.throughput_sps / base_sps : 0;
+    std::printf("%8zu %12.1f %11.2fx %10.3f %10.3f %10.3f %8zu %8.2f\n", n,
+                r.throughput_sps, speedup, r.p50_seconds * 1e3, r.p95_seconds * 1e3,
+                r.p99_seconds * 1e3, r.errors, r.wall_seconds);
+    std::printf(
+        "JITS_RESULT {\"experiment\":\"concurrent_workload\",\"setting\":\"jits\","
+        "\"scale\":%.4f,\"items\":%zu,\"threads\":%zu,\"statements\":%zu,"
+        "\"queries\":%zu,\"errors\":%zu,\"wall_seconds\":%.6f,"
+        "\"throughput_sps\":%.3f,\"speedup\":%.3f,\"p50_seconds\":%.6f,"
+        "\"p95_seconds\":%.6f,\"p99_seconds\":%.6f,\"metrics\":%s}\n",
+        options.datagen.scale, options.workload.num_items, n, r.statements_run,
+        r.queries_run, r.errors, r.wall_seconds, r.throughput_sps, speedup,
+        r.p50_seconds, r.p95_seconds, r.p99_seconds,
+        r.metrics_json.empty() ? "{}" : r.metrics_json.c_str());
+  }
+  return 0;
+}

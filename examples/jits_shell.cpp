@@ -111,10 +111,10 @@ int main(int argc, char** argv) {
         std::printf("QSS archive: %zu histograms, %zu/%zu buckets\n",
                     db.archive()->size(), db.archive()->total_buckets(),
                     db.archive()->bucket_budget());
-        for (const auto& [key, hist] : db.archive()->histograms()) {
+        for (const auto& [key, hist] : db.archive()->Snapshot()) {
           std::printf("  %-32s %zu cells, uniformity-distance %.3f, last used @%llu\n",
-                      key.c_str(), hist.num_cells(), hist.UniformityDistance(),
-                      static_cast<unsigned long long>(hist.last_used()));
+                      key.c_str(), hist->num_cells(), hist->UniformityDistance(),
+                      static_cast<unsigned long long>(hist->last_used()));
         }
       } else if (line == "\\history") {
         std::printf("%s", db.history()->ToString().c_str());

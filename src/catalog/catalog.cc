@@ -6,6 +6,7 @@ namespace jits {
 
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   const std::string key = ToLower(name);
+  std::unique_lock<std::shared_mutex> lock(tables_mu_);
   if (tables_.count(key)) {
     return Status::AlreadyExists("table " + name + " already exists");
   }
@@ -16,32 +17,64 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
 }
 
 Table* Catalog::FindTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(tables_mu_);
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) return nullptr;
   return it->second.get();
 }
 
 std::vector<Table*> Catalog::tables() const {
+  std::shared_lock<std::shared_mutex> lock(tables_mu_);
   std::vector<Table*> out;
   out.reserve(tables_.size());
   for (const auto& [_, t] : tables_) out.push_back(t.get());
   return out;
 }
 
-TableStats* Catalog::GetStats(const Table* table) { return &stats_[table]; }
+TableStats* Catalog::GetStats(const Table* table) {
+  std::unique_lock<std::shared_mutex> lock(stats_mu_);
+  std::shared_ptr<TableStats>& slot = stats_[table];
+  if (slot == nullptr) slot = std::make_shared<TableStats>();
+  return slot.get();
+}
 
 const TableStats* Catalog::FindStats(const Table* table) const {
+  std::shared_lock<std::shared_mutex> lock(stats_mu_);
   auto it = stats_.find(table);
-  if (it == stats_.end() || !it->second.valid) return nullptr;
-  return &it->second;
+  if (it == stats_.end() || it->second == nullptr || !it->second->valid) return nullptr;
+  return it->second.get();
+}
+
+std::shared_ptr<const TableStats> Catalog::StatsSnapshot(const Table* table) const {
+  std::shared_lock<std::shared_mutex> lock(stats_mu_);
+  auto it = stats_.find(table);
+  if (it == stats_.end() || it->second == nullptr || !it->second->valid) return nullptr;
+  return it->second;
+}
+
+std::shared_ptr<TableStats> Catalog::CloneStatsForUpdate(const Table* table) const {
+  std::shared_lock<std::shared_mutex> lock(stats_mu_);
+  auto it = stats_.find(table);
+  if (it == stats_.end() || it->second == nullptr) {
+    return std::make_shared<TableStats>();
+  }
+  return std::make_shared<TableStats>(*it->second);
+}
+
+void Catalog::PublishStats(const Table* table, std::shared_ptr<TableStats> stats) {
+  std::unique_lock<std::shared_mutex> lock(stats_mu_);
+  stats_[table] = std::move(stats);
 }
 
 double Catalog::EstimatedCardinality(const Table* table) const {
-  const TableStats* s = FindStats(table);
+  std::shared_ptr<const TableStats> s = StatsSnapshot(table);
   if (s == nullptr) return kDefaultCardinality;
   return s->cardinality;
 }
 
-void Catalog::ClearStats() { stats_.clear(); }
+void Catalog::ClearStats() {
+  std::unique_lock<std::shared_mutex> lock(stats_mu_);
+  stats_.clear();
+}
 
 }  // namespace jits

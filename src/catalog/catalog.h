@@ -2,6 +2,7 @@
 #define JITS_CATALOG_CATALOG_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +18,14 @@ namespace jits {
 /// When a table has no valid statistics, consumers fall back to the
 /// traditional defaults (default cardinality, default selectivities) — the
 /// "no statistics" operating mode of the paper's experiments.
+///
+/// Thread safety: the table map and the stats map each sit behind a
+/// reader/writer lock. Statistics follow copy-on-write: readers grab an
+/// immutable snapshot (StatsSnapshot) that stays alive however long they
+/// hold it; writers clone (CloneStatsForUpdate), modify the private copy,
+/// and atomically publish it (PublishStats). GetStats/FindStats return raw
+/// pointers for the single-threaded paths and tests — concurrent code must
+/// use the snapshot API (see docs/CONCURRENCY.md).
 class Catalog {
  public:
   /// Default cardinality guess for tables without statistics (the classic
@@ -36,8 +45,22 @@ class Catalog {
   std::vector<Table*> tables() const;
 
   /// Mutable stats slot for a table (created lazily, initially !valid).
+  /// Single-threaded/test use only — concurrent writers must go through
+  /// CloneStatsForUpdate + PublishStats.
   TableStats* GetStats(const Table* table);
   const TableStats* FindStats(const Table* table) const;
+
+  /// Immutable snapshot of a table's stats; nullptr when absent or !valid.
+  /// The snapshot stays valid for as long as the caller holds it, even if
+  /// new stats are published concurrently.
+  std::shared_ptr<const TableStats> StatsSnapshot(const Table* table) const;
+
+  /// Private mutable copy of the current stats (default-constructed when
+  /// absent), for the clone-modify-publish write protocol.
+  std::shared_ptr<TableStats> CloneStatsForUpdate(const Table* table) const;
+
+  /// Atomically installs `stats` as the table's statistics.
+  void PublishStats(const Table* table, std::shared_ptr<TableStats> stats);
 
   /// Cardinality estimate honoring missing statistics.
   double EstimatedCardinality(const Table* table) const;
@@ -47,7 +70,9 @@ class Catalog {
 
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;  // lower-case name
-  std::unordered_map<const Table*, TableStats> stats_;
+  std::unordered_map<const Table*, std::shared_ptr<TableStats>> stats_;
+  mutable std::shared_mutex tables_mu_;
+  mutable std::shared_mutex stats_mu_;
 };
 
 }  // namespace jits

@@ -31,7 +31,9 @@ Status RunStats(Catalog* catalog, Table* table, const RunStatsOptions& options,
 Status RunStatsOnRows(Catalog* catalog, Table* table,
                       const std::vector<uint32_t>& rows,
                       const RunStatsOptions& options, uint64_t logical_time) {
-  TableStats* stats = catalog->GetStats(table);
+  // Copy-on-write: concurrent readers keep estimating from their snapshot
+  // while this collection builds a private copy; PublishStats swaps it in.
+  std::shared_ptr<TableStats> stats = catalog->CloneStatsForUpdate(table);
   stats->valid = true;
   stats->cardinality = static_cast<double>(table->num_rows());
   stats->collected_at_time = logical_time;
@@ -50,6 +52,7 @@ Status RunStatsOnRows(Catalog* catalog, Table* table,
   };
 
   if (rows.empty()) {
+    catalog->PublishStats(table, std::move(stats));
     table->ResetUdi();
     return Status::OK();
   }
@@ -91,6 +94,7 @@ Status RunStatsOnRows(Catalog* catalog, Table* table,
     stats->column_valid[col] = true;
   }
 
+  catalog->PublishStats(table, std::move(stats));
   table->ResetUdi();
   return Status::OK();
 }

@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace jits {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads <= 1) return;  // inline mode: the caller is the only thread
+  workers_.reserve(num_threads - 1);
+  for (size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared job state: workers and the caller claim indices from one atomic
+  // counter; the caller waits until every index has completed. Helpers that
+  // wake after all indices are claimed simply finish without touching fn.
+  struct Job {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto job = std::make_shared<Job>();
+
+  auto run_indices = [job, n, &fn] {
+    for (;;) {
+      const size_t i = job->next.fetch_add(1);
+      if (i >= n) break;
+      fn(i);
+      if (job->done.fetch_add(1) + 1 == n) {
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->cv.notify_all();
+      }
+    }
+  };
+
+  // One helper task per worker (bounded by n - 1: the caller takes a share).
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t h = 0; h < helpers; ++h) tasks_.push(run_indices);
+  }
+  for (size_t h = 0; h < helpers; ++h) cv_.notify_one();
+
+  run_indices();  // caller participates, so a busy pool can't deadlock us
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->cv.wait(lock, [&] { return job->done.load() == n; });
+}
+
+}  // namespace jits

@@ -1,0 +1,59 @@
+#ifndef JITS_COMMON_THREAD_POOL_H_
+#define JITS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace jits {
+
+/// A small fixed pool of worker threads for intra-query parallelism
+/// (morsel-driven scans, per-predicate sample evaluation).
+///
+/// Determinism contract: with `num_threads() <= 1` every ParallelFor runs
+/// inline on the calling thread in index order, so a single-threaded engine
+/// build behaves byte-for-byte like the pre-pool code. With more workers the
+/// *scheduling* is nondeterministic but callers merge per-index results in
+/// index order, keeping outputs identical.
+///
+/// The pool is shared by all concurrent sessions of a Database. ParallelFor
+/// is safe to call from any number of threads at once: the calling thread
+/// always participates in its own job, so a saturated pool degrades to
+/// inline execution instead of deadlocking.
+class ThreadPool {
+ public:
+  /// `num_threads` counts workers in addition to callers; 0 or 1 means "no
+  /// worker threads" (inline execution). Explicit sizes are honored even
+  /// beyond the hardware concurrency — oversubscription just queues, and
+  /// tests rely on real workers existing on single-core machines.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that may run tasks: workers + the caller.
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), potentially in parallel, and blocks
+  /// until all invocations finished. fn must be safe to call concurrently
+  /// for distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace jits
+
+#endif  // JITS_COMMON_THREAD_POOL_H_

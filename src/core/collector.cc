@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "catalog/runstats.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "exec/bitvector.h"
 #include "exec/predicate_eval.h"
 #include "storage/sampler.h"
@@ -16,7 +18,7 @@ namespace {
 /// Domain interval for a column: catalog min/max when fresh enough, else a
 /// cheap column sweep (in-memory metadata).
 Interval ColumnDomain(const Catalog& catalog, const Table& table, int col_idx) {
-  const TableStats* stats = catalog.FindStats(&table);
+  std::shared_ptr<const TableStats> stats = catalog.StatsSnapshot(&table);
   if (stats != nullptr && stats->HasColumn(static_cast<size_t>(col_idx))) {
     const ColumnStats& cs = stats->columns[static_cast<size_t>(col_idx)];
     if (cs.max_key > cs.min_key) return Interval{cs.min_key, cs.max_key + 1};
@@ -51,6 +53,18 @@ CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
   for (const TableDecision& decision : decisions) {
     if (!decision.collect) continue;
     Table* table = block.tables[static_cast<size_t>(decision.table_idx)].table;
+
+    // In-flight guard: if another session is already sampling this table,
+    // skip it — the archived knowledge it produces serves this compilation
+    // too, and double sampling would waste the collection budget.
+    std::optional<InflightRelease> inflight_release;
+    if (config_.inflight != nullptr) {
+      if (!config_.inflight->TryAcquire(table)) {
+        if (obs != nullptr) obs->Count("jits.sampling.skipped_inflight");
+        continue;
+      }
+      inflight_release.emplace(config_.inflight, table);
+    }
     const double table_rows = static_cast<double>(table->num_rows());
 
     // Table statistics: the paper's prototype "invokes the RUNSTATS tool
@@ -62,9 +76,16 @@ CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
 
     // One sample per table; it feeds both the RUNSTATS column statistics
     // and every candidate group's selectivity (§3.3: sampling dominates the
-    // collection cost, so the table is sampled exactly once).
-    const std::vector<uint32_t> sample =
-        Sampler::SampleRows(*table, config_.sample_rows, rng);
+    // collection cost, so the table is sampled exactly once). The Rng is
+    // shared across sessions, so draws are serialized.
+    std::vector<uint32_t> sample;
+    {
+      std::unique_lock<std::mutex> rng_lock;
+      if (config_.rng_mu != nullptr) {
+        rng_lock = std::unique_lock<std::mutex>(*config_.rng_mu);
+      }
+      sample = Sampler::SampleRows(*table, config_.sample_rows, rng);
+    }
 
     RunStatsOptions runstats_options;
     // Only the columns this query touches, plus INT columns (join-key
@@ -97,16 +118,22 @@ CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
         }
       }
     }
-    std::vector<BitVector> matches;
-    matches.reserve(pred_ids.size());
-    for (int pi : pred_ids) {
-      const CompiledPredicate cp =
-          CompiledPredicate::Compile(*table, block.local_preds[static_cast<size_t>(pi)]);
-      BitVector bv(sample.size());
+    // Evaluate every predicate over the sample. Each predicate fills its
+    // own preallocated BitVector slot, so the loop parallelizes across
+    // predicates with no synchronization and index-order determinism.
+    std::vector<BitVector> matches(pred_ids.size(), BitVector(sample.size()));
+    auto fill_one = [&](size_t p) {
+      const CompiledPredicate cp = CompiledPredicate::Compile(
+          *table, block.local_preds[static_cast<size_t>(pred_ids[p])]);
+      BitVector& bv = matches[p];
       for (size_t i = 0; i < sample.size(); ++i) {
         if (cp.Matches(sample[i])) bv.Set(i);
       }
-      matches.push_back(std::move(bv));
+    };
+    if (config_.pool != nullptr) {
+      config_.pool->ParallelFor(pred_ids.size(), fill_one);
+    } else {
+      for (size_t p = 0; p < pred_ids.size(); ++p) fill_one(p);
     }
     auto bitvector_of = [&](int pi) -> const BitVector* {
       const auto it = std::find(pred_ids.begin(), pred_ids.end(), pi);
@@ -139,8 +166,8 @@ CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
         domain.push_back(ColumnDomain(*catalog_, *table, c));
       }
       const std::string key = g.ColumnSetKey(block);
-      GridHistogram* hist =
-          archive_->GetOrCreate(key, col_names, domain, table_rows, now);
+      std::shared_ptr<GridHistogram> hist =
+          archive_->GetOrCreateShared(key, col_names, domain, table_rows, now);
 
       // Assimilate marginal knowledge first (per-dimension sub-boxes), then
       // the joint box — the paper's Figure 2 sequence.

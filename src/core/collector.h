@@ -1,10 +1,12 @@
 #ifndef JITS_CORE_COLLECTOR_H_
 #define JITS_CORE_COLLECTOR_H_
 
+#include <mutex>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/rng.h"
+#include "core/inflight_guard.h"
 #include "core/qss_archive.h"
 #include "core/sensitivity.h"
 #include "obs/obs_context.h"
@@ -12,11 +14,20 @@
 
 namespace jits {
 
+class ThreadPool;
+
 /// Collector tunables.
 struct CollectorConfig {
   /// Rows sampled per marked table (size-independent absolute sample, per
   /// the paper's sampling-size argument).
   size_t sample_rows = 2000;
+  /// Optional runtime shared across sessions: a pool for parallel
+  /// per-predicate sample evaluation, a mutex serializing the shared Rng,
+  /// and the per-table in-flight guard so two sessions never double-sample
+  /// one table. All nullable (single-threaded callers/tests).
+  ThreadPool* pool = nullptr;
+  std::mutex* rng_mu = nullptr;
+  InflightTableGuard* inflight = nullptr;
 };
 
 /// Outcome counters of one collection pass.

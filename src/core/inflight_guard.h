@@ -1,0 +1,52 @@
+#ifndef JITS_CORE_INFLIGHT_GUARD_H_
+#define JITS_CORE_INFLIGHT_GUARD_H_
+
+#include <mutex>
+#include <unordered_set>
+
+namespace jits {
+
+class Table;
+
+/// Per-table "sampling in flight" registry: when two sessions decide to
+/// collect statistics on the same table at once, only the first proceeds —
+/// the second skips the table for this compilation (it will pick up the
+/// freshly archived knowledge anyway). This keeps concurrent sessions from
+/// burning double sampling effort on identical work (ISSUE 2 tentpole).
+class InflightTableGuard {
+ public:
+  /// True if the table was free and is now marked in flight by this caller.
+  bool TryAcquire(const Table* table) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inflight_.insert(table).second;
+  }
+
+  void Release(const Table* table) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(table);
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_set<const Table*> inflight_;
+};
+
+/// RAII releaser for a successfully acquired table.
+class InflightRelease {
+ public:
+  InflightRelease(InflightTableGuard* guard, const Table* table)
+      : guard_(guard), table_(table) {}
+  ~InflightRelease() {
+    if (guard_ != nullptr) guard_->Release(table_);
+  }
+  InflightRelease(const InflightRelease&) = delete;
+  InflightRelease& operator=(const InflightRelease&) = delete;
+
+ private:
+  InflightTableGuard* guard_;
+  const Table* table_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_CORE_INFLIGHT_GUARD_H_

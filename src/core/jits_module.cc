@@ -47,6 +47,9 @@ JitsPrepareResult JitsModule::Prepare(const QueryBlock& block, const JitsConfig&
     TraceSpan span(ObsTracer(obs), "jits.collect");
     CollectorConfig coll_config;
     coll_config.sample_rows = config.sample_rows;
+    coll_config.pool = pool_;
+    coll_config.rng_mu = rng_mu_;
+    coll_config.inflight = &inflight_;
     StatisticsCollector collector(catalog_, archive_, coll_config);
     const CollectionStats stats =
         collector.Collect(block, groups, result.decisions, rng, now, &result.exact, obs);

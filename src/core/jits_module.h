@@ -47,6 +47,14 @@ class JitsModule {
   JitsModule(Catalog* catalog, QssArchive* archive, StatHistory* history)
       : catalog_(catalog), archive_(archive), history_(history) {}
 
+  /// Installs the shared concurrency runtime: the intra-query thread pool
+  /// and the mutex serializing the engine-wide Rng. Both nullable; the
+  /// per-table in-flight sampling guard is owned here and always active.
+  void set_runtime(ThreadPool* pool, std::mutex* rng_mu) {
+    pool_ = pool;
+    rng_mu_ = rng_mu;
+  }
+
   /// Runs the pipeline for one query block. `now` is the engine's logical
   /// clock (used for bucket timestamps, LRU and migration cadence). `obs`
   /// (nullable) receives per-stage trace spans (jits.analyze,
@@ -58,6 +66,9 @@ class JitsModule {
   Catalog* catalog_;
   QssArchive* archive_;
   StatHistory* history_;
+  ThreadPool* pool_ = nullptr;
+  std::mutex* rng_mu_ = nullptr;
+  InflightTableGuard inflight_;
 };
 
 }  // namespace jits

@@ -7,8 +7,10 @@ namespace jits {
 
 size_t MigrateStatistics(const QssArchive& archive, Catalog* catalog, uint64_t now) {
   size_t migrated = 0;
-  for (const auto& [key, hist] : archive.histograms()) {
-    if (hist.num_dims() != 1) continue;
+  // Snapshot: histograms stay alive even if the archive evicts concurrently,
+  // and the key-sorted order keeps migration deterministic.
+  for (const auto& [key, hist] : archive.Snapshot()) {
+    if (hist->num_dims() != 1) continue;
     std::string table_name;
     std::vector<std::string> columns;
     if (!ParseStatKey(key, &table_name, &columns) || columns.size() != 1) continue;
@@ -17,9 +19,10 @@ size_t MigrateStatistics(const QssArchive& archive, Catalog* catalog, uint64_t n
     const int col = table->schema().FindColumn(columns[0]);
     if (col < 0) continue;
 
-    TableStats* stats = catalog->GetStats(table);
+    // Copy-on-write: clone the current stats, patch the clone, publish it.
+    std::shared_ptr<TableStats> stats = catalog->CloneStatsForUpdate(table);
     if (stats->valid && stats->HasColumn(static_cast<size_t>(col)) &&
-        stats->collected_at_time >= hist.max_timestamp()) {
+        stats->collected_at_time >= hist->max_timestamp()) {
       continue;  // catalog is at least as fresh
     }
     if (!stats->valid) {
@@ -34,11 +37,11 @@ size_t MigrateStatistics(const QssArchive& archive, Catalog* catalog, uint64_t n
     }
 
     ColumnStats& cs = stats->columns[static_cast<size_t>(col)];
-    const std::vector<double>& bs = hist.boundaries(0);
+    const std::vector<double> bs = hist->boundaries(0);
     std::vector<double> counts;
     counts.reserve(bs.size() - 1);
     for (size_t b = 0; b + 1 < bs.size(); ++b) {
-      counts.push_back(hist.CellCount({b}));
+      counts.push_back(hist->CellCount({b}));
     }
     EquiDepthHistogram migrated_hist =
         EquiDepthHistogram::FromBuckets(bs, std::move(counts), {});
@@ -52,6 +55,7 @@ size_t MigrateStatistics(const QssArchive& archive, Catalog* catalog, uint64_t n
     cs.histogram = std::move(migrated_hist);
     cs.frequent_values.clear();
     stats->column_valid[static_cast<size_t>(col)] = true;
+    catalog->PublishStats(table, std::move(stats));
     ++migrated;
   }
   return migrated;

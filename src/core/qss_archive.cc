@@ -1,6 +1,8 @@
 #include "core/qss_archive.h"
 
 #include <algorithm>
+#include <functional>
+#include <mutex>
 
 #include "common/str_util.h"
 
@@ -13,76 +15,160 @@ std::string QssArchive::KeyFor(const std::string& table,
   return ToLower(table) + "(" + Join(column_names, ",") + ")";
 }
 
+QssArchive::Shard& QssArchive::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+const QssArchive::Shard& QssArchive::ShardFor(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
 GridHistogram* QssArchive::Find(const std::string& key) {
-  auto it = histograms_.find(key);
-  return (it == histograms_.end()) ? nullptr : &it->second;
+  Shard& s = ShardFor(key);
+  std::shared_lock<std::shared_mutex> lock(s.mu);
+  auto it = s.histograms.find(key);
+  return (it == s.histograms.end()) ? nullptr : it->second.get();
 }
 
 const GridHistogram* QssArchive::Find(const std::string& key) const {
-  auto it = histograms_.find(key);
-  return (it == histograms_.end()) ? nullptr : &it->second;
+  const Shard& s = ShardFor(key);
+  std::shared_lock<std::shared_mutex> lock(s.mu);
+  auto it = s.histograms.find(key);
+  return (it == s.histograms.end()) ? nullptr : it->second.get();
+}
+
+std::shared_ptr<GridHistogram> QssArchive::FindShared(const std::string& key) const {
+  const Shard& s = ShardFor(key);
+  std::shared_lock<std::shared_mutex> lock(s.mu);
+  auto it = s.histograms.find(key);
+  return (it == s.histograms.end()) ? nullptr : it->second;
+}
+
+std::shared_ptr<GridHistogram> QssArchive::GetOrCreateShared(
+    const std::string& key, std::vector<std::string> column_names,
+    std::vector<Interval> domain, double total_rows, uint64_t now) {
+  Shard& s = ShardFor(key);
+  {
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    auto it = s.histograms.find(key);
+    if (it != s.histograms.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  auto it = s.histograms.find(key);  // racing creator may have won
+  if (it != s.histograms.end()) return it->second;
+  auto hist = std::make_shared<GridHistogram>(std::move(column_names),
+                                              std::move(domain), total_rows, now);
+  hist->Touch(now);
+  s.histograms.emplace(key, hist);
+  return hist;
 }
 
 GridHistogram* QssArchive::GetOrCreate(const std::string& key,
                                        std::vector<std::string> column_names,
                                        std::vector<Interval> domain,
                                        double total_rows, uint64_t now) {
-  auto it = histograms_.find(key);
-  if (it != histograms_.end()) return &it->second;
-  auto [inserted, _] = histograms_.emplace(
-      key, GridHistogram(std::move(column_names), std::move(domain), total_rows, now));
-  inserted->second.Touch(now);
-  return &inserted->second;
+  return GetOrCreateShared(key, std::move(column_names), std::move(domain),
+                           total_rows, now)
+      .get();
+}
+
+std::optional<double> QssArchive::EstimateFraction(const std::string& key,
+                                                   const Box& box) const {
+  std::shared_ptr<GridHistogram> h = FindShared(key);
+  if (h == nullptr) return std::nullopt;
+  return h->EstimateBoxFraction(box);
 }
 
 std::optional<double> QssArchive::EstimateFraction(const std::string& key,
                                                    const Box& box, uint64_t now) {
-  GridHistogram* h = Find(key);
+  std::shared_ptr<GridHistogram> h = FindShared(key);
   if (h == nullptr) return std::nullopt;
   h->Touch(now);
   return h->EstimateBoxFraction(box);
 }
 
+void QssArchive::Touch(const std::string& key, uint64_t now) {
+  std::shared_ptr<GridHistogram> h = FindShared(key);
+  if (h != nullptr) h->Touch(now);
+}
+
 std::optional<double> QssArchive::Accuracy(const std::string& key, const Box& box) const {
-  const GridHistogram* h = Find(key);
+  std::shared_ptr<GridHistogram> h = FindShared(key);
   if (h == nullptr) return std::nullopt;
   return h->BoxAccuracy(box);
 }
 
+size_t QssArchive::size() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    n += s.histograms.size();
+  }
+  return n;
+}
+
+void QssArchive::Clear() {
+  for (Shard& s : shards_) {
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    s.histograms.clear();
+  }
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<GridHistogram>>>
+QssArchive::Snapshot() const {
+  std::vector<std::pair<std::string, std::shared_ptr<GridHistogram>>> out;
+  for (const Shard& s : shards_) {
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    for (const auto& [key, h] : s.histograms) out.emplace_back(key, h);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 size_t QssArchive::total_buckets() const {
   size_t total = 0;
-  for (const auto& [_, h] : histograms_) total += h.num_cells();
+  for (const auto& [_, h] : Snapshot()) total += h->num_cells();
   return total;
 }
 
 size_t QssArchive::EnforceBudget() {
   size_t evicted = 0;
-  while (histograms_.size() > 1 && total_buckets() > bucket_budget_) {
+  const size_t budget = bucket_budget();
+  for (;;) {
+    // Key-sorted snapshot: victim selection sees a stable global order, so
+    // the tie-break (first key with the minimum LRU stamp) is deterministic
+    // regardless of sharding.
+    auto snapshot = Snapshot();
+    if (snapshot.size() <= 1) break;
+    size_t total = 0;
+    for (const auto& [_, h] : snapshot) total += h->num_cells();
+    if (total <= budget) break;
+
     // Prefer almost-uniform histograms; among them (or if none, among all)
     // evict the least recently used.
-    std::vector<std::pair<const std::string*, const GridHistogram*>> uniform;
-    for (const auto& [key, h] : histograms_) {
-      if (h.UniformityDistance() < kUniformityThreshold) uniform.emplace_back(&key, &h);
-    }
     const std::string* victim = nullptr;
     uint64_t oldest = UINT64_MAX;
-    if (!uniform.empty()) {
-      for (const auto& [key, h] : uniform) {
+    for (const auto& [key, h] : snapshot) {
+      if (h->UniformityDistance() < kUniformityThreshold && h->last_used() < oldest) {
+        oldest = h->last_used();
+        victim = &key;
+      }
+    }
+    if (victim == nullptr) {
+      for (const auto& [key, h] : snapshot) {
         if (h->last_used() < oldest) {
           oldest = h->last_used();
-          victim = key;
-        }
-      }
-    } else {
-      for (const auto& [key, h] : histograms_) {
-        if (h.last_used() < oldest) {
-          oldest = h.last_used();
           victim = &key;
         }
       }
     }
     if (victim == nullptr) break;
-    histograms_.erase(*victim);
+    Shard& s = ShardFor(*victim);
+    {
+      std::unique_lock<std::shared_mutex> lock(s.mu);
+      if (s.histograms.erase(*victim) == 0) break;  // concurrent evictor won
+    }
     ++evicted;
   }
   return evicted;

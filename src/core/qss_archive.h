@@ -1,10 +1,14 @@
 #ifndef JITS_CORE_QSS_ARCHIVE_H_
 #define JITS_CORE_QSS_ARCHIVE_H_
 
+#include <atomic>
 #include <map>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "histogram/grid_histogram.h"
@@ -31,11 +35,22 @@ struct QssExact {
 /// maximum entropy and bounded by a bucket budget. Eviction removes
 /// almost-uniform histograms first (they add nothing over the optimizer's
 /// uniformity assumption), breaking ties by LRU.
+///
+/// Thread safety: the key → histogram maps are split into kNumShards
+/// shards, each behind its own `std::shared_mutex` (lookups take it shared,
+/// insert/evict take it exclusive), and histograms are held by shared_ptr
+/// so a reader's histogram survives a concurrent eviction. Histogram
+/// *contents* are synchronized by GridHistogram itself — the shard lock is
+/// never held while fitting or estimating, which keeps the lock hierarchy
+/// flat: archive shard → histogram (see docs/CONCURRENCY.md).
 class QssArchive {
  public:
   /// A histogram is "almost uniform" (eviction candidate) below this
   /// total-variation distance from uniformity.
   static constexpr double kUniformityThreshold = 0.05;
+  /// Shards of the key space; 16 is plenty for the small pools of client
+  /// threads this engine targets while keeping the Snapshot cost trivial.
+  static constexpr size_t kNumShards = 16;
 
   explicit QssArchive(size_t bucket_budget = 4096) : bucket_budget_(bucket_budget) {}
 
@@ -43,19 +58,36 @@ class QssArchive {
   static std::string KeyFor(const std::string& table,
                             std::vector<std::string> column_names);
 
+  /// Raw-pointer lookups kept for single-threaded callers and tests. The
+  /// pointer stays valid as long as the entry is not evicted; concurrent
+  /// code should prefer FindShared / GetOrCreateShared.
   GridHistogram* Find(const std::string& key);
   const GridHistogram* Find(const std::string& key) const;
+  std::shared_ptr<GridHistogram> FindShared(const std::string& key) const;
 
   /// Creates (single-cell over `domain`) if absent.
   GridHistogram* GetOrCreate(const std::string& key,
                              std::vector<std::string> column_names,
                              std::vector<Interval> domain, double total_rows,
                              uint64_t now);
+  std::shared_ptr<GridHistogram> GetOrCreateShared(const std::string& key,
+                                                   std::vector<std::string> column_names,
+                                                   std::vector<Interval> domain,
+                                                   double total_rows, uint64_t now);
 
   /// Estimated fraction for `box` from the keyed histogram, if present.
-  /// Touches the histogram's LRU stamp.
+  /// Pure read: does NOT touch the LRU stamp, so shared-lock readers never
+  /// write (the optimizer's estimation path calls the touching overload
+  /// below exactly once per consultation instead).
+  std::optional<double> EstimateFraction(const std::string& key, const Box& box) const;
+
+  /// Estimate + LRU touch at logical time `now` — one optimizer
+  /// consultation of the keyed histogram.
   std::optional<double> EstimateFraction(const std::string& key, const Box& box,
                                          uint64_t now);
+
+  /// Marks the keyed histogram as used at logical time `now`.
+  void Touch(const std::string& key, uint64_t now);
 
   /// The §3.3.2 accuracy of the keyed histogram for `box`, if present.
   std::optional<double> Accuracy(const std::string& key, const Box& box) const;
@@ -64,18 +96,28 @@ class QssArchive {
   /// number of histograms evicted (observability feeds on this).
   size_t EnforceBudget();
 
-  size_t bucket_budget() const { return bucket_budget_; }
-  void set_bucket_budget(size_t b) { bucket_budget_ = b; }
+  size_t bucket_budget() const { return bucket_budget_.load(std::memory_order_relaxed); }
+  void set_bucket_budget(size_t b) { bucket_budget_.store(b, std::memory_order_relaxed); }
   size_t total_buckets() const;
-  size_t size() const { return histograms_.size(); }
-  void Clear() { histograms_.clear(); }
+  size_t size() const;
+  void Clear();
 
-  /// Stable iteration for migration and introspection.
-  const std::map<std::string, GridHistogram>& histograms() const { return histograms_; }
+  /// Key-sorted snapshot of the archive for migration and introspection.
+  /// Entries are shared_ptrs, so they stay valid however long the caller
+  /// holds them, even across concurrent evictions.
+  std::vector<std::pair<std::string, std::shared_ptr<GridHistogram>>> Snapshot() const;
 
  private:
-  std::map<std::string, GridHistogram> histograms_;
-  size_t bucket_budget_;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::map<std::string, std::shared_ptr<GridHistogram>> histograms;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+
+  Shard shards_[kNumShards];
+  std::atomic<size_t> bucket_budget_;
 };
 
 }  // namespace jits

@@ -59,7 +59,7 @@ double SensitivityAnalysis::AccuracyOfStat(const QueryBlock& block,
   }
   // Catalog histogram for single-column stats.
   if (columns.size() == 1 && catalog_ != nullptr) {
-    const TableStats* stats = catalog_->FindStats(table);
+    std::shared_ptr<const TableStats> stats = catalog_->StatsSnapshot(table);
     const int col = table->schema().FindColumn(columns[0]);
     if (stats != nullptr && col >= 0 && stats->HasColumn(static_cast<size_t>(col))) {
       const EquiDepthHistogram& h = stats->columns[static_cast<size_t>(col)].histogram;
@@ -94,10 +94,10 @@ TableDecision SensitivityAnalysis::ShouldCollectStats(
   double max_acc = 0;
   if (g != nullptr && history_ != nullptr) {
     const std::string colgrp = g->ColumnSetKey(block);
-    for (const StatHistoryEntry* h :
+    for (const StatHistoryEntry& h :
          history_->EntriesForGroup(ToLower(table->name()), colgrp)) {
-      double accu = h->FoldedErrorFactor();
-      for (const std::string& stat : h->statlist) {
+      double accu = h.FoldedErrorFactor();
+      for (const std::string& stat : h.statlist) {
         accu *= AccuracyOfStat(block, stat, *g);
       }
       max_acc = std::max(max_acc, accu);
@@ -106,7 +106,8 @@ TableDecision SensitivityAnalysis::ShouldCollectStats(
   decision.s1 = 1.0 - max_acc;
 
   // s2 = data activity since the last collection.
-  const TableStats* stats = (catalog_ != nullptr) ? catalog_->FindStats(table) : nullptr;
+  std::shared_ptr<const TableStats> stats =
+      (catalog_ != nullptr) ? catalog_->StatsSnapshot(table) : nullptr;
   const double card = (stats != nullptr) ? std::max(1.0, stats->cardinality)
                                          : static_cast<double>(
                                                std::max<size_t>(1, table->num_rows()));
@@ -130,8 +131,8 @@ bool SensitivityAnalysis::ShouldMaterialize(const QueryBlock& block,
   if (history_ == nullptr || history_->size() == 0) return false;
   const double f = static_cast<double>(history_->size());
   double score = 0;
-  for (const StatHistoryEntry* h : history_->EntriesUsingStat(key)) {
-    score += h->FoldedErrorFactor() * h->count / f;
+  for (const StatHistoryEntry& h : history_->EntriesUsingStat(key)) {
+    score += h.FoldedErrorFactor() * h.count / f;
   }
   return score >= config_.s_max;
 }

@@ -1,6 +1,8 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_set>
 
 #include "common/str_util.h"
@@ -8,11 +10,32 @@
 #include "core/query_analysis.h"
 #include "exec/bitvector.h"
 #include "exec/executor.h"
+#include "exec/parallel_scan.h"
 #include "exec/predicate_eval.h"
 #include "sql/parser.h"
 #include "storage/sampler.h"
 
 namespace jits {
+namespace {
+
+/// Statement-level table locks. Tables are locked in Table* address order so
+/// two statements over the same table set never deadlock, and duplicates
+/// (self-joins) are collapsed to one lock.
+std::vector<Table*> SortedUniqueTables(std::vector<Table*> tables) {
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  return tables;
+}
+
+std::vector<std::shared_lock<std::shared_mutex>> LockShared(
+    const std::vector<Table*>& tables) {
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(tables.size());
+  for (Table* t : tables) locks.emplace_back(t->rw_mu());
+  return locks;
+}
+
+}  // namespace
 
 Database::Database(uint64_t seed)
     : workload_stats_(SIZE_MAX),  // static store: no eviction
@@ -20,6 +43,8 @@ Database::Database(uint64_t seed)
       jits_(&catalog_, &archive_, &history_),
       rng_(seed) {
   feedback_.set_metrics(&metrics_);
+  // Even without a pool, the collector must serialize the shared Rng.
+  jits_.set_runtime(nullptr, &rng_mu_);
 }
 
 Status Database::Execute(const std::string& sql) {
@@ -29,21 +54,27 @@ Status Database::Execute(const std::string& sql) {
 
 Status Database::Execute(const std::string& sql, QueryResult* result) {
   *result = QueryResult();
-  ++clock_;
+  const uint64_t now = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   Stopwatch total_watch;
-  tracer_.BeginQuery(sql);
+  obs_.SetGauge("engine.concurrent_sessions",
+                static_cast<double>(active_sessions_.fetch_add(1) + 1));
+  // The tracer is single-session state; a disabled tracer must stay
+  // untouched so concurrent sessions never race on it.
+  if (tracer_.enabled()) tracer_.BeginQuery(sql);
   // Count up front so a SHOW METRICS snapshot taken mid-statement includes
   // the statement itself (its latency.parse already does).
   metrics_.GetCounter("queries.total")->Increment();
-  const Status status = ExecuteInner(sql, result, total_watch);
+  const Status status = ExecuteInner(sql, result, total_watch, now);
   result->total_seconds = total_watch.Seconds();
   obs_.ObserveLatency("latency.total", result->total_seconds);
-  result->trace = tracer_.EndQuery();
+  if (tracer_.enabled()) result->trace = tracer_.EndQuery();
+  obs_.SetGauge("engine.concurrent_sessions",
+                static_cast<double>(active_sessions_.fetch_sub(1) - 1));
   return status;
 }
 
 Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
-                              const Stopwatch& total_watch) {
+                              const Stopwatch& total_watch, uint64_t now) {
   Result<StatementAst> ast = [&] {
     TraceSpan span(&tracer_, "parse");
     Stopwatch watch;
@@ -63,24 +94,41 @@ Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
 
   Status status;
   if (auto* block = std::get_if<QueryBlock>(&bound.value())) {
-    status = RunSelect(block, result, total_watch);
+    // SELECT: shared locks on every referenced table for the whole
+    // statement (compilation samples the tables too).
+    std::vector<Table*> tables;
+    tables.reserve(block->tables.size());
+    for (const TableRef& tr : block->tables) tables.push_back(tr.table);
+    const auto locks = LockShared(SortedUniqueTables(std::move(tables)));
+    status = RunSelect(block, result, total_watch, now);
   } else if (auto* insert = std::get_if<BoundInsert>(&bound.value())) {
+    std::unique_lock<std::shared_mutex> lock(insert->table->rw_mu());
     status = RunInsert(*insert, result);
   } else if (auto* update = std::get_if<BoundUpdate>(&bound.value())) {
+    std::unique_lock<std::shared_mutex> lock(update->table->rw_mu());
     status = RunUpdate(*update, result);
   } else if (auto* del = std::get_if<BoundDelete>(&bound.value())) {
+    std::unique_lock<std::shared_mutex> lock(del->table->rw_mu());
     status = RunDelete(*del, result);
   } else if (auto* create = std::get_if<CreateTableAst>(&bound.value())) {
     Result<Table*> table = catalog_.CreateTable(create->table, Schema(create->columns));
     status = table.ok() ? Status::OK() : table.status();
   } else if (auto* analyze = std::get_if<AnalyzeAst>(&bound.value())) {
     RunStatsOptions options;
+    // ANALYZE reads rows (shared lock) and draws from the engine Rng. Lock
+    // order must match the SELECT sampling path: table lock, then rng —
+    // the collector takes the Rng mutex while the statement's shared table
+    // locks are already held.
     if (analyze->table.empty()) {
-      status = RunStatsAll(&catalog_, options, &rng_, clock_);
+      const auto locks = LockShared(SortedUniqueTables(catalog_.tables()));
+      std::lock_guard<std::mutex> rng_lock(rng_mu_);
+      status = RunStatsAll(&catalog_, options, &rng_, now);
       result->num_rows = catalog_.tables().size();
     } else {
-      status = RunStats(&catalog_, catalog_.FindTable(analyze->table), options, &rng_,
-                        clock_);
+      Table* table = catalog_.FindTable(analyze->table);
+      std::shared_lock<std::shared_mutex> lock(table->rw_mu());
+      std::lock_guard<std::mutex> rng_lock(rng_mu_);
+      status = RunStats(&catalog_, table, options, &rng_, now);
       result->num_rows = 1;
     }
   } else if (auto* show = std::get_if<ShowAst>(&bound.value())) {
@@ -112,7 +160,7 @@ void PlanTextToRows(const std::string& plan_text, QueryResult* result) {
 }  // namespace
 
 Status Database::RunSelect(QueryBlock* block, QueryResult* result,
-                           const Stopwatch& compile_watch) {
+                           const Stopwatch& compile_watch, uint64_t now) {
   result->is_query = true;
 
   // --- Compilation: JITS pass, then plan generation & costing. ---
@@ -122,7 +170,7 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
   const double materialized_before = metrics_.CounterValue("jits.groups_materialized");
   Stopwatch jits_watch;
   const JitsPrepareResult jits =
-      jits_.Prepare(*block, jits_config_, &rng_, clock_, &obs_);
+      jits_.Prepare(*block, jits_config_, &rng_, now, &obs_);
   obs_.ObserveLatency("latency.jits", jits_watch.Seconds());
   result->tables_sampled = static_cast<size_t>(
       metrics_.CounterValue("jits.tables_sampled") - sampled_before);
@@ -134,7 +182,7 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
   sources.archive = &archive_;
   sources.static_stats = &workload_stats_;
   sources.exact = &jits.exact;
-  sources.now = clock_;
+  sources.now = now;
   sources.history = &history_;
   sources.use_feedback_correction = leo_correction_;
 
@@ -158,7 +206,7 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
 
   // --- Execution. ---
   Stopwatch exec_watch;
-  Executor executor(block);
+  Executor executor(block, exec_pool_.get(), &obs_);
   Result<ExecResult> exec = [&] {
     TraceSpan span(&tracer_, "execute");
     Stopwatch watch;
@@ -490,26 +538,24 @@ Status Database::RunInsert(const BoundInsert& stmt, QueryResult* result) {
 
 namespace {
 
-/// Row ids of `table` matching all predicates (full scan).
+/// Row ids of `table` matching all predicates (full scan, morsel-parallel
+/// when a pool is supplied). Caller holds the statement lock on `table`.
 std::vector<uint32_t> MatchingRows(Table* table,
-                                   const std::vector<LocalPredicate>& preds) {
+                                   const std::vector<LocalPredicate>& preds,
+                                   ThreadPool* pool, const ObsContext* obs) {
   std::vector<CompiledPredicate> compiled;
   compiled.reserve(preds.size());
   for (const LocalPredicate& p : preds) {
     compiled.push_back(CompiledPredicate::Compile(*table, p));
   }
-  std::vector<uint32_t> rows;
-  for (uint32_t row = 0; row < table->physical_rows(); ++row) {
-    if (!table->IsVisible(row)) continue;
-    if (MatchesAll(compiled, row)) rows.push_back(row);
-  }
-  return rows;
+  return ParallelScanMatches(*table, compiled, pool, obs);
 }
 
 }  // namespace
 
 Status Database::RunUpdate(const BoundUpdate& stmt, QueryResult* result) {
-  const std::vector<uint32_t> rows = MatchingRows(stmt.table, stmt.preds);
+  const std::vector<uint32_t> rows =
+      MatchingRows(stmt.table, stmt.preds, exec_pool_.get(), &obs_);
   for (uint32_t row : rows) {
     for (const auto& [col, value] : stmt.assignments) {
       JITS_RETURN_IF_ERROR(stmt.table->UpdateRow(row, static_cast<size_t>(col), value));
@@ -520,7 +566,8 @@ Status Database::RunUpdate(const BoundUpdate& stmt, QueryResult* result) {
 }
 
 Status Database::RunDelete(const BoundDelete& stmt, QueryResult* result) {
-  const std::vector<uint32_t> rows = MatchingRows(stmt.table, stmt.preds);
+  const std::vector<uint32_t> rows =
+      MatchingRows(stmt.table, stmt.preds, exec_pool_.get(), &obs_);
   for (uint32_t row : rows) {
     JITS_RETURN_IF_ERROR(stmt.table->DeleteRow(row));
   }
@@ -531,7 +578,8 @@ Status Database::RunDelete(const BoundDelete& stmt, QueryResult* result) {
 Status Database::CollectGeneralStats(size_t sample_rows) {
   RunStatsOptions options;
   options.sample_rows = sample_rows;
-  return RunStatsAll(&catalog_, options, &rng_, clock_);
+  std::lock_guard<std::mutex> rng_lock(rng_mu_);
+  return RunStatsAll(&catalog_, options, &rng_, clock());
 }
 
 Status Database::CollectWorkloadStats(const std::vector<std::string>& workload_sql) {
@@ -588,8 +636,8 @@ Status Database::CollectWorkloadStats(const std::vector<std::string>& workload_s
       }
       const std::string key = g.ColumnSetKey(block);
       GridHistogram* hist =
-          workload_stats_.GetOrCreate(key, col_names, domain, table_rows, clock_);
-      hist->ApplyConstraint(box, count, table_rows, clock_);
+          workload_stats_.GetOrCreate(key, col_names, domain, table_rows, clock());
+      hist->ApplyConstraint(box, count, table_rows, clock());
     }
   }
   return Status::OK();
@@ -658,6 +706,6 @@ Status Database::RunShow(const ShowAst& show, QueryResult* result) {
   return Status::OK();
 }
 
-size_t Database::MigrateNow() { return MigrateStatistics(archive_, &catalog_, clock_); }
+size_t Database::MigrateNow() { return MigrateStatistics(archive_, &catalog_, clock()); }
 
 }  // namespace jits

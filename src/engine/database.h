@@ -1,12 +1,16 @@
 #ifndef JITS_ENGINE_DATABASE_H_
 #define JITS_ENGINE_DATABASE_H_
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "catalog/runstats.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/jits_module.h"
 #include "core/qss_archive.h"
@@ -42,13 +46,23 @@ struct QueryResult {
   TraceNode trace;
 };
 
-/// The engine facade: a single-session in-memory DBMS wiring together
-/// storage, catalog, SQL front end, JITS, optimizer, executor and the
-/// feedback loop. Every SELECT goes through the full paper pipeline:
+/// The engine facade: an in-memory DBMS wiring together storage, catalog,
+/// SQL front end, JITS, optimizer, executor and the feedback loop. Every
+/// SELECT goes through the full paper pipeline:
 ///
 ///   parse → bind/rewrite → [JITS: analyze → sensitivity → collect]
 ///         → optimize (QSS ≻ archive ≻ workload stats ≻ catalog ≻ defaults)
 ///         → execute → feedback (LEO-lite)
+///
+/// Concurrency: Execute() is safe to call from any number of client threads
+/// at once. Statements serialize per table through statement-level
+/// reader/writer locks (SELECT/ANALYZE shared, DML exclusive; acquired in
+/// Table* address order), while the JITS state — archive, history, catalog
+/// stats, in-flight sampling guard — is internally synchronized. Tracing
+/// remains a single-session debugging facility: enable the tracer only when
+/// one thread drives the engine. Configuration setters (jits_config,
+/// set_row_limit, set_exec_threads, ...) are NOT synchronized — configure
+/// before spawning clients. See docs/CONCURRENCY.md.
 class Database {
  public:
   explicit Database(uint64_t seed = 42);
@@ -83,10 +97,20 @@ class Database {
   QssArchive* workload_stats() { return &workload_stats_; }
   StatHistory* history() { return &history_; }
   Rng* rng() { return &rng_; }
-  uint64_t clock() const { return clock_; }
+  uint64_t clock() const { return clock_.load(std::memory_order_relaxed); }
 
   /// Maximum number of result rows materialized into QueryResult::rows.
   void set_row_limit(size_t limit) { row_limit_ = limit; }
+
+  /// Sizes the intra-query thread pool (morsel-parallel scans, parallel
+  /// per-predicate sampling). 0 or 1 disables parallelism — the default,
+  /// which keeps single-threaded runs byte-identical to the pre-pool
+  /// engine. Configure before issuing queries.
+  void set_exec_threads(size_t n) {
+    exec_pool_ = (n > 1) ? std::make_unique<ThreadPool>(n) : nullptr;
+    jits_.set_runtime(exec_pool_.get(), &rng_mu_);
+  }
+  ThreadPool* exec_pool() { return exec_pool_.get(); }
 
   /// LEO-style feedback correction: assumption-based estimates are divided
   /// by the errorFactor recorded for the same (colgrp, statlist). An
@@ -96,8 +120,9 @@ class Database {
 
  private:
   Status ExecuteInner(const std::string& sql, QueryResult* result,
-                      const Stopwatch& total_watch);
-  Status RunSelect(QueryBlock* block, QueryResult* result, const Stopwatch& compile_watch);
+                      const Stopwatch& total_watch, uint64_t now);
+  Status RunSelect(QueryBlock* block, QueryResult* result, const Stopwatch& compile_watch,
+                   uint64_t now);
   Status AggregateAndMaterialize(const QueryBlock& block, const struct Relation& output,
                                  QueryResult* result);
   Status RunInsert(const BoundInsert& stmt, QueryResult* result);
@@ -117,7 +142,10 @@ class Database {
   JitsModule jits_;
   JitsConfig jits_config_;
   Rng rng_;
-  uint64_t clock_ = 0;
+  std::mutex rng_mu_;  // serializes rng_ across concurrent sessions
+  std::unique_ptr<ThreadPool> exec_pool_;
+  std::atomic<uint64_t> clock_{0};
+  std::atomic<int> active_sessions_{0};
   size_t row_limit_ = 100;
   bool leo_correction_ = false;
 };

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "exec/parallel_scan.h"
 #include "exec/predicate_eval.h"
 #include "storage/index.h"
 #include "storage/table.h"
@@ -70,11 +71,7 @@ Result<Relation> Executor::ExecuteScan(const PlanNode& node, ExecResult* result)
   } else {
     const std::vector<CompiledPredicate> preds =
         CompilePredicates(*table, block_->local_preds, node.pred_indices);
-    const uint32_t n = static_cast<uint32_t>(table->physical_rows());
-    for (uint32_t row = 0; row < n; ++row) {
-      if (!table->IsVisible(row)) continue;
-      if (MatchesAll(preds, row)) out.data.push_back(row);
-    }
+    out.data = ParallelScanMatches(*table, preds, pool_, obs_);
   }
 
   if (!node.pred_indices.empty()) {

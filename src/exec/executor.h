@@ -50,12 +50,21 @@ struct ExecResult {
   std::vector<std::pair<const PlanNode*, double>> node_actuals;
 };
 
+class ThreadPool;
+struct ObsContext;
+
 /// Pull-free materializing executor for the physical plans produced by the
 /// optimizer. Each operator fully materializes its output (row ids only, so
 /// intermediates stay small at this engine's scale).
+///
+/// With a ThreadPool, sequential base-table scans are parallelized
+/// morsel-style (exec/parallel_scan.h); `pool`/`obs` may be null for the
+/// single-threaded behavior tests and benchmarks rely on.
 class Executor {
  public:
-  explicit Executor(const QueryBlock* block) : block_(block) {}
+  explicit Executor(const QueryBlock* block, ThreadPool* pool = nullptr,
+                    const ObsContext* obs = nullptr)
+      : block_(block), pool_(pool), obs_(obs) {}
 
   Result<ExecResult> Execute(const PlanNode& root);
 
@@ -66,6 +75,8 @@ class Executor {
   Result<Relation> ExecuteIndexNLJoin(const PlanNode& node, ExecResult* result);
 
   const QueryBlock* block_;
+  ThreadPool* pool_ = nullptr;
+  const ObsContext* obs_ = nullptr;
 };
 
 }  // namespace jits

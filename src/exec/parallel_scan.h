@@ -1,0 +1,38 @@
+#ifndef JITS_EXEC_PARALLEL_SCAN_H_
+#define JITS_EXEC_PARALLEL_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "exec/predicate_eval.h"
+#include "obs/obs_context.h"
+
+namespace jits {
+
+class Table;
+
+/// Morsel size of the parallel scan, in physical row slots. Coarse enough
+/// that per-morsel overhead is negligible, fine enough that a handful of
+/// morsels load-balance across a small pool.
+inline constexpr size_t kScanMorselRows = 4096;
+
+/// Row ids of visible rows of `table` matching all compiled predicates.
+///
+/// With a pool of more than one thread and at least two morsels of rows,
+/// the physical row range is partitioned into morsels evaluated in
+/// parallel; per-morsel results are concatenated in morsel order, so the
+/// output is identical to the sequential scan (the determinism guarantee
+/// the single-thread regression test pins down). Emits one
+/// `exec.scan.parallel_tasks` count per morsel actually run in parallel.
+///
+/// Thread safety: callers must hold at least a shared statement lock on
+/// `table` so no writer mutates rows underneath the morsels.
+std::vector<uint32_t> ParallelScanMatches(const Table& table,
+                                          const std::vector<CompiledPredicate>& preds,
+                                          ThreadPool* pool,
+                                          const ObsContext* obs = nullptr);
+
+}  // namespace jits
+
+#endif  // JITS_EXEC_PARALLEL_SCAN_H_

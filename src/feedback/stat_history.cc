@@ -14,6 +14,7 @@ double StatHistoryEntry::FoldedErrorFactor() const {
 void StatHistory::Record(const std::string& table, const std::string& colgrp,
                          std::vector<std::string> statlist, double error_factor) {
   std::sort(statlist.begin(), statlist.end());
+  std::lock_guard<std::mutex> lock(mu_);
   for (StatHistoryEntry& e : entries_) {
     if (e.table == table && e.colgrp == colgrp && e.statlist == statlist) {
       e.count += 1;
@@ -30,27 +31,45 @@ void StatHistory::Record(const std::string& table, const std::string& colgrp,
   entries_.push_back(std::move(e));
 }
 
-std::vector<const StatHistoryEntry*> StatHistory::EntriesForGroup(
+std::vector<StatHistoryEntry> StatHistory::EntriesForGroup(
     const std::string& table, const std::string& colgrp) const {
-  std::vector<const StatHistoryEntry*> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StatHistoryEntry> out;
   for (const StatHistoryEntry& e : entries_) {
-    if (e.table == table && e.colgrp == colgrp) out.push_back(&e);
+    if (e.table == table && e.colgrp == colgrp) out.push_back(e);
   }
   return out;
 }
 
-std::vector<const StatHistoryEntry*> StatHistory::EntriesUsingStat(
+std::vector<StatHistoryEntry> StatHistory::EntriesUsingStat(
     const std::string& stat_key) const {
-  std::vector<const StatHistoryEntry*> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StatHistoryEntry> out;
   for (const StatHistoryEntry& e : entries_) {
     if (std::find(e.statlist.begin(), e.statlist.end(), stat_key) != e.statlist.end()) {
-      out.push_back(&e);
+      out.push_back(e);
     }
   }
   return out;
 }
 
+std::vector<StatHistoryEntry> StatHistory::SnapshotEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+size_t StatHistory::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void StatHistory::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
 std::string StatHistory::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = StrFormat("%-14s %-28s %-44s %8s %12s\n", "T", "colgrp", "statlist",
                               "count", "errorfactor");
   for (const StatHistoryEntry& e : entries_) {

@@ -1,6 +1,7 @@
 #ifndef JITS_FEEDBACK_STAT_HISTORY_H_
 #define JITS_FEEDBACK_STAT_HISTORY_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,27 +26,40 @@ struct StatHistoryEntry {
 /// The statistics-collection history consumed by the sensitivity analysis
 /// (Algorithms 3 and 4). Entries are keyed by (table, colgrp, statlist);
 /// re-observations bump `count` and refresh `error_factor`.
+///
+/// Thread safety: all members are guarded by an internal mutex; queries
+/// return entries by value so callers never hold pointers into the live
+/// vector. The lone exception is `entries()`, kept for single-threaded
+/// tests/introspection — concurrent code must use SnapshotEntries().
 class StatHistory {
  public:
   /// Upserts an observation.
   void Record(const std::string& table, const std::string& colgrp,
               std::vector<std::string> statlist, double error_factor);
 
-  /// Entries whose estimated group is (table, colgrp).
-  std::vector<const StatHistoryEntry*> EntriesForGroup(const std::string& table,
-                                                       const std::string& colgrp) const;
+  /// Entries whose estimated group is (table, colgrp). By value: safe to
+  /// use while other threads Record().
+  std::vector<StatHistoryEntry> EntriesForGroup(const std::string& table,
+                                                const std::string& colgrp) const;
 
   /// Entries whose statlist contains `stat_key` (Algorithm 4's H).
-  std::vector<const StatHistoryEntry*> EntriesUsingStat(const std::string& stat_key) const;
+  std::vector<StatHistoryEntry> EntriesUsingStat(const std::string& stat_key) const;
 
+  /// Copy of all entries — the concurrency-safe enumeration.
+  std::vector<StatHistoryEntry> SnapshotEntries() const;
+
+  /// Direct reference to the live vector. NOT synchronized — only valid
+  /// while no other thread mutates the history (single-threaded tests).
   const std::vector<StatHistoryEntry>& entries() const { return entries_; }
-  size_t size() const { return entries_.size(); }
-  void Clear() { entries_.clear(); }
+
+  size_t size() const;
+  void Clear();
 
   std::string ToString() const;
 
  private:
   std::vector<StatHistoryEntry> entries_;
+  mutable std::mutex mu_;
 };
 
 }  // namespace jits

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <mutex>
 
 #include "common/str_util.h"
 
@@ -43,6 +44,62 @@ GridHistogram::GridHistogram(std::vector<std::string> column_names,
   RecomputeStrides();
 }
 
+GridHistogram::GridHistogram(const GridHistogram& other) {
+  std::shared_lock<std::shared_mutex> lock(other.mu_);
+  column_names_ = other.column_names_;
+  boundaries_ = other.boundaries_;
+  strides_ = other.strides_;
+  counts_ = other.counts_;
+  stamps_ = other.stamps_;
+  constraints_ = other.constraints_;
+  last_used_.store(other.last_used_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+}
+
+GridHistogram& GridHistogram::operator=(const GridHistogram& other) {
+  if (this == &other) return *this;
+  std::unique_lock<std::shared_mutex> lhs(mu_, std::defer_lock);
+  std::shared_lock<std::shared_mutex> rhs(other.mu_, std::defer_lock);
+  std::lock(lhs, rhs);
+  column_names_ = other.column_names_;
+  boundaries_ = other.boundaries_;
+  strides_ = other.strides_;
+  counts_ = other.counts_;
+  stamps_ = other.stamps_;
+  constraints_ = other.constraints_;
+  last_used_.store(other.last_used_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  return *this;
+}
+
+GridHistogram::GridHistogram(GridHistogram&& other) noexcept {
+  std::unique_lock<std::shared_mutex> lock(other.mu_);
+  column_names_ = std::move(other.column_names_);
+  boundaries_ = std::move(other.boundaries_);
+  strides_ = std::move(other.strides_);
+  counts_ = std::move(other.counts_);
+  stamps_ = std::move(other.stamps_);
+  constraints_ = std::move(other.constraints_);
+  last_used_.store(other.last_used_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+}
+
+GridHistogram& GridHistogram::operator=(GridHistogram&& other) noexcept {
+  if (this == &other) return *this;
+  std::unique_lock<std::shared_mutex> lhs(mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> rhs(other.mu_, std::defer_lock);
+  std::lock(lhs, rhs);
+  column_names_ = std::move(other.column_names_);
+  boundaries_ = std::move(other.boundaries_);
+  strides_ = std::move(other.strides_);
+  counts_ = std::move(other.counts_);
+  stamps_ = std::move(other.stamps_);
+  constraints_ = std::move(other.constraints_);
+  last_used_.store(other.last_used_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  return *this;
+}
+
 size_t GridHistogram::FlatIndex(const std::vector<size_t>& idx) const {
   size_t flat = 0;
   for (size_t d = 0; d < idx.size(); ++d) flat += idx[d] * strides_[d];
@@ -56,10 +113,35 @@ void GridHistogram::RecomputeStrides() {
   }
 }
 
-double GridHistogram::total_rows() const {
+double GridHistogram::TotalRowsUnlocked() const {
   double t = 0;
   for (double c : counts_) t += c;
   return t;
+}
+
+double GridHistogram::total_rows() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return TotalRowsUnlocked();
+}
+
+std::vector<double> GridHistogram::boundaries(size_t dim) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return boundaries_[dim];
+}
+
+size_t GridHistogram::num_cells() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return counts_.size();
+}
+
+double GridHistogram::CellCount(const std::vector<size_t>& idx) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return counts_[FlatIndex(idx)];
+}
+
+uint64_t GridHistogram::CellTimestamp(const std::vector<size_t>& idx) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return stamps_[FlatIndex(idx)];
 }
 
 bool GridHistogram::InsertBoundary(size_t dim, double x) {
@@ -277,9 +359,10 @@ Box GridHistogram::ClampToDomain(const Box& box) const {
 
 size_t GridHistogram::ApplyConstraint(const Box& box_in, double box_rows,
                                       double table_rows, uint64_t now) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   // 1. Rescale to the current table cardinality (stored constraints scale
   // along so older knowledge stays proportionally valid).
-  const double t = total_rows();
+  const double t = TotalRowsUnlocked();
   if (t > 0 && table_rows > 0 && !NearlyEqual(t, table_rows)) {
     const double f = table_rows / t;
     for (double& c : counts_) c *= f;
@@ -418,7 +501,8 @@ size_t GridHistogram::ApplyConstraint(const Box& box_in, double box_rows,
 }
 
 double GridHistogram::EstimateBoxFraction(const Box& box_in) const {
-  const double t = total_rows();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const double t = TotalRowsUnlocked();
   if (t <= 0) return 0;
   Box box = ClampToDomain(box_in);
   std::vector<size_t> sizes(num_dims());
@@ -457,6 +541,7 @@ double BoundaryAccuracy1D(const std::vector<double>& bs, double value) {
 }  // namespace
 
 double GridHistogram::BoxAccuracy(const Box& box) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   double acc = 1.0;
   for (size_t d = 0; d < num_dims(); ++d) {
     const Interval iv = (d < box.size()) ? box[d] : Interval::All();
@@ -469,7 +554,8 @@ double GridHistogram::BoxAccuracy(const Box& box) const {
 }
 
 double GridHistogram::UniformityDistance() const {
-  const double t = total_rows();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const double t = TotalRowsUnlocked();
   if (t <= 0) return 0;
   std::vector<size_t> sizes(num_dims());
   double total_vol = 1.0;
@@ -493,20 +579,23 @@ double GridHistogram::UniformityDistance() const {
 }
 
 uint64_t GridHistogram::min_timestamp() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   uint64_t m = stamps_.empty() ? 0 : stamps_[0];
   for (uint64_t s : stamps_) m = std::min(m, s);
   return m;
 }
 
 uint64_t GridHistogram::max_timestamp() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   uint64_t m = 0;
   for (uint64_t s : stamps_) m = std::max(m, s);
   return m;
 }
 
 std::string GridHistogram::ToString() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::string out = StrFormat("GridHistogram(%s) total=%.1f\n",
-                              Join(column_names_, ",").c_str(), total_rows());
+                              Join(column_names_, ",").c_str(), TotalRowsUnlocked());
   std::vector<size_t> sizes(num_dims());
   for (size_t d = 0; d < num_dims(); ++d) {
     sizes[d] = boundaries_[d].size() - 1;

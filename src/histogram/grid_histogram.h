@@ -1,7 +1,9 @@
 #ifndef JITS_HISTOGRAM_GRID_HISTOGRAM_H_
 #define JITS_HISTOGRAM_GRID_HISTOGRAM_H_
 
+#include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,13 @@ namespace jits {
 ///
 /// Per-dimension bucket counts are capped; overflowing dimensions coalesce
 /// the adjacent bucket pair with the least combined mass.
+///
+/// Thread safety: all public methods are internally synchronized with a
+/// reader/writer lock — estimation reads (EstimateBoxFraction, BoxAccuracy,
+/// UniformityDistance, ...) take it shared and may run concurrently;
+/// ApplyConstraint takes it exclusive. The LRU stamp is a relaxed atomic so
+/// Touch() never blocks readers (see docs/CONCURRENCY.md for the locking
+/// hierarchy: the histogram lock is the innermost level).
 class GridHistogram {
  public:
   /// Hard cap on buckets per dimension for 1-D histograms; higher
@@ -52,10 +61,17 @@ class GridHistogram {
   GridHistogram(std::vector<std::string> column_names, std::vector<Interval> domain,
                 double total_rows, uint64_t now);
 
+  GridHistogram(const GridHistogram& other);
+  GridHistogram& operator=(const GridHistogram& other);
+  GridHistogram(GridHistogram&& other) noexcept;
+  GridHistogram& operator=(GridHistogram&& other) noexcept;
+
   size_t num_dims() const { return column_names_.size(); }
   const std::vector<std::string>& column_names() const { return column_names_; }
-  const std::vector<double>& boundaries(size_t dim) const { return boundaries_[dim]; }
-  size_t num_cells() const { return counts_.size(); }
+  /// Boundary snapshot of one dimension (by value: the live vector can be
+  /// reshaped by a concurrent ApplyConstraint).
+  std::vector<double> boundaries(size_t dim) const;
+  size_t num_cells() const;
   double total_rows() const;
 
   /// Assimilates "box holds box_rows of table_rows total" observed at
@@ -81,13 +97,13 @@ class GridHistogram {
   uint64_t max_timestamp() const;
 
   /// LRU bookkeeping: last logical time the optimizer consulted this
-  /// histogram.
-  uint64_t last_used() const { return last_used_; }
-  void Touch(uint64_t now) { last_used_ = now; }
+  /// histogram. Relaxed atomic — safe from shared-lock read paths.
+  uint64_t last_used() const { return last_used_.load(std::memory_order_relaxed); }
+  void Touch(uint64_t now) { last_used_.store(now, std::memory_order_relaxed); }
 
   /// Cell count by multi-dimensional bucket index (tests/debugging).
-  double CellCount(const std::vector<size_t>& idx) const { return counts_[FlatIndex(idx)]; }
-  uint64_t CellTimestamp(const std::vector<size_t>& idx) const { return stamps_[FlatIndex(idx)]; }
+  double CellCount(const std::vector<size_t>& idx) const;
+  uint64_t CellTimestamp(const std::vector<size_t>& idx) const;
 
   /// Multi-line rendering used by the Figure 2 walk-through.
   std::string ToString() const;
@@ -98,6 +114,7 @@ class GridHistogram {
     double rows = 0;
   };
 
+  double TotalRowsUnlocked() const;
   size_t FlatIndex(const std::vector<size_t>& idx) const;
   void RecomputeStrides();
   /// Per-dimension bucket cap for this histogram's dimensionality.
@@ -122,7 +139,8 @@ class GridHistogram {
   std::vector<double> counts_;                   // flattened cells
   std::vector<uint64_t> stamps_;                 // flattened cells
   std::vector<StoredConstraint> constraints_;    // IPF window, oldest first
-  uint64_t last_used_ = 0;
+  std::atomic<uint64_t> last_used_{0};
+  mutable std::shared_mutex mu_;
 };
 
 }  // namespace jits

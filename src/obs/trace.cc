@@ -28,9 +28,12 @@ std::string TraceNode::ToString() const {
 }
 
 void Tracer::BeginQuery(const std::string& label) {
+  // Early-out before touching any state: a disabled tracer must be inert so
+  // concurrent sessions (which share one Tracer instance) never race on the
+  // node stack. Tracing itself is a single-session debugging facility.
+  if (!enabled_) return;
   stack_.clear();
   root_ = TraceNode();
-  if (!enabled_) return;
   root_.name = label;
   watch_.Restart();
   stack_.push_back(&root_);

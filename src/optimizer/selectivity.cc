@@ -10,7 +10,7 @@ namespace jits {
 double SelectivityEstimator::CatalogPredicateSelectivity(const Catalog& catalog,
                                                          const Table& table,
                                                          const LocalPredicate& pred) {
-  const TableStats* stats = catalog.FindStats(&table);
+  std::shared_ptr<const TableStats> stats = catalog.StatsSnapshot(&table);
   const bool has_col =
       stats != nullptr && stats->HasColumn(static_cast<size_t>(pred.col_idx));
   if (!has_col) {
@@ -76,7 +76,7 @@ std::optional<double> SelectivityEstimator::LookupWholeGroup(
     const LocalPredicate& pred =
         block_->local_preds[static_cast<size_t>(pred_indices[0])];
     const Table& table = *block_->tables[static_cast<size_t>(table_idx)].table;
-    const TableStats* stats = sources_.catalog->FindStats(&table);
+    std::shared_ptr<const TableStats> stats = sources_.catalog->StatsSnapshot(&table);
     if (stats != nullptr && stats->HasColumn(static_cast<size_t>(pred.col_idx))) {
       statlist->push_back(group.ColumnSetKey(*block_));
       ++mix->catalog;
@@ -181,9 +181,9 @@ GroupEstimate SelectivityEstimator::EstimateGroup(int table_idx,
     const std::string colgrp = group.ColumnSetKey(*block_);
     std::vector<std::string> statlist = out.statlist;
     std::sort(statlist.begin(), statlist.end());
-    for (const StatHistoryEntry* e : sources_.history->EntriesForGroup(table_key, colgrp)) {
-      if (e->statlist != statlist) continue;
-      const double ef = std::clamp(e->error_factor, 0.02, 50.0);
+    for (const StatHistoryEntry& e : sources_.history->EntriesForGroup(table_key, colgrp)) {
+      if (e.statlist != statlist) continue;
+      const double ef = std::clamp(e.error_factor, 0.02, 50.0);
       out.selectivity = std::clamp(out.selectivity / ef, 0.0, 1.0);
       out.feedback_corrected = true;
       break;
@@ -209,7 +209,7 @@ double SelectivityEstimator::EstimateTableCardinality(int table_idx) const {
 double SelectivityEstimator::EstimateJoinColumnDistinct(int table_idx, int col_idx) const {
   const Table* table = block_->tables[static_cast<size_t>(table_idx)].table;
   if (sources_.catalog != nullptr) {
-    const TableStats* stats = sources_.catalog->FindStats(table);
+    std::shared_ptr<const TableStats> stats = sources_.catalog->StatsSnapshot(table);
     if (stats != nullptr && stats->HasColumn(static_cast<size_t>(col_idx))) {
       return std::max(1.0, stats->columns[static_cast<size_t>(col_idx)].distinct);
     }

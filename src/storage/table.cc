@@ -34,15 +34,15 @@ Status Table::Insert(const Row& row) {
     columns_[i]->Append(row[i]);
   }
   tombstone_.push_back(false);
-  ++physical_rows_;
-  ++visible_rows_;
-  ++udi_counter_;
-  ++version_;
+  physical_rows_.fetch_add(1, std::memory_order_release);
+  visible_rows_.fetch_add(1, std::memory_order_release);
+  udi_counter_.fetch_add(1, std::memory_order_relaxed);
+  version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
 Status Table::UpdateRow(uint32_t row, size_t col, const Value& v) {
-  if (row >= physical_rows_ || tombstone_[row]) {
+  if (row >= physical_rows() || tombstone_[row]) {
     return Status::NotFound(StrFormat("row %u not visible in %s", row, name_.c_str()));
   }
   if (!v.CompatibleWith(schema_.column(col).type)) {
@@ -50,19 +50,19 @@ Status Table::UpdateRow(uint32_t row, size_t col, const Value& v) {
   }
   columns_[col]->Set(row, v);
   if (hash_indexes_[col] != nullptr) index_dirty_[col] = true;
-  ++udi_counter_;
-  ++version_;
+  udi_counter_.fetch_add(1, std::memory_order_relaxed);
+  version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
 Status Table::DeleteRow(uint32_t row) {
-  if (row >= physical_rows_ || tombstone_[row]) {
+  if (row >= physical_rows() || tombstone_[row]) {
     return Status::NotFound(StrFormat("row %u not visible in %s", row, name_.c_str()));
   }
   tombstone_[row] = true;
-  --visible_rows_;
-  ++udi_counter_;
-  ++version_;
+  visible_rows_.fetch_sub(1, std::memory_order_release);
+  udi_counter_.fetch_add(1, std::memory_order_relaxed);
+  version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -75,13 +75,16 @@ Row Table::GetRow(uint32_t row) const {
 
 HashIndex* Table::GetOrBuildHashIndex(size_t col) {
   if (schema_.column(col).type != DataType::kInt64) return nullptr;
+  // Two shared-lock readers may want the same index at once; serialize the
+  // lazy build/refresh so only one constructs it.
+  std::lock_guard<std::mutex> lock(index_mu_);
   std::unique_ptr<HashIndex>& slot = hash_indexes_[col];
   if (slot == nullptr) {
     slot = std::make_unique<HashIndex>(*this, col);
   } else if (index_dirty_[col]) {
     slot->Rebuild(*this, col);
     index_dirty_[col] = false;
-  } else if (slot->indexed_rows() < physical_rows_) {
+  } else if (slot->indexed_rows() < physical_rows()) {
     slot->AppendNewRows(*this, col);
   }
   return slot.get();

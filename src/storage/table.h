@@ -1,8 +1,11 @@
 #ifndef JITS_STORAGE_TABLE_H_
 #define JITS_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +22,14 @@ class HashIndex;
 /// The table tracks a UDI (update/delete/insert) counter since the last
 /// statistics collection — the data-activity signal consumed by the JITS
 /// sensitivity analysis (paper §3.3.1).
+///
+/// Thread safety: row/column data itself is NOT internally synchronized —
+/// concurrent sessions serialize through the statement-level reader/writer
+/// lock exposed as rw_mu() (SELECT/ANALYZE take it shared, DML exclusive;
+/// acquired by the engine, see docs/CONCURRENCY.md). The scalar counters
+/// are atomics so metadata reads (num_rows, udi_counter, version) are safe
+/// from any thread without the lock; lazy index construction has its own
+/// internal mutex so two shared-lock readers can race into it safely.
 class Table {
  public:
   Table(std::string name, Schema schema);
@@ -31,9 +42,9 @@ class Table {
   const Schema& schema() const { return schema_; }
 
   /// Number of visible (non-deleted) rows.
-  size_t num_rows() const { return visible_rows_; }
+  size_t num_rows() const { return visible_rows_.load(std::memory_order_acquire); }
   /// Number of physical row slots including tombstones.
-  size_t physical_rows() const { return physical_rows_; }
+  size_t physical_rows() const { return physical_rows_.load(std::memory_order_acquire); }
 
   Status Insert(const Row& row);
   Status UpdateRow(uint32_t row, size_t col, const Value& v);
@@ -49,28 +60,38 @@ class Table {
 
   /// Updates + deletes + inserts since the last ResetUdi(). Used as the
   /// staleness signal s2 = UDI / cardinality.
-  uint64_t udi_counter() const { return udi_counter_; }
-  void ResetUdi() { udi_counter_ = 0; }
+  uint64_t udi_counter() const { return udi_counter_.load(std::memory_order_relaxed); }
+  void ResetUdi() { udi_counter_.store(0, std::memory_order_relaxed); }
 
   /// Monotonic version, bumped by every mutation; consumers (indexes,
   /// cached stats) use it for invalidation.
-  uint64_t version() const { return version_; }
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   /// Returns (building lazily) an equality index on an int64 column.
-  /// Rebuilt automatically when the table version has moved.
+  /// Rebuilt automatically when the table version has moved. Internally
+  /// serialized; callers still need at least a shared statement lock so the
+  /// underlying rows don't move while indexing.
   HashIndex* GetOrBuildHashIndex(size_t col);
+
+  /// Statement-level reader/writer lock. The engine takes it shared around
+  /// reads (SELECT scans, sampling) and exclusive around DML, always after
+  /// any catalog lock and ordered by Table* address when a statement spans
+  /// several tables.
+  std::shared_mutex& rw_mu() const { return rw_mu_; }
 
  private:
   std::string name_;
   Schema schema_;
   std::vector<std::unique_ptr<Column>> columns_;
   std::vector<bool> tombstone_;
-  size_t physical_rows_ = 0;
-  size_t visible_rows_ = 0;
-  uint64_t udi_counter_ = 0;
-  uint64_t version_ = 0;
+  std::atomic<size_t> physical_rows_{0};
+  std::atomic<size_t> visible_rows_{0};
+  std::atomic<uint64_t> udi_counter_{0};
+  std::atomic<uint64_t> version_{0};
   std::vector<std::unique_ptr<HashIndex>> hash_indexes_;  // per column, may be null
   std::vector<bool> index_dirty_;  // indexed column updated in place
+  std::mutex index_mu_;            // serializes lazy index build/refresh
+  mutable std::shared_mutex rw_mu_;
 };
 
 }  // namespace jits

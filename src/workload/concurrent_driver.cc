@@ -1,0 +1,94 @@
+#include "workload/concurrent_driver.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace jits {
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+/// Per-thread tallies, merged after join — no shared mutable state between
+/// clients beyond the Database itself (that is the point of the exercise).
+struct ClientTally {
+  std::vector<double> latencies;
+  size_t statements = 0;
+  size_t queries = 0;
+  size_t errors = 0;
+};
+
+}  // namespace
+
+ConcurrentWorkloadResult RunConcurrentWorkload(const ConcurrentWorkloadOptions& options) {
+  ExperimentOptions opts = options.experiment;
+  opts.workload.scale = opts.datagen.scale;
+  const std::vector<WorkloadItem> items = GenerateWorkload(opts.workload);
+  const size_t num_threads = std::max<size_t>(1, options.num_threads);
+
+  ConcurrentWorkloadResult result;
+  result.num_threads = num_threads;
+
+  double setup_seconds = 0;
+  std::unique_ptr<Database> db =
+      BuildExperimentDatabase(options.setting, opts, items, &setup_seconds);
+  if (db == nullptr) return result;
+  if (options.exec_threads > 1) db->set_exec_threads(options.exec_threads);
+
+  std::vector<ClientTally> tallies(num_threads);
+  auto client = [&](size_t tid) {
+    ClientTally& tally = tallies[tid];
+    for (size_t i = tid; i < items.size(); i += num_threads) {
+      const WorkloadItem& item = items[i];
+      for (const std::string& sql : item.statements) {
+        QueryResult qr;
+        Stopwatch watch;
+        const Status status = db->Execute(sql, &qr);
+        tally.latencies.push_back(watch.Seconds());
+        ++tally.statements;
+        if (!item.is_update) ++tally.queries;
+        if (!status.ok()) ++tally.errors;
+      }
+    }
+  };
+
+  Stopwatch wall;
+  if (num_threads == 1) {
+    client(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(client, t);
+    for (std::thread& t : threads) t.join();
+  }
+  result.wall_seconds = wall.Seconds();
+
+  std::vector<double> latencies;
+  for (const ClientTally& tally : tallies) {
+    result.statements_run += tally.statements;
+    result.queries_run += tally.queries;
+    result.errors += tally.errors;
+    latencies.insert(latencies.end(), tally.latencies.begin(), tally.latencies.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_seconds = Percentile(latencies, 0.50);
+  result.p95_seconds = Percentile(latencies, 0.95);
+  result.p99_seconds = Percentile(latencies, 0.99);
+  result.throughput_sps = result.wall_seconds > 0
+                              ? static_cast<double>(result.statements_run) /
+                                    result.wall_seconds
+                              : 0;
+  result.metrics_json = db->metrics()->ExportJson();
+  return result;
+}
+
+}  // namespace jits

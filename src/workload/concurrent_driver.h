@@ -1,0 +1,51 @@
+#ifndef JITS_WORKLOAD_CONCURRENT_DRIVER_H_
+#define JITS_WORKLOAD_CONCURRENT_DRIVER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "workload/experiment.h"
+
+namespace jits {
+
+/// Options for a multi-client replay of the car-insurance workload.
+struct ConcurrentWorkloadOptions {
+  /// Which experimental setting the shared database is prepared for.
+  ExperimentSetting setting = ExperimentSetting::kJits;
+  ExperimentOptions experiment;
+  /// Number of client threads replaying the workload. Items are dealt
+  /// round-robin: thread t executes items i with i % num_threads == t, so
+  /// every item runs exactly once regardless of thread count.
+  size_t num_threads = 4;
+  /// Intra-query thread-pool size passed to Database::set_exec_threads
+  /// (0/1 = off). Leave off when num_threads already saturates the cores —
+  /// inter-query and intra-query parallelism compete for the same CPUs.
+  size_t exec_threads = 0;
+};
+
+/// Aggregate outcome of one concurrent replay.
+struct ConcurrentWorkloadResult {
+  size_t num_threads = 0;
+  size_t statements_run = 0;  // SELECTs + individual DML statements
+  size_t queries_run = 0;     // SELECTs only
+  size_t errors = 0;          // non-OK statuses across all threads
+  double wall_seconds = 0;
+  /// Completed statements per wall-clock second.
+  double throughput_sps = 0;
+  /// Per-statement latency distribution (seconds), merged across threads.
+  double p50_seconds = 0;
+  double p95_seconds = 0;
+  double p99_seconds = 0;
+  /// MetricsRegistry::ExportJson() after the run (includes
+  /// engine.concurrent_sessions, latency.total, jits.* counters).
+  std::string metrics_json;
+};
+
+/// Replays one deterministic workload from `num_threads` client threads
+/// against a single shared Database. Thread-count 1 degenerates to the
+/// sequential driver (same items, same order).
+ConcurrentWorkloadResult RunConcurrentWorkload(const ConcurrentWorkloadOptions& options);
+
+}  // namespace jits
+
+#endif  // JITS_WORKLOAD_CONCURRENT_DRIVER_H_

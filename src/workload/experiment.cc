@@ -128,6 +128,7 @@ WorkloadRunResult RunWorkloadExperiment(ExperimentSetting setting,
     timing.execute_seconds = qr.execute_seconds;
     timing.total_seconds = qr.total_seconds;
     timing.tables_sampled = qr.tables_sampled;
+    timing.result_rows = qr.num_rows;
     result.queries.push_back(timing);
   }
   result.workload_seconds = workload_watch.Seconds();
@@ -169,6 +170,7 @@ std::vector<WorkloadRunResult> RunPairedWorkloadExperiment(
       timing.execute_seconds = qr.execute_seconds;
       timing.total_seconds = qr.total_seconds;
       timing.tables_sampled = qr.tables_sampled;
+      timing.result_rows = qr.num_rows;
       results[s].queries.push_back(timing);
     }
   }
@@ -215,6 +217,7 @@ std::vector<WorkloadRunResult> RunPairedSmaxSweep(const std::vector<double>& s_m
       timing.execute_seconds = qr.execute_seconds;
       timing.total_seconds = qr.total_seconds;
       timing.tables_sampled = qr.tables_sampled;
+      timing.result_rows = qr.num_rows;
       results[s].queries.push_back(timing);
     }
   }
@@ -223,6 +226,18 @@ std::vector<WorkloadRunResult> RunPairedSmaxSweep(const std::vector<double>& s_m
     results[s].metrics_json = dbs[s]->metrics()->ExportJson();
   }
   return results;
+}
+
+std::string WorkloadSignature(const WorkloadRunResult& result) {
+  std::string sig;
+  sig.reserve(result.queries.size() * 16);
+  char buf[96];
+  for (const QueryTiming& q : result.queries) {
+    std::snprintf(buf, sizeof(buf), "%zu:%d:%zu:%zu|", q.item_index, q.template_id,
+                  q.result_rows, q.tables_sampled);
+    sig += buf;
+  }
+  return sig;
 }
 
 std::vector<double> FiveNumberSummary(std::vector<double> values) {

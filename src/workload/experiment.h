@@ -29,6 +29,7 @@ struct QueryTiming {
   double execute_seconds = 0;
   double total_seconds = 0;
   size_t tables_sampled = 0;  // JITS collections during this compilation
+  size_t result_rows = 0;     // query result cardinality
 };
 
 /// One workload run under one setting.
@@ -85,6 +86,12 @@ std::vector<WorkloadRunResult> RunPairedSmaxSweep(const std::vector<double>& s_m
 
 /// {min, q1, median, q3, max} of a sample (empty input -> zeros).
 std::vector<double> FiveNumberSummary(std::vector<double> values);
+
+/// Timing-free fingerprint of a workload run: per-query
+/// "item:template:rows:sampled" records joined with "|". Two runs with the
+/// same seed and configuration must produce identical signatures — the
+/// determinism regression contract (wall-clock times are excluded).
+std::string WorkloadSignature(const WorkloadRunResult& result);
 
 }  // namespace jits
 

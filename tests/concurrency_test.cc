@@ -1,0 +1,207 @@
+// Multi-threaded stress tests over one shared Database: mixed
+// SELECT/INSERT/UPDATE/DELETE/ANALYZE clients, JITS enabled, exercising the
+// statement-level table locks, the sharded QSS archive, copy-on-write
+// catalog stats and the in-flight sampling guard. The assertions are
+// deliberately structural (no crash, no error statuses, invariants hold) —
+// the real teeth come from running this suite under ThreadSanitizer in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "engine/database.h"
+#include "exec/parallel_scan.h"
+#include "exec/predicate_eval.h"
+#include "obs/metrics.h"
+#include "obs/obs_context.h"
+#include "tests/test_util.h"
+
+namespace jits {
+namespace {
+
+constexpr size_t kNumThreads = 4;
+constexpr size_t kOpsPerThread = 150;
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        db_.Execute("CREATE TABLE car (id INT, make VARCHAR, year INT, price INT)")
+            .ok());
+    ASSERT_TRUE(
+        db_.Execute("CREATE TABLE owner (id INT, carid INT, salary INT)").ok());
+    Table* car = db_.catalog()->FindTable("car");
+    Table* owner = db_.catalog()->FindTable("owner");
+    for (int i = 0; i < 2000; ++i) {
+      const char* make = (i % 4 == 0) ? "Toyota" : (i % 4 == 1) ? "Honda"
+                                                 : (i % 4 == 2) ? "Ford"
+                                                                : "BMW";
+      ASSERT_TRUE(car->Insert({Value(static_cast<int64_t>(i)), Value(make),
+                               Value(static_cast<int64_t>(1995 + i % 12)),
+                               Value(static_cast<int64_t>(5000 + i % 300))})
+                      .ok());
+      ASSERT_TRUE(owner
+                      ->Insert({Value(static_cast<int64_t>(i)),
+                                Value(static_cast<int64_t>(i)),
+                                Value(static_cast<int64_t>(1000 + i % 90))})
+                      .ok());
+    }
+    JitsConfig* config = db_.jits_config();
+    config->enabled = true;
+    config->sample_rows = 300;
+    config->archive_bucket_budget = 128;  // small: force eviction under load
+  }
+
+  /// One client: a deterministic per-thread statement stream (the
+  /// cross-thread interleaving is what varies between runs).
+  void Client(size_t tid, std::atomic<size_t>* errors) {
+    Rng rng(1000 + tid);
+    for (size_t op = 0; op < kOpsPerThread; ++op) {
+      const double dice = rng.UniformDouble(0, 1);
+      std::string sql;
+      if (dice < 0.55) {
+        sql = StrFormat("SELECT id FROM car WHERE year > %lld AND price < %lld",
+                        static_cast<long long>(rng.Uniform(1995, 2006)),
+                        static_cast<long long>(rng.Uniform(5050, 5300)));
+      } else if (dice < 0.70) {
+        sql = StrFormat("SELECT o.id FROM car c, owner o WHERE o.carid = c.id "
+                        "AND c.year = %lld AND o.salary > %lld",
+                        static_cast<long long>(rng.Uniform(1995, 2006)),
+                        static_cast<long long>(rng.Uniform(1000, 1080)));
+      } else if (dice < 0.85) {
+        sql = StrFormat("INSERT INTO car VALUES (%lld, 'Honda', %lld, %lld)",
+                        static_cast<long long>(10000 + tid * 1000 + op),
+                        static_cast<long long>(rng.Uniform(1995, 2007)),
+                        static_cast<long long>(rng.Uniform(5000, 5300)));
+      } else if (dice < 0.95) {
+        sql = StrFormat("UPDATE car SET price = %lld WHERE year = %lld",
+                        static_cast<long long>(rng.Uniform(5000, 5300)),
+                        static_cast<long long>(rng.Uniform(1995, 2006)));
+      } else {
+        sql = "ANALYZE car";
+      }
+      QueryResult qr;
+      if (!db_.Execute(sql, &qr).ok()) errors->fetch_add(1);
+    }
+  }
+
+  Database db_;
+};
+
+TEST_F(ConcurrencyTest, MixedWorkloadStressKeepsInvariants) {
+  std::atomic<size_t> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kNumThreads);
+  for (size_t t = 0; t < kNumThreads; ++t) {
+    threads.emplace_back([this, t, &errors] { Client(t, &errors); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(errors.load(), 0u);
+
+  // Archive budget respected (a single over-budget histogram is allowed —
+  // eviction never deletes the last one).
+  const QssArchive* archive = db_.archive();
+  EXPECT_TRUE(archive->total_buckets() <= archive->bucket_budget() ||
+              archive->size() <= 1)
+      << "buckets=" << archive->total_buckets()
+      << " budget=" << archive->bucket_budget() << " size=" << archive->size();
+
+  // The archive snapshot is internally consistent: every histogram carries
+  // non-negative mass and the bucket total matches the per-entry sum.
+  size_t buckets = 0;
+  for (const auto& [key, hist] : archive->Snapshot()) {
+    EXPECT_GT(hist->num_cells(), 0u) << key;
+    EXPECT_GE(hist->total_rows(), 0.0) << key;
+    buckets += hist->num_cells();
+  }
+  EXPECT_EQ(buckets, archive->total_buckets());
+
+  // StatHistory bookkeeping consistent: the snapshot matches the size and
+  // every entry was observed at least once with a finite error factor.
+  const std::vector<StatHistoryEntry> entries = db_.history()->SnapshotEntries();
+  EXPECT_EQ(entries.size(), db_.history()->size());
+  for (const StatHistoryEntry& e : entries) {
+    EXPECT_GE(e.count, 1.0) << e.table << " " << e.colgrp;
+    EXPECT_GT(e.error_factor, 0.0) << e.table << " " << e.colgrp;
+  }
+
+  // Every session exited: the gauge is back to zero.
+  EXPECT_EQ(db_.metrics()->GetGauge("engine.concurrent_sessions")->Value(), 0.0);
+}
+
+TEST_F(ConcurrencyTest, StressWithIntraQueryParallelismToo) {
+  // Same stress with the morsel pool on: inter-query and intra-query
+  // parallelism composed. Exercises ThreadPool::ParallelFor reentrancy from
+  // multiple concurrent sessions plus the in-flight sampling guard.
+  db_.set_exec_threads(3);
+  std::atomic<size_t> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kNumThreads);
+  for (size_t t = 0; t < kNumThreads; ++t) {
+    threads.emplace_back([this, t, &errors] { Client(t, &errors); });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(db_.metrics()->GetGauge("engine.concurrent_sessions")->Value(), 0.0);
+}
+
+TEST(ParallelScanTest, MatchesSequentialScanExactly) {
+  // The morsel-parallel scan must return the same row ids in the same order
+  // as the sequential path, for tables spanning several morsels and with
+  // deleted rows punched in.
+  Catalog catalog;
+  Table* t = testing_util::MakeAbsTable(&catalog, "t", 3 * kScanMorselRows + 123, 40,
+                                        160, {"p", "q", "r"});
+  for (uint32_t row = 0; row < t->physical_rows(); row += 97) {
+    ASSERT_TRUE(t->DeleteRow(row).ok());
+  }
+  LocalPredicate pred;
+  pred.table_idx = 0;
+  pred.col_idx = 0;
+  pred.op = CompareOp::kLt;
+  pred.v1 = Value(static_cast<int64_t>(17));
+  std::vector<CompiledPredicate> preds = {CompiledPredicate::Compile(*t, pred)};
+
+  const std::vector<uint32_t> seq = ParallelScanMatches(*t, preds, nullptr);
+  ASSERT_FALSE(seq.empty());
+  ThreadPool pool(4);
+  MetricsRegistry metrics;
+  ObsContext obs{&metrics, nullptr};
+  const std::vector<uint32_t> par = ParallelScanMatches(*t, preds, &pool, &obs);
+  EXPECT_EQ(par, seq);
+  // 3 full morsels + the 123-row tail = 4 dispatched tasks.
+  EXPECT_EQ(metrics.CounterValue("exec.scan.parallel_tasks"), 4.0);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsDoNotInterfere) {
+  ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        pool.ParallelFor(257, [&](size_t) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4u * 20u * 257u);
+}
+
+}  // namespace
+}  // namespace jits

@@ -1,0 +1,63 @@
+// Single-thread determinism regression: the same seed and workload
+// configuration must produce bit-identical experiment outcomes (per-query
+// result cardinalities and JITS sampling decisions), run after run. This
+// pins down the contract that the concurrency machinery — thread pool
+// plumbing, sharded archive, atomics — changes nothing when the engine is
+// driven by one thread with parallelism off.
+#include <gtest/gtest.h>
+
+#include "workload/concurrent_driver.h"
+#include "workload/experiment.h"
+
+namespace jits {
+namespace {
+
+ExperimentOptions SmallOptions() {
+  ExperimentOptions options;
+  options.datagen.scale = 0.02;
+  options.datagen.seed = 4242;
+  options.workload.num_items = 120;
+  options.workload.seed = 4249;
+  options.workload.scale = options.datagen.scale;
+  options.sample_rows = 400;
+  return options;
+}
+
+TEST(DeterminismTest, SameSeedSameWorkloadSameSignature) {
+  const ExperimentOptions options = SmallOptions();
+  const WorkloadRunResult a = RunWorkloadExperiment(ExperimentSetting::kJits, options);
+  const WorkloadRunResult b = RunWorkloadExperiment(ExperimentSetting::kJits, options);
+  ASSERT_FALSE(a.queries.empty());
+  EXPECT_EQ(a.queries.size(), b.queries.size());
+  EXPECT_EQ(WorkloadSignature(a), WorkloadSignature(b));
+  EXPECT_EQ(a.TotalCollections(), b.TotalCollections());
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  // Sanity: the signature is actually sensitive to the inputs.
+  const ExperimentOptions options = SmallOptions();
+  ExperimentOptions other = options;
+  other.datagen.seed = 777;
+  other.workload.seed = 784;
+  const WorkloadRunResult a = RunWorkloadExperiment(ExperimentSetting::kJits, options);
+  const WorkloadRunResult b = RunWorkloadExperiment(ExperimentSetting::kJits, other);
+  EXPECT_NE(WorkloadSignature(a), WorkloadSignature(b));
+}
+
+TEST(DeterminismTest, SingleThreadConcurrentDriverMatchesSequential) {
+  // The concurrent driver at one thread replays the exact same statement
+  // stream, so the engine ends in the same state: same statement count,
+  // zero errors.
+  ConcurrentWorkloadOptions copts;
+  copts.setting = ExperimentSetting::kJits;
+  copts.experiment = SmallOptions();
+  copts.num_threads = 1;
+  const ConcurrentWorkloadResult r1 = RunConcurrentWorkload(copts);
+  const ConcurrentWorkloadResult r2 = RunConcurrentWorkload(copts);
+  EXPECT_EQ(r1.errors, 0u);
+  EXPECT_EQ(r1.statements_run, r2.statements_run);
+  EXPECT_EQ(r1.queries_run, r2.queries_run);
+}
+
+}  // namespace
+}  // namespace jits

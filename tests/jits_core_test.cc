@@ -41,6 +41,45 @@ TEST(QssArchiveTest, EstimateTouchesLru) {
   EXPECT_FALSE(archive.EstimateFraction("missing", {Interval{0, 5}}, 8).has_value());
 }
 
+TEST(QssArchiveTest, ReadPathDoesNotTouchLru) {
+  // The 2-arg overload is a pure read: lookup and LRU touch are split so
+  // concurrent estimation probes (which may race and retry) never mutate
+  // the eviction order as a side effect. Only the explicit 3-arg overload
+  // and Touch() stamp recency.
+  QssArchive archive;
+  archive.GetOrCreate("t(a)", {"a"}, {Interval{0, 10}}, 100, 1);
+  archive.Touch("t(a)", 4);
+  for (int i = 0; i < 10; ++i) {
+    std::optional<double> est = archive.EstimateFraction("t(a)", {Interval{0, 5}});
+    ASSERT_TRUE(est.has_value());
+    EXPECT_NEAR(*est, 0.5, 1e-9);
+  }
+  EXPECT_EQ(archive.Find("t(a)")->last_used(), 4u);  // reads left no stamp
+  EXPECT_FALSE(archive.EstimateFraction("missing", {Interval{0, 5}}).has_value());
+}
+
+TEST(QssArchiveTest, EvictionOrderUnaffectedByReadOnlyEstimates) {
+  // Two skewed histograms; "old" is hammered with read-only estimates after
+  // its last touch while "new" is touched later. Eviction under budget
+  // pressure must still pick "old" — the reads must not have refreshed it.
+  QssArchive archive(/*bucket_budget=*/3);
+  GridHistogram* old_hist =
+      archive.GetOrCreate("t(old)", {"a"}, {Interval{0, 10}}, 100, 1);
+  old_hist->ApplyConstraint({Interval{0, 2}}, 90, 100, 2);  // skewed
+  archive.Touch("t(old)", 3);
+  GridHistogram* new_hist =
+      archive.GetOrCreate("t(new)", {"b"}, {Interval{0, 10}}, 100, 1);
+  new_hist->ApplyConstraint({Interval{8, 10}}, 90, 100, 2);  // skewed
+  archive.Touch("t(new)", 8);
+
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(archive.EstimateFraction("t(old)", {Interval{0, 2}}).has_value());
+  }
+  archive.EnforceBudget();
+  EXPECT_EQ(archive.Find("t(old)"), nullptr);
+  EXPECT_NE(archive.Find("t(new)"), nullptr);
+}
+
 TEST(QssArchiveTest, EvictsAlmostUniformFirst) {
   QssArchive archive(/*bucket_budget=*/5);
   // Uniform histogram (no information).
