@@ -47,16 +47,21 @@ int main() {
     std::printf("%8zu %12.1f %11.2fx %10.3f %10.3f %10.3f %8zu %8.2f\n", n,
                 r.throughput_sps, speedup, r.p50_seconds * 1e3, r.p95_seconds * 1e3,
                 r.p99_seconds * 1e3, r.errors, r.wall_seconds);
-    std::printf(
-        "JITS_RESULT {\"experiment\":\"concurrent_workload\",\"setting\":\"jits\","
-        "\"scale\":%.4f,\"items\":%zu,\"threads\":%zu,\"statements\":%zu,"
-        "\"queries\":%zu,\"errors\":%zu,\"wall_seconds\":%.6f,"
-        "\"throughput_sps\":%.3f,\"speedup\":%.3f,\"p50_seconds\":%.6f,"
-        "\"p95_seconds\":%.6f,\"p99_seconds\":%.6f,\"metrics\":%s}\n",
-        options.datagen.scale, options.workload.num_items, n, r.statements_run,
-        r.queries_run, r.errors, r.wall_seconds, r.throughput_sps, speedup,
-        r.p50_seconds, r.p95_seconds, r.p99_seconds,
-        r.metrics_json.empty() ? "{}" : r.metrics_json.c_str());
+    bench::JsonResultLine("concurrent_workload", "jits")
+        .Num("scale", options.datagen.scale, 4)
+        .Count("items", options.workload.num_items)
+        .Count("threads", n)
+        .Count("statements", r.statements_run)
+        .Count("queries", r.queries_run)
+        .Count("errors", r.errors)
+        .Num("wall_seconds", r.wall_seconds)
+        .Num("throughput_sps", r.throughput_sps, 3)
+        .Num("speedup", speedup, 3)
+        .Num("p50_seconds", r.p50_seconds)
+        .Num("p95_seconds", r.p95_seconds)
+        .Num("p99_seconds", r.p99_seconds)
+        .Json("metrics", r.metrics_json)
+        .Print();
   }
   return 0;
 }

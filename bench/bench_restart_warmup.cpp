@@ -1,0 +1,151 @@
+// Restart warm-up: what does the durable statistics store buy a freshly
+// started engine? Two runs of the identical query workload:
+//
+//   cold  — empty data directory: JITS builds its archive from scratch,
+//           sampling tables as queries arrive, then checkpoints on close.
+//   warm  — a new Database recovers that checkpoint before serving: the
+//           archive/history/catalog stats arrive pre-built, so compilations
+//           should skip most sampling and start fast.
+//
+// The workload is query-only (update_fraction = 0): table *data* is not
+// persisted, so updates would make the recovered statistics legitimately
+// stale and the comparison meaningless.
+//
+// Env knobs: JITS_SCALE / JITS_ITEMS / JITS_SEED as usual, plus
+// JITS_DATA_DIR to place the store somewhere other than the default
+// ./bench_restart_data (wiped before the cold run).
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "workload/experiment.h"
+
+namespace {
+
+using namespace jits;
+
+struct PhaseStats {
+  size_t queries = 0;
+  size_t tables_sampled = 0;
+  double compile_seconds = 0;
+  double wall_seconds = 0;
+};
+
+PhaseStats RunQueries(Database* db, const std::vector<WorkloadItem>& items) {
+  PhaseStats stats;
+  Stopwatch wall;
+  for (const WorkloadItem& item : items) {
+    if (item.is_update) continue;
+    QueryResult qr;
+    Status status = db->Execute(item.sql(), &qr);
+    if (!status.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", status.ToString().c_str());
+      continue;
+    }
+    stats.queries += 1;
+    stats.tables_sampled += qr.tables_sampled;
+    stats.compile_seconds += qr.compile_seconds;
+  }
+  stats.wall_seconds = wall.Seconds();
+  return stats;
+}
+
+std::unique_ptr<Database> MakeJitsDatabase(const ExperimentOptions& options) {
+  auto db = std::make_unique<Database>(options.datagen.seed);
+  db->set_row_limit(0);
+  Status status = GenerateCarDatabase(db.get(), options.datagen);
+  if (!status.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n", status.ToString().c_str());
+    return nullptr;
+  }
+  JitsConfig* config = db->jits_config();
+  config->enabled = true;
+  config->s_max = options.s_max;
+  config->sample_rows = options.sample_rows;
+  return db;
+}
+
+void EmitResult(const char* setting, const ExperimentOptions& options,
+                const PhaseStats& stats, Database* db) {
+  bench::JsonResultLine("restart_warmup", setting)
+      .Num("scale", options.datagen.scale, 4)
+      .Count("items", options.workload.num_items)
+      .Count("queries", stats.queries)
+      .Count("tables_sampled", stats.tables_sampled)
+      .Num("avg_compile_seconds",
+           stats.queries > 0 ? stats.compile_seconds / static_cast<double>(stats.queries)
+                             : 0)
+      .Num("wall_seconds", stats.wall_seconds)
+      .Count("recovered_histograms", db->last_recovery().archive_histograms)
+      .Count("recovered_history_entries", db->last_recovery().history_entries)
+      .Json("metrics", db->metrics()->ExportJson())
+      .Print();
+}
+
+}  // namespace
+
+int main() {
+  ExperimentOptions options = bench::OptionsFromEnv();
+  options.workload.update_fraction = 0;  // see header comment
+  options.workload.scale = options.datagen.scale;
+  bench::PrintHeader("Restart warm-up", "cold vs recovered statistics store", options);
+
+  std::string data_dir = "bench_restart_data";
+  if (const char* dir = std::getenv("JITS_DATA_DIR")) data_dir = dir;
+  std::error_code ec;
+  std::filesystem::remove_all(data_dir, ec);
+
+  const std::vector<WorkloadItem> items = GenerateWorkload(options.workload);
+  persist::PersistenceOptions popts;
+  popts.data_dir = data_dir;
+  popts.fsync = false;  // benchmark: durability-under-power-loss not measured
+
+  // --- Cold: empty store, JITS learns from scratch, checkpoint on close. ---
+  std::unique_ptr<Database> cold = MakeJitsDatabase(options);
+  if (cold == nullptr) return 1;
+  if (Status s = cold->OpenPersistence(popts); !s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const PhaseStats cold_stats = RunQueries(cold.get(), items);
+  EmitResult("cold", options, cold_stats, cold.get());
+  if (Status s = cold->ClosePersistence(/*final_checkpoint=*/true); !s.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  cold.reset();
+
+  // --- Warm: a fresh engine recovers the store before serving. ---
+  std::unique_ptr<Database> warm = MakeJitsDatabase(options);
+  if (warm == nullptr) return 1;
+  Stopwatch recover_watch;
+  if (Status s = warm->OpenPersistence(popts); !s.ok()) {
+    std::fprintf(stderr, "recover failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double recover_seconds = recover_watch.Seconds();
+  const PhaseStats warm_stats = RunQueries(warm.get(), items);
+  EmitResult("warm", options, warm_stats, warm.get());
+
+  std::printf("\n%-22s %10s %10s\n", "", "cold", "warm");
+  std::printf("%-22s %10zu %10zu\n", "queries", cold_stats.queries, warm_stats.queries);
+  std::printf("%-22s %10zu %10zu\n", "tables sampled", cold_stats.tables_sampled,
+              warm_stats.tables_sampled);
+  std::printf("%-22s %9.2fms %9.2fms\n", "avg compile",
+              cold_stats.queries ? cold_stats.compile_seconds * 1e3 /
+                                       static_cast<double>(cold_stats.queries)
+                                 : 0,
+              warm_stats.queries ? warm_stats.compile_seconds * 1e3 /
+                                       static_cast<double>(warm_stats.queries)
+                                 : 0);
+  std::printf("%-22s %10.2f %10.2f\n", "workload wall (s)", cold_stats.wall_seconds,
+              warm_stats.wall_seconds);
+  std::printf("recovery: %s (%.2fms)\n", warm->last_recovery().ToString().c_str(),
+              recover_seconds * 1e3);
+  return 0;
+}

@@ -69,23 +69,63 @@ inline std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-/// One machine-readable result line per run, greppable as `^JITS_RESULT `.
-/// The trailing "metrics" object is the database's full metrics dump
-/// (MetricsRegistry::ExportJson), so downstream tooling can chart e.g.
-/// jits.tables_sampled or feedback.qerror without parsing the human tables.
+/// Incremental builder for one machine-readable `JITS_RESULT {...}` line
+/// (greppable as `^JITS_RESULT `). Every bench emits through this, so the
+/// framing, string escaping and numeric formats live in exactly one place.
+class JsonResultLine {
+ public:
+  JsonResultLine(const std::string& experiment, const std::string& setting) {
+    json_ = "{\"experiment\":\"" + JsonEscape(experiment) + "\",\"setting\":\"" +
+            JsonEscape(setting) + "\"";
+  }
+
+  JsonResultLine& Num(const char* name, double value, int decimals = 6) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return Raw(name, buf);
+  }
+  JsonResultLine& Count(const char* name, size_t value) {
+    return Raw(name, std::to_string(value));
+  }
+  JsonResultLine& Str(const char* name, const std::string& value) {
+    return Raw(name, "\"" + JsonEscape(value) + "\"");
+  }
+  /// A pre-serialized JSON value, e.g. MetricsRegistry::ExportJson().
+  JsonResultLine& Json(const char* name, const std::string& json) {
+    return Raw(name, json.empty() ? std::string("{}") : json);
+  }
+
+  void Print() const { std::printf("JITS_RESULT %s}\n", json_.c_str()); }
+
+ private:
+  JsonResultLine& Raw(const char* name, const std::string& value) {
+    json_ += ",\"";
+    json_ += name;
+    json_ += "\":";
+    json_ += value;
+    return *this;
+  }
+
+  std::string json_;
+};
+
+/// One result line per workload run. The trailing "metrics" object is the
+/// database's full metrics dump (MetricsRegistry::ExportJson), so downstream
+/// tooling can chart e.g. jits.tables_sampled or feedback.qerror without
+/// parsing the human tables.
 inline void PrintJsonResultLine(const char* experiment, const ExperimentOptions& options,
                                 const WorkloadRunResult& result) {
-  const std::string metrics =
-      result.metrics_json.empty() ? std::string("{}") : result.metrics_json;
-  std::printf(
-      "JITS_RESULT {\"experiment\":\"%s\",\"setting\":\"%s\",\"scale\":%.4f,"
-      "\"items\":%zu,\"queries\":%zu,\"setup_seconds\":%.6f,"
-      "\"workload_seconds\":%.6f,\"avg_compile_seconds\":%.6f,"
-      "\"avg_execute_seconds\":%.6f,\"collections\":%zu,\"metrics\":%s}\n",
-      JsonEscape(experiment).c_str(), SettingName(result.setting),
-      options.datagen.scale, options.workload.num_items, result.queries.size(),
-      result.setup_seconds, result.workload_seconds, result.AvgCompileSeconds(),
-      result.AvgExecuteSeconds(), result.TotalCollections(), metrics.c_str());
+  JsonResultLine(experiment, SettingName(result.setting))
+      .Num("scale", options.datagen.scale, 4)
+      .Count("items", options.workload.num_items)
+      .Count("queries", result.queries.size())
+      .Num("setup_seconds", result.setup_seconds)
+      .Num("workload_seconds", result.workload_seconds)
+      .Num("avg_compile_seconds", result.AvgCompileSeconds())
+      .Num("avg_execute_seconds", result.AvgExecuteSeconds())
+      .Count("collections", result.TotalCollections())
+      .Json("metrics", result.metrics_json)
+      .Print();
 }
 
 }  // namespace bench

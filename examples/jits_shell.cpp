@@ -1,9 +1,15 @@
 // Interactive SQL shell over the JITS engine.
 //
-//   ./jits_shell [--load [scale]]     # --load populates the paper's schema
+//   ./jits_shell [--load [scale]] [--data-dir <dir>]
 //
-// Besides SQL (SELECT / INSERT / UPDATE / DELETE / CREATE TABLE / EXPLAIN),
-// the shell understands meta commands:
+// --load populates the paper's car-insurance schema. --data-dir opens a
+// durable statistics store in <dir>: accumulated JITS state (archive
+// histograms, feedback history, catalog stats) is recovered on startup and
+// checkpointed on clean exit, so a restarted shell serves warm estimates
+// without re-sampling.
+//
+// Besides SQL (SELECT / INSERT / UPDATE / DELETE / CREATE TABLE / EXPLAIN /
+// CHECKPOINT / SHOW PERSISTENCE), the shell understands meta commands:
 //   \jits on|off         enable/disable JITS collection
 //   \smax <v>            set the sensitivity threshold
 //   \leo on|off          LEO-style feedback correction
@@ -12,6 +18,8 @@
 //   \history             show the StatHistory (paper Table 1)
 //   \tables              list tables
 //   \timing on|off       per-query timing breakdown
+//   \save                checkpoint the statistics store now
+//   \load <dir>          open a statistics store (recover + checkpoint)
 //   \quit
 // and the observability commands (also accepted with a '.' prefix):
 //   .metrics [prom]      dump the metrics registry (JSON, or Prometheus text)
@@ -58,15 +66,47 @@ void PrintResult(const QueryResult& result, bool timing) {
   }
 }
 
+/// Opens the durable statistics store and prints what recovery found.
+bool OpenDataDir(Database* db, const std::string& dir) {
+  persist::PersistenceOptions options;
+  options.data_dir = dir;
+  persist::RecoveryReport report;
+  Status status = db->OpenPersistence(options, &report);
+  if (!status.ok()) {
+    std::fprintf(stderr, "open %s failed: %s\n", dir.c_str(),
+                 status.ToString().c_str());
+    return false;
+  }
+  std::printf("statistics store: %s\n  %s\n", dir.c_str(),
+              report.ToString().c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Database db;
   bool timing = true;
+  bool do_load = false;
+  double scale = 0.01;
+  std::string data_dir;
 
-  if (argc > 1 && std::strcmp(argv[1], "--load") == 0) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--load") == 0) {
+      do_load = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--load [scale]] [--data-dir <dir>]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  if (do_load) {
     DataGenConfig config;
-    config.scale = (argc > 2) ? std::atof(argv[2]) : 0.01;
+    config.scale = scale;
     std::printf("loading car-insurance schema at scale %.3f...\n", config.scale);
     Status status = GenerateCarDatabase(&db, config);
     if (!status.ok()) {
@@ -77,6 +117,9 @@ int main(int argc, char** argv) {
       std::printf("  %-14s %zu rows\n", t, db.catalog()->FindTable(t)->num_rows());
     }
   }
+
+  // Persistence attaches stats to tables by name, so open AFTER loading.
+  if (!data_dir.empty() && !OpenDataDir(&db, data_dir)) return 1;
 
   std::printf("JITS shell. \\quit to exit; JITS is %s (\\jits on to enable).\n",
               db.jits_config()->enabled ? "on" : "off");
@@ -125,6 +168,11 @@ int main(int argc, char** argv) {
         }
       } else if (line == "\\timing on" || line == "\\timing off") {
         timing = (line == "\\timing on");
+      } else if (line == "\\save") {
+        Status status = db.Checkpoint();
+        std::printf("%s\n", status.ok() ? "checkpointed" : status.ToString().c_str());
+      } else if (line.rfind("\\load ", 0) == 0) {
+        OpenDataDir(&db, line.substr(6));
       } else if (line == "\\metrics") {
         std::printf("%s\n", db.metrics()->ExportJson().c_str());
       } else if (line == "\\metrics prom") {
@@ -148,6 +196,17 @@ int main(int argc, char** argv) {
     if (db.tracer()->enabled() && !result.trace.empty()) {
       std::printf("%s", result.trace.ToString().c_str());
     }
+  }
+
+  // Clean shutdown: checkpoint so the next run recovers today's statistics.
+  // (A crash loses at most the un-fsynced WAL tail — see docs/PERSISTENCE.md.)
+  if (db.persistence_open()) {
+    Status status = db.ClosePersistence(/*final_checkpoint=*/true);
+    if (!status.ok()) {
+      std::fprintf(stderr, "final checkpoint failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("statistics checkpointed\n");
   }
   return 0;
 }

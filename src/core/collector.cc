@@ -103,6 +103,17 @@ CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
       }
     }
     (void)RunStatsOnRows(catalog_, table, sample, runstats_options, now);
+    if (config_.wal != nullptr) {
+      // Sampling is not replayable (the RNG has moved on by recovery time),
+      // so the published catalog stats are logged whole.
+      std::shared_ptr<const TableStats> published = catalog_->StatsSnapshot(table);
+      if (published != nullptr) {
+        persist::CatalogStatsRecord record;
+        record.table = ToLower(table->name());
+        record.stats = *published;
+        config_.wal->LogCatalogStats(record);
+      }
+    }
 
     if (decision.group_indices.empty()) continue;
     ++out.tables_sampled;
@@ -168,6 +179,23 @@ CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
       const std::string key = g.ColumnSetKey(block);
       std::shared_ptr<GridHistogram> hist =
           archive_->GetOrCreateShared(key, col_names, domain, table_rows, now);
+      // Each constraint is logged with the histogram's creation parameters,
+      // so replay can recreate histograms born between checkpoints and then
+      // re-run the identical ApplyConstraint sequence.
+      auto log_constraint = [&](const Box& constraint_box, double box_rows) {
+        if (config_.wal == nullptr) return;
+        persist::ArchiveConstraintRecord record;
+        record.store = persist::StatsStore::kArchive;
+        record.key = key;
+        record.column_names = col_names;
+        record.domain = domain;
+        record.create_total_rows = table_rows;
+        record.box = constraint_box;
+        record.box_rows = box_rows;
+        record.table_rows = table_rows;
+        record.now = now;
+        config_.wal->LogArchiveConstraint(record);
+      };
 
       // Assimilate marginal knowledge first (per-dimension sub-boxes), then
       // the joint box — the paper's Figure 2 sequence.
@@ -188,15 +216,24 @@ CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
           dim_box[d] = box[d];
           maxent_iterations +=
               hist->ApplyConstraint(dim_box, dim_count / n * table_rows, table_rows, now);
+          log_constraint(dim_box, dim_count / n * table_rows);
         }
       }
       maxent_iterations += hist->ApplyConstraint(box, sel * table_rows, table_rows, now);
+      log_constraint(box, sel * table_rows);
       hist->Touch(now);
       ++out.groups_materialized;
     }
   }
   size_t evictions = 0;
-  if (archive_ != nullptr) evictions = archive_->EnforceBudget();
+  if (archive_ != nullptr) {
+    evictions = archive_->EnforceBudget();
+    if (evictions > 0 && config_.wal != nullptr) {
+      // Eviction is deterministic given (budget, archive state): replaying
+      // the event at the same point reproduces the same eviction order.
+      config_.wal->LogBudgetEnforcement(persist::BudgetRecord{archive_->bucket_budget()});
+    }
+  }
   if (obs != nullptr) {
     if (maxent_iterations > 0) {
       obs->Count("jits.maxent.iterations", static_cast<double>(maxent_iterations));

@@ -10,6 +10,7 @@
 #include "core/qss_archive.h"
 #include "core/sensitivity.h"
 #include "obs/obs_context.h"
+#include "persist/wal_sink.h"
 #include "query/predicate_group.h"
 
 namespace jits {
@@ -28,6 +29,10 @@ struct CollectorConfig {
   ThreadPool* pool = nullptr;
   std::mutex* rng_mu = nullptr;
   InflightTableGuard* inflight = nullptr;
+  /// Optional durability sink (nullable): every published RUNSTATS result,
+  /// archive constraint and eviction-triggering budget pass is logged so a
+  /// restarted engine replays to the same statistics state.
+  persist::StatsWalSink* wal = nullptr;
 };
 
 /// Outcome counters of one collection pass.

@@ -50,6 +50,7 @@ JitsPrepareResult JitsModule::Prepare(const QueryBlock& block, const JitsConfig&
     coll_config.pool = pool_;
     coll_config.rng_mu = rng_mu_;
     coll_config.inflight = &inflight_;
+    coll_config.wal = wal_;
     StatisticsCollector collector(catalog_, archive_, coll_config);
     const CollectionStats stats =
         collector.Collect(block, groups, result.decisions, rng, now, &result.exact, obs);
@@ -74,6 +75,7 @@ JitsPrepareResult JitsModule::Prepare(const QueryBlock& block, const JitsConfig&
   if (config.migration_interval > 0 && now % config.migration_interval == 0) {
     TraceSpan span(ObsTracer(obs), "migrate");
     const size_t migrated = MigrateStatistics(*archive_, catalog_, now);
+    if (wal_ != nullptr) wal_->LogMigration(persist::MigrationRecord{now});
     if (obs != nullptr) {
       obs->Count("jits.migrations");
       obs->Count("jits.migrated_columns", static_cast<double>(migrated));

@@ -55,6 +55,11 @@ class JitsModule {
     rng_mu_ = rng_mu;
   }
 
+  /// Installs the durability sink (nullable). Collection and migration
+  /// events flow through it so a restarted engine replays to the same
+  /// statistics state. Configure before serving queries.
+  void set_wal(persist::StatsWalSink* wal) { wal_ = wal; }
+
   /// Runs the pipeline for one query block. `now` is the engine's logical
   /// clock (used for bucket timestamps, LRU and migration cadence). `obs`
   /// (nullable) receives per-stage trace spans (jits.analyze,
@@ -68,6 +73,7 @@ class JitsModule {
   StatHistory* history_;
   ThreadPool* pool_ = nullptr;
   std::mutex* rng_mu_ = nullptr;
+  persist::StatsWalSink* wal_ = nullptr;
   InflightTableGuard inflight_;
 };
 

@@ -72,6 +72,13 @@ GridHistogram* QssArchive::GetOrCreate(const std::string& key,
       .get();
 }
 
+void QssArchive::Insert(const std::string& key,
+                        std::shared_ptr<GridHistogram> histogram) {
+  Shard& s = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  s.histograms[key] = std::move(histogram);
+}
+
 std::optional<double> QssArchive::EstimateFraction(const std::string& key,
                                                    const Box& box) const {
   std::shared_ptr<GridHistogram> h = FindShared(key);

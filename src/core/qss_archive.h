@@ -102,6 +102,11 @@ class QssArchive {
   size_t size() const;
   void Clear();
 
+  /// Installs (or replaces) the keyed histogram directly — the persistence
+  /// recovery path, which rehydrates histograms from a snapshot with their
+  /// LRU stamps intact instead of growing them through GetOrCreate.
+  void Insert(const std::string& key, std::shared_ptr<GridHistogram> histogram);
+
   /// Key-sorted snapshot of the archive for migration and introspection.
   /// Entries are shared_ptrs, so they stay valid however long the caller
   /// holds them, even across concurrent evictions.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 #include <shared_mutex>
+#include <sstream>
 #include <unordered_set>
 
 #include "common/str_util.h"
@@ -70,6 +71,9 @@ Status Database::Execute(const std::string& sql, QueryResult* result) {
   if (tracer_.enabled()) result->trace = tracer_.EndQuery();
   obs_.SetGauge("engine.concurrent_sessions",
                 static_cast<double>(active_sessions_.fetch_sub(1) - 1));
+  // Auto-checkpoint runs after the statement's shared persist-gate hold is
+  // released (taking the exclusive gate from inside would self-deadlock).
+  MaybeAutoCheckpoint();
   return status;
 }
 
@@ -91,6 +95,19 @@ Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
     return r;
   }();
   if (!bound.ok()) return bound.status();
+
+  // CHECKPOINT dispatches outside the shared persist gate — Checkpoint()
+  // takes it exclusive and would deadlock against our own shared hold.
+  if (std::get_if<CheckpointAst>(&bound.value()) != nullptr) {
+    JITS_RETURN_IF_ERROR(Checkpoint());
+    result->num_rows = 1;
+    return Status::OK();
+  }
+
+  // Every other statement holds the persist gate shared for its whole
+  // execution, so a concurrent checkpoint's WAL rotation never splits one
+  // statement's logged events across generations.
+  std::shared_lock<std::shared_mutex> persist_gate(persist_gate_);
 
   Status status;
   if (auto* block = std::get_if<QueryBlock>(&bound.value())) {
@@ -121,14 +138,20 @@ Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
     // locks are already held.
     if (analyze->table.empty()) {
       const auto locks = LockShared(SortedUniqueTables(catalog_.tables()));
-      std::lock_guard<std::mutex> rng_lock(rng_mu_);
-      status = RunStatsAll(&catalog_, options, &rng_, now);
+      {
+        std::lock_guard<std::mutex> rng_lock(rng_mu_);
+        status = RunStatsAll(&catalog_, options, &rng_, now);
+      }
+      if (status.ok()) LogCatalogStats(catalog_.tables());
       result->num_rows = catalog_.tables().size();
     } else {
       Table* table = catalog_.FindTable(analyze->table);
       std::shared_lock<std::shared_mutex> lock(table->rw_mu());
-      std::lock_guard<std::mutex> rng_lock(rng_mu_);
-      status = RunStats(&catalog_, table, options, &rng_, now);
+      {
+        std::lock_guard<std::mutex> rng_lock(rng_mu_);
+        status = RunStats(&catalog_, table, options, &rng_, now);
+      }
+      if (status.ok()) LogCatalogStats({table});
       result->num_rows = 1;
     }
   } else if (auto* show = std::get_if<ShowAst>(&bound.value())) {
@@ -578,11 +601,18 @@ Status Database::RunDelete(const BoundDelete& stmt, QueryResult* result) {
 Status Database::CollectGeneralStats(size_t sample_rows) {
   RunStatsOptions options;
   options.sample_rows = sample_rows;
-  std::lock_guard<std::mutex> rng_lock(rng_mu_);
-  return RunStatsAll(&catalog_, options, &rng_, clock());
+  std::shared_lock<std::shared_mutex> persist_gate(persist_gate_);
+  Status status;
+  {
+    std::lock_guard<std::mutex> rng_lock(rng_mu_);
+    status = RunStatsAll(&catalog_, options, &rng_, clock());
+  }
+  if (status.ok()) LogCatalogStats(catalog_.tables());
+  return status;
 }
 
 Status Database::CollectWorkloadStats(const std::vector<std::string>& workload_sql) {
+  std::shared_lock<std::shared_mutex> persist_gate(persist_gate_);
   std::unordered_set<std::string> seen;
   for (const std::string& sql : workload_sql) {
     Result<StatementAst> ast = ParseStatement(sql);
@@ -638,6 +668,19 @@ Status Database::CollectWorkloadStats(const std::vector<std::string>& workload_s
       GridHistogram* hist =
           workload_stats_.GetOrCreate(key, col_names, domain, table_rows, clock());
       hist->ApplyConstraint(box, count, table_rows, clock());
+      if (persistence_ != nullptr) {
+        persist::ArchiveConstraintRecord record;
+        record.store = persist::StatsStore::kWorkload;
+        record.key = key;
+        record.column_names = col_names;
+        record.domain = domain;
+        record.create_total_rows = table_rows;
+        record.box = box;
+        record.box_rows = count;
+        record.table_rows = table_rows;
+        record.now = clock();
+        persistence_->LogArchiveConstraint(record);
+      }
     }
   }
   return Status::OK();
@@ -664,6 +707,55 @@ Status Database::RunShow(const ShowAst& show, QueryResult* result) {
                                static_cast<unsigned long long>(m.count), m.sum))});
           break;
       }
+    }
+    result->num_rows = result->rows.size();
+    return Status::OK();
+  }
+
+  if (show.what == ShowAst::What::kPersistence) {
+    // SHOW PERSISTENCE: durable-store state plus what the last recovery
+    // pass found, as property/value rows.
+    result->column_names = {"property", "value"};
+    auto add = [&](const std::string& property, const std::string& value) {
+      result->rows.push_back({Value(property), Value(value)});
+    };
+    add("persistence.open", persistence_ != nullptr ? "true" : "false");
+    if (persistence_ != nullptr) {
+      add("persistence.data_dir", persistence_->options().data_dir);
+      add("persistence.sequence", StrFormat("%llu", static_cast<unsigned long long>(
+                                                        persistence_->current_seq())));
+      add("persistence.checkpoints",
+          StrFormat("%llu",
+                    static_cast<unsigned long long>(persistence_->checkpoints_completed())));
+      add("persistence.wal_records", StrFormat("%llu", static_cast<unsigned long long>(
+                                                           persistence_->wal_records())));
+      add("persistence.wal_bytes", StrFormat("%llu", static_cast<unsigned long long>(
+                                                         persistence_->wal_bytes())));
+      add("persistence.wal_healthy", persistence_->wal_healthy() ? "true" : "false");
+      add("persistence.auto_checkpoint_wal_bytes",
+          StrFormat("%zu", persistence_->options().checkpoint_wal_bytes));
+      add("persistence.auto_checkpoint_statements",
+          StrFormat("%zu", persistence_->options().checkpoint_statements));
+      add("persistence.fsync", persistence_->options().fsync ? "true" : "false");
+    }
+    const persist::RecoveryReport& r = last_recovery_;
+    add("recovery.attempted", r.attempted ? "true" : "false");
+    if (r.attempted) {
+      add("recovery.snapshot_loaded", r.snapshot_loaded ? "true" : "false");
+      if (r.snapshot_loaded) {
+        add("recovery.snapshot_seq",
+            StrFormat("%llu", static_cast<unsigned long long>(r.snapshot_seq)));
+      }
+      add("recovery.snapshots_rejected", StrFormat("%zu", r.snapshots_rejected));
+      add("recovery.wal_files_scanned", StrFormat("%zu", r.wal_files_scanned));
+      add("recovery.wal_records_applied", StrFormat("%zu", r.wal_records_applied));
+      add("recovery.wal_records_rejected", StrFormat("%zu", r.wal_records_rejected));
+      add("recovery.wal_tail_truncated", r.wal_tail_truncated ? "true" : "false");
+      add("recovery.archive_histograms", StrFormat("%zu", r.archive_histograms));
+      add("recovery.workload_histograms", StrFormat("%zu", r.workload_histograms));
+      add("recovery.history_entries", StrFormat("%zu", r.history_entries));
+      add("recovery.catalog_tables_restored", StrFormat("%zu", r.catalog_tables_restored));
+      add("recovery.catalog_tables_skipped", StrFormat("%zu", r.catalog_tables_skipped));
     }
     result->num_rows = result->rows.size();
     return Status::OK();
@@ -706,6 +798,154 @@ Status Database::RunShow(const ShowAst& show, QueryResult* result) {
   return Status::OK();
 }
 
-size_t Database::MigrateNow() { return MigrateStatistics(archive_, &catalog_, clock()); }
+size_t Database::MigrateNow() {
+  std::shared_lock<std::shared_mutex> persist_gate(persist_gate_);
+  const uint64_t now = clock();
+  const size_t migrated = MigrateStatistics(archive_, &catalog_, now);
+  if (persistence_ != nullptr) {
+    persistence_->LogMigration(persist::MigrationRecord{now});
+  }
+  return migrated;
+}
+
+persist::SnapshotContents Database::CaptureState(uint64_t seq) {
+  persist::SnapshotContents contents;
+  contents.seq = seq;
+  contents.clock = clock();
+  {
+    std::lock_guard<std::mutex> rng_lock(rng_mu_);
+    std::ostringstream os;
+    os << rng_.engine();
+    contents.rng_state = os.str();
+  }
+  contents.archive_budget = archive_.bucket_budget();
+  for (const auto& [key, hist] : archive_.Snapshot()) {
+    contents.archive.emplace_back(key, hist->ExportState());
+  }
+  for (const auto& [key, hist] : workload_stats_.Snapshot()) {
+    contents.workload.emplace_back(key, hist->ExportState());
+  }
+  contents.history = history_.SnapshotEntries();
+  // Catalog stats sorted by lower-case table name so a re-checkpoint of
+  // unchanged state is byte-identical.
+  std::vector<Table*> tables = catalog_.tables();
+  std::sort(tables.begin(), tables.end(), [](const Table* a, const Table* b) {
+    return ToLower(a->name()) < ToLower(b->name());
+  });
+  for (const Table* table : tables) {
+    std::shared_ptr<const TableStats> stats = catalog_.StatsSnapshot(table);
+    if (stats == nullptr) continue;
+    contents.catalog.emplace_back(ToLower(table->name()), *stats);
+  }
+  // UDI counters for every table (stats or not): the sensitivity analysis
+  // reads them as the data-activity signal, so recovery must reinstate
+  // them or a reloaded table looks like 100% churn and gets re-sampled.
+  for (const Table* table : tables) {
+    contents.table_udi.emplace_back(ToLower(table->name()), table->udi_counter());
+  }
+  return contents;
+}
+
+void Database::LogCatalogStats(const std::vector<Table*>& tables) {
+  if (persistence_ == nullptr) return;
+  for (const Table* table : tables) {
+    std::shared_ptr<const TableStats> stats = catalog_.StatsSnapshot(table);
+    if (stats == nullptr) continue;
+    persist::CatalogStatsRecord record;
+    record.table = ToLower(table->name());
+    record.stats = *stats;
+    persistence_->LogCatalogStats(record);
+  }
+}
+
+Status Database::OpenPersistence(const persist::PersistenceOptions& options,
+                                 persist::RecoveryReport* report) {
+  if (persistence_ != nullptr) {
+    return Status::ExecutionError("persistence already open");
+  }
+  auto manager = std::make_unique<persist::PersistenceManager>(options, &metrics_);
+  JITS_RETURN_IF_ERROR(manager->OpenDir());
+
+  persist::RecoveryReport recovered;
+  std::string rng_state;
+  JITS_RETURN_IF_ERROR(manager->Recover(&catalog_, &archive_, &workload_stats_,
+                                        &history_, &recovered, &rng_state));
+  // The logical clock resumes past everything the recovered state observed,
+  // so replayed LRU stamps stay in the past relative to new statements.
+  uint64_t current = clock_.load(std::memory_order_relaxed);
+  while (current < recovered.clock &&
+         !clock_.compare_exchange_weak(current, recovered.clock)) {
+  }
+  if (!rng_state.empty()) {
+    std::lock_guard<std::mutex> rng_lock(rng_mu_);
+    std::istringstream is(rng_state);
+    is >> rng_.engine();
+    recovered.rng_restored = !is.fail();
+  }
+  last_recovery_ = recovered;
+  if (report != nullptr) *report = recovered;
+
+  persistence_ = std::move(manager);
+  jits_.set_wal(persistence_.get());
+  feedback_.set_wal(persistence_.get());
+
+  // Baseline checkpoint: the recovered state becomes the new durable
+  // generation, so WAL files are only ever created fresh (never re-opened
+  // for append onto a possibly torn tail).
+  Status baseline = Checkpoint();
+  if (!baseline.ok()) {
+    jits_.set_wal(nullptr);
+    feedback_.set_wal(nullptr);
+    persistence_.reset();
+    return baseline;
+  }
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (persistence_ == nullptr) {
+    return Status::ExecutionError("persistence is not open (no --data-dir)");
+  }
+  std::lock_guard<std::mutex> ckpt_lock(checkpoint_mu_);
+  Stopwatch watch;
+  persist::SnapshotContents contents;
+  {
+    // Exclusive gate: no statement is mid-flight, so the rotated WAL holds
+    // exactly the records after this capture. File I/O happens outside.
+    std::unique_lock<std::shared_mutex> gate(persist_gate_);
+    Result<uint64_t> seq = persistence_->BeginCheckpoint();
+    if (!seq.ok()) return seq.status();
+    contents = CaptureState(seq.value());
+  }
+  statements_since_checkpoint_.store(0, std::memory_order_relaxed);
+  const Status status = persistence_->CommitSnapshot(contents);
+  metrics_.GetHistogram("persist.checkpoint.duration", MetricBuckets::Latency())
+      ->Observe(watch.Seconds());
+  return status;
+}
+
+Status Database::ClosePersistence(bool final_checkpoint) {
+  if (persistence_ == nullptr) return Status::OK();
+  Status status = final_checkpoint ? Checkpoint() : persistence_->SyncWal();
+  jits_.set_wal(nullptr);
+  feedback_.set_wal(nullptr);
+  persistence_.reset();
+  return status;
+}
+
+void Database::MaybeAutoCheckpoint() {
+  if (persistence_ == nullptr) return;
+  const uint64_t since =
+      statements_since_checkpoint_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!persistence_->ShouldAutoCheckpoint(since)) return;
+  // One session runs the checkpoint; concurrent statements skip instead of
+  // piling up behind checkpoint_mu_.
+  if (checkpoint_scheduled_.exchange(true)) return;
+  const Status status = Checkpoint();
+  if (!status.ok()) {
+    metrics_.GetCounter("persist.checkpoint.errors")->Increment();
+  }
+  checkpoint_scheduled_.store(false);
+}
 
 }  // namespace jits

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "feedback/feedback.h"
 #include "obs/obs_context.h"
 #include "optimizer/optimizer.h"
+#include "persist/manager.h"
 #include "sql/binder.h"
 
 namespace jits {
@@ -89,6 +91,35 @@ class Database {
   /// Runs statistics migration (archive → catalog) once.
   size_t MigrateNow();
 
+  /// Opens (or creates) a durable statistics store in
+  /// `options.data_dir`. Runs crash recovery first — the newest valid
+  /// snapshot is loaded, newer WAL records are replayed onto the live
+  /// catalog/archive/history, the logical clock and sampling RNG are
+  /// restored — then takes a checkpoint so the recovered state is the new
+  /// baseline. From here on, collection/feedback/migration events are
+  /// WAL-logged and auto-checkpoints fire per the options. `report`
+  /// (nullable) receives what recovery found. Load the schema and data
+  /// BEFORE calling this: persisted stats attach to tables by name.
+  Status OpenPersistence(const persist::PersistenceOptions& options,
+                         persist::RecoveryReport* report = nullptr);
+
+  /// Snapshots all JITS state and rotates the WAL (the SQL CHECKPOINT
+  /// statement). Safe to call concurrently with statements: the rotate-and-
+  /// capture step blocks statements briefly; serialization and file I/O
+  /// happen while queries keep running.
+  Status Checkpoint();
+
+  /// Detaches persistence. With `final_checkpoint`, state is snapshotted
+  /// first (clean shutdown); without, only the WAL is synced. NOTE: the
+  /// destructor deliberately does NOT checkpoint — dropping the Database
+  /// models a crash, which is exactly what the recovery tests exercise.
+  Status ClosePersistence(bool final_checkpoint = true);
+
+  bool persistence_open() const { return persistence_ != nullptr; }
+  persist::PersistenceManager* persistence() { return persistence_.get(); }
+  /// Report of the recovery pass run by OpenPersistence (empty before).
+  const persist::RecoveryReport& last_recovery() const { return last_recovery_; }
+
   JitsConfig* jits_config() { return &jits_config_; }
   Catalog* catalog() { return &catalog_; }
   MetricsRegistry* metrics() { return &metrics_; }
@@ -130,6 +161,16 @@ class Database {
   Status RunDelete(const BoundDelete& stmt, QueryResult* result);
   Status RunShow(const ShowAst& show, QueryResult* result);
 
+  /// Deep-copies all JITS state into a snapshot (called under the exclusive
+  /// persist gate; serialization happens outside it).
+  persist::SnapshotContents CaptureState(uint64_t seq);
+  /// WAL-logs the current published catalog stats of `tables` (ANALYZE and
+  /// CollectGeneralStats paths, whose sampling is not replayable).
+  void LogCatalogStats(const std::vector<Table*>& tables);
+  /// Fires a checkpoint when the auto-checkpoint policy triggers (called
+  /// after each statement, outside the persist gate).
+  void MaybeAutoCheckpoint();
+
   MetricsRegistry metrics_;
   Tracer tracer_;
   ObsContext obs_{&metrics_, &tracer_};
@@ -148,6 +189,18 @@ class Database {
   std::atomic<int> active_sessions_{0};
   size_t row_limit_ = 100;
   bool leo_correction_ = false;
+
+  /// Checkpoint consistency gate: statements that touch JITS state hold it
+  /// shared; a checkpoint's rotate-and-capture step takes it exclusive, so
+  /// every logged event lands wholly in one WAL generation and the captured
+  /// snapshot covers exactly the records before the rotation. Lock order:
+  /// persist gate, then table locks, then JITS internals.
+  std::shared_mutex persist_gate_;
+  std::mutex checkpoint_mu_;  // serializes whole checkpoints
+  std::atomic<bool> checkpoint_scheduled_{false};
+  std::atomic<uint64_t> statements_since_checkpoint_{0};
+  std::unique_ptr<persist::PersistenceManager> persistence_;
+  persist::RecoveryReport last_recovery_;
 };
 
 }  // namespace jits

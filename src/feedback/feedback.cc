@@ -14,6 +14,14 @@ void FeedbackSystem::Record(const EstimationRecord& record, double actual_rows,
   const double est_sel = std::max(record.est_selectivity, 0.5 / table_rows);
   const double error_factor = est_sel / actual_sel;
   history_->Record(record.table_key, record.colgrp, record.statlist, error_factor);
+  if (wal_ != nullptr) {
+    persist::HistoryWalRecord wal_record;
+    wal_record.table = record.table_key;
+    wal_record.colgrp = record.colgrp;
+    wal_record.statlist = record.statlist;
+    wal_record.error_factor = error_factor;
+    wal_->LogHistory(wal_record);
+  }
   if (metrics_ != nullptr) {
     const double qerror = std::max(error_factor, 1.0 / error_factor);
     metrics_->GetHistogram("feedback.qerror", MetricBuckets::QError())->Observe(qerror);

@@ -6,6 +6,7 @@
 
 #include "feedback/stat_history.h"
 #include "obs/metrics.h"
+#include "persist/wal_sink.h"
 
 namespace jits {
 
@@ -42,9 +43,14 @@ class FeedbackSystem {
   /// `feedback.qerror` histogram and bumps `feedback.records`.
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Optional durability sink: every history upsert is WAL-logged so the
+  /// StatHistory replays exactly after a crash.
+  void set_wal(persist::StatsWalSink* wal) { wal_ = wal; }
+
  private:
   StatHistory* history_;
   MetricsRegistry* metrics_ = nullptr;
+  persist::StatsWalSink* wal_ = nullptr;
 };
 
 }  // namespace jits

@@ -58,6 +58,11 @@ std::vector<StatHistoryEntry> StatHistory::SnapshotEntries() const {
   return entries_;
 }
 
+void StatHistory::Restore(std::vector<StatHistoryEntry> entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_ = std::move(entries);
+}
+
 size_t StatHistory::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

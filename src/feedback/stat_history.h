@@ -48,6 +48,10 @@ class StatHistory {
   /// Copy of all entries — the concurrency-safe enumeration.
   std::vector<StatHistoryEntry> SnapshotEntries() const;
 
+  /// Replaces the whole history (persistence recovery). Entry order is
+  /// preserved so a snapshot round-trip reproduces ToString() exactly.
+  void Restore(std::vector<StatHistoryEntry> entries);
+
   /// Direct reference to the live vector. NOT synchronized — only valid
   /// while no other thread mutates the history (single-threaded tests).
   const std::vector<StatHistoryEntry>& entries() const { return entries_; }

@@ -73,6 +73,22 @@ EquiDepthHistogram EquiDepthHistogram::FromBuckets(std::vector<double> boundarie
   return h;
 }
 
+EquiDepthHistogram EquiDepthHistogram::FromParts(std::vector<double> boundaries,
+                                                 std::vector<double> counts,
+                                                 std::vector<double> distinct_counts,
+                                                 double total_rows) {
+  EquiDepthHistogram h;
+  if (boundaries.size() != counts.size() + 1 ||
+      distinct_counts.size() != counts.size() || counts.empty()) {
+    return h;
+  }
+  h.boundaries_ = std::move(boundaries);
+  h.counts_ = std::move(counts);
+  h.distinct_counts_ = std::move(distinct_counts);
+  h.total_rows_ = total_rows;
+  return h;
+}
+
 double EquiDepthHistogram::EstimateRangeFraction(double lo, double hi) const {
   // Half-open query interval [lo, hi) against half-open buckets; the last
   // bucket is closed at b_n, which we honor by widening hi by a hair when it

@@ -29,6 +29,15 @@ class EquiDepthHistogram {
                                         std::vector<double> counts,
                                         std::vector<double> distinct_counts);
 
+  /// Rehydrates an exported histogram exactly (persistence): unlike
+  /// FromBuckets, `total_rows` is restored verbatim instead of recomputed,
+  /// so a round-trip is bit-identical. Sizes must be consistent
+  /// (boundaries = counts + 1 = distinct_counts + 1) or the result is empty.
+  static EquiDepthHistogram FromParts(std::vector<double> boundaries,
+                                      std::vector<double> counts,
+                                      std::vector<double> distinct_counts,
+                                      double total_rows);
+
   bool empty() const { return boundaries_.size() < 2; }
   size_t num_buckets() const { return counts_.size(); }
   double total_rows() const { return total_rows_; }
@@ -36,6 +45,7 @@ class EquiDepthHistogram {
   double max() const { return boundaries_.back(); }
   const std::vector<double>& boundaries() const { return boundaries_; }
   const std::vector<double>& counts() const { return counts_; }
+  const std::vector<double>& distinct_counts() const { return distinct_counts_; }
 
   /// Estimated fraction of rows with value in the closed interval [lo, hi],
   /// assuming uniformity within buckets.

@@ -592,6 +592,68 @@ uint64_t GridHistogram::max_timestamp() const {
   return m;
 }
 
+GridHistogramState GridHistogram::ExportState() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  GridHistogramState state;
+  state.column_names = column_names_;
+  state.boundaries = boundaries_;
+  state.counts = counts_;
+  state.stamps = stamps_;
+  state.constraints.reserve(constraints_.size());
+  for (const StoredConstraint& c : constraints_) {
+    state.constraints.push_back({c.box, c.rows});
+  }
+  state.last_used = last_used_.load(std::memory_order_relaxed);
+  return state;
+}
+
+bool GridHistogram::StateValid(const GridHistogramState& state) {
+  const size_t dims = state.column_names.size();
+  if (dims == 0 || state.boundaries.size() != dims) return false;
+  size_t n_cells = 1;
+  for (const std::vector<double>& bs : state.boundaries) {
+    if (bs.size() < 2) return false;
+    for (size_t i = 0; i < bs.size(); ++i) {
+      if (!std::isfinite(bs[i])) return false;
+      if (i > 0 && !(bs[i] > bs[i - 1])) return false;
+    }
+    // Guard the cell product against overflow / absurd grids; the in-memory
+    // cap is kMaxBucketsPerDim per dimension, so anything near this limit is
+    // corrupt, not merely large.
+    if (bs.size() - 1 > 4 * kMaxBucketsPerDim) return false;
+    n_cells *= bs.size() - 1;
+    if (n_cells > (1u << 20)) return false;
+  }
+  if (state.counts.size() != n_cells || state.stamps.size() != n_cells) return false;
+  for (double c : state.counts) {
+    if (!std::isfinite(c) || c < 0) return false;
+  }
+  for (const GridHistogramState::Constraint& c : state.constraints) {
+    if (c.box.size() != dims) return false;
+    if (!std::isfinite(c.rows) || c.rows < 0) return false;
+    for (const Interval& iv : c.box) {
+      if (std::isnan(iv.lo) || std::isnan(iv.hi)) return false;
+    }
+  }
+  return true;
+}
+
+GridHistogram GridHistogram::FromState(GridHistogramState state) {
+  assert(StateValid(state));
+  GridHistogram h;
+  h.column_names_ = std::move(state.column_names);
+  h.boundaries_ = std::move(state.boundaries);
+  h.counts_ = std::move(state.counts);
+  h.stamps_ = std::move(state.stamps);
+  h.constraints_.reserve(state.constraints.size());
+  for (GridHistogramState::Constraint& c : state.constraints) {
+    h.constraints_.push_back({std::move(c.box), c.rows});
+  }
+  h.last_used_.store(state.last_used, std::memory_order_relaxed);
+  h.RecomputeStrides();
+  return h;
+}
+
 std::string GridHistogram::ToString() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::string out = StrFormat("GridHistogram(%s) total=%.1f\n",

@@ -39,6 +39,25 @@ namespace jits {
 /// ApplyConstraint takes it exclusive. The LRU stamp is a relaxed atomic so
 /// Touch() never blocks readers (see docs/CONCURRENCY.md for the locking
 /// hierarchy: the histogram lock is the innermost level).
+/// Full internal state of a GridHistogram, exported for persistence
+/// (src/persist). Plain data: the persist layer serializes this struct and
+/// validates a decoded one with GridHistogram::StateValid before
+/// rehydrating, so corrupted inputs are rejected instead of constructing a
+/// histogram with out-of-bounds strides.
+struct GridHistogramState {
+  struct Constraint {
+    Box box;
+    double rows = 0;
+  };
+
+  std::vector<std::string> column_names;
+  std::vector<std::vector<double>> boundaries;  // per dim, strictly increasing
+  std::vector<double> counts;                   // flattened cells, row-major
+  std::vector<uint64_t> stamps;                 // flattened cells
+  std::vector<Constraint> constraints;          // IPF window, oldest first
+  uint64_t last_used = 0;
+};
+
 class GridHistogram {
  public:
   /// Hard cap on buckets per dimension for 1-D histograms; higher
@@ -108,7 +127,24 @@ class GridHistogram {
   /// Multi-line rendering used by the Figure 2 walk-through.
   std::string ToString() const;
 
+  /// Deep copy of the complete internal state (buckets, per-cell counts and
+  /// timestamps, the IPF constraint window and the LRU stamp) for
+  /// serialization. Takes the shared lock, so safe concurrently.
+  GridHistogramState ExportState() const;
+
+  /// Structural validity of an (untrusted, e.g. deserialized) state:
+  /// matching dimensions, strictly increasing finite boundaries, cell
+  /// vectors sized to the boundary product, finite non-negative counts and
+  /// well-formed constraint boxes. FromState requires this.
+  static bool StateValid(const GridHistogramState& state);
+
+  /// Rehydrates a histogram from an exported state. The state must satisfy
+  /// StateValid (callers deserializing untrusted bytes check it first).
+  static GridHistogram FromState(GridHistogramState state);
+
  private:
+  GridHistogram() = default;  // FromState fills every member
+
   struct StoredConstraint {
     Box box;
     double rows = 0;

@@ -1,0 +1,47 @@
+#include "persist/fault_fs.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "persist/fs.h"
+
+namespace jits {
+namespace persist {
+
+std::vector<std::string> FaultFs::Files() const { return ListDir(dir_); }
+
+uint64_t FaultFs::Size(const std::string& file) const { return FileSize(PathFor(file)); }
+
+Status FaultFs::Truncate(const std::string& file, uint64_t new_size) {
+  std::error_code ec;
+  std::filesystem::resize_file(PathFor(file), new_size, ec);
+  if (ec) {
+    return Status::ExecutionError("cannot truncate " + file + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status FaultFs::FlipByte(const std::string& file, uint64_t offset, uint8_t mask) {
+  const std::string path = PathFor(file);
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return Status::NotFound("cannot open " + file);
+  unsigned char byte = 0;
+  bool ok = std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0 &&
+            std::fread(&byte, 1, 1, f) == 1;
+  if (ok) {
+    byte ^= mask;
+    ok = std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0 &&
+         std::fwrite(&byte, 1, 1, f) == 1;
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return Status::ExecutionError("cannot flip byte in " + file);
+  return Status::OK();
+}
+
+void FaultFs::Remove(const std::string& file) { RemoveFileIfExists(PathFor(file)); }
+
+std::string FaultFs::PathFor(const std::string& file) const { return JoinPath(dir_, file); }
+
+}  // namespace persist
+}  // namespace jits

@@ -1,0 +1,47 @@
+#ifndef JITS_PERSIST_FAULT_FS_H_
+#define JITS_PERSIST_FAULT_FS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jits {
+namespace persist {
+
+/// Fault injection over a data directory: deterministic truncation and byte
+/// corruption at controlled offsets, used by the recovery tests to simulate
+/// crashes mid-write and silent media corruption. Operates on plain files —
+/// nothing here knows about the snapshot/WAL formats.
+class FaultFs {
+ public:
+  explicit FaultFs(std::string dir) : dir_(std::move(dir)) {}
+
+  /// File names (not paths) in the directory, sorted.
+  std::vector<std::string> Files() const;
+
+  /// Size of `file` in bytes; 0 when absent.
+  uint64_t Size(const std::string& file) const;
+
+  /// Cuts `file` down to `new_size` bytes (a torn write / crashed append).
+  Status Truncate(const std::string& file, uint64_t new_size);
+
+  /// XORs the byte at `offset` with `mask` (default flips every bit).
+  Status FlipByte(const std::string& file, uint64_t offset, uint8_t mask = 0xFF);
+
+  /// Deletes `file` (a lost file). Idempotent.
+  void Remove(const std::string& file);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string PathFor(const std::string& file) const;
+
+  std::string dir_;
+};
+
+}  // namespace persist
+}  // namespace jits
+
+#endif  // JITS_PERSIST_FAULT_FS_H_

@@ -1,0 +1,93 @@
+#include "persist/fs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define JITS_HAVE_FSYNC 1
+#endif
+
+namespace jits {
+namespace persist {
+
+namespace stdfs = std::filesystem;
+
+Status EnsureDir(const std::string& dir) {
+  std::error_code ec;
+  stdfs::create_directories(dir, ec);
+  if (ec) {
+    return Status::ExecutionError("cannot create directory " + dir + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::ExecutionError("read error on " + path);
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& bytes, bool sync) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::ExecutionError("cannot create " + tmp);
+  bool ok = bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = std::fflush(f) == 0 && ok;
+#ifdef JITS_HAVE_FSYNC
+  if (ok && sync) ok = ::fsync(fileno(f)) == 0;
+#else
+  (void)sync;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    RemoveFileIfExists(tmp);
+    return Status::ExecutionError("write error on " + tmp);
+  }
+  std::error_code ec;
+  stdfs::rename(tmp, path, ec);
+  if (ec) {
+    RemoveFileIfExists(tmp);
+    return Status::ExecutionError("cannot rename " + tmp + " -> " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : stdfs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec)) names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  stdfs::remove(path, ec);
+}
+
+uint64_t FileSize(const std::string& path) {
+  std::error_code ec;
+  const uint64_t size = stdfs::file_size(path, ec);
+  return ec ? 0 : size;
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+}  // namespace persist
+}  // namespace jits

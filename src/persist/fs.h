@@ -1,0 +1,39 @@
+#ifndef JITS_PERSIST_FS_H_
+#define JITS_PERSIST_FS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jits {
+namespace persist {
+
+/// Creates `dir` (and parents) if absent.
+Status EnsureDir(const std::string& dir);
+
+/// Reads a whole file into `out`. NotFound when the file does not exist.
+Status ReadFile(const std::string& path, std::string* out);
+
+/// Durably writes `bytes` to `path`: write to `path + ".tmp"`, flush (and
+/// fsync when `sync`), then atomically rename over the target. A crash mid-
+/// write leaves either the old file or a stray .tmp — never a torn target.
+Status AtomicWriteFile(const std::string& path, const std::string& bytes, bool sync);
+
+/// File names (not paths) directly inside `dir`, sorted. Missing directory
+/// yields an empty list.
+std::vector<std::string> ListDir(const std::string& dir);
+
+/// Deletes a file if it exists (idempotent).
+void RemoveFileIfExists(const std::string& path);
+
+/// Size of a file in bytes; 0 when absent.
+uint64_t FileSize(const std::string& path);
+
+/// Joins a directory and a file name with exactly one separator.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+}  // namespace persist
+}  // namespace jits
+
+#endif  // JITS_PERSIST_FS_H_

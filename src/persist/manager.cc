@@ -1,0 +1,189 @@
+#include "persist/manager.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/str_util.h"
+#include "persist/fs.h"
+
+namespace jits {
+namespace persist {
+
+PersistenceManager::PersistenceManager(PersistenceOptions options,
+                                       MetricsRegistry* metrics)
+    : options_(std::move(options)), metrics_(metrics) {}
+
+PersistenceManager::~PersistenceManager() {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_ != nullptr) {
+    wal_->Sync();
+    wal_->Close();
+  }
+}
+
+Status PersistenceManager::OpenDir() {
+  JITS_RETURN_IF_ERROR(EnsureDir(options_.data_dir));
+  uint64_t max_seq = 0;
+  for (const std::string& name : ListDir(options_.data_dir)) {
+    uint64_t seq = 0;
+    if (ParseSnapshotFileName(name, &seq) || ParseWalFileName(name, &seq)) {
+      max_seq = std::max(max_seq, seq);
+    }
+  }
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  seq_ = max_seq;
+  return Status::OK();
+}
+
+Status PersistenceManager::Recover(Catalog* catalog, QssArchive* archive,
+                                   QssArchive* workload, StatHistory* history,
+                                   RecoveryReport* report, std::string* rng_state) {
+  RecoveryManager recovery(catalog, archive, workload, history);
+  JITS_RETURN_IF_ERROR(recovery.Recover(options_.data_dir, report, rng_state));
+  metrics_->GetCounter("persist.recovery.wal_records_applied")
+      ->Increment(static_cast<double>(report->wal_records_applied));
+  metrics_->GetCounter("persist.recovery.wal_records_rejected")
+      ->Increment(static_cast<double>(report->wal_records_rejected));
+  metrics_->GetCounter("persist.recovery.snapshots_rejected")
+      ->Increment(static_cast<double>(report->snapshots_rejected));
+  metrics_->GetGauge("persist.recovery.snapshot_loaded")
+      ->Set(report->snapshot_loaded ? 1 : 0);
+  return Status::OK();
+}
+
+Result<uint64_t> PersistenceManager::BeginCheckpoint() {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  const uint64_t next = seq_ + 1;
+  if (wal_ != nullptr) {
+    // The outgoing WAL is fully durable before the new generation starts.
+    Status synced = options_.fsync ? wal_->Sync() : Status::OK();
+    if (!synced.ok()) return synced;
+    wal_->Close();
+  }
+  std::unique_ptr<WalWriter> next_wal;
+  JITS_RETURN_IF_ERROR(
+      WalWriter::Create(JoinPath(options_.data_dir, WalFileName(next)), next, &next_wal));
+  wal_ = std::move(next_wal);
+  seq_ = next;
+  wal_healthy_.store(true, std::memory_order_relaxed);
+  metrics_->GetGauge("persist.wal.bytes")->Set(static_cast<double>(wal_->bytes()));
+  return next;
+}
+
+Status PersistenceManager::CommitSnapshot(const SnapshotContents& contents) {
+  const std::string path =
+      JoinPath(options_.data_dir, SnapshotFileName(contents.seq));
+  JITS_RETURN_IF_ERROR(AtomicWriteFile(path, EncodeSnapshot(contents), options_.fsync));
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  metrics_->GetCounter("persist.checkpoints")->Increment();
+
+  // Keep the current and previous generations (the previous one is the
+  // fallback if this snapshot is later found damaged); prune the rest.
+  const uint64_t keep_from = contents.seq >= 1 ? contents.seq - 1 : 0;
+  for (const std::string& name : ListDir(options_.data_dir)) {
+    uint64_t seq = 0;
+    if ((ParseSnapshotFileName(name, &seq) || ParseWalFileName(name, &seq)) &&
+        seq < keep_from) {
+      RemoveFileIfExists(JoinPath(options_.data_dir, name));
+    }
+  }
+  return Status::OK();
+}
+
+Status PersistenceManager::SyncWal() {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Sync();
+}
+
+void PersistenceManager::AppendRecord(const WalRecord& record) {
+  const std::string payload = EncodeWalPayload(record);
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_ == nullptr) return;  // not yet checkpointed into existence
+  Status appended = wal_->Append(payload);
+  if (!appended.ok()) {
+    wal_healthy_.store(false, std::memory_order_relaxed);
+    metrics_->GetCounter("persist.wal.errors")->Increment();
+    return;
+  }
+  metrics_->GetCounter("persist.wal.records")->Increment();
+  metrics_->GetGauge("persist.wal.bytes")->Set(static_cast<double>(wal_->bytes()));
+}
+
+void PersistenceManager::LogArchiveConstraint(const ArchiveConstraintRecord& record) {
+  WalRecord r;
+  r.type = WalRecordType::kArchiveConstraint;
+  r.constraint = record;
+  AppendRecord(r);
+}
+
+void PersistenceManager::LogHistory(const HistoryWalRecord& record) {
+  WalRecord r;
+  r.type = WalRecordType::kHistory;
+  r.history = record;
+  AppendRecord(r);
+}
+
+void PersistenceManager::LogCatalogStats(const CatalogStatsRecord& record) {
+  WalRecord r;
+  r.type = WalRecordType::kCatalogStats;
+  r.catalog_stats = record;
+  AppendRecord(r);
+}
+
+void PersistenceManager::LogMigration(const MigrationRecord& record) {
+  WalRecord r;
+  r.type = WalRecordType::kMigration;
+  r.migration = record;
+  AppendRecord(r);
+}
+
+void PersistenceManager::LogBudgetEnforcement(const BudgetRecord& record) {
+  WalRecord r;
+  r.type = WalRecordType::kBudget;
+  r.budget = record;
+  AppendRecord(r);
+}
+
+uint64_t PersistenceManager::current_seq() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return seq_;
+}
+
+uint64_t PersistenceManager::wal_bytes() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return wal_ != nullptr ? wal_->bytes() : 0;
+}
+
+uint64_t PersistenceManager::wal_records() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return wal_ != nullptr ? wal_->records() : 0;
+}
+
+bool PersistenceManager::ShouldAutoCheckpoint(uint64_t statements_since_checkpoint) const {
+  if (options_.checkpoint_wal_bytes > 0 && wal_bytes() >= options_.checkpoint_wal_bytes) {
+    return true;
+  }
+  return options_.checkpoint_statements > 0 &&
+         statements_since_checkpoint >= options_.checkpoint_statements;
+}
+
+std::string PersistenceManager::StatusString() const {
+  std::string out;
+  out += StrFormat("data dir:        %s\n", options_.data_dir.c_str());
+  out += StrFormat("sequence:        %llu\n",
+                   static_cast<unsigned long long>(current_seq()));
+  out += StrFormat("wal:             %llu record(s), %llu byte(s), %s\n",
+                   static_cast<unsigned long long>(wal_records()),
+                   static_cast<unsigned long long>(wal_bytes()),
+                   wal_healthy() ? "healthy" : "degraded");
+  out += StrFormat("checkpoints:     %llu\n",
+                   static_cast<unsigned long long>(checkpoints_completed()));
+  out += StrFormat("auto-checkpoint: %zu wal byte(s), %zu statement(s)\n",
+                   options_.checkpoint_wal_bytes, options_.checkpoint_statements);
+  return out;
+}
+
+}  // namespace persist
+}  // namespace jits

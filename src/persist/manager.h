@@ -1,0 +1,109 @@
+#ifndef JITS_PERSIST_MANAGER_H_
+#define JITS_PERSIST_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "persist/recovery.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "persist/wal_sink.h"
+
+namespace jits {
+namespace persist {
+
+struct PersistenceOptions {
+  std::string data_dir;
+  /// Auto-checkpoint when the live WAL exceeds this many bytes (0 = off).
+  size_t checkpoint_wal_bytes = 4u << 20;
+  /// Auto-checkpoint every N statements (0 = off).
+  size_t checkpoint_statements = 0;
+  /// fsync snapshots and WAL rotations (tests turn this off for speed;
+  /// correctness under process crash does not depend on it).
+  bool fsync = true;
+};
+
+/// Owns a data directory: sequence numbering, the live WAL, snapshot
+/// writing and generation pruning. It is also the engine's StatsWalSink —
+/// the collector/feedback/migration layers log through the abstract
+/// interface and this class frames, checksums and appends.
+///
+/// Thread safety: appends and rotation are serialized by an internal mutex;
+/// the Database layers its own persist gate on top so a checkpoint's
+/// rotate-and-capture step is atomic with respect to statements (see
+/// docs/PERSISTENCE.md).
+///
+/// Checkpoint protocol (driven by Database::Checkpoint):
+///   1. BeginCheckpoint()  — under the exclusive persist gate: bumps the
+///      sequence to S and rotates the WAL to wal-S.log.
+///   2. CommitSnapshot()   — outside the gate: writes snapshot-S.jits
+///      atomically (tmp + rename), then prunes generations older than S-1.
+/// A crash between the two leaves wal-S without snapshot-S: recovery loads
+/// snapshot-(S-1) and replays wal-(S-1) then wal-S, losing nothing.
+class PersistenceManager : public StatsWalSink {
+ public:
+  PersistenceManager(PersistenceOptions options, MetricsRegistry* metrics);
+  ~PersistenceManager() override;
+
+  /// Creates the data directory if needed and discovers the newest existing
+  /// sequence number.
+  Status OpenDir();
+
+  /// Rehydrates engine state from the directory (delegates to
+  /// RecoveryManager) and publishes persist.recovery.* metrics.
+  Status Recover(Catalog* catalog, QssArchive* archive, QssArchive* workload,
+                 StatHistory* history, RecoveryReport* report, std::string* rng_state);
+
+  Result<uint64_t> BeginCheckpoint();
+  Status CommitSnapshot(const SnapshotContents& contents);
+
+  /// fsyncs the live WAL (clean-shutdown durability).
+  Status SyncWal();
+
+  // StatsWalSink. Append failures are sticky (wal_healthy() flips false and
+  // persist.wal.errors counts them) but non-fatal: statistics are always
+  // reconstructible, so a full disk degrades durability, not serving.
+  void LogArchiveConstraint(const ArchiveConstraintRecord& record) override;
+  void LogHistory(const HistoryWalRecord& record) override;
+  void LogCatalogStats(const CatalogStatsRecord& record) override;
+  void LogMigration(const MigrationRecord& record) override;
+  void LogBudgetEnforcement(const BudgetRecord& record) override;
+
+  const PersistenceOptions& options() const { return options_; }
+  uint64_t current_seq() const;
+  uint64_t wal_bytes() const;
+  uint64_t wal_records() const;
+  uint64_t checkpoints_completed() const {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
+  bool wal_healthy() const { return wal_healthy_.load(std::memory_order_relaxed); }
+
+  /// True when the auto-checkpoint policy says it is time.
+  bool ShouldAutoCheckpoint(uint64_t statements_since_checkpoint) const;
+
+  /// Human-readable state for SHOW PERSISTENCE.
+  std::string StatusString() const;
+
+ private:
+  void AppendRecord(const WalRecord& record);
+
+  const PersistenceOptions options_;
+  MetricsRegistry* metrics_;
+
+  mutable std::mutex wal_mu_;  // guards wal_ and seq_
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t seq_ = 0;
+
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<bool> wal_healthy_{true};
+};
+
+}  // namespace persist
+}  // namespace jits
+
+#endif  // JITS_PERSIST_MANAGER_H_

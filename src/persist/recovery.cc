@@ -1,0 +1,240 @@
+#include "persist/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/str_util.h"
+#include "core/migration.h"
+#include "persist/fs.h"
+
+namespace jits {
+namespace persist {
+
+namespace {
+
+constexpr char kSnapshotPrefix[] = "snapshot-";
+constexpr char kSnapshotSuffix[] = ".jits";
+constexpr char kWalPrefix[] = "wal-";
+constexpr char kWalSuffix[] = ".log";
+
+bool ParseSeq(const std::string& name, const char* prefix, const char* suffix,
+              uint64_t* seq) {
+  const size_t plen = std::string(prefix).size();
+  const size_t slen = std::string(suffix).size();
+  if (name.size() <= plen + slen) return false;
+  if (name.compare(0, plen, prefix) != 0) return false;
+  if (name.compare(name.size() - slen, slen, suffix) != 0) return false;
+  const std::string digits = name.substr(plen, name.size() - plen - slen);
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+/// Semantic validation of a decoded (CRC-clean) constraint record before it
+/// reaches GridHistogram's constructor, whose preconditions (finite,
+/// non-empty domain) would otherwise turn format damage into an abort.
+bool ConstraintRecordValid(const ArchiveConstraintRecord& c) {
+  if (c.column_names.empty() || c.domain.size() != c.column_names.size()) return false;
+  for (const Interval& v : c.domain) {
+    if (!std::isfinite(v.lo) || !std::isfinite(v.hi) || v.lo >= v.hi) return false;
+  }
+  for (const Interval& v : c.box) {
+    if (std::isnan(v.lo) || std::isnan(v.hi)) return false;
+  }
+  return std::isfinite(c.create_total_rows) && c.create_total_rows >= 0 &&
+         std::isfinite(c.box_rows) && c.box_rows >= 0 && std::isfinite(c.table_rows) &&
+         c.table_rows >= 0;
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t seq) {
+  return StrFormat("%s%llu%s", kSnapshotPrefix, static_cast<unsigned long long>(seq),
+                   kSnapshotSuffix);
+}
+
+std::string WalFileName(uint64_t seq) {
+  return StrFormat("%s%llu%s", kWalPrefix, static_cast<unsigned long long>(seq),
+                   kWalSuffix);
+}
+
+bool ParseSnapshotFileName(const std::string& name, uint64_t* seq) {
+  return ParseSeq(name, kSnapshotPrefix, kSnapshotSuffix, seq);
+}
+
+bool ParseWalFileName(const std::string& name, uint64_t* seq) {
+  return ParseSeq(name, kWalPrefix, kWalSuffix, seq);
+}
+
+std::string RecoveryReport::ToString() const {
+  if (!attempted) return "recovery: no persisted state found\n";
+  std::string out;
+  out += StrFormat("snapshot:        %s (seq %llu, %zu rejected)\n",
+                   snapshot_loaded ? "loaded" : "none",
+                   static_cast<unsigned long long>(snapshot_seq), snapshots_rejected);
+  out += StrFormat("wal:             %zu file(s), %zu record(s) applied, %zu rejected%s\n",
+                   wal_files_scanned, wal_records_applied, wal_records_rejected,
+                   wal_tail_truncated ? ", tail truncated" : "");
+  out += StrFormat("archive:         %zu histogram(s)\n", archive_histograms);
+  out += StrFormat("workload store:  %zu histogram(s)\n", workload_histograms);
+  out += StrFormat("stat history:    %zu entr(ies)\n", history_entries);
+  out += StrFormat("catalog stats:   %zu table(s) restored, %zu skipped\n",
+                   catalog_tables_restored, catalog_tables_skipped);
+  out += StrFormat("logical clock:   %llu\n", static_cast<unsigned long long>(clock));
+  out += StrFormat("rng state:       %s\n", rng_restored ? "restored" : "fresh");
+  return out;
+}
+
+Status RecoveryManager::Recover(const std::string& dir, RecoveryReport* report,
+                                std::string* rng_state) {
+  *report = RecoveryReport();
+  rng_state->clear();
+
+  std::vector<uint64_t> snapshot_seqs;
+  std::vector<uint64_t> wal_seqs;
+  for (const std::string& name : ListDir(dir)) {
+    uint64_t seq = 0;
+    if (ParseSnapshotFileName(name, &seq)) snapshot_seqs.push_back(seq);
+    if (ParseWalFileName(name, &seq)) wal_seqs.push_back(seq);
+  }
+  if (snapshot_seqs.empty() && wal_seqs.empty()) return Status::OK();
+  report->attempted = true;
+
+  // Newest snapshot that validates wins; damaged ones are counted and the
+  // next-older generation is tried.
+  std::sort(snapshot_seqs.rbegin(), snapshot_seqs.rend());
+  SnapshotContents contents;
+  for (uint64_t seq : snapshot_seqs) {
+    std::string bytes;
+    Status read = ReadFile(JoinPath(dir, SnapshotFileName(seq)), &bytes);
+    if (read.ok()) {
+      Status decoded = DecodeSnapshot(bytes, &contents);
+      if (decoded.ok()) {
+        report->snapshot_loaded = true;
+        report->snapshot_seq = seq;
+        break;
+      }
+    }
+    report->snapshots_rejected += 1;
+  }
+  if (report->snapshot_loaded) {
+    *rng_state = contents.rng_state;
+    report->rng_restored = !contents.rng_state.empty();
+    report->clock = contents.clock;
+    ApplySnapshot(std::move(contents), report);
+  }
+
+  // Replay WALs at or after the snapshot's sequence, oldest first. Stop at
+  // the first corrupt file or torn tail — later files could depend on the
+  // lost records, so the valid prefix ends there.
+  std::sort(wal_seqs.begin(), wal_seqs.end());
+  for (uint64_t seq : wal_seqs) {
+    if (report->snapshot_loaded && seq < report->snapshot_seq) continue;
+    WalScanStats stats;
+    // ApplyRecord can reject a frame on semantic grounds even though its
+    // checksum passed; those move from "applied" to "rejected" here.
+    const size_t rejected_before = report->wal_records_rejected;
+    Status scanned = ScanWal(
+        JoinPath(dir, WalFileName(seq)),
+        [this, report](const WalRecord& record) { ApplyRecord(record, report); }, &stats);
+    report->wal_files_scanned += 1;
+    if (!scanned.ok()) {
+      report->wal_records_rejected += 1;
+      report->wal_tail_truncated = true;
+      break;
+    }
+    const size_t semantic_rejects = report->wal_records_rejected - rejected_before;
+    report->wal_records_applied += stats.records_applied - semantic_rejects;
+    report->wal_records_rejected += stats.records_rejected;
+    if (stats.tail_truncated) {
+      report->wal_tail_truncated = true;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+void RecoveryManager::ApplySnapshot(SnapshotContents&& contents, RecoveryReport* report) {
+  if (contents.archive_budget > 0) archive_->set_bucket_budget(contents.archive_budget);
+  for (auto& [key, state] : contents.archive) {
+    archive_->Insert(key, std::make_shared<GridHistogram>(
+                              GridHistogram::FromState(std::move(state))));
+    report->archive_histograms += 1;
+  }
+  for (auto& [key, state] : contents.workload) {
+    workload_->Insert(key, std::make_shared<GridHistogram>(
+                               GridHistogram::FromState(std::move(state))));
+    report->workload_histograms += 1;
+  }
+  report->history_entries = contents.history.size();
+  history_->Restore(std::move(contents.history));
+  for (auto& [table, stats] : contents.catalog) {
+    ApplyCatalogStats(table, std::move(stats), report);
+  }
+  // Reinstate UDI counters so reloaded table data does not read as churn.
+  // A table missing from the live catalog is skipped, like its stats.
+  for (const auto& [table_name, udi] : contents.table_udi) {
+    Table* table = catalog_->FindTable(table_name);
+    if (table != nullptr) table->RestoreUdi(udi);
+  }
+}
+
+void RecoveryManager::ApplyCatalogStats(const std::string& table_name, TableStats stats,
+                                        RecoveryReport* report) {
+  Table* table = catalog_->FindTable(table_name);
+  // Persisted stats only apply when the live schema still matches; a table
+  // that was dropped or reshaped since the checkpoint is skipped, not an
+  // error — statistics are always reconstructible.
+  if (table == nullptr || stats.columns.size() != table->schema().num_columns()) {
+    report->catalog_tables_skipped += 1;
+    return;
+  }
+  catalog_->PublishStats(table, std::make_shared<TableStats>(std::move(stats)));
+  report->catalog_tables_restored += 1;
+}
+
+void RecoveryManager::ApplyRecord(const WalRecord& record, RecoveryReport* report) {
+  switch (record.type) {
+    case WalRecordType::kArchiveConstraint: {
+      const ArchiveConstraintRecord& c = record.constraint;
+      if (!ConstraintRecordValid(c)) {
+        report->wal_records_rejected += 1;
+        return;
+      }
+      QssArchive* target = c.store == StatsStore::kWorkload ? workload_ : archive_;
+      std::shared_ptr<GridHistogram> h = target->GetOrCreateShared(
+          c.key, c.column_names, c.domain, c.create_total_rows, c.now);
+      h->ApplyConstraint(c.box, c.box_rows, c.table_rows, c.now);
+      target->Touch(c.key, c.now);
+      report->clock = std::max(report->clock, c.now);
+      break;
+    }
+    case WalRecordType::kHistory:
+      history_->Record(record.history.table, record.history.colgrp,
+                       record.history.statlist, record.history.error_factor);
+      break;
+    case WalRecordType::kCatalogStats:
+      ApplyCatalogStats(record.catalog_stats.table, record.catalog_stats.stats, report);
+      report->clock = std::max(report->clock, record.catalog_stats.stats.collected_at_time);
+      break;
+    case WalRecordType::kMigration:
+      MigrateStatistics(*archive_, catalog_, record.migration.now);
+      report->clock = std::max(report->clock, record.migration.now);
+      break;
+    case WalRecordType::kBudget:
+      archive_->set_bucket_budget(record.budget.budget);
+      archive_->EnforceBudget();
+      break;
+  }
+}
+
+}  // namespace persist
+}  // namespace jits

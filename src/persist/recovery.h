@@ -1,0 +1,81 @@
+#ifndef JITS_PERSIST_RECOVERY_H_
+#define JITS_PERSIST_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "core/qss_archive.h"
+#include "feedback/stat_history.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+namespace jits {
+namespace persist {
+
+/// Data-directory file names: "snapshot-<seq>.jits" and "wal-<seq>.log".
+/// wal-S records everything that happened *after* snapshot-S was captured
+/// (both are created by checkpoint S, WAL first), so recovery is: load the
+/// newest valid snapshot S, then replay wal-S, wal-S+1, ... in order.
+std::string SnapshotFileName(uint64_t seq);
+std::string WalFileName(uint64_t seq);
+/// Parses the sequence number out of a file name; false when the name is
+/// not a snapshot/WAL file.
+bool ParseSnapshotFileName(const std::string& name, uint64_t* seq);
+bool ParseWalFileName(const std::string& name, uint64_t* seq);
+
+/// What a recovery pass found and restored — surfaced through
+/// SHOW PERSISTENCE and the persist.recovery.* metrics.
+struct RecoveryReport {
+  bool attempted = false;       // a data directory with persisted state existed
+  bool snapshot_loaded = false;
+  uint64_t snapshot_seq = 0;
+  size_t snapshots_rejected = 0;  // snapshot files failing magic/CRC/decode
+  size_t wal_files_scanned = 0;
+  size_t wal_records_applied = 0;
+  size_t wal_records_rejected = 0;  // torn/corrupt/invalid records dropped
+  bool wal_tail_truncated = false;  // replay stopped before a WAL's end
+  size_t archive_histograms = 0;    // restored into the QSS archive
+  size_t workload_histograms = 0;   // restored into the workload store
+  size_t history_entries = 0;
+  size_t catalog_tables_restored = 0;
+  size_t catalog_tables_skipped = 0;  // persisted stats for unknown tables
+  uint64_t clock = 0;                 // recovered logical clock (max seen)
+  bool rng_restored = false;
+
+  std::string ToString() const;
+};
+
+/// Rehydrates live engine state from a data directory: picks the newest
+/// snapshot that passes validation (rejected ones are counted, older ones
+/// tried), applies it, then replays every WAL at or after that sequence,
+/// stopping at the first sign of corruption. Never throws and never crashes
+/// on arbitrary bytes — damaged state degrades to "recover the valid
+/// prefix", worst case an empty engine.
+class RecoveryManager {
+ public:
+  RecoveryManager(Catalog* catalog, QssArchive* archive, QssArchive* workload,
+                  StatHistory* history)
+      : catalog_(catalog), archive_(archive), workload_(workload), history_(history) {}
+
+  /// `rng_state` receives the persisted RNG engine state ("" when absent);
+  /// the caller (Database) restores it into its sampling RNG.
+  Status Recover(const std::string& dir, RecoveryReport* report, std::string* rng_state);
+
+ private:
+  void ApplySnapshot(SnapshotContents&& contents, RecoveryReport* report);
+  void ApplyRecord(const WalRecord& record, RecoveryReport* report);
+  void ApplyCatalogStats(const std::string& table_name, TableStats stats,
+                         RecoveryReport* report);
+
+  Catalog* catalog_;
+  QssArchive* archive_;
+  QssArchive* workload_;
+  StatHistory* history_;
+};
+
+}  // namespace persist
+}  // namespace jits
+
+#endif  // JITS_PERSIST_RECOVERY_H_

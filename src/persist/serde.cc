@@ -1,0 +1,159 @@
+#include "persist/serde.h"
+
+#include <cstring>
+
+namespace jits {
+namespace persist {
+namespace {
+
+/// CRC-32 lookup table for the reflected IEEE polynomial 0xEDB88320,
+/// generated once on first use.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Writer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void Writer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void Writer::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Writer::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void Writer::PutDoubleVec(const std::vector<double>& v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  for (double d : v) PutDouble(d);
+}
+
+void Writer::PutU64Vec(const std::vector<uint64_t>& v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  for (uint64_t u : v) PutU64(u);
+}
+
+void Writer::PutStringVec(const std::vector<std::string>& v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  for (const std::string& s : v) PutString(s);
+}
+
+bool Reader::Take(size_t n, const char** out) {
+  if (failed_ || n > bytes_.size() - pos_) {
+    failed_ = true;
+    return false;
+  }
+  *out = bytes_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+uint8_t Reader::GetU8() {
+  const char* p;
+  if (!Take(1, &p)) return 0;
+  return static_cast<uint8_t>(*p);
+}
+
+uint32_t Reader::GetU32() {
+  const char* p;
+  if (!Take(4, &p)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+uint64_t Reader::GetU64() {
+  const char* p;
+  if (!Take(8, &p)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+double Reader::GetDouble() {
+  const uint64_t bits = GetU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Reader::GetString() {
+  const uint32_t n = GetU32();
+  const char* p;
+  if (!Take(n, &p)) return std::string();
+  return std::string(p, n);
+}
+
+std::vector<double> Reader::GetDoubleVec() {
+  const uint32_t n = GetU32();
+  // A corrupt length prefix must not drive a huge allocation: each element
+  // needs 8 input bytes, so the count is bounded by the remaining input.
+  if (failed_ || n > remaining() / 8) {
+    failed_ = true;
+    return {};
+  }
+  std::vector<double> v;
+  v.reserve(n);
+  for (uint32_t i = 0; i < n && !failed_; ++i) v.push_back(GetDouble());
+  return v;
+}
+
+std::vector<uint64_t> Reader::GetU64Vec() {
+  const uint32_t n = GetU32();
+  if (failed_ || n > remaining() / 8) {
+    failed_ = true;
+    return {};
+  }
+  std::vector<uint64_t> v;
+  v.reserve(n);
+  for (uint32_t i = 0; i < n && !failed_; ++i) v.push_back(GetU64());
+  return v;
+}
+
+std::vector<std::string> Reader::GetStringVec() {
+  const uint32_t n = GetU32();
+  // Each string costs at least its 4-byte length prefix.
+  if (failed_ || n > remaining() / 4) {
+    failed_ = true;
+    return {};
+  }
+  std::vector<std::string> v;
+  v.reserve(n);
+  for (uint32_t i = 0; i < n && !failed_; ++i) v.push_back(GetString());
+  return v;
+}
+
+}  // namespace persist
+}  // namespace jits

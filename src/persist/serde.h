@@ -1,0 +1,86 @@
+#ifndef JITS_PERSIST_SERDE_H_
+#define JITS_PERSIST_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jits {
+namespace persist {
+
+/// Current on-disk format version, stamped into every snapshot and WAL file
+/// header. Readers reject newer versions (no forward compatibility) and may
+/// translate older ones once the format evolves.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib convention) of a byte range.
+/// Every persisted payload — the snapshot body and each WAL record — carries
+/// one so torn or bit-flipped bytes are detected before deserialization.
+uint32_t Crc32(const void* data, size_t size);
+inline uint32_t Crc32(std::string_view bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+/// Append-only binary encoder. All integers are little-endian fixed-width;
+/// doubles are encoded as their IEEE-754 bit pattern, so values round-trip
+/// bit-identically (the acceptance bar for recovered estimates).
+class Writer {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutDouble(double v);
+  /// u32 length prefix + raw bytes.
+  void PutString(std::string_view s);
+  void PutDoubleVec(const std::vector<double>& v);
+  void PutU64Vec(const std::vector<uint64_t>& v);
+  void PutStringVec(const std::vector<std::string>& v);
+
+  const std::string& bytes() const { return buf_; }
+  std::string TakeBytes() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked decoder over a byte range. Any out-of-range read, or a
+/// length prefix larger than the remaining input, trips the failure flag and
+/// yields zero values from then on — never undefined behavior, whatever the
+/// bytes. Callers check ok() once after decoding a payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  uint8_t GetU8();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  double GetDouble();
+  std::string GetString();
+  std::vector<double> GetDoubleVec();
+  std::vector<uint64_t> GetU64Vec();
+  std::vector<std::string> GetStringVec();
+
+  /// True while every read so far was in bounds.
+  bool ok() const { return !failed_; }
+  /// True when the whole input was consumed (trailing garbage detection).
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  /// Marks the stream corrupt (used by callers when decoded values fail
+  /// semantic validation, so one ok() check covers both layers).
+  void MarkFailed() { failed_ = true; }
+
+ private:
+  bool Take(size_t n, const char** out);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace persist
+}  // namespace jits
+
+#endif  // JITS_PERSIST_SERDE_H_

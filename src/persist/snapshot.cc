@@ -1,0 +1,135 @@
+#include "persist/snapshot.h"
+
+#include "persist/serde.h"
+#include "persist/stats_codec.h"
+
+namespace jits {
+namespace persist {
+
+namespace {
+
+void EncodeHistogramList(
+    Writer* w, const std::vector<std::pair<std::string, GridHistogramState>>& list) {
+  w->PutU32(static_cast<uint32_t>(list.size()));
+  for (const auto& [key, state] : list) {
+    w->PutString(key);
+    EncodeGridHistogramState(w, state);
+  }
+}
+
+std::vector<std::pair<std::string, GridHistogramState>> DecodeHistogramList(Reader* r) {
+  std::vector<std::pair<std::string, GridHistogramState>> list;
+  const uint32_t n = r->GetU32();
+  if (!r->ok() || n > r->remaining() / 8) {
+    r->MarkFailed();
+    return list;
+  }
+  list.reserve(n);
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    std::string key = r->GetString();
+    GridHistogramState state = DecodeGridHistogramState(r);
+    list.emplace_back(std::move(key), std::move(state));
+  }
+  return list;
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const SnapshotContents& contents) {
+  Writer payload;
+  payload.PutU32(kFormatVersion);
+  payload.PutU64(contents.seq);
+  payload.PutU64(contents.clock);
+  payload.PutString(contents.rng_state);
+  payload.PutU64(contents.archive_budget);
+  EncodeHistogramList(&payload, contents.archive);
+  EncodeHistogramList(&payload, contents.workload);
+  payload.PutU32(static_cast<uint32_t>(contents.history.size()));
+  for (const StatHistoryEntry& e : contents.history) EncodeHistoryEntry(&payload, e);
+  payload.PutU32(static_cast<uint32_t>(contents.catalog.size()));
+  for (const auto& [table, stats] : contents.catalog) {
+    payload.PutString(table);
+    EncodeTableStats(&payload, stats);
+  }
+  payload.PutU32(static_cast<uint32_t>(contents.table_udi.size()));
+  for (const auto& [table, udi] : contents.table_udi) {
+    payload.PutString(table);
+    payload.PutU64(udi);
+  }
+
+  std::string body = payload.TakeBytes();
+  std::string result;
+  result.reserve(kSnapshotMagic.size() + 4 + body.size());
+  result.append(kSnapshotMagic);
+  Writer crc;
+  crc.PutU32(Crc32(body));
+  result.append(crc.bytes());
+  result.append(body);
+  return result;
+}
+
+Status DecodeSnapshot(std::string_view bytes, SnapshotContents* out) {
+  const size_t header = kSnapshotMagic.size() + 4;
+  if (bytes.size() < header || bytes.substr(0, kSnapshotMagic.size()) != kSnapshotMagic) {
+    return Status::ExecutionError("bad snapshot magic");
+  }
+  Reader crc_reader(bytes.substr(kSnapshotMagic.size(), 4));
+  const uint32_t expected_crc = crc_reader.GetU32();
+  const std::string_view body = bytes.substr(header);
+  if (Crc32(body) != expected_crc) {
+    return Status::ExecutionError("snapshot CRC mismatch");
+  }
+
+  Reader r(body);
+  const uint32_t version = r.GetU32();
+  if (version == 0 || version > kFormatVersion) {
+    return Status::ExecutionError("unsupported snapshot version");
+  }
+  SnapshotContents contents;
+  contents.seq = r.GetU64();
+  contents.clock = r.GetU64();
+  contents.rng_state = r.GetString();
+  contents.archive_budget = r.GetU64();
+  contents.archive = DecodeHistogramList(&r);
+  contents.workload = DecodeHistogramList(&r);
+
+  const uint32_t nhist = r.GetU32();
+  if (!r.ok() || nhist > r.remaining() / 8) {
+    return Status::ExecutionError("corrupt snapshot history section");
+  }
+  contents.history.reserve(nhist);
+  for (uint32_t i = 0; i < nhist && r.ok(); ++i) {
+    contents.history.push_back(DecodeHistoryEntry(&r));
+  }
+
+  const uint32_t ntables = r.GetU32();
+  if (!r.ok() || ntables > r.remaining() / 8) {
+    return Status::ExecutionError("corrupt snapshot catalog section");
+  }
+  contents.catalog.reserve(ntables);
+  for (uint32_t i = 0; i < ntables && r.ok(); ++i) {
+    std::string table = r.GetString();
+    TableStats stats = DecodeTableStats(&r);
+    contents.catalog.emplace_back(std::move(table), std::move(stats));
+  }
+
+  const uint32_t nudi = r.GetU32();
+  if (!r.ok() || nudi > r.remaining() / 8) {
+    return Status::ExecutionError("corrupt snapshot udi section");
+  }
+  contents.table_udi.reserve(nudi);
+  for (uint32_t i = 0; i < nudi && r.ok(); ++i) {
+    std::string table = r.GetString();
+    const uint64_t udi = r.GetU64();
+    contents.table_udi.emplace_back(std::move(table), udi);
+  }
+
+  if (!r.ok() || !r.AtEnd()) {
+    return Status::ExecutionError("corrupt snapshot payload");
+  }
+  *out = std::move(contents);
+  return Status::OK();
+}
+
+}  // namespace persist
+}  // namespace jits

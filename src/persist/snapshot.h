@@ -1,0 +1,65 @@
+#ifndef JITS_PERSIST_SNAPSHOT_H_
+#define JITS_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "catalog/column_stats.h"
+#include "common/status.h"
+#include "feedback/stat_history.h"
+#include "histogram/grid_histogram.h"
+
+namespace jits {
+namespace persist {
+
+/// Snapshot file layout:
+///
+///   "JITSNAP1" | u32 crc32(payload) | payload
+///
+/// The payload (see EncodeSnapshot) starts with the format version and the
+/// checkpoint sequence number and then carries the complete JITS state. Any
+/// truncation or bit flip anywhere fails the CRC and the whole file is
+/// rejected — snapshots are all-or-nothing; incremental durability is the
+/// WAL's job.
+inline constexpr std::string_view kSnapshotMagic = "JITSNAP1";
+
+/// Complete persisted JITS state, decoupled from the live engine objects:
+/// the checkpoint path exports into this struct under the persist gate and
+/// serializes outside it; recovery decodes into it and applies.
+struct SnapshotContents {
+  uint64_t seq = 0;
+  uint64_t clock = 0;        // the engine's logical statement clock
+  std::string rng_state;     // textual std::mt19937_64 state; "" = absent
+  uint64_t archive_budget = 0;
+
+  /// Key-sorted (table, column-set) → histogram state, one list per store.
+  std::vector<std::pair<std::string, GridHistogramState>> archive;
+  std::vector<std::pair<std::string, GridHistogramState>> workload;
+
+  std::vector<StatHistoryEntry> history;
+
+  /// Lower-case table name → catalog statistics.
+  std::vector<std::pair<std::string, TableStats>> catalog;
+
+  /// Lower-case table name → UDI counter (updates/deletes/inserts since the
+  /// last statistics collection). Part of the persisted bookkeeping: the
+  /// sensitivity analysis reads it as the data-activity signal, so a
+  /// recovered engine must not mistake reloaded table data for churn.
+  std::vector<std::pair<std::string, uint64_t>> table_udi;
+};
+
+std::string EncodeSnapshot(const SnapshotContents& contents);
+
+/// Decodes a whole snapshot file. Rejects bad magic, unsupported versions,
+/// CRC mismatches and any structurally invalid payload — on every path the
+/// out-param is untouched garbage-free and the byte range is never
+/// over-read, whatever the input.
+Status DecodeSnapshot(std::string_view bytes, SnapshotContents* out);
+
+}  // namespace persist
+}  // namespace jits
+
+#endif  // JITS_PERSIST_SNAPSHOT_H_

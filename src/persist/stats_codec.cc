@@ -1,0 +1,216 @@
+#include "persist/stats_codec.h"
+
+#include <cmath>
+#include <utility>
+
+namespace jits {
+namespace persist {
+
+void EncodeInterval(Writer* w, const Interval& v) {
+  w->PutDouble(v.lo);
+  w->PutDouble(v.hi);
+}
+
+Interval DecodeInterval(Reader* r) {
+  Interval v;
+  v.lo = r->GetDouble();
+  v.hi = r->GetDouble();
+  return v;
+}
+
+void EncodeBox(Writer* w, const Box& box) {
+  w->PutU32(static_cast<uint32_t>(box.size()));
+  for (const Interval& v : box) EncodeInterval(w, v);
+}
+
+Box DecodeBox(Reader* r) {
+  const uint32_t n = r->GetU32();
+  if (!r->ok() || n > r->remaining() / 16) {
+    r->MarkFailed();
+    return {};
+  }
+  Box box;
+  box.reserve(n);
+  for (uint32_t i = 0; i < n && r->ok(); ++i) box.push_back(DecodeInterval(r));
+  return box;
+}
+
+void EncodeGridHistogramState(Writer* w, const GridHistogramState& state) {
+  w->PutStringVec(state.column_names);
+  w->PutU32(static_cast<uint32_t>(state.boundaries.size()));
+  for (const std::vector<double>& b : state.boundaries) w->PutDoubleVec(b);
+  w->PutDoubleVec(state.counts);
+  w->PutU64Vec(state.stamps);
+  w->PutU32(static_cast<uint32_t>(state.constraints.size()));
+  for (const GridHistogramState::Constraint& c : state.constraints) {
+    EncodeBox(w, c.box);
+    w->PutDouble(c.rows);
+  }
+  w->PutU64(state.last_used);
+}
+
+GridHistogramState DecodeGridHistogramState(Reader* r) {
+  GridHistogramState state;
+  state.column_names = r->GetStringVec();
+  const uint32_t ndims = r->GetU32();
+  if (!r->ok() || ndims > r->remaining() / 4) {
+    r->MarkFailed();
+    return {};
+  }
+  state.boundaries.reserve(ndims);
+  for (uint32_t d = 0; d < ndims && r->ok(); ++d) {
+    state.boundaries.push_back(r->GetDoubleVec());
+  }
+  state.counts = r->GetDoubleVec();
+  state.stamps = r->GetU64Vec();
+  const uint32_t ncons = r->GetU32();
+  if (!r->ok() || ncons > r->remaining() / 8) {
+    r->MarkFailed();
+    return {};
+  }
+  state.constraints.reserve(ncons);
+  for (uint32_t i = 0; i < ncons && r->ok(); ++i) {
+    GridHistogramState::Constraint c;
+    c.box = DecodeBox(r);
+    c.rows = r->GetDouble();
+    state.constraints.push_back(std::move(c));
+  }
+  state.last_used = r->GetU64();
+  if (!r->ok()) return {};
+  // Structural validation is part of decoding: bytes that parse but describe
+  // an inconsistent histogram (mismatched cell product, non-monotone
+  // boundaries, ...) are corruption too.
+  if (!GridHistogram::StateValid(state)) {
+    r->MarkFailed();
+    return {};
+  }
+  return state;
+}
+
+void EncodeEquiDepth(Writer* w, const EquiDepthHistogram& h) {
+  w->PutDoubleVec(h.boundaries());
+  w->PutDoubleVec(h.counts());
+  w->PutDoubleVec(h.distinct_counts());
+  w->PutDouble(h.total_rows());
+}
+
+EquiDepthHistogram DecodeEquiDepth(Reader* r) {
+  std::vector<double> boundaries = r->GetDoubleVec();
+  std::vector<double> counts = r->GetDoubleVec();
+  std::vector<double> distinct = r->GetDoubleVec();
+  const double total_rows = r->GetDouble();
+  if (!r->ok()) return EquiDepthHistogram();
+  if (boundaries.empty() && counts.empty() && distinct.empty()) {
+    return EquiDepthHistogram();  // a never-built histogram round-trips empty
+  }
+  if (boundaries.size() != counts.size() + 1 || distinct.size() != counts.size() ||
+      counts.empty() || !std::isfinite(total_rows) || total_rows < 0) {
+    r->MarkFailed();
+    return EquiDepthHistogram();
+  }
+  for (double b : boundaries) {
+    if (std::isnan(b)) {
+      r->MarkFailed();
+      return EquiDepthHistogram();
+    }
+  }
+  return EquiDepthHistogram::FromParts(std::move(boundaries), std::move(counts),
+                                       std::move(distinct), total_rows);
+}
+
+void EncodeTableStats(Writer* w, const TableStats& stats) {
+  w->PutU8(stats.valid ? 1 : 0);
+  w->PutDouble(stats.cardinality);
+  w->PutU64(stats.collected_at_time);
+  w->PutU64(stats.collected_at_version);
+  w->PutU32(static_cast<uint32_t>(stats.columns.size()));
+  for (const ColumnStats& c : stats.columns) {
+    w->PutDouble(c.distinct);
+    w->PutDouble(c.min_key);
+    w->PutDouble(c.max_key);
+    EncodeEquiDepth(w, c.histogram);
+    w->PutU32(static_cast<uint32_t>(c.frequent_values.size()));
+    for (const auto& [key, count] : c.frequent_values) {
+      w->PutDouble(key);
+      w->PutDouble(count);
+    }
+  }
+  w->PutU32(static_cast<uint32_t>(stats.column_valid.size()));
+  for (bool v : stats.column_valid) w->PutU8(v ? 1 : 0);
+}
+
+TableStats DecodeTableStats(Reader* r) {
+  TableStats stats;
+  stats.valid = r->GetU8() != 0;
+  stats.cardinality = r->GetDouble();
+  stats.collected_at_time = r->GetU64();
+  stats.collected_at_version = r->GetU64();
+  const uint32_t ncols = r->GetU32();
+  // Each column encodes at least its three doubles, so the count is bounded
+  // by the remaining input and cannot drive a runaway allocation.
+  if (!r->ok() || ncols > r->remaining() / 24) {
+    r->MarkFailed();
+    return TableStats();
+  }
+  stats.columns.reserve(ncols);
+  for (uint32_t i = 0; i < ncols && r->ok(); ++i) {
+    ColumnStats c;
+    c.distinct = r->GetDouble();
+    c.min_key = r->GetDouble();
+    c.max_key = r->GetDouble();
+    c.histogram = DecodeEquiDepth(r);
+    const uint32_t nfreq = r->GetU32();
+    if (!r->ok() || nfreq > r->remaining() / 16) {
+      r->MarkFailed();
+      return TableStats();
+    }
+    c.frequent_values.reserve(nfreq);
+    for (uint32_t j = 0; j < nfreq && r->ok(); ++j) {
+      const double key = r->GetDouble();
+      const double count = r->GetDouble();
+      c.frequent_values.emplace_back(key, count);
+    }
+    stats.columns.push_back(std::move(c));
+  }
+  const uint32_t nvalid = r->GetU32();
+  if (!r->ok() || nvalid > r->remaining()) {
+    r->MarkFailed();
+    return TableStats();
+  }
+  stats.column_valid.reserve(nvalid);
+  for (uint32_t i = 0; i < nvalid && r->ok(); ++i) {
+    stats.column_valid.push_back(r->GetU8() != 0);
+  }
+  if (!r->ok()) return TableStats();
+  if (!std::isfinite(stats.cardinality) || stats.cardinality < 0 ||
+      stats.column_valid.size() != stats.columns.size()) {
+    r->MarkFailed();
+    return TableStats();
+  }
+  return stats;
+}
+
+void EncodeHistoryEntry(Writer* w, const StatHistoryEntry& e) {
+  w->PutString(e.table);
+  w->PutString(e.colgrp);
+  w->PutStringVec(e.statlist);
+  w->PutDouble(e.count);
+  w->PutDouble(e.error_factor);
+}
+
+StatHistoryEntry DecodeHistoryEntry(Reader* r) {
+  StatHistoryEntry e;
+  e.table = r->GetString();
+  e.colgrp = r->GetString();
+  e.statlist = r->GetStringVec();
+  e.count = r->GetDouble();
+  e.error_factor = r->GetDouble();
+  if (r->ok() && (!std::isfinite(e.count) || e.count < 0 || std::isnan(e.error_factor))) {
+    r->MarkFailed();
+    return StatHistoryEntry();
+  }
+  return e;
+}
+
+}  // namespace persist
+}  // namespace jits

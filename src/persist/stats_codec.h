@@ -1,0 +1,42 @@
+#ifndef JITS_PERSIST_STATS_CODEC_H_
+#define JITS_PERSIST_STATS_CODEC_H_
+
+#include "catalog/column_stats.h"
+#include "feedback/stat_history.h"
+#include "histogram/box.h"
+#include "histogram/grid_histogram.h"
+#include "persist/serde.h"
+
+namespace jits {
+namespace persist {
+
+/// Field-level encoders shared by the snapshot and the WAL: both formats
+/// persist the same statistics objects, so the byte layout of each object is
+/// defined exactly once here. Every decoder is total — on malformed input it
+/// trips the Reader's failure flag (possibly after semantic validation) and
+/// returns a default value; it never reads out of bounds or builds an object
+/// that violates its class invariants.
+
+void EncodeInterval(Writer* w, const Interval& v);
+Interval DecodeInterval(Reader* r);
+
+void EncodeBox(Writer* w, const Box& box);
+Box DecodeBox(Reader* r);
+
+void EncodeGridHistogramState(Writer* w, const GridHistogramState& state);
+/// Validates with GridHistogram::StateValid; failure marks the reader.
+GridHistogramState DecodeGridHistogramState(Reader* r);
+
+void EncodeEquiDepth(Writer* w, const EquiDepthHistogram& h);
+EquiDepthHistogram DecodeEquiDepth(Reader* r);
+
+void EncodeTableStats(Writer* w, const TableStats& stats);
+TableStats DecodeTableStats(Reader* r);
+
+void EncodeHistoryEntry(Writer* w, const StatHistoryEntry& e);
+StatHistoryEntry DecodeHistoryEntry(Reader* r);
+
+}  // namespace persist
+}  // namespace jits
+
+#endif  // JITS_PERSIST_STATS_CODEC_H_

@@ -1,0 +1,208 @@
+#include "persist/wal.h"
+
+#include "persist/fs.h"
+#include "persist/serde.h"
+#include "persist/stats_codec.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define JITS_HAVE_FSYNC 1
+#endif
+
+namespace jits {
+namespace persist {
+
+std::string EncodeWalPayload(const WalRecord& record) {
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(record.type));
+  switch (record.type) {
+    case WalRecordType::kArchiveConstraint: {
+      const ArchiveConstraintRecord& c = record.constraint;
+      w.PutU8(static_cast<uint8_t>(c.store));
+      w.PutString(c.key);
+      w.PutStringVec(c.column_names);
+      EncodeBox(&w, c.domain);
+      w.PutDouble(c.create_total_rows);
+      EncodeBox(&w, c.box);
+      w.PutDouble(c.box_rows);
+      w.PutDouble(c.table_rows);
+      w.PutU64(c.now);
+      break;
+    }
+    case WalRecordType::kHistory: {
+      const HistoryWalRecord& h = record.history;
+      w.PutString(h.table);
+      w.PutString(h.colgrp);
+      w.PutStringVec(h.statlist);
+      w.PutDouble(h.error_factor);
+      break;
+    }
+    case WalRecordType::kCatalogStats: {
+      w.PutString(record.catalog_stats.table);
+      EncodeTableStats(&w, record.catalog_stats.stats);
+      break;
+    }
+    case WalRecordType::kMigration:
+      w.PutU64(record.migration.now);
+      break;
+    case WalRecordType::kBudget:
+      w.PutU64(record.budget.budget);
+      break;
+  }
+  return w.TakeBytes();
+}
+
+bool DecodeWalPayload(std::string_view payload, WalRecord* out) {
+  Reader r(payload);
+  const uint8_t type = r.GetU8();
+  switch (type) {
+    case static_cast<uint8_t>(WalRecordType::kArchiveConstraint): {
+      out->type = WalRecordType::kArchiveConstraint;
+      ArchiveConstraintRecord& c = out->constraint;
+      const uint8_t store = r.GetU8();
+      if (store > static_cast<uint8_t>(StatsStore::kWorkload)) return false;
+      c.store = static_cast<StatsStore>(store);
+      c.key = r.GetString();
+      c.column_names = r.GetStringVec();
+      c.domain = DecodeBox(&r);
+      c.create_total_rows = r.GetDouble();
+      c.box = DecodeBox(&r);
+      c.box_rows = r.GetDouble();
+      c.table_rows = r.GetDouble();
+      c.now = r.GetU64();
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kHistory): {
+      out->type = WalRecordType::kHistory;
+      HistoryWalRecord& h = out->history;
+      h.table = r.GetString();
+      h.colgrp = r.GetString();
+      h.statlist = r.GetStringVec();
+      h.error_factor = r.GetDouble();
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kCatalogStats): {
+      out->type = WalRecordType::kCatalogStats;
+      out->catalog_stats.table = r.GetString();
+      out->catalog_stats.stats = DecodeTableStats(&r);
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kMigration):
+      out->type = WalRecordType::kMigration;
+      out->migration.now = r.GetU64();
+      break;
+    case static_cast<uint8_t>(WalRecordType::kBudget):
+      out->type = WalRecordType::kBudget;
+      out->budget.budget = r.GetU64();
+      break;
+    default:
+      return false;
+  }
+  return r.ok() && r.AtEnd();
+}
+
+Status WalWriter::Create(const std::string& path, uint64_t seq,
+                         std::unique_ptr<WalWriter>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::ExecutionError("cannot create WAL " + path);
+  // Raw magic bytes, then version and seq little-endian.
+  Writer h;
+  h.PutU32(kFormatVersion);
+  h.PutU64(seq);
+  bool ok = std::fwrite(kWalMagic.data(), 1, kWalMagic.size(), f) == kWalMagic.size();
+  ok = ok && std::fwrite(h.bytes().data(), 1, h.size(), f) == h.size();
+  ok = std::fflush(f) == 0 && ok;
+  if (!ok) {
+    std::fclose(f);
+    return Status::ExecutionError("cannot write WAL header " + path);
+  }
+  out->reset(new WalWriter(f, seq, kWalMagic.size() + h.size()));
+  return Status::OK();
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Append(std::string_view payload) {
+  if (file_ == nullptr) return Status::ExecutionError("WAL closed");
+  Writer frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload));
+  bool ok = std::fwrite(frame.bytes().data(), 1, frame.size(), file_) == frame.size();
+  ok = ok && (payload.empty() ||
+              std::fwrite(payload.data(), 1, payload.size(), file_) == payload.size());
+  ok = std::fflush(file_) == 0 && ok;
+  if (!ok) return Status::ExecutionError("WAL append failed");
+  bytes_ += frame.size() + payload.size();
+  records_ += 1;
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::OK();
+#ifdef JITS_HAVE_FSYNC
+  if (::fsync(fileno(file_)) != 0) return Status::ExecutionError("WAL fsync failed");
+#endif
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status ScanWal(const std::string& path, const std::function<void(const WalRecord&)>& fn,
+               WalScanStats* stats) {
+  *stats = WalScanStats();
+  std::string bytes;
+  JITS_RETURN_IF_ERROR(ReadFile(path, &bytes));
+
+  const size_t header_size = kWalMagic.size() + 4 + 8;
+  if (bytes.size() < header_size ||
+      std::string_view(bytes).substr(0, kWalMagic.size()) != kWalMagic) {
+    return Status::ExecutionError("bad WAL header: " + path);
+  }
+  Reader header(std::string_view(bytes).substr(kWalMagic.size(), 12));
+  const uint32_t version = header.GetU32();
+  stats->seq = header.GetU64();
+  if (version == 0 || version > kFormatVersion) {
+    return Status::ExecutionError("unsupported WAL version in " + path);
+  }
+  stats->header_ok = true;
+  stats->bytes_valid = header_size;
+
+  size_t pos = header_size;
+  const std::string_view all(bytes);
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) {  // torn frame header
+      stats->records_rejected += 1;
+      stats->tail_truncated = true;
+      break;
+    }
+    Reader frame(all.substr(pos, 8));
+    const uint32_t len = frame.GetU32();
+    const uint32_t crc = frame.GetU32();
+    if (len > bytes.size() - pos - 8) {  // torn payload
+      stats->records_rejected += 1;
+      stats->tail_truncated = true;
+      break;
+    }
+    const std::string_view payload = all.substr(pos + 8, len);
+    WalRecord record;
+    if (Crc32(payload) != crc || !DecodeWalPayload(payload, &record)) {
+      // Bit flip or format damage: everything from here on is untrusted.
+      stats->records_rejected += 1;
+      stats->tail_truncated = true;
+      break;
+    }
+    fn(record);
+    stats->records_applied += 1;
+    pos += 8 + len;
+    stats->bytes_valid = pos;
+  }
+  return Status::OK();
+}
+
+}  // namespace persist
+}  // namespace jits

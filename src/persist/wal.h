@@ -1,0 +1,102 @@
+#ifndef JITS_PERSIST_WAL_H_
+#define JITS_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "persist/wal_sink.h"
+
+namespace jits {
+namespace persist {
+
+/// WAL file layout:
+///
+///   header:  "JITSWAL1" | u32 format version | u64 sequence number
+///   records: [u32 payload len | u32 crc32(payload) | payload]*
+///
+/// A record's payload starts with a WalRecordType byte. Records are framed
+/// individually so a crash mid-append leaves a torn tail that the reader
+/// detects (short frame or CRC mismatch) and discards — everything before it
+/// replays normally.
+inline constexpr std::string_view kWalMagic = "JITSWAL1";
+
+enum class WalRecordType : uint8_t {
+  kArchiveConstraint = 1,
+  kHistory = 2,
+  kCatalogStats = 3,
+  kMigration = 4,
+  kBudget = 5,
+};
+
+/// One decoded WAL record: `type` selects which member is meaningful.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kMigration;
+  ArchiveConstraintRecord constraint;
+  HistoryWalRecord history;
+  CatalogStatsRecord catalog_stats;
+  MigrationRecord migration;
+  BudgetRecord budget;
+};
+
+/// Serializes one record into a frame payload (type byte + fields).
+std::string EncodeWalPayload(const WalRecord& record);
+/// Decodes a frame payload; false on any malformed byte (never UB).
+bool DecodeWalPayload(std::string_view payload, WalRecord* out);
+
+/// Append-only writer. Created fresh at each checkpoint (WAL files are
+/// rotated, never reopened for append), flushed per record so a process
+/// crash loses at most the record being written; fsync is explicit (Sync).
+/// Not internally synchronized — the persistence manager serializes appends.
+class WalWriter {
+ public:
+  static Status Create(const std::string& path, uint64_t seq,
+                       std::unique_ptr<WalWriter>* out);
+  ~WalWriter();
+
+  Status Append(std::string_view payload);
+  /// fsyncs accumulated appends (checkpoint / clean shutdown durability).
+  Status Sync();
+  void Close();
+
+  uint64_t bytes() const { return bytes_; }
+  uint64_t records() const { return records_; }
+  uint64_t seq() const { return seq_; }
+
+ private:
+  WalWriter(std::FILE* f, uint64_t seq, uint64_t header_bytes)
+      : file_(f), seq_(seq), bytes_(header_bytes) {}
+
+  std::FILE* file_;
+  uint64_t seq_;
+  uint64_t bytes_;
+  uint64_t records_ = 0;
+};
+
+/// Outcome of scanning one WAL file.
+struct WalScanStats {
+  bool header_ok = false;      // magic/version/readable header
+  uint64_t seq = 0;            // sequence number from the header
+  size_t records_applied = 0;  // frames decoded and delivered to the callback
+  size_t records_rejected = 0; // frames dropped (torn, CRC or decode failure)
+  bool tail_truncated = false; // scan stopped before end-of-file
+  uint64_t bytes_valid = 0;    // length of the valid prefix
+};
+
+/// Replays a WAL file through `fn`. Stops at the first invalid frame — a
+/// torn tail, CRC mismatch or undecodable payload — reporting the valid
+/// prefix in `stats`; every delivered record passed its checksum and
+/// decoded cleanly. Returns non-OK only for I/O-level failures (missing
+/// file, bad header); in-file corruption is reported via `stats`, not an
+/// error, because recovering the valid prefix is the expected path.
+Status ScanWal(const std::string& path, const std::function<void(const WalRecord&)>& fn,
+               WalScanStats* stats);
+
+}  // namespace persist
+}  // namespace jits
+
+#endif  // JITS_PERSIST_WAL_H_

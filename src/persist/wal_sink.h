@@ -1,0 +1,82 @@
+#ifndef JITS_PERSIST_WAL_SINK_H_
+#define JITS_PERSIST_WAL_SINK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/column_stats.h"
+#include "histogram/box.h"
+
+namespace jits {
+namespace persist {
+
+/// Which of the engine's two histogram archives a record targets.
+enum class StatsStore : uint8_t {
+  kArchive = 0,   // the long-lived QSS archive
+  kWorkload = 1,  // the unbounded workload-statistics store (RUNSTATS mode)
+};
+
+/// One maximum-entropy constraint application, logged self-contained: the
+/// creation parameters let replay re-run GetOrCreateShared for histograms
+/// born between checkpoints, and the constraint itself is re-applied through
+/// the ordinary ApplyConstraint path, so replay reproduces the exact IPF
+/// sequence the live engine ran.
+struct ArchiveConstraintRecord {
+  StatsStore store = StatsStore::kArchive;
+  std::string key;                        // QssArchive::KeyFor canonical key
+  std::vector<std::string> column_names;  // creation: one per dimension
+  std::vector<Interval> domain;           // creation: finite per-dim domain
+  double create_total_rows = 0;           // creation: initial mass
+  Box box;                                // the constraint box
+  double box_rows = 0;                    // rows observed inside box
+  double table_rows = 0;                  // table cardinality at observation
+  uint64_t now = 0;                       // logical clock of the observation
+};
+
+/// One StatHistory::Record upsert (LEO-style feedback, paper Table 1).
+struct HistoryWalRecord {
+  std::string table;
+  std::string colgrp;
+  std::vector<std::string> statlist;
+  double error_factor = 1.0;
+};
+
+/// A full per-table catalog-statistics publication (RUNSTATS result).
+struct CatalogStatsRecord {
+  std::string table;  // lower-case table name
+  TableStats stats;
+};
+
+/// A statistics-migration pass at logical time `now`. Migration is a
+/// deterministic function of (archive, catalog), so the event alone replays.
+struct MigrationRecord {
+  uint64_t now = 0;
+};
+
+/// A budget enforcement pass. Eviction is deterministic given the budget and
+/// archive state, so logging (budget, event) keeps replayed eviction order
+/// faithful to the live run.
+struct BudgetRecord {
+  uint64_t budget = 0;
+};
+
+/// Abstract write-ahead-log sink the statistics layers (collector, feedback,
+/// migration) log through. Core code depends only on this interface; the
+/// file-backed implementation lives in the persistence manager. All methods
+/// must be thread-safe — collectors on different tables log concurrently.
+class StatsWalSink {
+ public:
+  virtual ~StatsWalSink() = default;
+
+  virtual void LogArchiveConstraint(const ArchiveConstraintRecord& record) = 0;
+  virtual void LogHistory(const HistoryWalRecord& record) = 0;
+  virtual void LogCatalogStats(const CatalogStatsRecord& record) = 0;
+  virtual void LogMigration(const MigrationRecord& record) = 0;
+  virtual void LogBudgetEnforcement(const BudgetRecord& record) = 0;
+};
+
+}  // namespace persist
+}  // namespace jits
+
+#endif  // JITS_PERSIST_WAL_SINK_H_

@@ -65,11 +65,15 @@ struct ExplainAst {
   bool analyze = false;
 };
 
-/// SHOW METRICS / SHOW JITS STATUS: engine introspection.
+/// SHOW METRICS / SHOW JITS STATUS / SHOW PERSISTENCE: engine introspection.
 struct ShowAst {
-  enum class What { kMetrics, kJitsStatus };
+  enum class What { kMetrics, kJitsStatus, kPersistence };
   What what = What::kMetrics;
 };
+
+/// CHECKPOINT: snapshot all JITS state to the data directory and rotate the
+/// write-ahead log (no-op error when persistence is not open).
+struct CheckpointAst {};
 
 /// ANALYZE [table]: collect general statistics (RUNSTATS) on one table or,
 /// with no argument, on every table.
@@ -100,7 +104,7 @@ struct CreateTableAst {
 
 using StatementAst =
     std::variant<SelectAst, InsertAst, UpdateAst, DeleteAst, CreateTableAst, ExplainAst,
-                 AnalyzeAst, ShowAst>;
+                 AnalyzeAst, ShowAst, CheckpointAst>;
 
 }  // namespace jits
 

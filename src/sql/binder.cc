@@ -260,6 +260,9 @@ Result<BoundStatement> Bind(const StatementAst& ast, Catalog* catalog) {
   if (const auto* show = std::get_if<ShowAst>(&ast)) {
     return BoundStatement(*show);
   }
+  if (const auto* checkpoint = std::get_if<CheckpointAst>(&ast)) {
+    return BoundStatement(*checkpoint);
+  }
   return Status::Internal("unhandled statement kind");
 }
 

@@ -30,11 +30,18 @@ class Parser {
       } else if (MatchKeyword("JITS")) {
         JITS_RETURN_IF_ERROR(ExpectKeyword("STATUS"));
         show.what = ShowAst::What::kJitsStatus;
+      } else if (MatchKeyword("PERSISTENCE")) {
+        show.what = ShowAst::What::kPersistence;
       } else {
-        return Error("expected METRICS or JITS STATUS after SHOW");
+        return Error("expected METRICS, JITS STATUS or PERSISTENCE after SHOW");
       }
       JITS_RETURN_IF_ERROR(ExpectStatementEnd());
       return StatementAst(show);
+    }
+    if (IsKeyword("CHECKPOINT")) {
+      Advance();
+      JITS_RETURN_IF_ERROR(ExpectStatementEnd());
+      return StatementAst(CheckpointAst{});
     }
     if (IsKeyword("ANALYZE")) {
       Advance();
@@ -49,7 +56,8 @@ class Parser {
     if (IsKeyword("DELETE")) return ParseDelete();
     if (IsKeyword("CREATE")) return ParseCreate();
     return Error(
-        "expected SELECT, INSERT, UPDATE, DELETE, CREATE, EXPLAIN, ANALYZE or SHOW");
+        "expected SELECT, INSERT, UPDATE, DELETE, CREATE, EXPLAIN, ANALYZE, SHOW or "
+        "CHECKPOINT");
   }
 
  private:

@@ -62,6 +62,9 @@ class Table {
   /// staleness signal s2 = UDI / cardinality.
   uint64_t udi_counter() const { return udi_counter_.load(std::memory_order_relaxed); }
   void ResetUdi() { udi_counter_.store(0, std::memory_order_relaxed); }
+  /// Persistence recovery: reinstates the checkpointed counter so reloaded
+  /// table data is not mistaken for churn by the sensitivity analysis.
+  void RestoreUdi(uint64_t value) { udi_counter_.store(value, std::memory_order_relaxed); }
 
   /// Monotonic version, bumped by every mutation; consumers (indexes,
   /// cached stats) use it for invalidation.

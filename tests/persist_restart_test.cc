@@ -1,0 +1,310 @@
+// Warm-restart integration tests: a checkpointed engine reloaded in a fresh
+// process must pick up exactly where it left off — identical selectivity
+// estimates for the remaining workload, no redundant re-sampling — because
+// the snapshot restores the archive, history, catalog stats, logical clock
+// and the sampling RNG bit-for-bit.
+//
+// The workloads here are query-only (update_fraction = 0): persistence
+// covers statistics, not table data, so the "restarted process" regenerates
+// the same data from the same seed and updates would legitimately diverge.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "histogram/grid_histogram.h"
+#include "persist/manager.h"
+#include "persist/recovery.h"
+#include "workload/datagen.h"
+#include "workload/workload_gen.h"
+
+namespace jits {
+namespace {
+
+constexpr double kScale = 0.01;
+constexpr uint64_t kSeed = 1234;
+
+std::string TestDir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "jits_restart_" + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+std::unique_ptr<Database> MakeEngine() {
+  auto db = std::make_unique<Database>(kSeed);
+  db->set_row_limit(0);
+  DataGenConfig datagen;
+  datagen.scale = kScale;
+  datagen.seed = kSeed;
+  EXPECT_TRUE(GenerateCarDatabase(db.get(), datagen).ok());
+  db->jits_config()->enabled = true;
+  return db;
+}
+
+std::vector<WorkloadItem> QueryOnlyWorkload(size_t num_items) {
+  WorkloadConfig config;
+  config.scale = kScale;
+  config.num_items = num_items;
+  config.update_fraction = 0;
+  return GenerateWorkload(config);
+}
+
+persist::PersistenceOptions Options(const std::string& dir) {
+  persist::PersistenceOptions options;
+  options.data_dir = dir;
+  options.fsync = false;  // process "crashes" here are clean exits
+  return options;
+}
+
+std::string DumpArchive(QssArchive* archive) {
+  std::map<std::string, std::string> by_key;
+  for (const auto& [key, hist] : archive->Snapshot()) {
+    GridHistogramState s = hist->ExportState();
+    std::ostringstream os;
+    os.precision(17);
+    for (const auto& dim : s.boundaries) {
+      for (double b : dim) os << b << ",";
+      os << "|";
+    }
+    os << " counts:";
+    for (double c : s.counts) os << c << ",";
+    os << " stamps:";
+    for (uint64_t t : s.stamps) os << t << ",";
+    os << " cons:";
+    for (const auto& c : s.constraints) os << c.rows << ",";
+    os << " lu:" << s.last_used;
+    by_key[key] = os.str();
+  }
+  std::ostringstream all;
+  for (const auto& [k, v] : by_key) all << k << " => " << v << "\n";
+  return all.str();
+}
+
+/// Per-query estimate trace plus sampling effort over an item range.
+struct Trace {
+  std::vector<double> est_rows;
+  size_t tables_sampled = 0;
+};
+
+Trace RunRange(Database* db, const std::vector<WorkloadItem>& items, size_t begin,
+               size_t end) {
+  Trace trace;
+  for (size_t i = begin; i < end; ++i) {
+    QueryResult qr;
+    EXPECT_TRUE(db->Execute(items[i].sql(), &qr).ok()) << items[i].sql();
+    trace.est_rows.push_back(qr.est_rows);
+    trace.tables_sampled += qr.tables_sampled;
+  }
+  return trace;
+}
+
+TEST(RestartTest, RecoveredEngineReproducesUninterruptedEstimatesExactly) {
+  const std::vector<WorkloadItem> items = QueryOnlyWorkload(120);
+  const size_t half = items.size() / 2;
+
+  // Reference: one uninterrupted engine runs the whole workload.
+  std::unique_ptr<Database> reference = MakeEngine();
+  const Trace ref_first = RunRange(reference.get(), items, 0, half);
+  const uint64_t ref_mid_clock = reference->clock();
+  std::string ref_rng, ref_hist, ref_arch, ref_work;
+  {
+    std::ostringstream os;
+    os << reference->rng()->engine();
+    ref_rng = os.str();
+  }
+  ref_hist = reference->history()->ToString();
+  ref_arch = DumpArchive(reference->archive());
+  ref_work = DumpArchive(reference->workload_stats());
+  const Trace ref_second = RunRange(reference.get(), items, half, items.size());
+
+  // Interrupted: run the first half with persistence, checkpoint, "crash"
+  // (drop the Database — its destructor deliberately does NOT checkpoint).
+  const std::string dir = TestDir("exact");
+  std::string b_rng, b_hist, b_arch, b_work;
+  {
+    std::unique_ptr<Database> db = MakeEngine();
+    ASSERT_TRUE(db->OpenPersistence(Options(dir)).ok());
+    const Trace first = RunRange(db.get(), items, 0, half);
+    // Persistence is pure bookkeeping: it must not perturb estimation.
+    EXPECT_EQ(first.est_rows, ref_first.est_rows);
+    ASSERT_TRUE(db->Checkpoint().ok());
+    {
+      std::ostringstream os;
+      os << db->rng()->engine();
+      b_rng = os.str();
+    }
+    b_hist = db->history()->ToString();
+    b_arch = DumpArchive(db->archive());
+    b_work = DumpArchive(db->workload_stats());
+    EXPECT_EQ(b_rng, ref_rng) << "B vs ref rng";
+    EXPECT_EQ(b_hist, ref_hist) << "B vs ref history";
+    EXPECT_EQ(b_arch, ref_arch) << "B vs ref archive";
+    EXPECT_EQ(b_work, ref_work) << "B vs ref workload";
+  }
+
+  // Fresh process: same data regenerated, statistics recovered.
+  std::unique_ptr<Database> recovered = MakeEngine();
+  persist::RecoveryReport report;
+  ASSERT_TRUE(recovered->OpenPersistence(Options(dir), &report).ok());
+  ASSERT_TRUE(report.snapshot_loaded);
+  EXPECT_TRUE(report.rng_restored);
+  // One clock tick per Execute(); Checkpoint() itself does not tick, so the
+  // recovered clock equals the reference engine's clock at the same point.
+  EXPECT_EQ(recovered->clock(), ref_mid_clock);
+
+  {
+    std::ostringstream os;
+    os << recovered->rng()->engine();
+    EXPECT_EQ(os.str(), b_rng) << "rng state diverged";
+  }
+  EXPECT_EQ(recovered->history()->ToString(), b_hist) << "history diverged";
+  EXPECT_EQ(DumpArchive(recovered->archive()), b_arch) << "archive diverged";
+  EXPECT_EQ(DumpArchive(recovered->workload_stats()), b_work) << "workload diverged";
+
+  const Trace rec_second = RunRange(recovered.get(), items, half, items.size());
+
+  // The acceptance bar: identical estimates, query for query — not close,
+  // identical. Clock, RNG, archive, history and catalog stats all resumed.
+  ASSERT_EQ(rec_second.est_rows.size(), ref_second.est_rows.size());
+  for (size_t i = 0; i < ref_second.est_rows.size(); ++i) {
+    EXPECT_EQ(rec_second.est_rows[i], ref_second.est_rows[i]) << "query " << i;
+  }
+  // And identical collection effort: recovery didn't forget what was
+  // sampled, so the second half samples exactly as much as the reference's.
+  EXPECT_EQ(rec_second.tables_sampled, ref_second.tables_sampled);
+}
+
+TEST(RestartTest, WarmRestartSkipsResampling) {
+  const std::vector<WorkloadItem> items = QueryOnlyWorkload(80);
+  const std::string dir = TestDir("warm");
+
+  // Cold run over the full workload, checkpointed on clean shutdown.
+  size_t cold_sampled = 0;
+  {
+    std::unique_ptr<Database> db = MakeEngine();
+    ASSERT_TRUE(db->OpenPersistence(Options(dir)).ok());
+    cold_sampled = RunRange(db.get(), items, 0, items.size()).tables_sampled;
+    ASSERT_TRUE(db->ClosePersistence(/*final_checkpoint=*/true).ok());
+  }
+  ASSERT_GT(cold_sampled, 0u) << "workload never triggered JITS sampling";
+
+  // Warm restart: same workload again; the archive already holds every
+  // predicate group's statistics, so sampling must (almost) disappear.
+  std::unique_ptr<Database> db = MakeEngine();
+  persist::RecoveryReport report;
+  ASSERT_TRUE(db->OpenPersistence(Options(dir), &report).ok());
+  ASSERT_GT(report.archive_histograms, 0u);
+  const size_t warm_sampled = RunRange(db.get(), items, 0, items.size()).tables_sampled;
+  EXPECT_LT(warm_sampled, cold_sampled / 4)
+      << "recovered archive did not spare re-sampling (cold=" << cold_sampled
+      << " warm=" << warm_sampled << ")";
+}
+
+TEST(RestartTest, WalReplayReproducesArchiveState) {
+  // No checkpoint after the baseline one: everything the workload teaches
+  // the archive lives only in the WAL, so recovery exercises pure replay.
+  const std::vector<WorkloadItem> items = QueryOnlyWorkload(60);
+  const std::string dir = TestDir("replay");
+
+  // Capture the crashed engine's archive state (boundaries + counts per
+  // key). last_used is excluded: optimizer reads touch LRU stamps without
+  // WAL records — a documented approximation (docs/PERSISTENCE.md).
+  struct KeyState {
+    std::vector<std::vector<double>> boundaries;
+    std::vector<double> counts;
+  };
+  std::map<std::string, KeyState> crashed;
+  {
+    std::unique_ptr<Database> db = MakeEngine();
+    ASSERT_TRUE(db->OpenPersistence(Options(dir)).ok());
+    (void)RunRange(db.get(), items, 0, items.size());
+    for (const auto& [key, hist] : db->archive()->Snapshot()) {
+      GridHistogramState state = hist->ExportState();
+      crashed[key] = KeyState{state.boundaries, state.counts};
+    }
+  }
+  ASSERT_FALSE(crashed.empty()) << "workload never populated the archive";
+
+  std::unique_ptr<Database> db = MakeEngine();
+  persist::RecoveryReport report;
+  ASSERT_TRUE(db->OpenPersistence(Options(dir), &report).ok());
+  EXPECT_GT(report.wal_records_applied, 0u);
+
+  std::map<std::string, KeyState> recovered;
+  for (const auto& [key, hist] : db->archive()->Snapshot()) {
+    GridHistogramState state = hist->ExportState();
+    recovered[key] = KeyState{state.boundaries, state.counts};
+  }
+  ASSERT_EQ(recovered.size(), crashed.size());
+  for (const auto& [key, want] : crashed) {
+    ASSERT_TRUE(recovered.count(key)) << "lost archive key " << key;
+    EXPECT_EQ(recovered[key].boundaries, want.boundaries) << key;
+    EXPECT_EQ(recovered[key].counts, want.counts) << key;
+  }
+}
+
+TEST(RestartTest, CheckpointStatementAndShowPersistence) {
+  const std::vector<WorkloadItem> items = QueryOnlyWorkload(20);
+  const std::string dir = TestDir("sql");
+  std::unique_ptr<Database> db = MakeEngine();
+
+  // CHECKPOINT without persistence is a clean error, not a crash.
+  EXPECT_FALSE(db->Execute("CHECKPOINT").ok());
+
+  ASSERT_TRUE(db->OpenPersistence(Options(dir)).ok());
+  (void)RunRange(db.get(), items, 0, items.size());
+
+  // The SQL surface: CHECKPOINT rotates a generation...
+  const uint64_t seq_before = db->persistence()->current_seq();
+  QueryResult qr;
+  ASSERT_TRUE(db->Execute("CHECKPOINT", &qr).ok());
+  EXPECT_EQ(db->persistence()->current_seq(), seq_before + 1);
+
+  // ...and SHOW PERSISTENCE reports it as property/value rows.
+  ASSERT_TRUE(db->Execute("SHOW PERSISTENCE", &qr).ok());
+  ASSERT_EQ(qr.column_names, (std::vector<std::string>{"property", "value"}));
+  bool open_row = false;
+  bool dir_row = false;
+  for (const Row& row : qr.rows) {
+    if (row[0].str() == "persistence.open") open_row = (row[1].str() == "true");
+    if (row[0].str() == "persistence.data_dir") dir_row = (row[1].str() == dir);
+  }
+  EXPECT_TRUE(open_row);
+  EXPECT_TRUE(dir_row);
+
+  // Metrics surface the durable-store activity.
+  EXPECT_GT(db->metrics()->CounterValue("persist.checkpoints"), 0.0);
+  EXPECT_GT(db->metrics()->CounterValue("persist.wal.records"), 0.0);
+}
+
+TEST(RestartTest, AutoCheckpointFiresOnStatementThreshold) {
+  const std::vector<WorkloadItem> items = QueryOnlyWorkload(40);
+  const std::string dir = TestDir("auto");
+  std::unique_ptr<Database> db = MakeEngine();
+  persist::PersistenceOptions options = Options(dir);
+  options.checkpoint_statements = 10;
+  ASSERT_TRUE(db->OpenPersistence(options).ok());
+  const uint64_t before = db->persistence()->checkpoints_completed();
+  (void)RunRange(db.get(), items, 0, items.size());
+  EXPECT_GT(db->persistence()->checkpoints_completed(), before);
+}
+
+TEST(RestartTest, DoubleOpenRejectedAndCloseWithoutCheckpointKeepsWal) {
+  const std::string dir = TestDir("close");
+  std::unique_ptr<Database> db = MakeEngine();
+  ASSERT_TRUE(db->OpenPersistence(Options(dir)).ok());
+  EXPECT_FALSE(db->OpenPersistence(Options(dir)).ok());
+  EXPECT_TRUE(db->ClosePersistence(/*final_checkpoint=*/false).ok());
+  EXPECT_FALSE(db->persistence_open());
+  // Reopen works after close.
+  EXPECT_TRUE(db->OpenPersistence(Options(dir)).ok());
+}
+
+}  // namespace
+}  // namespace jits

@@ -1,0 +1,504 @@
+// Round-trip tests for the persistence subsystem: serde primitives, the
+// shared stats codec, WAL framing/scanning, whole-snapshot encode/decode,
+// and the data-directory file naming. The recurring bar is *bit-identical*
+// recovery: a deserialized object must reproduce the original's estimates
+// exactly, not approximately.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/qss_archive.h"
+#include "histogram/equi_depth.h"
+#include "histogram/grid_histogram.h"
+#include "persist/fs.h"
+#include "persist/recovery.h"
+#include "persist/serde.h"
+#include "persist/snapshot.h"
+#include "persist/stats_codec.h"
+#include "persist/wal.h"
+
+namespace jits {
+namespace persist {
+namespace {
+
+std::string TestDir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "jits_persist_" + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  EXPECT_TRUE(EnsureDir(dir).ok());
+  return dir;
+}
+
+// ---------- serde primitives ----------
+
+TEST(SerdeTest, PrimitivesRoundTrip) {
+  Writer w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutDouble(0.1);  // not exactly representable: bit pattern must survive
+  const std::string with_nul("hel\0lo", 6);
+  w.PutString(with_nul);
+  w.PutDoubleVec({1.5, -2.25, 1e308});
+  w.PutU64Vec({0, 1, UINT64_MAX});
+  w.PutStringVec({"a", "", "bc"});
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.GetU8(), 0xAB);
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.GetDouble(), 0.1);  // exact: IEEE bit pattern round-trip
+  EXPECT_EQ(r.GetString(), with_nul);
+  EXPECT_EQ(r.GetDoubleVec(), (std::vector<double>{1.5, -2.25, 1e308}));
+  EXPECT_EQ(r.GetU64Vec(), (std::vector<uint64_t>{0, 1, UINT64_MAX}));
+  EXPECT_EQ(r.GetStringVec(), (std::vector<std::string>{"a", "", "bc"}));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, SpecialDoublesRoundTripBitIdentically) {
+  Writer w;
+  w.PutDouble(INFINITY);
+  w.PutDouble(-INFINITY);
+  w.PutDouble(-0.0);
+  w.PutDouble(std::nan(""));
+  Reader r(w.bytes());
+  EXPECT_EQ(r.GetDouble(), INFINITY);
+  EXPECT_EQ(r.GetDouble(), -INFINITY);
+  EXPECT_TRUE(std::signbit(r.GetDouble()));
+  EXPECT_TRUE(std::isnan(r.GetDouble()));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SerdeTest, OutOfBoundsReadTripsFailureFlagNotUb) {
+  Writer w;
+  w.PutU32(7);
+  Reader r(w.bytes());
+  (void)r.GetU64();  // 8 bytes from a 4-byte input
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads stay safe and yield zeros.
+  EXPECT_EQ(r.GetU32(), 0u);
+  EXPECT_EQ(r.GetString(), "");
+}
+
+TEST(SerdeTest, OversizedLengthPrefixRejected) {
+  Writer w;
+  w.PutU32(0xFFFFFFFF);  // string length claiming 4 GiB
+  Reader r(w.bytes());
+  (void)r.GetString();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerdeTest, Crc32MatchesKnownVector) {
+  // The classic CRC-32 check value ("123456789" -> 0xCBF43926).
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_NE(Crc32("123456789"), Crc32("123456788"));
+}
+
+// ---------- stats codec ----------
+
+TEST(StatsCodecTest, IntervalAndBoxRoundTrip) {
+  Writer w;
+  EncodeInterval(&w, Interval{-3.5, 7.25});
+  EncodeBox(&w, Box{Interval{0, 1}, Interval{-INFINITY, INFINITY}});
+  Reader r(w.bytes());
+  const Interval iv = DecodeInterval(&r);
+  EXPECT_EQ(iv.lo, -3.5);
+  EXPECT_EQ(iv.hi, 7.25);
+  const Box box = DecodeBox(&r);
+  ASSERT_EQ(box.size(), 2u);
+  EXPECT_EQ(box[1].lo, -INFINITY);
+  EXPECT_TRUE(r.ok() && r.AtEnd());
+}
+
+GridHistogram MakeTrainedHistogram() {
+  GridHistogram hist({"a", "b"}, {Interval{0, 50}, Interval{0, 100}}, 100, 1);
+  hist.ApplyConstraint(Box{Interval{20, INFINITY}, Interval::All()}, 70, 100, 2);
+  hist.ApplyConstraint(Box{Interval::All(), Interval{60, INFINITY}}, 30, 100, 2);
+  hist.ApplyConstraint(Box{Interval{20, INFINITY}, Interval{60, INFINITY}}, 20, 100, 3);
+  hist.ApplyConstraint(Box{Interval{10, 30}, Interval{40, 80}}, 12, 100, 5);
+  hist.Touch(9);
+  return hist;
+}
+
+TEST(StatsCodecTest, GridHistogramStateRoundTripsBitIdentically) {
+  const GridHistogram hist = MakeTrainedHistogram();
+  Writer w;
+  EncodeGridHistogramState(&w, hist.ExportState());
+  Reader r(w.bytes());
+  GridHistogramState state = DecodeGridHistogramState(&r);
+  ASSERT_TRUE(r.ok() && r.AtEnd());
+  ASSERT_TRUE(GridHistogram::StateValid(state));
+  const GridHistogram back = GridHistogram::FromState(std::move(state));
+
+  EXPECT_EQ(back.num_cells(), hist.num_cells());
+  EXPECT_EQ(back.column_names(), hist.column_names());
+  EXPECT_EQ(back.last_used(), hist.last_used());
+  EXPECT_EQ(back.min_timestamp(), hist.min_timestamp());
+  EXPECT_EQ(back.max_timestamp(), hist.max_timestamp());
+  // Estimates must be *identical* doubles, not merely close.
+  const Box probes[] = {
+      Box{Interval{20, INFINITY}, Interval{60, INFINITY}},
+      Box{Interval{10, 30}, Interval{40, 80}},
+      Box{Interval{0, 25}, Interval::All()},
+      Box{Interval::All(), Interval{13, 77}},
+  };
+  for (const Box& box : probes) {
+    EXPECT_EQ(back.EstimateBoxFraction(box), hist.EstimateBoxFraction(box));
+    EXPECT_EQ(back.BoxAccuracy(box), hist.BoxAccuracy(box));
+  }
+  EXPECT_EQ(back.UniformityDistance(), hist.UniformityDistance());
+}
+
+TEST(StatsCodecTest, EquiDepthRoundTripsBitIdentically) {
+  std::vector<double> values;
+  for (int i = 0; i < 997; ++i) values.push_back(std::fmod(i * 37.5, 211.0));
+  const EquiDepthHistogram hist = EquiDepthHistogram::Build(values, 16, 5000);
+
+  Writer w;
+  EncodeEquiDepth(&w, hist);
+  Reader r(w.bytes());
+  const EquiDepthHistogram back = DecodeEquiDepth(&r);
+  ASSERT_TRUE(r.ok() && r.AtEnd());
+
+  EXPECT_EQ(back.boundaries(), hist.boundaries());
+  EXPECT_EQ(back.counts(), hist.counts());
+  EXPECT_EQ(back.distinct_counts(), hist.distinct_counts());
+  EXPECT_EQ(back.total_rows(), hist.total_rows());
+  EXPECT_EQ(back.EstimateRangeFraction(10, 100), hist.EstimateRangeFraction(10, 100));
+  EXPECT_EQ(back.EstimateEqualsFraction(37.5), hist.EstimateEqualsFraction(37.5));
+  EXPECT_EQ(back.BoundaryAccuracy(50), hist.BoundaryAccuracy(50));
+}
+
+TEST(StatsCodecTest, EmptyEquiDepthRoundTrips) {
+  Writer w;
+  EncodeEquiDepth(&w, EquiDepthHistogram());
+  Reader r(w.bytes());
+  const EquiDepthHistogram back = DecodeEquiDepth(&r);
+  EXPECT_TRUE(r.ok() && r.AtEnd());
+  EXPECT_TRUE(back.empty());
+}
+
+TableStats MakeTableStats() {
+  TableStats stats;
+  stats.valid = true;
+  stats.cardinality = 12345;
+  stats.collected_at_time = 42;
+  stats.collected_at_version = 7;
+  stats.columns.resize(2);
+  stats.column_valid = {true, false};
+  stats.columns[0].distinct = 17;
+  stats.columns[0].min_key = -4;
+  stats.columns[0].max_key = 900.5;
+  stats.columns[0].histogram =
+      EquiDepthHistogram::Build({1, 2, 2, 3, 5, 8, 13, 21}, 4, 8);
+  stats.columns[0].frequent_values = {{2, 500}, {13, 250}};
+  return stats;
+}
+
+TEST(StatsCodecTest, TableStatsRoundTripsBitIdentically) {
+  const TableStats stats = MakeTableStats();
+  Writer w;
+  EncodeTableStats(&w, stats);
+  Reader r(w.bytes());
+  const TableStats back = DecodeTableStats(&r);
+  ASSERT_TRUE(r.ok() && r.AtEnd());
+
+  EXPECT_EQ(back.valid, stats.valid);
+  EXPECT_EQ(back.cardinality, stats.cardinality);
+  EXPECT_EQ(back.collected_at_time, stats.collected_at_time);
+  EXPECT_EQ(back.collected_at_version, stats.collected_at_version);
+  ASSERT_EQ(back.columns.size(), stats.columns.size());
+  EXPECT_EQ(back.column_valid, stats.column_valid);
+  EXPECT_EQ(back.columns[0].frequent_values, stats.columns[0].frequent_values);
+  EXPECT_EQ(back.columns[0].EstimateEqualsFraction(2, 12345),
+            stats.columns[0].EstimateEqualsFraction(2, 12345));
+  EXPECT_EQ(back.columns[0].EstimateRangeFraction(2, 14),
+            stats.columns[0].EstimateRangeFraction(2, 14));
+}
+
+TEST(StatsCodecTest, HistoryEntryRoundTrips) {
+  StatHistoryEntry e;
+  e.table = "car";
+  e.colgrp = "car(make,model)";
+  e.statlist = {"car(make)", "car(model)"};
+  e.count = 13;
+  e.error_factor = 2.75;
+  Writer w;
+  EncodeHistoryEntry(&w, e);
+  Reader r(w.bytes());
+  const StatHistoryEntry back = DecodeHistoryEntry(&r);
+  ASSERT_TRUE(r.ok() && r.AtEnd());
+  EXPECT_EQ(back.table, e.table);
+  EXPECT_EQ(back.colgrp, e.colgrp);
+  EXPECT_EQ(back.statlist, e.statlist);
+  EXPECT_EQ(back.count, e.count);
+  EXPECT_EQ(back.error_factor, e.error_factor);
+}
+
+// ---------- WAL framing ----------
+
+WalRecord ConstraintRecord(double box_rows) {
+  WalRecord rec;
+  rec.type = WalRecordType::kArchiveConstraint;
+  rec.constraint.store = StatsStore::kArchive;
+  rec.constraint.key = "car(make,model)";
+  rec.constraint.column_names = {"make", "model"};
+  rec.constraint.domain = {Interval{0, 30}, Interval{0, 120}};
+  rec.constraint.create_total_rows = 1000;
+  rec.constraint.box = Box{Interval{2, 5}, Interval::All()};
+  rec.constraint.box_rows = box_rows;
+  rec.constraint.table_rows = 1000;
+  rec.constraint.now = 17;
+  return rec;
+}
+
+TEST(WalTest, PayloadRoundTripsEveryRecordType) {
+  std::vector<WalRecord> records;
+  records.push_back(ConstraintRecord(250));
+  {
+    WalRecord rec;
+    rec.type = WalRecordType::kHistory;
+    rec.history = {"car", "car(make,model)", {"car(make)"}, 0.5};
+    records.push_back(rec);
+  }
+  {
+    WalRecord rec;
+    rec.type = WalRecordType::kCatalogStats;
+    rec.catalog_stats.table = "owner";
+    rec.catalog_stats.stats = MakeTableStats();
+    records.push_back(rec);
+  }
+  {
+    WalRecord rec;
+    rec.type = WalRecordType::kMigration;
+    rec.migration.now = 99;
+    records.push_back(rec);
+  }
+  {
+    WalRecord rec;
+    rec.type = WalRecordType::kBudget;
+    rec.budget.budget = 2048;
+    records.push_back(rec);
+  }
+
+  for (const WalRecord& rec : records) {
+    const std::string payload = EncodeWalPayload(rec);
+    WalRecord back;
+    ASSERT_TRUE(DecodeWalPayload(payload, &back));
+    EXPECT_EQ(back.type, rec.type);
+  }
+  // Spot-check the constraint fields survive.
+  WalRecord back;
+  ASSERT_TRUE(DecodeWalPayload(EncodeWalPayload(records[0]), &back));
+  EXPECT_EQ(back.constraint.key, "car(make,model)");
+  EXPECT_EQ(back.constraint.box_rows, 250);
+  EXPECT_EQ(back.constraint.domain[1].hi, 120);
+  EXPECT_EQ(back.constraint.now, 17u);
+}
+
+TEST(WalTest, GarbagePayloadRejected) {
+  WalRecord out;
+  EXPECT_FALSE(DecodeWalPayload("", &out));
+  EXPECT_FALSE(DecodeWalPayload("\xFF\xFF\xFF", &out));
+  // Valid payload with trailing garbage must be rejected too.
+  std::string payload = EncodeWalPayload(ConstraintRecord(1));
+  payload += 'x';
+  EXPECT_FALSE(DecodeWalPayload(payload, &out));
+}
+
+TEST(WalTest, WriteThenScanDeliversAllRecords) {
+  const std::string dir = TestDir("wal_scan");
+  const std::string path = JoinPath(dir, WalFileName(3));
+  std::unique_ptr<WalWriter> writer;
+  ASSERT_TRUE(WalWriter::Create(path, 3, &writer).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(writer->Append(EncodeWalPayload(ConstraintRecord(i * 10))).ok());
+  }
+  EXPECT_EQ(writer->records(), 5u);
+  EXPECT_EQ(writer->bytes(), FileSize(path));
+  writer->Close();
+
+  std::vector<double> seen;
+  WalScanStats stats;
+  ASSERT_TRUE(ScanWal(
+                  path, [&](const WalRecord& rec) { seen.push_back(rec.constraint.box_rows); },
+                  &stats)
+                  .ok());
+  EXPECT_TRUE(stats.header_ok);
+  EXPECT_EQ(stats.seq, 3u);
+  EXPECT_EQ(stats.records_applied, 5u);
+  EXPECT_EQ(stats.records_rejected, 0u);
+  EXPECT_FALSE(stats.tail_truncated);
+  EXPECT_EQ(seen, (std::vector<double>{0, 10, 20, 30, 40}));
+}
+
+TEST(WalTest, MissingFileIsAnError) {
+  WalScanStats stats;
+  EXPECT_FALSE(ScanWal("/nonexistent/wal-0.log", [](const WalRecord&) {}, &stats).ok());
+}
+
+// ---------- snapshot ----------
+
+SnapshotContents MakeContents() {
+  SnapshotContents contents;
+  contents.seq = 4;
+  contents.clock = 123;
+  contents.rng_state = "12345 678 90";
+  contents.archive_budget = 4096;
+  contents.archive.emplace_back("car(make,model)", MakeTrainedHistogram().ExportState());
+  contents.workload.emplace_back("owner(salary)", MakeTrainedHistogram().ExportState());
+  StatHistoryEntry e;
+  e.table = "car";
+  e.colgrp = "car(make)";
+  e.statlist = {"car(make)"};
+  e.count = 2;
+  e.error_factor = 1.5;
+  contents.history.push_back(e);
+  contents.catalog.emplace_back("car", MakeTableStats());
+  contents.table_udi.emplace_back("car", 7);
+  contents.table_udi.emplace_back("owner", 0);
+  return contents;
+}
+
+TEST(SnapshotTest, RoundTripsAllSections) {
+  const SnapshotContents contents = MakeContents();
+  const std::string bytes = EncodeSnapshot(contents);
+  SnapshotContents back;
+  ASSERT_TRUE(DecodeSnapshot(bytes, &back).ok());
+
+  EXPECT_EQ(back.seq, 4u);
+  EXPECT_EQ(back.clock, 123u);
+  EXPECT_EQ(back.rng_state, "12345 678 90");
+  EXPECT_EQ(back.archive_budget, 4096u);
+  ASSERT_EQ(back.archive.size(), 1u);
+  EXPECT_EQ(back.archive[0].first, "car(make,model)");
+  EXPECT_EQ(back.archive[0].second.counts, contents.archive[0].second.counts);
+  EXPECT_EQ(back.archive[0].second.stamps, contents.archive[0].second.stamps);
+  ASSERT_EQ(back.workload.size(), 1u);
+  ASSERT_EQ(back.history.size(), 1u);
+  EXPECT_EQ(back.history[0].statlist, contents.history[0].statlist);
+  ASSERT_EQ(back.catalog.size(), 1u);
+  EXPECT_EQ(back.catalog[0].first, "car");
+  EXPECT_EQ(back.catalog[0].second.cardinality, 12345);
+  EXPECT_EQ(back.table_udi, contents.table_udi);
+}
+
+TEST(SnapshotTest, EncodingIsDeterministic) {
+  EXPECT_EQ(EncodeSnapshot(MakeContents()), EncodeSnapshot(MakeContents()));
+}
+
+TEST(SnapshotTest, BadMagicVersionAndCrcRejected) {
+  std::string bytes = EncodeSnapshot(MakeContents());
+  SnapshotContents out;
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DecodeSnapshot(bad_magic, &out).ok());
+
+  std::string bad_crc = bytes;
+  bad_crc[bytes.size() - 1] ^= 0x01;  // payload flip -> CRC mismatch
+  EXPECT_FALSE(DecodeSnapshot(bad_crc, &out).ok());
+
+  EXPECT_FALSE(DecodeSnapshot("", &out).ok());
+  EXPECT_FALSE(DecodeSnapshot("JITSNAP1", &out).ok());
+}
+
+// ---------- archive round trip: estimates and eviction order ----------
+
+TEST(ArchiveRoundTripTest, RestoredArchiveEvictsInTheSameOrder) {
+  // Three histograms with distinct uniformity/LRU signatures.
+  QssArchive original(/*bucket_budget=*/4096);
+  auto h1 = original.GetOrCreateShared("t(a)", {"a"}, {Interval{0, 100}}, 1000, 1);
+  h1->ApplyConstraint(Box{Interval{0, 10}}, 900, 1000, 2);  // very skewed
+  original.Touch("t(a)", 2);
+  auto h2 = original.GetOrCreateShared("t(b)", {"b"}, {Interval{0, 100}}, 1000, 3);
+  h2->ApplyConstraint(Box{Interval{0, 50}}, 510, 1000, 4);  // almost uniform
+  original.Touch("t(b)", 4);
+  auto h3 = original.GetOrCreateShared("t(c)", {"c"}, {Interval{0, 100}}, 1000, 5);
+  h3->ApplyConstraint(Box{Interval{0, 50}}, 505, 1000, 6);  // almost uniform, newer
+  original.Touch("t(c)", 6);
+
+  // Serialize through the snapshot codec and restore into a fresh archive.
+  SnapshotContents contents;
+  contents.archive_budget = original.bucket_budget();
+  for (const auto& [key, hist] : original.Snapshot()) {
+    contents.archive.emplace_back(key, hist->ExportState());
+  }
+  const std::string bytes = EncodeSnapshot(contents);
+  SnapshotContents decoded;
+  ASSERT_TRUE(DecodeSnapshot(bytes, &decoded).ok());
+
+  QssArchive restored(decoded.archive_budget);
+  for (auto& [key, state] : decoded.archive) {
+    ASSERT_TRUE(GridHistogram::StateValid(state));
+    restored.Insert(key,
+                    std::make_shared<GridHistogram>(GridHistogram::FromState(state)));
+  }
+
+  // Identical estimates on every key.
+  const Box probe{Interval{5, 42}};
+  for (const auto& [key, hist] : original.Snapshot()) {
+    (void)hist;
+    EXPECT_EQ(restored.EstimateFraction(key, probe), original.EstimateFraction(key, probe))
+        << key;
+  }
+
+  // Identical eviction decisions under the same squeezed budget: the
+  // almost-uniform histograms go first, LRU-oldest first — which requires
+  // the recovered LRU stamps to match bit-for-bit.
+  original.set_bucket_budget(3);
+  restored.set_bucket_budget(3);
+  EXPECT_EQ(original.EnforceBudget(), restored.EnforceBudget());
+  std::vector<std::string> left_original;
+  for (const auto& [key, hist] : original.Snapshot()) {
+    (void)hist;
+    left_original.push_back(key);
+  }
+  std::vector<std::string> left_restored;
+  for (const auto& [key, hist] : restored.Snapshot()) {
+    (void)hist;
+    left_restored.push_back(key);
+  }
+  EXPECT_EQ(left_restored, left_original);
+}
+
+// ---------- file naming ----------
+
+TEST(RecoveryNamesTest, FileNamesRoundTrip) {
+  uint64_t seq = 0;
+  EXPECT_TRUE(ParseSnapshotFileName(SnapshotFileName(17), &seq));
+  EXPECT_EQ(seq, 17u);
+  EXPECT_TRUE(ParseWalFileName(WalFileName(3), &seq));
+  EXPECT_EQ(seq, 3u);
+  EXPECT_FALSE(ParseSnapshotFileName("wal-3.log", &seq));
+  EXPECT_FALSE(ParseWalFileName("snapshot-17.jits", &seq));
+  EXPECT_FALSE(ParseSnapshotFileName("snapshot-.jits", &seq));
+  EXPECT_FALSE(ParseWalFileName("wal-12x.log", &seq));
+  EXPECT_FALSE(ParseSnapshotFileName("", &seq));
+}
+
+TEST(FsTest, AtomicWriteAndReadBack) {
+  const std::string dir = TestDir("fs");
+  const std::string path = JoinPath(dir, "blob.bin");
+  const std::string payload("\x00\x01\xFFhello", 8);
+  ASSERT_TRUE(AtomicWriteFile(path, payload, /*sync=*/false).ok());
+  std::string back;
+  ASSERT_TRUE(ReadFile(path, &back).ok());
+  EXPECT_EQ(back, payload);
+  EXPECT_EQ(FileSize(path), payload.size());
+  // Overwrite is atomic-replace, not append.
+  ASSERT_TRUE(AtomicWriteFile(path, "v2", /*sync=*/false).ok());
+  ASSERT_TRUE(ReadFile(path, &back).ok());
+  EXPECT_EQ(back, "v2");
+  EXPECT_EQ(ListDir(dir), std::vector<std::string>{"blob.bin"});
+  std::string missing;
+  EXPECT_FALSE(ReadFile(JoinPath(dir, "absent"), &missing).ok());
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace jits
