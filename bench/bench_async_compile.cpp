@@ -1,0 +1,80 @@
+// Async vs inline statistics collection: replays the car-insurance
+// workload from N client threads against one shared JITS-enabled Database,
+// once with the paper's inline (compile-time) sampling and once with the
+// background collection pipeline (ISSUE 4 tentpole), and reports the
+// compile-latency distribution per mode. The async pipeline moves sampling
+// off the query's critical path, so its compile p50/p95 should sit well
+// below inline — at the cost of the first few queries per table running on
+// archived/catalog estimates (est_source=stale-async).
+//
+// Env knobs: JITS_SCALE / JITS_ITEMS / JITS_SEED as usual, plus
+// JITS_THREADS as a max client thread count (default 8; the sweep runs
+// powers of two), and JITS_ASYNC_WORKERS for the collector pool size
+// (default 2).
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workload/concurrent_driver.h"
+
+int main() {
+  using namespace jits;
+  ExperimentOptions options = bench::OptionsFromEnv();
+  bench::PrintHeader("Async background collection", "inline vs deferred compile latency",
+                     options);
+
+  size_t max_threads = 8;
+  if (const char* t = std::getenv("JITS_THREADS")) {
+    max_threads = static_cast<size_t>(std::atoll(t));
+    if (max_threads == 0) max_threads = 1;
+  }
+  size_t async_workers = 2;
+  if (const char* w = std::getenv("JITS_ASYNC_WORKERS")) {
+    async_workers = static_cast<size_t>(std::atoll(w));
+    if (async_workers == 0) async_workers = 1;
+  }
+  std::printf("hardware_concurrency=%u, collector workers=%zu\n\n",
+              std::thread::hardware_concurrency(), async_workers);
+
+  std::vector<size_t> thread_counts;
+  for (size_t n = 1; n <= max_threads; n *= 2) thread_counts.push_back(n);
+
+  std::printf("%8s %8s %14s %14s %14s %14s %8s\n", "threads", "mode", "compile_p50(ms)",
+              "compile_p95(ms)", "stmt_p95(ms)", "stmts/s", "errors");
+  for (size_t n : thread_counts) {
+    for (const bool async_mode : {false, true}) {
+      ConcurrentWorkloadOptions copts;
+      copts.setting = ExperimentSetting::kJits;
+      copts.experiment = options;
+      copts.num_threads = n;
+      copts.async_collection = async_mode;
+      copts.async_options.threads = async_workers;
+      copts.async_options.max_pending = 64;
+      const ConcurrentWorkloadResult r = RunConcurrentWorkload(copts);
+      const char* mode = async_mode ? "async" : "inline";
+      std::printf("%8zu %8s %14.3f %14.3f %14.3f %14.1f %8zu\n", n, mode,
+                  r.compile_p50_seconds * 1e3, r.compile_p95_seconds * 1e3,
+                  r.p95_seconds * 1e3, r.throughput_sps, r.errors);
+      bench::JsonResultLine("async_compile", mode)
+          .Num("scale", options.datagen.scale, 4)
+          .Count("items", options.workload.num_items)
+          .Count("threads", n)
+          .Count("collector_workers", async_mode ? async_workers : 0)
+          .Count("statements", r.statements_run)
+          .Count("queries", r.queries_run)
+          .Count("errors", r.errors)
+          .Num("wall_seconds", r.wall_seconds)
+          .Num("throughput_sps", r.throughput_sps, 3)
+          .Num("compile_p50_seconds", r.compile_p50_seconds)
+          .Num("compile_p95_seconds", r.compile_p95_seconds)
+          .Num("p50_seconds", r.p50_seconds)
+          .Num("p95_seconds", r.p95_seconds)
+          .Num("p99_seconds", r.p99_seconds)
+          .Json("metrics", r.metrics_json)
+          .Print();
+    }
+  }
+  return 0;
+}

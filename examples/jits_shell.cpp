@@ -17,6 +17,8 @@
 //   \archive             show the QSS archive contents
 //   \history             show the StatHistory (paper Table 1)
 //   \tables              list tables
+//   \async on [threads]  defer collection to a background worker pool
+//   \async off           drain, join workers and restore inline collection
 //   \timing on|off       per-query timing breakdown
 //   \save                checkpoint the statistics store now
 //   \load <dir>          open a statistics store (recover + checkpoint)
@@ -29,6 +31,7 @@
 #include <iostream>
 #include <string>
 
+#include "async/collector_service.h"
 #include "common/str_util.h"
 #include "engine/database.h"
 #include "workload/datagen.h"
@@ -166,6 +169,23 @@ int main(int argc, char** argv) {
           std::printf("  %-16s %8zu rows  %s\n", t->name().c_str(), t->num_rows(),
                       t->schema().ToString().c_str());
         }
+      } else if (line.rfind("\\async on", 0) == 0) {
+        async::CollectorServiceOptions options;
+        if (line.size() > 10) {
+          options.threads = static_cast<size_t>(std::atoi(line.c_str() + 10));
+        }
+        Status status = db.EnableAsyncCollection(options);
+        if (status.ok()) {
+          std::printf("async collection on (%zu workers); SHOW JITS QUEUE to "
+                      "inspect, ANALYZE ... SYNC to drain inline\n",
+                      options.threads);
+        } else {
+          std::printf("%s\n", status.ToString().c_str());
+        }
+      } else if (line == "\\async off") {
+        Status status = db.DisableAsyncCollection();
+        std::printf("%s\n", status.ok() ? "async collection off (queue drained)"
+                                        : status.ToString().c_str());
       } else if (line == "\\timing on" || line == "\\timing off") {
         timing = (line == "\\timing on");
       } else if (line == "\\save") {

@@ -1,0 +1,162 @@
+#include "async/collection_queue.h"
+
+#include <algorithm>
+
+#include "storage/table.h"
+
+namespace jits::async {
+
+void CollectionQueue::MergeLocked(CollectionTask* into, CollectionTask&& from) {
+  into->score = std::max(into->score, from.score);
+  // Keep the earliest stamps: the merged entry has been waiting since the
+  // first submission.
+  if (from.enqueued_at < into->enqueued_at) into->enqueued_at = from.enqueued_at;
+  if (from.submit_seconds > 0 &&
+      (into->submit_seconds == 0 || from.submit_seconds < into->submit_seconds)) {
+    into->submit_seconds = from.submit_seconds;
+  }
+  for (int c : from.stats_cols) {
+    if (std::find(into->stats_cols.begin(), into->stats_cols.end(), c) ==
+        into->stats_cols.end()) {
+      into->stats_cols.push_back(c);
+    }
+  }
+  // Union the groups: a group already queued (same column set, same exact
+  // predicate intervals) contributes nothing new; fresh groups are appended
+  // with their predicates re-homed onto the merged task.
+  const int pred_offset = static_cast<int>(into->preds.size());
+  bool appended = false;
+  for (CollectionGroupTask& g : from.groups) {
+    const bool duplicate =
+        std::any_of(into->groups.begin(), into->groups.end(),
+                    [&](const CollectionGroupTask& have) {
+                      return have.column_set_key == g.column_set_key &&
+                             have.exact_key == g.exact_key;
+                    });
+    if (duplicate) continue;
+    for (int& pi : g.pred_indices) pi += pred_offset;
+    into->groups.push_back(std::move(g));
+    appended = true;
+  }
+  if (appended) {
+    for (LocalPredicate& p : from.preds) into->preds.push_back(std::move(p));
+  }
+}
+
+bool CollectionQueue::Submit(CollectionTask task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    ++counters_.dropped;
+    return false;
+  }
+  for (Entry& entry : entries_) {
+    if (entry.task.table == task.table) {
+      MergeLocked(&entry.task, std::move(task));
+      ++counters_.coalesced;
+      cv_.notify_one();
+      return true;
+    }
+  }
+  Entry fresh{std::move(task), next_seq_++};
+  if (entries_.size() >= max_pending_) {
+    // Full: displace the lowest-ranked entry if the newcomer outranks it,
+    // otherwise drop the newcomer.
+    auto weakest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return Outranks(b, a); });
+    if (weakest == entries_.end() || !Outranks(fresh, *weakest)) {
+      ++counters_.dropped;
+      return false;
+    }
+    ++counters_.dropped;  // the displaced entry
+    *weakest = std::move(fresh);
+  } else {
+    entries_.push_back(std::move(fresh));
+  }
+  ++counters_.enqueued;
+  cv_.notify_one();
+  return true;
+}
+
+bool CollectionQueue::PopEligibleLocked(InflightTableGuard* guard,
+                                        const Table* table_filter,
+                                        CollectionTask* out,
+                                        std::atomic<int>* in_progress) {
+  // Scan in rank order so the highest-priority eligible table is served.
+  std::vector<size_t> order(entries_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return Outranks(entries_[a], entries_[b]);
+  });
+  for (size_t idx : order) {
+    Entry& entry = entries_[idx];
+    if (table_filter != nullptr && entry.task.table != table_filter) continue;
+    if (guard != nullptr && !guard->TryAcquire(entry.task.table)) continue;
+    *out = std::move(entry.task);
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(idx));
+    if (in_progress != nullptr) {
+      in_progress->fetch_add(1, std::memory_order_acq_rel);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool CollectionQueue::PopBlocking(InflightTableGuard* guard, CollectionTask* out,
+                                  std::atomic<int>* in_progress) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (PopEligibleLocked(guard, nullptr, out, in_progress)) return true;
+    if (closed_) return false;
+    cv_.wait(lock);
+  }
+}
+
+bool CollectionQueue::TryPop(InflightTableGuard* guard, const Table* table_filter,
+                             CollectionTask* out, std::atomic<int>* in_progress) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PopEligibleLocked(guard, table_filter, out, in_progress);
+}
+
+void CollectionQueue::NotifyInflightReleased() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.notify_all();
+}
+
+void CollectionQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  counters_.dropped += entries_.size();
+  entries_.clear();
+  cv_.notify_all();
+}
+
+size_t CollectionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+QueueCounters CollectionQueue::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::vector<QueueEntryInfo> CollectionQueue::SnapshotInfo() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry const*> order;
+  for (const Entry& e : entries_) order.push_back(&e);
+  std::sort(order.begin(), order.end(),
+            [](const Entry* a, const Entry* b) { return Outranks(*a, *b); });
+  std::vector<QueueEntryInfo> out;
+  for (const Entry* e : order) {
+    QueueEntryInfo info;
+    info.table = e->task.table != nullptr ? e->task.table->name() : "";
+    info.score = e->task.score;
+    info.groups = e->task.groups.size();
+    info.enqueued_at = e->task.enqueued_at;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace jits::async

@@ -1,0 +1,98 @@
+#ifndef JITS_ASYNC_COLLECTION_QUEUE_H_
+#define JITS_ASYNC_COLLECTION_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/collection_task.h"
+#include "core/inflight_guard.h"
+
+namespace jits::async {
+
+/// One row of SHOW JITS QUEUE.
+struct QueueEntryInfo {
+  std::string table;
+  double score = 0;
+  size_t groups = 0;
+  uint64_t enqueued_at = 0;
+};
+
+struct QueueCounters {
+  uint64_t enqueued = 0;   // submissions accepted as new entries
+  uint64_t coalesced = 0;  // submissions merged into an existing entry
+  uint64_t dropped = 0;    // submissions (or displaced entries) discarded
+};
+
+/// Bounded priority queue of pending collection tasks, ordered by the
+/// Alg. 2/3 sensitivity score (ties broken FIFO by submission sequence so
+/// equal-score workloads drain in submission order — the property the
+/// async-vs-sync convergence test leans on). Requests for a table that is
+/// already queued are coalesced into the existing entry (scores keep the
+/// max, groups union); when full, a new request either displaces the
+/// lowest-ranked entry (if it outranks it) or is dropped.
+class CollectionQueue {
+ public:
+  explicit CollectionQueue(size_t max_pending) : max_pending_(max_pending) {}
+
+  /// Returns false when the submission was dropped (queue closed, or full
+  /// of higher-priority work). Coalesced submissions return true.
+  bool Submit(CollectionTask task);
+
+  /// Blocks until a task whose table clears `guard` is available, the pop
+  /// succeeds (guard acquired, entry removed, *in_progress incremented
+  /// under the queue lock — so depth() + in_progress never undercounts
+  /// outstanding work), or the queue is closed (returns false). Entries are
+  /// scanned in rank order, so a lower-ranked table can be served while the
+  /// top table is being sampled by someone else.
+  bool PopBlocking(InflightTableGuard* guard, CollectionTask* out,
+                   std::atomic<int>* in_progress);
+
+  /// Non-blocking variant; `table_filter` (nullable) restricts the pop to
+  /// one table. Returns false when nothing eligible is queued.
+  bool TryPop(InflightTableGuard* guard, const Table* table_filter,
+              CollectionTask* out, std::atomic<int>* in_progress);
+
+  /// Wakes blocked poppers after an in-flight table is released — its queue
+  /// entry (if any) may have become eligible.
+  void NotifyInflightReleased();
+
+  /// Closes the queue: pending entries are discarded (counted as dropped),
+  /// blocked poppers return false, future submissions are dropped.
+  void Close();
+
+  size_t depth() const;
+  QueueCounters counters() const;
+  std::vector<QueueEntryInfo> SnapshotInfo() const;
+
+ private:
+  struct Entry {
+    CollectionTask task;
+    uint64_t seq = 0;
+  };
+
+  /// Higher score wins; equal scores drain FIFO.
+  static bool Outranks(const Entry& a, const Entry& b) {
+    if (a.task.score != b.task.score) return a.task.score > b.task.score;
+    return a.seq < b.seq;
+  }
+
+  void MergeLocked(CollectionTask* into, CollectionTask&& from);
+  bool PopEligibleLocked(InflightTableGuard* guard, const Table* table_filter,
+                         CollectionTask* out, std::atomic<int>* in_progress);
+
+  const size_t max_pending_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  uint64_t next_seq_ = 0;
+  bool closed_ = false;
+  QueueCounters counters_;
+};
+
+}  // namespace jits::async
+
+#endif  // JITS_ASYNC_COLLECTION_QUEUE_H_

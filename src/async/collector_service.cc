@@ -1,0 +1,192 @@
+#include "async/collector_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "storage/table.h"
+
+namespace jits::async {
+
+CollectorService::CollectorService(CollectorRuntime runtime,
+                                   CollectorServiceOptions options)
+    : runtime_(std::move(runtime)),
+      options_(options),
+      queue_(options.max_pending),
+      bucket_(options.collections_per_sec, options.burst) {}
+
+CollectorService::~CollectorService() { Shutdown(); }
+
+void CollectorService::Start() {
+  if (manual()) return;
+  workers_.reserve(options_.threads);
+  for (size_t i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+bool CollectorService::Submit(CollectionTask task) {
+  task.submit_seconds = NowSeconds();
+  const bool accepted = queue_.Submit(std::move(task));
+  if (runtime_.obs != nullptr) {
+    runtime_.obs->Count(accepted ? "jits.async.enqueued" : "jits.async.dropped");
+    const QueueCounters c = queue_.counters();
+    runtime_.obs->SetGauge("jits.async.queue_depth",
+                           static_cast<double>(queue_.depth()));
+    runtime_.obs->SetGauge("jits.async.coalesced", static_cast<double>(c.coalesced));
+    runtime_.obs->SetGauge("jits.async.dropped_total", static_cast<double>(c.dropped));
+  }
+  return accepted;
+}
+
+StepOutcome CollectorService::RunTask(const CollectionTask& task, bool external_locks) {
+  // Same lock order as a statement: persist gate (shared) → table lock
+  // (shared) → collector internals (inflight is already held by the pop).
+  std::shared_lock<std::shared_mutex> gate;
+  std::shared_lock<std::shared_mutex> table_lock;
+  if (!external_locks) {
+    if (runtime_.persist_gate != nullptr) {
+      gate = std::shared_lock<std::shared_mutex>(*runtime_.persist_gate);
+    }
+    if (task.table != nullptr) {
+      table_lock = std::shared_lock<std::shared_mutex>(task.table->rw_mu());
+    }
+  }
+  const uint64_t now = runtime_.clock ? runtime_.clock() : task.enqueued_at;
+  if (runtime_.obs != nullptr) {
+    runtime_.obs->ObserveLatency("jits.async.wait",
+                                 std::max(0.0, NowSeconds() - task.submit_seconds));
+  }
+
+  CollectorConfig config;
+  config.sample_rows = runtime_.sample_rows ? runtime_.sample_rows() : config.sample_rows;
+  config.rng_mu = runtime_.rng_mu;
+  config.wal = wal_.load(std::memory_order_acquire);
+  StatisticsCollector collector(runtime_.catalog, runtime_.archive, config);
+  const CollectionStats stats =
+      collector.ExecuteTask(task, runtime_.rng, now, /*exact=*/nullptr, runtime_.obs,
+                            /*atomic_publish=*/true, fault_);
+  if (stats.aborted) {
+    if (runtime_.obs != nullptr) runtime_.obs->Count("jits.async.aborted");
+    return StepOutcome::kAborted;
+  }
+  size_t evictions = 0;
+  if (runtime_.archive != nullptr) {
+    evictions = runtime_.archive->EnforceBudget();
+    if (evictions > 0 && config.wal != nullptr) {
+      config.wal->LogBudgetEnforcement(
+          persist::BudgetRecord{runtime_.archive->bucket_budget()});
+    }
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (runtime_.obs != nullptr) {
+    runtime_.obs->Count("jits.async.completed");
+    if (stats.maxent_iterations > 0) {
+      runtime_.obs->Count("jits.maxent.iterations",
+                          static_cast<double>(stats.maxent_iterations));
+    }
+    if (evictions > 0) {
+      runtime_.obs->Count("jits.archive.evictions", static_cast<double>(evictions));
+    }
+    runtime_.obs->SetGauge("jits.async.queue_depth",
+                           static_cast<double>(queue_.depth()));
+  }
+  return StepOutcome::kCollected;
+}
+
+void CollectorService::WorkerLoop() {
+  CollectionTask task;
+  while (queue_.PopBlocking(runtime_.inflight, &task, &in_progress_)) {
+    // Sampling budget: hold the popped task (its table stays marked
+    // in-flight, so compile-time dedup keeps working) until a token is
+    // available. Drain and shutdown bypass the budget.
+    bool throttle_counted = false;
+    for (;;) {
+      if (shutdown_.load(std::memory_order_acquire) ||
+          draining_.load(std::memory_order_acquire)) {
+        break;
+      }
+      bool have_token;
+      {
+        std::lock_guard<std::mutex> lock(bucket_mu_);
+        have_token = bucket_.TryTake(NowSeconds());
+      }
+      if (have_token) break;
+      if (!throttle_counted && runtime_.obs != nullptr) {
+        runtime_.obs->Count("jits.async.throttled");
+        throttle_counted = true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (!shutdown_.load(std::memory_order_acquire)) {
+      RunTask(task, /*external_locks=*/false);
+    }
+    if (runtime_.inflight != nullptr) runtime_.inflight->Release(task.table);
+    queue_.NotifyInflightReleased();
+    in_progress_.fetch_sub(1, std::memory_order_acq_rel);
+    drain_cv_.notify_all();
+  }
+  drain_cv_.notify_all();
+}
+
+StepOutcome CollectorService::StepOne() {
+  if (queue_.depth() == 0) return StepOutcome::kIdle;
+  // Token check before the pop: a throttled step leaves the queue intact.
+  {
+    std::lock_guard<std::mutex> lock(bucket_mu_);
+    if (!bucket_.TryTake(NowSeconds())) {
+      if (runtime_.obs != nullptr) runtime_.obs->Count("jits.async.throttled");
+      return StepOutcome::kThrottled;
+    }
+  }
+  CollectionTask task;
+  if (!queue_.TryPop(runtime_.inflight, nullptr, &task, &in_progress_)) {
+    return StepOutcome::kIdle;
+  }
+  const StepOutcome outcome = RunTask(task, /*external_locks=*/false);
+  if (runtime_.inflight != nullptr) runtime_.inflight->Release(task.table);
+  queue_.NotifyInflightReleased();
+  in_progress_.fetch_sub(1, std::memory_order_acq_rel);
+  drain_cv_.notify_all();
+  return outcome;
+}
+
+void CollectorService::DrainTable(const Table* table, bool external_locks) {
+  CollectionTask task;
+  while (queue_.TryPop(runtime_.inflight, table, &task, &in_progress_)) {
+    RunTask(task, external_locks);
+    if (runtime_.inflight != nullptr) runtime_.inflight->Release(task.table);
+    queue_.NotifyInflightReleased();
+    in_progress_.fetch_sub(1, std::memory_order_acq_rel);
+    drain_cv_.notify_all();
+  }
+}
+
+void CollectorService::Drain() {
+  if (manual()) {
+    DrainTable(nullptr, /*external_locks=*/false);
+    return;
+  }
+  draining_.store(true, std::memory_order_release);
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  // Workers notify without holding drain_mu_, so poll with a short timeout
+  // rather than relying on wakeups alone.
+  while (!shutdown_.load(std::memory_order_acquire) &&
+         (queue_.depth() > 0 || in_progress_.load(std::memory_order_acquire) > 0)) {
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+  draining_.store(false, std::memory_order_release);
+}
+
+void CollectorService::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (runtime_.obs != nullptr) {
+    runtime_.obs->SetGauge("jits.async.queue_depth", 0);
+  }
+}
+
+}  // namespace jits::async

@@ -1,0 +1,143 @@
+#ifndef JITS_ASYNC_COLLECTOR_SERVICE_H_
+#define JITS_ASYNC_COLLECTOR_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "async/collection_queue.h"
+#include "async/token_bucket.h"
+#include "common/timer.h"
+#include "core/collector.h"
+
+namespace jits::async {
+
+struct CollectorServiceOptions {
+  /// Worker threads draining the queue. 0 selects *manual mode*: no
+  /// threads, a virtual clock, and StepOne()/Drain() driven by the caller —
+  /// the deterministic harness the fault-schedule tests step through.
+  size_t threads = 1;
+  /// Queue bound; past it, low-priority submissions are dropped.
+  size_t max_pending = 64;
+  /// Token-bucket sampling budget. <= 0 disables throttling.
+  double collections_per_sec = 0;
+  double burst = 4;
+};
+
+/// The engine state a background collection needs, borrowed from Database.
+/// Everything is owned by the engine and outlives the service.
+struct CollectorRuntime {
+  Catalog* catalog = nullptr;
+  QssArchive* archive = nullptr;
+  Rng* rng = nullptr;
+  std::mutex* rng_mu = nullptr;
+  InflightTableGuard* inflight = nullptr;
+  /// The persistence gate: workers take it shared per task so checkpoints
+  /// still see a stable statistics state (same contract as statements).
+  std::shared_mutex* persist_gate = nullptr;
+  /// Metrics-only context (the engine's single-session tracer is not
+  /// thread-safe for background writers).
+  const ObsContext* obs = nullptr;
+  /// Engine logical clock, read at execution time so deferred constraints
+  /// carry current timestamps.
+  std::function<uint64_t()> clock;
+  std::function<size_t()> sample_rows;
+};
+
+/// Outcome of one manual-mode step.
+enum class StepOutcome { kIdle, kCollected, kThrottled, kAborted };
+
+/// The background statistics-collection pipeline (tentpole of ISSUE 4):
+/// receives CollectionTasks from compile time (CollectionScheduler), queues
+/// them by sensitivity score, and drains them off the query's critical path
+/// — deduplicating via the shared in-flight guard, rate-limited by the
+/// token bucket, publishing atomically through the archive's copy-on-write
+/// path, and WAL-logging what it publishes. See docs/ASYNC.md.
+class CollectorService : public CollectionScheduler {
+ public:
+  CollectorService(CollectorRuntime runtime, CollectorServiceOptions options);
+  ~CollectorService() override;
+
+  /// Starts the worker threads (no-op in manual mode).
+  void Start();
+
+  /// CollectionScheduler: called from compile time with the statement's
+  /// table locks held. Never blocks on collection work.
+  bool Submit(CollectionTask task) override;
+
+  /// Manual mode only: run at most one queued task on the caller's thread.
+  StepOutcome StepOne();
+
+  /// Drains every queued task for `table` (nullptr: all tables) on the
+  /// caller's thread, ignoring the sampling budget. With `external_locks`
+  /// the caller already holds the persist gate and the table's statement
+  /// lock (the ANALYZE ... SYNC path). Tasks whose table is mid-collection
+  /// on a worker are left to that worker.
+  void DrainTable(const Table* table, bool external_locks);
+
+  /// Blocks until the queue is empty and no worker is mid-task. In manual
+  /// mode this simply drains inline.
+  void Drain();
+
+  /// Stops the pipeline: pending requests are cancelled (dropped), workers
+  /// finish their current task and exit. Idempotent.
+  void Shutdown();
+
+  /// Durability sink for published results; atomically swappable while
+  /// workers run (OpenPersistence/ClosePersistence).
+  void set_wal(persist::StatsWalSink* wal) { wal_.store(wal, std::memory_order_release); }
+
+  /// Deterministic fault injection for tests (set before Start, or in
+  /// manual mode at any point between steps).
+  void set_fault_hook(CollectionFaultHook hook) { fault_ = std::move(hook); }
+
+  /// Manual mode: advances the virtual clock feeding the token bucket.
+  void AdvanceVirtualTime(double seconds) { virtual_seconds_ += seconds; }
+
+  bool manual() const { return options_.threads == 0; }
+  size_t queue_depth() const { return queue_.depth(); }
+  QueueCounters queue_counters() const { return queue_.counters(); }
+  std::vector<QueueEntryInfo> QueueSnapshot() const { return queue_.SnapshotInfo(); }
+  uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
+  int in_progress() const { return in_progress_.load(std::memory_order_relaxed); }
+  const CollectorServiceOptions& options() const { return options_; }
+
+ private:
+  void WorkerLoop();
+  /// Runs one popped task end to end (locks, collect, publish, metrics).
+  /// Returns the task's outcome (kCollected or kAborted).
+  StepOutcome RunTask(const CollectionTask& task, bool external_locks);
+  double NowSeconds() const {
+    return manual() ? virtual_seconds_ : watch_.Seconds();
+  }
+
+  CollectorRuntime runtime_;
+  CollectorServiceOptions options_;
+  CollectionQueue queue_;
+  TokenBucket bucket_;
+  std::atomic<persist::StatsWalSink*> wal_{nullptr};
+  CollectionFaultHook fault_;
+  /// The bucket is not thread-safe; workers take tokens under this.
+  std::mutex bucket_mu_;
+
+  mutable Stopwatch watch_;
+  double virtual_seconds_ = 0;
+
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<int> in_progress_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace jits::async
+
+#endif  // JITS_ASYNC_COLLECTOR_SERVICE_H_

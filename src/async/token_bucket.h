@@ -1,0 +1,42 @@
+#ifndef JITS_ASYNC_TOKEN_BUCKET_H_
+#define JITS_ASYNC_TOKEN_BUCKET_H_
+
+#include <algorithm>
+
+namespace jits::async {
+
+/// Token-bucket limiter for the background sampling budget: each collection
+/// consumes one token; tokens refill at `rate_per_sec` up to `burst`. The
+/// caller supplies the current time, so the same bucket works against the
+/// real monotonic clock (worker threads) and the virtual clock of the
+/// manual test mode. Not thread-safe — callers serialize (the collector
+/// service takes tokens under its own coordination).
+class TokenBucket {
+ public:
+  /// rate_per_sec <= 0 disables throttling (every TryTake succeeds).
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(std::max(burst, 1.0)), tokens_(burst_) {}
+
+  bool TryTake(double now_seconds) {
+    if (rate_ <= 0) return true;
+    const double dt = std::max(0.0, now_seconds - last_seconds_);
+    last_seconds_ = now_seconds;
+    tokens_ = std::min(burst_, tokens_ + dt * rate_);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_seconds_ = 0;
+};
+
+}  // namespace jits::async
+
+#endif  // JITS_ASYNC_TOKEN_BUCKET_H_

@@ -1,0 +1,74 @@
+#ifndef JITS_CORE_COLLECTION_TASK_H_
+#define JITS_CORE_COLLECTION_TASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "histogram/box.h"
+#include "query/predicate.h"
+
+namespace jits {
+
+class Table;
+
+/// One candidate predicate group of a collection task, frozen at compile
+/// time. Predicate references are *task-local* indices into
+/// CollectionTask::preds (the owning block's predicate list is gone by the
+/// time a deferred task runs).
+struct CollectionGroupTask {
+  std::vector<int> pred_indices;  // indices into CollectionTask::preds
+  /// PredicateGroup::ExactKey of the group — identifies the measured
+  /// selectivity within the submitting compilation (unused once deferred).
+  std::string exact_key;
+  /// QssArchive::KeyFor canonical key "table(c1,c2,...)".
+  std::string column_set_key;
+  /// Column indices and joint box, in PredicateGroup::BuildBox order. Only
+  /// populated when `materialize` is set; `box_valid` is false when the
+  /// group has no interval form (kNe members).
+  std::vector<int> cols;
+  Box box;
+  bool box_valid = false;
+  bool materialize = false;
+};
+
+/// Everything the Statistics Collection module needs to sample one table
+/// and assimilate its marked predicate groups, detached from the query
+/// block that requested it. Built at compile time by BuildCollectionTask
+/// (core/collector.h); executed either inline (the paper's synchronous
+/// path) or by the background collector service (src/async).
+struct CollectionTask {
+  Table* table = nullptr;
+  /// Alg. 2/3 sensitivity score of the table decision — the priority of
+  /// the request in the background collection queue.
+  double score = 0;
+  /// Logical clock of the submitting statement.
+  uint64_t enqueued_at = 0;
+  /// Monotonic submission time in seconds (set by the collector service;
+  /// feeds the jits.async.wait histogram).
+  double submit_seconds = 0;
+  /// Distinct predicates appearing in `groups`, in first-seen order over
+  /// the marked groups. Slot order drives the bit-vector evaluation, so it
+  /// must match the inline collection path exactly.
+  std::vector<LocalPredicate> preds;
+  /// RUNSTATS column list: every INT column plus every predicate column of
+  /// the table, in block order (same list the inline path passes).
+  std::vector<int> stats_cols;
+  std::vector<CollectionGroupTask> groups;
+};
+
+/// Where compile time hands collection work off to. The inline path runs
+/// tasks synchronously; the async collector service (src/async) queues them
+/// and answers the current query from archived knowledge instead.
+class CollectionScheduler {
+ public:
+  virtual ~CollectionScheduler() = default;
+
+  /// Accepts one collection request. Returns false when the request was
+  /// dropped (bounded queue, lower priority than everything queued).
+  virtual bool Submit(CollectionTask task) = 0;
+};
+
+}  // namespace jits
+
+#endif  // JITS_CORE_COLLECTION_TASK_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <optional>
 
 #include "catalog/runstats.h"
@@ -41,7 +42,264 @@ Interval ColumnDomain(const Catalog& catalog, const Table& table, int col_idx) {
   return Interval{lo, hi + 1};
 }
 
+/// A histogram clone being prepared off to the side during an
+/// atomic-publish task, together with the WAL records describing the
+/// constraints applied to it. Installed (and logged) only when the whole
+/// task succeeds.
+struct StagedHistogram {
+  std::shared_ptr<GridHistogram> hist;
+  std::vector<persist::ArchiveConstraintRecord> wal;
+};
+
 }  // namespace
+
+CollectionTask BuildCollectionTask(const QueryBlock& block,
+                                   const std::vector<PredicateGroup>& groups,
+                                   const TableDecision& decision,
+                                   bool materialize_all) {
+  CollectionTask task;
+  task.table = block.tables[static_cast<size_t>(decision.table_idx)].table;
+  task.score = decision.score;
+
+  // RUNSTATS column list: only the columns this query touches, plus INT
+  // columns (join-key distinct counts feed the join cardinality formula).
+  const Table* table = task.table;
+  for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+    if (table->schema().column(c).type == DataType::kInt64) {
+      task.stats_cols.push_back(static_cast<int>(c));
+    }
+  }
+  for (const LocalPredicate& p : block.local_preds) {
+    if (p.table_idx != decision.table_idx) continue;
+    if (std::find(task.stats_cols.begin(), task.stats_cols.end(), p.col_idx) ==
+        task.stats_cols.end()) {
+      task.stats_cols.push_back(p.col_idx);
+    }
+  }
+
+  // Freeze the distinct predicates of the marked groups, first-seen order —
+  // the slot order the bit-vector evaluation depends on.
+  std::vector<int> pred_ids;
+  auto local_of = [&](int pi) -> int {
+    const auto it = std::find(pred_ids.begin(), pred_ids.end(), pi);
+    if (it != pred_ids.end()) return static_cast<int>(it - pred_ids.begin());
+    pred_ids.push_back(pi);
+    return static_cast<int>(pred_ids.size()) - 1;
+  };
+  for (size_t k = 0; k < decision.group_indices.size(); ++k) {
+    const PredicateGroup& g = groups[decision.group_indices[k]];
+    CollectionGroupTask gt;
+    for (int pi : g.pred_indices) gt.pred_indices.push_back(local_of(pi));
+    gt.exact_key = g.ExactKey(block);
+    gt.column_set_key = g.ColumnSetKey(block);
+    gt.materialize = materialize_all ||
+                     ((k < decision.materialize.size()) && decision.materialize[k]);
+    if (gt.materialize) {
+      gt.box_valid = g.BuildBox(block, &gt.cols, &gt.box);
+    }
+    task.groups.push_back(std::move(gt));
+  }
+  for (int pi : pred_ids) {
+    task.preds.push_back(block.local_preds[static_cast<size_t>(pi)]);
+  }
+  return task;
+}
+
+CollectionStats StatisticsCollector::ExecuteTask(const CollectionTask& task, Rng* rng,
+                                                 uint64_t now, QssExact* exact,
+                                                 const ObsContext* obs,
+                                                 bool atomic_publish,
+                                                 const CollectionFaultHook& fault) {
+  CollectionStats out;
+  Table* table = task.table;
+  const double table_rows = static_cast<double>(table->num_rows());
+
+  // Table statistics: the paper's prototype "invokes the RUNSTATS tool
+  // with the appropriate parameters", so a marked table gets fresh basic
+  // and distribution statistics (cardinality, distincts, histograms) from
+  // a sampling RUNSTATS pass in addition to its query-specific
+  // selectivities. This also resets the UDI counter.
+  if (exact != nullptr) exact->cardinality[table] = table_rows;
+
+  // One sample per table; it feeds both the RUNSTATS column statistics
+  // and every candidate group's selectivity (§3.3: sampling dominates the
+  // collection cost, so the table is sampled exactly once). The Rng is
+  // shared across sessions, so draws are serialized.
+  std::vector<uint32_t> sample;
+  {
+    std::unique_lock<std::mutex> rng_lock;
+    if (config_.rng_mu != nullptr) {
+      rng_lock = std::unique_lock<std::mutex>(*config_.rng_mu);
+    }
+    sample = Sampler::SampleRows(*table, config_.sample_rows, rng);
+  }
+
+  RunStatsOptions runstats_options;
+  runstats_options.columns = task.stats_cols;
+  (void)RunStatsOnRows(catalog_, table, sample, runstats_options, now);
+  if (config_.wal != nullptr) {
+    // Sampling is not replayable (the RNG has moved on by recovery time),
+    // so the published catalog stats are logged whole. The catalog publish
+    // is itself a single copy-on-write swap, so it needs no staging even
+    // under atomic_publish.
+    std::shared_ptr<const TableStats> published = catalog_->StatsSnapshot(table);
+    if (published != nullptr) {
+      persist::CatalogStatsRecord record;
+      record.table = ToLower(table->name());
+      record.stats = *published;
+      config_.wal->LogCatalogStats(record);
+    }
+  }
+
+  if (task.groups.empty()) {
+    // RUNSTATS-only task: no archive publication, but the fault schedule
+    // still gets its pre-publication say so deterministic tests can abort
+    // any step of a drain.
+    if (fault != nullptr && fault(task, 0)) out.aborted = true;
+    return out;
+  }
+  ++out.tables_sampled;
+  if (sample.empty()) return out;
+  const double n = static_cast<double>(sample.size());
+
+  // Evaluate every predicate over the sample. Each predicate fills its
+  // own preallocated BitVector slot, so the loop parallelizes across
+  // predicates with no synchronization and index-order determinism.
+  std::vector<BitVector> matches(task.preds.size(), BitVector(sample.size()));
+  auto fill_one = [&](size_t p) {
+    const CompiledPredicate cp = CompiledPredicate::Compile(*table, task.preds[p]);
+    BitVector& bv = matches[p];
+    for (size_t i = 0; i < sample.size(); ++i) {
+      if (cp.Matches(sample[i])) bv.Set(i);
+    }
+  };
+  if (config_.pool != nullptr) {
+    config_.pool->ParallelFor(task.preds.size(), fill_one);
+  } else {
+    for (size_t p = 0; p < task.preds.size(); ++p) fill_one(p);
+  }
+
+  std::map<std::string, StagedHistogram> staged;
+  size_t groups_done = 0;
+
+  // Measure every candidate group (cheap once sampled) and materialize
+  // the marked ones.
+  for (const CollectionGroupTask& g : task.groups) {
+    if (fault != nullptr && fault(task, groups_done)) {
+      out.aborted = true;
+      break;
+    }
+    std::vector<const BitVector*> vs;
+    for (int pi : g.pred_indices) vs.push_back(&matches[static_cast<size_t>(pi)]);
+    const double count = static_cast<double>(BitVector::CountIntersection(vs));
+    const double sel = count / n;
+    if (exact != nullptr) exact->selectivity[g.exact_key] = sel;
+    ++out.groups_measured;
+
+    if (!g.materialize || archive_ == nullptr) {
+      ++groups_done;
+      continue;
+    }
+    TraceSpan materialize_span(ObsTracer(obs), "jits.materialize");
+    if (!g.box_valid) {
+      ++groups_done;
+      continue;
+    }
+    std::vector<std::string> col_names;
+    std::vector<Interval> domain;
+    for (int c : g.cols) {
+      col_names.push_back(ToLower(table->schema().column(static_cast<size_t>(c)).name));
+      domain.push_back(ColumnDomain(*catalog_, *table, c));
+    }
+    const std::string& key = g.column_set_key;
+    std::shared_ptr<GridHistogram> hist;
+    std::vector<persist::ArchiveConstraintRecord>* staged_wal = nullptr;
+    if (atomic_publish) {
+      auto it = staged.find(key);
+      if (it == staged.end()) {
+        // Work on a private clone of the live histogram (or a private fresh
+        // one); the archive only sees it if the whole task completes.
+        std::shared_ptr<GridHistogram> live = archive_->FindShared(key);
+        std::shared_ptr<GridHistogram> copy =
+            live != nullptr
+                ? std::make_shared<GridHistogram>(*live)
+                : std::make_shared<GridHistogram>(col_names, domain, table_rows, now);
+        it = staged.emplace(key, StagedHistogram{std::move(copy), {}}).first;
+      }
+      hist = it->second.hist;
+      staged_wal = &it->second.wal;
+    } else {
+      hist = archive_->GetOrCreateShared(key, col_names, domain, table_rows, now);
+    }
+    // Each constraint is logged with the histogram's creation parameters,
+    // so replay can recreate histograms born between checkpoints and then
+    // re-run the identical ApplyConstraint sequence.
+    auto log_constraint = [&](const Box& constraint_box, double box_rows) {
+      if (config_.wal == nullptr) return;
+      persist::ArchiveConstraintRecord record;
+      record.store = persist::StatsStore::kArchive;
+      record.key = key;
+      record.column_names = col_names;
+      record.domain = domain;
+      record.create_total_rows = table_rows;
+      record.box = constraint_box;
+      record.box_rows = box_rows;
+      record.table_rows = table_rows;
+      record.now = now;
+      if (staged_wal != nullptr) {
+        staged_wal->push_back(std::move(record));
+      } else {
+        config_.wal->LogArchiveConstraint(record);
+      }
+    };
+
+    // Assimilate marginal knowledge first (per-dimension sub-boxes), then
+    // the joint box — the paper's Figure 2 sequence.
+    if (g.cols.size() > 1) {
+      for (size_t d = 0; d < g.cols.size(); ++d) {
+        if (g.box[d].is_unbounded()) continue;
+        // Count sample rows matching just this dimension's predicates.
+        std::vector<const BitVector*> dim_vs;
+        for (int pi : g.pred_indices) {
+          if (task.preds[static_cast<size_t>(pi)].col_idx == g.cols[d]) {
+            dim_vs.push_back(&matches[static_cast<size_t>(pi)]);
+          }
+        }
+        if (dim_vs.empty()) continue;
+        const double dim_count =
+            static_cast<double>(BitVector::CountIntersection(dim_vs));
+        Box dim_box(g.cols.size(), Interval::All());
+        dim_box[d] = g.box[d];
+        out.maxent_iterations +=
+            hist->ApplyConstraint(dim_box, dim_count / n * table_rows, table_rows, now);
+        log_constraint(dim_box, dim_count / n * table_rows);
+      }
+    }
+    out.maxent_iterations +=
+        hist->ApplyConstraint(g.box, sel * table_rows, table_rows, now);
+    log_constraint(g.box, sel * table_rows);
+    hist->Touch(now);
+    ++out.groups_materialized;
+    ++groups_done;
+  }
+
+  // Last chance to abort before anything becomes visible — a fault here
+  // must still leave the archive untouched.
+  if (!out.aborted && fault != nullptr && fault(task, groups_done)) {
+    out.aborted = true;
+  }
+  if (atomic_publish && !out.aborted) {
+    for (auto& entry : staged) {
+      archive_->Insert(entry.first, entry.second.hist);
+      if (config_.wal != nullptr) {
+        for (const persist::ArchiveConstraintRecord& record : entry.second.wal) {
+          config_.wal->LogArchiveConstraint(record);
+        }
+      }
+    }
+  }
+  return out;
+}
 
 CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
                                              const std::vector<PredicateGroup>& groups,
@@ -49,7 +307,6 @@ CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
                                              Rng* rng, uint64_t now, QssExact* exact,
                                              const ObsContext* obs) {
   CollectionStats out;
-  size_t maxent_iterations = 0;
   for (const TableDecision& decision : decisions) {
     if (!decision.collect) continue;
     Table* table = block.tables[static_cast<size_t>(decision.table_idx)].table;
@@ -65,165 +322,13 @@ CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
       }
       inflight_release.emplace(config_.inflight, table);
     }
-    const double table_rows = static_cast<double>(table->num_rows());
-
-    // Table statistics: the paper's prototype "invokes the RUNSTATS tool
-    // with the appropriate parameters", so a marked table gets fresh basic
-    // and distribution statistics (cardinality, distincts, histograms) from
-    // a sampling RUNSTATS pass in addition to its query-specific
-    // selectivities. This also resets the UDI counter.
-    exact->cardinality[table] = table_rows;
-
-    // One sample per table; it feeds both the RUNSTATS column statistics
-    // and every candidate group's selectivity (§3.3: sampling dominates the
-    // collection cost, so the table is sampled exactly once). The Rng is
-    // shared across sessions, so draws are serialized.
-    std::vector<uint32_t> sample;
-    {
-      std::unique_lock<std::mutex> rng_lock;
-      if (config_.rng_mu != nullptr) {
-        rng_lock = std::unique_lock<std::mutex>(*config_.rng_mu);
-      }
-      sample = Sampler::SampleRows(*table, config_.sample_rows, rng);
-    }
-
-    RunStatsOptions runstats_options;
-    // Only the columns this query touches, plus INT columns (join-key
-    // distinct counts feed the join cardinality formula).
-    for (size_t c = 0; c < table->schema().num_columns(); ++c) {
-      if (table->schema().column(c).type == DataType::kInt64) {
-        runstats_options.columns.push_back(static_cast<int>(c));
-      }
-    }
-    for (const LocalPredicate& p : block.local_preds) {
-      if (p.table_idx != decision.table_idx) continue;
-      if (std::find(runstats_options.columns.begin(), runstats_options.columns.end(),
-                    p.col_idx) == runstats_options.columns.end()) {
-        runstats_options.columns.push_back(p.col_idx);
-      }
-    }
-    (void)RunStatsOnRows(catalog_, table, sample, runstats_options, now);
-    if (config_.wal != nullptr) {
-      // Sampling is not replayable (the RNG has moved on by recovery time),
-      // so the published catalog stats are logged whole.
-      std::shared_ptr<const TableStats> published = catalog_->StatsSnapshot(table);
-      if (published != nullptr) {
-        persist::CatalogStatsRecord record;
-        record.table = ToLower(table->name());
-        record.stats = *published;
-        config_.wal->LogCatalogStats(record);
-      }
-    }
-
-    if (decision.group_indices.empty()) continue;
-    ++out.tables_sampled;
-    if (sample.empty()) continue;
-    const double n = static_cast<double>(sample.size());
-
-    // Collect the distinct predicates appearing in this table's groups.
-    std::vector<int> pred_ids;
-    for (size_t gi : decision.group_indices) {
-      for (int pi : groups[gi].pred_indices) {
-        if (std::find(pred_ids.begin(), pred_ids.end(), pi) == pred_ids.end()) {
-          pred_ids.push_back(pi);
-        }
-      }
-    }
-    // Evaluate every predicate over the sample. Each predicate fills its
-    // own preallocated BitVector slot, so the loop parallelizes across
-    // predicates with no synchronization and index-order determinism.
-    std::vector<BitVector> matches(pred_ids.size(), BitVector(sample.size()));
-    auto fill_one = [&](size_t p) {
-      const CompiledPredicate cp = CompiledPredicate::Compile(
-          *table, block.local_preds[static_cast<size_t>(pred_ids[p])]);
-      BitVector& bv = matches[p];
-      for (size_t i = 0; i < sample.size(); ++i) {
-        if (cp.Matches(sample[i])) bv.Set(i);
-      }
-    };
-    if (config_.pool != nullptr) {
-      config_.pool->ParallelFor(pred_ids.size(), fill_one);
-    } else {
-      for (size_t p = 0; p < pred_ids.size(); ++p) fill_one(p);
-    }
-    auto bitvector_of = [&](int pi) -> const BitVector* {
-      const auto it = std::find(pred_ids.begin(), pred_ids.end(), pi);
-      return &matches[static_cast<size_t>(it - pred_ids.begin())];
-    };
-
-    // Measure every candidate group (cheap once sampled) and materialize
-    // the marked ones.
-    for (size_t k = 0; k < decision.group_indices.size(); ++k) {
-      const PredicateGroup& g = groups[decision.group_indices[k]];
-      std::vector<const BitVector*> vs;
-      for (int pi : g.pred_indices) vs.push_back(bitvector_of(pi));
-      const double count = static_cast<double>(BitVector::CountIntersection(vs));
-      const double sel = count / n;
-      exact->selectivity[g.ExactKey(block)] = sel;
-      ++out.groups_measured;
-
-      const bool materialize =
-          (k < decision.materialize.size()) && decision.materialize[k];
-      if (!materialize || archive_ == nullptr) continue;
-      TraceSpan materialize_span(ObsTracer(obs), "jits.materialize");
-
-      std::vector<int> cols;
-      Box box;
-      if (!g.BuildBox(block, &cols, &box)) continue;
-      std::vector<std::string> col_names;
-      std::vector<Interval> domain;
-      for (int c : cols) {
-        col_names.push_back(ToLower(table->schema().column(static_cast<size_t>(c)).name));
-        domain.push_back(ColumnDomain(*catalog_, *table, c));
-      }
-      const std::string key = g.ColumnSetKey(block);
-      std::shared_ptr<GridHistogram> hist =
-          archive_->GetOrCreateShared(key, col_names, domain, table_rows, now);
-      // Each constraint is logged with the histogram's creation parameters,
-      // so replay can recreate histograms born between checkpoints and then
-      // re-run the identical ApplyConstraint sequence.
-      auto log_constraint = [&](const Box& constraint_box, double box_rows) {
-        if (config_.wal == nullptr) return;
-        persist::ArchiveConstraintRecord record;
-        record.store = persist::StatsStore::kArchive;
-        record.key = key;
-        record.column_names = col_names;
-        record.domain = domain;
-        record.create_total_rows = table_rows;
-        record.box = constraint_box;
-        record.box_rows = box_rows;
-        record.table_rows = table_rows;
-        record.now = now;
-        config_.wal->LogArchiveConstraint(record);
-      };
-
-      // Assimilate marginal knowledge first (per-dimension sub-boxes), then
-      // the joint box — the paper's Figure 2 sequence.
-      if (cols.size() > 1) {
-        for (size_t d = 0; d < cols.size(); ++d) {
-          if (box[d].is_unbounded()) continue;
-          // Count sample rows matching just this dimension's predicates.
-          std::vector<const BitVector*> dim_vs;
-          for (int pi : g.pred_indices) {
-            if (block.local_preds[static_cast<size_t>(pi)].col_idx == cols[d]) {
-              dim_vs.push_back(bitvector_of(pi));
-            }
-          }
-          if (dim_vs.empty()) continue;
-          const double dim_count =
-              static_cast<double>(BitVector::CountIntersection(dim_vs));
-          Box dim_box(cols.size(), Interval::All());
-          dim_box[d] = box[d];
-          maxent_iterations +=
-              hist->ApplyConstraint(dim_box, dim_count / n * table_rows, table_rows, now);
-          log_constraint(dim_box, dim_count / n * table_rows);
-        }
-      }
-      maxent_iterations += hist->ApplyConstraint(box, sel * table_rows, table_rows, now);
-      log_constraint(box, sel * table_rows);
-      hist->Touch(now);
-      ++out.groups_materialized;
-    }
+    const CollectionTask task = BuildCollectionTask(block, groups, decision);
+    const CollectionStats one =
+        ExecuteTask(task, rng, now, exact, obs, /*atomic_publish=*/false);
+    out.tables_sampled += one.tables_sampled;
+    out.groups_measured += one.groups_measured;
+    out.groups_materialized += one.groups_materialized;
+    out.maxent_iterations += one.maxent_iterations;
   }
   size_t evictions = 0;
   if (archive_ != nullptr) {
@@ -235,8 +340,8 @@ CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
     }
   }
   if (obs != nullptr) {
-    if (maxent_iterations > 0) {
-      obs->Count("jits.maxent.iterations", static_cast<double>(maxent_iterations));
+    if (out.maxent_iterations > 0) {
+      obs->Count("jits.maxent.iterations", static_cast<double>(out.maxent_iterations));
     }
     if (evictions > 0) {
       obs->Count("jits.archive.evictions", static_cast<double>(evictions));

@@ -1,11 +1,13 @@
 #ifndef JITS_CORE_COLLECTOR_H_
 #define JITS_CORE_COLLECTOR_H_
 
+#include <functional>
 #include <mutex>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/rng.h"
+#include "core/collection_task.h"
 #include "core/inflight_guard.h"
 #include "core/qss_archive.h"
 #include "core/sensitivity.h"
@@ -40,7 +42,36 @@ struct CollectionStats {
   size_t tables_sampled = 0;
   size_t groups_measured = 0;
   size_t groups_materialized = 0;
+  /// Maximum-entropy (IPF) refinement iterations spent.
+  size_t maxent_iterations = 0;
+  /// True when a fault hook cancelled the task mid-way (atomic mode
+  /// publishes nothing in that case).
+  bool aborted = false;
 };
+
+/// Fault-injection hook for deterministic async-pipeline tests: consulted
+/// before each group of a task and once more before publication, with the
+/// number of fully processed groups. Returning true aborts the task.
+using CollectionFaultHook =
+    std::function<bool(const CollectionTask& task, size_t groups_done)>;
+
+/// Freezes one compile-time table decision into a self-contained collection
+/// task: the RUNSTATS column list, the distinct predicates of the marked
+/// groups (in the inline path's first-seen slot order) and each group's
+/// keys/box. The task carries no reference back to the block, so it can
+/// outlive the compilation (the async pipeline queues it).
+///
+/// `materialize_all` overrides Algorithm 4's per-group verdict and marks
+/// every group with a buildable box for materialization. The deferred path
+/// needs this: Algorithm 4 scores a statistic by the history entries that
+/// used it, and those entries only ever appear when a compile-time exact
+/// measurement served the estimate — which deferred collection skips by
+/// design. Materializing every measured group off the critical path restores
+/// archive growth; the bucket budget's LRU eviction discards the unused ones.
+CollectionTask BuildCollectionTask(const QueryBlock& block,
+                                   const std::vector<PredicateGroup>& groups,
+                                   const TableDecision& decision,
+                                   bool materialize_all = false);
 
 /// The Statistics Collection module: samples each table marked by the
 /// sensitivity analysis once, computes the selectivities of all its
@@ -61,6 +92,23 @@ class StatisticsCollector {
                           const std::vector<TableDecision>& decisions, Rng* rng,
                           uint64_t now, QssExact* exact,
                           const ObsContext* obs = nullptr);
+
+  /// Runs one prebuilt task: sample, RUNSTATS, measure every group,
+  /// materialize the marked ones. `exact` (nullable) receives the measured
+  /// selectivities/cardinality — the inline path feeds the current
+  /// compilation, deferred tasks pass nullptr.
+  ///
+  /// With `atomic_publish` the archive is updated copy-on-write: constraints
+  /// apply to a private clone of each touched histogram (fresh histograms
+  /// are built privately) and the clones are installed — and their WAL
+  /// records flushed — only after every group of the task succeeded, so an
+  /// abort mid-task publishes nothing. Without it, constraints apply to the
+  /// live histograms in place — the paper's synchronous path, byte-identical
+  /// to the original inline collector. Callers own inflight/table locking.
+  CollectionStats ExecuteTask(const CollectionTask& task, Rng* rng, uint64_t now,
+                              QssExact* exact, const ObsContext* obs,
+                              bool atomic_publish,
+                              const CollectionFaultHook& fault = nullptr);
 
  private:
   Catalog* catalog_;

@@ -42,8 +42,26 @@ JitsPrepareResult JitsModule::Prepare(const QueryBlock& block, const JitsConfig&
     }
   }
 
-  // 3. Statistics collection.
-  {
+  // 3. Statistics collection — inline (the paper's synchronous path), or
+  // deferred to the background pipeline when a scheduler is installed. The
+  // deferred path never samples on the query's critical path: it freezes
+  // each marked decision into a CollectionTask and answers this query from
+  // whatever the archive/catalog already know (est_source=stale-async).
+  if (scheduler_ != nullptr) {
+    TraceSpan span(ObsTracer(obs), "jits.collect");
+    for (const TableDecision& decision : result.decisions) {
+      if (!decision.collect) continue;
+      CollectionTask task =
+          BuildCollectionTask(block, groups, decision, /*materialize_all=*/true);
+      task.enqueued_at = now;
+      scheduler_->Submit(std::move(task));
+      ++result.tables_deferred;
+      if (obs != nullptr) {
+        obs->Count("jits.async.submitted");
+        obs->Count("optimizer.est_source{source=\"stale-async\"}");
+      }
+    }
+  } else {
     TraceSpan span(ObsTracer(obs), "jits.collect");
     CollectorConfig coll_config;
     coll_config.sample_rows = config.sample_rows;

@@ -37,6 +37,9 @@ struct JitsPrepareResult {
   size_t tables_sampled = 0;
   size_t groups_measured = 0;
   size_t groups_materialized = 0;
+  /// Tables whose collection was handed to the background pipeline instead
+  /// of sampled inline — this compilation runs on archived estimates.
+  size_t tables_deferred = 0;
 };
 
 /// The compile-time JITS pipeline (paper Figure 1): query analysis →
@@ -60,6 +63,18 @@ class JitsModule {
   /// statistics state. Configure before serving queries.
   void set_wal(persist::StatsWalSink* wal) { wal_ = wal; }
 
+  /// Installs the background collection scheduler (nullable). While set,
+  /// compile-time collection is deferred: marked tables are submitted as
+  /// CollectionTasks and the current query runs on archived/catalog
+  /// estimates (est_source=stale-async). Null restores the paper's inline
+  /// sampling path.
+  void set_scheduler(CollectionScheduler* scheduler) { scheduler_ = scheduler; }
+
+  /// The per-table in-flight sampling guard, shared with the background
+  /// collector service so inline and deferred sampling dedup against each
+  /// other.
+  InflightTableGuard* inflight() { return &inflight_; }
+
   /// Runs the pipeline for one query block. `now` is the engine's logical
   /// clock (used for bucket timestamps, LRU and migration cadence). `obs`
   /// (nullable) receives per-stage trace spans (jits.analyze,
@@ -74,6 +89,7 @@ class JitsModule {
   ThreadPool* pool_ = nullptr;
   std::mutex* rng_mu_ = nullptr;
   persist::StatsWalSink* wal_ = nullptr;
+  CollectionScheduler* scheduler_ = nullptr;
   InflightTableGuard inflight_;
 };
 

@@ -48,6 +48,47 @@ Database::Database(uint64_t seed)
   jits_.set_runtime(nullptr, &rng_mu_);
 }
 
+Database::~Database() {
+  if (async_collector_ != nullptr) {
+    // Stop feeding the queue, then stop the workers. Pending requests are
+    // cancelled — the destructor models a crash, not a clean drain.
+    jits_.set_scheduler(nullptr);
+    async_collector_->Shutdown();
+  }
+}
+
+Status Database::EnableAsyncCollection(const async::CollectorServiceOptions& options) {
+  if (async_collector_ != nullptr) {
+    return Status::ExecutionError("async collection already enabled");
+  }
+  async::CollectorRuntime runtime;
+  runtime.catalog = &catalog_;
+  runtime.archive = &archive_;
+  runtime.rng = &rng_;
+  runtime.rng_mu = &rng_mu_;
+  runtime.inflight = jits_.inflight();
+  runtime.persist_gate = &persist_gate_;
+  runtime.obs = &async_obs_;
+  runtime.clock = [this] { return clock(); };
+  runtime.sample_rows = [this] { return jits_config_.sample_rows; };
+  async_collector_ = std::make_unique<async::CollectorService>(runtime, options);
+  async_collector_->set_wal(persistence_.get());
+  async_collector_->Start();
+  jits_.set_scheduler(async_collector_.get());
+  return Status::OK();
+}
+
+Status Database::DisableAsyncCollection() {
+  if (async_collector_ == nullptr) return Status::OK();
+  // Order matters: stop new submissions first, then let queued work finish
+  // publishing, then stop the workers.
+  jits_.set_scheduler(nullptr);
+  async_collector_->Drain();
+  async_collector_->Shutdown();
+  async_collector_.reset();
+  return Status::OK();
+}
+
 Status Database::Execute(const std::string& sql) {
   QueryResult result;
   return Execute(sql, &result);
@@ -138,6 +179,14 @@ Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
     // locks are already held.
     if (analyze->table.empty()) {
       const auto locks = LockShared(SortedUniqueTables(catalog_.tables()));
+      // ANALYZE ... SYNC: flush queued background collections on this
+      // thread before the fresh RUNSTATS pass, so the statement returns
+      // with every pending deferred collection published. We already hold
+      // the persist gate and the table locks (shared_mutex is not
+      // recursive), hence external_locks.
+      if (analyze->sync && async_collector_ != nullptr) {
+        async_collector_->DrainTable(nullptr, /*external_locks=*/true);
+      }
       {
         std::lock_guard<std::mutex> rng_lock(rng_mu_);
         status = RunStatsAll(&catalog_, options, &rng_, now);
@@ -147,6 +196,9 @@ Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
     } else {
       Table* table = catalog_.FindTable(analyze->table);
       std::shared_lock<std::shared_mutex> lock(table->rw_mu());
+      if (analyze->sync && async_collector_ != nullptr) {
+        async_collector_->DrainTable(table, /*external_locks=*/true);
+      }
       {
         std::lock_guard<std::mutex> rng_lock(rng_mu_);
         status = RunStats(&catalog_, table, options, &rng_, now);
@@ -761,6 +813,22 @@ Status Database::RunShow(const ShowAst& show, QueryResult* result) {
     return Status::OK();
   }
 
+  if (show.what == ShowAst::What::kJitsQueue) {
+    // SHOW JITS QUEUE: pending background collections in drain (priority)
+    // order. Empty result when async collection is off.
+    result->column_names = {"table", "score", "groups", "enqueued_at", "state"};
+    if (async_collector_ != nullptr) {
+      for (const async::QueueEntryInfo& e : async_collector_->QueueSnapshot()) {
+        result->rows.push_back({Value(e.table), Value(e.score),
+                                Value(static_cast<int64_t>(e.groups)),
+                                Value(static_cast<int64_t>(e.enqueued_at)),
+                                Value("queued")});
+      }
+    }
+    result->num_rows = result->rows.size();
+    return Status::OK();
+  }
+
   // SHOW JITS STATUS: configuration, archive occupancy, history size,
   // per-table sensitivity scores and migration counts as property/value rows.
   result->column_names = {"property", "value"};
@@ -780,6 +848,21 @@ Status Database::RunShow(const ShowAst& show, QueryResult* result) {
                               ? 100.0 * static_cast<double>(archive_.total_buckets()) / budget
                               : 0.0));
   add("stat_history.entries", StrFormat("%zu", history_.size()));
+  add("async.enabled", async_collector_ != nullptr ? "true" : "false");
+  if (async_collector_ != nullptr) {
+    const async::QueueCounters qc = async_collector_->queue_counters();
+    add("async.threads", StrFormat("%zu", async_collector_->options().threads));
+    add("async.queue_depth", StrFormat("%zu", async_collector_->queue_depth()));
+    add("async.in_progress", StrFormat("%d", async_collector_->in_progress()));
+    add("async.completed", StrFormat("%llu", static_cast<unsigned long long>(
+                                                 async_collector_->completed())));
+    add("async.enqueued",
+        StrFormat("%llu", static_cast<unsigned long long>(qc.enqueued)));
+    add("async.coalesced",
+        StrFormat("%llu", static_cast<unsigned long long>(qc.coalesced)));
+    add("async.dropped",
+        StrFormat("%llu", static_cast<unsigned long long>(qc.dropped)));
+  }
   add("migrations", StrFormat("%.0f", metrics_.CounterValue("jits.migrations")));
   add("migrated_columns",
       StrFormat("%.0f", metrics_.CounterValue("jits.migrated_columns")));
@@ -888,6 +971,7 @@ Status Database::OpenPersistence(const persist::PersistenceOptions& options,
   persistence_ = std::move(manager);
   jits_.set_wal(persistence_.get());
   feedback_.set_wal(persistence_.get());
+  if (async_collector_ != nullptr) async_collector_->set_wal(persistence_.get());
 
   // Baseline checkpoint: the recovered state becomes the new durable
   // generation, so WAL files are only ever created fresh (never re-opened
@@ -896,6 +980,7 @@ Status Database::OpenPersistence(const persist::PersistenceOptions& options,
   if (!baseline.ok()) {
     jits_.set_wal(nullptr);
     feedback_.set_wal(nullptr);
+    if (async_collector_ != nullptr) async_collector_->set_wal(nullptr);
     persistence_.reset();
     return baseline;
   }
@@ -926,9 +1011,14 @@ Status Database::Checkpoint() {
 
 Status Database::ClosePersistence(bool final_checkpoint) {
   if (persistence_ == nullptr) return Status::OK();
+  // Graceful drain: queued background collections publish (and WAL-log)
+  // before the final checkpoint, so they land in the last durable
+  // generation instead of being silently lost.
+  if (async_collector_ != nullptr) async_collector_->Drain();
   Status status = final_checkpoint ? Checkpoint() : persistence_->SyncWal();
   jits_.set_wal(nullptr);
   feedback_.set_wal(nullptr);
+  if (async_collector_ != nullptr) async_collector_->set_wal(nullptr);
   persistence_.reset();
   return status;
 }

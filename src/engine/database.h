@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "async/collector_service.h"
 #include "catalog/catalog.h"
 #include "catalog/runstats.h"
 #include "common/rng.h"
@@ -68,6 +69,9 @@ struct QueryResult {
 class Database {
  public:
   explicit Database(uint64_t seed = 42);
+  /// Stops the background collector (if enabled) without checkpointing —
+  /// dropping the Database still models a crash for persistence.
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -149,6 +153,21 @@ class Database {
   void set_leo_correction(bool enabled) { leo_correction_ = enabled; }
   bool leo_correction() const { return leo_correction_; }
 
+  /// Switches statistics collection to the background pipeline: marked
+  /// tables are queued for a collector pool instead of sampled on the
+  /// query's critical path (ISSUE 4 tentpole; see docs/ASYNC.md). With
+  /// options.threads == 0 no workers start — tests drive the queue through
+  /// async_collector()->StepOne()/Drain(). Configure before spawning
+  /// clients; error if already enabled.
+  Status EnableAsyncCollection(const async::CollectorServiceOptions& options);
+
+  /// Restores inline collection: stops accepting new deferred work, drains
+  /// the queue (pending collections still publish), stops the workers.
+  Status DisableAsyncCollection();
+
+  bool async_collection_enabled() const { return async_collector_ != nullptr; }
+  async::CollectorService* async_collector() { return async_collector_.get(); }
+
  private:
   Status ExecuteInner(const std::string& sql, QueryResult* result,
                       const Stopwatch& total_watch, uint64_t now);
@@ -201,6 +220,13 @@ class Database {
   std::atomic<uint64_t> statements_since_checkpoint_{0};
   std::unique_ptr<persist::PersistenceManager> persistence_;
   persist::RecoveryReport last_recovery_;
+
+  /// Metrics-only context for the background collector: the tracer is a
+  /// single-session facility and must never see background writers.
+  ObsContext async_obs_{&metrics_, nullptr};
+  /// Declared last: workers borrow everything above, so the service must be
+  /// destroyed (joined) first.
+  std::unique_ptr<async::CollectorService> async_collector_;
 };
 
 }  // namespace jits

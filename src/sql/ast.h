@@ -65,9 +65,10 @@ struct ExplainAst {
   bool analyze = false;
 };
 
-/// SHOW METRICS / SHOW JITS STATUS / SHOW PERSISTENCE: engine introspection.
+/// SHOW METRICS / SHOW JITS STATUS / SHOW JITS QUEUE / SHOW PERSISTENCE:
+/// engine introspection.
 struct ShowAst {
-  enum class What { kMetrics, kJitsStatus, kPersistence };
+  enum class What { kMetrics, kJitsStatus, kJitsQueue, kPersistence };
   What what = What::kMetrics;
 };
 
@@ -75,10 +76,13 @@ struct ShowAst {
 /// write-ahead log (no-op error when persistence is not open).
 struct CheckpointAst {};
 
-/// ANALYZE [table]: collect general statistics (RUNSTATS) on one table or,
-/// with no argument, on every table.
+/// ANALYZE [table] [SYNC]: collect general statistics (RUNSTATS) on one
+/// table or, with no argument, on every table. SYNC additionally drains
+/// any queued background collections for the target first — the
+/// per-statement synchronous fallback when async collection is on.
 struct AnalyzeAst {
   std::string table;  // empty = all tables
+  bool sync = false;
 };
 
 struct InsertAst {

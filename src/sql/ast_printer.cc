@@ -1,0 +1,203 @@
+#include "sql/ast_printer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace jits {
+namespace {
+
+/// Literal in re-lexable form. Doubles print as plain decimal (the lexer
+/// has no exponent syntax) with trailing zeros trimmed but at least one
+/// fractional digit kept, so the literal re-lexes as a float, not an int.
+std::string PrintValue(const Value& v) {
+  if (v.is_int64()) return StrFormat("%lld", static_cast<long long>(v.int64()));
+  if (v.is_double()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v.dbl());
+    std::string s(buf);
+    size_t end = s.size();
+    while (end > 0 && s[end - 1] == '0') --end;
+    if (end > 0 && s[end - 1] == '.') ++end;  // keep one zero: "3." -> "3.0"
+    s.resize(end);
+    return s;
+  }
+  if (v.is_string()) {
+    std::string out = "'";
+    for (char c : v.str()) {
+      out += c;
+      if (c == '\'') out += '\'';
+    }
+    out += '\'';
+    return out;
+  }
+  return "NULL";
+}
+
+std::string PrintColumnRef(const ColumnRefAst& ref) {
+  if (ref.qualifier.empty()) return ref.column;
+  return ref.qualifier + "." + ref.column;
+}
+
+const char* OpText(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kBetween: return "BETWEEN";
+  }
+  return "=";
+}
+
+std::string PrintPredicate(const PredicateAst& pred) {
+  std::string out = PrintColumnRef(pred.lhs);
+  if (pred.op == CompareOp::kBetween) {
+    out += " BETWEEN " + PrintValue(pred.v1) + " AND " + PrintValue(pred.v2);
+  } else if (pred.is_join) {
+    out += " = " + PrintColumnRef(pred.rhs_column);
+  } else {
+    out += std::string(" ") + OpText(pred.op) + " " + PrintValue(pred.v1);
+  }
+  return out;
+}
+
+std::string PrintWhere(const std::vector<PredicateAst>& where) {
+  if (where.empty()) return "";
+  std::string out = " WHERE ";
+  for (size_t i = 0; i < where.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += PrintPredicate(where[i]);
+  }
+  return out;
+}
+
+std::string PrintSelectItem(const SelectItemAst& item) {
+  switch (item.func) {
+    case AggFunc::kNone: return PrintColumnRef(item.column);
+    case AggFunc::kCount: return "COUNT(*)";
+    case AggFunc::kSum: return "SUM(" + PrintColumnRef(item.column) + ")";
+    case AggFunc::kAvg: return "AVG(" + PrintColumnRef(item.column) + ")";
+    case AggFunc::kMin: return "MIN(" + PrintColumnRef(item.column) + ")";
+    case AggFunc::kMax: return "MAX(" + PrintColumnRef(item.column) + ")";
+  }
+  return "";
+}
+
+std::string PrintSelect(const SelectAst& select) {
+  std::string out = "SELECT ";
+  if (select.distinct) out += "DISTINCT ";
+  if (select.select_all) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < select.items.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += PrintSelectItem(select.items[i]);
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < select.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select.from[i].table;
+    if (!select.from[i].alias.empty()) out += " AS " + select.from[i].alias;
+  }
+  out += PrintWhere(select.where);
+  if (!select.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < select.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += PrintColumnRef(select.group_by[i]);
+    }
+  }
+  if (!select.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < select.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += PrintColumnRef(select.order_by[i].column);
+      if (select.order_by[i].descending) out += " DESC";
+    }
+  }
+  if (select.limit >= 0) {
+    out += StrFormat(" LIMIT %lld", static_cast<long long>(select.limit));
+  }
+  return out;
+}
+
+const char* TypeText(DataType type) {
+  switch (type) {
+    case DataType::kInt64: return "INT";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "VARCHAR";
+  }
+  return "INT";
+}
+
+struct Printer {
+  std::string operator()(const SelectAst& select) const { return PrintSelect(select); }
+
+  std::string operator()(const ExplainAst& explain) const {
+    return std::string("EXPLAIN ") + (explain.analyze ? "ANALYZE " : "") +
+           PrintSelect(explain.select);
+  }
+
+  std::string operator()(const ShowAst& show) const {
+    switch (show.what) {
+      case ShowAst::What::kMetrics: return "SHOW METRICS";
+      case ShowAst::What::kJitsStatus: return "SHOW JITS STATUS";
+      case ShowAst::What::kJitsQueue: return "SHOW JITS QUEUE";
+      case ShowAst::What::kPersistence: return "SHOW PERSISTENCE";
+    }
+    return "SHOW METRICS";
+  }
+
+  std::string operator()(const CheckpointAst&) const { return "CHECKPOINT"; }
+
+  std::string operator()(const AnalyzeAst& analyze) const {
+    std::string out = "ANALYZE";
+    if (!analyze.table.empty()) out += " " + analyze.table;
+    if (analyze.sync) out += " SYNC";
+    return out;
+  }
+
+  std::string operator()(const InsertAst& insert) const {
+    std::string out = "INSERT INTO " + insert.table + " VALUES (";
+    for (size_t i = 0; i < insert.values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += PrintValue(insert.values[i]);
+    }
+    return out + ")";
+  }
+
+  std::string operator()(const UpdateAst& update) const {
+    std::string out = "UPDATE " + update.table + " SET ";
+    for (size_t i = 0; i < update.assignments.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += update.assignments[i].first + " = " + PrintValue(update.assignments[i].second);
+    }
+    return out + PrintWhere(update.where);
+  }
+
+  std::string operator()(const DeleteAst& del) const {
+    return "DELETE FROM " + del.table + PrintWhere(del.where);
+  }
+
+  std::string operator()(const CreateTableAst& create) const {
+    std::string out = "CREATE TABLE " + create.table + " (";
+    for (size_t i = 0; i < create.columns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += create.columns[i].name + " " + TypeText(create.columns[i].type);
+    }
+    return out + ")";
+  }
+};
+
+}  // namespace
+
+std::string PrintStatement(const StatementAst& statement) {
+  return std::visit(Printer{}, statement);
+}
+
+}  // namespace jits

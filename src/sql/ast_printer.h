@@ -1,0 +1,19 @@
+#ifndef JITS_SQL_AST_PRINTER_H_
+#define JITS_SQL_AST_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace jits {
+
+/// Renders a parsed statement back to SQL in canonical form: upper-case
+/// keywords, `t AS a` aliases, `!=` for kNe, `ASC` dropped. The output
+/// always re-parses, and printing is a fixpoint: for any statement s that
+/// parses, Print(Parse(Print(Parse(s)))) == Print(Parse(s)) — the property
+/// the round-trip fuzz test exercises.
+std::string PrintStatement(const StatementAst& statement);
+
+}  // namespace jits
+
+#endif  // JITS_SQL_AST_PRINTER_H_

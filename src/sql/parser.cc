@@ -28,12 +28,16 @@ class Parser {
       if (MatchKeyword("METRICS")) {
         show.what = ShowAst::What::kMetrics;
       } else if (MatchKeyword("JITS")) {
-        JITS_RETURN_IF_ERROR(ExpectKeyword("STATUS"));
-        show.what = ShowAst::What::kJitsStatus;
+        if (MatchKeyword("QUEUE")) {
+          show.what = ShowAst::What::kJitsQueue;
+        } else {
+          JITS_RETURN_IF_ERROR(ExpectKeyword("STATUS"));
+          show.what = ShowAst::What::kJitsStatus;
+        }
       } else if (MatchKeyword("PERSISTENCE")) {
         show.what = ShowAst::What::kPersistence;
       } else {
-        return Error("expected METRICS, JITS STATUS or PERSISTENCE after SHOW");
+        return Error("expected METRICS, JITS STATUS/QUEUE or PERSISTENCE after SHOW");
       }
       JITS_RETURN_IF_ERROR(ExpectStatementEnd());
       return StatementAst(show);
@@ -46,7 +50,10 @@ class Parser {
     if (IsKeyword("ANALYZE")) {
       Advance();
       AnalyzeAst analyze;
-      if (Peek().type == TokenType::kIdentifier) analyze.table = Advance().text;
+      if (Peek().type == TokenType::kIdentifier && !IsKeyword("SYNC")) {
+        analyze.table = Advance().text;
+      }
+      if (MatchKeyword("SYNC")) analyze.sync = true;
       JITS_RETURN_IF_ERROR(ExpectStatementEnd());
       return StatementAst(std::move(analyze));
     }

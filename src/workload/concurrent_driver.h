@@ -21,6 +21,11 @@ struct ConcurrentWorkloadOptions {
   /// (0/1 = off). Leave off when num_threads already saturates the cores —
   /// inter-query and intra-query parallelism compete for the same CPUs.
   size_t exec_threads = 0;
+  /// Run with the background collection pipeline instead of inline
+  /// sampling. The queue is drained (and the service stopped) before
+  /// metrics are exported, so archive effects are included in the result.
+  bool async_collection = false;
+  async::CollectorServiceOptions async_options;
 };
 
 /// Aggregate outcome of one concurrent replay.
@@ -36,6 +41,10 @@ struct ConcurrentWorkloadResult {
   double p50_seconds = 0;
   double p95_seconds = 0;
   double p99_seconds = 0;
+  /// Compile-latency distribution over SELECTs only — the metric the async
+  /// pipeline moves (sampling leaves the compile path).
+  double compile_p50_seconds = 0;
+  double compile_p95_seconds = 0;
   /// MetricsRegistry::ExportJson() after the run (includes
   /// engine.concurrent_sessions, latency.total, jits.* counters).
   std::string metrics_json;

@@ -1,0 +1,447 @@
+// The background statistics-collection pipeline (ISSUE 4 tentpole), tested
+// bottom-up: the priority queue's ordering/coalescing/overflow rules, the
+// token bucket against a virtual clock, and then the full engine in
+// *manual mode* (CollectorServiceOptions::threads == 0) — no worker
+// threads, a caller-stepped queue and a virtual clock, so every schedule
+// (including fault schedules) is deterministic and repeatable. A final
+// threaded smoke test exercises the worker pool end to end (the heavy
+// multi-client stress lives in concurrency_test).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "async/collection_queue.h"
+#include "async/collector_service.h"
+#include "async/token_bucket.h"
+#include "catalog/catalog.h"
+#include "core/collector.h"
+#include "core/inflight_guard.h"
+#include "engine/database.h"
+#include "tests/test_util.h"
+#include "workload/datagen.h"
+#include "workload/workload_gen.h"
+
+namespace jits {
+namespace {
+
+using async::CollectionQueue;
+using async::CollectorServiceOptions;
+using async::QueueEntryInfo;
+using async::StepOutcome;
+using async::TokenBucket;
+
+// ---------- CollectionQueue ----------
+
+/// Minimal task: `npreds` default predicates and one group per entry of
+/// `group_keys`, each group referencing predicate 0. Queue tests never
+/// execute tasks, so the predicates stay unbound.
+CollectionTask MakeTask(Table* table, double score,
+                        const std::vector<std::string>& group_keys,
+                        size_t npreds = 1, uint64_t enqueued_at = 1) {
+  CollectionTask task;
+  task.table = table;
+  task.score = score;
+  task.enqueued_at = enqueued_at;
+  task.preds.resize(npreds);
+  for (const std::string& key : group_keys) {
+    CollectionGroupTask group;
+    group.pred_indices = {0};
+    group.exact_key = key;
+    group.column_set_key = key;
+    task.groups.push_back(std::move(group));
+  }
+  return task;
+}
+
+struct QueueFixture {
+  Catalog catalog;
+  InflightTableGuard inflight;
+  std::atomic<int> in_progress{0};
+  Table* t1;
+  Table* t2;
+  Table* t3;
+
+  QueueFixture() {
+    t1 = testing_util::MakeAbsTable(&catalog, "t1", 10, 5, 5, {"x"});
+    t2 = testing_util::MakeAbsTable(&catalog, "t2", 10, 5, 5, {"x"});
+    t3 = testing_util::MakeAbsTable(&catalog, "t3", 10, 5, 5, {"x"});
+  }
+
+  /// Pops one task and immediately releases its inflight slot.
+  bool Pop(CollectionQueue* queue, CollectionTask* out) {
+    if (!queue->TryPop(&inflight, nullptr, out, &in_progress)) return false;
+    inflight.Release(out->table);
+    in_progress.fetch_sub(1);
+    return true;
+  }
+};
+
+TEST(CollectionQueueTest, DrainsByScoreWithFifoTiebreak) {
+  QueueFixture fx;
+  CollectionQueue queue(8);
+  EXPECT_TRUE(queue.Submit(MakeTask(fx.t1, 1.0, {"t1(a)"})));
+  EXPECT_TRUE(queue.Submit(MakeTask(fx.t2, 2.0, {"t2(a)"})));
+  EXPECT_TRUE(queue.Submit(MakeTask(fx.t3, 1.0, {"t3(a)"})));
+  EXPECT_EQ(queue.depth(), 3u);
+
+  CollectionTask task;
+  ASSERT_TRUE(fx.Pop(&queue, &task));
+  EXPECT_EQ(task.table, fx.t2);  // highest score first
+  ASSERT_TRUE(fx.Pop(&queue, &task));
+  EXPECT_EQ(task.table, fx.t1);  // equal scores: submission order
+  ASSERT_TRUE(fx.Pop(&queue, &task));
+  EXPECT_EQ(task.table, fx.t3);
+  EXPECT_FALSE(fx.Pop(&queue, &task));
+  EXPECT_EQ(queue.counters().enqueued, 3u);
+}
+
+TEST(CollectionQueueTest, CoalescesPerTableAndRemapsPredicates) {
+  QueueFixture fx;
+  CollectionQueue queue(8);
+  // First request: one group over predicate slot 0.
+  CollectionTask a = MakeTask(fx.t1, 1.0, {"t1(a)"}, /*npreds=*/1,
+                              /*enqueued_at=*/5);
+  EXPECT_TRUE(queue.Submit(std::move(a)));
+  // Second request for the same table: the duplicate group must be dropped,
+  // the new group kept with its predicate indices shifted past the first
+  // task's predicate list.
+  CollectionTask b = MakeTask(fx.t1, 3.0, {"t1(a)", "t1(b)"}, /*npreds=*/1,
+                              /*enqueued_at=*/9);
+  EXPECT_TRUE(queue.Submit(std::move(b)));
+
+  EXPECT_EQ(queue.depth(), 1u);
+  EXPECT_EQ(queue.counters().enqueued, 1u);
+  EXPECT_EQ(queue.counters().coalesced, 1u);
+
+  CollectionTask merged;
+  ASSERT_TRUE(fx.Pop(&queue, &merged));
+  EXPECT_DOUBLE_EQ(merged.score, 3.0);    // max of the two requests
+  EXPECT_EQ(merged.enqueued_at, 5u);      // earliest submission wins
+  ASSERT_EQ(merged.groups.size(), 2u);
+  ASSERT_EQ(merged.preds.size(), 2u);     // second task's preds appended
+  EXPECT_EQ(merged.groups[0].pred_indices, std::vector<int>{0});
+  EXPECT_EQ(merged.groups[1].pred_indices, std::vector<int>{1});  // offset
+}
+
+TEST(CollectionQueueTest, OverflowDisplacesOnlyWeakerEntries) {
+  QueueFixture fx;
+  CollectionQueue queue(/*max_pending=*/2);
+  EXPECT_TRUE(queue.Submit(MakeTask(fx.t1, 1.0, {"t1(a)"})));
+  EXPECT_TRUE(queue.Submit(MakeTask(fx.t2, 2.0, {"t2(a)"})));
+  // Outranks the weakest (t1): displaces it.
+  EXPECT_TRUE(queue.Submit(MakeTask(fx.t3, 3.0, {"t3(a)"})));
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.counters().dropped, 1u);  // the displaced t1
+  // Weaker than everything queued: dropped outright.
+  Table* t4 = testing_util::MakeAbsTable(&fx.catalog, "t4", 10, 5, 5, {"x"});
+  EXPECT_FALSE(queue.Submit(MakeTask(t4, 0.5, {"t4(a)"})));
+  EXPECT_EQ(queue.counters().dropped, 2u);
+
+  CollectionTask task;
+  ASSERT_TRUE(fx.Pop(&queue, &task));
+  EXPECT_EQ(task.table, fx.t3);
+  ASSERT_TRUE(fx.Pop(&queue, &task));
+  EXPECT_EQ(task.table, fx.t2);
+}
+
+TEST(CollectionQueueTest, InflightTablesAreSkippedNotStarved) {
+  QueueFixture fx;
+  CollectionQueue queue(8);
+  ASSERT_TRUE(fx.inflight.TryAcquire(fx.t1));  // someone is sampling t1
+  EXPECT_TRUE(queue.Submit(MakeTask(fx.t1, 5.0, {"t1(a)"})));
+  EXPECT_TRUE(queue.Submit(MakeTask(fx.t2, 1.0, {"t2(a)"})));
+
+  // The top-ranked entry is blocked; the pop serves the lower-ranked table
+  // instead of stalling behind it.
+  CollectionTask task;
+  ASSERT_TRUE(queue.TryPop(&fx.inflight, nullptr, &task, &fx.in_progress));
+  EXPECT_EQ(task.table, fx.t2);
+  fx.inflight.Release(fx.t2);
+  fx.in_progress.fetch_sub(1);
+
+  EXPECT_FALSE(queue.TryPop(&fx.inflight, nullptr, &task, &fx.in_progress));
+  fx.inflight.Release(fx.t1);
+  queue.NotifyInflightReleased();
+  ASSERT_TRUE(fx.Pop(&queue, &task));
+  EXPECT_EQ(task.table, fx.t1);
+}
+
+TEST(CollectionQueueTest, CloseDropsPendingAndRejectsSubmissions) {
+  QueueFixture fx;
+  CollectionQueue queue(8);
+  EXPECT_TRUE(queue.Submit(MakeTask(fx.t1, 1.0, {"t1(a)"})));
+  EXPECT_TRUE(queue.Submit(MakeTask(fx.t2, 1.0, {"t2(a)"})));
+  queue.Close();
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(queue.counters().dropped, 2u);
+  EXPECT_FALSE(queue.Submit(MakeTask(fx.t3, 9.0, {"t3(a)"})));
+  CollectionTask task;
+  EXPECT_FALSE(queue.PopBlocking(&fx.inflight, &task, &fx.in_progress));
+}
+
+// ---------- TokenBucket ----------
+
+TEST(TokenBucketTest, RefillsAgainstCallerClock) {
+  TokenBucket bucket(/*rate_per_sec=*/2.0, /*burst=*/2.0);
+  EXPECT_TRUE(bucket.TryTake(0));
+  EXPECT_TRUE(bucket.TryTake(0));   // burst
+  EXPECT_FALSE(bucket.TryTake(0));  // empty
+  EXPECT_TRUE(bucket.TryTake(0.5));   // +1 token after 0.5s at 2/s
+  EXPECT_FALSE(bucket.TryTake(0.5));  // no time passed
+  EXPECT_TRUE(bucket.TryTake(100));   // refill capped at burst...
+  EXPECT_TRUE(bucket.TryTake(100));
+  EXPECT_FALSE(bucket.TryTake(100));  // ...not accumulated past it
+  EXPECT_FALSE(bucket.TryTake(50));   // time running backwards adds nothing
+}
+
+TEST(TokenBucketTest, NonPositiveRateDisablesThrottling) {
+  TokenBucket bucket(0, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.TryTake(0));
+}
+
+// ---------- Manual-mode engine tests ----------
+
+constexpr double kScale = 0.01;
+constexpr uint64_t kSeed = 1234;
+
+std::unique_ptr<Database> MakeCarEngine() {
+  auto db = std::make_unique<Database>(kSeed);
+  db->set_row_limit(0);
+  DataGenConfig datagen;
+  datagen.scale = kScale;
+  datagen.seed = kSeed;
+  EXPECT_TRUE(GenerateCarDatabase(db.get(), datagen).ok());
+  db->jits_config()->enabled = true;
+  return db;
+}
+
+std::vector<WorkloadItem> QueryOnlyWorkload(size_t num_items) {
+  WorkloadConfig config;
+  config.scale = kScale;
+  config.num_items = num_items;
+  config.update_fraction = 0;
+  return GenerateWorkload(config);
+}
+
+/// Runs items until the collector queue is non-empty; returns the number of
+/// items consumed (asserts the workload enqueued something).
+size_t RunUntilQueued(Database* db, const std::vector<WorkloadItem>& items,
+                      size_t start) {
+  size_t i = start;
+  while (i < items.size() && db->async_collector()->queue_depth() == 0) {
+    EXPECT_TRUE(db->Execute(items[i].sql()).ok());
+    ++i;
+  }
+  EXPECT_GT(db->async_collector()->queue_depth(), 0u)
+      << "workload never deferred a collection";
+  return i;
+}
+
+/// Structural archive fingerprint (boundaries + counts per key).
+std::string DumpArchive(QssArchive* archive) {
+  std::map<std::string, std::string> by_key;
+  for (const auto& [key, hist] : archive->Snapshot()) {
+    GridHistogramState s = hist->ExportState();
+    std::ostringstream os;
+    os.precision(17);
+    for (const auto& dim : s.boundaries) {
+      for (double b : dim) os << b << ",";
+      os << "|";
+    }
+    os << " counts:";
+    for (double c : s.counts) os << c << ",";
+    by_key[key] = os.str();
+  }
+  std::ostringstream all;
+  for (const auto& [k, v] : by_key) all << k << " => " << v << "\n";
+  return all.str();
+}
+
+TEST(AsyncPipelineTest, ManualModeDefersCollectsAndPublishes) {
+  std::unique_ptr<Database> db = MakeCarEngine();
+  CollectorServiceOptions options;
+  options.threads = 0;  // manual mode
+  ASSERT_TRUE(db->EnableAsyncCollection(options).ok());
+  ASSERT_TRUE(db->async_collector()->manual());
+  // Double-enable is a clean error.
+  EXPECT_FALSE(db->EnableAsyncCollection(options).ok());
+
+  const std::vector<WorkloadItem> items = QueryOnlyWorkload(40);
+  RunUntilQueued(db.get(), items, 0);
+  EXPECT_EQ(db->archive()->size(), 0u);  // nothing published yet
+
+  // SHOW JITS QUEUE surfaces the pending entries.
+  QueryResult qr;
+  ASSERT_TRUE(db->Execute("SHOW JITS QUEUE", &qr).ok());
+  EXPECT_TRUE(qr.is_query);
+  ASSERT_EQ(qr.column_names.size(), 5u);
+  EXPECT_EQ(qr.column_names[0], "table");
+  EXPECT_EQ(qr.num_rows, db->async_collector()->queue_depth());
+  ASSERT_FALSE(qr.rows.empty());
+  EXPECT_TRUE(qr.rows[0][4].is_string());
+  EXPECT_EQ(qr.rows[0][4].str(), "queued");
+
+  // Step the queue dry on this thread: every task publishes.
+  size_t steps = 0;
+  while (db->async_collector()->StepOne() == StepOutcome::kCollected) ++steps;
+  EXPECT_GT(steps, 0u);
+  EXPECT_EQ(db->async_collector()->StepOne(), StepOutcome::kIdle);
+  EXPECT_EQ(db->async_collector()->queue_depth(), 0u);
+  EXPECT_EQ(db->async_collector()->completed(), steps);
+  EXPECT_GT(db->archive()->size(), 0u);
+
+  // The deferral left its observability trail.
+  const std::string metrics = db->metrics()->ExportJson();
+  EXPECT_NE(metrics.find("jits.async.submitted"), std::string::npos);
+  EXPECT_NE(metrics.find("stale-async"), std::string::npos);
+
+  ASSERT_TRUE(db->DisableAsyncCollection().ok());
+  EXPECT_FALSE(db->async_collection_enabled());
+}
+
+TEST(AsyncPipelineTest, TokenBucketThrottlesManualStepsOnVirtualClock) {
+  std::unique_ptr<Database> db = MakeCarEngine();
+  CollectorServiceOptions options;
+  options.threads = 0;
+  options.collections_per_sec = 1;
+  options.burst = 1;
+  ASSERT_TRUE(db->EnableAsyncCollection(options).ok());
+
+  const std::vector<WorkloadItem> items = QueryOnlyWorkload(60);
+  size_t next = RunUntilQueued(db.get(), items, 0);
+  EXPECT_EQ(db->async_collector()->StepOne(), StepOutcome::kCollected);
+
+  next = RunUntilQueued(db.get(), items, next);
+  const size_t depth = db->async_collector()->queue_depth();
+  // The burst token is spent and no virtual time has passed: throttled, and
+  // the queue is left intact (a throttled step must not consume the entry).
+  EXPECT_EQ(db->async_collector()->StepOne(), StepOutcome::kThrottled);
+  EXPECT_EQ(db->async_collector()->queue_depth(), depth);
+  db->async_collector()->AdvanceVirtualTime(2.0);
+  EXPECT_EQ(db->async_collector()->StepOne(), StepOutcome::kCollected);
+}
+
+TEST(AsyncPipelineTest, FaultedTaskNeverPublishesPartialState) {
+  // The deterministic fault schedule: a collection failing before its first
+  // group, and one failing *between* groups, must each leave the archive
+  // byte-identical — the copy-on-write publish is all-or-nothing.
+  std::unique_ptr<Database> db = MakeCarEngine();
+  CollectorServiceOptions options;
+  options.threads = 0;
+  ASSERT_TRUE(db->EnableAsyncCollection(options).ok());
+  const std::vector<WorkloadItem> items = QueryOnlyWorkload(80);
+
+  size_t next = RunUntilQueued(db.get(), items, 0);
+  const std::string before_any = DumpArchive(db->archive());
+  db->async_collector()->set_fault_hook(
+      [](const CollectionTask&, size_t) { return true; });
+  EXPECT_EQ(db->async_collector()->StepOne(), StepOutcome::kAborted);
+  EXPECT_EQ(DumpArchive(db->archive()), before_any);
+  EXPECT_EQ(db->async_collector()->completed(), 0u);
+
+  // Fail after at least one group was measured and staged.
+  size_t observed_groups = 0;
+  db->async_collector()->set_fault_hook(
+      [&observed_groups](const CollectionTask&, size_t groups_done) {
+        observed_groups = std::max(observed_groups, groups_done);
+        return groups_done >= 1;
+      });
+  next = RunUntilQueued(db.get(), items, next);
+  const std::string before_partial = DumpArchive(db->archive());
+  while (db->async_collector()->queue_depth() > 0) {
+    // The top-ranked entry pops next. A RUNSTATS-only task (no groups) has
+    // nothing to stage, so it completes even under this fault schedule —
+    // every task with groups must abort after its first group.
+    const std::vector<QueueEntryInfo> peek = db->async_collector()->QueueSnapshot();
+    ASSERT_FALSE(peek.empty());
+    const StepOutcome expected =
+        peek[0].groups == 0 ? StepOutcome::kCollected : StepOutcome::kAborted;
+    EXPECT_EQ(db->async_collector()->StepOne(), expected);
+  }
+  EXPECT_GE(observed_groups, 1u) << "fault fired before any group ran";
+  EXPECT_EQ(DumpArchive(db->archive()), before_partial)
+      << "aborted task leaked staged constraints into the archive";
+
+  // Clear the fault: the same knowledge is re-requested by later queries
+  // and now publishes completely.
+  db->async_collector()->set_fault_hook(nullptr);
+  RunUntilQueued(db.get(), items, next);
+  while (db->async_collector()->queue_depth() > 0) {
+    EXPECT_EQ(db->async_collector()->StepOne(), StepOutcome::kCollected);
+  }
+  EXPECT_GT(db->archive()->size(), 0u);
+  const std::string metrics = db->metrics()->ExportJson();
+  EXPECT_NE(metrics.find("jits.async.aborted"), std::string::npos);
+}
+
+TEST(AsyncPipelineTest, AnalyzeSyncDrainsTheQueueInline) {
+  std::unique_ptr<Database> db = MakeCarEngine();
+  CollectorServiceOptions options;
+  options.threads = 0;
+  ASSERT_TRUE(db->EnableAsyncCollection(options).ok());
+  const std::vector<WorkloadItem> items = QueryOnlyWorkload(40);
+  RunUntilQueued(db.get(), items, 0);
+
+  // Drain one specific table through the SQL fallback.
+  const std::vector<QueueEntryInfo> snapshot = db->async_collector()->QueueSnapshot();
+  ASSERT_FALSE(snapshot.empty());
+  const std::string table = snapshot[0].table;
+  ASSERT_TRUE(db->Execute("ANALYZE " + table + " SYNC").ok());
+  for (const QueueEntryInfo& e : db->async_collector()->QueueSnapshot()) {
+    EXPECT_NE(e.table, table) << "ANALYZE " << table << " SYNC left its task queued";
+  }
+
+  // Bare ANALYZE SYNC drains everything.
+  ASSERT_TRUE(db->Execute("ANALYZE SYNC").ok());
+  EXPECT_EQ(db->async_collector()->queue_depth(), 0u);
+  EXPECT_GT(db->archive()->size(), 0u);
+
+  // SHOW JITS STATUS reports the pipeline.
+  QueryResult qr;
+  ASSERT_TRUE(db->Execute("SHOW JITS STATUS", &qr).ok());
+  bool saw_async = false;
+  for (const Row& row : qr.rows) {
+    if (row[0].is_string() && row[0].str() == "async.enabled") {
+      saw_async = true;
+      EXPECT_EQ(row[1].str(), "true");
+    }
+  }
+  EXPECT_TRUE(saw_async) << "SHOW JITS STATUS lost the async.* rows";
+}
+
+TEST(AsyncPipelineTest, WorkerPoolDrainsUnderConcurrentClients) {
+  // End-to-end smoke of the threaded pipeline: two workers, two clients.
+  // (The TSan-heavy stress variant lives in concurrency_test.)
+  std::unique_ptr<Database> db = MakeCarEngine();
+  CollectorServiceOptions options;
+  options.threads = 2;
+  options.max_pending = 64;
+  ASSERT_TRUE(db->EnableAsyncCollection(options).ok());
+
+  const std::vector<WorkloadItem> items = QueryOnlyWorkload(60);
+  std::atomic<size_t> errors{0};
+  auto client = [&](size_t tid) {
+    for (size_t i = tid; i < items.size(); i += 2) {
+      if (!db->Execute(items[i].sql()).ok()) errors.fetch_add(1);
+    }
+  };
+  std::thread a(client, 0), b(client, 1);
+  a.join();
+  b.join();
+  EXPECT_EQ(errors.load(), 0u);
+
+  ASSERT_TRUE(db->DisableAsyncCollection().ok());  // drains before stopping
+  EXPECT_FALSE(db->async_collection_enabled());
+  EXPECT_GT(db->archive()->size(), 0u) << "no deferred collection ever published";
+  const std::string metrics = db->metrics()->ExportJson();
+  EXPECT_NE(metrics.find("jits.async.completed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jits

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "async/collector_service.h"
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
@@ -147,6 +148,39 @@ TEST_F(ConcurrencyTest, StressWithIntraQueryParallelismToo) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(db_.metrics()->GetGauge("engine.concurrent_sessions")->Value(), 0.0);
+}
+
+TEST_F(ConcurrencyTest, StressWithBackgroundCollectorThreads) {
+  // The full async pipeline under contention: client sessions submit
+  // collection tasks while a worker pool drains them, publishing to the
+  // shared archive/catalog the clients are reading. The occasional
+  // `ANALYZE car` in the client mix exercises the sync-fallback drain
+  // racing the workers for the same tables.
+  async::CollectorServiceOptions options;
+  options.threads = 2;
+  ASSERT_TRUE(db_.EnableAsyncCollection(options).ok());
+
+  std::atomic<size_t> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kNumThreads);
+  for (size_t t = 0; t < kNumThreads; ++t) {
+    threads.emplace_back([this, t, &errors] { Client(t, &errors); });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0u);
+
+  // Disable drains outstanding work and joins the workers; afterwards the
+  // pipeline must be fully quiesced and the archive consistent.
+  ASSERT_TRUE(db_.DisableAsyncCollection().ok());
+  EXPECT_FALSE(db_.async_collection_enabled());
+  size_t buckets = 0;
+  for (const auto& [key, hist] : db_.archive()->Snapshot()) {
+    EXPECT_GT(hist->num_cells(), 0u) << key;
+    EXPECT_GE(hist->total_rows(), 0.0) << key;
+    buckets += hist->num_cells();
+  }
+  EXPECT_EQ(buckets, db_.archive()->total_buckets());
   EXPECT_EQ(db_.metrics()->GetGauge("engine.concurrent_sessions")->Value(), 0.0);
 }
 

@@ -6,8 +6,16 @@
 // driven by one thread with parallelism off.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "engine/database.h"
 #include "workload/concurrent_driver.h"
+#include "workload/datagen.h"
 #include "workload/experiment.h"
+#include "workload/workload_gen.h"
 
 namespace jits {
 namespace {
@@ -42,6 +50,83 @@ TEST(DeterminismTest, DifferentSeedsDiverge) {
   const WorkloadRunResult a = RunWorkloadExperiment(ExperimentSetting::kJits, options);
   const WorkloadRunResult b = RunWorkloadExperiment(ExperimentSetting::kJits, other);
   EXPECT_NE(WorkloadSignature(a), WorkloadSignature(b));
+}
+
+/// Canonical text form of the whole archive: every histogram's boundaries
+/// and counts at full precision, sorted by key.
+std::string DumpArchiveState(QssArchive* archive) {
+  std::map<std::string, std::string> by_key;
+  for (const auto& [key, hist] : archive->Snapshot()) {
+    GridHistogramState s = hist->ExportState();
+    std::ostringstream os;
+    os.precision(17);
+    for (const auto& dim : s.boundaries) {
+      for (double b : dim) os << b << ",";
+      os << "|";
+    }
+    os << " counts:";
+    for (double c : s.counts) os << c << ",";
+    by_key[key] = os.str();
+  }
+  std::ostringstream all;
+  for (const auto& [k, v] : by_key) all << k << " => " << v << "\n";
+  return all.str();
+}
+
+std::unique_ptr<Database> MakeConvergenceEngine() {
+  auto db = std::make_unique<Database>(/*seed=*/4242);
+  db->set_row_limit(0);
+  DataGenConfig datagen;
+  datagen.scale = 0.01;
+  datagen.seed = 4242;
+  EXPECT_TRUE(GenerateCarDatabase(db.get(), datagen).ok());
+  JitsConfig* config = db->jits_config();
+  config->enabled = true;
+  // Sensitivity off: every query collects every table and materializes every
+  // group, so the archives depend only on the sampling sequence — the
+  // property under test. Migration off and an ample budget keep the archive
+  // itself the only statistics sink.
+  config->sensitivity_enabled = false;
+  config->migration_interval = 0;
+  config->archive_bucket_budget = 1 << 20;
+  config->sample_rows = 300;
+  return db;
+}
+
+TEST(DeterminismTest, AsyncDrainedArchiveConvergesToSyncArchive) {
+  // The deferred pipeline must be a pure re-scheduling of the paper's
+  // synchronous collection: with the same seed and workload, draining the
+  // queue after every statement yields bit-identical archive constraints.
+  // The logical clock only advances per statement, so a post-execute drain
+  // runs at the same timestamp the inline path collected at.
+  WorkloadConfig wconfig;
+  wconfig.scale = 0.01;
+  wconfig.num_items = 40;
+  wconfig.seed = 4249;
+  const std::vector<WorkloadItem> items = GenerateWorkload(wconfig);
+
+  std::unique_ptr<Database> sync_db = MakeConvergenceEngine();
+  for (const WorkloadItem& item : items) {
+    for (const std::string& sql : item.statements) {
+      ASSERT_TRUE(sync_db->Execute(sql).ok()) << sql;
+    }
+  }
+
+  std::unique_ptr<Database> async_db = MakeConvergenceEngine();
+  async::CollectorServiceOptions options;
+  options.threads = 0;  // manual mode: the test is the only driver
+  ASSERT_TRUE(async_db->EnableAsyncCollection(options).ok());
+  for (const WorkloadItem& item : items) {
+    for (const std::string& sql : item.statements) {
+      ASSERT_TRUE(async_db->Execute(sql).ok()) << sql;
+      async_db->async_collector()->Drain();
+    }
+  }
+  ASSERT_EQ(async_db->async_collector()->queue_depth(), 0u);
+
+  EXPECT_GT(sync_db->archive()->size(), 0u);
+  EXPECT_EQ(DumpArchiveState(sync_db->archive()),
+            DumpArchiveState(async_db->archive()));
 }
 
 TEST(DeterminismTest, SingleThreadConcurrentDriverMatchesSequential) {

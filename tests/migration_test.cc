@@ -1,0 +1,225 @@
+// Edge-case coverage for the Statistics Migration module (paper Figure 1):
+// folding 1-D archive histograms back into the catalog. The happy path is
+// exercised end-to-end by the integration tests; these pin down the skip
+// rules (dimensionality, unknown names, catalog freshness), the
+// interaction with a zero bucket budget, and migration racing a checkpoint.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/migration.h"
+#include "core/qss_archive.h"
+#include "engine/database.h"
+#include "persist/manager.h"
+#include "tests/test_util.h"
+#include "workload/datagen.h"
+#include "workload/workload_gen.h"
+
+namespace jits {
+namespace {
+
+using testing_util::MakeAbsTable;
+
+/// Archive histogram "t(a)" over [0, 8) with one skewed constraint applied
+/// at logical time `stamp`, so max_timestamp() == stamp.
+void AddSkewedHist(QssArchive* archive, const std::string& table,
+                   const std::string& column, double rows, uint64_t stamp) {
+  const std::string key = QssArchive::KeyFor(table, {column});
+  GridHistogram* h =
+      archive->GetOrCreate(key, {column}, {Interval{0, 8}}, rows, stamp);
+  h->ApplyConstraint({Interval{0, 2}}, rows * 0.75, rows, stamp);
+}
+
+TEST(MigrationTest, EmptyArchiveMigratesNothing) {
+  Catalog catalog;
+  Table* t = MakeAbsTable(&catalog, "t", 100, 8, 4, {"x"});
+  QssArchive archive;
+  EXPECT_EQ(MigrateStatistics(archive, &catalog, 10), 0u);
+  const TableStats* stats = catalog.FindStats(t);
+  EXPECT_TRUE(stats == nullptr || !stats->valid);
+}
+
+TEST(MigrationTest, MultiDimHistogramsAreSkipped) {
+  // Only single-dimension archive knowledge maps onto a catalog column; a
+  // 2-D histogram must be left alone (no crash, no partial migration).
+  Catalog catalog;
+  Table* t = MakeAbsTable(&catalog, "t", 100, 8, 4, {"x"});
+  QssArchive archive;
+  GridHistogram* h = archive.GetOrCreate(
+      "t(a,b)", {"a", "b"}, {Interval{0, 8}, Interval{0, 4}}, 100, 5);
+  h->ApplyConstraint({Interval{0, 2}, Interval{0, 2}}, 30, 100, 5);
+  EXPECT_EQ(MigrateStatistics(archive, &catalog, 10), 0u);
+  const TableStats* stats = catalog.FindStats(t);
+  EXPECT_TRUE(stats == nullptr || !stats->valid);
+}
+
+TEST(MigrationTest, UnknownTableColumnAndMalformedKeysAreSkipped) {
+  Catalog catalog;
+  MakeAbsTable(&catalog, "t", 100, 8, 4, {"x"});
+  QssArchive archive;
+  AddSkewedHist(&archive, "ghost", "a", 100, 5);  // no such table
+  AddSkewedHist(&archive, "t", "zzz", 100, 5);    // no such column
+  // A key that does not parse as "table(col)" at all.
+  archive.Insert("not a key", std::make_shared<GridHistogram>(
+                                  std::vector<std::string>{"a"},
+                                  std::vector<Interval>{Interval{0, 8}},
+                                  100.0, uint64_t{5}));
+  EXPECT_EQ(MigrateStatistics(archive, &catalog, 10), 0u);
+}
+
+TEST(MigrationTest, SingleDimensionMigrationPopulatesColumnStats) {
+  Catalog catalog;
+  Table* t = MakeAbsTable(&catalog, "t", 100, 8, 4, {"x"});
+  QssArchive archive;
+  AddSkewedHist(&archive, "t", "a", 100, /*stamp=*/5);
+
+  EXPECT_EQ(MigrateStatistics(archive, &catalog, /*now=*/10), 1u);
+
+  const TableStats* stats = catalog.FindStats(t);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_TRUE(stats->valid);
+  // Stats slot was invalid before: initialized from the live table + `now`.
+  EXPECT_DOUBLE_EQ(stats->cardinality, 100);
+  EXPECT_EQ(stats->collected_at_time, 10u);
+  const int col = t->schema().FindColumn("a");
+  ASSERT_GE(col, 0);
+  ASSERT_TRUE(stats->HasColumn(static_cast<size_t>(col)));
+  const ColumnStats& cs = stats->columns[static_cast<size_t>(col)];
+  EXPECT_DOUBLE_EQ(cs.min_key, 0);
+  EXPECT_DOUBLE_EQ(cs.max_key, 7);  // bs.back() - 1 on the [0, 8) domain
+  EXPECT_FALSE(cs.histogram.empty());
+  // No prior distinct estimate: approximated by the domain width.
+  EXPECT_DOUBLE_EQ(cs.distinct, 8);
+  EXPECT_TRUE(cs.frequent_values.empty());
+  // The migrated histogram carries the archive's skew: [0, 2) holds ~75%.
+  EXPECT_NEAR(cs.EstimateRangeFraction(0, 2), 0.75, 0.05);
+
+  // Second pass: the catalog (stamped `now`=10) is now at least as fresh as
+  // the archive histogram (stamp 5) — nothing migrates again.
+  EXPECT_EQ(MigrateStatistics(archive, &catalog, 11), 0u);
+}
+
+TEST(MigrationTest, FresherCatalogIsNotOverwritten) {
+  Catalog catalog;
+  Table* t = MakeAbsTable(&catalog, "t", 100, 8, 4, {"x"});
+  QssArchive archive;
+  AddSkewedHist(&archive, "t", "a", 100, /*stamp=*/5);
+
+  TableStats* stats = catalog.GetStats(t);
+  stats->valid = true;
+  stats->cardinality = 100;
+  stats->collected_at_time = 7;  // newer than the histogram's stamps
+  stats->columns.assign(t->schema().num_columns(), ColumnStats{});
+  stats->column_valid.assign(t->schema().num_columns(), false);
+  const size_t col = static_cast<size_t>(t->schema().FindColumn("a"));
+  stats->columns[col].distinct = 42;
+  stats->column_valid[col] = true;
+
+  EXPECT_EQ(MigrateStatistics(archive, &catalog, 20), 0u);
+  EXPECT_TRUE(catalog.FindStats(t)->columns[col].histogram.empty());
+
+  // Backdate the catalog below the archive stamp: migration now wins, but
+  // preserves the catalog's prior distinct-count knowledge.
+  stats = catalog.GetStats(t);
+  stats->collected_at_time = 3;
+  EXPECT_EQ(MigrateStatistics(archive, &catalog, 20), 1u);
+  const ColumnStats& cs = catalog.FindStats(t)->columns[col];
+  EXPECT_FALSE(cs.histogram.empty());
+  EXPECT_DOUBLE_EQ(cs.distinct, 42);
+}
+
+TEST(MigrationTest, ZeroBudgetEvictsDownToOneSurvivorThenMigratesOnlyIt) {
+  // A zero bucket budget is legal: eviction tears the archive down to its
+  // floor of one histogram (EnforceBudget never evicts the last entry), and
+  // migration only sees the survivor — the evicted column's table must get
+  // no stats. An explicitly cleared archive then migrates nothing.
+  Catalog catalog;
+  Table* t = MakeAbsTable(&catalog, "t", 100, 8, 4, {"x"});
+  Table* u = MakeAbsTable(&catalog, "u", 100, 8, 4, {"x"});
+  QssArchive archive;
+  AddSkewedHist(&archive, "t", "a", 100, 5);
+  AddSkewedHist(&archive, "u", "a", 100, 6);
+  archive.set_bucket_budget(0);
+  EXPECT_EQ(archive.EnforceBudget(), 1u);
+  ASSERT_EQ(archive.size(), 1u);
+
+  EXPECT_EQ(MigrateStatistics(archive, &catalog, 10), 1u);
+  const TableStats* t_stats = catalog.FindStats(t);
+  const TableStats* u_stats = catalog.FindStats(u);
+  const bool t_migrated = t_stats != nullptr && t_stats->valid;
+  const bool u_migrated = u_stats != nullptr && u_stats->valid;
+  EXPECT_NE(t_migrated, u_migrated) << "exactly one table should have migrated";
+
+  archive.Clear();
+  EXPECT_EQ(archive.size(), 0u);
+  EXPECT_EQ(MigrateStatistics(archive, &catalog, 11), 0u);
+}
+
+TEST(MigrationTest, MigrationRacesCheckpointAndQueries) {
+  // Migration publishes catalog stats (WAL-logged) while a checkpoint
+  // rotates the log and snapshots state and clients keep querying. The
+  // copy-on-write publish plus the persist gate must keep this safe; the
+  // test asserts clean statuses and a consistent final store.
+  const std::string dir =
+      ::testing::TempDir() + "jits_migration_race";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  Database db(/*seed=*/7);
+  db.set_row_limit(0);
+  DataGenConfig datagen;
+  datagen.scale = 0.01;
+  datagen.seed = 7;
+  ASSERT_TRUE(GenerateCarDatabase(&db, datagen).ok());
+  db.jits_config()->enabled = true;
+
+  persist::PersistenceOptions options;
+  options.data_dir = dir;
+  options.fsync = false;
+  ASSERT_TRUE(db.OpenPersistence(options).ok());
+
+  WorkloadConfig wconfig;
+  wconfig.scale = 0.01;
+  wconfig.num_items = 24;
+  wconfig.update_fraction = 0;
+  const std::vector<WorkloadItem> items = GenerateWorkload(wconfig);
+
+  std::atomic<size_t> errors{0};
+  std::thread migrator([&] {
+    for (int i = 0; i < 16; ++i) (void)db.MigrateNow();
+  });
+  std::thread checkpointer([&] {
+    for (int i = 0; i < 6; ++i) {
+      if (!db.Checkpoint().ok()) errors.fetch_add(1);
+    }
+  });
+  std::thread client([&] {
+    for (const WorkloadItem& item : items) {
+      for (const std::string& sql : item.statements) {
+        if (!db.Execute(sql).ok()) errors.fetch_add(1);
+      }
+    }
+  });
+  migrator.join();
+  checkpointer.join();
+  client.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_TRUE(db.ClosePersistence().ok());
+
+  // The final store must recover cleanly in a fresh engine.
+  Database revived(/*seed=*/7);
+  ASSERT_TRUE(GenerateCarDatabase(&revived, datagen).ok());
+  persist::RecoveryReport report;
+  ASSERT_TRUE(revived.OpenPersistence(options, &report).ok());
+  EXPECT_TRUE(revived.ClosePersistence().ok());
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace jits
