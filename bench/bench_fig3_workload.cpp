@@ -9,9 +9,17 @@
 // distributions are comparable. Expected shape: the no-stats setting is
 // clearly worst; general stats help mildly; workload stats help until
 // updates stale them; JITS keeps execution times lowest by recollecting.
+//
+// Set JITS_TELEMETRY_DIR=<dir> to run one extra JITS-setting pass with the
+// telemetry subsystem on, dropping <dir>/metrics-history.jsonl (the
+// sampler's full time-series) and <dir>/events.jsonl (the structured event
+// log) — the CI telemetry artifact.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "obs/time_series.h"
 
 int main() {
   using namespace jits;
@@ -52,6 +60,29 @@ int main() {
   std::printf("\n");
   for (const WorkloadRunResult& r : results) {
     bench::PrintJsonResultLine("fig3_workload", options, r);
+  }
+
+  if (const char* dir = std::getenv("JITS_TELEMETRY_DIR")) {
+    // One extra instrumented JITS pass producing the telemetry artifacts.
+    const std::string metrics_path = std::string(dir) + "/metrics-history.jsonl";
+    const std::string events_path = std::string(dir) + "/events.jsonl";
+    ExperimentOptions instrumented = options;
+    instrumented.configure_db = [&](Database* db) {
+      TelemetrySamplerOptions sampler;
+      sampler.interval_seconds = 0.05;
+      sampler.capacity = 4096;  // keep the whole run, not just the tail
+      sampler.jsonl_path = metrics_path;
+      (void)db->EnableTelemetrySampler(sampler);
+      (void)db->events()->SetSinkPath(events_path);
+      // Low enough that the slow tail of any run logs events — the artifact
+      // should never come out empty.
+      db->set_slow_query_seconds(0.001);
+    };
+    const WorkloadRunResult r =
+        RunWorkloadExperiment(ExperimentSetting::kJits, instrumented);
+    bench::PrintJsonResultLine("fig3_workload_telemetry", instrumented, r);
+    std::printf("telemetry artifacts: %s, %s\n", metrics_path.c_str(),
+                events_path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,119 @@
+// Telemetry overhead: the whole observability stack must be cheap enough
+// to leave on. Runs the car-insurance workload on two identical JITS
+// databases *paired* (each item executed on both back-to-back, so machine
+// drift cancels): one bare, one with the full telemetry stack enabled —
+// the background metrics sampler, an event-log JSONL sink, and a
+// slow-query threshold low enough that EVERY query emits an event (the
+// worst-case event volume). Asserts the per-statement overhead stays
+// under 5% and exits non-zero otherwise, so CI catches telemetry
+// regressions.
+//
+// Env knobs: JITS_SCALE / JITS_ITEMS / JITS_SEED as usual, plus
+// JITS_TELEMETRY_INTERVAL_MS for the sampler period (default 10).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "obs/metrics.h"
+#include "obs/time_series.h"
+
+int main() {
+  using namespace jits;
+  ExperimentOptions options = bench::OptionsFromEnv();
+  bench::PrintHeader("Telemetry overhead", "sampler + event log vs bare engine",
+                     options);
+
+  double interval_ms = 10;
+  if (const char* ms = std::getenv("JITS_TELEMETRY_INTERVAL_MS")) {
+    interval_ms = std::atof(ms);
+    if (interval_ms <= 0) interval_ms = 10;
+  }
+  const std::string sink_path = "/tmp/jits_bench_telemetry_events.jsonl";
+
+  ExperimentOptions with_telemetry = options;
+  with_telemetry.configure_db = [&](Database* db) {
+    TelemetrySamplerOptions sampler;
+    sampler.interval_seconds = interval_ms / 1e3;
+    (void)db->EnableTelemetrySampler(sampler);
+    (void)db->events()->SetSinkPath(sink_path);
+    db->set_slow_query_seconds(1e-9);  // every statement logs an event
+  };
+
+  bench::WarmUp(options);
+  const std::vector<WorkloadItem> items = GenerateWorkload(options.workload);
+
+  double setup_off = 0;
+  double setup_on = 0;
+  std::unique_ptr<Database> bare = BuildExperimentDatabase(
+      ExperimentSetting::kJits, options, items, &setup_off);
+  std::unique_ptr<Database> telemetry = BuildExperimentDatabase(
+      ExperimentSetting::kJits, with_telemetry, items, &setup_on);
+  if (bare == nullptr || telemetry == nullptr) return 2;
+
+  // Paired execution; per-statement latencies land in the engine's bucketed
+  // latency histograms — Histogram::Percentile is THE percentile
+  // implementation, shared with the concurrent driver and the shell.
+  Histogram hist_off(MetricBuckets::Latency());
+  Histogram hist_on(MetricBuckets::Latency());
+  size_t errors = 0;
+  for (const WorkloadItem& item : items) {
+    for (const std::string& sql : item.statements) {
+      Stopwatch off_watch;
+      if (!bare->Execute(sql).ok()) ++errors;
+      hist_off.Observe(off_watch.Seconds());
+      Stopwatch on_watch;
+      if (!telemetry->Execute(sql).ok()) ++errors;
+      hist_on.Observe(on_watch.Seconds());
+    }
+  }
+  (void)telemetry->DisableTelemetrySampler();
+  telemetry->events()->CloseSink();
+  std::remove(sink_path.c_str());
+
+  const double sum_off = hist_off.sum();
+  const double sum_on = hist_on.sum();
+  const double overhead =
+      sum_off > 0 ? (sum_on - sum_off) / sum_off : 0.0;
+  const double events_logged =
+      static_cast<double>(telemetry->events()->total_logged());
+
+  std::printf("%-14s %10s %10s %10s %12s\n", "mode", "p50(ms)", "p95(ms)",
+              "p99(ms)", "total(s)");
+  std::printf("%-14s %10.3f %10.3f %10.3f %12.3f\n", "telemetry-off",
+              hist_off.Percentile(0.50) * 1e3, hist_off.Percentile(0.95) * 1e3,
+              hist_off.Percentile(0.99) * 1e3, sum_off);
+  std::printf("%-14s %10.3f %10.3f %10.3f %12.3f\n", "telemetry-on",
+              hist_on.Percentile(0.50) * 1e3, hist_on.Percentile(0.95) * 1e3,
+              hist_on.Percentile(0.99) * 1e3, sum_on);
+  std::printf("overhead=%.2f%%  events=%.0f  errors=%zu\n", overhead * 1e2,
+              events_logged, errors);
+
+  for (const bool on : {false, true}) {
+    const Histogram& h = on ? hist_on : hist_off;
+    bench::JsonResultLine("telemetry_overhead", on ? "telemetry-on" : "telemetry-off")
+        .Num("scale", options.datagen.scale, 4)
+        .Count("items", options.workload.num_items)
+        .Count("statements", h.count())
+        .Num("p50_seconds", h.Percentile(0.50))
+        .Num("p95_seconds", h.Percentile(0.95))
+        .Num("p99_seconds", h.Percentile(0.99))
+        .Num("total_seconds", h.sum())
+        .Num("overhead_fraction", on ? overhead : 0.0)
+        .Count("events_logged", on ? static_cast<size_t>(events_logged) : 0)
+        .Print();
+  }
+
+  if (errors > 0) {
+    std::printf("FAIL: %zu statements errored\n", errors);
+    return 2;
+  }
+  if (overhead >= 0.05) {
+    std::printf("FAIL: telemetry overhead %.2f%% exceeds the 5%% budget\n",
+                overhead * 1e2);
+    return 1;
+  }
+  std::printf("PASS: telemetry overhead %.2f%% < 5%%\n", overhead * 1e2);
+  return 0;
+}

@@ -72,6 +72,30 @@ inline std::string JsonEscape(const std::string& s) {
 /// Incremental builder for one machine-readable `JITS_RESULT {...}` line
 /// (greppable as `^JITS_RESULT `). Every bench emits through this, so the
 /// framing, string escaping and numeric formats live in exactly one place.
+///
+/// ## The JITS_RESULT line schema
+///
+/// Each line is `JITS_RESULT ` followed by exactly one JSON object. Keys:
+///
+///   experiment   string  required. Bench identifier, e.g. "fig3_workload".
+///   setting      string  required. Experimental setting or variant label
+///                        ("no-stats" | "general-stats" | "workload-stats" |
+///                        "jits" | bench-specific, e.g. "telemetry-on").
+///   <numbers>    number  added via Num(): fixed-decimal doubles. Standard
+///                        names used by the workload benches:
+///                        scale, setup_seconds, workload_seconds,
+///                        avg_compile_seconds, avg_execute_seconds.
+///   <counts>     number  added via Count(): non-negative integers.
+///                        Standard names: items, queries, collections.
+///   <strings>    string  added via Str(): JSON-escaped free text.
+///   metrics      object  added via Json(): the database's full
+///                        MetricsRegistry::ExportJson() dump —
+///                        {"counters":{...},"gauges":{...},
+///                         "histograms":{name:{count,sum,buckets:[
+///                           {le:<bound|"+Inf">,count}...]}}}.
+///
+/// Consumers (scripts/plot_results.py, the CI artifact steps) must ignore
+/// unknown keys: benches may add fields, never rename the standard ones.
 class JsonResultLine {
  public:
   JsonResultLine(const std::string& experiment, const std::string& setting) {

@@ -26,6 +26,10 @@
 // and the observability commands (also accepted with a '.' prefix):
 //   .metrics [prom]      dump the metrics registry (JSON, or Prometheus text)
 //   .trace on|off        per-query pipeline trace trees
+//   .telemetry on|off    background metrics sampler (SHOW METRICS HISTORY)
+//   .events              tail of the structured event log (SHOW EVENTS)
+//   .latency             per-stage latency percentiles from the live
+//                        histograms (Histogram::Percentile)
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -200,6 +204,41 @@ int main(int argc, char** argv) {
       } else if (line == "\\trace on" || line == "\\trace off") {
         db.tracer()->set_enabled(line == "\\trace on");
         std::printf("tracing %s\n", db.tracer()->enabled() ? "on" : "off");
+      } else if (line == "\\telemetry on") {
+        TelemetrySamplerOptions options;  // 1s interval, 240-sample rings
+        Status status = db.EnableTelemetrySampler(options);
+        std::printf("%s\n", status.ok() ? "telemetry sampler on (SHOW METRICS "
+                                          "HISTORY to inspect)"
+                                        : status.ToString().c_str());
+      } else if (line == "\\telemetry off") {
+        Status status = db.DisableTelemetrySampler();
+        std::printf("%s\n", status.ok() ? "telemetry sampler off (history "
+                                          "discarded)"
+                                        : status.ToString().c_str());
+      } else if (line == "\\events") {
+        for (const Event& e : db.events()->Snapshot()) {
+          std::string fields;
+          for (const auto& [k, v] : e.fields) fields += " " + k + "=" + v;
+          std::printf("  #%-5llu %8.3fs [%-5s] %-8s %-18s%s\n",
+                      static_cast<unsigned long long>(e.seq), e.elapsed_seconds,
+                      EventSeverityName(e.severity), e.component.c_str(),
+                      e.message.c_str(), fields.c_str());
+        }
+        std::printf("(%llu events logged, ring keeps %zu)\n",
+                    static_cast<unsigned long long>(db.events()->total_logged()),
+                    db.events()->capacity());
+      } else if (line == "\\latency") {
+        // Percentiles straight from the engine's live latency histograms —
+        // Histogram::Percentile, the same estimator the benches report.
+        std::printf("  %-18s %10s %10s %10s %8s\n", "stage", "p50(ms)",
+                    "p95(ms)", "p99(ms)", "count");
+        for (const MetricSnapshot& m : db.metrics()->SnapshotMatching("latency.%")) {
+          Histogram* h = db.metrics()->GetHistogram(m.name, MetricBuckets::Latency());
+          std::printf("  %-18s %10.3f %10.3f %10.3f %8llu\n", m.name.c_str(),
+                      h->Percentile(0.50) * 1e3, h->Percentile(0.95) * 1e3,
+                      h->Percentile(0.99) * 1e3,
+                      static_cast<unsigned long long>(h->count()));
+        }
       } else {
         std::printf("unknown command: %s\n", line.c_str());
       }

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Lint: every metric name registered in src/ must appear in docs/OBSERVABILITY.md.
+
+Extracts metric names from first-string-literal arguments of the metric
+accessors (GetCounter/GetGauge/GetHistogram/Count/SetGauge/ObserveLatency/
+CounterValue), including names built through StrFormat("name{label=...}", ...)
+-- e.g. obs.drift.ratio in src/obs/drift_monitor.cc. Label blocks ({...}) are
+stripped so the docs only need to list base names.
+
+Exit 0 when every base name is documented; exit 1 listing the missing ones.
+Run from anywhere: paths are resolved relative to the repo root.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+DOC = REPO / "docs" / "OBSERVABILITY.md"
+
+# Accessor call with its first string-literal argument, optionally wrapped in
+# StrFormat("..."). Covers both registry getters and convenience helpers.
+CALL_RE = re.compile(
+    r"\b(?:GetCounter|GetGauge|GetHistogram|Count|SetGauge|ObserveLatency|"
+    r"CounterValue)\(\s*(?:StrFormat\(\s*)?\"([^\"]+)\""
+)
+
+# A metric name is dotted lowercase; this filters out accessor calls whose
+# first string argument is something else (error text, SQL, file paths).
+NAME_RE = re.compile(r"^[a-z][a-z0-9_.]*\.[a-z0-9_.{]")
+
+
+def registered_names():
+    names = set()
+    for path in sorted(SRC.rglob("*.cc")) + sorted(SRC.rglob("*.h")):
+        text = path.read_text()
+        for match in CALL_RE.finditer(text):
+            name = match.group(1)
+            if not NAME_RE.match(name):
+                continue
+            base = name.split("{", 1)[0]
+            names.add(base)
+    return names
+
+
+def main():
+    if not DOC.exists():
+        print(f"missing {DOC}", file=sys.stderr)
+        return 1
+    doc_text = DOC.read_text()
+    names = registered_names()
+    if not names:
+        print("extraction found no metric names -- regex rot?", file=sys.stderr)
+        return 1
+    missing = sorted(n for n in names if n not in doc_text)
+    if missing:
+        print(f"{len(missing)} metric name(s) registered in src/ but absent "
+              f"from docs/OBSERVABILITY.md:", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"ok: all {len(names)} metric base names documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

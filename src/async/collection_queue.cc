@@ -43,18 +43,23 @@ void CollectionQueue::MergeLocked(CollectionTask* into, CollectionTask&& from) {
   }
 }
 
-bool CollectionQueue::Submit(CollectionTask task) {
+SubmitResult CollectionQueue::SubmitDetailed(CollectionTask task) {
+  SubmitResult result;
   std::lock_guard<std::mutex> lock(mu_);
   if (closed_) {
     ++counters_.dropped;
-    return false;
+    return result;
   }
   for (Entry& entry : entries_) {
     if (entry.task.table == task.table) {
+      // The surviving entry keeps its task_id/trace_id (it has been waiting
+      // longest; its trace points at the first requesting query).
       MergeLocked(&entry.task, std::move(task));
       ++counters_.coalesced;
       cv_.notify_one();
-      return true;
+      result.outcome = SubmitResult::Outcome::kCoalesced;
+      result.task_id = entry.task.task_id;
+      return result;
     }
   }
   Entry fresh{std::move(task), next_seq_++};
@@ -66,16 +71,20 @@ bool CollectionQueue::Submit(CollectionTask task) {
         [](const Entry& a, const Entry& b) { return Outranks(b, a); });
     if (weakest == entries_.end() || !Outranks(fresh, *weakest)) {
       ++counters_.dropped;
-      return false;
+      return result;
     }
     ++counters_.dropped;  // the displaced entry
+    result.displaced_task_id = weakest->task.task_id;
     *weakest = std::move(fresh);
+    result.task_id = weakest->task.task_id;
   } else {
+    result.task_id = fresh.task.task_id;
     entries_.push_back(std::move(fresh));
   }
   ++counters_.enqueued;
   cv_.notify_one();
-  return true;
+  result.outcome = SubmitResult::Outcome::kQueued;
+  return result;
 }
 
 bool CollectionQueue::PopEligibleLocked(InflightTableGuard* guard,
@@ -154,6 +163,8 @@ std::vector<QueueEntryInfo> CollectionQueue::SnapshotInfo() const {
     info.score = e->task.score;
     info.groups = e->task.groups.size();
     info.enqueued_at = e->task.enqueued_at;
+    info.task_id = e->task.task_id;
+    info.trace_id = e->task.trace_id;
     out.push_back(std::move(info));
   }
   return out;

@@ -19,6 +19,19 @@ struct QueueEntryInfo {
   double score = 0;
   size_t groups = 0;
   uint64_t enqueued_at = 0;
+  uint64_t task_id = 0;
+  uint64_t trace_id = 0;
+};
+
+/// What happened to one submission — the detail the event log records.
+struct SubmitResult {
+  enum class Outcome { kQueued, kCoalesced, kDropped };
+  Outcome outcome = Outcome::kDropped;
+  /// Id of the queue entry now representing this submission: the task's own
+  /// id when queued, the surviving entry's when coalesced, 0 when dropped.
+  uint64_t task_id = 0;
+  /// When queuing displaced a lower-ranked entry, that entry's id.
+  uint64_t displaced_task_id = 0;
 };
 
 struct QueueCounters {
@@ -40,7 +53,15 @@ class CollectionQueue {
 
   /// Returns false when the submission was dropped (queue closed, or full
   /// of higher-priority work). Coalesced submissions return true.
-  bool Submit(CollectionTask task);
+  bool Submit(CollectionTask task) {
+    return SubmitDetailed(std::move(task)).outcome !=
+           SubmitResult::Outcome::kDropped;
+  }
+
+  /// Submit with the full outcome (queued / coalesced-into-entry / dropped,
+  /// plus any displaced entry) — what the collector service's lifecycle
+  /// events report.
+  SubmitResult SubmitDetailed(CollectionTask task);
 
   /// Blocks until a task whose table clears `guard` is available, the pop
   /// succeeds (guard acquired, entry removed, *in_progress incremented

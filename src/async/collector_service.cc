@@ -26,7 +26,12 @@ void CollectorService::Start() {
 
 bool CollectorService::Submit(CollectionTask task) {
   task.submit_seconds = NowSeconds();
-  const bool accepted = queue_.Submit(std::move(task));
+  task.task_id = next_task_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::string table = task.table != nullptr ? task.table->name() : "";
+  const uint64_t trace_id = task.trace_id;
+  const uint64_t enqueued_at = task.enqueued_at;
+  const SubmitResult sr = queue_.SubmitDetailed(std::move(task));
+  const bool accepted = sr.outcome != SubmitResult::Outcome::kDropped;
   if (runtime_.obs != nullptr) {
     runtime_.obs->Count(accepted ? "jits.async.enqueued" : "jits.async.dropped");
     const QueueCounters c = queue_.counters();
@@ -34,6 +39,37 @@ bool CollectorService::Submit(CollectionTask task) {
                            static_cast<double>(queue_.depth()));
     runtime_.obs->SetGauge("jits.async.coalesced", static_cast<double>(c.coalesced));
     runtime_.obs->SetGauge("jits.async.dropped_total", static_cast<double>(c.dropped));
+    // Lifecycle events carry the ids SHOW JITS TRACE joins on: trace_id is
+    // the submitting query, task_id the queue entry that will publish.
+    switch (sr.outcome) {
+      case SubmitResult::Outcome::kQueued:
+        runtime_.obs->Event(EventSeverity::kInfo, "async", "submit",
+                            {{"task_id", std::to_string(sr.task_id)},
+                             {"trace_id", std::to_string(trace_id)},
+                             {"table", table}},
+                            enqueued_at);
+        if (sr.displaced_task_id != 0) {
+          runtime_.obs->Event(EventSeverity::kWarn, "async", "drop",
+                              {{"task_id", std::to_string(sr.displaced_task_id)},
+                               {"reason", "displaced"}},
+                              enqueued_at);
+        }
+        break;
+      case SubmitResult::Outcome::kCoalesced:
+        runtime_.obs->Event(EventSeverity::kInfo, "async", "coalesce",
+                            {{"task_id", std::to_string(sr.task_id)},
+                             {"trace_id", std::to_string(trace_id)},
+                             {"table", table}},
+                            enqueued_at);
+        break;
+      case SubmitResult::Outcome::kDropped:
+        runtime_.obs->Event(EventSeverity::kWarn, "async", "drop",
+                            {{"trace_id", std::to_string(trace_id)},
+                             {"table", table},
+                             {"reason", "queue-full"}},
+                            enqueued_at);
+        break;
+    }
   }
   return accepted;
 }
@@ -66,7 +102,15 @@ StepOutcome CollectorService::RunTask(const CollectionTask& task, bool external_
       collector.ExecuteTask(task, runtime_.rng, now, /*exact=*/nullptr, runtime_.obs,
                             /*atomic_publish=*/true, fault_);
   if (stats.aborted) {
-    if (runtime_.obs != nullptr) runtime_.obs->Count("jits.async.aborted");
+    if (runtime_.obs != nullptr) {
+      runtime_.obs->Count("jits.async.aborted");
+      runtime_.obs->Event(
+          EventSeverity::kWarn, "async", "abort",
+          {{"task_id", std::to_string(task.task_id)},
+           {"trace_id", std::to_string(task.trace_id)},
+           {"table", task.table != nullptr ? task.table->name() : ""}},
+          now);
+    }
     return StepOutcome::kAborted;
   }
   size_t evictions = 0;
@@ -80,6 +124,19 @@ StepOutcome CollectorService::RunTask(const CollectionTask& task, bool external_
   completed_.fetch_add(1, std::memory_order_relaxed);
   if (runtime_.obs != nullptr) {
     runtime_.obs->Count("jits.async.completed");
+    runtime_.obs->Event(
+        EventSeverity::kInfo, "async", "publish",
+        {{"task_id", std::to_string(task.task_id)},
+         {"trace_id", std::to_string(task.trace_id)},
+         {"table", task.table != nullptr ? task.table->name() : ""},
+         {"groups", std::to_string(task.groups.size())}},
+        now);
+    if (evictions > 0) {
+      runtime_.obs->Event(EventSeverity::kInfo, "archive", "evict",
+                          {{"evicted", std::to_string(evictions)},
+                           {"trigger", "async-publish"}},
+                          now);
+    }
     if (stats.maxent_iterations > 0) {
       runtime_.obs->Count("jits.maxent.iterations",
                           static_cast<double>(stats.maxent_iterations));

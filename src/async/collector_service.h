@@ -41,8 +41,9 @@ struct CollectorRuntime {
   /// The persistence gate: workers take it shared per task so checkpoints
   /// still see a stable statistics state (same contract as statements).
   std::shared_mutex* persist_gate = nullptr;
-  /// Metrics-only context (the engine's single-session tracer is not
-  /// thread-safe for background writers).
+  /// Metrics + event-log context with a null tracer (the engine's
+  /// single-session tracer is not thread-safe for background writers; the
+  /// EventLog and MetricsRegistry are).
   const ObsContext* obs = nullptr;
   /// Engine logical clock, read at execution time so deferred constraints
   /// carry current timestamps.
@@ -128,6 +129,10 @@ class CollectorService : public CollectionScheduler {
 
   mutable Stopwatch watch_;
   double virtual_seconds_ = 0;
+
+  /// Task ids, assigned at Submit. Monotonic per service; 0 means
+  /// "never submitted".
+  std::atomic<uint64_t> next_task_id_{1};
 
   std::vector<std::thread> workers_;
   std::atomic<bool> shutdown_{false};

@@ -48,4 +48,32 @@ std::string StrFormat(const char* fmt, ...) {
   return out;
 }
 
+bool MatchLikePattern(const std::string& s, const std::string& pattern) {
+  if (pattern.empty()) return true;
+  // Iterative greedy-with-backtrack wildcard match (the classic two-pointer
+  // algorithm): on mismatch after a '%', re-anchor the '%' one character
+  // further into the subject.
+  size_t si = 0;
+  size_t pi = 0;
+  size_t star_pi = std::string::npos;
+  size_t star_si = 0;
+  while (si < s.size()) {
+    if (pi < pattern.size() &&
+        (pattern[pi] == '_' || pattern[pi] == s[si])) {
+      ++si;
+      ++pi;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_pi = pi++;
+      star_si = si;
+    } else if (star_pi != std::string::npos) {
+      pi = star_pi + 1;
+      si = ++star_si;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+  return pi == pattern.size();
+}
+
 }  // namespace jits

@@ -15,6 +15,11 @@ bool EqualsIgnoreCase(const std::string& a, const std::string& b);
 /// Joins `parts` with `sep`.
 std::string Join(const std::vector<std::string>& parts, const std::string& sep);
 
+/// SQL LIKE matching: '%' matches any run of characters, '_' exactly one.
+/// Case-sensitive (metric names are). An empty pattern matches everything —
+/// the convention SHOW METRICS [LIKE ...] uses for "no filter".
+bool MatchLikePattern(const std::string& s, const std::string& pattern);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

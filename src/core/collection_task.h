@@ -44,6 +44,15 @@ struct CollectionTask {
   double score = 0;
   /// Logical clock of the submitting statement.
   uint64_t enqueued_at = 0;
+  /// Trace id of the originating query (its statement logical clock) —
+  /// stamped at compile time by the JITS module and carried through queue
+  /// coalescing to publish, so SHOW JITS TRACE can link a stale-async query
+  /// to the background task that repaired its statistics. 0 = untraced.
+  uint64_t trace_id = 0;
+  /// Collector-service task id, assigned at Submit. Survives coalescing:
+  /// a merged request keeps the queued task's id (its trace_id then points
+  /// at the *first* requesting query). 0 = not yet submitted.
+  uint64_t task_id = 0;
   /// Monotonic submission time in seconds (set by the collector service;
   /// feeds the jits.async.wait histogram).
   double submit_seconds = 0;

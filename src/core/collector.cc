@@ -345,6 +345,10 @@ CollectionStats StatisticsCollector::Collect(const QueryBlock& block,
     }
     if (evictions > 0) {
       obs->Count("jits.archive.evictions", static_cast<double>(evictions));
+      obs->Event(EventSeverity::kInfo, "archive", "evict",
+                 {{"evicted", std::to_string(evictions)},
+                  {"trigger", "inline-collect"}},
+                 now);
     }
   }
   return out;

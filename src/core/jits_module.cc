@@ -54,8 +54,12 @@ JitsPrepareResult JitsModule::Prepare(const QueryBlock& block, const JitsConfig&
       CollectionTask task =
           BuildCollectionTask(block, groups, decision, /*materialize_all=*/true);
       task.enqueued_at = now;
+      // The statement's logical clock doubles as the trace id linking this
+      // query to the background task that repairs its statistics.
+      task.trace_id = now;
       scheduler_->Submit(std::move(task));
       ++result.tables_deferred;
+      result.deferred_tables.push_back(decision.table_idx);
       if (obs != nullptr) {
         obs->Count("jits.async.submitted");
         obs->Count("optimizer.est_source{source=\"stale-async\"}");

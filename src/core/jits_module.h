@@ -40,6 +40,9 @@ struct JitsPrepareResult {
   /// Tables whose collection was handed to the background pipeline instead
   /// of sampled inline — this compilation runs on archived estimates.
   size_t tables_deferred = 0;
+  /// Block-local table indices of the deferred tables, so the optimizer can
+  /// mark their estimation records est_source=stale-async.
+  std::vector<int> deferred_tables;
 };
 
 /// The compile-time JITS pipeline (paper Figure 1): query analysis →

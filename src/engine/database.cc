@@ -39,13 +39,44 @@ std::vector<std::shared_lock<std::shared_mutex>> LockShared(
 }  // namespace
 
 Database::Database(uint64_t seed)
-    : workload_stats_(SIZE_MAX),  // static store: no eviction
+    : drift_(std::make_unique<DriftMonitor>()),
+      workload_stats_(SIZE_MAX),  // static store: no eviction
       feedback_(&history_),
       jits_(&catalog_, &archive_, &history_),
       rng_(seed) {
   feedback_.set_metrics(&metrics_);
+  drift_->set_metrics(&metrics_);
+  drift_->set_events(&event_log_);
+  feedback_.set_drift(drift_.get());
   // Even without a pool, the collector must serialize the shared Rng.
   jits_.set_runtime(nullptr, &rng_mu_);
+}
+
+void Database::set_drift_options(const DriftMonitorOptions& options) {
+  drift_ = std::make_unique<DriftMonitor>(options);
+  drift_->set_metrics(&metrics_);
+  drift_->set_events(&event_log_);
+  feedback_.set_drift(drift_.get());
+}
+
+Status Database::EnableTelemetrySampler(const TelemetrySamplerOptions& options) {
+  if (sampler_ != nullptr) {
+    return Status::ExecutionError("telemetry sampler already enabled");
+  }
+  sampler_ = std::make_unique<TelemetrySampler>(&metrics_, options);
+  sampler_->Start();
+  event_log_.Log(EventSeverity::kInfo, "engine", "telemetry-start",
+                 {{"interval", StrFormat("%.3f", options.interval_seconds)},
+                  {"manual", options.manual ? "true" : "false"}});
+  return Status::OK();
+}
+
+Status Database::DisableTelemetrySampler() {
+  if (sampler_ == nullptr) return Status::OK();
+  sampler_->Stop();
+  sampler_.reset();
+  event_log_.Log(EventSeverity::kInfo, "engine", "telemetry-stop");
+  return Status::OK();
 }
 
 Database::~Database() {
@@ -97,6 +128,7 @@ Status Database::Execute(const std::string& sql) {
 Status Database::Execute(const std::string& sql, QueryResult* result) {
   *result = QueryResult();
   const uint64_t now = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  result->query_id = now;
   Stopwatch total_watch;
   obs_.SetGauge("engine.concurrent_sessions",
                 static_cast<double>(active_sessions_.fetch_add(1) + 1));
@@ -109,6 +141,14 @@ Status Database::Execute(const std::string& sql, QueryResult* result) {
   const Status status = ExecuteInner(sql, result, total_watch, now);
   result->total_seconds = total_watch.Seconds();
   obs_.ObserveLatency("latency.total", result->total_seconds);
+  if (slow_query_seconds_ > 0 && result->total_seconds >= slow_query_seconds_) {
+    obs_.Count("engine.slow_queries");
+    obs_.Event(EventSeverity::kWarn, "engine", "slow-query",
+               {{"trace_id", std::to_string(now)},
+                {"seconds", StrFormat("%.6f", result->total_seconds)},
+                {"sql", sql.size() > 120 ? sql.substr(0, 120) + "..." : sql}},
+               now);
+  }
   if (tracer_.enabled()) result->trace = tracer_.EndQuery();
   obs_.SetGauge("engine.concurrent_sessions",
                 static_cast<double>(active_sessions_.fetch_sub(1) - 1));
@@ -191,7 +231,17 @@ Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
         std::lock_guard<std::mutex> rng_lock(rng_mu_);
         status = RunStatsAll(&catalog_, options, &rng_, now);
       }
-      if (status.ok()) LogCatalogStats(catalog_.tables());
+      if (status.ok()) {
+        LogCatalogStats(catalog_.tables());
+        // Fresh RUNSTATS repaired the estimates: pre-ANALYZE q-errors are no
+        // longer a meaningful drift baseline.
+        for (const Table* t : catalog_.tables()) {
+          drift_->ResetTable(ToLower(t->name()));
+        }
+        obs_.Event(EventSeverity::kInfo, "engine", "analyze",
+                   {{"table", "*"}, {"sync", analyze->sync ? "true" : "false"}},
+                   now);
+      }
       result->num_rows = catalog_.tables().size();
     } else {
       Table* table = catalog_.FindTable(analyze->table);
@@ -203,7 +253,14 @@ Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
         std::lock_guard<std::mutex> rng_lock(rng_mu_);
         status = RunStats(&catalog_, table, options, &rng_, now);
       }
-      if (status.ok()) LogCatalogStats({table});
+      if (status.ok()) {
+        LogCatalogStats({table});
+        drift_->ResetTable(ToLower(table->name()));
+        obs_.Event(EventSeverity::kInfo, "engine", "analyze",
+                   {{"table", ToLower(table->name())},
+                    {"sync", analyze->sync ? "true" : "false"}},
+                   now);
+      }
       result->num_rows = 1;
     }
   } else if (auto* show = std::get_if<ShowAst>(&bound.value())) {
@@ -260,6 +317,7 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
   sources.now = now;
   sources.history = &history_;
   sources.use_feedback_correction = leo_correction_;
+  sources.deferred_tables = &jits.deferred_tables;
 
   Result<PhysicalPlan> plan = [&] {
     TraceSpan span(&tracer_, "optimize");
@@ -741,10 +799,12 @@ Status Database::CollectWorkloadStats(const std::vector<std::string>& workload_s
 Status Database::RunShow(const ShowAst& show, QueryResult* result) {
   result->is_query = true;  // SHOW returns rows, not an affected-count
   if (show.what == ShowAst::What::kMetrics) {
-    // SHOW METRICS: one row per metric. Histograms report count and sum;
-    // the full bucket layout is available via metrics()->ExportJson().
+    // SHOW METRICS [LIKE 'pat']: one row per metric, name-sorted (counters,
+    // gauges and histograms merged — stable output regardless of kind).
+    // Histograms report count and sum; the full bucket layout is available
+    // via metrics()->ExportJson().
     result->column_names = {"metric", "type", "value"};
-    for (const MetricSnapshot& m : metrics_.Snapshot()) {
+    for (const MetricSnapshot& m : metrics_.SnapshotMatching(show.like_pattern)) {
       switch (m.kind) {
         case MetricSnapshot::Kind::kCounter:
           result->rows.push_back({Value(m.name), Value("counter"), Value(m.value)});
@@ -759,6 +819,87 @@ Status Database::RunShow(const ShowAst& show, QueryResult* result) {
                                static_cast<unsigned long long>(m.count), m.sum))});
           break;
       }
+    }
+    result->num_rows = result->rows.size();
+    return Status::OK();
+  }
+
+  if (show.what == ShowAst::What::kMetricsHistory) {
+    // SHOW METRICS HISTORY [LIKE 'pat']: the telemetry sampler's ring
+    // buffers, one row per retained sample, grouped by metric and ordered
+    // oldest-first. Errors when the sampler is off — an empty result would
+    // be indistinguishable from "sampling but nothing retained".
+    if (sampler_ == nullptr) {
+      return Status::ExecutionError(
+          "telemetry sampler is not enabled (EnableTelemetrySampler)");
+    }
+    result->column_names = {"metric", "seq", "elapsed", "value"};
+    const MetricTimeSeries& series = sampler_->series();
+    for (const std::string& name : series.MetricNames(show.like_pattern)) {
+      for (const TimeSeriesSample& s : series.History(name)) {
+        result->rows.push_back({Value(name), Value(static_cast<int64_t>(s.seq)),
+                                Value(s.elapsed_seconds), Value(s.value)});
+      }
+    }
+    result->num_rows = result->rows.size();
+    return Status::OK();
+  }
+
+  if (show.what == ShowAst::What::kEvents) {
+    // SHOW EVENTS: the structured event-log ring, oldest first.
+    result->column_names = {"seq",     "elapsed", "clock", "severity",
+                            "component", "message", "fields"};
+    for (const Event& e : event_log_.Snapshot()) {
+      std::string fields;
+      for (const auto& [k, v] : e.fields) {
+        if (!fields.empty()) fields += " ";
+        fields += k + "=" + v;
+      }
+      result->rows.push_back({Value(static_cast<int64_t>(e.seq)),
+                              Value(e.elapsed_seconds),
+                              Value(static_cast<int64_t>(e.clock)),
+                              Value(EventSeverityName(e.severity)),
+                              Value(e.component), Value(e.message),
+                              Value(fields)});
+    }
+    result->num_rows = result->rows.size();
+    return Status::OK();
+  }
+
+  if (show.what == ShowAst::What::kJitsTrace) {
+    // SHOW JITS TRACE <id>: every event whose task_id or trace_id field
+    // equals <id>. A query's id (QueryResult::query_id) surfaces the
+    // submit/coalesce event of any collection it deferred; that event's
+    // task_id then links to the publish/abort event — the cross-async
+    // trace chain.
+    result->column_names = {"seq",     "clock",   "severity", "component",
+                            "message", "task_id", "trace_id", "table"};
+    const std::string id = StrFormat("%lld", static_cast<long long>(show.trace_id));
+    for (const Event& e : event_log_.Snapshot()) {
+      if (e.Field("task_id") != id && e.Field("trace_id") != id) continue;
+      result->rows.push_back(
+          {Value(static_cast<int64_t>(e.seq)), Value(static_cast<int64_t>(e.clock)),
+           Value(EventSeverityName(e.severity)), Value(e.component),
+           Value(e.message), Value(e.Field("task_id")), Value(e.Field("trace_id")),
+           Value(e.Field("table"))});
+    }
+    result->num_rows = result->rows.size();
+    return Status::OK();
+  }
+
+  if (show.what == ShowAst::What::kJitsAccuracy) {
+    // SHOW JITS ACCURACY: the drift monitor's rolling q-error windows, one
+    // row per (table, est_source) plus the per-table "all" aggregate.
+    result->column_names = {"table",         "source",          "observations",
+                            "recent_median", "baseline_median", "ratio",
+                            "drifted",       "drift_events"};
+    for (const DriftSnapshotRow& row : drift_->Snapshot()) {
+      result->rows.push_back(
+          {Value(row.table), Value(row.source),
+           Value(static_cast<int64_t>(row.observations)), Value(row.recent_median),
+           Value(row.baseline_median), Value(row.ratio),
+           Value(row.drifted ? "true" : "false"),
+           Value(static_cast<int64_t>(row.drift_events))});
     }
     result->num_rows = result->rows.size();
     return Status::OK();
@@ -816,13 +957,16 @@ Status Database::RunShow(const ShowAst& show, QueryResult* result) {
   if (show.what == ShowAst::What::kJitsQueue) {
     // SHOW JITS QUEUE: pending background collections in drain (priority)
     // order. Empty result when async collection is off.
-    result->column_names = {"table", "score", "groups", "enqueued_at", "state"};
+    result->column_names = {"table",       "score",   "groups",   "enqueued_at",
+                            "state",       "task_id", "trace_id"};
     if (async_collector_ != nullptr) {
       for (const async::QueueEntryInfo& e : async_collector_->QueueSnapshot()) {
         result->rows.push_back({Value(e.table), Value(e.score),
                                 Value(static_cast<int64_t>(e.groups)),
                                 Value(static_cast<int64_t>(e.enqueued_at)),
-                                Value("queued")});
+                                Value("queued"),
+                                Value(static_cast<int64_t>(e.task_id)),
+                                Value(static_cast<int64_t>(e.trace_id))});
       }
     }
     result->num_rows = result->rows.size();
@@ -967,6 +1111,21 @@ Status Database::OpenPersistence(const persist::PersistenceOptions& options,
   }
   last_recovery_ = recovered;
   if (report != nullptr) *report = recovered;
+  if (recovered.wal_tail_truncated) {
+    // Previously a silent RecoveryReport field: a torn WAL tail was
+    // discarded. Surface it — data loss (however expected) deserves a line.
+    event_log_.Log(EventSeverity::kWarn, "persist", "wal-truncated",
+                   {{"wal_records_applied",
+                     std::to_string(recovered.wal_records_applied)},
+                    {"wal_records_rejected",
+                     std::to_string(recovered.wal_records_rejected)}},
+                   clock());
+  }
+  event_log_.Log(EventSeverity::kInfo, "persist", "recovery-complete",
+                 {{"snapshot_loaded", recovered.snapshot_loaded ? "true" : "false"},
+                  {"wal_records_applied",
+                   std::to_string(recovered.wal_records_applied)}},
+                 clock());
 
   persistence_ = std::move(manager);
   jits_.set_wal(persistence_.get());
@@ -993,19 +1152,34 @@ Status Database::Checkpoint() {
   }
   std::lock_guard<std::mutex> ckpt_lock(checkpoint_mu_);
   Stopwatch watch;
+  event_log_.Log(EventSeverity::kInfo, "persist", "checkpoint-start", {},
+                 clock());
   persist::SnapshotContents contents;
   {
     // Exclusive gate: no statement is mid-flight, so the rotated WAL holds
     // exactly the records after this capture. File I/O happens outside.
     std::unique_lock<std::shared_mutex> gate(persist_gate_);
     Result<uint64_t> seq = persistence_->BeginCheckpoint();
-    if (!seq.ok()) return seq.status();
+    if (!seq.ok()) {
+      event_log_.Log(EventSeverity::kError, "persist", "checkpoint-failed",
+                     {{"error", seq.status().message()}}, clock());
+      return seq.status();
+    }
     contents = CaptureState(seq.value());
   }
   statements_since_checkpoint_.store(0, std::memory_order_relaxed);
   const Status status = persistence_->CommitSnapshot(contents);
   metrics_.GetHistogram("persist.checkpoint.duration", MetricBuckets::Latency())
       ->Observe(watch.Seconds());
+  if (status.ok()) {
+    event_log_.Log(EventSeverity::kInfo, "persist", "checkpoint-finish",
+                   {{"seq", std::to_string(contents.seq)},
+                    {"seconds", StrFormat("%.6f", watch.Seconds())}},
+                   clock());
+  } else {
+    event_log_.Log(EventSeverity::kError, "persist", "checkpoint-failed",
+                   {{"error", status.message()}}, clock());
+  }
   return status;
 }
 

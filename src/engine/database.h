@@ -17,7 +17,10 @@
 #include "core/jits_module.h"
 #include "core/qss_archive.h"
 #include "feedback/feedback.h"
+#include "obs/drift_monitor.h"
+#include "obs/event_log.h"
 #include "obs/obs_context.h"
+#include "obs/time_series.h"
 #include "optimizer/optimizer.h"
 #include "persist/manager.h"
 #include "sql/binder.h"
@@ -28,6 +31,10 @@ namespace jits {
 /// paper's experiments report (compilation vs execution vs total).
 struct QueryResult {
   bool is_query = false;  // SELECT (vs DML/DDL)
+  /// The statement's logical-clock stamp — also the trace id carried onto
+  /// any background collection this statement deferred, so `SHOW JITS
+  /// TRACE <query_id>` links the query to the task that repaired its stats.
+  uint64_t query_id = 0;
   size_t num_rows = 0;    // result rows (SELECT) or affected rows (DML)
   std::vector<std::string> column_names;
   std::vector<Row> rows;  // materialized output, capped at the row limit
@@ -168,6 +175,36 @@ class Database {
   bool async_collection_enabled() const { return async_collector_ != nullptr; }
   async::CollectorService* async_collector() { return async_collector_.get(); }
 
+  /// Starts the telemetry sampler: the metrics registry is snapshotted into
+  /// per-metric ring buffers every options.interval_seconds (SHOW METRICS
+  /// HISTORY). With options.manual no thread starts — tests drive
+  /// telemetry_sampler()->SampleOnce()/AdvanceVirtualTime(). Configure
+  /// before spawning clients; error if already enabled.
+  Status EnableTelemetrySampler(const TelemetrySamplerOptions& options);
+
+  /// Stops the sampler thread (flushing its JSONL export, if configured)
+  /// and discards the sampler. The collected history is dropped with it.
+  Status DisableTelemetrySampler();
+
+  bool telemetry_enabled() const { return sampler_ != nullptr; }
+  TelemetrySampler* telemetry_sampler() { return sampler_.get(); }
+
+  /// The engine-wide structured event log (SHOW EVENTS). Always on; attach
+  /// a JSONL file sink with events()->SetSinkPath(path).
+  EventLog* events() { return &event_log_; }
+
+  /// The estimation-drift monitor (SHOW JITS ACCURACY), fed by the
+  /// feedback loop. Tune thresholds via set_drift_options BEFORE serving.
+  DriftMonitor* drift_monitor() { return drift_.get(); }
+
+  /// Replaces the drift monitor's thresholds (and clears its windows).
+  /// Configure before spawning clients.
+  void set_drift_options(const DriftMonitorOptions& options);
+
+  /// Slow-query threshold: statements whose total latency meets it emit a
+  /// warn "slow-query" event (0 disables — the default).
+  void set_slow_query_seconds(double seconds) { slow_query_seconds_ = seconds; }
+
  private:
   Status ExecuteInner(const std::string& sql, QueryResult* result,
                       const Stopwatch& total_watch, uint64_t now);
@@ -192,7 +229,12 @@ class Database {
 
   MetricsRegistry metrics_;
   Tracer tracer_;
-  ObsContext obs_{&metrics_, &tracer_};
+  EventLog event_log_;
+  /// Behind a pointer so set_drift_options can swap thresholds; never null
+  /// after construction. FeedbackSystem holds the raw pointer — re-wired on
+  /// every swap.
+  std::unique_ptr<DriftMonitor> drift_;
+  ObsContext obs_{&metrics_, &tracer_, &event_log_};
   Catalog catalog_;
   QssArchive archive_;
   QssArchive workload_stats_;
@@ -208,6 +250,11 @@ class Database {
   std::atomic<int> active_sessions_{0};
   size_t row_limit_ = 100;
   bool leo_correction_ = false;
+  double slow_query_seconds_ = 0;  // 0 = slow-query events off
+  /// Samples metrics_ from its own thread (unless manual); destroyed before
+  /// metrics_/event_log_ by unique_ptr order within this class body —
+  /// Disable/reset joins the thread first.
+  std::unique_ptr<TelemetrySampler> sampler_;
 
   /// Checkpoint consistency gate: statements that touch JITS state hold it
   /// shared; a checkpoint's rotate-and-capture step takes it exclusive, so
@@ -221,9 +268,10 @@ class Database {
   std::unique_ptr<persist::PersistenceManager> persistence_;
   persist::RecoveryReport last_recovery_;
 
-  /// Metrics-only context for the background collector: the tracer is a
-  /// single-session facility and must never see background writers.
-  ObsContext async_obs_{&metrics_, nullptr};
+  /// Background-collector context: metrics + event log, but a null tracer —
+  /// the tracer is a single-session facility and must never see background
+  /// writers (EventLog and MetricsRegistry are thread-safe).
+  ObsContext async_obs_{&metrics_, nullptr, &event_log_};
   /// Declared last: workers borrow everything above, so the service must be
   /// destroyed (joined) first.
   std::unique_ptr<async::CollectorService> async_collector_;

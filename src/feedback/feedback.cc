@@ -22,10 +22,14 @@ void FeedbackSystem::Record(const EstimationRecord& record, double actual_rows,
     wal_record.error_factor = error_factor;
     wal_->LogHistory(wal_record);
   }
+  const double qerror = std::max(error_factor, 1.0 / error_factor);
   if (metrics_ != nullptr) {
-    const double qerror = std::max(error_factor, 1.0 / error_factor);
     metrics_->GetHistogram("feedback.qerror", MetricBuckets::QError())->Observe(qerror);
     metrics_->GetCounter("feedback.records")->Increment();
+  }
+  if (drift_ != nullptr) {
+    drift_->Observe(record.table_key, record.est_source, qerror);
+    drift_->Observe(record.table_key, "all", qerror);
   }
 }
 

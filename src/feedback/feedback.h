@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "feedback/stat_history.h"
+#include "obs/drift_monitor.h"
 #include "obs/metrics.h"
 #include "persist/wal_sink.h"
 
@@ -23,6 +24,10 @@ struct EstimationRecord {
   std::vector<std::string> statlist;  // stats used to produce the estimate
   std::vector<int> pred_indices;      // block-local predicate indices
   double est_selectivity = 1.0;
+  /// Dominant provenance of the estimate, classified by the optimizer:
+  /// "jits-exact", "stale-async", "archive", "workload", "catalog" or
+  /// "default" — the key the drift monitor buckets q-errors by.
+  std::string est_source = "default";
 };
 
 /// The LEO-lite feedback loop: turns (estimate, actual) pairs into
@@ -47,10 +52,16 @@ class FeedbackSystem {
   /// StatHistory replays exactly after a crash.
   void set_wal(persist::StatsWalSink* wal) { wal_ = wal; }
 
+  /// Optional drift sink: every Record() feeds its q-error to the monitor
+  /// under both (table, est_source) and the per-table aggregate
+  /// (table, "all") — the aggregate is what survives source flips.
+  void set_drift(DriftMonitor* drift) { drift_ = drift; }
+
  private:
   StatHistory* history_;
   MetricsRegistry* metrics_ = nullptr;
   persist::StatsWalSink* wal_ = nullptr;
+  DriftMonitor* drift_ = nullptr;
 };
 
 }  // namespace jits

@@ -1,0 +1,128 @@
+#include "obs/drift_monitor.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+
+namespace jits {
+namespace {
+
+double Median(const std::deque<double>& window) {
+  if (window.empty()) return 0.0;
+  std::vector<double> sorted(window.begin(), window.end());
+  std::sort(sorted.begin(), sorted.end());
+  const size_t mid = sorted.size() / 2;
+  if (sorted.size() % 2 == 1) return sorted[mid];
+  return 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+}  // namespace
+
+DriftMonitor::DriftMonitor(DriftMonitorOptions options)
+    : options_(options) {}
+
+bool DriftMonitor::UpdateLocked(KeyState* state) {
+  state->last_recent_median = Median(state->recent);
+  state->last_baseline_median = Median(state->baseline);
+  const bool warm = state->recent.size() >= options_.min_samples &&
+                    state->baseline.size() >= options_.min_samples;
+  state->last_ratio =
+      (warm && state->last_baseline_median > 0)
+          ? state->last_recent_median / state->last_baseline_median
+          : 0.0;
+  const bool over = warm &&
+                    state->last_ratio >= options_.ratio_threshold &&
+                    state->last_recent_median >= options_.absolute_floor;
+  const bool entered = over && !state->drifted;
+  if (entered) ++state->drift_events;
+  state->drifted = over;
+  return entered;
+}
+
+void DriftMonitor::Observe(const std::string& table,
+                           const std::string& est_source, double qerror,
+                           uint64_t clock) {
+  bool entered = false;
+  double ratio = 0;
+  double recent_median = 0;
+  double baseline_median = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    KeyState& state = keys_[{table, est_source}];
+    ++state.observations;
+    state.recent.push_back(qerror);
+    while (state.recent.size() > options_.recent_window) {
+      state.baseline.push_back(state.recent.front());
+      state.recent.pop_front();
+      while (state.baseline.size() > options_.baseline_window) {
+        state.baseline.pop_front();
+      }
+    }
+    entered = UpdateLocked(&state);
+    if (entered) ++total_drift_events_;
+    ratio = state.last_ratio;
+    recent_median = state.last_recent_median;
+    baseline_median = state.last_baseline_median;
+  }
+
+  // Sinks are updated outside mu_ — EventLog and MetricsRegistry have their
+  // own locks and the feedback path must not serialize on ours.
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetGauge(StrFormat("obs.drift.ratio{table=\"%s\",source=\"%s\"}",
+                             table.c_str(), est_source.c_str()))
+        ->Set(ratio);
+    if (entered) metrics_->GetCounter("obs.drift.events")->Increment();
+  }
+  if (entered && events_ != nullptr) {
+    events_->Log(EventSeverity::kWarn, "drift", "drift-detected",
+                 {{"table", table},
+                  {"source", est_source},
+                  {"recent_median", StrFormat("%.3f", recent_median)},
+                  {"baseline_median", StrFormat("%.3f", baseline_median)},
+                  {"ratio", StrFormat("%.2f", ratio)}},
+                 clock);
+  }
+}
+
+std::vector<DriftSnapshotRow> DriftMonitor::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DriftSnapshotRow> out;
+  out.reserve(keys_.size());
+  for (const auto& [key, state] : keys_) {
+    DriftSnapshotRow row;
+    row.table = key.first;
+    row.source = key.second;
+    row.observations = state.observations;
+    row.recent_median = state.last_recent_median;
+    row.baseline_median = state.last_baseline_median;
+    row.ratio = state.last_ratio;
+    row.drifted = state.drifted;
+    row.drift_events = state.drift_events;
+    out.push_back(std::move(row));
+  }
+  return out;  // map order is already (table, source) sorted
+}
+
+void DriftMonitor::ResetTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, state] : keys_) {
+    if (key.first != table) continue;
+    state.recent.clear();
+    state.baseline.clear();
+    state.drifted = false;
+    state.observations = 0;
+    state.last_recent_median = 0;
+    state.last_baseline_median = 0;
+    state.last_ratio = 0;
+  }
+}
+
+uint64_t DriftMonitor::total_drift_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_drift_events_;
+}
+
+}  // namespace jits

@@ -1,0 +1,108 @@
+#ifndef JITS_OBS_DRIFT_MONITOR_H_
+#define JITS_OBS_DRIFT_MONITOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jits {
+
+class EventLog;
+class MetricsRegistry;
+
+struct DriftMonitorOptions {
+  /// Observations per (table, est_source) kept for the recent window.
+  size_t recent_window = 16;
+  /// Observations kept for the baseline window (the ones that age out of
+  /// recent slide into baseline).
+  size_t baseline_window = 64;
+  /// Minimum observations in BOTH windows before drift can trigger — avoids
+  /// alerting on the first few queries after startup or ANALYZE.
+  size_t min_samples = 8;
+  /// Drift fires when recent median q-error exceeds baseline median times
+  /// this ratio...
+  double ratio_threshold = 4.0;
+  /// ...and the recent median also exceeds this absolute floor (a 0.001 ->
+  /// 0.004 median is noise, not drift).
+  double absolute_floor = 2.0;
+};
+
+/// One row of SHOW JITS ACCURACY: rolling q-error state for one
+/// (table, est_source) key. `source == "all"` aggregates every source for
+/// the table — the series drift detection actually leans on, because the
+/// est_source itself flips (e.g. to stale-async) exactly when the data
+/// shifts, leaving per-source baselines empty.
+struct DriftSnapshotRow {
+  std::string table;
+  std::string source;
+  uint64_t observations = 0;
+  double recent_median = 0;
+  double baseline_median = 0;
+  double ratio = 0;        // recent/baseline, 0 while under min_samples
+  bool drifted = false;    // currently in the drifted state
+  uint64_t drift_events = 0;  // times this key entered the drifted state
+};
+
+/// Estimation-drift monitor fed from the feedback path: per
+/// (table, est_source) rolling windows of q-error, comparing the recent
+/// window's median against the preceding baseline's. Entering the drifted
+/// state is edge-triggered — one event per excursion, not per query — and
+/// is surfaced three ways: an `obs.drift.events` counter, per-key
+/// `obs.drift.ratio{...}` gauges, and a warn event in the EventLog.
+/// Thread-safe; callers hold no JITS locks while observing.
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftMonitorOptions options = {});
+
+  /// Optional sinks; null is tolerated (observation still tracked).
+  void set_events(EventLog* events) { events_ = events; }
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Records one post-execution q-error for (table, est_source). Also
+  /// observe the aggregate key ("all") from the caller so per-table drift
+  /// survives source flips — FeedbackSystem does this.
+  void Observe(const std::string& table, const std::string& est_source,
+               double qerror, uint64_t clock = 0);
+
+  /// All tracked keys, sorted by (table, source) — SHOW JITS ACCURACY.
+  std::vector<DriftSnapshotRow> Snapshot() const;
+
+  /// Clears windows and drift state for one table (every source key) —
+  /// ANALYZE repaired the stats, so history before it is no longer a
+  /// meaningful baseline. Drift-event totals are kept.
+  void ResetTable(const std::string& table);
+
+  uint64_t total_drift_events() const;
+  const DriftMonitorOptions& options() const { return options_; }
+
+ private:
+  struct KeyState {
+    std::deque<double> recent;    // newest at back
+    std::deque<double> baseline;  // values aged out of recent, newest at back
+    bool drifted = false;
+    uint64_t drift_events = 0;
+    uint64_t observations = 0;
+    double last_recent_median = 0;
+    double last_baseline_median = 0;
+    double last_ratio = 0;
+  };
+
+  /// Recomputes medians/ratio and handles edge-triggered transitions.
+  /// Returns true when this observation newly entered the drifted state.
+  bool UpdateLocked(KeyState* state);
+
+  const DriftMonitorOptions options_;
+  EventLog* events_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, KeyState> keys_;
+  uint64_t total_drift_events_ = 0;
+};
+
+}  // namespace jits
+
+#endif  // JITS_OBS_DRIFT_MONITOR_H_

@@ -1,0 +1,148 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace jits {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* EventSeverityName(EventSeverity severity) {
+  switch (severity) {
+    case EventSeverity::kInfo:
+      return "info";
+    case EventSeverity::kWarn:
+      return "warn";
+    case EventSeverity::kError:
+      return "error";
+  }
+  return "info";
+}
+
+std::string Event::ToJson() const {
+  std::string out = StrFormat(
+      "{\"seq\":%llu,\"elapsed\":%.6f,\"clock\":%llu,\"severity\":\"%s\","
+      "\"component\":\"%s\",\"message\":\"%s\",\"fields\":{",
+      static_cast<unsigned long long>(seq), elapsed_seconds,
+      static_cast<unsigned long long>(clock), EventSeverityName(severity),
+      JsonEscape(component).c_str(), JsonEscape(message).c_str());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(fields[i].first) + "\":\"" +
+           JsonEscape(fields[i].second) + "\"";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Event::Field(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+EventLog::EventLog(size_t capacity) : capacity_(std::max<size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+}
+
+EventLog::~EventLog() { CloseSink(); }
+
+bool EventLog::SetSinkPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) {
+    std::fclose(sink_);
+    sink_ = nullptr;
+  }
+  if (path.empty()) return true;
+  sink_ = std::fopen(path.c_str(), "w");
+  return sink_ != nullptr;
+}
+
+void EventLog::Log(EventSeverity severity, std::string component,
+                   std::string message,
+                   std::vector<std::pair<std::string, std::string>> fields,
+                   uint64_t clock) {
+  Event event;
+  event.elapsed_seconds = watch_.Seconds();
+  event.clock = clock;
+  event.severity = severity;
+  event.component = std::move(component);
+  event.message = std::move(message);
+  event.fields = std::move(fields);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_++;
+  if (sink_ != nullptr) {
+    const std::string line = event.ToJson();
+    std::fwrite(line.data(), 1, line.size(), sink_);
+    std::fputc('\n', sink_);
+    std::fflush(sink_);
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[static_cast<size_t>((event.seq - 1) % capacity_)] = std::move(event);
+  }
+}
+
+std::vector<Event> EventLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out = ring_;
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::vector<Event> EventLog::SnapshotWithField(const std::string& key,
+                                               const std::string& value) const {
+  std::vector<Event> out = Snapshot();
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](const Event& e) { return e.Field(key) != value; }),
+            out.end());
+  return out;
+}
+
+uint64_t EventLog::total_logged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+void EventLog::CloseSink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) {
+    std::fclose(sink_);
+    sink_ = nullptr;
+  }
+}
+
+}  // namespace jits

@@ -1,0 +1,87 @@
+#ifndef JITS_OBS_EVENT_LOG_H_
+#define JITS_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace jits {
+
+enum class EventSeverity { kInfo, kWarn, kError };
+
+const char* EventSeverityName(EventSeverity severity);
+
+/// One structured engine event. `fields` are free-form key/value pairs
+/// (task ids, table names, byte counts, ...); keys use snake_case. `clock`
+/// is the engine's logical clock at emission (0 when the emitter has none).
+struct Event {
+  uint64_t seq = 0;              // assigned by the log, 1-based, monotonic
+  double elapsed_seconds = 0;    // since the log was constructed
+  uint64_t clock = 0;
+  EventSeverity severity = EventSeverity::kInfo;
+  std::string component;  // "async", "persist", "engine", "drift", "archive"
+  std::string message;    // short machine-stable verb, e.g. "publish"
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  /// One JSON object (one line of the JSONL sink):
+  /// {"seq":1,"elapsed":0.1,"clock":7,"severity":"info","component":"async",
+  ///  "message":"publish","fields":{"task_id":"3",...}}
+  std::string ToJson() const;
+
+  /// The value of one field, or "" when absent.
+  std::string Field(const std::string& key) const;
+};
+
+/// Bounded thread-safe structured event log: a fixed-capacity in-memory
+/// ring (oldest entries overwritten) backing SHOW EVENTS / SHOW JITS TRACE,
+/// plus an optional JSONL file sink that receives every event, including
+/// ones the ring has already dropped. Emission is cheap enough for
+/// non-hot-path engine events (checkpoints, async lifecycle, drift alerts,
+/// slow queries) but is NOT meant for per-row work.
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 256);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Opens (truncates) a JSONL file sink. Empty path closes the sink.
+  /// Returns false when the file could not be opened.
+  bool SetSinkPath(const std::string& path);
+
+  void Log(EventSeverity severity, std::string component, std::string message,
+           std::vector<std::pair<std::string, std::string>> fields = {},
+           uint64_t clock = 0);
+
+  /// Ring contents, oldest first.
+  std::vector<Event> Snapshot() const;
+
+  /// Ring entries carrying field `key` == `value`, oldest first.
+  std::vector<Event> SnapshotWithField(const std::string& key,
+                                       const std::string& value) const;
+
+  /// Events ever logged (>= ring size once it wraps).
+  uint64_t total_logged() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Flushes and closes the file sink (also runs at destruction).
+  void CloseSink();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;  // ring_[ (seq-1) % capacity_ ]
+  uint64_t next_seq_ = 1;
+  std::FILE* sink_ = nullptr;
+  Stopwatch watch_;  // elapsed_seconds origin
+};
+
+}  // namespace jits
+
+#endif  // JITS_OBS_EVENT_LOG_H_

@@ -93,6 +93,35 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
   return counts_;
 }
 
+double Histogram::Percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts_[i]);
+    if (cumulative + in_bucket < target || in_bucket == 0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Overflow bucket has no finite upper edge: clamp to the last bound.
+    if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+    const double lower = (i == 0) ? 0.0 : bounds_[i - 1];
+    const double upper = bounds_[i];
+    const double fraction = (target - cumulative) / in_bucket;
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+}
+
 std::vector<double> MetricBuckets::Latency() {
   std::vector<double> bounds;
   for (double decade = 1e-6; decade <= 1.0; decade *= 10) {
@@ -242,11 +271,30 @@ std::string MetricsRegistry::ExportPrometheus() const {
   return out;
 }
 
+std::vector<MetricSnapshot> MetricsRegistry::SnapshotMatching(
+    const std::string& like_pattern) const {
+  std::vector<MetricSnapshot> snap = Snapshot();
+  if (!like_pattern.empty()) {
+    snap.erase(std::remove_if(snap.begin(), snap.end(),
+                              [&](const MetricSnapshot& m) {
+                                return !MatchLikePattern(m.name, like_pattern);
+                              }),
+               snap.end());
+  }
+  std::sort(snap.begin(), snap.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_.clear();
-  gauges_.clear();
-  histograms_.clear();
+  // Zero in place — never deallocate. Cached instrument pointers must stay
+  // valid across Reset (hot paths hold them without the registry lock).
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
 }
 
 }  // namespace jits

@@ -23,6 +23,10 @@ class Counter {
 
   double Value() const { return value_.load(std::memory_order_relaxed); }
 
+  /// Zeroes the counter (registry Reset). Safe against concurrent
+  /// Increment — the increment either lands before or after the store.
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
  private:
   std::atomic<double> value_{0.0};
 };
@@ -32,6 +36,7 @@ class Gauge {
  public:
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
   double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
@@ -53,6 +58,18 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket counts; size bounds().size() + 1, last entry is +Inf.
   std::vector<uint64_t> BucketCounts() const;
+
+  /// Estimated value at quantile `q` in [0,1] (0.95 = p95), linearly
+  /// interpolated within the containing bucket. The first bucket
+  /// interpolates from 0 (observations are assumed non-negative — true for
+  /// latencies and q-errors); quantiles landing in the +Inf overflow bucket
+  /// clamp to the largest finite bound. Empty histogram returns 0. This is
+  /// THE percentile implementation — benches and the shell must not
+  /// reimplement it.
+  double Percentile(double q) const;
+
+  /// Zeroes all buckets, count and sum in place (registry Reset).
+  void Reset();
 
  private:
   std::vector<double> bounds_;  // sorted upper bounds
@@ -104,6 +121,11 @@ class MetricsRegistry {
   /// Stable-ordered snapshot of every registered metric.
   std::vector<MetricSnapshot> Snapshot() const;
 
+  /// Snapshot filtered by a SQL LIKE pattern over metric names ('%'/'_'
+  /// wildcards; empty pattern = everything), merged across instrument kinds
+  /// and sorted by name — the backing store of SHOW METRICS [LIKE ...].
+  std::vector<MetricSnapshot> SnapshotMatching(const std::string& like_pattern) const;
+
   /// {"counters":{...},"gauges":{...},"histograms":{...}}
   std::string ExportJson() const;
 
@@ -111,7 +133,10 @@ class MetricsRegistry {
   /// series for histograms, labels preserved).
   std::string ExportPrometheus() const;
 
-  /// Drops every metric (tests and shell resets).
+  /// Zeroes every registered metric IN PLACE. Instruments are deliberately
+  /// never deallocated: pointers handed out by the getters stay valid, so
+  /// Reset is safe to race against concurrent Increment/Set/Observe through
+  /// cached pointers (the documented stable-pointer contract).
   void Reset();
 
  private:

@@ -1,18 +1,20 @@
 #ifndef JITS_OBS_OBS_CONTEXT_H_
 #define JITS_OBS_OBS_CONTEXT_H_
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace jits {
 
 /// The observability handles threaded through the pipeline (Database owns
-/// both; modules receive a pointer and may be handed nullptr, e.g. when
-/// driven directly from tests or benchmarks). All helpers tolerate a null
-/// context so instrumented code needs no branching.
+/// all of them; modules receive a pointer and may be handed nullptr, e.g.
+/// when driven directly from tests or benchmarks). All helpers tolerate a
+/// null context so instrumented code needs no branching.
 struct ObsContext {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
+  EventLog* events = nullptr;
 
   Tracer* tracer_or_null() const { return tracer; }
 
@@ -27,6 +29,16 @@ struct ObsContext {
   void ObserveLatency(const char* name, double seconds) const {
     if (metrics != nullptr) {
       metrics->GetHistogram(name, MetricBuckets::Latency())->Observe(seconds);
+    }
+  }
+
+  void Event(EventSeverity severity, std::string component,
+             std::string message,
+             std::vector<std::pair<std::string, std::string>> fields = {},
+             uint64_t clock = 0) const {
+    if (events != nullptr) {
+      events->Log(severity, std::move(component), std::move(message),
+                  std::move(fields), clock);
     }
   }
 };

@@ -1,0 +1,154 @@
+#include "obs/time_series.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace jits {
+
+MetricTimeSeries::MetricTimeSeries(size_t capacity_per_metric)
+    : capacity_(std::max<size_t>(capacity_per_metric, 1)) {}
+
+void MetricTimeSeries::Record(const std::string& metric, uint64_t seq,
+                              double elapsed_seconds, double value) {
+  TimeSeriesSample sample;
+  sample.seq = seq;
+  sample.elapsed_seconds = elapsed_seconds;
+  sample.value = value;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Ring& ring = series_[metric];
+  if (ring.samples.size() < capacity_) {
+    ring.samples.push_back(sample);
+  } else {
+    ring.samples[ring.head] = sample;
+    ring.head = (ring.head + 1) % capacity_;
+  }
+}
+
+std::vector<std::string> MetricTimeSeries::MetricNames(
+    const std::string& like_pattern) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, ring] : series_) {
+    if (like_pattern.empty() || MatchLikePattern(name, like_pattern)) {
+      out.push_back(name);
+    }
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+std::vector<TimeSeriesSample> MetricTimeSeries::History(
+    const std::string& metric) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(metric);
+  if (it == series_.end()) return {};
+  const Ring& ring = it->second;
+  std::vector<TimeSeriesSample> out;
+  out.reserve(ring.samples.size());
+  for (size_t i = 0; i < ring.samples.size(); ++i) {
+    out.push_back(ring.samples[(ring.head + i) % ring.samples.size()]);
+  }
+  return out;
+}
+
+std::string MetricTimeSeries::ExportJsonl(const std::string& like_pattern) const {
+  std::string out;
+  for (const std::string& name : MetricNames(like_pattern)) {
+    for (const TimeSeriesSample& s : History(name)) {
+      out += StrFormat(
+          "{\"metric\":\"%s\",\"seq\":%llu,\"elapsed\":%.6f,\"value\":%.17g}\n",
+          name.c_str(), static_cast<unsigned long long>(s.seq),
+          s.elapsed_seconds, s.value);
+    }
+  }
+  return out;
+}
+
+TelemetrySampler::TelemetrySampler(MetricsRegistry* registry,
+                                   TelemetrySamplerOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      series_(options_.capacity) {}
+
+TelemetrySampler::~TelemetrySampler() { Stop(); }
+
+void TelemetrySampler::Start() {
+  if (options_.manual) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { SamplerLoop(); });
+}
+
+void TelemetrySampler::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    to_join = std::move(thread_);
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+  if (!options_.jsonl_path.empty()) {
+    std::FILE* f = std::fopen(options_.jsonl_path.c_str(), "w");
+    if (f != nullptr) {
+      const std::string dump = series_.ExportJsonl();
+      std::fwrite(dump.data(), 1, dump.size(), f);
+      std::fclose(f);
+    }
+  }
+}
+
+uint64_t TelemetrySampler::SampleOnce() {
+  uint64_t seq = 0;
+  double when = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = next_seq_++;
+    when = options_.manual ? virtual_seconds_ : watch_.Seconds();
+  }
+  // Snapshot outside mu_: the registry has its own lock, and SHOW METRICS
+  // HISTORY readers only contend on the series store.
+  for (const MetricSnapshot& m : registry_->Snapshot()) {
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+      case MetricSnapshot::Kind::kGauge:
+        series_.Record(m.name, seq, when, m.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        series_.Record(m.name + ".count", seq, when,
+                       static_cast<double>(m.count));
+        series_.Record(m.name + ".sum", seq, when, m.sum);
+        break;
+    }
+  }
+  return seq;
+}
+
+void TelemetrySampler::AdvanceVirtualTime(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  virtual_seconds_ += seconds;
+}
+
+uint64_t TelemetrySampler::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+void TelemetrySampler::SamplerLoop() {
+  const auto interval = std::chrono::duration<double>(
+      std::max(options_.interval_seconds, 1e-3));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+    cv_.wait_for(lock, interval, [this] { return stop_; });
+  }
+}
+
+}  // namespace jits

@@ -1,0 +1,127 @@
+#ifndef JITS_OBS_TIME_SERIES_H_
+#define JITS_OBS_TIME_SERIES_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace jits {
+
+/// One time-series observation: `seq` is the global sampling round that
+/// produced it (1-based; shared across all metrics of the same round) and
+/// `elapsed_seconds` the sampler's clock at that round (virtual in manual
+/// mode, so deterministic tests get stable timestamps).
+struct TimeSeriesSample {
+  uint64_t seq = 0;
+  double elapsed_seconds = 0;
+  double value = 0;
+};
+
+/// Fixed-capacity per-metric ring buffers of sampled metric values — the
+/// store behind SHOW METRICS HISTORY. Thread-safe; the writer is the
+/// telemetry sampler, readers are SQL introspection and the JSONL export.
+/// Histograms contribute two series, `<name>.count` and `<name>.sum`
+/// (bucket layouts stay with the live registry; the history tracks volume).
+class MetricTimeSeries {
+ public:
+  explicit MetricTimeSeries(size_t capacity_per_metric = 240);
+
+  /// Appends one observation, evicting the series' oldest when full.
+  void Record(const std::string& metric, uint64_t seq, double elapsed_seconds,
+              double value);
+
+  /// Registered series names matching a LIKE pattern (empty = all), sorted.
+  std::vector<std::string> MetricNames(const std::string& like_pattern = "") const;
+
+  /// Retained samples of one series, oldest first (empty when unknown).
+  std::vector<TimeSeriesSample> History(const std::string& metric) const;
+
+  /// One JSON object per line, grouped by metric and ordered oldest-first:
+  /// {"metric":"queries.total","seq":3,"elapsed":1.50,"value":42}
+  std::string ExportJsonl(const std::string& like_pattern = "") const;
+
+  size_t capacity_per_metric() const { return capacity_; }
+
+ private:
+  struct Ring {
+    std::vector<TimeSeriesSample> samples;  // ring, samples[head] is oldest
+    size_t head = 0;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, Ring> series_;
+};
+
+struct TelemetrySamplerOptions {
+  /// Sampling period of the background thread. Ignored in manual mode.
+  double interval_seconds = 1.0;
+  /// Ring capacity per metric.
+  size_t capacity = 240;
+  /// Manual mode: no thread, no wall clock. The owner drives SampleOnce()
+  /// and AdvanceVirtualTime() — the deterministic-test harness, mirroring
+  /// CollectorService's threads == 0 mode.
+  bool manual = false;
+  /// When set, the full metrics history is flushed to this file as JSONL on
+  /// Stop() (and therefore on destruction).
+  std::string jsonl_path;
+};
+
+/// Background metrics snapshotter: periodically flattens a MetricsRegistry
+/// into the MetricTimeSeries store. Counters and gauges record their value;
+/// histograms record `<name>.count` and `<name>.sum`. Start()/Stop() manage
+/// the thread; in manual mode SampleOnce() is the only driver.
+class TelemetrySampler {
+ public:
+  TelemetrySampler(MetricsRegistry* registry, TelemetrySamplerOptions options);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Starts the sampling thread (no-op in manual mode; idempotent).
+  void Start();
+
+  /// Stops and joins the thread, then flushes `jsonl_path` if configured.
+  /// Idempotent; safe in manual mode (flush only).
+  void Stop();
+
+  /// Takes one sampling round now, on the caller's thread. Returns the
+  /// round's seq. Thread-safe (rounds serialize on the store's lock order).
+  uint64_t SampleOnce();
+
+  /// Manual mode: advances the virtual clock stamped onto samples.
+  void AdvanceVirtualTime(double seconds);
+
+  bool manual() const { return options_.manual; }
+  uint64_t samples_taken() const;
+  const MetricTimeSeries& series() const { return series_; }
+  const TelemetrySamplerOptions& options() const { return options_; }
+
+ private:
+  void SamplerLoop();
+  double NowSeconds() const;
+
+  MetricsRegistry* registry_;
+  const TelemetrySamplerOptions options_;
+  MetricTimeSeries series_;
+
+  Stopwatch watch_;
+  mutable std::mutex mu_;  // guards seq/virtual clock and thread lifecycle
+  std::condition_variable cv_;
+  uint64_t next_seq_ = 1;
+  double virtual_seconds_ = 0;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_OBS_TIME_SERIES_H_

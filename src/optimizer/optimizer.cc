@@ -1,11 +1,29 @@
 #include "optimizer/optimizer.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 #include "optimizer/join_enumerator.h"
 #include "query/predicate_group.h"
 #include "storage/table.h"
 
 namespace jits {
+namespace {
+
+/// Dominant provenance of one table's estimate, in precedence order. A
+/// deferred table is "stale-async" regardless of what the archive answered
+/// with: the interesting property is that fresher stats are already on the
+/// way, and the drift monitor wants those q-errors bucketed apart.
+std::string ClassifyEstSource(const GroupEstimate& est, bool deferred) {
+  if (deferred) return "stale-async";
+  if (est.sources.exact > 0) return "jits-exact";
+  if (est.sources.archive > 0) return "archive";
+  if (est.sources.workload > 0) return "workload";
+  if (est.sources.catalog > 0) return "catalog";
+  return "default";
+}
+
+}  // namespace
 
 Result<PhysicalPlan> Optimizer::Optimize(const QueryBlock& block,
                                          const EstimationSources& sources,
@@ -36,6 +54,11 @@ Result<PhysicalPlan> Optimizer::Optimize(const QueryBlock& block,
     record.statlist = est.statlist;
     record.pred_indices = preds;
     record.est_selectivity = est.selectivity;
+    const bool deferred =
+        sources.deferred_tables != nullptr &&
+        std::find(sources.deferred_tables->begin(), sources.deferred_tables->end(),
+                  static_cast<int>(t)) != sources.deferred_tables->end();
+    record.est_source = ClassifyEstSource(est, deferred);
     plan.estimates.push_back(std::move(record));
   }
   if (obs != nullptr) {

@@ -31,6 +31,13 @@ struct EstimationSources {
   /// default; an optional extension over the paper's baseline.
   const StatHistory* history = nullptr;
   bool use_feedback_correction = false;
+
+  /// Block-local indices of tables whose collection was deferred to the
+  /// background pipeline this compilation (JitsPrepareResult.deferred_tables;
+  /// nullable). Their estimation records are tagged est_source=stale-async
+  /// so the drift monitor can tell "stale because async" apart from
+  /// ordinarily-sourced estimates.
+  const std::vector<int>* deferred_tables = nullptr;
 };
 
 /// Default selectivities used when no statistics apply (System R heritage).

@@ -65,11 +65,31 @@ struct ExplainAst {
   bool analyze = false;
 };
 
-/// SHOW METRICS / SHOW JITS STATUS / SHOW JITS QUEUE / SHOW PERSISTENCE:
-/// engine introspection.
+/// Engine introspection:
+///   SHOW METRICS [LIKE 'pat']          current metric values, name-sorted
+///   SHOW METRICS HISTORY [LIKE 'pat']  telemetry-sampler time series
+///   SHOW JITS STATUS / QUEUE           pipeline state
+///   SHOW JITS ACCURACY                 drift-monitor q-error windows
+///   SHOW JITS TRACE <id>               events whose task_id/trace_id == id
+///   SHOW EVENTS                        the structured event-log ring
+///   SHOW PERSISTENCE                   durability state
 struct ShowAst {
-  enum class What { kMetrics, kJitsStatus, kJitsQueue, kPersistence };
+  enum class What {
+    kMetrics,
+    kMetricsHistory,
+    kJitsStatus,
+    kJitsQueue,
+    kJitsAccuracy,
+    kJitsTrace,
+    kEvents,
+    kPersistence
+  };
   What what = What::kMetrics;
+  /// kMetrics / kMetricsHistory: LIKE filter over metric names ('%'/'_'
+  /// wildcards). Empty = no filter.
+  std::string like_pattern;
+  /// kJitsTrace: the task or trace id to look up.
+  int64_t trace_id = 0;
 };
 
 /// CHECKPOINT: snapshot all JITS state to the data directory and rotate the

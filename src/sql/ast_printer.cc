@@ -144,10 +144,19 @@ struct Printer {
   }
 
   std::string operator()(const ShowAst& show) const {
+    // LIKE patterns re-quote with the same doubling rule as PrintValue so
+    // the output re-lexes to the identical pattern string.
+    const std::string like =
+        show.like_pattern.empty() ? "" : " LIKE " + PrintValue(Value(show.like_pattern));
     switch (show.what) {
-      case ShowAst::What::kMetrics: return "SHOW METRICS";
+      case ShowAst::What::kMetrics: return "SHOW METRICS" + like;
+      case ShowAst::What::kMetricsHistory: return "SHOW METRICS HISTORY" + like;
       case ShowAst::What::kJitsStatus: return "SHOW JITS STATUS";
       case ShowAst::What::kJitsQueue: return "SHOW JITS QUEUE";
+      case ShowAst::What::kJitsAccuracy: return "SHOW JITS ACCURACY";
+      case ShowAst::What::kJitsTrace:
+        return StrFormat("SHOW JITS TRACE %lld", static_cast<long long>(show.trace_id));
+      case ShowAst::What::kEvents: return "SHOW EVENTS";
       case ShowAst::What::kPersistence: return "SHOW PERSISTENCE";
     }
     return "SHOW METRICS";

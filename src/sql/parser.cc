@@ -26,18 +26,37 @@ class Parser {
       Advance();
       ShowAst show;
       if (MatchKeyword("METRICS")) {
-        show.what = ShowAst::What::kMetrics;
+        show.what = MatchKeyword("HISTORY") ? ShowAst::What::kMetricsHistory
+                                            : ShowAst::What::kMetrics;
+        if (MatchKeyword("LIKE")) {
+          if (Peek().type != TokenType::kString) {
+            return Error("LIKE expects a quoted pattern");
+          }
+          show.like_pattern = Advance().text;
+        }
       } else if (MatchKeyword("JITS")) {
         if (MatchKeyword("QUEUE")) {
           show.what = ShowAst::What::kJitsQueue;
+        } else if (MatchKeyword("ACCURACY")) {
+          show.what = ShowAst::What::kJitsAccuracy;
+        } else if (MatchKeyword("TRACE")) {
+          show.what = ShowAst::What::kJitsTrace;
+          if (Peek().type != TokenType::kInteger || Peek().int_value < 0) {
+            return Error("SHOW JITS TRACE expects a non-negative id");
+          }
+          show.trace_id = Advance().int_value;
         } else {
           JITS_RETURN_IF_ERROR(ExpectKeyword("STATUS"));
           show.what = ShowAst::What::kJitsStatus;
         }
+      } else if (MatchKeyword("EVENTS")) {
+        show.what = ShowAst::What::kEvents;
       } else if (MatchKeyword("PERSISTENCE")) {
         show.what = ShowAst::What::kPersistence;
       } else {
-        return Error("expected METRICS, JITS STATUS/QUEUE or PERSISTENCE after SHOW");
+        return Error(
+            "expected METRICS [HISTORY], JITS STATUS/QUEUE/ACCURACY/TRACE, "
+            "EVENTS or PERSISTENCE after SHOW");
       }
       JITS_RETURN_IF_ERROR(ExpectStatementEnd());
       return StatementAst(show);

@@ -5,18 +5,10 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace jits {
 namespace {
-
-double Percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
-}
 
 /// Per-thread tallies, merged after join — no shared mutable state between
 /// clients beyond the Database itself (that is the point of the exercise).
@@ -83,23 +75,22 @@ ConcurrentWorkloadResult RunConcurrentWorkload(const ConcurrentWorkloadOptions& 
   // client latencies are already recorded.
   if (options.async_collection) (void)db->DisableAsyncCollection();
 
-  std::vector<double> latencies;
-  std::vector<double> compile_latencies;
+  // Histogram::Percentile is THE percentile implementation — bucketed on the
+  // engine's latency layout, same as every SHOW METRICS consumer sees.
+  Histogram latency_hist(MetricBuckets::Latency());
+  Histogram compile_hist(MetricBuckets::Latency());
   for (const ClientTally& tally : tallies) {
     result.statements_run += tally.statements;
     result.queries_run += tally.queries;
     result.errors += tally.errors;
-    latencies.insert(latencies.end(), tally.latencies.begin(), tally.latencies.end());
-    compile_latencies.insert(compile_latencies.end(), tally.compile_latencies.begin(),
-                             tally.compile_latencies.end());
+    for (double s : tally.latencies) latency_hist.Observe(s);
+    for (double s : tally.compile_latencies) compile_hist.Observe(s);
   }
-  std::sort(latencies.begin(), latencies.end());
-  std::sort(compile_latencies.begin(), compile_latencies.end());
-  result.p50_seconds = Percentile(latencies, 0.50);
-  result.p95_seconds = Percentile(latencies, 0.95);
-  result.p99_seconds = Percentile(latencies, 0.99);
-  result.compile_p50_seconds = Percentile(compile_latencies, 0.50);
-  result.compile_p95_seconds = Percentile(compile_latencies, 0.95);
+  result.p50_seconds = latency_hist.Percentile(0.50);
+  result.p95_seconds = latency_hist.Percentile(0.95);
+  result.p99_seconds = latency_hist.Percentile(0.99);
+  result.compile_p50_seconds = compile_hist.Percentile(0.50);
+  result.compile_p95_seconds = compile_hist.Percentile(0.95);
   result.throughput_sps = result.wall_seconds > 0
                               ? static_cast<double>(result.statements_run) /
                                     result.wall_seconds

@@ -85,6 +85,7 @@ std::unique_ptr<Database> BuildExperimentDatabase(ExperimentSetting setting,
       break;
     }
   }
+  if (options.configure_db) options.configure_db(db.get());
   if (setup_seconds != nullptr) *setup_seconds = setup.Seconds();
   return db;
 }

@@ -1,6 +1,7 @@
 #ifndef JITS_WORKLOAD_EXPERIMENT_H_
 #define JITS_WORKLOAD_EXPERIMENT_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,6 +57,11 @@ struct ExperimentOptions {
   double s_max = 0.5;
   bool sensitivity_enabled = true;
   size_t sample_rows = 2000;
+  /// Called on every freshly built database after the setting-specific
+  /// statistics setup, before any workload item runs — the hook for
+  /// observability configuration (telemetry sampler, event sinks, slow-query
+  /// threshold) that is orthogonal to the experimental setting. Null = none.
+  std::function<void(Database*)> configure_db;
   /// Pass to pin table sizes; workload.scale is forced to datagen.scale.
   ExperimentOptions() { workload.scale = datagen.scale; }
 };

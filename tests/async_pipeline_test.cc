@@ -280,7 +280,7 @@ TEST(AsyncPipelineTest, ManualModeDefersCollectsAndPublishes) {
   QueryResult qr;
   ASSERT_TRUE(db->Execute("SHOW JITS QUEUE", &qr).ok());
   EXPECT_TRUE(qr.is_query);
-  ASSERT_EQ(qr.column_names.size(), 5u);
+  ASSERT_EQ(qr.column_names.size(), 7u);  // + task_id, trace_id
   EXPECT_EQ(qr.column_names[0], "table");
   EXPECT_EQ(qr.num_rows, db->async_collector()->queue_depth());
   ASSERT_FALSE(qr.rows.empty());

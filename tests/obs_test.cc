@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
 #include <string>
@@ -115,12 +116,162 @@ TEST(MetricsRegistryTest, ExportJsonGolden) {
             "\"buckets\":[{\"le\":2,\"count\":1},{\"le\":\"+Inf\",\"count\":0}]}}}");
 }
 
-TEST(MetricsRegistryTest, ResetDropsEverything) {
+TEST(MetricsRegistryTest, ResetZeroesInPlaceKeepingPointersValid) {
   MetricsRegistry reg;
-  reg.GetCounter("c")->Increment();
+  Counter* c = reg.GetCounter("c");
+  Gauge* g = reg.GetGauge("g");
+  Histogram* h = reg.GetHistogram("h", {1.0, 2.0});
+  c->Increment(5);
+  g->Set(3);
+  h->Observe(1.5);
   reg.Reset();
+  // Instruments stay registered (stable-pointer contract) but read zero.
   EXPECT_DOUBLE_EQ(reg.CounterValue("c"), 0.0);
-  EXPECT_TRUE(reg.Snapshot().empty());
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.0);
+  EXPECT_EQ(reg.Snapshot().size(), 3u);
+  // The pre-Reset pointers are the live instruments, not stale copies.
+  c->Increment();
+  EXPECT_DOUBLE_EQ(reg.CounterValue("c"), 1.0);
+  EXPECT_EQ(c, reg.GetCounter("c"));
+}
+
+TEST(MetricsRegistryTest, EightThreadCounterHammerIsExact) {
+  // Regression for the CAS loop in Counter::Increment: 8 writers, mixed
+  // deltas, exact total at the end (no lost updates).
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("hammer");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c, t] {
+      const double delta = (t % 2 == 0) ? 1.0 : 2.0;
+      for (int i = 0; i < kPerThread; ++i) c->Increment(delta);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // 4 threads add 1.0, 4 threads add 2.0.
+  EXPECT_DOUBLE_EQ(c->Value(), 4.0 * kPerThread * 1.0 + 4.0 * kPerThread * 2.0);
+}
+
+TEST(MetricsRegistryTest, ResetRacesConcurrentObserveSafely) {
+  // Reset() zeroes in place without deallocating, so cached pointers may
+  // race it. Run under TSan: the assertion here is "no crash, no UB"; the
+  // final value after joining is whatever landed after the last Reset.
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  Histogram* h = reg.GetHistogram("h", MetricBuckets::QError());
+  std::atomic<bool> stop{false};
+  std::thread resetter([&] {
+    for (int i = 0; i < 500; ++i) reg.Reset();
+    stop.store(true);
+  });
+  std::thread observer([&] {
+    while (!stop.load()) {
+      c->Increment();
+      h->Observe(2.0);
+    }
+  });
+  resetter.join();
+  observer.join();
+  EXPECT_GE(c->Value(), 0.0);
+  EXPECT_LE(h->count(), 1u << 30);
+}
+
+TEST(MetricsRegistryTest, SnapshotMatchingFiltersAndSortsAcrossKinds) {
+  MetricsRegistry reg;
+  reg.GetCounter("jits.b")->Increment();
+  reg.GetGauge("jits.a")->Set(1);
+  reg.GetHistogram("jits.c", {1.0})->Observe(0.5);
+  reg.GetCounter("other.x")->Increment();
+  const std::vector<MetricSnapshot> all = reg.SnapshotMatching("");
+  ASSERT_EQ(all.size(), 4u);  // empty pattern = everything, name-sorted
+  EXPECT_EQ(all[0].name, "jits.a");
+  EXPECT_EQ(all[3].name, "other.x");
+  const std::vector<MetricSnapshot> jits = reg.SnapshotMatching("jits.%");
+  ASSERT_EQ(jits.size(), 3u);
+  // Merged across kinds and sorted by name — gauge, counter, histogram.
+  EXPECT_EQ(jits[0].name, "jits.a");
+  EXPECT_EQ(jits[1].name, "jits.b");
+  EXPECT_EQ(jits[2].name, "jits.c");
+  EXPECT_EQ(reg.SnapshotMatching("jits._").size(), 3u);   // '_' = one char
+  EXPECT_EQ(reg.SnapshotMatching("jits.__").size(), 0u);  // names are shorter
+  EXPECT_EQ(reg.SnapshotMatching("%.x").size(), 1u);
+}
+
+// ---------- Histogram percentiles ----------
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
+  Histogram h({10.0, 20.0, 40.0});
+  // 10 observations in (0,10], 10 in (10,20].
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);
+  // p50 lands exactly at the first bucket's upper edge.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 10.0);
+  // p75 is halfway through the second bucket: 10 + (20-10) * (15-10)/10.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.75), 15.0);
+  // p100 is the end of the last populated bucket.
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 20.0);
+  // First bucket interpolates from 0.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.25), 5.0);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);  // empty -> 0
+
+  Histogram overflow({1.0, 2.0});
+  overflow.Observe(100.0);  // only the +Inf bucket is populated
+  // Quantiles landing in the overflow bucket clamp to the largest bound.
+  EXPECT_DOUBLE_EQ(overflow.Percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(overflow.Percentile(0.99), 2.0);
+
+  Histogram h({4.0});
+  h.Observe(2.0);
+  // Out-of-range quantiles clamp to [0, 1].
+  EXPECT_DOUBLE_EQ(h.Percentile(-1.0), h.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(2.0), h.Percentile(1.0));
+}
+
+TEST(HistogramTest, EmptyHistogramSnapshotAndExport) {
+  MetricsRegistry reg;
+  reg.GetHistogram("empty.hist", {1.0, 5.0});
+  const std::vector<MetricSnapshot> snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].count, 0u);
+  EXPECT_DOUBLE_EQ(snap[0].sum, 0.0);
+  ASSERT_EQ(snap[0].buckets.size(), 3u);
+  for (const auto& [bound, count] : snap[0].buckets) EXPECT_EQ(count, 0u);
+  EXPECT_EQ(reg.ExportJson(),
+            "{\"counters\":{},\"gauges\":{},"
+            "\"histograms\":{\"empty.hist\":{\"count\":0,\"sum\":0,"
+            "\"buckets\":[{\"le\":1,\"count\":0},{\"le\":5,\"count\":0},"
+            "{\"le\":\"+Inf\",\"count\":0}]}}}");
+  // Prometheus export of an empty histogram still has the full series.
+  const std::string prom = reg.ExportPrometheus();
+  EXPECT_NE(prom.find("empty_hist_count 0"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusLabelEscapingRoundTrip) {
+  // Label values carrying quotes/backslashes must survive the name split:
+  // the brace-parse keeps the label block verbatim, so what went in comes
+  // out on every exported series line.
+  MetricsRegistry reg;
+  const std::string name = "weird.metric{path=\"C:\\\\dir\",kind=\"q\"}";
+  reg.GetCounter(name)->Increment(7);
+  const std::string prom = reg.ExportPrometheus();
+  EXPECT_NE(prom.find("weird_metric{path=\"C:\\\\dir\",kind=\"q\"} 7"),
+            std::string::npos);
+  // The JSON export escapes the quotes and backslashes per JSON rules.
+  const std::string json = reg.ExportJson();
+  EXPECT_NE(json.find("weird.metric{path=\\\"C:\\\\\\\\dir\\\",kind=\\\"q\\\"}"),
+            std::string::npos);
+  // And the snapshot name round-trips untouched.
+  ASSERT_EQ(reg.Snapshot().size(), 1u);
+  EXPECT_EQ(reg.Snapshot()[0].name, name);
 }
 
 // ---------- Prometheus export ----------
@@ -288,6 +439,24 @@ TEST(ObsContextTest, ForwardsToSinks) {
   EXPECT_DOUBLE_EQ(reg.GetGauge("g")->Value(), 5.0);
   EXPECT_EQ(reg.GetHistogram("l", MetricBuckets::Latency())->count(), 1u);
   EXPECT_EQ(ObsTracer(&obs), &tracer);
+}
+
+TEST(ObsContextTest, ForwardsEventsAndToleratesNullLog) {
+  ObsContext bare;  // events == nullptr: must be a silent no-op
+  bare.Event(EventSeverity::kInfo, "async", "submit");
+
+  MetricsRegistry reg;
+  EventLog log(8);
+  ObsContext obs{&reg, nullptr, &log};
+  obs.Event(EventSeverity::kWarn, "async", "drop", {{"reason", "queue-full"}}, 42);
+  const std::vector<Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].severity, EventSeverity::kWarn);
+  EXPECT_EQ(events[0].component, "async");
+  EXPECT_EQ(events[0].message, "drop");
+  EXPECT_EQ(events[0].clock, 42u);
+  EXPECT_EQ(events[0].Field("reason"), "queue-full");
+  EXPECT_EQ(events[0].Field("missing"), "");
 }
 
 }  // namespace

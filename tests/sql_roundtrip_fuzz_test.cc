@@ -66,8 +66,14 @@ TEST(SqlRoundTripTest, CorpusStatements) {
       "ANALYZE cars SYNC",
       "ANALYZE SYNC",
       "SHOW METRICS",
+      "SHOW METRICS LIKE 'latency.%'",
+      "show metrics history",
+      "SHOW METRICS HISTORY LIKE 'jits._'",
       "SHOW JITS STATUS",
       "SHOW JITS QUEUE",
+      "SHOW JITS ACCURACY",
+      "show jits trace 42;",
+      "SHOW EVENTS",
       "SHOW PERSISTENCE",
       "CHECKPOINT",
   };
@@ -89,6 +95,11 @@ TEST(SqlRoundTripTest, CanonicalFormsAreStrictFixpoints) {
       "CREATE TABLE pets (id INT, name VARCHAR, weight DOUBLE)",
       "ANALYZE cars SYNC",
       "SHOW JITS QUEUE",
+      "SHOW METRICS HISTORY LIKE 'latency.%'",
+      "SHOW METRICS LIKE 'o''dd_'",
+      "SHOW JITS ACCURACY",
+      "SHOW JITS TRACE 42",
+      "SHOW EVENTS",
       "CHECKPOINT",
   };
   for (const std::string& sql : canonical) {
@@ -301,11 +312,26 @@ class SqlGen {
     return out + MaybeSemicolon();
   }
 
+  std::string MaybeLike() {
+    if (rng_.Chance(0.5)) return "";
+    static const char* kPatterns[] = {"'latency.%'", "'jits._'", "'%.total'",
+                                      "'o''dd%'"};
+    return Sp() + Kw("LIKE") + Sp() +
+           kPatterns[rng_.PickIndex(sizeof(kPatterns) / sizeof(kPatterns[0]))];
+  }
+
   std::string Show() {
-    switch (rng_.PickIndex(4)) {
-      case 0: return Kw("SHOW METRICS") + MaybeSemicolon();
-      case 1: return Kw("SHOW JITS STATUS") + MaybeSemicolon();
-      case 2: return Kw("SHOW JITS QUEUE") + MaybeSemicolon();
+    switch (rng_.PickIndex(8)) {
+      case 0: return Kw("SHOW METRICS") + MaybeLike() + MaybeSemicolon();
+      case 1: return Kw("SHOW METRICS HISTORY") + MaybeLike() + MaybeSemicolon();
+      case 2: return Kw("SHOW JITS STATUS") + MaybeSemicolon();
+      case 3: return Kw("SHOW JITS QUEUE") + MaybeSemicolon();
+      case 4: return Kw("SHOW JITS ACCURACY") + MaybeSemicolon();
+      case 5:
+        return Kw("SHOW JITS TRACE") + Sp() +
+               StrFormat("%lld", static_cast<long long>(rng_.Uniform(0, 99999))) +
+               MaybeSemicolon();
+      case 6: return Kw("SHOW EVENTS") + MaybeSemicolon();
       default: return Kw("SHOW PERSISTENCE") + MaybeSemicolon();
     }
   }

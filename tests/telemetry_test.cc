@@ -1,0 +1,551 @@
+// The telemetry subsystem end to end: the metric time-series store and its
+// sampler (manual virtual-clock mode and the background thread), the
+// structured event log, the estimation-drift monitor, their SQL surfaces
+// (SHOW METRICS HISTORY / SHOW EVENTS / SHOW JITS ACCURACY / SHOW JITS
+// TRACE), and the acceptance scenario: a bulk update staling the stats
+// mid-workload, drift reported before ANALYZE repairs it, and the trace
+// chain linking a stale-async query to the background task that repaired
+// its statistics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "async/collector_service.h"
+#include "common/str_util.h"
+#include "engine/database.h"
+#include "obs/drift_monitor.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/time_series.h"
+#include "workload/datagen.h"
+
+namespace jits {
+namespace {
+
+using async::CollectorServiceOptions;
+using async::QueueEntryInfo;
+using async::StepOutcome;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+size_t CountLines(const std::string& text) {
+  size_t n = 0;
+  for (char c : text) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
+// ---------- MetricTimeSeries ----------
+
+TEST(MetricTimeSeriesTest, RingWrapsKeepingNewestSamples) {
+  MetricTimeSeries series(/*capacity_per_metric=*/4);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    series.Record("m", i, static_cast<double>(i) * 0.5, static_cast<double>(i));
+  }
+  const std::vector<TimeSeriesSample> history = series.History("m");
+  ASSERT_EQ(history.size(), 4u);  // capacity, not samples recorded
+  // Oldest-first, and only the newest four survive the wrap.
+  for (size_t i = 0; i < history.size(); ++i) {
+    EXPECT_EQ(history[i].seq, 7u + i);
+    EXPECT_DOUBLE_EQ(history[i].value, static_cast<double>(7 + i));
+    EXPECT_DOUBLE_EQ(history[i].elapsed_seconds, static_cast<double>(7 + i) * 0.5);
+  }
+  EXPECT_TRUE(series.History("unknown").empty());
+}
+
+TEST(MetricTimeSeriesTest, MetricNamesFilterAndSort) {
+  MetricTimeSeries series(8);
+  series.Record("b.two", 1, 0, 1);
+  series.Record("a.one", 1, 0, 1);
+  series.Record("b.one", 1, 0, 1);
+  EXPECT_EQ(series.MetricNames(),
+            (std::vector<std::string>{"a.one", "b.one", "b.two"}));
+  EXPECT_EQ(series.MetricNames("b.%"),
+            (std::vector<std::string>{"b.one", "b.two"}));
+  EXPECT_TRUE(series.MetricNames("z%").empty());
+}
+
+TEST(MetricTimeSeriesTest, ExportJsonlGolden) {
+  MetricTimeSeries series(8);
+  series.Record("q.total", 1, 0.0, 3);
+  series.Record("q.total", 2, 1.5, 4);
+  series.Record("a.first", 2, 1.5, 0.25);
+  EXPECT_EQ(series.ExportJsonl(),
+            "{\"metric\":\"a.first\",\"seq\":2,\"elapsed\":1.500000,\"value\":0.25}\n"
+            "{\"metric\":\"q.total\",\"seq\":1,\"elapsed\":0.000000,\"value\":3}\n"
+            "{\"metric\":\"q.total\",\"seq\":2,\"elapsed\":1.500000,\"value\":4}\n");
+  EXPECT_EQ(CountLines(series.ExportJsonl("q.%")), 2u);
+}
+
+// ---------- TelemetrySampler ----------
+
+TEST(TelemetrySamplerTest, ManualModeSamplesOnVirtualClock) {
+  MetricsRegistry reg;
+  reg.GetCounter("queries.total")->Increment(2);
+  reg.GetGauge("sessions")->Set(1);
+  reg.GetHistogram("lat", {0.1, 1.0})->Observe(0.5);
+
+  TelemetrySamplerOptions options;
+  options.manual = true;
+  options.capacity = 16;
+  TelemetrySampler sampler(&reg, options);
+  sampler.Start();  // no-op in manual mode: no thread, caller drives
+  EXPECT_TRUE(sampler.manual());
+
+  EXPECT_EQ(sampler.SampleOnce(), 1u);
+  reg.GetCounter("queries.total")->Increment(3);
+  sampler.AdvanceVirtualTime(2.5);
+  EXPECT_EQ(sampler.SampleOnce(), 2u);
+  EXPECT_EQ(sampler.samples_taken(), 2u);
+
+  // Counters/gauges record their value; histograms split into .count/.sum.
+  const std::vector<TimeSeriesSample> counter = sampler.series().History("queries.total");
+  ASSERT_EQ(counter.size(), 2u);
+  EXPECT_DOUBLE_EQ(counter[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(counter[0].elapsed_seconds, 0.0);  // virtual clock origin
+  EXPECT_DOUBLE_EQ(counter[1].value, 5.0);
+  EXPECT_DOUBLE_EQ(counter[1].elapsed_seconds, 2.5);
+  EXPECT_EQ(sampler.series().History("lat.count").back().value, 1.0);
+  EXPECT_DOUBLE_EQ(sampler.series().History("lat.sum").back().value, 0.5);
+  EXPECT_EQ(sampler.series().History("sessions").size(), 2u);
+}
+
+TEST(TelemetrySamplerTest, StopFlushesJsonlExport) {
+  const std::string path = ::testing::TempDir() + "jits_telemetry_export.jsonl";
+  std::remove(path.c_str());
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Increment();
+  TelemetrySamplerOptions options;
+  options.manual = true;
+  options.jsonl_path = path;
+  {
+    TelemetrySampler sampler(&reg, options);
+    sampler.SampleOnce();
+    reg.GetCounter("c")->Increment();
+    sampler.AdvanceVirtualTime(1.0);
+    sampler.SampleOnce();
+    sampler.Stop();
+  }
+  const std::string text = ReadFile(path);
+  EXPECT_EQ(CountLines(text), 2u);
+  EXPECT_NE(text.find("\"metric\":\"c\""), std::string::npos);
+  EXPECT_NE(text.find("\"value\":2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetrySamplerTest, BackgroundThreadSamplesUntilStopped) {
+  // Threaded smoke (also the TSan target): a fast sampler racing a writer.
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("busy");
+  TelemetrySamplerOptions options;
+  options.interval_seconds = 0.001;
+  options.capacity = 1024;
+  TelemetrySampler sampler(&reg, options);
+  sampler.Start();
+  sampler.Start();  // idempotent
+  while (sampler.samples_taken() < 3) c->Increment();
+  sampler.Stop();
+  sampler.Stop();  // idempotent
+  const uint64_t taken = sampler.samples_taken();
+  EXPECT_GE(taken, 3u);
+  const std::vector<TimeSeriesSample> history = sampler.series().History("busy");
+  ASSERT_FALSE(history.empty());
+  // Seq and elapsed are monotonic across retained samples.
+  for (size_t i = 1; i < history.size(); ++i) {
+    EXPECT_GT(history[i].seq, history[i - 1].seq);
+    EXPECT_GE(history[i].elapsed_seconds, history[i - 1].elapsed_seconds);
+  }
+}
+
+// ---------- EventLog ----------
+
+TEST(EventLogTest, RingOverwritesOldestButCountsEverything) {
+  EventLog log(/*capacity=*/4);
+  for (int i = 1; i <= 10; ++i) {
+    log.Log(EventSeverity::kInfo, "test", StrFormat("e%d", i));
+  }
+  EXPECT_EQ(log.total_logged(), 10u);
+  const std::vector<Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 7u + i);  // oldest-first, newest four retained
+    EXPECT_EQ(events[i].message, StrFormat("e%zu", 7 + i));
+  }
+}
+
+TEST(EventLogTest, SnapshotWithFieldFiltersOnExactValue) {
+  EventLog log(16);
+  log.Log(EventSeverity::kInfo, "async", "submit", {{"task_id", "7"}});
+  log.Log(EventSeverity::kInfo, "async", "submit", {{"task_id", "8"}});
+  log.Log(EventSeverity::kInfo, "async", "publish", {{"task_id", "7"}});
+  const std::vector<Event> task7 = log.SnapshotWithField("task_id", "7");
+  ASSERT_EQ(task7.size(), 2u);
+  EXPECT_EQ(task7[0].message, "submit");
+  EXPECT_EQ(task7[1].message, "publish");
+  EXPECT_TRUE(log.SnapshotWithField("task_id", "9").empty());
+}
+
+TEST(EventLogTest, JsonlSinkReceivesEventsTheRingDropped) {
+  const std::string path = ::testing::TempDir() + "jits_events_sink.jsonl";
+  std::remove(path.c_str());
+  {
+    EventLog log(/*capacity=*/2);
+    ASSERT_TRUE(log.SetSinkPath(path));
+    log.Log(EventSeverity::kWarn, "persist", "wal-truncated", {{"seq", "3"}}, 42);
+    log.Log(EventSeverity::kInfo, "async", "publish");
+    log.Log(EventSeverity::kInfo, "async", "publish");
+    // The first event is gone from the ring but must be in the sink.
+    EXPECT_EQ(log.Snapshot().size(), 2u);
+    log.CloseSink();
+  }
+  const std::string text = ReadFile(path);
+  EXPECT_EQ(CountLines(text), 3u);
+  EXPECT_NE(text.find("\"severity\":\"warn\""), std::string::npos);
+  EXPECT_NE(text.find("\"component\":\"persist\""), std::string::npos);
+  EXPECT_NE(text.find("\"message\":\"wal-truncated\""), std::string::npos);
+  EXPECT_NE(text.find("\"clock\":42"), std::string::npos);
+  EXPECT_NE(text.find("\"seq\":\"3\""), std::string::npos);  // field, string-valued
+  std::remove(path.c_str());
+}
+
+// ---------- DriftMonitor ----------
+
+DriftMonitorOptions SmallDriftOptions() {
+  DriftMonitorOptions options;
+  options.recent_window = 4;
+  options.baseline_window = 8;
+  options.min_samples = 4;
+  options.ratio_threshold = 4.0;
+  options.absolute_floor = 2.0;
+  return options;
+}
+
+TEST(DriftMonitorTest, DriftIsEdgeTriggeredPerExcursion) {
+  DriftMonitor monitor(SmallDriftOptions());
+  // 12 healthy observations: 4 land in recent, 8 age into baseline.
+  for (int i = 0; i < 12; ++i) monitor.Observe("car", "all", 1.0);
+  EXPECT_EQ(monitor.total_drift_events(), 0u);
+
+  // Four bad observations push the healthy ones out of the recent window:
+  // recent median 10 vs baseline median 1 -> one drift event, not four.
+  for (int i = 0; i < 4; ++i) monitor.Observe("car", "all", 10.0);
+  EXPECT_EQ(monitor.total_drift_events(), 1u);
+  for (int i = 0; i < 3; ++i) monitor.Observe("car", "all", 10.0);
+  EXPECT_EQ(monitor.total_drift_events(), 1u);  // still the same excursion
+
+  const std::vector<DriftSnapshotRow> rows = monitor.Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].table, "car");
+  EXPECT_EQ(rows[0].source, "all");
+  EXPECT_TRUE(rows[0].drifted);
+  EXPECT_EQ(rows[0].drift_events, 1u);
+  EXPECT_DOUBLE_EQ(rows[0].recent_median, 10.0);
+  EXPECT_GE(rows[0].ratio, 4.0);
+  EXPECT_EQ(rows[0].observations, 19u);
+}
+
+TEST(DriftMonitorTest, UnderMinSamplesOrUnderFloorNeverDrifts) {
+  DriftMonitor monitor(SmallDriftOptions());
+  // Huge ratio but only 3 observations in recent + empty baseline: silent.
+  for (int i = 0; i < 3; ++i) monitor.Observe("t", "all", 100.0);
+  EXPECT_EQ(monitor.total_drift_events(), 0u);
+
+  // Ratio 10x but the recent median (0.5) is under the absolute floor (2.0):
+  // a 0.05 -> 0.5 median move is noise, not drift.
+  DriftMonitor floor_guard(SmallDriftOptions());
+  for (int i = 0; i < 12; ++i) floor_guard.Observe("t", "all", 0.05);
+  for (int i = 0; i < 4; ++i) floor_guard.Observe("t", "all", 0.5);
+  EXPECT_EQ(floor_guard.total_drift_events(), 0u);
+  const std::vector<DriftSnapshotRow> rows = floor_guard.Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].drifted);
+  EXPECT_GE(rows[0].ratio, 4.0);  // the ratio is reported either way
+}
+
+TEST(DriftMonitorTest, ResetTableClearsStateButKeepsEventTotals) {
+  DriftMonitor monitor(SmallDriftOptions());
+  for (int i = 0; i < 12; ++i) monitor.Observe("car", "all", 1.0);
+  for (int i = 0; i < 4; ++i) monitor.Observe("car", "all", 10.0);
+  for (int i = 0; i < 4; ++i) monitor.Observe("owner", "all", 1.0);
+  ASSERT_EQ(monitor.total_drift_events(), 1u);
+
+  monitor.ResetTable("car");  // ANALYZE repaired the stats
+  EXPECT_EQ(monitor.total_drift_events(), 1u);  // history of events survives
+  for (const DriftSnapshotRow& row : monitor.Snapshot()) {
+    if (row.table != "car") continue;
+    EXPECT_FALSE(row.drifted) << row.source;
+    EXPECT_EQ(row.observations, 0u);
+    EXPECT_EQ(row.drift_events, 1u);
+  }
+  // A fresh excursion after the reset is a new event (re-armed trigger).
+  for (int i = 0; i < 12; ++i) monitor.Observe("car", "all", 1.0);
+  for (int i = 0; i < 4; ++i) monitor.Observe("car", "all", 10.0);
+  EXPECT_EQ(monitor.total_drift_events(), 2u);
+}
+
+TEST(DriftMonitorTest, SinksReceiveCounterGaugeAndEvent) {
+  MetricsRegistry reg;
+  EventLog log(16);
+  DriftMonitor monitor(SmallDriftOptions());
+  monitor.set_metrics(&reg);
+  monitor.set_events(&log);
+  for (int i = 0; i < 12; ++i) monitor.Observe("car", "all", 1.0);
+  for (int i = 0; i < 4; ++i) monitor.Observe("car", "all", 12.0, /*clock=*/99);
+
+  EXPECT_DOUBLE_EQ(reg.CounterValue("obs.drift.events"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      reg.GetGauge("obs.drift.ratio{table=\"car\",source=\"all\"}")->Value(), 12.0);
+  const std::vector<Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].severity, EventSeverity::kWarn);
+  EXPECT_EQ(events[0].component, "drift");
+  EXPECT_EQ(events[0].message, "drift-detected");
+  EXPECT_EQ(events[0].Field("table"), "car");
+  EXPECT_EQ(events[0].Field("source"), "all");
+  EXPECT_EQ(events[0].clock, 99u);
+}
+
+// ---------- SQL surfaces ----------
+
+constexpr uint64_t kSeed = 1234;
+
+std::unique_ptr<Database> MakeCarEngine(double scale = 0.005) {
+  auto db = std::make_unique<Database>(kSeed);
+  db->set_row_limit(0);
+  DataGenConfig datagen;
+  datagen.scale = scale;
+  datagen.seed = kSeed;
+  EXPECT_TRUE(GenerateCarDatabase(db.get(), datagen).ok());
+  db->jits_config()->enabled = true;
+  return db;
+}
+
+TEST(TelemetrySqlTest, ShowMetricsHistoryRequiresSamplerAndFilters) {
+  std::unique_ptr<Database> db = MakeCarEngine();
+  QueryResult qr;
+  const Status off = db->Execute("SHOW METRICS HISTORY", &qr);
+  ASSERT_FALSE(off.ok());
+  EXPECT_NE(off.message().find("telemetry sampler"), std::string::npos);
+
+  TelemetrySamplerOptions options;
+  options.manual = true;
+  ASSERT_TRUE(db->EnableTelemetrySampler(options).ok());
+  EXPECT_TRUE(db->telemetry_enabled());
+  EXPECT_FALSE(db->EnableTelemetrySampler(options).ok());  // double enable
+
+  ASSERT_TRUE(db->Execute("SELECT * FROM car WHERE year >= 2000").ok());
+  db->telemetry_sampler()->SampleOnce();
+  db->telemetry_sampler()->AdvanceVirtualTime(3.0);
+  ASSERT_TRUE(db->Execute("SELECT * FROM car WHERE year >= 2001").ok());
+  db->telemetry_sampler()->SampleOnce();
+
+  QueryResult history;
+  ASSERT_TRUE(db->Execute("SHOW METRICS HISTORY LIKE 'queries.%'", &history).ok());
+  EXPECT_EQ(history.column_names,
+            (std::vector<std::string>{"metric", "seq", "elapsed", "value"}));
+  ASSERT_EQ(history.num_rows, 2u);  // queries.total at seq 1 and 2
+  EXPECT_EQ(history.rows[0][0].str(), "queries.total");
+  EXPECT_EQ(history.rows[0][1].AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(history.rows[0][2].AsDouble(), 0.0);
+  EXPECT_EQ(history.rows[1][1].AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(history.rows[1][2].AsDouble(), 3.0);  // virtual clock
+  EXPECT_LT(history.rows[0][3].AsDouble(), history.rows[1][3].AsDouble());
+
+  ASSERT_TRUE(db->DisableTelemetrySampler().ok());
+  EXPECT_FALSE(db->telemetry_enabled());
+  EXPECT_TRUE(db->DisableTelemetrySampler().ok());  // idempotent, like async
+  EXPECT_FALSE(db->Execute("SHOW METRICS HISTORY").ok());
+}
+
+TEST(TelemetrySqlTest, ShowMetricsLikeIsFilteredAndNameSorted) {
+  std::unique_ptr<Database> db = MakeCarEngine();
+  ASSERT_TRUE(db->Execute("SELECT * FROM car WHERE year >= 2000").ok());
+  QueryResult qr;
+  ASSERT_TRUE(db->Execute("SHOW METRICS LIKE 'latency.%'", &qr).ok());
+  ASSERT_GT(qr.num_rows, 0u);
+  for (size_t i = 0; i < qr.rows.size(); ++i) {
+    EXPECT_EQ(qr.rows[i][0].str().rfind("latency.", 0), 0u);
+    EXPECT_EQ(qr.rows[i][1].str(), "histogram");
+    if (i > 0) {
+      EXPECT_LT(qr.rows[i - 1][0].str(), qr.rows[i][0].str());
+    }
+  }
+  // The unfiltered form is sorted by name across instrument kinds too.
+  QueryResult all;
+  ASSERT_TRUE(db->Execute("SHOW METRICS", &all).ok());
+  ASSERT_GT(all.num_rows, qr.num_rows);
+  for (size_t i = 1; i < all.rows.size(); ++i) {
+    EXPECT_LT(all.rows[i - 1][0].str(), all.rows[i][0].str());
+  }
+  // Parser guards: LIKE wants a quoted pattern, TRACE wants an id.
+  EXPECT_FALSE(db->Execute("SHOW METRICS LIKE 123").ok());
+  EXPECT_FALSE(db->Execute("SHOW JITS TRACE").ok());
+}
+
+TEST(TelemetrySqlTest, ShowEventsSurfacesSlowQueriesAndAnalyze) {
+  std::unique_ptr<Database> db = MakeCarEngine();
+  db->set_slow_query_seconds(1e-9);  // everything is "slow"
+  ASSERT_TRUE(db->Execute("SELECT * FROM car WHERE year >= 2000").ok());
+  db->set_slow_query_seconds(0);
+  ASSERT_TRUE(db->Execute("ANALYZE car").ok());
+
+  QueryResult qr;
+  ASSERT_TRUE(db->Execute("SHOW EVENTS", &qr).ok());
+  EXPECT_EQ(qr.column_names,
+            (std::vector<std::string>{"seq", "elapsed", "clock", "severity",
+                                      "component", "message", "fields"}));
+  bool saw_slow = false;
+  bool saw_analyze = false;
+  for (const Row& row : qr.rows) {
+    if (row[4].str() == "engine" && row[5].str() == "slow-query") {
+      saw_slow = true;
+      EXPECT_EQ(row[3].str(), "warn");
+      EXPECT_NE(row[6].str().find("trace_id="), std::string::npos);
+      EXPECT_NE(row[6].str().find("SELECT"), std::string::npos);
+    }
+    if (row[4].str() == "engine" && row[5].str() == "analyze") saw_analyze = true;
+  }
+  EXPECT_TRUE(saw_slow) << "slow-query event missing from SHOW EVENTS";
+  EXPECT_TRUE(saw_analyze) << "analyze event missing from SHOW EVENTS";
+  EXPECT_GT(db->metrics()->CounterValue("engine.slow_queries"), 0.0);
+}
+
+// ---------- The acceptance scenario ----------
+
+/// Bulk DML invalidates published statistics mid-workload while async
+/// collection defers the repair; the drift monitor must report the
+/// estimation drift BEFORE the repair lands, and the trace chain must link
+/// the stale-async query to the background task that repaired its stats.
+TEST(TelemetryAcceptanceTest, DriftDetectedAndTraceLinksQueryToRepairingTask) {
+  std::unique_ptr<Database> db = MakeCarEngine(/*scale=*/0.005);
+  db->set_drift_options(SmallDriftOptions());
+  // Force a collection decision on every query: with async enabled below,
+  // every stale query defers (deterministic "stale-async" classification).
+  db->jits_config()->sensitivity_enabled = false;
+
+  // No car in the generated data costs >= 60000 (price tops out ~30k).
+  const std::string probe =
+      "SELECT * FROM car WHERE price >= 60000.0 AND price <= 70000.0";
+
+  // Phase 1 — healthy baseline: inline collection keeps estimates exact, so
+  // the (car, "all") q-error windows fill with ~1.0.
+  ASSERT_TRUE(db->Execute("ANALYZE car").ok());
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(db->Execute(probe).ok());
+  EXPECT_EQ(db->drift_monitor()->total_drift_events(), 0u);
+
+  // Phase 2 — defer repairs, then stale the stats with bulk DML: 800 new
+  // rows land squarely inside the probe's (previously empty) price range.
+  CollectorServiceOptions async_options;
+  async_options.threads = 0;  // manual mode
+  ASSERT_TRUE(db->EnableAsyncCollection(async_options).ok());
+  for (int i = 0; i < 800; ++i) {
+    ASSERT_TRUE(db->Execute(StrFormat("INSERT INTO car VALUES (%d, 1, 'BMW', "
+                                      "'X5', 2005, 65000.0, 'Red')",
+                                      900000 + i))
+                    .ok());
+  }
+
+  // Phase 3 — the stale queries. The first one defers a collection task;
+  // its query_id is the trace id stamped onto that task.
+  QueryResult first_stale;
+  ASSERT_TRUE(db->Execute(probe, &first_stale).ok());
+  ASSERT_GT(db->async_collector()->queue_depth(), 0u)
+      << "stale query did not defer a collection";
+  const std::vector<QueueEntryInfo> queued = db->async_collector()->QueueSnapshot();
+  ASSERT_EQ(queued.size(), 1u);
+  const uint64_t task_id = queued[0].task_id;
+  const uint64_t trace_id = queued[0].trace_id;
+  EXPECT_GT(task_id, 0u);
+  EXPECT_EQ(trace_id, first_stale.query_id)
+      << "queued task does not carry the originating query's trace id";
+
+  // Re-running the stale query coalesces into the same task (id survives)
+  // while its q-error observations accumulate toward drift.
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(db->Execute(probe).ok());
+  const std::vector<QueueEntryInfo> still_queued =
+      db->async_collector()->QueueSnapshot();
+  ASSERT_EQ(still_queued.size(), 1u);
+  EXPECT_EQ(still_queued[0].task_id, task_id);
+  EXPECT_EQ(still_queued[0].trace_id, trace_id);
+
+  // Drift is reported while the repair is still queued.
+  QueryResult accuracy;
+  ASSERT_TRUE(db->Execute("SHOW JITS ACCURACY", &accuracy).ok());
+  bool car_all_drifted = false;
+  bool saw_stale_async = false;
+  for (const Row& row : accuracy.rows) {
+    if (row[0].str() != "car") continue;
+    if (row[1].str() == "all" && row[6].str() == "true") car_all_drifted = true;
+    if (row[1].str() == "stale-async") saw_stale_async = true;
+  }
+  EXPECT_TRUE(car_all_drifted)
+      << "SHOW JITS ACCURACY did not report drift for (car, all)";
+  EXPECT_TRUE(saw_stale_async)
+      << "stale-async estimates never reached the drift monitor";
+  EXPECT_GE(db->metrics()->CounterValue("obs.drift.events"), 1.0);
+
+  // The trace chain, first half: the query's id finds the submit event.
+  QueryResult by_query;
+  ASSERT_TRUE(db->Execute(
+                  StrFormat("SHOW JITS TRACE %llu",
+                            static_cast<unsigned long long>(first_stale.query_id)),
+                  &by_query)
+                  .ok());
+  bool submit_linked = false;
+  for (const Row& row : by_query.rows) {
+    if (row[3].str() == "async" && row[4].str() == "submit") {
+      submit_linked = true;
+      EXPECT_EQ(row[5].str(), StrFormat("%llu", static_cast<unsigned long long>(task_id)));
+      EXPECT_EQ(row[7].str(), "car");
+    }
+  }
+  EXPECT_TRUE(submit_linked) << "SHOW JITS TRACE <query_id> lost the submit event";
+
+  // Phase 4 — the repair lands: drain the manual queue.
+  size_t published = 0;
+  while (db->async_collector()->StepOne() == StepOutcome::kCollected) ++published;
+  ASSERT_GT(published, 0u);
+
+  // Second half of the chain: the task id now links submit AND publish.
+  QueryResult by_task;
+  ASSERT_TRUE(db->Execute(StrFormat("SHOW JITS TRACE %llu",
+                                    static_cast<unsigned long long>(task_id)),
+                          &by_task)
+                  .ok());
+  bool publish_linked = false;
+  for (const Row& row : by_task.rows) {
+    if (row[3].str() == "async" && row[4].str() == "publish") {
+      publish_linked = true;
+      EXPECT_EQ(row[6].str(), StrFormat("%llu", static_cast<unsigned long long>(trace_id)));
+      EXPECT_EQ(row[7].str(), "car");
+    }
+  }
+  EXPECT_TRUE(publish_linked) << "publish event not linked to the repairing task";
+
+  // Phase 5 — ANALYZE repairs and resets: the drifted state clears (the
+  // event totals survive as history).
+  ASSERT_TRUE(db->Execute("ANALYZE car").ok());
+  QueryResult repaired;
+  ASSERT_TRUE(db->Execute("SHOW JITS ACCURACY", &repaired).ok());
+  for (const Row& row : repaired.rows) {
+    if (row[0].str() == "car") {
+      EXPECT_EQ(row[6].str(), "false") << "(" << row[0].str() << ", " << row[1].str()
+                                       << ") still drifted after ANALYZE";
+    }
+  }
+  EXPECT_GE(db->drift_monitor()->total_drift_events(), 1u);
+}
+
+}  // namespace
+}  // namespace jits
