@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "common/timer.h"
+#include "common/clock.h"
 #include "workload/experiment.h"
 
 namespace {

@@ -1,0 +1,99 @@
+// Long-running simulation soak: many seeded chaos episodes back to back,
+// each a full-engine run (SQL -> JITS -> optimizer -> executor -> manual
+// async collection -> persistence with crash-restart and torn-WAL faults)
+// audited by the differential oracle. The nightly CI job runs this for
+// hundreds of episodes; any violation prints its seed so the failure
+// replays locally as a single deterministic episode.
+//
+// Environment knobs:
+//   SIM_SOAK_EPISODES    number of episodes          (default 200)
+//   SIM_SOAK_STATEMENTS  statements per episode      (default 160)
+//   SIM_SOAK_SEED        root seed for the sweep     (default 20260809)
+//   SIM_SOAK_DIR         scratch directory           (default /tmp/jits_sim_soak)
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/sim_harness.h"
+
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+/// SplitMix64, matching the harness's stream derivation.
+uint64_t DeriveSeed(uint64_t root, uint64_t stream) {
+  uint64_t z = root + 0x9e3779b97f4a7c15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+int main() {
+  using namespace jits::sim;
+
+  const uint64_t episodes = EnvU64("SIM_SOAK_EPISODES", 200);
+  const uint64_t statements = EnvU64("SIM_SOAK_STATEMENTS", 160);
+  const uint64_t root = EnvU64("SIM_SOAK_SEED", 20260809);
+  const char* dir_env = std::getenv("SIM_SOAK_DIR");
+  const std::string dir = dir_env != nullptr && *dir_env != '\0'
+                              ? std::string(dir_env)
+                              : std::string("/tmp/jits_sim_soak");
+  ::mkdir(dir.c_str(), 0755);
+
+  std::printf("sim_soak: %llu episodes x %llu statements, root seed %llu\n",
+              static_cast<unsigned long long>(episodes),
+              static_cast<unsigned long long>(statements),
+              static_cast<unsigned long long>(root));
+
+  uint64_t failed = 0;
+  size_t total_statements = 0;
+  size_t total_crashes = 0;
+  size_t total_faults = 0;
+  for (uint64_t e = 0; e < episodes; ++e) {
+    SimOptions options;
+    options.seed = DeriveSeed(root, e);
+    options.statements = statements;
+    options.crash_cycles = 2 + (e % 3);
+    options.fault_injection = (e % 2) == 1;
+    options.data_dir = dir;  // harness wipes it per episode
+
+    const SimReport report = RunSimEpisode(options);
+    total_statements += report.statements_run;
+    total_crashes += report.crashes;
+    total_faults += report.faults_injected;
+    if (!report.violations.empty()) {
+      ++failed;
+      std::printf("FAIL episode %llu (seed %llu): %zu violations\n",
+                  static_cast<unsigned long long>(e),
+                  static_cast<unsigned long long>(options.seed),
+                  report.violations.size());
+      for (const std::string& v : report.violations) {
+        std::printf("  %s\n", v.c_str());
+      }
+    } else if ((e + 1) % 25 == 0) {
+      std::printf("  ... %llu/%llu clean\n",
+                  static_cast<unsigned long long>(e + 1),
+                  static_cast<unsigned long long>(episodes));
+    }
+  }
+
+  std::printf("sim_soak: %llu/%llu episodes clean (%zu statements, %zu "
+              "crashes, %zu WAL faults)\n",
+              static_cast<unsigned long long>(episodes - failed),
+              static_cast<unsigned long long>(episodes), total_statements,
+              total_crashes, total_faults);
+  if (failed != 0) {
+    std::printf("reproduce a failure with tests/sim_test: set the episode "
+                "seed printed above in a SimOptions and rerun.\n");
+    return 1;
+  }
+  return 0;
+}

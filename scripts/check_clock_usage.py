@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Lint: no direct wall-clock reads outside the clock abstraction.
+
+Every wall-time read in src/ must go through jits::Clock (src/common/clock.h)
+so the deterministic simulation harness (src/sim/) can inject a SimClock and
+replay whole-engine episodes bit-identically. A direct std::chrono clock
+call anywhere else is a determinism leak: it compiles, works, and silently
+makes same-seed episodes diverge.
+
+Flags ::now() reads and related wall-clock constructs from:
+  - std::chrono::steady_clock / system_clock / high_resolution_clock
+  - ::time(), gettimeofday(), clock_gettime()
+in src/**/*.{h,cc} except src/common/clock.{h,cc}, where the RealClock
+implementation legitimately reads the OS clock.
+
+Exit 0 when clean; exit 1 listing every offending file:line.
+Run from anywhere: paths are resolved relative to the repo root.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+ALLOWED = {SRC / "common" / "clock.h", SRC / "common" / "clock.cc"}
+
+BANNED_RE = re.compile(
+    r"steady_clock|system_clock|high_resolution_clock"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|[^_\w]time\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+)
+
+
+def main() -> int:
+    violations = []
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in (".h", ".cc") or path in ALLOWED:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            code = line.split("//", 1)[0]  # comments may mention clocks freely
+            if BANNED_RE.search(code):
+                violations.append(
+                    f"{path.relative_to(REPO)}:{lineno}: {line.strip()}"
+                )
+    if violations:
+        print("direct wall-clock usage outside src/common/clock:")
+        for v in violations:
+            print(f"  {v}")
+        print(
+            "\nthread a jits::Clock* through instead (see src/common/clock.h) "
+            "so simulation replay stays deterministic."
+        )
+        return 1
+    print(f"clock lint: clean ({SRC} uses the Clock abstraction everywhere).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,10 @@ CollectorService::CollectorService(CollectorRuntime runtime,
     : runtime_(std::move(runtime)),
       options_(options),
       queue_(options.max_pending),
-      bucket_(options.collections_per_sec, options.burst) {}
+      bucket_(options.collections_per_sec, options.burst),
+      watch_(runtime_.wall != nullptr ? runtime_.wall
+             : manual()               ? &own_clock_
+                                      : Clock::Real()) {}
 
 CollectorService::~CollectorService() { Shutdown(); }
 

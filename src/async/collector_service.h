@@ -13,7 +13,7 @@
 
 #include "async/collection_queue.h"
 #include "async/token_bucket.h"
-#include "common/timer.h"
+#include "common/clock.h"
 #include "core/collector.h"
 
 namespace jits::async {
@@ -49,6 +49,11 @@ struct CollectorRuntime {
   /// carry current timestamps.
   std::function<uint64_t()> clock;
   std::function<size_t()> sample_rows;
+  /// Wall-time source for the token bucket and wait-latency metrics. When
+  /// null, manual mode times against a service-owned SimClock driven by
+  /// AdvanceVirtualTime(), threaded mode against the real clock. The
+  /// simulation harness injects its root SimClock here.
+  const Clock* wall = nullptr;
 };
 
 /// Outcome of one manual-mode step.
@@ -98,8 +103,10 @@ class CollectorService : public CollectionScheduler {
   /// manual mode at any point between steps).
   void set_fault_hook(CollectionFaultHook hook) { fault_ = std::move(hook); }
 
-  /// Manual mode: advances the virtual clock feeding the token bucket.
-  void AdvanceVirtualTime(double seconds) { virtual_seconds_ += seconds; }
+  /// Manual mode: advances the service-owned virtual clock feeding the
+  /// token bucket. No-op on timing when an external clock was injected via
+  /// CollectorRuntime::wall — advance that clock instead.
+  void AdvanceVirtualTime(double seconds) { own_clock_.Advance(seconds); }
 
   bool manual() const { return options_.threads == 0; }
   size_t queue_depth() const { return queue_.depth(); }
@@ -114,9 +121,7 @@ class CollectorService : public CollectionScheduler {
   /// Runs one popped task end to end (locks, collect, publish, metrics).
   /// Returns the task's outcome (kCollected or kAborted).
   StepOutcome RunTask(const CollectionTask& task, bool external_locks);
-  double NowSeconds() const {
-    return manual() ? virtual_seconds_ : watch_.Seconds();
-  }
+  double NowSeconds() const { return watch_.Seconds(); }
 
   CollectorRuntime runtime_;
   CollectorServiceOptions options_;
@@ -127,8 +132,10 @@ class CollectorService : public CollectionScheduler {
   /// The bucket is not thread-safe; workers take tokens under this.
   std::mutex bucket_mu_;
 
-  mutable Stopwatch watch_;
-  double virtual_seconds_ = 0;
+  /// Backs manual mode when no external clock is injected; declared before
+  /// watch_ so the stopwatch can bind to it at construction.
+  SimClock own_clock_;
+  Stopwatch watch_;
 
   /// Task ids, assigned at Submit. Monotonic per service; 0 means
   /// "never submitted".

@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace jits {
+
+const Clock* Clock::Real() {
+  static const RealClock kReal;
+  return &kReal;
+}
+
+}  // namespace jits

@@ -1,0 +1,100 @@
+#ifndef JITS_COMMON_CLOCK_H_
+#define JITS_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace jits {
+
+/// The engine's wall-time source. Every component that needs elapsed time
+/// (latency metrics, event-log timestamps, token-bucket refill, telemetry
+/// sampling rounds) reads it through this interface instead of the chrono
+/// clocks directly, so the deterministic simulation harness (src/sim) can
+/// substitute a virtual clock and replay whole runs bit-identically from a
+/// seed. This file is the only place in src/ allowed to touch
+/// std::chrono::steady_clock / system_clock (enforced by
+/// scripts/check_clock_usage.py).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic seconds since an arbitrary (per-clock) origin.
+  virtual double NowSeconds() const = 0;
+
+  /// The process-wide real (steady_clock) instance — the default everywhere
+  /// a clock is not injected.
+  static const Clock* Real();
+};
+
+/// The real monotonic clock.
+class RealClock final : public Clock {
+ public:
+  double NowSeconds() const override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// A virtual clock that only moves when told to. Thread-safe: the driver
+/// advances it while worker threads read it (the simulation harness runs
+/// single-threaded, but manual-mode components are also exercised from
+/// multi-threaded tests). Time is held in integer nanoseconds so repeated
+/// advances accumulate exactly — no float drift between identical runs.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(double start_seconds = 0) {
+    nanos_.store(ToNanos(start_seconds), std::memory_order_relaxed);
+  }
+
+  double NowSeconds() const override {
+    return static_cast<double>(nanos_.load(std::memory_order_acquire)) * 1e-9;
+  }
+
+  /// Moves time forward (negative deltas are ignored — the clock is
+  /// monotonic by contract).
+  void Advance(double seconds) {
+    if (seconds <= 0) return;
+    nanos_.fetch_add(ToNanos(seconds), std::memory_order_acq_rel);
+  }
+
+ private:
+  static int64_t ToNanos(double seconds) {
+    return static_cast<int64_t>(seconds * 1e9 + 0.5);
+  }
+
+  std::atomic<int64_t> nanos_{0};
+};
+
+/// Monotonic stopwatch over an injected clock; Seconds() returns elapsed
+/// time since construction or the last Restart(). Default-constructed
+/// stopwatches read the real clock, so existing timing call sites are
+/// unchanged; the engine passes its configured clock where determinism
+/// matters.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock = Clock::Real())
+      : clock_(clock), start_(clock_->NowSeconds()) {}
+
+  void Restart() { start_ = clock_->NowSeconds(); }
+
+  /// Re-bases the stopwatch onto a different clock (used when a component
+  /// constructed with the default clock is re-wired before serving).
+  void Restart(const Clock* clock) {
+    clock_ = clock;
+    start_ = clock_->NowSeconds();
+  }
+
+  double Seconds() const { return clock_->NowSeconds() - start_; }
+
+  const Clock* clock() const { return clock_; }
+
+ private:
+  const Clock* clock_;
+  double start_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_COMMON_CLOCK_H_

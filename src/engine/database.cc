@@ -63,7 +63,12 @@ Status Database::EnableTelemetrySampler(const TelemetrySamplerOptions& options) 
   if (sampler_ != nullptr) {
     return Status::ExecutionError("telemetry sampler already enabled");
   }
-  sampler_ = std::make_unique<TelemetrySampler>(&metrics_, options);
+  TelemetrySamplerOptions effective = options;
+  // The engine clock wins unless the caller injected a specific source.
+  if (effective.clock == nullptr && wall_clock_ != Clock::Real()) {
+    effective.clock = wall_clock_;
+  }
+  sampler_ = std::make_unique<TelemetrySampler>(&metrics_, effective);
   sampler_->Start();
   event_log_.Log(EventSeverity::kInfo, "engine", "telemetry-start",
                  {{"interval", StrFormat("%.3f", options.interval_seconds)},
@@ -102,6 +107,7 @@ Status Database::EnableAsyncCollection(const async::CollectorServiceOptions& opt
   runtime.obs = &async_obs_;
   runtime.clock = [this] { return clock(); };
   runtime.sample_rows = [this] { return jits_config_.sample_rows; };
+  if (wall_clock_ != Clock::Real()) runtime.wall = wall_clock_;
   async_collector_ = std::make_unique<async::CollectorService>(runtime, options);
   async_collector_->set_wal(persistence_.get());
   async_collector_->Start();
@@ -129,7 +135,7 @@ Status Database::Execute(const std::string& sql, QueryResult* result) {
   *result = QueryResult();
   const uint64_t now = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   result->query_id = now;
-  Stopwatch total_watch;
+  Stopwatch total_watch(wall_clock_);
   obs_.SetGauge("engine.concurrent_sessions",
                 static_cast<double>(active_sessions_.fetch_add(1) + 1));
   // The tracer is single-session state; a disabled tracer must stay
@@ -162,7 +168,7 @@ Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
                               const Stopwatch& total_watch, uint64_t now) {
   Result<StatementAst> ast = [&] {
     TraceSpan span(&tracer_, "parse");
-    Stopwatch watch;
+    Stopwatch watch(wall_clock_);
     Result<StatementAst> r = ParseStatement(sql);
     obs_.ObserveLatency("latency.parse", watch.Seconds());
     return r;
@@ -170,7 +176,7 @@ Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
   if (!ast.ok()) return ast.status();
   Result<BoundStatement> bound = [&] {
     TraceSpan span(&tracer_, "bind");
-    Stopwatch watch;
+    Stopwatch watch(wall_clock_);
     Result<BoundStatement> r = Bind(ast.value(), &catalog_);
     obs_.ObserveLatency("latency.bind", watch.Seconds());
     return r;
@@ -300,7 +306,7 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
   // the registry stays the single source of truth.
   const double sampled_before = metrics_.CounterValue("jits.tables_sampled");
   const double materialized_before = metrics_.CounterValue("jits.groups_materialized");
-  Stopwatch jits_watch;
+  Stopwatch jits_watch(wall_clock_);
   const JitsPrepareResult jits =
       jits_.Prepare(*block, jits_config_, &rng_, now, &obs_);
   obs_.ObserveLatency("latency.jits", jits_watch.Seconds());
@@ -321,7 +327,7 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
 
   Result<PhysicalPlan> plan = [&] {
     TraceSpan span(&tracer_, "optimize");
-    Stopwatch watch;
+    Stopwatch watch(wall_clock_);
     Result<PhysicalPlan> r = optimizer_.Optimize(*block, sources, &obs_);
     obs_.ObserveLatency("latency.optimize", watch.Seconds());
     return r;
@@ -338,11 +344,11 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
   }
 
   // --- Execution. ---
-  Stopwatch exec_watch;
+  Stopwatch exec_watch(wall_clock_);
   Executor executor(block, exec_pool_.get(), &obs_);
   Result<ExecResult> exec = [&] {
     TraceSpan span(&tracer_, "execute");
-    Stopwatch watch;
+    Stopwatch watch(wall_clock_);
     Result<ExecResult> r = executor.Execute(*plan.value().root);
     obs_.ObserveLatency("latency.execute", watch.Seconds());
     return r;
@@ -353,11 +359,15 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
   // --- Feedback (LEO-lite): estimates vs observed cardinalities. ---
   auto record_feedback = [&] {
     TraceSpan span(&tracer_, "feedback");
-    Stopwatch watch;
+    Stopwatch watch(wall_clock_);
     for (const EstimationRecord& record : plan.value().estimates) {
       for (const AccessObservation& ob : exec.value().observations) {
         if (ob.table_idx != record.table_idx) continue;
         feedback_.Record(record, ob.passed_rows, ob.denominator_rows);
+        result->estimate_outcomes.push_back({record.table_key, record.colgrp,
+                                             record.est_source,
+                                             record.est_selectivity,
+                                             ob.passed_rows, ob.denominator_rows});
         break;
       }
     }
@@ -1151,7 +1161,7 @@ Status Database::Checkpoint() {
     return Status::ExecutionError("persistence is not open (no --data-dir)");
   }
   std::lock_guard<std::mutex> ckpt_lock(checkpoint_mu_);
-  Stopwatch watch;
+  Stopwatch watch(wall_clock_);
   event_log_.Log(EventSeverity::kInfo, "persist", "checkpoint-start", {},
                  clock());
   persist::SnapshotContents contents;

@@ -13,7 +13,7 @@
 #include "catalog/runstats.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
-#include "common/timer.h"
+#include "common/clock.h"
 #include "core/jits_module.h"
 #include "core/qss_archive.h"
 #include "feedback/feedback.h"
@@ -54,6 +54,19 @@ struct QueryResult {
   /// Per-query pipeline trace (empty unless the Database's tracer is
   /// enabled). Render with trace.ToString().
   TraceNode trace;
+
+  /// One optimizer estimate paired with its observed outcome — what the
+  /// feedback loop recorded, surfaced so harnesses (the differential oracle)
+  /// can audit estimate provenance and q-error per statement.
+  struct EstimateOutcome {
+    std::string table;           // lower-case table name
+    std::string colgrp;          // column-set key of the estimated group
+    std::string est_source;      // EstimationRecord::est_source taxonomy
+    double est_selectivity = 0;  // optimizer's fraction
+    double actual_rows = 0;      // rows observed to satisfy the group
+    double table_rows = 0;       // rows the observation scanned
+  };
+  std::vector<EstimateOutcome> estimate_outcomes;  // SELECT only
 };
 
 /// The engine facade: an in-memory DBMS wiring together storage, catalog,
@@ -205,6 +218,18 @@ class Database {
   /// warn "slow-query" event (0 disables — the default).
   void set_slow_query_seconds(double seconds) { slow_query_seconds_ = seconds; }
 
+  /// Replaces the engine's wall-time source. Every latency measurement,
+  /// event-log timestamp, trace span, token bucket and telemetry sample
+  /// reads this clock — the simulation harness injects one SimClock here and
+  /// the whole engine replays deterministically. Configure FIRST, before any
+  /// statement and before enabling async collection or telemetry.
+  void set_clock(const Clock* clock) {
+    wall_clock_ = clock != nullptr ? clock : Clock::Real();
+    event_log_.set_clock(wall_clock_);
+    tracer_.set_clock(wall_clock_);
+  }
+  const Clock* wall_clock() const { return wall_clock_; }
+
  private:
   Status ExecuteInner(const std::string& sql, QueryResult* result,
                       const Stopwatch& total_watch, uint64_t now);
@@ -245,6 +270,7 @@ class Database {
   JitsConfig jits_config_;
   Rng rng_;
   std::mutex rng_mu_;  // serializes rng_ across concurrent sessions
+  const Clock* wall_clock_ = Clock::Real();
   std::unique_ptr<ThreadPool> exec_pool_;
   std::atomic<uint64_t> clock_{0};
   std::atomic<int> active_sessions_{0};

@@ -8,6 +8,9 @@
 #include "common/str_util.h"
 
 namespace jits {
+
+std::atomic<bool> GridHistogram::skip_fitting_for_test_{false};
+
 namespace {
 
 constexpr double kEps = 1e-9;
@@ -372,6 +375,35 @@ size_t GridHistogram::ApplyConstraint(const Box& box_in, double box_rows,
   Box box = ClampToDomain(box_in);
   box_rows = std::clamp(box_rows, 0.0, table_rows);
 
+  // A box with a dimension at or below the grid's boundary resolution —
+  // an observation entirely outside the domain (clamped to zero width
+  // because the data drifted past the creation-time boundaries), or an
+  // exact-equality sliver on a continuous column — cannot be represented:
+  // InsertBoundary dedupes boundaries closer than NearlyEqual resolution,
+  // so no cell can ever hold the box's mass. Storing such a constraint
+  // would poison the IPF window (every fitting pass tries to move rows
+  // into ~zero volume and bleeds the rest of the mass toward zero until
+  // the histogram is empty). Skip it; the rescale above already absorbed
+  // the cardinality information.
+  for (size_t d = 0; d < num_dims(); ++d) {
+    if (!(box[d].hi > box[d].lo) || NearlyEqual(box[d].lo, box[d].hi)) return 0;
+  }
+
+  // Likewise unrepresentable: a box covering the whole domain that claims
+  // fewer rows than the table holds. The deficit lives outside this
+  // histogram's boundaries (the data drifted past them), and FitOnce
+  // refuses such constraints — there is nowhere inside the grid to move
+  // the excess mass. Storing one would leave a window entry the counts can
+  // never satisfy, so skip it entirely.
+  bool whole_domain = true;
+  for (size_t d = 0; d < num_dims(); ++d) {
+    whole_domain = whole_domain && NearlyEqual(box[d].lo, boundaries_[d].front()) &&
+                   NearlyEqual(box[d].hi, boundaries_[d].back());
+  }
+  if (whole_domain && box_rows < table_rows && !NearlyEqual(box_rows, table_rows)) {
+    return 0;
+  }
+
   // 2. Make room, then insert the box's boundaries.
   std::vector<std::vector<double>> inserted(num_dims());
   for (size_t d = 0; d < num_dims(); ++d) {
@@ -424,23 +456,29 @@ size_t GridHistogram::ApplyConstraint(const Box& box_in, double box_rows,
     }
     return true;
   };
-  bool replaced = false;
-  for (StoredConstraint& c : constraints_) {
-    if (same_box(c.box, box)) {
-      c.rows = box_rows;
-      replaced = true;
+  // Re-observing a box refreshes that knowledge: drop the stale entry and
+  // append at the back, so the window stays ordered oldest→newest and the
+  // inconsistency pruning below evicts genuinely old observations first. (A
+  // replaced-in-place entry would keep its old position and could be pruned
+  // as "oldest" immediately, surviving the *stale* constraints instead.)
+  for (size_t i = 0; i < constraints_.size(); ++i) {
+    if (same_box(constraints_[i].box, box)) {
+      constraints_.erase(constraints_.begin() + static_cast<std::ptrdiff_t>(i));
       break;
     }
   }
-  if (!replaced) {
-    constraints_.push_back({box, box_rows});
-    if (constraints_.size() > kMaxStoredConstraints) {
-      constraints_.erase(constraints_.begin());
-    }
+  constraints_.push_back({box, box_rows});
+  if (constraints_.size() > kMaxStoredConstraints) {
+    constraints_.erase(constraints_.begin());
   }
 
   size_t ipf_iterations = 0;
-  for (size_t round = 0; round < 3; ++round) {
+  // skip_fitting_for_test_ is the mutation hook for the simulation oracle's
+  // negative test: with fitting skipped, boundaries and constraints are
+  // still recorded but the counts never absorb the newest constraint — the
+  // oracle must notice the missing mass.
+  const bool fit = !skip_fitting_for_test_.load(std::memory_order_relaxed);
+  for (size_t round = 0; fit && round < 3; ++round) {
     double worst = 0;
     double prev_worst = std::numeric_limits<double>::infinity();
     for (size_t iter = 0; iter < kMaxIpfIterations; ++iter) {

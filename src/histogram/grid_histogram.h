@@ -99,6 +99,15 @@ class GridHistogram {
   size_t ApplyConstraint(const Box& box, double box_rows, double table_rows,
                          uint64_t now);
 
+  /// TEST-ONLY mutation hook (process-global): when set, ApplyConstraint
+  /// records boundaries and constraints but skips the IPF fitting loop, so
+  /// published histograms silently stop satisfying their newest constraint.
+  /// The simulation oracle's negative test plants this bug and asserts the
+  /// mass-preservation check catches it. Never set outside tests.
+  static void set_skip_fitting_for_test(bool skip) {
+    skip_fitting_for_test_.store(skip, std::memory_order_relaxed);
+  }
+
   /// Estimated fraction of rows inside `box` (uniformity within cells).
   double EstimateBoxFraction(const Box& box) const;
 
@@ -144,6 +153,8 @@ class GridHistogram {
 
  private:
   GridHistogram() = default;  // FromState fills every member
+
+  static std::atomic<bool> skip_fitting_for_test_;
 
   struct StoredConstraint {
     Box box;

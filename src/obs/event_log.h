@@ -8,7 +8,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/timer.h"
+#include "common/clock.h"
 
 namespace jits {
 
@@ -54,6 +54,14 @@ class EventLog {
   /// Opens (truncates) a JSONL file sink. Empty path closes the sink.
   /// Returns false when the file could not be opened.
   bool SetSinkPath(const std::string& path);
+
+  /// Re-bases `elapsed_seconds` onto `clock` — the simulation harness
+  /// injects its virtual clock here so event timestamps replay
+  /// bit-identically. Configure before the first Log().
+  void set_clock(const Clock* clock) {
+    std::lock_guard<std::mutex> lock(mu_);
+    watch_.Restart(clock);
+  }
 
   void Log(EventSeverity severity, std::string component, std::string message,
            std::vector<std::pair<std::string, std::string>> fields = {},

@@ -72,7 +72,10 @@ TelemetrySampler::TelemetrySampler(MetricsRegistry* registry,
                                    TelemetrySamplerOptions options)
     : registry_(registry),
       options_(std::move(options)),
-      series_(options_.capacity) {}
+      series_(options_.capacity),
+      watch_(options_.clock != nullptr ? options_.clock
+             : options_.manual        ? &own_clock_
+                                      : Clock::Real()) {}
 
 TelemetrySampler::~TelemetrySampler() { Stop(); }
 
@@ -109,7 +112,7 @@ uint64_t TelemetrySampler::SampleOnce() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     seq = next_seq_++;
-    when = options_.manual ? virtual_seconds_ : watch_.Seconds();
+    when = watch_.Seconds();
   }
   // Snapshot outside mu_: the registry has its own lock, and SHOW METRICS
   // HISTORY readers only contend on the series store.
@@ -130,8 +133,7 @@ uint64_t TelemetrySampler::SampleOnce() {
 }
 
 void TelemetrySampler::AdvanceVirtualTime(double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  virtual_seconds_ += seconds;
+  own_clock_.Advance(seconds);
 }
 
 uint64_t TelemetrySampler::samples_taken() const {

@@ -9,7 +9,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/timer.h"
+#include "common/clock.h"
 #include "obs/metrics.h"
 
 namespace jits {
@@ -69,6 +69,11 @@ struct TelemetrySamplerOptions {
   /// and AdvanceVirtualTime() — the deterministic-test harness, mirroring
   /// CollectorService's threads == 0 mode.
   bool manual = false;
+  /// Time source stamped onto samples. When null, manual mode times against
+  /// a sampler-owned SimClock driven by AdvanceVirtualTime(), threaded mode
+  /// against the real clock. The simulation harness injects its root
+  /// SimClock here (and then advances that clock itself).
+  const Clock* clock = nullptr;
   /// When set, the full metrics history is flushed to this file as JSONL on
   /// Stop() (and therefore on destruction).
   std::string jsonl_path;
@@ -97,7 +102,9 @@ class TelemetrySampler {
   /// round's seq. Thread-safe (rounds serialize on the store's lock order).
   uint64_t SampleOnce();
 
-  /// Manual mode: advances the virtual clock stamped onto samples.
+  /// Manual mode: advances the sampler-owned virtual clock stamped onto
+  /// samples. No-op on timing when an external clock was injected via
+  /// TelemetrySamplerOptions::clock — advance that clock instead.
   void AdvanceVirtualTime(double seconds);
 
   bool manual() const { return options_.manual; }
@@ -113,11 +120,13 @@ class TelemetrySampler {
   const TelemetrySamplerOptions options_;
   MetricTimeSeries series_;
 
+  /// Backs manual mode when no external clock is injected; declared before
+  /// watch_ so the stopwatch can bind to it at construction.
+  SimClock own_clock_;
   Stopwatch watch_;
-  mutable std::mutex mu_;  // guards seq/virtual clock and thread lifecycle
+  mutable std::mutex mu_;  // guards seq and thread lifecycle
   std::condition_variable cv_;
   uint64_t next_seq_ = 1;
-  double virtual_seconds_ = 0;
   bool stop_ = false;
   std::thread thread_;
 };

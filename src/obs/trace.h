@@ -4,13 +4,13 @@
 #include <string>
 #include <vector>
 
-#include "common/timer.h"
+#include "common/clock.h"
 
 namespace jits {
 
 /// One node of a per-query trace tree: a named pipeline stage with its
 /// offset from the query start and its duration, both from the monotonic
-/// clock (common/timer.h).
+/// clock (common/clock.h).
 struct TraceNode {
   std::string name;
   double start_seconds = 0;     // relative to the trace root's start
@@ -33,6 +33,10 @@ class Tracer {
  public:
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
+
+  /// Re-bases span timing onto `clock` (the simulation harness injects its
+  /// virtual clock). Configure before BeginQuery.
+  void set_clock(const Clock* clock) { watch_.Restart(clock); }
 
   /// Opens the root span and resets prior state. No-op when disabled.
   void BeginQuery(const std::string& label);

@@ -1,0 +1,275 @@
+#include "sim/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/str_util.h"
+#include "histogram/grid_histogram.h"
+
+namespace jits::sim {
+namespace {
+
+constexpr const char* kKnownSources[] = {"jits-exact", "stale-async", "archive",
+                                         "workload",   "catalog",     "default"};
+
+std::string Prefix(const SimStatement& stmt) { return "[" + stmt.sql + "] "; }
+
+double EngineCount(const QueryResult& result) {
+  if (result.rows.size() != 1 || result.rows[0].empty()) return -1;
+  const Value& v = result.rows[0][0];
+  if (v.is_null() || v.is_string()) return -1;
+  return v.AsDouble();
+}
+
+}  // namespace
+
+DifferentialOracle::DifferentialOracle(const std::vector<SimTableSpec>* schema)
+    : schema_(schema), shadow_(schema->size()) {}
+
+void DifferentialOracle::MirrorInsert(size_t table, const Row& row) {
+  shadow_[table].push_back(row);
+}
+
+size_t DifferentialOracle::MirrorUpdate(const SimStatement& stmt) {
+  size_t affected = 0;
+  for (Row& row : shadow_[stmt.table]) {
+    if (!RowMatches(stmt, stmt.table, row)) continue;
+    row[stmt.update_col] = stmt.update_value;
+    ++affected;
+  }
+  return affected;
+}
+
+size_t DifferentialOracle::MirrorDelete(const SimStatement& stmt) {
+  std::vector<Row>& rows = shadow_[stmt.table];
+  const size_t before = rows.size();
+  rows.erase(std::remove_if(rows.begin(), rows.end(),
+                            [&](const Row& row) {
+                              return RowMatches(stmt, stmt.table, row);
+                            }),
+             rows.end());
+  return before - rows.size();
+}
+
+bool DifferentialOracle::RowMatches(const SimStatement& stmt, size_t table,
+                                    const Row& row) const {
+  for (const SimPredicate& pred : stmt.predicates) {
+    if (pred.table != table) continue;
+    if (!pred.Matches(row[pred.column])) return false;
+  }
+  return true;
+}
+
+size_t DifferentialOracle::CountMatching(const SimStatement& stmt,
+                                         size_t table) const {
+  size_t count = 0;
+  for (const Row& row : shadow_[table]) {
+    if (RowMatches(stmt, table, row)) ++count;
+  }
+  return count;
+}
+
+void DifferentialOracle::CheckStatement(const SimStatement& stmt,
+                                        const QueryResult& result,
+                                        std::vector<std::string>* out) const {
+  switch (stmt.kind) {
+    case SimStatement::Kind::kSelectCount: {
+      const double engine = EngineCount(result);
+      const double naive = static_cast<double>(CountMatching(stmt, stmt.table));
+      if (engine != naive) {
+        out->push_back(Prefix(stmt) +
+                       StrFormat("COUNT(*) mismatch: engine %.0f vs oracle %.0f",
+                                 engine, naive));
+      }
+      break;
+    }
+    case SimStatement::Kind::kSelectRows: {
+      // Multiset equality of the projected column (id — unique, so the
+      // comparison key is exact).
+      std::vector<std::string> engine_rows;
+      engine_rows.reserve(result.rows.size());
+      for (const Row& row : result.rows) {
+        engine_rows.push_back(row.empty() ? "" : row[0].ToString());
+      }
+      std::vector<std::string> naive_rows;
+      for (const Row& row : shadow_[stmt.table]) {
+        if (RowMatches(stmt, stmt.table, row)) {
+          naive_rows.push_back(row[stmt.select_cols[0]].ToString());
+        }
+      }
+      std::sort(engine_rows.begin(), engine_rows.end());
+      std::sort(naive_rows.begin(), naive_rows.end());
+      if (engine_rows != naive_rows) {
+        out->push_back(Prefix(stmt) +
+                       StrFormat("result-set mismatch: engine %zu rows vs oracle %zu",
+                                 engine_rows.size(), naive_rows.size()));
+      }
+      break;
+    }
+    case SimStatement::Kind::kSelectJoinCount: {
+      // Reference hash join on t0.id = tK.fk, predicates on the fk side.
+      std::vector<Row> const& build = shadow_[0];
+      std::vector<int64_t> build_ids;
+      build_ids.reserve(build.size());
+      for (const Row& row : build) build_ids.push_back(row[0].int64());
+      std::sort(build_ids.begin(), build_ids.end());
+      double naive = 0;
+      for (const Row& row : shadow_[stmt.table]) {
+        if (!RowMatches(stmt, stmt.table, row)) continue;
+        const int64_t fk = row[1].int64();
+        const auto [lo, hi] = std::equal_range(build_ids.begin(), build_ids.end(), fk);
+        naive += static_cast<double>(hi - lo);
+      }
+      const double engine = EngineCount(result);
+      if (engine != naive) {
+        out->push_back(Prefix(stmt) +
+                       StrFormat("join COUNT(*) mismatch: engine %.0f vs oracle %.0f",
+                                 engine, naive));
+      }
+      break;
+    }
+    case SimStatement::Kind::kInsert: {
+      if (result.num_rows != 1) {
+        out->push_back(Prefix(stmt) +
+                       StrFormat("INSERT affected %zu rows, expected 1",
+                                 result.num_rows));
+      }
+      break;
+    }
+    case SimStatement::Kind::kUpdate:
+    case SimStatement::Kind::kDelete: {
+      const size_t naive = CountMatching(stmt, stmt.table);
+      if (result.num_rows != naive) {
+        out->push_back(Prefix(stmt) +
+                       StrFormat("DML affected %zu rows, oracle expected %zu",
+                                 result.num_rows, naive));
+      }
+      break;
+    }
+    case SimStatement::Kind::kAnalyze:
+    case SimStatement::Kind::kCheckpoint:
+      break;  // no result contract beyond OK status (checked by the harness)
+  }
+}
+
+void DifferentialOracle::CheckEstimates(const SimStatement& stmt,
+                                        const QueryResult& result,
+                                        std::vector<std::string>* out) const {
+  for (const QueryResult::EstimateOutcome& o : result.estimate_outcomes) {
+    if (!std::isfinite(o.est_selectivity) || o.est_selectivity < 0 ||
+        o.est_selectivity > 1.0 + 1e-9) {
+      out->push_back(Prefix(stmt) +
+                     StrFormat("estimate out of range: %s/%s sel=%g from %s",
+                               o.table.c_str(), o.colgrp.c_str(),
+                               o.est_selectivity, o.est_source.c_str()));
+      continue;
+    }
+    bool known = false;
+    for (const char* source : kKnownSources) known |= (o.est_source == source);
+    if (!known) {
+      out->push_back(Prefix(stmt) + "unknown est_source \"" + o.est_source + "\"");
+    }
+    if (!(o.actual_rows >= 0) || o.actual_rows > o.table_rows + 1e-6) {
+      out->push_back(Prefix(stmt) +
+                     StrFormat("observation inconsistent: actual %.1f of %.1f rows",
+                               o.actual_rows, o.table_rows));
+    }
+    // Fresh exact statistics must predict well: the QSS was fitted to this
+    // exact predicate group moments ago, and simulation tables are small
+    // enough that sampling covers them fully. The bound is loose (sampling
+    // and clamping still wiggle) but catches broken fitting by orders of
+    // magnitude.
+    if (o.est_source == "jits-exact" && o.table_rows >= 50) {
+      const double est_rows = o.est_selectivity * o.table_rows;
+      const double q = std::max((est_rows + 2) / (o.actual_rows + 2),
+                                (o.actual_rows + 2) / (est_rows + 2));
+      if (q > 4.0) {
+        out->push_back(Prefix(stmt) +
+                       StrFormat("jits-exact q-error %.2f: %s/%s est %.1f vs actual "
+                                 "%.1f of %.0f rows",
+                                 q, o.table.c_str(), o.colgrp.c_str(), est_rows,
+                                 o.actual_rows, o.table_rows));
+      }
+    }
+  }
+}
+
+void DifferentialOracle::CheckStatsState(Database* db,
+                                         std::vector<std::string>* out) const {
+  // Storage row counts against the shadow — the cheapest whole-engine
+  // differential there is.
+  for (size_t t = 0; t < schema_->size(); ++t) {
+    const Table* table = db->catalog()->FindTable((*schema_)[t].name);
+    if (table == nullptr) {
+      out->push_back("table " + (*schema_)[t].name + " missing from catalog");
+      continue;
+    }
+    if (table->num_rows() != shadow_[t].size()) {
+      out->push_back(StrFormat("row-count drift on %s: engine %zu vs oracle %zu",
+                               (*schema_)[t].name.c_str(), table->num_rows(),
+                               shadow_[t].size()));
+    }
+  }
+
+  const uint64_t clock = db->clock();
+  for (const auto& [key, hist] : db->archive()->Snapshot()) {
+    const GridHistogramState state = hist->ExportState();
+    if (!GridHistogram::StateValid(state)) {
+      out->push_back("archive histogram " + key + " failed StateValid");
+      continue;
+    }
+    for (uint64_t stamp : state.stamps) {
+      if (stamp > clock) {
+        out->push_back(StrFormat("archive %s stamp %llu ahead of clock %llu",
+                                 key.c_str(),
+                                 static_cast<unsigned long long>(stamp),
+                                 static_cast<unsigned long long>(clock)));
+        break;
+      }
+    }
+    const double total = hist->total_rows();
+    if (!std::isfinite(total) || total < 0) {
+      out->push_back(StrFormat("archive %s total mass %g", key.c_str(), total));
+      continue;
+    }
+    // Mass preservation. The engine's invariant: ApplyConstraint keeps the
+    // window ordered oldest→newest and always finishes by enforcing the
+    // newest constraint exactly, so the *back* of the window must agree
+    // with the cell masses within a tight tolerance (rescales to new table
+    // cardinalities scale counts and stored rows together, preserving the
+    // agreement). This is the check the skip-fitting mutation must trip.
+    // Older window entries carry no such guarantee — they can be stale
+    // knowledge awaiting inconsistency pruning — so they only get a sanity
+    // bound: a constraint can never claim more rows than the table holds.
+    for (size_t c = 0; c < state.constraints.size(); ++c) {
+      const auto& constraint = state.constraints[c];
+      const double mass = hist->EstimateBoxFraction(constraint.box) * total;
+      const double deviation = std::abs(mass - constraint.rows);
+      const bool newest = (c + 1 == state.constraints.size());
+      if (std::getenv("JITS_SIM_DEBUG") != nullptr) {
+        std::string boxstr;
+        for (const Interval& iv : constraint.box) {
+          boxstr += StrFormat("[%g,%g)", iv.lo, iv.hi);
+        }
+        fprintf(stderr,
+                "DBG %s c=%zu win=%zu total=%.2f mass=%.2f rows=%.2f dev=%.2f "
+                "newest=%d box=%s\n",
+                key.c_str(), c, state.constraints.size(), total, mass,
+                constraint.rows, deviation, newest ? 1 : 0, boxstr.c_str());
+      }
+      const bool violated =
+          newest ? deviation > std::max(0.5, 0.05 * constraint.rows)
+                 : constraint.rows > 1.05 * total + 1.0;
+      if (violated) {
+        out->push_back(StrFormat(
+            "archive %s constraint %zu mass drift: box holds %.2f, constraint "
+            "says %.2f (window %zu%s)",
+            key.c_str(), c, mass, constraint.rows, state.constraints.size(),
+            newest ? ", newest" : ""));
+      }
+    }
+  }
+}
+
+}  // namespace jits::sim

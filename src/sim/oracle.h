@@ -1,0 +1,68 @@
+#ifndef JITS_SIM_ORACLE_H_
+#define JITS_SIM_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "sim/workload_generator.h"
+
+namespace jits::sim {
+
+/// The differential oracle: a naive reference engine that shadows every
+/// table as plain rows, evaluates statements by brute force and checks the
+/// real engine against it. Being slow and obvious is the point — nothing
+/// here shares code with the optimizer, executor or statistics layers, so
+/// an agreement failure localizes a bug in the clever side.
+///
+/// Checks per statement:
+///  - SELECT result equality (COUNT(*) values, projected multisets, hash
+///    join counts) and DML affected-row equality.
+///  - Estimate sanity from QueryResult::estimate_outcomes: selectivities
+///    finite and within [0, 1], observed actuals consistent with the shadow
+///    recomputation, q-error bounds for fresh ("jits-exact") estimates.
+///  - Statistics-state invariants: storage row counts match the shadow,
+///    every archived histogram passes StateValid, cell stamps never exceed
+///    the engine's logical clock, and single-constraint histograms satisfy
+///    their constraint's mass exactly (the IPF mass-preservation check the
+///    mutation smoke test relies on).
+class DifferentialOracle {
+ public:
+  explicit DifferentialOracle(const std::vector<SimTableSpec>* schema);
+
+  /// Shadow-data mirroring. Mirror* applies a statement's effect to the
+  /// shadow rows and returns how many rows it touched.
+  void MirrorInsert(size_t table, const Row& row);
+  size_t MirrorUpdate(const SimStatement& stmt);
+  size_t MirrorDelete(const SimStatement& stmt);
+
+  const std::vector<Row>& rows(size_t table) const { return shadow_[table]; }
+
+  /// Differential check of one executed statement. Appends human-readable
+  /// violation descriptions (prefixed with the statement's SQL) to *out.
+  /// DML statements must be checked BEFORE the corresponding Mirror* call.
+  void CheckStatement(const SimStatement& stmt, const QueryResult& result,
+                      std::vector<std::string>* out) const;
+
+  /// Estimate sanity over the result's recorded estimate outcomes.
+  void CheckEstimates(const SimStatement& stmt, const QueryResult& result,
+                      std::vector<std::string>* out) const;
+
+  /// Engine-wide statistics-state invariants (storage counts vs shadow,
+  /// archive histogram validity, stamp/clock ordering, constraint mass).
+  void CheckStatsState(Database* db, std::vector<std::string>* out) const;
+
+  /// Rows of `table` matching every predicate of `stmt` that targets it.
+  size_t CountMatching(const SimStatement& stmt, size_t table) const;
+
+ private:
+  bool RowMatches(const SimStatement& stmt, size_t table, const Row& row) const;
+
+  const std::vector<SimTableSpec>* schema_;
+  std::vector<std::vector<Row>> shadow_;
+};
+
+}  // namespace jits::sim
+
+#endif  // JITS_SIM_ORACLE_H_

@@ -1,0 +1,278 @@
+#include "sim/sim_harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "common/clock.h"
+#include "common/str_util.h"
+#include "histogram/grid_histogram.h"
+#include "persist/fault_fs.h"
+
+namespace jits::sim {
+namespace {
+
+/// SplitMix64 stream derivation: independent sub-seeds (workload, schedule,
+/// faults, per-generation engine RNGs) from the one root seed.
+uint64_t DeriveSeed(uint64_t root, uint64_t stream) {
+  uint64_t z = root + 0x9e3779b97f4a7c15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+std::string ArchiveFingerprint(QssArchive* archive) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& [key, hist] : archive->Snapshot()) {
+    const GridHistogramState s = hist->ExportState();
+    os << key << "{b:";
+    for (const auto& dim : s.boundaries) {
+      for (double b : dim) os << b << ",";
+      os << "|";
+    }
+    os << " c:";
+    for (double c : s.counts) os << c << ",";
+    os << " t:";
+    for (uint64_t t : s.stamps) os << t << ",";
+    os << " k:";
+    for (const auto& c : s.constraints) os << c.rows << ",";
+    os << "}\n";
+  }
+  return os.str();
+}
+
+SimReport RunSimEpisode(const SimOptions& options) {
+  SimReport report;
+  auto violation = [&report](std::string what) {
+    if (report.violations.size() < 64) report.violations.push_back(std::move(what));
+  };
+
+  SimWorkloadOptions wopts = options.workload;
+  wopts.seed = DeriveSeed(options.seed, 0);
+  SimWorkloadGenerator gen(wopts);
+  DifferentialOracle oracle(&gen.schema());
+  Rng schedule(DeriveSeed(options.seed, 1));
+  Rng faults(DeriveSeed(options.seed, 2));
+  SimClock clock;
+
+  // Scratch directory: wipe leftovers so recovery sees only this episode.
+  persist::FaultFs fs(options.data_dir);
+  for (const std::string& file : fs.Files()) fs.Remove(file);
+
+  // Initial data, generated once and mirrored; every post-crash boot
+  // reloads the shadow's CURRENT contents (durability covers statistics,
+  // not data — the oracle is the data's home).
+  for (size_t t = 0; t < gen.schema().size(); ++t) {
+    for (size_t i = 0; i < gen.schema()[t].initial_rows; ++i) {
+      oracle.MirrorInsert(t, gen.GenerateRow(t));
+    }
+  }
+
+  // Engine configuration, derived once per episode so every generation of
+  // the same episode reboots into the same shape.
+  persist::PersistenceOptions popts;
+  popts.data_dir = options.data_dir;
+  popts.fsync = false;
+  popts.checkpoint_statements =
+      schedule.Chance(0.5) ? static_cast<size_t>(schedule.Uniform(8, 40)) : 0;
+  popts.checkpoint_wal_bytes = schedule.Chance(0.5)
+                                   ? static_cast<size_t>(schedule.Uniform(16, 256)) << 10
+                                   : (4u << 20);
+  async::CollectorServiceOptions aopts;
+  aopts.threads = 0;  // manual mode: the schedule below is the scheduler
+  aopts.max_pending = static_cast<size_t>(schedule.Uniform(4, 32));
+  aopts.collections_per_sec = schedule.Chance(0.5) ? 0 : schedule.UniformDouble(5, 100);
+  aopts.burst = schedule.UniformDouble(1, 6);
+  // The JITS pipeline itself — the system under test — with its tunables
+  // drawn once per episode. All draws are unconditional so the schedule
+  // stream stays seed-aligned whatever the knobs land on.
+  JitsConfig jopts;
+  jopts.enabled = true;
+  jopts.s_max = schedule.Chance(0.3) ? 0.0 : schedule.UniformDouble(0.1, 0.6);
+  jopts.sample_rows = static_cast<size_t>(schedule.Uniform(1024, 2048));
+  jopts.archive_bucket_budget = schedule.Chance(0.25) ? 96 : 4096;
+  jopts.migration_interval =
+      schedule.Chance(0.3) ? static_cast<size_t>(schedule.Uniform(8, 32)) : 0;
+  if (options.collect_everything) {
+    jopts.sensitivity_enabled = false;
+    jopts.s_max = 0.0;
+  }
+
+  std::unique_ptr<Database> db;
+  std::vector<std::string> sink_paths;
+  size_t generation = 0;
+
+  auto boot = [&]() -> Status {
+    db = std::make_unique<Database>(DeriveSeed(options.seed, 100 + generation));
+    db->set_clock(&clock);
+    db->set_row_limit(1u << 20);
+    const std::string sink =
+        options.data_dir + StrFormat("/sim-events.%zu.jsonl", generation);
+    db->events()->SetSinkPath(sink);
+    sink_paths.push_back(sink);
+    for (const SimTableSpec& spec : gen.schema()) {
+      JITS_RETURN_IF_ERROR(db->Execute(spec.CreateSql()));
+    }
+    for (size_t t = 0; t < gen.schema().size(); ++t) {
+      Table* table = db->catalog()->FindTable(gen.schema()[t].name);
+      for (const Row& row : oracle.rows(t)) {
+        JITS_RETURN_IF_ERROR(table->Insert(row));
+      }
+    }
+    *db->jits_config() = jopts;
+    JITS_RETURN_IF_ERROR(db->EnableAsyncCollection(aopts));
+    TelemetrySamplerOptions topts;
+    topts.manual = true;
+    JITS_RETURN_IF_ERROR(db->EnableTelemetrySampler(topts));
+    JITS_RETURN_IF_ERROR(db->OpenPersistence(popts));
+    ++generation;
+    return Status::OK();
+  };
+
+  auto crash_restart = [&]() {
+    // Crash = drop the Database without ClosePersistence (its destructor
+    // deliberately does not checkpoint). The archive fingerprint taken just
+    // before must survive recovery byte-for-byte when no fault tears the
+    // tail — every publish was WAL-logged.
+    const std::string pre_crash = ArchiveFingerprint(db->archive());
+    db.reset();
+    ++report.crashes;
+    bool faulted = false;
+    if (options.fault_injection && faults.Chance(0.5)) {
+      std::vector<std::string> wals;
+      for (const std::string& file : fs.Files()) {
+        if (file.rfind("wal", 0) == 0) wals.push_back(file);
+      }
+      if (!wals.empty()) {
+        const std::string& target = wals.back();  // sorted: newest generation
+        const uint64_t size = fs.Size(target);
+        if (size > 16) {
+          fs.Truncate(target, size - static_cast<uint64_t>(faults.Uniform(1, 15)));
+          faulted = true;
+          ++report.faults_injected;
+        }
+      }
+    }
+    const Status status = boot();
+    if (!status.ok()) {
+      violation("recovery boot failed: " + status.message());
+      return;
+    }
+    oracle.CheckStatsState(db.get(), &report.violations);
+    if (!faulted) {
+      const std::string post_recovery = ArchiveFingerprint(db->archive());
+      if (post_recovery != pre_crash) {
+        violation(StrFormat(
+            "archive diverged across crash-recovery (generation %zu): %zu vs "
+            "%zu fingerprint bytes",
+            generation, pre_crash.size(), post_recovery.size()));
+      }
+    }
+  };
+
+  // Crash points, spread across the stream with seeded jitter.
+  std::vector<size_t> crash_at;
+  for (size_t c = 1; c <= options.crash_cycles; ++c) {
+    const int64_t base = static_cast<int64_t>(options.statements * c /
+                                              (options.crash_cycles + 1));
+    const int64_t jittered = base + schedule.Uniform(-3, 3);
+    crash_at.push_back(static_cast<size_t>(std::clamp<int64_t>(
+        jittered, 1, static_cast<int64_t>(options.statements) - 1)));
+  }
+  std::sort(crash_at.begin(), crash_at.end());
+  crash_at.erase(std::unique(crash_at.begin(), crash_at.end()), crash_at.end());
+
+  {
+    const Status status = boot();
+    if (!status.ok()) {
+      violation("initial boot failed: " + status.message());
+      return report;
+    }
+  }
+
+  for (size_t i = 0; i < options.statements; ++i) {
+    if (std::binary_search(crash_at.begin(), crash_at.end(), i)) {
+      crash_restart();
+      if (db == nullptr) return report;
+    }
+
+    SimStatement stmt = gen.Next(db->persistence_open());
+    QueryResult result;
+    const Status status = db->Execute(stmt.sql, &result);
+    if (!status.ok()) {
+      violation("[" + stmt.sql + "] engine error: " + status.message());
+      continue;
+    }
+    ++report.statements_run;
+
+    oracle.CheckStatement(stmt, result, &report.violations);
+    switch (stmt.kind) {
+      case SimStatement::Kind::kSelectCount:
+      case SimStatement::Kind::kSelectRows:
+      case SimStatement::Kind::kSelectJoinCount:
+        if (options.check_estimates) {
+          oracle.CheckEstimates(stmt, result, &report.violations);
+        }
+        break;
+      case SimStatement::Kind::kInsert:
+        oracle.MirrorInsert(stmt.table, stmt.insert_row);
+        break;
+      case SimStatement::Kind::kUpdate:
+        oracle.MirrorUpdate(stmt);
+        break;
+      case SimStatement::Kind::kDelete:
+        oracle.MirrorDelete(stmt);
+        break;
+      case SimStatement::Kind::kAnalyze:
+      case SimStatement::Kind::kCheckpoint:
+        break;
+    }
+
+    // The chaos schedule: virtual time, async permutations, telemetry. All
+    // draws happen unconditionally in a fixed order, so the schedule stream
+    // stays aligned between runs no matter what the engine did.
+    clock.Advance(schedule.UniformDouble(0.002, 0.08));
+    if (schedule.Chance(0.08)) clock.Advance(schedule.UniformDouble(0.5, 3.0));
+    const bool do_steps = schedule.Chance(0.7);
+    const int64_t steps = schedule.Uniform(1, 3);
+    if (do_steps) {
+      for (int64_t s = 0; s < steps; ++s) {
+        const async::StepOutcome outcome = db->async_collector()->StepOne();
+        ++report.async_steps;
+        if (outcome == async::StepOutcome::kIdle) break;
+      }
+    }
+    if (schedule.Chance(0.05)) db->async_collector()->Drain();
+    if (schedule.Chance(0.25)) db->telemetry_sampler()->SampleOnce();
+    if ((i + 1) % 12 == 0) oracle.CheckStatsState(db.get(), &report.violations);
+  }
+
+  db->async_collector()->Drain();
+  oracle.CheckStatsState(db.get(), &report.violations);
+  report.final_clock = db->clock();
+  const Status closed = db->ClosePersistence(/*final_checkpoint=*/true);
+  if (!closed.ok()) violation("ClosePersistence failed: " + closed.message());
+  db.reset();  // flushes the last event sink
+
+  for (const std::string& sink : sink_paths) {
+    report.event_fingerprint += ReadFileOrEmpty(sink);
+  }
+  return report;
+}
+
+}  // namespace jits::sim

@@ -1,0 +1,71 @@
+#ifndef JITS_SIM_SIM_HARNESS_H_
+#define JITS_SIM_SIM_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "sim/oracle.h"
+#include "sim/workload_generator.h"
+
+namespace jits::sim {
+
+/// One deterministic whole-system episode: a seeded random schema and
+/// statement stream runs through the full engine — SQL front end, JITS,
+/// optimizer, executor, manual-mode async collection, persistence,
+/// telemetry — under a single injected SimClock, interleaved with seeded
+/// crash-restart cycles (and optionally torn-write fault injection), with
+/// the differential oracle auditing every statement. Same seed → the same
+/// schema, data, statements, schedule, crashes and, transitively, a
+/// bit-identical event log.
+struct SimOptions {
+  /// Root seed. Everything — schema, data, statement stream, async/clock
+  /// schedule, crash points, fault offsets — derives from it.
+  uint64_t seed = 1;
+  /// Statements across the whole episode (all generations).
+  size_t statements = 120;
+  /// Crash-restart cycles injected at seeded points of the stream.
+  size_t crash_cycles = 2;
+  /// With this, roughly half the crashes also tear the tail of a WAL file
+  /// before restart (seeded offsets through persist::FaultFs).
+  bool fault_injection = false;
+  /// Run the estimate-sanity checks (q-error bounds on jits-exact sources).
+  bool check_estimates = true;
+  /// Disable the sensitivity analysis (paper Table 3 mode): every query
+  /// samples its tables and materializes every predicate group, so the QSS
+  /// archive fills deterministically. The mutation negative test uses this
+  /// to guarantee the planted statistics bug has material to corrupt;
+  /// regular chaos episodes leave it off and draw s_max from the schedule.
+  bool collect_everything = false;
+  /// Scratch directory for the durable store and event-log sinks. The
+  /// harness wipes stale files inside it; it must exist.
+  std::string data_dir;
+  SimWorkloadOptions workload;
+};
+
+struct SimReport {
+  /// Oracle violations — empty means the episode passed. Each entry is a
+  /// self-describing one-liner carrying the offending SQL or archive key.
+  std::vector<std::string> violations;
+  /// Concatenated event-log JSONL across all generations; equal byte-wise
+  /// between same-seed runs. Timestamps come from the SimClock, so this is
+  /// the replay fingerprint.
+  std::string event_fingerprint;
+  size_t statements_run = 0;
+  size_t crashes = 0;
+  size_t faults_injected = 0;
+  size_t async_steps = 0;
+  uint64_t final_clock = 0;
+};
+
+/// Stable fingerprint of an archive's statistical content (boundaries,
+/// counts, stamps, constraint masses — not LRU metadata), used for the
+/// pre-crash vs post-recovery equality check.
+std::string ArchiveFingerprint(QssArchive* archive);
+
+SimReport RunSimEpisode(const SimOptions& options);
+
+}  // namespace jits::sim
+
+#endif  // JITS_SIM_SIM_HARNESS_H_

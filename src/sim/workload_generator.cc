@@ -1,0 +1,363 @@
+#include "sim/workload_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace jits::sim {
+namespace {
+
+/// SQL literal rendering. Doubles in the simulation are generated on a
+/// 0.01 grid, so "%.2f" round-trips exactly: the value the engine parses
+/// equals the value the oracle mirrors.
+std::string LiteralSql(const Value& v) {
+  if (v.is_int64()) return StrFormat("%lld", static_cast<long long>(v.int64()));
+  if (v.is_double()) return StrFormat("%.2f", v.dbl());
+  return "'" + v.str() + "'";
+}
+
+const char* OpSql(SimPredicate::Op op) {
+  switch (op) {
+    case SimPredicate::Op::kEq:
+      return "=";
+    case SimPredicate::Op::kLt:
+      return "<";
+    case SimPredicate::Op::kGt:
+      return ">";
+    case SimPredicate::Op::kBetween:
+      return "BETWEEN";
+  }
+  return "=";
+}
+
+/// String pool for generated kString columns: v00..v<n>. Small pools plus
+/// Zipf skew produce the heavy-hitter distributions that break uniformity.
+std::vector<std::string> StringPool(size_t n) {
+  std::vector<std::string> pool;
+  pool.reserve(n);
+  for (size_t i = 0; i < n; ++i) pool.push_back(StrFormat("v%02zu", i));
+  return pool;
+}
+
+}  // namespace
+
+std::string SimTableSpec::CreateSql() const {
+  std::string sql = "CREATE TABLE " + name + " (";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += columns[i].name;
+    switch (columns[i].type) {
+      case DataType::kInt64:
+        sql += " INT";
+        break;
+      case DataType::kDouble:
+        sql += " DOUBLE";
+        break;
+      case DataType::kString:
+        sql += " VARCHAR";
+        break;
+    }
+  }
+  sql += ")";
+  return sql;
+}
+
+bool SimPredicate::Matches(const Value& cell) const {
+  if (cell.is_null()) return false;
+  if (cell.is_string()) {
+    if (!v1.is_string()) return false;
+    switch (op) {
+      case Op::kEq:
+        return cell.str() == v1.str();
+      case Op::kLt:
+        return cell.str() < v1.str();
+      case Op::kGt:
+        return cell.str() > v1.str();
+      case Op::kBetween:
+        return cell.str() >= v1.str() && cell.str() <= v2.str();
+    }
+    return false;
+  }
+  const double x = cell.AsDouble();
+  switch (op) {
+    case Op::kEq:
+      return x == v1.AsDouble();
+    case Op::kLt:
+      return x < v1.AsDouble();
+    case Op::kGt:
+      return x > v1.AsDouble();
+    case Op::kBetween:
+      return x >= v1.AsDouble() && x <= v2.AsDouble();
+  }
+  return false;
+}
+
+std::string SimPredicate::ToSql(const std::vector<SimTableSpec>& schema,
+                                const std::string& qualifier) const {
+  const std::string col = qualifier + schema[table].columns[column].name;
+  if (op == Op::kBetween) {
+    return col + " BETWEEN " + LiteralSql(v1) + " AND " + LiteralSql(v2);
+  }
+  return col + " " + OpSql(op) + " " + LiteralSql(v1);
+}
+
+SimWorkloadGenerator::SimWorkloadGenerator(const SimWorkloadOptions& options)
+    : options_(options), rng_(options.seed) {
+  const size_t num_tables = static_cast<size_t>(
+      rng_.Uniform(static_cast<int64_t>(options_.min_tables),
+                   static_cast<int64_t>(options_.max_tables)));
+  schema_.reserve(num_tables);
+  for (size_t t = 0; t < num_tables; ++t) {
+    SimTableSpec table;
+    table.name = StrFormat("t%zu", t);
+    table.initial_rows = static_cast<size_t>(
+        rng_.Uniform(static_cast<int64_t>(options_.min_rows),
+                     static_cast<int64_t>(options_.max_rows)));
+
+    SimColumnSpec id;
+    id.name = "id";
+    id.type = DataType::kInt64;
+    table.columns.push_back(id);
+
+    SimColumnSpec fk;
+    fk.name = "fk";
+    fk.type = DataType::kInt64;
+    table.columns.push_back(fk);
+
+    const size_t payload = static_cast<size_t>(
+        rng_.Uniform(static_cast<int64_t>(options_.min_payload_columns),
+                     static_cast<int64_t>(options_.max_payload_columns)));
+    for (size_t c = 0; c < payload; ++c) {
+      SimColumnSpec col;
+      col.name = StrFormat("c%zu", c + 2);
+      col.skew = rng_.Chance(0.5) ? rng_.UniformDouble(0.4, 1.4) : 0;
+      switch (rng_.PickIndex(3)) {
+        case 0:
+          col.type = DataType::kInt64;
+          col.int_lo = rng_.Uniform(-20, 10);
+          col.int_hi = col.int_lo + rng_.Uniform(8, 120);
+          break;
+        case 1:
+          col.type = DataType::kDouble;
+          col.int_lo = 0;
+          col.int_hi = rng_.Uniform(500, 40000);  // value = grid / 100.0
+          break;
+        default:
+          col.type = DataType::kString;
+          col.dict = StringPool(static_cast<size_t>(rng_.Uniform(4, 16)));
+          break;
+      }
+      table.columns.push_back(col);
+    }
+    schema_.push_back(std::move(table));
+  }
+  next_id_.assign(schema_.size(), 1);
+}
+
+Value SimWorkloadGenerator::RandomCellValue(const SimColumnSpec& column) {
+  switch (column.type) {
+    case DataType::kInt64: {
+      const int64_t span = column.int_hi - column.int_lo;
+      const int64_t offset =
+          column.skew > 0
+              ? static_cast<int64_t>(rng_.Zipf(static_cast<size_t>(span + 1), column.skew))
+              : rng_.Uniform(0, span);
+      return Value(column.int_lo + offset);
+    }
+    case DataType::kDouble: {
+      const int64_t span = column.int_hi - column.int_lo;
+      const int64_t grid =
+          column.skew > 0
+              ? static_cast<int64_t>(rng_.Zipf(static_cast<size_t>(span + 1), column.skew))
+              : rng_.Uniform(0, span);
+      return Value(static_cast<double>(column.int_lo + grid) / 100.0);
+    }
+    case DataType::kString: {
+      const size_t i = column.skew > 0 ? rng_.Zipf(column.dict.size(), column.skew)
+                                       : rng_.PickIndex(column.dict.size());
+      return Value(column.dict[i]);
+    }
+  }
+  return Value();
+}
+
+Row SimWorkloadGenerator::GenerateRow(size_t table) {
+  const SimTableSpec& spec = schema_[table];
+  Row row;
+  row.reserve(spec.columns.size());
+  row.push_back(Value(next_id_[table]++));
+  // fk spans table 0's initial id domain so joins hit.
+  row.push_back(Value(rng_.Uniform(1, static_cast<int64_t>(schema_[0].initial_rows))));
+  for (size_t c = 2; c < spec.columns.size(); ++c) {
+    row.push_back(RandomCellValue(spec.columns[c]));
+  }
+  return row;
+}
+
+SimPredicate SimWorkloadGenerator::RandomPredicate(size_t table) {
+  const SimTableSpec& spec = schema_[table];
+  SimPredicate pred;
+  pred.table = table;
+  // Payload columns preferred; fall back to fk when there are none.
+  pred.column = spec.columns.size() > 2
+                    ? 2 + rng_.PickIndex(spec.columns.size() - 2)
+                    : 1;
+  const SimColumnSpec& col = spec.columns[pred.column];
+  if (col.type == DataType::kString) {
+    pred.op = SimPredicate::Op::kEq;
+    pred.v1 = RandomCellValue(col);
+    return pred;
+  }
+  switch (rng_.PickIndex(4)) {
+    case 0:
+      pred.op = SimPredicate::Op::kEq;
+      pred.v1 = RandomCellValue(col);
+      break;
+    case 1:
+      pred.op = SimPredicate::Op::kLt;
+      pred.v1 = RandomCellValue(col);
+      break;
+    case 2:
+      pred.op = SimPredicate::Op::kGt;
+      pred.v1 = RandomCellValue(col);
+      break;
+    default: {
+      pred.op = SimPredicate::Op::kBetween;
+      Value a = RandomCellValue(col);
+      Value b = RandomCellValue(col);
+      if (a.AsDouble() > b.AsDouble()) std::swap(a, b);
+      pred.v1 = a;
+      pred.v2 = b;
+      break;
+    }
+  }
+  return pred;
+}
+
+SimStatement SimWorkloadGenerator::MakeSelect(size_t table) {
+  SimStatement stmt;
+  stmt.table = table;
+  const size_t num_preds = 1 + rng_.PickIndex(2);
+  for (size_t i = 0; i < num_preds; ++i) {
+    stmt.predicates.push_back(RandomPredicate(table));
+  }
+  // Distinct predicate columns: repeated columns make the conjunction
+  // trivially empty and teach the optimizer nothing.
+  if (stmt.predicates.size() == 2 &&
+      stmt.predicates[0].column == stmt.predicates[1].column) {
+    stmt.predicates.pop_back();
+  }
+  std::string where;
+  for (const SimPredicate& p : stmt.predicates) {
+    if (!where.empty()) where += " AND ";
+    where += p.ToSql(schema_, "");
+  }
+  if (rng_.Chance(0.55)) {
+    stmt.kind = SimStatement::Kind::kSelectCount;
+    stmt.sql = "SELECT COUNT(*) FROM " + schema_[table].name + " WHERE " + where;
+  } else {
+    stmt.kind = SimStatement::Kind::kSelectRows;
+    stmt.select_cols = {0};  // project id: stable multiset comparison key
+    stmt.sql = "SELECT id FROM " + schema_[table].name + " WHERE " + where;
+  }
+  return stmt;
+}
+
+SimStatement SimWorkloadGenerator::MakeJoinSelect(size_t fk_table) {
+  SimStatement stmt;
+  stmt.kind = SimStatement::Kind::kSelectJoinCount;
+  stmt.table = fk_table;
+  SimPredicate pred = RandomPredicate(fk_table);
+  stmt.predicates.push_back(pred);
+  stmt.sql = "SELECT COUNT(*) FROM " + schema_[0].name + " a, " +
+             schema_[fk_table].name + " b WHERE a.id = b.fk AND " +
+             pred.ToSql(schema_, "b.");
+  return stmt;
+}
+
+SimStatement SimWorkloadGenerator::Next(bool persistence_open) {
+  const double weights[6] = {options_.select_weight,  options_.insert_weight,
+                             options_.update_weight,  options_.delete_weight,
+                             options_.analyze_weight,
+                             persistence_open ? options_.checkpoint_weight : 0};
+  double total = 0;
+  for (double w : weights) total += w;
+  double pick = rng_.UniformDouble(0, total);
+  size_t kind = 0;
+  for (; kind < 5; ++kind) {
+    if (pick < weights[kind]) break;
+    pick -= weights[kind];
+  }
+  const size_t table = rng_.PickIndex(schema_.size());
+
+  switch (kind) {
+    case 0: {  // SELECT
+      if (schema_.size() > 1 && rng_.Chance(0.25)) {
+        return MakeJoinSelect(1 + rng_.PickIndex(schema_.size() - 1));
+      }
+      return MakeSelect(table);
+    }
+    case 1: {  // INSERT
+      SimStatement stmt;
+      stmt.kind = SimStatement::Kind::kInsert;
+      stmt.table = table;
+      stmt.insert_row = GenerateRow(table);
+      std::string values;
+      for (const Value& v : stmt.insert_row) {
+        if (!values.empty()) values += ", ";
+        values += LiteralSql(v);
+      }
+      stmt.sql =
+          "INSERT INTO " + schema_[table].name + " VALUES (" + values + ")";
+      return stmt;
+    }
+    case 2: {  // UPDATE: payload column to a fresh literal, predicate-gated.
+      SimStatement stmt;
+      stmt.kind = SimStatement::Kind::kUpdate;
+      stmt.table = table;
+      const SimTableSpec& spec = schema_[table];
+      stmt.update_col =
+          spec.columns.size() > 2 ? 2 + rng_.PickIndex(spec.columns.size() - 2) : 1;
+      stmt.update_value = RandomCellValue(spec.columns[stmt.update_col]);
+      stmt.predicates.push_back(RandomPredicate(table));
+      stmt.sql = "UPDATE " + spec.name + " SET " +
+                 spec.columns[stmt.update_col].name + " = " +
+                 LiteralSql(stmt.update_value) + " WHERE " +
+                 stmt.predicates[0].ToSql(schema_, "");
+      return stmt;
+    }
+    case 3: {  // DELETE: id-range bounded so tables never empty out.
+      SimStatement stmt;
+      stmt.kind = SimStatement::Kind::kDelete;
+      stmt.table = table;
+      SimPredicate pred;
+      pred.table = table;
+      pred.column = 0;  // id
+      pred.op = SimPredicate::Op::kBetween;
+      const int64_t lo = rng_.Uniform(1, std::max<int64_t>(1, next_id_[table] - 1));
+      pred.v1 = Value(lo);
+      pred.v2 = Value(lo + rng_.Uniform(0, 8));
+      stmt.predicates.push_back(pred);
+      stmt.sql = "DELETE FROM " + schema_[table].name + " WHERE " +
+                 pred.ToSql(schema_, "");
+      return stmt;
+    }
+    case 4: {  // ANALYZE [SYNC]
+      SimStatement stmt;
+      stmt.kind = SimStatement::Kind::kAnalyze;
+      stmt.table = table;
+      stmt.sql = "ANALYZE " + schema_[table].name;
+      if (rng_.Chance(0.4)) stmt.sql += " SYNC";
+      return stmt;
+    }
+    default: {
+      SimStatement stmt;
+      stmt.kind = SimStatement::Kind::kCheckpoint;
+      stmt.sql = "CHECKPOINT";
+      return stmt;
+    }
+  }
+}
+
+}  // namespace jits::sim

@@ -1,0 +1,130 @@
+#ifndef JITS_SIM_WORKLOAD_GENERATOR_H_
+#define JITS_SIM_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/schema.h"
+
+namespace jits::sim {
+
+/// One column of a generated simulation table. The first two columns of
+/// every table are fixed — `id` (unique, 1-based) and `fk` (uniform over
+/// table 0's id domain, the join key) — followed by random "payload"
+/// columns whose type, domain and skew the seed picks.
+struct SimColumnSpec {
+  std::string name;
+  DataType type = DataType::kInt64;
+  // Numeric domain (kInt64 uses [int_lo, int_hi], kDouble scales by 0.01
+  // so printed literals round-trip exactly through the SQL text).
+  int64_t int_lo = 0;
+  int64_t int_hi = 0;
+  // kString draws from this pool, Zipf-skewed by `skew`.
+  std::vector<std::string> dict;
+  /// Zipf exponent for value generation; 0 = uniform. Skew is what makes
+  /// the uniformity assumption wrong — the regime JITS exists for.
+  double skew = 0;
+};
+
+/// One generated table: t<k>(id INT, fk INT, c2 ..., c3 ...).
+struct SimTableSpec {
+  std::string name;
+  std::vector<SimColumnSpec> columns;
+  size_t initial_rows = 0;
+
+  std::string CreateSql() const;
+};
+
+/// A predicate over one column, carried in structured form so the
+/// differential oracle can evaluate it naively without parsing SQL.
+struct SimPredicate {
+  size_t table = 0;  // schema index
+  size_t column = 0;
+  enum class Op { kEq, kLt, kGt, kBetween } op = Op::kEq;
+  Value v1;
+  Value v2;  // BETWEEN upper bound
+
+  /// Naive evaluation against one cell (the oracle's reference semantics:
+  /// same comparison rules as the engine's typed predicate evaluation).
+  bool Matches(const Value& cell) const;
+
+  /// SQL rendering; `qualifier` prefixes the column ("a." or empty).
+  std::string ToSql(const std::vector<SimTableSpec>& schema,
+                    const std::string& qualifier) const;
+};
+
+/// One statement of the simulated stream, as SQL text for the engine plus
+/// the structured description the oracle mirrors.
+struct SimStatement {
+  enum class Kind {
+    kSelectCount,      // SELECT COUNT(*) FROM t WHERE ...
+    kSelectRows,       // SELECT cX, cY FROM t WHERE ...
+    kSelectJoinCount,  // SELECT COUNT(*) FROM t0 a, tK b WHERE a.id = b.fk ...
+    kInsert,
+    kUpdate,
+    kDelete,
+    kAnalyze,     // ANALYZE t [SYNC]
+    kCheckpoint,  // CHECKPOINT (only when persistence is open)
+  };
+
+  Kind kind = Kind::kSelectCount;
+  std::string sql;
+  size_t table = 0;                      // primary table (fk side of a join)
+  std::vector<SimPredicate> predicates;  // conjunctive, per referenced table
+  std::vector<size_t> select_cols;       // kSelectRows projection
+  Row insert_row;                        // kInsert payload
+  size_t update_col = 0;                 // kUpdate target column
+  Value update_value;                    // kUpdate literal
+};
+
+struct SimWorkloadOptions {
+  uint64_t seed = 1;
+  size_t min_tables = 2;
+  size_t max_tables = 3;
+  size_t min_payload_columns = 1;
+  size_t max_payload_columns = 3;
+  size_t min_rows = 150;
+  size_t max_rows = 600;
+  /// Statement-mix weights (normalized internally).
+  double select_weight = 5.0;
+  double insert_weight = 1.5;
+  double update_weight = 1.5;
+  double delete_weight = 0.8;
+  double analyze_weight = 0.7;
+  double checkpoint_weight = 0.5;
+};
+
+/// Seeded generator of a random schema, its initial data and a mixed
+/// statement stream. Same options.seed → bit-identical schema, rows and
+/// statements, which is what makes whole episodes replayable.
+class SimWorkloadGenerator {
+ public:
+  explicit SimWorkloadGenerator(const SimWorkloadOptions& options);
+
+  const std::vector<SimTableSpec>& schema() const { return schema_; }
+
+  /// One fresh row for `table` (advances the table's id allocator).
+  Row GenerateRow(size_t table);
+
+  /// The next statement of the stream.
+  SimStatement Next(bool persistence_open);
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  Value RandomCellValue(const SimColumnSpec& column);
+  SimPredicate RandomPredicate(size_t table);
+  SimStatement MakeSelect(size_t table);
+  SimStatement MakeJoinSelect(size_t fk_table);
+
+  SimWorkloadOptions options_;
+  Rng rng_;
+  std::vector<SimTableSpec> schema_;
+  std::vector<int64_t> next_id_;  // per-table id allocator
+};
+
+}  // namespace jits::sim
+
+#endif  // JITS_SIM_WORKLOAD_GENERATOR_H_

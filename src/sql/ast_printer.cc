@@ -1,5 +1,6 @@
 #include "sql/ast_printer.h"
 
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
 
@@ -35,9 +36,58 @@ std::string PrintValue(const Value& v) {
   return "NULL";
 }
 
+/// Every word the parser can treat as a keyword (statement heads, clause
+/// markers, aggregate functions, column types). An identifier matching one
+/// of these must re-print double-quoted or the output would not re-parse.
+constexpr const char* kReservedWords[] = {
+    "ACCURACY", "ANALYZE", "AND",     "AS",          "ASC",     "AVG",
+    "BETWEEN",  "BIGINT",  "BY",      "CHAR",        "CHECKPOINT",
+    "COUNT",    "CREATE",  "DELETE",  "DESC",        "DISTINCT",
+    "DOUBLE",   "EVENTS",  "EXPLAIN", "FLOAT",       "FROM",    "GROUP",
+    "HISTORY",  "INSERT",  "INT",     "INTEGER",     "INTO",    "JITS",
+    "LIKE",     "LIMIT",   "MAX",     "METRICS",     "MIN",     "NULL",
+    "ORDER",    "PERSISTENCE",        "QUEUE",       "REAL",    "SELECT",
+    "SET",      "SHOW",    "STATUS",  "STRING",      "SUM",     "SYNC",
+    "TABLE",    "TEXT",    "TRACE",   "UPDATE",      "VALUES",  "VARCHAR",
+    "WHERE"};
+
+bool IsPlainIdent(const std::string& name) {
+  if (name.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_')) {
+    return false;
+  }
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) return false;
+  }
+  return true;
+}
+
+/// Identifier in re-lexable form: bare when it lexes back as a non-keyword
+/// identifier, otherwise double-quoted with `""` escaping (mirroring the
+/// lexer's quoted-identifier rule).
+std::string PrintIdent(const std::string& name) {
+  bool needs_quotes = !IsPlainIdent(name);
+  if (!needs_quotes) {
+    for (const char* kw : kReservedWords) {
+      if (EqualsIgnoreCase(name, kw)) {
+        needs_quotes = true;
+        break;
+      }
+    }
+  }
+  if (!needs_quotes) return name;
+  std::string out = "\"";
+  for (char c : name) {
+    out += c;
+    if (c == '"') out += '"';
+  }
+  out += '"';
+  return out;
+}
+
 std::string PrintColumnRef(const ColumnRefAst& ref) {
-  if (ref.qualifier.empty()) return ref.column;
-  return ref.qualifier + "." + ref.column;
+  if (ref.qualifier.empty()) return PrintIdent(ref.column);
+  return PrintIdent(ref.qualifier) + "." + PrintIdent(ref.column);
 }
 
 const char* OpText(CompareOp op) {
@@ -101,8 +151,8 @@ std::string PrintSelect(const SelectAst& select) {
   out += " FROM ";
   for (size_t i = 0; i < select.from.size(); ++i) {
     if (i > 0) out += ", ";
-    out += select.from[i].table;
-    if (!select.from[i].alias.empty()) out += " AS " + select.from[i].alias;
+    out += PrintIdent(select.from[i].table);
+    if (!select.from[i].alias.empty()) out += " AS " + PrintIdent(select.from[i].alias);
   }
   out += PrintWhere(select.where);
   if (!select.group_by.empty()) {
@@ -166,13 +216,13 @@ struct Printer {
 
   std::string operator()(const AnalyzeAst& analyze) const {
     std::string out = "ANALYZE";
-    if (!analyze.table.empty()) out += " " + analyze.table;
+    if (!analyze.table.empty()) out += " " + PrintIdent(analyze.table);
     if (analyze.sync) out += " SYNC";
     return out;
   }
 
   std::string operator()(const InsertAst& insert) const {
-    std::string out = "INSERT INTO " + insert.table + " VALUES (";
+    std::string out = "INSERT INTO " + PrintIdent(insert.table) + " VALUES (";
     for (size_t i = 0; i < insert.values.size(); ++i) {
       if (i > 0) out += ", ";
       out += PrintValue(insert.values[i]);
@@ -181,23 +231,24 @@ struct Printer {
   }
 
   std::string operator()(const UpdateAst& update) const {
-    std::string out = "UPDATE " + update.table + " SET ";
+    std::string out = "UPDATE " + PrintIdent(update.table) + " SET ";
     for (size_t i = 0; i < update.assignments.size(); ++i) {
       if (i > 0) out += ", ";
-      out += update.assignments[i].first + " = " + PrintValue(update.assignments[i].second);
+      out += PrintIdent(update.assignments[i].first) + " = " +
+             PrintValue(update.assignments[i].second);
     }
     return out + PrintWhere(update.where);
   }
 
   std::string operator()(const DeleteAst& del) const {
-    return "DELETE FROM " + del.table + PrintWhere(del.where);
+    return "DELETE FROM " + PrintIdent(del.table) + PrintWhere(del.where);
   }
 
   std::string operator()(const CreateTableAst& create) const {
-    std::string out = "CREATE TABLE " + create.table + " (";
+    std::string out = "CREATE TABLE " + PrintIdent(create.table) + " (";
     for (size_t i = 0; i < create.columns.size(); ++i) {
       if (i > 0) out += ", ";
-      out += create.columns[i].name + " " + TypeText(create.columns[i].type);
+      out += PrintIdent(create.columns[i].name) + " " + TypeText(create.columns[i].type);
     }
     return out + ")";
   }

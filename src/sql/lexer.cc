@@ -50,6 +50,39 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
       }
       t.text = text;
       i = j;
+    } else if (c == '"') {
+      // Double-quoted identifier, SQL-standard style: "" escapes a quote.
+      // The quoted flag survives into the token so the parser never treats
+      // the name as a keyword, letting e.g. "select" name a column.
+      size_t j = i + 1;
+      std::string text;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '"') {
+          if (j + 1 < n && sql[j + 1] == '"') {  // escaped quote
+            text += '"';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text += sql[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated quoted identifier at offset %zu", i));
+      }
+      if (text.empty()) {
+        return Status::ParseError(
+            StrFormat("empty quoted identifier at offset %zu", i));
+      }
+      t.type = TokenType::kIdentifier;
+      t.quoted = true;
+      t.text = std::move(text);
+      i = j;
     } else if (c == '\'') {
       size_t j = i + 1;
       std::string text;

@@ -94,7 +94,8 @@ class Parser {
   Token Advance() { return tokens_[pos_++]; }
 
   bool IsKeyword(const char* kw) const {
-    return Peek().type == TokenType::kIdentifier && EqualsIgnoreCase(Peek().text, kw);
+    return Peek().type == TokenType::kIdentifier && !Peek().quoted &&
+           EqualsIgnoreCase(Peek().text, kw);
   }
 
   bool MatchKeyword(const char* kw) {
@@ -240,7 +241,7 @@ class Parser {
   /// Returns the aggregate function named by the current token when it is
   /// followed by '(' (otherwise kNone, leaving the cursor untouched).
   AggFunc PeekAggFunc() const {
-    if (Peek().type != TokenType::kIdentifier ||
+    if (Peek().type != TokenType::kIdentifier || Peek().quoted ||
         PeekAhead(1).type != TokenType::kLParen) {
       return AggFunc::kNone;
     }

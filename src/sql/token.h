@@ -28,6 +28,7 @@ enum class TokenType {
 struct Token {
   TokenType type = TokenType::kEnd;
   std::string text;   // identifier (original case) or literal text
+  bool quoted = false;  // double-quoted identifier: never matches a keyword
   int64_t int_value = 0;
   double float_value = 0;
   size_t position = 0;  // byte offset for error messages

@@ -4,7 +4,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/timer.h"
+#include "common/clock.h"
 #include "obs/metrics.h"
 
 namespace jits {

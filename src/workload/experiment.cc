@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "common/timer.h"
+#include "common/clock.h"
 
 namespace jits {
 

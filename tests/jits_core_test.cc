@@ -120,6 +120,94 @@ TEST(QssArchiveTest, LruBreaksTiesAmongUniform) {
   EXPECT_EQ(archive.Find("t(a)"), nullptr);  // oldest uniform evicted
 }
 
+// ---------- Space-budget boundaries (ISSUE 7 satellite) ----------
+
+TEST(QssArchiveBudgetTest, ExactlyAtBudgetEvictsNothing) {
+  QssArchive archive(/*bucket_budget=*/4);
+  GridHistogram* a = archive.GetOrCreate("t(a)", {"a"}, {Interval{0, 10}}, 100, 1);
+  a->ApplyConstraint({Interval{0, 5}}, 90, 100, 2);  // 2 cells, skewed
+  GridHistogram* b = archive.GetOrCreate("t(b)", {"b"}, {Interval{0, 10}}, 100, 1);
+  b->ApplyConstraint({Interval{0, 5}}, 10, 100, 2);  // 2 cells, skewed
+  ASSERT_EQ(archive.total_buckets(), 4u);
+  EXPECT_EQ(archive.EnforceBudget(), 0u);  // total == budget is within budget
+  EXPECT_EQ(archive.size(), 2u);
+}
+
+TEST(QssArchiveBudgetTest, OneBucketOverBudgetEvictsExactlyOneVictim) {
+  QssArchive archive(/*bucket_budget=*/3);
+  GridHistogram* a = archive.GetOrCreate("t(a)", {"a"}, {Interval{0, 10}}, 100, 1);
+  a->ApplyConstraint({Interval{0, 5}}, 90, 100, 2);
+  a->Touch(2);
+  GridHistogram* b = archive.GetOrCreate("t(b)", {"b"}, {Interval{0, 10}}, 100, 1);
+  b->ApplyConstraint({Interval{0, 5}}, 10, 100, 2);
+  b->Touch(9);
+  ASSERT_EQ(archive.total_buckets(), 4u);  // one over budget
+  EXPECT_EQ(archive.EnforceBudget(), 1u);
+  EXPECT_EQ(archive.Find("t(a)"), nullptr);  // both skewed -> LRU breaks tie
+  EXPECT_NE(archive.Find("t(b)"), nullptr);
+  EXPECT_LE(archive.total_buckets(), 3u);
+}
+
+TEST(QssArchiveBudgetTest, ZeroBudgetSparesTheLastHistogram) {
+  // Eviction may never empty the archive: with budget 0 everything goes
+  // except a single survivor, so the optimizer always keeps its most
+  // recently useful histogram.
+  QssArchive archive(/*bucket_budget=*/0);
+  archive.GetOrCreate("t(a)", {"a"}, {Interval{0, 10}}, 100, 1)->Touch(1);
+  archive.GetOrCreate("t(b)", {"b"}, {Interval{0, 10}}, 100, 1)->Touch(2);
+  archive.GetOrCreate("t(c)", {"c"}, {Interval{0, 10}}, 100, 1)->Touch(3);
+  EXPECT_EQ(archive.EnforceBudget(), 2u);
+  EXPECT_EQ(archive.size(), 1u);
+  EXPECT_NE(archive.Find("t(c)"), nullptr);  // most recently used survives
+  // Idempotent at the floor: re-enforcing evicts nothing further.
+  EXPECT_EQ(archive.EnforceBudget(), 0u);
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(QssArchiveBudgetTest, EvictedKeyReadmitsFresh) {
+  QssArchive archive(/*bucket_budget=*/2);
+  GridHistogram* a = archive.GetOrCreate("t(a)", {"a"}, {Interval{0, 10}}, 100, 1);
+  a->ApplyConstraint({Interval{0, 1}}, 90, 100, 2);  // 2 cells, skewed
+  a->Touch(1);
+  GridHistogram* b = archive.GetOrCreate("t(b)", {"b"}, {Interval{0, 10}}, 100, 1);
+  b->ApplyConstraint({Interval{0, 1}}, 80, 100, 2);
+  b->Touch(9);
+  archive.EnforceBudget();
+  ASSERT_EQ(archive.Find("t(a)"), nullptr);
+
+  // Re-admission starts from scratch: a fresh single-cell uniform histogram,
+  // not a resurrected copy of the evicted state.
+  GridHistogram* again =
+      archive.GetOrCreate("t(a)", {"a"}, {Interval{0, 10}}, 100, 20);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again->num_cells(), 1u);
+  again->Touch(21);
+  // When pressure returns, eviction targets almost-uniform first, so the
+  // readmitted blank histogram is the next victim despite being newest.
+  archive.EnforceBudget();
+  EXPECT_EQ(archive.Find("t(a)"), nullptr);
+  EXPECT_NE(archive.Find("t(b)"), nullptr);
+}
+
+TEST(QssArchiveBudgetTest, BudgetShrinkTakesEffectOnNextEnforce) {
+  QssArchive archive(/*bucket_budget=*/100);
+  for (int i = 0; i < 4; ++i) {
+    const std::string key = StrFormat("t(c%d)", i);
+    GridHistogram* h =
+        archive.GetOrCreate(key, {StrFormat("c%d", i)}, {Interval{0, 10}}, 100, 1);
+    h->ApplyConstraint({Interval{0, 2}}, 80, 100, 2);  // skewed, 2 cells
+    h->Touch(static_cast<uint64_t>(10 + i));
+  }
+  ASSERT_EQ(archive.total_buckets(), 8u);
+  EXPECT_EQ(archive.EnforceBudget(), 0u);  // comfortably within 100
+  archive.set_bucket_budget(4);            // runtime shrink (SET-style knob)
+  EXPECT_EQ(archive.EnforceBudget(), 2u);  // two LRU victims
+  EXPECT_EQ(archive.Find("t(c0)"), nullptr);
+  EXPECT_EQ(archive.Find("t(c1)"), nullptr);
+  EXPECT_NE(archive.Find("t(c3)"), nullptr);
+  EXPECT_LE(archive.total_buckets(), 4u);
+}
+
 // ---------- ParseStatKey ----------
 
 TEST(ParseStatKeyTest, SplitsTableAndColumns) {

@@ -314,6 +314,92 @@ TEST(RestartTest, RecoversWalWrittenMidAsyncDrain) {
   }
 }
 
+TEST(RestartTest, CheckpointBetweenAsyncStepsRecoversExactly) {
+  // The checkpoint x async-drain race (ISSUE 7 satellite): a checkpoint
+  // taken *between* manual-mode collection steps splits the drained work
+  // across the snapshot (completed-before) and the fresh WAL generation
+  // (completed-after). A fault-aborted task in the post-checkpoint tail
+  // publishes nothing and logs nothing. Crash + recovery must reassemble
+  // exactly the crash-time archive from snapshot + WAL tail.
+  const std::string dir = TestDir("ckptrace");
+  const std::vector<WorkloadItem> items = QueryOnlyWorkload(60);
+
+  struct KeyState {
+    std::vector<std::vector<double>> boundaries;
+    std::vector<double> counts;
+  };
+  auto snapshot_archive = [](Database* db) {
+    std::map<std::string, KeyState> out;
+    for (const auto& [key, hist] : db->archive()->Snapshot()) {
+      GridHistogramState state = hist->ExportState();
+      out[key] = KeyState{state.boundaries, state.counts};
+    }
+    return out;
+  };
+
+  std::map<std::string, KeyState> at_crash;
+  {
+    std::unique_ptr<Database> db = MakeEngine();
+    ASSERT_TRUE(db->OpenPersistence(Options(dir)).ok());
+    async::CollectorServiceOptions options;
+    options.threads = 0;  // manual mode: the test decides when work happens
+    ASSERT_TRUE(db->EnableAsyncCollection(options).ok());
+    for (const WorkloadItem& item : items) {
+      for (const std::string& sql : item.statements) {
+        ASSERT_TRUE(db->Execute(sql).ok()) << sql;
+      }
+    }
+    ASSERT_GE(db->async_collector()->queue_depth(), 3u)
+        << "workload enqueued too little async work for the race";
+
+    // Pre-checkpoint step: this task's published state must come back from
+    // the *snapshot*.
+    ASSERT_EQ(db->async_collector()->StepOne(), async::StepOutcome::kCollected);
+    const uint64_t seq_before = db->persistence()->current_seq();
+    ASSERT_TRUE(db->Checkpoint().ok());
+    ASSERT_EQ(db->persistence()->current_seq(), seq_before + 1);
+
+    // Post-checkpoint step: this one lives only in the new WAL generation.
+    ASSERT_EQ(db->async_collector()->StepOne(), async::StepOutcome::kCollected);
+
+    // Fault-aborted step: atomic publish means nothing reaches the archive
+    // and nothing reaches the WAL — recovery must not see half a task.
+    if (db->async_collector()->queue_depth() > 0) {
+      db->async_collector()->set_fault_hook(
+          [](const CollectionTask&, size_t) { return true; });
+      const async::StepOutcome faulted = db->async_collector()->StepOne();
+      EXPECT_TRUE(faulted == async::StepOutcome::kAborted ||
+                  faulted == async::StepOutcome::kCollected)
+          << "unexpected step outcome under fault";
+      db->async_collector()->set_fault_hook(nullptr);
+    }
+
+    at_crash = snapshot_archive(db.get());
+    // Crash: no ClosePersistence, no final checkpoint.
+  }
+  ASSERT_FALSE(at_crash.empty()) << "drained tasks never materialized";
+
+  std::unique_ptr<Database> recovered = MakeEngine();
+  persist::RecoveryReport report;
+  ASSERT_TRUE(recovered->OpenPersistence(Options(dir), &report).ok());
+  ASSERT_TRUE(report.snapshot_loaded);
+
+  const std::map<std::string, KeyState> after = snapshot_archive(recovered.get());
+  ASSERT_EQ(after.size(), at_crash.size());
+  for (const auto& [key, want] : at_crash) {
+    ASSERT_TRUE(after.count(key)) << "lost archive key " << key;
+    EXPECT_EQ(after.at(key).boundaries, want.boundaries) << key;
+    EXPECT_EQ(after.at(key).counts, want.counts) << key;
+  }
+
+  // The async queue is volatile by design: re-enabling collection after
+  // recovery starts empty — pending entries are never resurrected.
+  async::CollectorServiceOptions options;
+  options.threads = 0;
+  ASSERT_TRUE(recovered->EnableAsyncCollection(options).ok());
+  EXPECT_EQ(recovered->async_collector()->queue_depth(), 0u);
+}
+
 TEST(RestartTest, CheckpointStatementAndShowPersistence) {
   const std::vector<WorkloadItem> items = QueryOnlyWorkload(20);
   const std::string dir = TestDir("sql");

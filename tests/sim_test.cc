@@ -1,0 +1,158 @@
+// Deterministic whole-system simulation tests (the tentpole of ISSUE 7):
+// seeded episodes run the full engine — SQL, JITS, optimizer, executor,
+// manual-mode async collection, persistence with crash-restart cycles,
+// telemetry — under one injected SimClock, audited by the differential
+// oracle. Same seed replays bit-identically; the root seed comes from
+// JITS_TEST_SEED (tests/test_util.h) so any failure reproduces from its
+// log line.
+
+#include "sim/sim_harness.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "histogram/grid_histogram.h"
+#include "tests/test_util.h"
+
+namespace jits::sim {
+namespace {
+
+using ::jits::testing_util::DeriveSeed;
+
+std::string EpisodeDir(const std::string& tag) {
+  // One fresh subdirectory per episode; the harness wipes leftover files.
+  const std::string dir = ::testing::TempDir() + "jits_sim_" + tag;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void ExpectClean(const SimReport& report, const std::string& tag) {
+  EXPECT_TRUE(report.violations.empty())
+      << tag << ": " << report.violations.size() << " oracle violations, first: "
+      << report.violations.front();
+  for (const std::string& v : report.violations) {
+    fprintf(stderr, "[%s] ORACLE: %s\n", tag.c_str(), v.c_str());
+  }
+}
+
+/// RAII guard for the process-global mutation hook.
+struct SkipFittingGuard {
+  explicit SkipFittingGuard(bool on) { GridHistogram::set_skip_fitting_for_test(on); }
+  ~SkipFittingGuard() { GridHistogram::set_skip_fitting_for_test(false); }
+};
+
+// --- The 50-episode chaos sweep. Parameterized so GTest sharding spreads
+// episodes across CI shards; each episode is an independent seed with its
+// own schema, workload, async schedule and >= 2 crash-restart cycles (odd
+// episodes add torn-WAL fault injection on top). ---
+
+class SimEpisodeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimEpisodeTest, EpisodeIsCleanAndOracleAgrees) {
+  const int episode = GetParam();
+  SimOptions options;
+  options.seed = DeriveSeed("sim-episode-" + std::to_string(episode));
+  options.statements = 100;
+  options.crash_cycles = 2;
+  options.fault_injection = (episode % 2) == 1;
+  options.data_dir = EpisodeDir("episode_" + std::to_string(episode));
+
+  const SimReport report = RunSimEpisode(options);
+  ExpectClean(report, "episode-" + std::to_string(episode));
+  EXPECT_GE(report.crashes, 2u);
+  EXPECT_GT(report.statements_run, options.statements / 2);
+  EXPECT_GT(report.final_clock, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChaosSweep, SimEpisodeTest, ::testing::Range(0, 50));
+
+// --- Determinism: the same seed must replay bit-identically, including
+// every event-log line (timestamps come from the SimClock). ---
+
+TEST(SimDeterminismTest, SameSeedBitIdenticalEventLogs) {
+  SimOptions options;
+  options.seed = DeriveSeed("sim-replay");
+  options.statements = 120;
+  options.crash_cycles = 3;
+  options.fault_injection = true;
+
+  options.data_dir = EpisodeDir("replay_a");
+  const SimReport first = RunSimEpisode(options);
+  ExpectClean(first, "replay-a");
+
+  options.data_dir = EpisodeDir("replay_b");
+  const SimReport second = RunSimEpisode(options);
+  ExpectClean(second, "replay-b");
+
+  ASSERT_FALSE(first.event_fingerprint.empty());
+  EXPECT_EQ(first.event_fingerprint, second.event_fingerprint)
+      << "same-seed episodes produced different event logs ("
+      << first.event_fingerprint.size() << " vs "
+      << second.event_fingerprint.size() << " bytes)";
+  EXPECT_EQ(first.final_clock, second.final_clock);
+  EXPECT_EQ(first.statements_run, second.statements_run);
+  EXPECT_EQ(first.crashes, second.crashes);
+  EXPECT_EQ(first.faults_injected, second.faults_injected);
+  EXPECT_EQ(first.async_steps, second.async_steps);
+}
+
+TEST(SimDeterminismTest, DifferentSeedsDiverge) {
+  SimOptions options;
+  options.statements = 40;
+  options.crash_cycles = 0;
+
+  options.seed = DeriveSeed("sim-diverge-a");
+  options.data_dir = EpisodeDir("diverge_a");
+  const SimReport a = RunSimEpisode(options);
+
+  options.seed = DeriveSeed("sim-diverge-b");
+  options.data_dir = EpisodeDir("diverge_b");
+  const SimReport b = RunSimEpisode(options);
+
+  EXPECT_NE(a.event_fingerprint, b.event_fingerprint);
+}
+
+// --- Mutation smoke: plant a statistics bug (skip the IPF fitting loop, so
+// published histograms stop absorbing their constraints) and require the
+// oracle to catch it. The clean run of the SAME seed proves the violations
+// are caused by the mutation, not by flaky tolerances. ---
+
+TEST(SimMutationTest, SkippedIpfFittingIsCaughtByOracle) {
+  SimOptions options;
+  options.seed = DeriveSeed("sim-mutation");
+  options.statements = 80;
+  options.crash_cycles = 0;
+  options.fault_injection = false;
+  // Table-3 mode: every query materializes every group, so the archive is
+  // guaranteed to hold histograms for the planted bug to corrupt.
+  options.collect_everything = true;
+
+  options.data_dir = EpisodeDir("mutation_clean");
+  const SimReport clean = RunSimEpisode(options);
+  ExpectClean(clean, "mutation-clean");
+
+  options.data_dir = EpisodeDir("mutation_buggy");
+  SimReport buggy;
+  {
+    SkipFittingGuard guard(true);
+    buggy = RunSimEpisode(options);
+  }
+  EXPECT_FALSE(buggy.violations.empty())
+      << "oracle missed the skipped-IPF mutation entirely";
+  bool mass_violation = false;
+  for (const std::string& v : buggy.violations) {
+    if (v.find("mass drift") != std::string::npos ||
+        v.find("q-error") != std::string::npos) {
+      mass_violation = true;
+    }
+  }
+  EXPECT_TRUE(mass_violation)
+      << "violations present but none implicate statistics mass/accuracy";
+}
+
+}  // namespace
+}  // namespace jits::sim

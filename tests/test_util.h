@@ -1,9 +1,12 @@
 #ifndef JITS_TESTS_TEST_UTIL_H_
 #define JITS_TESTS_TEST_UTIL_H_
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "gtest/gtest.h"
 
 #include "catalog/catalog.h"
 #include "common/rng.h"
@@ -13,6 +16,54 @@
 
 namespace jits {
 namespace testing_util {
+
+/// The root seed for property-style (randomized) tests. Defaults to a
+/// fixed value so CI is reproducible; override with JITS_TEST_SEED=<n> to
+/// replay a failure or to widen coverage across runs. Every randomized
+/// test derives its own stream from this via DeriveSeed, and the failure
+/// listener below prints the root on any assertion failure.
+inline uint64_t RootSeed() {
+  static const uint64_t seed = [] {
+    const char* env = std::getenv("JITS_TEST_SEED");
+    if (env != nullptr && *env != '\0') {
+      return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+    }
+    return static_cast<uint64_t>(20260809);
+  }();
+  return seed;
+}
+
+/// Independent deterministic sub-seed for one named test stream (SplitMix64
+/// over the root seed and a label hash), so adding a new randomized test
+/// never perturbs existing streams.
+inline uint64_t DeriveSeed(const std::string& label) {
+  uint64_t z = RootSeed();
+  for (char c : label) z = (z ^ static_cast<uint64_t>(c)) * 0x100000001b3ull;
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Prints the root seed next to every test-part failure so a failing
+/// randomized run is reproducible from the log alone:
+///   JITS_TEST_SEED=20260809 ctest -R sim_test
+class SeedReportingListener : public ::testing::EmptyTestEventListener {
+ public:
+  void OnTestPartResult(const ::testing::TestPartResult& result) override {
+    if (result.failed()) {
+      fprintf(stderr, "[  SEED    ] reproduce with JITS_TEST_SEED=%llu\n",
+              static_cast<unsigned long long>(RootSeed()));
+    }
+  }
+};
+
+/// Registers the listener once per test binary that includes this header.
+inline const bool kSeedListenerRegistered = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new SeedReportingListener);
+  return true;
+}();
 
 /// Creates a table with int columns a,b and string column s, populated with
 /// `n` rows: a = i % a_mod, b = i % b_mod (correlated with a when moduli
