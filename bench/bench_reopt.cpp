@@ -1,0 +1,158 @@
+// Mid-query re-optimization: end-to-end latency with `reopt.enabled` off
+// vs on, over a skewed star-join workload in the stale-statistics regime
+// (JITS disabled, no ANALYZE — the optimizer plans on catalog defaults).
+//
+// The two engines run *paired*: every query executes on both back-to-back,
+// so machine drift cancels out of the comparison. Correctness is asserted
+// along the way — both engines must return identical COUNT(*) answers —
+// and each engine emits one `JITS_RESULT` line (schema in bench_util.h)
+// with latency percentiles, total re-plans and the full metrics dump.
+//
+// Environment knobs:
+//   JITS_REOPT_HUB_ROWS   hub dimension rows        (default 200)
+//   JITS_REOPT_FACT_ROWS  rows per fact table       (default 20000)
+//   JITS_REOPT_QUERIES    join queries per engine   (default 150)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "engine/database.h"
+#include "obs/metrics.h"
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<size_t>(std::atoll(v));
+}
+
+}  // namespace
+
+int main() {
+  using namespace jits;
+
+  const size_t hub_rows = EnvSize("JITS_REOPT_HUB_ROWS", 200);
+  const size_t fact_rows = EnvSize("JITS_REOPT_FACT_ROWS", 20000);
+  const size_t queries = EnvSize("JITS_REOPT_QUERIES", 150);
+
+  std::printf("==============================================================\n");
+  std::printf("Mid-query re-optimization latency  (reopt off vs on)\n");
+  std::printf("hub=%zu rows, 2 fact tables x %zu rows, %zu join queries\n",
+              hub_rows, fact_rows, queries);
+  std::printf("==============================================================\n");
+
+  // The planted-skew star schema: 90%% of `big.v` is 7, the rest uniform
+  // over [0, 50); `med.w` uniform over [0, 3). Catalog defaults model
+  // neither the skew nor the fk fan-out, so equality predicates on the
+  // common value misestimate by orders of magnitude.
+  auto build = [&]() {
+    auto db = std::make_unique<Database>(1234);
+    db->set_row_limit(0);
+    (void)db->Execute("CREATE TABLE hub (id INT, tag INT)");
+    (void)db->Execute("CREATE TABLE big (id INT, fk INT, v INT)");
+    (void)db->Execute("CREATE TABLE med (id INT, fk INT, w INT)");
+    Table* hub = db->catalog()->FindTable("hub");
+    Table* big = db->catalog()->FindTable("big");
+    Table* med = db->catalog()->FindTable("med");
+    Rng rng(42);
+    for (size_t i = 1; i <= hub_rows; ++i) {
+      (void)hub->Insert({Value(static_cast<int64_t>(i)),
+                         Value(static_cast<int64_t>(i % 5))});
+    }
+    for (size_t i = 1; i <= fact_rows; ++i) {
+      const int64_t v = rng.UniformDouble(0, 1) < 0.9
+                            ? 7
+                            : static_cast<int64_t>(rng.Uniform(0, 50));
+      (void)big->Insert({Value(static_cast<int64_t>(i)),
+                         Value(static_cast<int64_t>(i % hub_rows + 1)), Value(v)});
+      (void)med->Insert({Value(static_cast<int64_t>(i)),
+                         Value(static_cast<int64_t>(i % hub_rows + 1)),
+                         Value(static_cast<int64_t>(rng.Uniform(0, 3)))});
+    }
+    db->jits_config()->enabled = false;  // stale-statistics regime
+    return db;
+  };
+
+  std::unique_ptr<Database> off = build();
+  std::unique_ptr<Database> on = build();
+  (void)on->Execute("SET reopt.enabled = true");
+  (void)on->Execute("SET reopt.threshold = 2.0");
+  (void)on->Execute("SET reopt.max_replans = 2");
+
+  Rng qrng(7);
+  Histogram hist_off(MetricBuckets::Latency());
+  Histogram hist_on(MetricBuckets::Latency());
+  double total_off = 0;
+  double total_on = 0;
+  size_t replans = 0;
+  size_t mismatches = 0;
+  size_t errors = 0;
+  for (size_t q = 0; q < queries; ++q) {
+    // Mostly the heavily-skewed common value (worst misestimate), sometimes
+    // a rare one; the med-side filter varies the join fan-in.
+    const long long v = qrng.UniformDouble(0, 1) < 0.7
+                            ? 7
+                            : static_cast<long long>(qrng.Uniform(0, 50));
+    const std::string sql = StrFormat(
+        "SELECT COUNT(*) FROM hub a, big b, med c WHERE a.id = b.fk "
+        "AND a.id = c.fk AND b.v = %lld AND c.w = %lld",
+        v, static_cast<long long>(qrng.Uniform(0, 3)));
+
+    QueryResult r_off;
+    Stopwatch off_watch;
+    if (!off->Execute(sql, &r_off).ok()) ++errors;
+    const double off_s = off_watch.Seconds();
+    hist_off.Observe(off_s);
+    total_off += off_s;
+
+    QueryResult r_on;
+    Stopwatch on_watch;
+    if (!on->Execute(sql, &r_on).ok()) ++errors;
+    const double on_s = on_watch.Seconds();
+    hist_on.Observe(on_s);
+    total_on += on_s;
+
+    replans += r_on.replans;
+    if (r_off.rows.size() != 1 || r_on.rows.size() != 1 ||
+        r_off.rows[0][0].AsDouble() != r_on.rows[0][0].AsDouble()) {
+      ++mismatches;
+    }
+  }
+
+  std::printf("reopt-off: total=%7.1fms p50=%6.2fms p95=%6.2fms\n", total_off * 1e3,
+              hist_off.Percentile(0.50) * 1e3, hist_off.Percentile(0.95) * 1e3);
+  std::printf("reopt-on : total=%7.1fms p50=%6.2fms p95=%6.2fms (%zu re-plans)\n",
+              total_on * 1e3, hist_on.Percentile(0.50) * 1e3,
+              hist_on.Percentile(0.95) * 1e3, replans);
+  if (mismatches != 0 || errors != 0) {
+    std::printf("FAIL: %zu answer mismatches, %zu statement errors\n", mismatches,
+                errors);
+  }
+
+  bench::JsonResultLine("reopt_latency", "reopt-off")
+      .Count("queries", queries)
+      .Num("workload_seconds", total_off)
+      .Num("avg_execute_seconds", total_off / static_cast<double>(queries))
+      .Num("p50_seconds", hist_off.Percentile(0.50))
+      .Num("p95_seconds", hist_off.Percentile(0.95))
+      .Count("replans", 0)
+      .Json("metrics", off->metrics()->ExportJson())
+      .Print();
+  bench::JsonResultLine("reopt_latency", "reopt-on")
+      .Count("queries", queries)
+      .Num("workload_seconds", total_on)
+      .Num("avg_execute_seconds", total_on / static_cast<double>(queries))
+      .Num("p50_seconds", hist_on.Percentile(0.50))
+      .Num("p95_seconds", hist_on.Percentile(0.95))
+      .Count("replans", replans)
+      .Json("metrics", on->metrics()->ExportJson())
+      .Print();
+
+  return (mismatches == 0 && errors == 0) ? 0 : 1;
+}

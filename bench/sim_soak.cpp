@@ -10,6 +10,9 @@
 //   SIM_SOAK_STATEMENTS  statements per episode      (default 160)
 //   SIM_SOAK_SEED        root seed for the sweep     (default 20260809)
 //   SIM_SOAK_DIR         scratch directory           (default /tmp/jits_sim_soak)
+//   SIM_SOAK_REOPT       1 = enable mid-query re-optimization (default 0);
+//                        per-episode thresholds/budgets come off the
+//                        episode's deterministic schedule stream
 #include <sys/stat.h>
 
 #include <cstdio>
@@ -42,33 +45,38 @@ int main() {
   const uint64_t episodes = EnvU64("SIM_SOAK_EPISODES", 200);
   const uint64_t statements = EnvU64("SIM_SOAK_STATEMENTS", 160);
   const uint64_t root = EnvU64("SIM_SOAK_SEED", 20260809);
+  const bool reopt = EnvU64("SIM_SOAK_REOPT", 0) != 0;
   const char* dir_env = std::getenv("SIM_SOAK_DIR");
   const std::string dir = dir_env != nullptr && *dir_env != '\0'
                               ? std::string(dir_env)
                               : std::string("/tmp/jits_sim_soak");
   ::mkdir(dir.c_str(), 0755);
 
-  std::printf("sim_soak: %llu episodes x %llu statements, root seed %llu\n",
+  std::printf("sim_soak: %llu episodes x %llu statements, root seed %llu, "
+              "reopt %s\n",
               static_cast<unsigned long long>(episodes),
               static_cast<unsigned long long>(statements),
-              static_cast<unsigned long long>(root));
+              static_cast<unsigned long long>(root), reopt ? "on" : "off");
 
   uint64_t failed = 0;
   size_t total_statements = 0;
   size_t total_crashes = 0;
   size_t total_faults = 0;
+  size_t total_replans = 0;
   for (uint64_t e = 0; e < episodes; ++e) {
     SimOptions options;
     options.seed = DeriveSeed(root, e);
     options.statements = statements;
     options.crash_cycles = 2 + (e % 3);
     options.fault_injection = (e % 2) == 1;
+    options.reopt = reopt;
     options.data_dir = dir;  // harness wipes it per episode
 
     const SimReport report = RunSimEpisode(options);
     total_statements += report.statements_run;
     total_crashes += report.crashes;
     total_faults += report.faults_injected;
+    total_replans += report.replans;
     if (!report.violations.empty()) {
       ++failed;
       std::printf("FAIL episode %llu (seed %llu): %zu violations\n",
@@ -86,10 +94,10 @@ int main() {
   }
 
   std::printf("sim_soak: %llu/%llu episodes clean (%zu statements, %zu "
-              "crashes, %zu WAL faults)\n",
+              "crashes, %zu WAL faults, %zu re-plans)\n",
               static_cast<unsigned long long>(episodes - failed),
               static_cast<unsigned long long>(episodes), total_statements,
-              total_crashes, total_faults);
+              total_crashes, total_faults, total_replans);
   if (failed != 0) {
     std::printf("reproduce a failure with tests/sim_test: set the episode "
                 "seed printed above in a SimOptions and rerun.\n");

@@ -48,6 +48,7 @@ Database::Database(uint64_t seed)
   drift_->set_metrics(&metrics_);
   drift_->set_events(&event_log_);
   feedback_.set_drift(drift_.get());
+  feedback_.set_stats_targets(&archive_, &catalog_);
   // Even without a pool, the collector must serialize the shared Rng.
   jits_.set_runtime(nullptr, &rng_mu_);
 }
@@ -271,6 +272,8 @@ Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
     }
   } else if (auto* show = std::get_if<ShowAst>(&bound.value())) {
     status = RunShow(*show, result);
+  } else if (auto* set = std::get_if<SetAst>(&bound.value())) {
+    status = RunSet(*set, result, now);
   } else {
     status = Status::Internal("unhandled bound statement");
   }
@@ -344,17 +347,88 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
   }
 
   // --- Execution. ---
+  // Snapshot the re-optimization settings once per statement, so a racing
+  // SET cannot flip the mode mid-query.
+  ReoptConfig reopt;
+  {
+    std::lock_guard<std::mutex> lock(reopt_mu_);
+    reopt = reopt_config_;
+  }
   Stopwatch exec_watch(wall_clock_);
-  Executor executor(block, exec_pool_.get(), &obs_);
-  Result<ExecResult> exec = [&] {
+  // Keeps retired plan trees alive: node_actuals holds PlanNode pointers
+  // into plans that were replaced mid-query.
+  AdaptiveExecutor::Output adaptive;
+  Result<ExecResult> exec = [&]() -> Result<ExecResult> {
     TraceSpan span(&tracer_, "execute");
     Stopwatch watch(wall_clock_);
-    Result<ExecResult> r = executor.Execute(*plan.value().root);
+    Result<ExecResult> r = [&]() -> Result<ExecResult> {
+      if (!reopt.enabled) {
+        Executor executor(block, exec_pool_.get(), &obs_);
+        return executor.Execute(*plan.value().root);
+      }
+      ReoptHooks hooks;
+      hooks.replan = [&](const RemainderInput& in) {
+        return optimizer_.ReplanRemainder(*block, sources, in, &obs_);
+      };
+      hooks.inject = [&](const std::vector<AccessObservation>& fresh) {
+        size_t injected = 0;
+        for (const AccessObservation& ob : fresh) {
+          // Conditional observations (index-NL inner side) are per-probe
+          // counts, not full-table selectivities — never inject those.
+          if (ob.conditional) continue;
+          injected += feedback_.InjectObservation(
+              *block, block->tables[static_cast<size_t>(ob.table_idx)].table,
+              ob.table_idx, ob.passed_rows, ob.denominator_rows, now);
+        }
+        return injected;
+      };
+      AdaptiveExecutor adaptive_exec(block, reopt, std::move(hooks),
+                                     exec_pool_.get(), &obs_);
+      Result<AdaptiveExecutor::Output> out = adaptive_exec.Execute(&plan.value());
+      if (!out.ok()) return out.status();
+      adaptive = std::move(out).value();
+      return std::move(adaptive.exec);
+    }();
     obs_.ObserveLatency("latency.execute", watch.Seconds());
     return r;
   }();
   if (!exec.ok()) return exec.status();
   const Relation& output = exec.value().output;
+
+  // Worst per-operator q-error over the final (possibly re-planned) tree.
+  // Materialized leaves are exact by construction and excluded.
+  double max_operator_q = 1.0;
+  for (const auto& [node, rows] : exec.value().node_actuals) {
+    if (node->type == PlanNode::Type::kMaterialized) continue;
+    const double e = std::max(node->est_rows, 0.5);
+    const double a = std::max(rows, 0.5);
+    max_operator_q = std::max(max_operator_q, std::max(e / a, a / e));
+  }
+  result->max_operator_qerror = max_operator_q;
+
+  if (reopt.enabled) {
+    const ReoptStats& rs = adaptive.stats;
+    result->replans = rs.replans;
+    obs_.Count("jits.reopt.checks", static_cast<double>(rs.checks));
+    obs_.Count("jits.reopt.triggers", static_cast<double>(rs.triggers));
+    obs_.Count("jits.reopt.replans", static_cast<double>(rs.replans));
+    obs_.Count("jits.reopt.exhausted", static_cast<double>(rs.exhausted));
+    obs_.Count("jits.reopt.injected_constraints",
+               static_cast<double>(adaptive.injected_constraints));
+    metrics_.GetHistogram("jits.reopt.qerror", MetricBuckets::QError())
+        ->Observe(rs.max_qerror);
+    for (size_t i = 0; i < rs.points.size(); ++i) {
+      const ReplanPoint& p = rs.points[i];
+      obs_.Event(EventSeverity::kInfo, "reopt", "replan",
+                 {{"ordinal", StrFormat("%zu", i + 1)},
+                  {"trigger", p.trigger},
+                  {"est_rows", StrFormat("%.0f", p.est_rows)},
+                  {"actual_rows", StrFormat("%.0f", p.actual_rows)},
+                  {"qerror", StrFormat("%.2f", p.qerror)},
+                  {"remainder_tables", StrFormat("%zu", p.remainder_tables)}},
+                 now);
+    }
+  }
 
   // --- Feedback (LEO-lite): estimates vs observed cardinalities. ---
   auto record_feedback = [&] {
@@ -381,15 +455,24 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
     result->execute_seconds = exec_watch.Seconds();
     record_feedback();
     result->plan_text = plan.value().ToString(*block, &exec.value().node_actuals);
-    PlanTextToRows(result->plan_text, result);
-    double max_q = 1.0;
-    for (const auto& [node, rows] : exec.value().node_actuals) {
-      const double e = std::max(node->est_rows, 0.5);
-      const double a = std::max(rows, 0.5);
-      max_q = std::max(max_q, std::max(e / a, a / e));
+    if (!result->plan_text.empty() && result->plan_text.back() != '\n' &&
+        !adaptive.stats.points.empty()) {
+      result->plan_text += '\n';
     }
-    result->rows.push_back({Value(StrFormat(
-        "actual rows: %zu, max operator q-error: %.2f", output.count(), max_q))});
+    for (size_t i = 0; i < adaptive.stats.points.size(); ++i) {
+      const ReplanPoint& p = adaptive.stats.points[i];
+      result->plan_text += StrFormat(
+          "re-plan %zu after %s: est=%.0f actual=%.0f q=%.2f, remainder=%zu table(s)\n",
+          i + 1, p.trigger.c_str(), p.est_rows, p.actual_rows, p.qerror,
+          p.remainder_tables);
+    }
+    PlanTextToRows(result->plan_text, result);
+    std::string summary = StrFormat("actual rows: %zu, max operator q-error: %.2f",
+                                    output.count(), result->max_operator_qerror);
+    if (reopt.enabled) {
+      summary += StrFormat(", re-plans: %zu", adaptive.stats.replans);
+    }
+    result->rows.push_back({Value(std::move(summary))});
     result->num_rows = result->rows.size();
     return Status::OK();
   }
@@ -993,6 +1076,13 @@ Status Database::RunShow(const ShowAst& show, QueryResult* result) {
   add("jits.sensitivity_enabled", jits_config_.sensitivity_enabled ? "true" : "false");
   add("jits.s_max", StrFormat("%.3f", jits_config_.s_max));
   add("jits.sample_rows", StrFormat("%zu", jits_config_.sample_rows));
+  {
+    std::lock_guard<std::mutex> lock(reopt_mu_);
+    add("reopt.enabled", reopt_config_.enabled ? "true" : "false");
+    add("reopt.threshold", StrFormat("%.3f", reopt_config_.threshold));
+    add("reopt.max_replans", StrFormat("%d", reopt_config_.max_replans));
+  }
+  add("reopt.replans", StrFormat("%.0f", metrics_.CounterValue("jits.reopt.replans")));
   add("archive.histograms", StrFormat("%zu", archive_.size()));
   add("archive.buckets_used", StrFormat("%zu", archive_.total_buckets()));
   add("archive.bucket_budget", StrFormat("%zu", archive_.bucket_budget()));
@@ -1032,6 +1122,58 @@ Status Database::RunShow(const ShowAst& show, QueryResult* result) {
     add("sensitivity." + table, StrFormat("s1=%.3f s2=%.3f", m.value, s2));
   }
   result->num_rows = result->rows.size();
+  return Status::OK();
+}
+
+Status Database::RunSet(const SetAst& set, QueryResult* result, uint64_t now) {
+  // `SET <name> = <value>`: the runtime-settable engine tunables. Only the
+  // reopt.* family is settable so far — jits/async knobs are structural and
+  // stay configure-before-serving (see docs/CONCURRENCY.md).
+  auto as_bool = [&]() -> Result<bool> {
+    if (!set.word.empty()) {
+      if (set.word == "true" || set.word == "on") return true;
+      if (set.word == "false" || set.word == "off") return false;
+      return Status::InvalidArgument("expected true or false for " + set.name);
+    }
+    if (set.value.is_int64()) return set.value.int64() != 0;
+    return Status::InvalidArgument("expected true or false for " + set.name);
+  };
+  auto as_double = [&]() -> Result<double> {
+    if (set.word.empty() && (set.value.is_int64() || set.value.is_double())) {
+      return set.value.AsDouble();
+    }
+    return Status::InvalidArgument("expected a number for " + set.name);
+  };
+
+  std::string rendered;
+  if (set.name == "reopt.enabled") {
+    Result<bool> v = as_bool();
+    if (!v.ok()) return v.status();
+    std::lock_guard<std::mutex> lock(reopt_mu_);
+    reopt_config_.enabled = v.value();
+    rendered = v.value() ? "true" : "false";
+  } else if (set.name == "reopt.threshold") {
+    Result<double> v = as_double();
+    if (!v.ok()) return v.status();
+    if (v.value() < 1.0) {
+      return Status::InvalidArgument("reopt.threshold must be >= 1.0 (q-error scale)");
+    }
+    std::lock_guard<std::mutex> lock(reopt_mu_);
+    reopt_config_.threshold = v.value();
+    rendered = StrFormat("%.3f", v.value());
+  } else if (set.name == "reopt.max_replans") {
+    if (!set.word.empty() || !set.value.is_int64() || set.value.int64() < 0) {
+      return Status::InvalidArgument("expected a non-negative integer for " + set.name);
+    }
+    std::lock_guard<std::mutex> lock(reopt_mu_);
+    reopt_config_.max_replans = static_cast<int>(set.value.int64());
+    rendered = StrFormat("%lld", static_cast<long long>(set.value.int64()));
+  } else {
+    return Status::InvalidArgument("unknown setting: " + set.name);
+  }
+  obs_.Event(EventSeverity::kInfo, "engine", "set",
+             {{"name", set.name}, {"value", rendered}}, now);
+  result->num_rows = 1;
   return Status::OK();
 }
 

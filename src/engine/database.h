@@ -16,6 +16,7 @@
 #include "common/clock.h"
 #include "core/jits_module.h"
 #include "core/qss_archive.h"
+#include "exec/reopt.h"
 #include "feedback/feedback.h"
 #include "obs/drift_monitor.h"
 #include "obs/event_log.h"
@@ -54,6 +55,12 @@ struct QueryResult {
   /// Per-query pipeline trace (empty unless the Database's tracer is
   /// enabled). Render with trace.ToString().
   TraceNode trace;
+
+  /// Adaptive re-optimization outcome (SELECT with reopt enabled): how many
+  /// times the remainder was re-planned mid-query, and the worst operator
+  /// q-error observed across all pipeline breakers that actually ran.
+  size_t replans = 0;
+  double max_operator_qerror = 0;
 
   /// One optimizer estimate paired with its observed outcome — what the
   /// feedback loop recorded, surfaced so harnesses (the differential oracle)
@@ -145,6 +152,10 @@ class Database {
   const persist::RecoveryReport& last_recovery() const { return last_recovery_; }
 
   JitsConfig* jits_config() { return &jits_config_; }
+  /// Adaptive re-optimization tunables (`SET reopt.*`; see docs/REOPT.md).
+  /// Like jits_config, the raw accessor is NOT synchronized — configure
+  /// before spawning clients, or use `SET reopt.*` statements, which are.
+  ReoptConfig* reopt_config() { return &reopt_config_; }
   Catalog* catalog() { return &catalog_; }
   MetricsRegistry* metrics() { return &metrics_; }
   Tracer* tracer() { return &tracer_; }
@@ -241,6 +252,7 @@ class Database {
   Status RunUpdate(const BoundUpdate& stmt, QueryResult* result);
   Status RunDelete(const BoundDelete& stmt, QueryResult* result);
   Status RunShow(const ShowAst& show, QueryResult* result);
+  Status RunSet(const SetAst& set, QueryResult* result, uint64_t now);
 
   /// Deep-copies all JITS state into a snapshot (called under the exclusive
   /// persist gate; serialization happens outside it).
@@ -268,6 +280,10 @@ class Database {
   Optimizer optimizer_;
   JitsModule jits_;
   JitsConfig jits_config_;
+  ReoptConfig reopt_config_;
+  /// Serializes `SET reopt.*` against the reads in RunSelect (the struct is
+  /// three words — a statement copies it once under this lock).
+  mutable std::mutex reopt_mu_;
   Rng rng_;
   std::mutex rng_mu_;  // serializes rng_ across concurrent sessions
   const Clock* wall_clock_ = Clock::Real();

@@ -25,6 +25,14 @@ Result<ExecResult> Executor::Execute(const PlanNode& root) {
 }
 
 Result<Relation> Executor::ExecuteNode(const PlanNode& node, ExecResult* result) {
+  if (completed_ != nullptr) {
+    auto it = completed_->find(&node);
+    if (it != completed_->end()) {
+      // Answered from the pinned intermediate; the stepper recorded the
+      // actuals and observations when this subtree originally ran.
+      return Relation(*it->second);
+    }
+  }
   Result<Relation> rel = [&]() -> Result<Relation> {
     switch (node.type) {
       case PlanNode::Type::kSeqScan:
@@ -34,6 +42,11 @@ Result<Relation> Executor::ExecuteNode(const PlanNode& node, ExecResult* result)
         return ExecuteHashJoin(node, result);
       case PlanNode::Type::kIndexNLJoin:
         return ExecuteIndexNLJoin(node, result);
+      case PlanNode::Type::kMaterialized:
+        if (node.materialized == nullptr) {
+          return Status::Internal("materialized node without relation");
+        }
+        return Relation(*node.materialized);
     }
     return Status::Internal("unknown plan node type");
   }();
@@ -74,10 +87,11 @@ Result<Relation> Executor::ExecuteScan(const PlanNode& node, ExecResult* result)
     out.data = ParallelScanMatches(*table, preds, pool_, obs_);
   }
 
-  if (!node.pred_indices.empty()) {
-    ob.passed_rows = static_cast<double>(out.data.size());
-    result->observations.push_back(ob);
-  }
+  // Predicate-free scans observe passed == denominator; the adaptive
+  // executor still wants those (they carry the table's exact visible
+  // cardinality into the statistics stores ahead of a re-plan).
+  ob.passed_rows = static_cast<double>(out.data.size());
+  result->observations.push_back(ob);
   return out;
 }
 

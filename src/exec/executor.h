@@ -2,25 +2,16 @@
 #define JITS_EXEC_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "exec/relation.h"
 #include "optimizer/plan.h"
 #include "query/query_block.h"
 
 namespace jits {
-
-/// A materialized intermediate result: tuples of base-table row ids.
-/// `table_idxs[i]` names the table occurrence for slot i of each tuple;
-/// `data` is row-major with stride `table_idxs.size()`.
-struct Relation {
-  std::vector<int> table_idxs;
-  std::vector<uint32_t> data;
-
-  size_t width() const { return table_idxs.size(); }
-  size_t count() const { return width() == 0 ? 0 : data.size() / width(); }
-  int SlotOf(int table_idx) const;
-};
 
 /// What the runtime actually observed at one base-table access — the raw
 /// material of the LEO-lite feedback loop.
@@ -68,6 +59,17 @@ class Executor {
 
   Result<ExecResult> Execute(const PlanNode& root);
 
+  /// Adaptive re-optimization hook: nodes found in `completed` are answered
+  /// from their pinned relation instead of being re-executed, and produce no
+  /// fresh observations or node_actuals entries (the stepper already
+  /// recorded them when the subtree actually ran). The map must outlive the
+  /// executor; pass nullptr to disable.
+  void set_completed(
+      const std::unordered_map<const PlanNode*, std::shared_ptr<const Relation>>*
+          completed) {
+    completed_ = completed;
+  }
+
  private:
   Result<Relation> ExecuteNode(const PlanNode& node, ExecResult* result);
   Result<Relation> ExecuteScan(const PlanNode& node, ExecResult* result);
@@ -77,6 +79,8 @@ class Executor {
   const QueryBlock* block_;
   ThreadPool* pool_ = nullptr;
   const ObsContext* obs_ = nullptr;
+  const std::unordered_map<const PlanNode*, std::shared_ptr<const Relation>>*
+      completed_ = nullptr;
 };
 
 }  // namespace jits

@@ -1,0 +1,28 @@
+#ifndef JITS_EXEC_RELATION_H_
+#define JITS_EXEC_RELATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jits {
+
+/// A materialized intermediate result: tuples of base-table row ids.
+/// `table_idxs[i]` names the table occurrence for slot i of each tuple;
+/// `data` is row-major with stride `table_idxs.size()`.
+///
+/// Lives in its own header (no engine dependencies) so both the executor
+/// and the plan tree can reference it: adaptive re-optimization pins a
+/// completed subtree's Relation inside a kMaterialized PlanNode.
+struct Relation {
+  std::vector<int> table_idxs;
+  std::vector<uint32_t> data;
+
+  size_t width() const { return table_idxs.size(); }
+  size_t count() const { return width() == 0 ? 0 : data.size() / width(); }
+  int SlotOf(int table_idx) const;
+};
+
+}  // namespace jits
+
+#endif  // JITS_EXEC_RELATION_H_

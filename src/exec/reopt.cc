@@ -1,0 +1,158 @@
+#include "exec/reopt.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/str_util.h"
+#include "storage/table.h"
+
+namespace jits {
+namespace {
+
+/// Deepest leftmost node whose children are all complete — the next
+/// pipeline breaker to run. Post-order, so a join runs only after its probe
+/// subtree and build access have both materialized.
+PlanNode* FindNextStep(
+    PlanNode* node,
+    const std::unordered_map<const PlanNode*, std::shared_ptr<const Relation>>&
+        completed) {
+  if (node->left != nullptr && completed.find(node->left.get()) == completed.end()) {
+    return FindNextStep(node->left.get(), completed);
+  }
+  if (node->right != nullptr && completed.find(node->right.get()) == completed.end()) {
+    return FindNextStep(node->right.get(), completed);
+  }
+  return node;
+}
+
+double QError(double est, double actual) {
+  const double e = std::max(est, 0.5);
+  const double a = std::max(actual, 0.5);
+  return std::max(e / a, a / e);
+}
+
+}  // namespace
+
+std::string ReoptNodeLabel(const QueryBlock& block, const PlanNode& node) {
+  auto join_str = [&block](const JoinPredicate& j) {
+    const TableRef& l = block.tables[static_cast<size_t>(j.left_table)];
+    const TableRef& r = block.tables[static_cast<size_t>(j.right_table)];
+    return StrFormat(
+        "%s.%s = %s.%s", l.alias.c_str(),
+        l.table->schema().column(static_cast<size_t>(j.left_col)).name.c_str(),
+        r.alias.c_str(),
+        r.table->schema().column(static_cast<size_t>(j.right_col)).name.c_str());
+  };
+  switch (node.type) {
+    case PlanNode::Type::kSeqScan:
+    case PlanNode::Type::kIndexScan: {
+      const TableRef& t = block.tables[static_cast<size_t>(node.table_idx)];
+      return StrFormat("%s %s (%s)",
+                       node.type == PlanNode::Type::kSeqScan ? "SeqScan" : "IndexScan",
+                       t.table->name().c_str(), t.alias.c_str());
+    }
+    case PlanNode::Type::kHashJoin:
+      return "HashJoin " + join_str(node.join);
+    case PlanNode::Type::kIndexNLJoin:
+      return "IndexNLJoin " + join_str(node.join);
+    case PlanNode::Type::kMaterialized:
+      return "Materialized";
+  }
+  return "?";
+}
+
+Result<AdaptiveExecutor::Output> AdaptiveExecutor::Execute(PhysicalPlan* plan) {
+  Output out;
+  std::unordered_map<const PlanNode*, std::shared_ptr<const Relation>> completed;
+  std::unordered_map<int, std::shared_ptr<const Relation>> scan_cache;
+  size_t injected_upto = 0;
+
+  while (true) {
+    PlanNode* step = FindNextStep(plan->root.get(), completed);
+
+    Executor executor(block_, pool_, obs_);
+    executor.set_completed(&completed);
+    Result<ExecResult> r = executor.Execute(*step);
+    if (!r.ok()) return r.status();
+    ExecResult sub = std::move(r).value();
+    const double actual = static_cast<double>(sub.output.count());
+    out.exec.observations.insert(out.exec.observations.end(),
+                                 sub.observations.begin(), sub.observations.end());
+    out.exec.node_actuals.insert(out.exec.node_actuals.end(),
+                                 sub.node_actuals.begin(), sub.node_actuals.end());
+
+    const bool exact_leaf = step->type == PlanNode::Type::kMaterialized;
+    if (!exact_leaf) {
+      const double q = QError(step->est_rows, actual);
+      out.stats.checks += 1;
+      out.stats.max_qerror = std::max(out.stats.max_qerror, q);
+    }
+
+    if (step == plan->root.get()) {
+      out.exec.output = std::move(sub.output);
+      return out;
+    }
+
+    auto rel = std::make_shared<const Relation>(std::move(sub.output));
+    completed[step] = rel;
+    if (step->IsScan()) scan_cache[step->table_idx] = rel;
+
+    if (exact_leaf || !config_.enabled) continue;
+    const double q = QError(step->est_rows, actual);
+    if (q <= config_.threshold) continue;
+    out.stats.triggers += 1;
+    if (out.stats.replans >= static_cast<size_t>(std::max(0, config_.max_replans)) ||
+        hooks_.replan == nullptr) {
+      out.stats.exhausted += 1;
+      continue;
+    }
+
+    // Publish what the run has learned so far, so the remainder is planned
+    // against exact knowledge instead of the estimates that just misfired.
+    if (hooks_.inject != nullptr && injected_upto < out.exec.observations.size()) {
+      std::vector<AccessObservation> fresh(
+          out.exec.observations.begin() + static_cast<long>(injected_upto),
+          out.exec.observations.end());
+      injected_upto = out.exec.observations.size();
+      out.injected_constraints += hooks_.inject(fresh);
+    }
+
+    // The executed prefix is the deepest completed subtree on the left
+    // spine (the bottom-left leaf always runs first, so the walk
+    // terminates). Its relation names exactly the tables it covers.
+    const PlanNode* prefix = plan->root.get();
+    while (completed.find(prefix) == completed.end()) prefix = prefix->left.get();
+
+    RemainderInput input;
+    input.prefix = completed[prefix];
+    for (int ti : input.prefix->table_idxs) input.prefix_mask |= 1u << ti;
+    for (const auto& [ti, cached] : scan_cache) {
+      if ((input.prefix_mask >> ti) & 1u) continue;
+      input.cached_scans[ti] = cached;
+    }
+
+    Result<std::unique_ptr<PlanNode>> new_root = hooks_.replan(input);
+    if (!new_root.ok()) continue;  // keep executing the current plan
+
+    ReplanPoint point;
+    point.trigger = ReoptNodeLabel(*block_, *step);
+    point.est_rows = step->est_rows;
+    point.actual_rows = actual;
+    point.qerror = q;
+    point.remainder_tables =
+        block_->tables.size() -
+        static_cast<size_t>(__builtin_popcount(input.prefix_mask));
+    out.stats.points.push_back(std::move(point));
+    out.stats.replans += 1;
+
+    out.retired.push_back(std::move(plan->root));
+    plan->root = std::move(new_root).value();
+    plan->est_total_cost = plan->root->est_cost;
+    plan->est_result_rows = plan->root->est_rows;
+    // Old-tree entries can never be stepped again; the new tree carries its
+    // pinned relations inline in kMaterialized leaves.
+    completed.clear();
+  }
+}
+
+}  // namespace jits

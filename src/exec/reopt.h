@@ -1,0 +1,110 @@
+#ifndef JITS_EXEC_REOPT_H_
+#define JITS_EXEC_REOPT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/executor.h"
+#include "optimizer/join_enumerator.h"
+#include "optimizer/plan.h"
+#include "query/query_block.h"
+
+namespace jits {
+
+class ThreadPool;
+struct ObsContext;
+
+/// Adaptive re-optimization tunables (`SET reopt.*`).
+struct ReoptConfig {
+  bool enabled = false;
+  /// Q-error (max(est/actual, actual/est) with half-row floors) above which
+  /// a completed pipeline breaker triggers a re-plan of the remainder.
+  double threshold = 2.0;
+  /// Re-plans allowed per statement; further triggers count as exhausted.
+  int max_replans = 2;
+};
+
+/// One re-plan point, for EXPLAIN ANALYZE annotations and the event log.
+struct ReplanPoint {
+  std::string trigger;  // label of the operator whose actual rows fired it
+  double est_rows = 0;
+  double actual_rows = 0;
+  double qerror = 0;
+  size_t remainder_tables = 0;  // tables the new plan still has to join
+};
+
+/// Counters for one adaptive execution.
+struct ReoptStats {
+  size_t checks = 0;      // pipeline breakers whose q-error was inspected
+  size_t triggers = 0;    // q-error exceeded the threshold
+  size_t replans = 0;     // re-plans actually performed
+  size_t exhausted = 0;   // triggers ignored because max_replans was spent
+  double max_qerror = 1;  // max q-error across checks
+  std::vector<ReplanPoint> points;
+};
+
+/// Everything the engine supplies for a re-plan. Callbacks keep the exec
+/// layer decoupled from the optimizer's estimation sources and the
+/// feedback/persistence targets; both are optional (a null replan hook
+/// degrades to plain monitored execution).
+struct ReoptHooks {
+  /// Re-plans the unexecuted remainder against the materialized prefix
+  /// (JoinEnumerator::EnumerateRemainder over freshly built estimation
+  /// sources, so the constraints injected below are already visible).
+  std::function<Result<std::unique_ptr<PlanNode>>(const RemainderInput&)> replan;
+  /// Publishes runtime observations ahead of a re-plan (QSS archive +
+  /// catalog + WAL, via FeedbackSystem::InjectObservation). Returns the
+  /// number of archive constraints applied.
+  std::function<size_t(const std::vector<AccessObservation>&)> inject;
+};
+
+/// Executes a physical plan one pipeline breaker at a time (scans and joins
+/// all fully materialize here, so every operator is a breaker), comparing
+/// each completed operator's actual cardinality against the optimizer's
+/// estimate. When the q-error exceeds ReoptConfig::threshold, the completed
+/// left-spine subtree is pinned as a kMaterialized prefix, the observed
+/// cardinalities are injected into the statistics stores, and the remainder
+/// is re-planned — the Wu et al. / Pavlopoulou et al. mid-query loop on top
+/// of the paper's JITS machinery. Results are provably unchanged: only join
+/// order and physical operators of the *unexecuted* remainder change.
+class AdaptiveExecutor {
+ public:
+  struct Output {
+    ExecResult exec;
+    ReoptStats stats;
+    size_t injected_constraints = 0;
+    /// Plan trees superseded by re-planning, kept alive so that
+    /// exec.node_actuals pointers into them stay valid while EXPLAIN
+    /// ANALYZE renders and summarizes.
+    std::vector<std::unique_ptr<PlanNode>> retired;
+  };
+
+  AdaptiveExecutor(const QueryBlock* block, const ReoptConfig& config,
+                   ReoptHooks hooks, ThreadPool* pool = nullptr,
+                   const ObsContext* obs = nullptr)
+      : block_(block), config_(config), hooks_(std::move(hooks)), pool_(pool),
+        obs_(obs) {}
+
+  /// Runs `plan` to completion. May replace plan->root mid-flight; the
+  /// superseded trees are returned in Output::retired.
+  Result<Output> Execute(PhysicalPlan* plan);
+
+ private:
+  const QueryBlock* block_;
+  ReoptConfig config_;
+  ReoptHooks hooks_;
+  ThreadPool* pool_ = nullptr;
+  const ObsContext* obs_ = nullptr;
+};
+
+/// One-line operator label for re-plan annotations ("HashJoin a.id = b.fk",
+/// "SeqScan t2 (b)", ...). Stable across runs with the same seed.
+std::string ReoptNodeLabel(const QueryBlock& block, const PlanNode& node);
+
+}  // namespace jits
+
+#endif  // JITS_EXEC_REOPT_H_

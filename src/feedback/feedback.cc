@@ -1,6 +1,15 @@
 #include "feedback/feedback.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "catalog/runstats.h"
+#include "common/str_util.h"
+#include "core/qss_archive.h"
+#include "query/predicate_group.h"
+#include "storage/sampler.h"
+#include "storage/table.h"
 
 namespace jits {
 
@@ -31,6 +40,96 @@ void FeedbackSystem::Record(const EstimationRecord& record, double actual_rows,
     drift_->Observe(record.table_key, record.est_source, qerror);
     drift_->Observe(record.table_key, "all", qerror);
   }
+}
+
+size_t FeedbackSystem::InjectObservation(const QueryBlock& block, Table* table,
+                                         int table_idx, double passed_rows,
+                                         double denominator_rows, uint64_t now) {
+  if (table == nullptr || denominator_rows <= 0) return 0;
+
+  // Catalog: the paper's just-in-time RUNSTATS. The scan just read every
+  // visible row anyway, so the full-table pass is the same order of work
+  // the query already paid; it makes cardinality, join-column distincts
+  // and histograms runtime-exact for the re-plan.
+  if (catalog_ != nullptr) {
+    RunStatsOnRows(catalog_, table, Sampler::AllRows(*table), RunStatsOptions{}, now);
+    if (wal_ != nullptr) {
+      std::shared_ptr<const TableStats> published = catalog_->StatsSnapshot(table);
+      if (published != nullptr) {
+        persist::CatalogStatsRecord wal_record;
+        wal_record.table = ToLower(table->name());
+        wal_record.stats = *published;
+        wal_->LogCatalogStats(wal_record);
+      }
+    }
+  }
+
+  const std::vector<int> pred_indices = block.LocalPredIndicesOf(table_idx);
+  if (archive_ == nullptr || table_idx < 0 || pred_indices.empty()) {
+    return 0;
+  }
+
+  // Archive: one joint constraint over the full group's box (a single
+  // newest constraint keeps the window's exactness invariant that the sim
+  // oracle checks, rather than one partially-overlapping constraint per
+  // member predicate).
+  PredicateGroup group;
+  group.table_idx = table_idx;
+  group.pred_indices = pred_indices;
+  std::vector<int> cols;
+  Box box;
+  if (!group.BuildBox(block, &cols, &box)) return 0;  // kNe has no box form
+
+  std::vector<std::string> col_names;
+  std::vector<Interval> domain;
+  for (int c : cols) {
+    col_names.push_back(ToLower(table->schema().column(static_cast<size_t>(c)).name));
+    domain.push_back(ColumnDomainFor(*table, c));
+  }
+  const std::string key = group.ColumnSetKey(block);
+  std::shared_ptr<GridHistogram> hist =
+      archive_->GetOrCreateShared(key, col_names, domain, denominator_rows, now);
+  hist->ApplyConstraint(box, passed_rows, denominator_rows, now);
+  if (wal_ != nullptr) {
+    persist::ArchiveConstraintRecord wal_record;
+    wal_record.store = persist::StatsStore::kArchive;
+    wal_record.key = key;
+    wal_record.column_names = col_names;
+    wal_record.domain = domain;
+    wal_record.create_total_rows = denominator_rows;
+    wal_record.box = box;
+    wal_record.box_rows = passed_rows;
+    wal_record.table_rows = denominator_rows;
+    wal_record.now = now;
+    wal_->LogArchiveConstraint(wal_record);
+  }
+  return 1;
+}
+
+Interval FeedbackSystem::ColumnDomainFor(const Table& table, int col_idx) const {
+  if (catalog_ != nullptr) {
+    std::shared_ptr<const TableStats> stats = catalog_->StatsSnapshot(&table);
+    if (stats != nullptr && stats->HasColumn(static_cast<size_t>(col_idx))) {
+      const ColumnStats& cs = stats->columns[static_cast<size_t>(col_idx)];
+      if (cs.max_key > cs.min_key) return Interval{cs.min_key, cs.max_key + 1};
+    }
+  }
+  const Column& column = table.column(static_cast<size_t>(col_idx));
+  double lo = 0;
+  double hi = 1;
+  bool first = true;
+  for (uint32_t row = 0; row < table.physical_rows(); ++row) {
+    if (!table.IsVisible(row)) continue;
+    const double k = column.NumericKey(row);
+    if (first) {
+      lo = hi = k;
+      first = false;
+    } else {
+      lo = std::min(lo, k);
+      hi = std::max(hi, k);
+    }
+  }
+  return Interval{lo, hi + 1};
 }
 
 }  // namespace jits

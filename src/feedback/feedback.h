@@ -5,13 +5,17 @@
 #include <vector>
 
 #include "feedback/stat_history.h"
+#include "histogram/box.h"
 #include "obs/drift_monitor.h"
 #include "obs/metrics.h"
 #include "persist/wal_sink.h"
 
 namespace jits {
 
+class Catalog;
+class QssArchive;
 class Table;
+struct QueryBlock;
 
 /// An estimate the optimizer committed to for one table's full local
 /// predicate group, with its provenance (which statistics were combined).
@@ -42,6 +46,26 @@ class FeedbackSystem {
   /// satisfying the group, out of `table_rows` scanned.
   void Record(const EstimationRecord& record, double actual_rows, double table_rows);
 
+  /// Mid-query constraint injection (adaptive re-optimization,
+  /// exec/reopt.h): folds one observed access cardinality into the
+  /// statistics stores so an in-flight re-plan of the query's remainder
+  /// estimates against exact knowledge of the executed prefix. Two legs:
+  /// the catalog gets full exact RUNSTATS over `table`'s visible rows (the
+  /// scan just read them all anyway — cardinality, join-column distincts
+  /// and histograms become runtime-exact), and the QSS archive gets a joint
+  /// max-entropy constraint over the table's local predicate group box
+  /// (when the table has one). Both writes are WAL-logged when a sink is
+  /// attached. Returns the number of archive constraints applied.
+  size_t InjectObservation(const QueryBlock& block, Table* table, int table_idx,
+                           double passed_rows, double denominator_rows, uint64_t now);
+
+  /// Stats targets for InjectObservation; both nullable (injection then
+  /// degrades to whichever target is present).
+  void set_stats_targets(QssArchive* archive, Catalog* catalog) {
+    archive_ = archive;
+    catalog_ = catalog;
+  }
+
   StatHistory* history() { return history_; }
 
   /// Optional metrics sink: every Record() observes the q-error into the
@@ -58,10 +82,16 @@ class FeedbackSystem {
   void set_drift(DriftMonitor* drift) { drift_ = drift; }
 
  private:
+  /// Domain interval for a column: catalog min/max when present, else a
+  /// cheap visible-row sweep (same policy as the collector).
+  Interval ColumnDomainFor(const Table& table, int col_idx) const;
+
   StatHistory* history_;
   MetricsRegistry* metrics_ = nullptr;
   persist::StatsWalSink* wal_ = nullptr;
   DriftMonitor* drift_ = nullptr;
+  QssArchive* archive_ = nullptr;
+  Catalog* catalog_ = nullptr;
 };
 
 }  // namespace jits

@@ -18,9 +18,7 @@ JoinPredicate Oriented(const JoinPredicate& j, int right) {
   return JoinPredicate{j.right_table, j.right_col, j.left_table, j.left_col};
 }
 
-}  // namespace
-
-std::unique_ptr<PlanNode> JoinEnumerator::ClonePlan(const PlanNode& node) {
+std::unique_ptr<PlanNode> ClonePlan(const PlanNode& node) {
   auto out = std::make_unique<PlanNode>();
   out->type = node.type;
   out->table_idx = node.table_idx;
@@ -29,12 +27,126 @@ std::unique_ptr<PlanNode> JoinEnumerator::ClonePlan(const PlanNode& node) {
   out->index_pred = node.index_pred;
   out->join = node.join;
   out->residual_joins = node.residual_joins;
+  out->materialized = node.materialized;
   out->est_rows = node.est_rows;
   out->est_cost = node.est_cost;
   if (node.left != nullptr) out->left = ClonePlan(*node.left);
   if (node.right != nullptr) out->right = ClonePlan(*node.right);
   return out;
 }
+
+/// A zero-cost leaf pinned to an already-computed relation; est_rows is the
+/// exact observed count (floored so the join formulas stay positive).
+std::unique_ptr<PlanNode> MakeMaterializedLeaf(std::shared_ptr<const Relation> rel) {
+  auto node = std::make_unique<PlanNode>();
+  node->type = PlanNode::Type::kMaterialized;
+  node->est_rows = std::max(kMinRows, static_cast<double>(rel->count()));
+  node->est_cost = 0;
+  node->materialized = std::move(rel);
+  return node;
+}
+
+struct DpState {
+  double cost = 0;
+  double rows = 0;
+  std::unique_ptr<PlanNode> plan;
+};
+
+/// The left-deep DP expansion shared by full enumeration and remainder
+/// re-planning. `best` arrives with its seed states filled in (singletons
+/// for a full enumeration; just the materialized prefix for a remainder,
+/// which forces every reachable mask to contain the prefix). `access` /
+/// `filtered_rows` may be null/zero for tables no reachable mask can add.
+void ExpandDp(const QueryBlock& block, const SelectivityEstimator& estimator,
+              const CostModel& cost_model,
+              const std::vector<std::unique_ptr<PlanNode>>& access,
+              const std::vector<double>& filtered_rows,
+              std::vector<std::optional<DpState>>* best) {
+  const size_t n = block.tables.size();
+
+  // Distinct estimate for a join column. Base-table distinct counts feed
+  // the System-R equi-join formula |L||R| / max(d_L, d_R); capping by the
+  // filtered side would silently cancel the side's filter selectivity.
+  auto join_distinct = [&](int table_idx, int col_idx) {
+    return std::max(1.0, estimator.EstimateJoinColumnDistinct(table_idx, col_idx));
+  };
+
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    if (!(*best)[mask].has_value()) continue;
+    const DpState& state = *(*best)[mask];
+    for (size_t t = 0; t < n; ++t) {
+      if (mask & (1u << t)) continue;
+      // Join predicates connecting t to the current set.
+      std::vector<JoinPredicate> joins;
+      for (const JoinPredicate& j : block.join_preds) {
+        const bool lt_in = (mask >> j.left_table) & 1;
+        const bool rt_in = (mask >> j.right_table) & 1;
+        if ((lt_in && j.right_table == static_cast<int>(t)) ||
+            (rt_in && j.left_table == static_cast<int>(t))) {
+          joins.push_back(Oriented(j, static_cast<int>(t)));
+        }
+      }
+      if (joins.empty()) continue;  // no cross products
+
+      // Output cardinality: standard equi-join formula per join predicate.
+      double out_rows = state.rows * filtered_rows[t];
+      for (const JoinPredicate& j : joins) {
+        const double d_outer = join_distinct(j.left_table, j.left_col);
+        const double d_inner = join_distinct(j.right_table, j.right_col);
+        out_rows /= std::max(d_outer, d_inner);
+      }
+      out_rows = std::max(kMinRows, out_rows);
+      const uint32_t new_mask = mask | (1u << t);
+
+      // Candidate 1: hash join (build on t's filtered access).
+      {
+        const double cost =
+            state.cost + access[t]->est_cost +
+            cost_model.HashJoinCost(filtered_rows[t], state.rows, out_rows);
+        if (!(*best)[new_mask].has_value() || cost < (*best)[new_mask]->cost) {
+          auto node = std::make_unique<PlanNode>();
+          node->type = PlanNode::Type::kHashJoin;
+          node->join = joins[0];
+          node->residual_joins.assign(joins.begin() + 1, joins.end());
+          node->left = ClonePlan(*state.plan);
+          node->right = ClonePlan(*access[t]);
+          node->est_rows = out_rows;
+          node->est_cost = cost;
+          (*best)[new_mask] = DpState{cost, out_rows, std::move(node)};
+        }
+      }
+
+      // Candidate 2: index nested-loop join (probe t's index on the join
+      // column; t's local predicates become residual filters).
+      {
+        const std::vector<int> t_preds = block.LocalPredIndicesOf(static_cast<int>(t));
+        const double t_card =
+            std::max(kMinRows, estimator.EstimateTableCardinality(static_cast<int>(t)));
+        const double d_key =
+            std::min(t_card, join_distinct(static_cast<int>(t), joins[0].right_col));
+        const double avg_matches = t_card / d_key;
+        const double cost =
+            state.cost + cost_model.IndexNLJoinCost(
+                             state.rows, avg_matches,
+                             t_preds.size() + joins.size() - 1, out_rows);
+        if (!(*best)[new_mask].has_value() || cost < (*best)[new_mask]->cost) {
+          auto node = std::make_unique<PlanNode>();
+          node->type = PlanNode::Type::kIndexNLJoin;
+          node->table_idx = static_cast<int>(t);
+          node->pred_indices = t_preds;
+          node->join = joins[0];
+          node->residual_joins.assign(joins.begin() + 1, joins.end());
+          node->left = ClonePlan(*state.plan);
+          node->est_rows = out_rows;
+          node->est_cost = cost;
+          (*best)[new_mask] = DpState{cost, out_rows, std::move(node)};
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 std::unique_ptr<PlanNode> JoinEnumerator::BuildBestAccess(int table_idx) const {
   const Table& table = *block_->tables[static_cast<size_t>(table_idx)].table;
@@ -76,12 +188,7 @@ Result<std::unique_ptr<PlanNode>> JoinEnumerator::Enumerate() const {
   if (n > 16) return Status::ResourceExhausted("too many tables for DP enumeration");
   if (n == 1) return BuildBestAccess(0);
 
-  struct State {
-    double cost = 0;
-    double rows = 0;
-    std::unique_ptr<PlanNode> plan;
-  };
-  std::vector<std::optional<State>> best(1u << n);
+  std::vector<std::optional<DpState>> best(1u << n);
 
   // Cache single-table info.
   std::vector<std::unique_ptr<PlanNode>> access(n);
@@ -89,95 +196,64 @@ Result<std::unique_ptr<PlanNode>> JoinEnumerator::Enumerate() const {
   for (size_t t = 0; t < n; ++t) {
     access[t] = BuildBestAccess(static_cast<int>(t));
     filtered_rows[t] = access[t]->est_rows;
-    State s;
+    DpState s;
     s.cost = access[t]->est_cost;
     s.rows = access[t]->est_rows;
     s.plan = ClonePlan(*access[t]);
     best[1u << t] = std::move(s);
   }
 
-  // Distinct estimate for a join column. Base-table distinct counts feed
-  // the System-R equi-join formula |L||R| / max(d_L, d_R); capping by the
-  // filtered side would silently cancel the side's filter selectivity.
-  auto join_distinct = [&](int table_idx, int col_idx) {
-    return std::max(1.0, estimator_->EstimateJoinColumnDistinct(table_idx, col_idx));
-  };
-
-  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
-    if (!best[mask].has_value()) continue;
-    const State& state = *best[mask];
-    for (size_t t = 0; t < n; ++t) {
-      if (mask & (1u << t)) continue;
-      // Join predicates connecting t to the current set.
-      std::vector<JoinPredicate> joins;
-      for (const JoinPredicate& j : block_->join_preds) {
-        const bool lt_in = (mask >> j.left_table) & 1;
-        const bool rt_in = (mask >> j.right_table) & 1;
-        if ((lt_in && j.right_table == static_cast<int>(t)) ||
-            (rt_in && j.left_table == static_cast<int>(t))) {
-          joins.push_back(Oriented(j, static_cast<int>(t)));
-        }
-      }
-      if (joins.empty()) continue;  // no cross products
-
-      // Output cardinality: standard equi-join formula per join predicate.
-      double out_rows = state.rows * filtered_rows[t];
-      for (const JoinPredicate& j : joins) {
-        const double d_outer = join_distinct(j.left_table, j.left_col);
-        const double d_inner = join_distinct(j.right_table, j.right_col);
-        out_rows /= std::max(d_outer, d_inner);
-      }
-      out_rows = std::max(kMinRows, out_rows);
-      const uint32_t new_mask = mask | (1u << t);
-
-      // Candidate 1: hash join (build on t's filtered access).
-      {
-        const double cost =
-            state.cost + access[t]->est_cost +
-            cost_model_->HashJoinCost(filtered_rows[t], state.rows, out_rows);
-        if (!best[new_mask].has_value() || cost < best[new_mask]->cost) {
-          auto node = std::make_unique<PlanNode>();
-          node->type = PlanNode::Type::kHashJoin;
-          node->join = joins[0];
-          node->residual_joins.assign(joins.begin() + 1, joins.end());
-          node->left = ClonePlan(*state.plan);
-          node->right = ClonePlan(*access[t]);
-          node->est_rows = out_rows;
-          node->est_cost = cost;
-          best[new_mask] = State{cost, out_rows, std::move(node)};
-        }
-      }
-
-      // Candidate 2: index nested-loop join (probe t's index on the join
-      // column; t's local predicates become residual filters).
-      {
-        const std::vector<int> t_preds = block_->LocalPredIndicesOf(static_cast<int>(t));
-        const double t_card =
-            std::max(kMinRows, estimator_->EstimateTableCardinality(static_cast<int>(t)));
-        const double d_key =
-            std::min(t_card, join_distinct(static_cast<int>(t), joins[0].right_col));
-        const double avg_matches = t_card / d_key;
-        const double cost =
-            state.cost + cost_model_->IndexNLJoinCost(
-                             state.rows, avg_matches,
-                             t_preds.size() + joins.size() - 1, out_rows);
-        if (!best[new_mask].has_value() || cost < best[new_mask]->cost) {
-          auto node = std::make_unique<PlanNode>();
-          node->type = PlanNode::Type::kIndexNLJoin;
-          node->table_idx = static_cast<int>(t);
-          node->pred_indices = t_preds;
-          node->join = joins[0];
-          node->residual_joins.assign(joins.begin() + 1, joins.end());
-          node->left = ClonePlan(*state.plan);
-          node->est_rows = out_rows;
-          node->est_cost = cost;
-          best[new_mask] = State{cost, out_rows, std::move(node)};
-        }
-      }
-    }
-  }
+  ExpandDp(*block_, *estimator_, *cost_model_, access, filtered_rows, &best);
 
   const uint32_t full = (1u << n) - 1;
+  if (!best[full].has_value()) {
+    return Status::InvalidArgument("join graph is disconnected");
+  }
+  return std::move(best[full]->plan);
+}
+
+Result<std::unique_ptr<PlanNode>> JoinEnumerator::EnumerateRemainder(
+    const RemainderInput& input) const {
+  const size_t n = block_->tables.size();
+  if (n == 0) return Status::InvalidArgument("query block has no tables");
+  if (n > 16) return Status::ResourceExhausted("too many tables for DP enumeration");
+  if (input.prefix == nullptr || input.prefix_mask == 0) {
+    return Status::InvalidArgument("remainder enumeration needs a materialized prefix");
+  }
+  const uint32_t full = (1u << n) - 1;
+  if ((input.prefix_mask & ~full) != 0) {
+    return Status::InvalidArgument("prefix mask names unknown tables");
+  }
+  if (input.prefix_mask == full) return MakeMaterializedLeaf(input.prefix);
+
+  // Only the prefix is seeded, so every reachable mask contains it and the
+  // result is a left-deep extension of the executed work.
+  std::vector<std::optional<DpState>> best(1u << n);
+  {
+    DpState s;
+    s.cost = 0;
+    s.rows = std::max(kMinRows, static_cast<double>(input.prefix->count()));
+    s.plan = MakeMaterializedLeaf(input.prefix);
+    best[input.prefix_mask] = std::move(s);
+  }
+
+  std::vector<std::unique_ptr<PlanNode>> access(n);
+  std::vector<double> filtered_rows(n, 0);
+  for (size_t t = 0; t < n; ++t) {
+    if (input.prefix_mask & (1u << t)) continue;  // never re-added by the DP
+    auto cached = input.cached_scans.find(static_cast<int>(t));
+    if (cached != input.cached_scans.end() && cached->second != nullptr) {
+      // The aborted run already scanned t: reuse its output for free, and
+      // let its exact count replace the estimate in the join formulas.
+      access[t] = MakeMaterializedLeaf(cached->second);
+    } else {
+      access[t] = BuildBestAccess(static_cast<int>(t));
+    }
+    filtered_rows[t] = access[t]->est_rows;
+  }
+
+  ExpandDp(*block_, *estimator_, *cost_model_, access, filtered_rows, &best);
+
   if (!best[full].has_value()) {
     return Status::InvalidArgument("join graph is disconnected");
   }

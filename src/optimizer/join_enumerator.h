@@ -1,14 +1,30 @@
 #ifndef JITS_OPTIMIZER_JOIN_ENUMERATOR_H_
 #define JITS_OPTIMIZER_JOIN_ENUMERATOR_H_
 
+#include <cstdint>
 #include <memory>
+#include <unordered_map>
 
 #include "common/status.h"
+#include "exec/relation.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/plan.h"
 #include "optimizer/selectivity.h"
 
 namespace jits {
+
+/// Inputs for re-planning the unexecuted remainder of a query mid-flight
+/// (exec/reopt.h): the already-joined prefix becomes a free kMaterialized
+/// leaf with its exact cardinality, and scan outputs the aborted run already
+/// produced become free access paths for the remaining tables.
+struct RemainderInput {
+  /// Bitmask of table indices covered by `prefix`.
+  uint32_t prefix_mask = 0;
+  /// The materialized intermediate for `prefix_mask` (exact row count).
+  std::shared_ptr<const Relation> prefix;
+  /// Scan outputs already computed for not-yet-joined tables, by table_idx.
+  std::unordered_map<int, std::shared_ptr<const Relation>> cached_scans;
+};
 
 /// Left-deep dynamic-programming join enumerator with cost-based access
 /// path selection (sequential vs hash-index scan) and physical join choice
@@ -24,13 +40,18 @@ class JoinEnumerator {
   /// the join graph is disconnected.
   Result<std::unique_ptr<PlanNode>> Enumerate() const;
 
+  /// Re-plans the remainder: the only DP seed is the materialized prefix, so
+  /// every produced plan extends it one table at a time (the executed work
+  /// is never discarded and prefix tables are never re-scanned). Cached
+  /// scans are offered as zero-cost materialized access paths with exact
+  /// cardinalities alongside the usual index nested-loop alternative.
+  Result<std::unique_ptr<PlanNode>> EnumerateRemainder(const RemainderInput& input) const;
+
   /// Best single-table access path (public for testing): cost-based choice
   /// between a sequential scan and an equality hash-index scan.
   std::unique_ptr<PlanNode> BuildBestAccess(int table_idx) const;
 
  private:
-  static std::unique_ptr<PlanNode> ClonePlan(const PlanNode& node);
-
   const QueryBlock* block_;
   const SelectivityEstimator* estimator_;
   const CostModel* cost_model_;

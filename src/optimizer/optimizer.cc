@@ -76,4 +76,14 @@ Result<PhysicalPlan> Optimizer::Optimize(const QueryBlock& block,
   return plan;
 }
 
+Result<std::unique_ptr<PlanNode>> Optimizer::ReplanRemainder(
+    const QueryBlock& block, const EstimationSources& sources,
+    const RemainderInput& input, const ObsContext* obs) const {
+  SelectivityEstimator estimator(&block, sources);
+  JoinEnumerator enumerator(&block, &estimator, &cost_model_);
+  Result<std::unique_ptr<PlanNode>> root = enumerator.EnumerateRemainder(input);
+  if (root.ok() && obs != nullptr) obs->Count("optimizer.replans", 1);
+  return root;
+}
+
 }  // namespace jits

@@ -4,6 +4,7 @@
 #include "common/status.h"
 #include "obs/obs_context.h"
 #include "optimizer/cost_model.h"
+#include "optimizer/join_enumerator.h"
 #include "optimizer/plan.h"
 #include "optimizer/selectivity.h"
 
@@ -23,6 +24,15 @@ class Optimizer {
   Result<PhysicalPlan> Optimize(const QueryBlock& block,
                                 const EstimationSources& sources,
                                 const ObsContext* obs = nullptr) const;
+
+  /// Mid-query re-planning (exec/reopt.h): re-enumerates the unexecuted
+  /// remainder on top of the materialized prefix. A *fresh* estimator is
+  /// built over `sources`, so constraints the adaptive executor just
+  /// injected into the archive/catalog are visible to the new plan.
+  Result<std::unique_ptr<PlanNode>> ReplanRemainder(const QueryBlock& block,
+                                                    const EstimationSources& sources,
+                                                    const RemainderInput& input,
+                                                    const ObsContext* obs = nullptr) const;
 
   const CostModel& cost_model() const { return cost_model_; }
 

@@ -85,6 +85,19 @@ std::string PlanNode::Describe(
       out += left->Describe(block, indent + 1, actuals);
       return out;
     }
+    case Type::kMaterialized: {
+      // The pinned intermediate from a prior pipeline stage. Slots are named
+      // by alias so the rendering is stable across runs with the same seed.
+      std::vector<std::string> aliases;
+      if (materialized != nullptr) {
+        for (int ti : materialized->table_idxs) {
+          aliases.push_back(block.tables[static_cast<size_t>(ti)].alias);
+        }
+      }
+      out = pad + StrFormat("Materialized [%s]  [rows=%.0f cost=%.0f]",
+                            Join(aliases, ", ").c_str(), est_rows, est_cost);
+      return out + actual;
+    }
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/relation.h"
 #include "feedback/feedback.h"
 #include "query/query_block.h"
 
@@ -17,10 +18,11 @@ namespace jits {
 /// child, since it is driven by per-tuple index probes).
 struct PlanNode {
   enum class Type {
-    kSeqScan,     // full scan + residual predicates
-    kIndexScan,   // equality hash-index access + residual predicates
-    kHashJoin,    // left = probe side subplan, right = build side access
-    kIndexNLJoin  // left = outer subplan; inner = base table via join-key index
+    kSeqScan,      // full scan + residual predicates
+    kIndexScan,    // equality hash-index access + residual predicates
+    kHashJoin,     // left = probe side subplan, right = build side access
+    kIndexNLJoin,  // left = outer subplan; inner = base table via join-key index
+    kMaterialized  // leaf pinned to an already-computed intermediate relation
   };
 
   Type type = Type::kSeqScan;
@@ -36,6 +38,10 @@ struct PlanNode {
   std::unique_ptr<PlanNode> right;                // kHashJoin build side
   JoinPredicate join;                             // primary equi-join predicate
   std::vector<JoinPredicate> residual_joins;      // extra join predicates
+
+  // kMaterialized: the pinned intermediate produced by adaptive
+  // re-optimization (exec/reopt.h). est_rows is its exact count.
+  std::shared_ptr<const Relation> materialized;
 
   // Optimizer annotations.
   double est_rows = 0;

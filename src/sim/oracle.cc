@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <unordered_map>
 
 #include "common/str_util.h"
 #include "histogram/grid_histogram.h"
@@ -125,6 +126,37 @@ void DifferentialOracle::CheckStatement(const SimStatement& stmt,
       if (engine != naive) {
         out->push_back(Prefix(stmt) +
                        StrFormat("join COUNT(*) mismatch: engine %.0f vs oracle %.0f",
+                                 engine, naive));
+      }
+      break;
+    }
+    case SimStatement::Kind::kSelectJoin3Count: {
+      // Reference star join: t0.id = b.fk and t0.id = c.fk, with each
+      // side's predicates applied before matching. COUNT(*) is then the sum
+      // over t0 rows of (matching b rows with that fk) x (matching c rows
+      // with that fk).
+      std::unordered_map<int64_t, double> b_cnt;
+      for (const Row& row : shadow_[stmt.table]) {
+        if (RowMatches(stmt, stmt.table, row)) b_cnt[row[1].int64()] += 1;
+      }
+      std::unordered_map<int64_t, double> c_cnt;
+      for (const Row& row : shadow_[stmt.table2]) {
+        if (RowMatches(stmt, stmt.table2, row)) c_cnt[row[1].int64()] += 1;
+      }
+      double naive = 0;
+      for (const Row& row : shadow_[0]) {
+        const int64_t id = row[0].int64();
+        const auto b_it = b_cnt.find(id);
+        if (b_it == b_cnt.end()) continue;
+        const auto c_it = c_cnt.find(id);
+        if (c_it == c_cnt.end()) continue;
+        naive += b_it->second * c_it->second;
+      }
+      const double engine = EngineCount(result);
+      if (engine != naive) {
+        out->push_back(Prefix(stmt) +
+                       StrFormat("3-way join COUNT(*) mismatch: engine %.0f vs "
+                                 "oracle %.0f",
                                  engine, naive));
       }
       break;

@@ -112,6 +112,13 @@ SimReport RunSimEpisode(const SimOptions& options) {
     jopts.sensitivity_enabled = false;
     jopts.s_max = 0.0;
   }
+  // Re-optimization knobs: drawn unconditionally (schedule alignment), but
+  // only applied when the episode opts in, so same-seed on/off episodes see
+  // identical statements, crashes and clock advances.
+  ReoptConfig ropts;
+  ropts.enabled = options.reopt;
+  ropts.threshold = schedule.UniformDouble(1.5, 3.0);
+  ropts.max_replans = static_cast<int>(schedule.Uniform(1, 3));
 
   std::unique_ptr<Database> db;
   std::vector<std::string> sink_paths;
@@ -135,6 +142,7 @@ SimReport RunSimEpisode(const SimOptions& options) {
       }
     }
     *db->jits_config() = jopts;
+    *db->reopt_config() = ropts;
     JITS_RETURN_IF_ERROR(db->EnableAsyncCollection(aopts));
     TelemetrySamplerOptions topts;
     topts.manual = true;
@@ -225,10 +233,32 @@ SimReport RunSimEpisode(const SimOptions& options) {
       case SimStatement::Kind::kSelectCount:
       case SimStatement::Kind::kSelectRows:
       case SimStatement::Kind::kSelectJoinCount:
+      case SimStatement::Kind::kSelectJoin3Count: {
         if (options.check_estimates) {
           oracle.CheckEstimates(stmt, result, &report.violations);
         }
+        // Join-order-insensitive result fingerprint, for the reopt-on vs
+        // reopt-off differential.
+        std::vector<std::string> lines;
+        lines.reserve(result.rows.size());
+        for (const Row& row : result.rows) {
+          std::string line;
+          for (const Value& v : row) {
+            line += v.ToString();
+            line += '|';
+          }
+          lines.push_back(std::move(line));
+        }
+        std::sort(lines.begin(), lines.end());
+        std::string fp = stmt.sql + " => ";
+        for (const std::string& line : lines) {
+          fp += line;
+          fp += ';';
+        }
+        report.select_fingerprints.push_back(std::move(fp));
+        report.replans += result.replans;
         break;
+      }
       case SimStatement::Kind::kInsert:
         oracle.MirrorInsert(stmt.table, stmt.insert_row);
         break;

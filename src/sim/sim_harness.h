@@ -32,6 +32,13 @@ struct SimOptions {
   bool fault_injection = false;
   /// Run the estimate-sanity checks (q-error bounds on jits-exact sources).
   bool check_estimates = true;
+  /// Enable mid-query re-optimization (reopt.enabled) for the episode, with
+  /// threshold and replan budget drawn from the schedule stream. The draws
+  /// happen unconditionally, so a reopt-on and a reopt-off episode of the
+  /// same seed share schema, data, statements, crash points and clock — the
+  /// only difference is the adaptive executor, which makes
+  /// `select_fingerprints` directly comparable between the two.
+  bool reopt = false;
   /// Disable the sensitivity analysis (paper Table 3 mode): every query
   /// samples its tables and materializes every predicate group, so the QSS
   /// archive fills deterministically. The mutation negative test uses this
@@ -52,6 +59,13 @@ struct SimReport {
   /// between same-seed runs. Timestamps come from the SimClock, so this is
   /// the replay fingerprint.
   std::string event_fingerprint;
+  /// One entry per successful SELECT: the SQL plus its sorted result rows.
+  /// Sorted rendering makes the fingerprint join-order-insensitive, so a
+  /// reopt-on episode must reproduce a reopt-off episode's entries exactly
+  /// (re-planning may change the plan, never the answer).
+  std::vector<std::string> select_fingerprints;
+  /// Total mid-query re-plans across the episode (0 when reopt is off).
+  size_t replans = 0;
   size_t statements_run = 0;
   size_t crashes = 0;
   size_t faults_injected = 0;

@@ -276,6 +276,30 @@ SimStatement SimWorkloadGenerator::MakeJoinSelect(size_t fk_table) {
   return stmt;
 }
 
+SimStatement SimWorkloadGenerator::MakeJoin3Select(size_t b_table, size_t c_table) {
+  // Star join over t0.id with a skew-prone predicate on each dimension
+  // side. These are the queries whose intermediate cardinalities the
+  // uniformity assumption gets wrong, so the adaptive executor has a
+  // remainder worth re-planning when `reopt.enabled` is on.
+  SimStatement stmt;
+  stmt.kind = SimStatement::Kind::kSelectJoin3Count;
+  stmt.table = b_table;
+  stmt.table2 = c_table;
+  SimPredicate pred_b = RandomPredicate(b_table);
+  stmt.predicates.push_back(pred_b);
+  std::string where;
+  if (rng_.Chance(0.6)) {
+    SimPredicate pred_c = RandomPredicate(c_table);
+    stmt.predicates.push_back(pred_c);
+    where = " AND " + pred_c.ToSql(schema_, "c.");
+  }
+  stmt.sql = "SELECT COUNT(*) FROM " + schema_[0].name + " a, " +
+             schema_[b_table].name + " b, " + schema_[c_table].name +
+             " c WHERE a.id = b.fk AND a.id = c.fk AND " +
+             pred_b.ToSql(schema_, "b.") + where;
+  return stmt;
+}
+
 SimStatement SimWorkloadGenerator::Next(bool persistence_open) {
   const double weights[6] = {options_.select_weight,  options_.insert_weight,
                              options_.update_weight,  options_.delete_weight,
@@ -293,6 +317,12 @@ SimStatement SimWorkloadGenerator::Next(bool persistence_open) {
 
   switch (kind) {
     case 0: {  // SELECT
+      if (schema_.size() > 2 && rng_.Chance(0.15)) {
+        const size_t b = 1 + rng_.PickIndex(schema_.size() - 1);
+        size_t c = 1 + rng_.PickIndex(schema_.size() - 2);
+        if (c >= b) ++c;  // distinct dimension tables
+        return MakeJoin3Select(b, c);
+      }
       if (schema_.size() > 1 && rng_.Chance(0.25)) {
         return MakeJoinSelect(1 + rng_.PickIndex(schema_.size() - 1));
       }

@@ -59,9 +59,12 @@ struct SimPredicate {
 /// the structured description the oracle mirrors.
 struct SimStatement {
   enum class Kind {
-    kSelectCount,      // SELECT COUNT(*) FROM t WHERE ...
-    kSelectRows,       // SELECT cX, cY FROM t WHERE ...
-    kSelectJoinCount,  // SELECT COUNT(*) FROM t0 a, tK b WHERE a.id = b.fk ...
+    kSelectCount,       // SELECT COUNT(*) FROM t WHERE ...
+    kSelectRows,        // SELECT cX, cY FROM t WHERE ...
+    kSelectJoinCount,   // SELECT COUNT(*) FROM t0 a, tK b WHERE a.id = b.fk ...
+    kSelectJoin3Count,  // three-way star join over t0.id, skew-predicated —
+                        // the misestimate-prone shape mid-query
+                        // re-optimization exists for
     kInsert,
     kUpdate,
     kDelete,
@@ -72,6 +75,7 @@ struct SimStatement {
   Kind kind = Kind::kSelectCount;
   std::string sql;
   size_t table = 0;                      // primary table (fk side of a join)
+  size_t table2 = 0;                     // third table of kSelectJoin3Count
   std::vector<SimPredicate> predicates;  // conjunctive, per referenced table
   std::vector<size_t> select_cols;       // kSelectRows projection
   Row insert_row;                        // kInsert payload
@@ -118,6 +122,7 @@ class SimWorkloadGenerator {
   SimPredicate RandomPredicate(size_t table);
   SimStatement MakeSelect(size_t table);
   SimStatement MakeJoinSelect(size_t fk_table);
+  SimStatement MakeJoin3Select(size_t b_table, size_t c_table);
 
   SimWorkloadOptions options_;
   Rng rng_;

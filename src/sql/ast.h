@@ -105,6 +105,16 @@ struct AnalyzeAst {
   bool sync = false;
 };
 
+/// SET <dotted.name> = <literal | identifier>: session/engine tunables
+/// (e.g. `SET reopt.enabled = true`, `SET reopt.threshold = 2.5`). Bare
+/// identifiers on the right-hand side arrive in `word` (for true/false and
+/// similar keywords); literals arrive in `value`.
+struct SetAst {
+  std::string name;   // lower-case dotted setting name
+  Value value;        // literal right-hand side (when `word` is empty)
+  std::string word;   // bare-identifier right-hand side, lower-case
+};
+
 struct InsertAst {
   std::string table;
   std::vector<Value> values;
@@ -128,7 +138,7 @@ struct CreateTableAst {
 
 using StatementAst =
     std::variant<SelectAst, InsertAst, UpdateAst, DeleteAst, CreateTableAst, ExplainAst,
-                 AnalyzeAst, ShowAst, CheckpointAst>;
+                 AnalyzeAst, ShowAst, CheckpointAst, SetAst>;
 
 }  // namespace jits
 

@@ -214,6 +214,23 @@ struct Printer {
 
   std::string operator()(const CheckpointAst&) const { return "CHECKPOINT"; }
 
+  std::string operator()(const SetAst& set) const {
+    // The parsed name is already lower-case dotted; re-print each segment
+    // through PrintIdent so reserved words round-trip quoted.
+    std::string out = "SET ";
+    size_t start = 0;
+    while (true) {
+      const size_t dot = set.name.find('.', start);
+      out += PrintIdent(set.name.substr(start, dot - start));
+      if (dot == std::string::npos) break;
+      out += ".";
+      start = dot + 1;
+    }
+    out += " = ";
+    out += set.word.empty() ? PrintValue(set.value) : PrintIdent(set.word);
+    return out;
+  }
+
   std::string operator()(const AnalyzeAst& analyze) const {
     std::string out = "ANALYZE";
     if (!analyze.table.empty()) out += " " + PrintIdent(analyze.table);

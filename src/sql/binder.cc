@@ -263,6 +263,9 @@ Result<BoundStatement> Bind(const StatementAst& ast, Catalog* catalog) {
   if (const auto* checkpoint = std::get_if<CheckpointAst>(&ast)) {
     return BoundStatement(*checkpoint);
   }
+  if (const auto* set = std::get_if<SetAst>(&ast)) {
+    return BoundStatement(*set);  // setting names resolve in the engine
+  }
   return Status::Internal("unhandled statement kind");
 }
 

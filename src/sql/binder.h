@@ -27,7 +27,7 @@ struct BoundDelete {
 
 using BoundStatement =
     std::variant<QueryBlock, BoundInsert, BoundUpdate, BoundDelete, CreateTableAst,
-                 AnalyzeAst, ShowAst, CheckpointAst>;
+                 AnalyzeAst, ShowAst, CheckpointAst, SetAst>;
 
 /// Resolves an AST against the catalog: table/column lookup, alias scoping,
 /// literal type checking, and predicate normalization into key-space

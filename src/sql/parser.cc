@@ -76,14 +76,37 @@ class Parser {
       JITS_RETURN_IF_ERROR(ExpectStatementEnd());
       return StatementAst(std::move(analyze));
     }
+    if (IsKeyword("SET")) {
+      Advance();
+      SetAst set;
+      Result<std::string> head = ExpectIdentifier("setting name");
+      JITS_RETURN_IF_ERROR(head.status());
+      set.name = ToLower(head.value());
+      while (Match(TokenType::kDot)) {
+        Result<std::string> part = ExpectIdentifier("setting name after '.'");
+        JITS_RETURN_IF_ERROR(part.status());
+        set.name += "." + ToLower(part.value());
+      }
+      JITS_RETURN_IF_ERROR(Expect(TokenType::kEq, "'='"));
+      if (Peek().type == TokenType::kIdentifier) {
+        // Bare words (true/false/on/off) — keywords, not literals.
+        set.word = ToLower(Advance().text);
+      } else {
+        Result<Value> v = ExpectLiteral();
+        JITS_RETURN_IF_ERROR(v.status());
+        set.value = v.value();
+      }
+      JITS_RETURN_IF_ERROR(ExpectStatementEnd());
+      return StatementAst(std::move(set));
+    }
     if (IsKeyword("SELECT")) return ParseSelect();
     if (IsKeyword("INSERT")) return ParseInsert();
     if (IsKeyword("UPDATE")) return ParseUpdate();
     if (IsKeyword("DELETE")) return ParseDelete();
     if (IsKeyword("CREATE")) return ParseCreate();
     return Error(
-        "expected SELECT, INSERT, UPDATE, DELETE, CREATE, EXPLAIN, ANALYZE, SHOW or "
-        "CHECKPOINT");
+        "expected SELECT, INSERT, UPDATE, DELETE, CREATE, EXPLAIN, ANALYZE, SHOW, SET "
+        "or CHECKPOINT");
   }
 
  private:

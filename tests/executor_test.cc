@@ -131,10 +131,13 @@ TEST_F(ExecutorTest, ObservationsReportActualSelectivity) {
   EXPECT_DOUBLE_EQ(obs[0].passed_rows, 30);
 }
 
-TEST_F(ExecutorTest, NoObservationWithoutPredicates) {
+TEST_F(ExecutorTest, PredicateFreeScanObservesFullCardinality) {
   std::vector<AccessObservation> obs;
   Run("SELECT a FROM t1", &obs);
-  EXPECT_TRUE(obs.empty());
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_DOUBLE_EQ(obs[0].denominator_rows, 300);
+  EXPECT_DOUBLE_EQ(obs[0].passed_rows, 300);
+  EXPECT_FALSE(obs[0].conditional);
 }
 
 TEST_F(ExecutorTest, DeletedRowsInvisibleToScansAndJoins) {

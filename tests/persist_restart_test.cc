@@ -314,6 +314,129 @@ TEST(RestartTest, RecoversWalWrittenMidAsyncDrain) {
   }
 }
 
+TEST(RestartTest, ReplanInjectionsRecoverFromWalMidDrain) {
+  // Re-plan x persistence (ISSUE 9 satellite): constraints the adaptive
+  // executor injects mid-query are WAL-logged like any other statistics
+  // write. Crash while the async collector is additionally mid-drain;
+  // recovery must reproduce the crashed engine's archive byte-for-byte and
+  // bring back the injected runtime-exact catalog cardinalities.
+  const std::string dir = TestDir("reoptdrain");
+  const char* star =
+      "SELECT COUNT(*) FROM hub a, big b, med c "
+      "WHERE a.id = b.fk AND a.id = c.fk AND b.v = 7";
+
+  // The planted-misestimate star schema from reopt_test: defaults-only
+  // statistics believe kDefaultCardinality while the data disagrees by an
+  // order of magnitude, so the first execution is guaranteed to re-plan.
+  auto make_star = []() {
+    auto db = std::make_unique<Database>(kSeed);
+    db->set_row_limit(0);
+    EXPECT_TRUE(db->Execute("CREATE TABLE hub (id INT, tag INT)").ok());
+    EXPECT_TRUE(db->Execute("CREATE TABLE big (id INT, fk INT, v INT)").ok());
+    EXPECT_TRUE(db->Execute("CREATE TABLE med (id INT, fk INT, w INT)").ok());
+    Table* hub = db->catalog()->FindTable("hub");
+    Table* big = db->catalog()->FindTable("big");
+    Table* med = db->catalog()->FindTable("med");
+    for (int64_t i = 1; i <= 60; ++i) {
+      EXPECT_TRUE(hub->Insert({Value(i), Value(i % 5)}).ok());
+    }
+    for (int64_t i = 1; i <= 900; ++i) {
+      EXPECT_TRUE(big->Insert({Value(i), Value((i % 60) + 1), Value(int64_t{7})}).ok());
+    }
+    for (int64_t i = 1; i <= 300; ++i) {
+      EXPECT_TRUE(med->Insert({Value(i), Value((i % 60) + 1), Value(i % 3)}).ok());
+    }
+    db->jits_config()->enabled = true;
+    EXPECT_TRUE(db->Execute("SET reopt.enabled = true").ok());
+    EXPECT_TRUE(db->Execute("SET reopt.threshold = 2.0").ok());
+    EXPECT_TRUE(db->Execute("SET reopt.max_replans = 2").ok());
+    return db;
+  };
+
+  struct KeyState {
+    std::vector<std::vector<double>> boundaries;
+    std::vector<double> counts;
+  };
+  auto snapshot_archive = [](Database* db) {
+    std::map<std::string, KeyState> out;
+    for (const auto& [key, hist] : db->archive()->Snapshot()) {
+      GridHistogramState state = hist->ExportState();
+      out[key] = KeyState{state.boundaries, state.counts};
+    }
+    return out;
+  };
+  auto snapshot_cards = [](Database* db) {
+    std::map<std::string, double> out;
+    for (const char* name : {"hub", "big", "med"}) {
+      std::shared_ptr<const TableStats> stats =
+          db->catalog()->StatsSnapshot(db->catalog()->FindTable(name));
+      out[name] = (stats != nullptr && stats->valid) ? stats->cardinality : -1;
+    }
+    return out;
+  };
+
+  std::map<std::string, KeyState> at_crash;
+  std::map<std::string, double> cards_at_crash;
+  {
+    std::unique_ptr<Database> db = make_star();
+    ASSERT_TRUE(db->OpenPersistence(Options(dir)).ok());
+    async::CollectorServiceOptions options;
+    options.threads = 0;  // manual mode: the test controls drain progress
+    ASSERT_TRUE(db->EnableAsyncCollection(options).ok());
+
+    // Predicate queries first, while statistics are still defaults: each
+    // enqueues a deferred collection task for its table.
+    ASSERT_TRUE(db->Execute("SELECT COUNT(*) FROM med WHERE w = 1").ok());
+    ASSERT_TRUE(db->Execute("SELECT COUNT(*) FROM hub WHERE tag = 2").ok());
+
+    // The star query re-plans and injects exact statistics on the way.
+    QueryResult qr;
+    ASSERT_TRUE(db->Execute(star, &qr).ok());
+    ASSERT_GE(qr.replans, 1u) << "misestimate plant never triggered a re-plan";
+    ASSERT_GE(db->metrics()->CounterValue("jits.reopt.injected_constraints"), 1.0);
+
+    // Drain all but one queue entry so the crash lands mid-drain.
+    while (db->async_collector()->queue_depth() > 1) {
+      ASSERT_EQ(db->async_collector()->StepOne(), async::StepOutcome::kCollected);
+    }
+    at_crash = snapshot_archive(db.get());
+    cards_at_crash = snapshot_cards(db.get());
+    // Crash: no ClosePersistence, no final checkpoint — the WAL tail is all
+    // recovery has.
+  }
+  ASSERT_FALSE(at_crash.empty()) << "nothing reached the archive before the crash";
+  // The injections published runtime-exact cardinalities pre-crash: the
+  // re-plan trail touched big and hub (hub via the re-planned prefix).
+  EXPECT_DOUBLE_EQ(cards_at_crash["big"], 900);
+  EXPECT_DOUBLE_EQ(cards_at_crash["hub"], 60);
+
+  std::unique_ptr<Database> recovered = make_star();
+  persist::RecoveryReport report;
+  ASSERT_TRUE(recovered->OpenPersistence(Options(dir), &report).ok());
+  EXPECT_GT(report.wal_records_applied, 0u);
+
+  // Archive fingerprint and injected catalog cardinalities reassemble
+  // exactly from the WAL.
+  const std::map<std::string, KeyState> after = snapshot_archive(recovered.get());
+  ASSERT_EQ(after.size(), at_crash.size());
+  for (const auto& [key, want] : at_crash) {
+    ASSERT_TRUE(after.count(key)) << "lost archive key " << key;
+    EXPECT_EQ(after.at(key).boundaries, want.boundaries) << key;
+    EXPECT_EQ(after.at(key).counts, want.counts) << key;
+  }
+  const std::map<std::string, double> cards_after = snapshot_cards(recovered.get());
+  for (const auto& [name, want] : cards_at_crash) {
+    EXPECT_DOUBLE_EQ(cards_after.at(name), want) << name;
+  }
+
+  // And the recovered engine still answers the query correctly, re-planning
+  // or not as its recovered statistics dictate.
+  QueryResult qr;
+  ASSERT_TRUE(recovered->Execute(star, &qr).ok());
+  ASSERT_EQ(qr.rows.size(), 1u);
+  EXPECT_EQ(qr.rows[0][0].AsDouble(), 4500);
+}
+
 TEST(RestartTest, CheckpointBetweenAsyncStepsRecoversExactly) {
   // The checkpoint x async-drain race (ISSUE 7 satellite): a checkpoint
   // taken *between* manual-mode collection steps splits the drained work

@@ -77,6 +77,13 @@ TEST(SqlRoundTripTest, CorpusStatements) {
       "SHOW EVENTS",
       "SHOW PERSISTENCE",
       "CHECKPOINT",
+      // SET: dotted setting names with bare-word and literal values.
+      "SET reopt.enabled = true",
+      "set reopt.threshold = 2.5;",
+      "SET reopt.max_replans = 3",
+      "SET jits.enabled = off",
+      "set REOPT.Threshold=1.75",
+      "SET \"order\".\"limit\" = 7",
       // Double-quoted identifiers: keyword collisions, embedded quotes,
       // spaces, digit-leading and mixed-case names the lexer would
       // otherwise reject or fold into keywords.
@@ -118,6 +125,9 @@ TEST(SqlRoundTripTest, CanonicalFormsAreStrictFixpoints) {
       "SHOW JITS TRACE 42",
       "SHOW EVENTS",
       "CHECKPOINT",
+      "SET reopt.enabled = true",
+      "SET reopt.threshold = 2.5",
+      "SET \"order\".\"limit\" = 7",
       // Canonical quoted forms: keyword-colliding or non-plain names stay
       // quoted; plain names print bare even when the input quoted them.
       "SELECT \"select\" FROM \"from\" WHERE \"where\" = 1",
@@ -140,7 +150,7 @@ class SqlGen {
   explicit SqlGen(uint64_t seed) : rng_(seed) {}
 
   std::string Statement() {
-    switch (rng_.PickIndex(9)) {
+    switch (rng_.PickIndex(10)) {
       case 0: return Select();
       case 1: return Kw("EXPLAIN ") + (rng_.Chance(0.5) ? Kw("ANALYZE ") : "") + Select();
       case 2: return Insert();
@@ -149,6 +159,7 @@ class SqlGen {
       case 5: return Create();
       case 6: return Analyze();
       case 7: return Show();
+      case 8: return Set();
       default: return Kw("CHECKPOINT") + MaybeSemicolon();
     }
   }
@@ -355,6 +366,23 @@ class SqlGen {
                                       "'o''dd%'"};
     return Sp() + Kw("LIKE") + Sp() +
            kPatterns[rng_.PickIndex(sizeof(kPatterns) / sizeof(kPatterns[0]))];
+  }
+
+  /// SET <dotted.name> = <literal | bare word>. Names mix plain, keyword
+  /// (must re-print quoted) and quoted segments; values cover every literal
+  /// kind plus the boolean bare words.
+  std::string Set() {
+    std::string out = Kw("SET") + Sp() + Ident();
+    const size_t segments = 1 + rng_.PickIndex(2);
+    for (size_t i = 0; i < segments; ++i) out += "." + Ident();
+    out += Sp() + "=" + Sp();
+    if (rng_.Chance(0.4)) {
+      static const char* kWords[] = {"true", "false", "on", "off"};
+      out += Kw(kWords[rng_.PickIndex(sizeof(kWords) / sizeof(kWords[0]))]);
+    } else {
+      out += Literal();
+    }
+    return out + MaybeSemicolon();
   }
 
   std::string Show() {
