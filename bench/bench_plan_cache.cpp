@@ -1,0 +1,168 @@
+// Statistics-versioned plan cache (ISSUE 10 tentpole): a repeated-template
+// workload — a handful of join/predicate shapes re-executed with fresh
+// literals every iteration — runs once with the cache off and once with it
+// on, against identical data and the same literal stream. Steady state
+// (every iteration after the first, when all templates are cached) is
+// measured separately from the cold first pass; the acceptance bar is a
+// >= 2x compile-phase speedup at steady state, since a hit skips the JITS
+// analysis pass and the join-order search entirely.
+//
+// Env knobs: JITS_SCALE (row-count fraction, default 0.1), JITS_ITEMS
+// (iterations over the template set, default 120), JITS_SEED.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "engine/database.h"
+
+namespace {
+
+using namespace jits;
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = std::min(v.size() - 1, static_cast<size_t>(p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double sum = 0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+void BuildSchema(Database* db, size_t rows, uint64_t seed) {
+  // A small star: enough join-order choices that the optimizer's search is
+  // a real cost, which is exactly what the cache amortizes.
+  (void)db->Execute("CREATE TABLE fact (id INT, dk1 INT, dk2 INT, v INT)");
+  (void)db->Execute("CREATE TABLE dim1 (id INT, a INT)");
+  (void)db->Execute("CREATE TABLE dim2 (id INT, b INT)");
+  Table* fact = db->catalog()->FindTable("fact");
+  Table* dim1 = db->catalog()->FindTable("dim1");
+  Table* dim2 = db->catalog()->FindTable("dim2");
+  Rng rng(seed);
+  const size_t dims = std::max<size_t>(rows / 10, 10);
+  for (size_t i = 0; i < dims; ++i) {
+    (void)dim1->Insert({Value(static_cast<int64_t>(i)),
+                        Value(static_cast<int64_t>(rng.Uniform(0, 100)))});
+    (void)dim2->Insert({Value(static_cast<int64_t>(i)),
+                        Value(static_cast<int64_t>(rng.Uniform(0, 100)))});
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    (void)fact->Insert({Value(static_cast<int64_t>(i)),
+                        Value(static_cast<int64_t>(rng.Uniform(0, static_cast<int64_t>(dims)))),
+                        Value(static_cast<int64_t>(rng.Uniform(0, static_cast<int64_t>(dims)))),
+                        Value(static_cast<int64_t>(rng.Uniform(0, 1000)))});
+  }
+}
+
+struct ModeResult {
+  std::vector<double> cold_compile;    // first pass over the templates
+  std::vector<double> steady_compile;  // every later iteration
+  double wall_seconds = 0;
+  double hits = 0;
+  double misses = 0;
+  size_t statements = 0;
+  size_t errors = 0;
+};
+
+ModeResult RunMode(bool cache_on, size_t rows, size_t iterations, uint64_t seed) {
+  Database db(seed);
+  BuildSchema(&db, rows, seed);
+  db.jits_config()->enabled = true;
+  if (cache_on) {
+    (void)db.Execute("SET plan_cache.enabled = true");
+    (void)db.Execute("SET plan_cache.capacity = 64");
+  }
+
+  // The template set: same fingerprints every iteration, fresh literals.
+  const char* kTemplates[] = {
+      "SELECT COUNT(*) FROM fact WHERE v < %lld",
+      "SELECT COUNT(*) FROM fact f, dim1 d WHERE f.dk1 = d.id AND d.a < %lld",
+      "SELECT COUNT(*) FROM fact f, dim2 d WHERE f.dk2 = d.id AND d.b < %lld AND f.v < %lld",
+      "SELECT COUNT(*) FROM fact f, dim1 d1, dim2 d2 "
+      "WHERE f.dk1 = d1.id AND f.dk2 = d2.id AND d1.a < %lld AND f.v < %lld",
+  };
+
+  ModeResult r;
+  Rng rng(seed + 17);
+  Stopwatch wall;
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    for (const char* tmpl : kTemplates) {
+      const long long x = static_cast<long long>(rng.Uniform(50, 950));
+      const long long y = static_cast<long long>(rng.Uniform(10, 90));
+      std::string sql = StrFormat(tmpl, x, y);  // extra args are ignored
+      QueryResult qr;
+      if (!db.Execute(sql, &qr).ok()) {
+        ++r.errors;
+        continue;
+      }
+      ++r.statements;
+      (iter == 0 ? r.cold_compile : r.steady_compile).push_back(qr.compile_seconds);
+    }
+  }
+  r.wall_seconds = wall.Seconds();
+  r.hits = db.metrics()->CounterValue("jits.plan_cache.hits");
+  r.misses = db.metrics()->CounterValue("jits.plan_cache.misses");
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace jits;
+  ExperimentOptions options = bench::OptionsFromEnv();
+  bench::PrintHeader("Plan cache", "repeated-template compile latency, cache off vs on",
+                     options);
+
+  const size_t rows = std::max<size_t>(static_cast<size_t>(40000 * options.datagen.scale), 2000);
+  size_t iterations = 120;
+  if (options.workload.num_items != 840) iterations = options.workload.num_items;
+
+  std::printf("%10s %10s %18s %18s %18s %10s %10s\n", "mode", "stmts",
+              "steady_mean(ms)", "steady_p50(ms)", "steady_p95(ms)", "hits", "misses");
+  ModeResult results[2];
+  for (const bool cache_on : {false, true}) {
+    ModeResult r = RunMode(cache_on, rows, iterations, options.datagen.seed);
+    const char* mode = cache_on ? "cache-on" : "cache-off";
+    std::printf("%10s %10zu %18.4f %18.4f %18.4f %10.0f %10.0f\n", mode, r.statements,
+                Mean(r.steady_compile) * 1e3, Percentile(r.steady_compile, 0.5) * 1e3,
+                Percentile(r.steady_compile, 0.95) * 1e3, r.hits, r.misses);
+    bench::JsonResultLine("plan_cache", mode)
+        .Num("scale", options.datagen.scale, 4)
+        .Count("rows", rows)
+        .Count("iterations", iterations)
+        .Count("statements", r.statements)
+        .Count("errors", r.errors)
+        .Num("wall_seconds", r.wall_seconds)
+        .Num("cold_compile_mean_seconds", Mean(r.cold_compile))
+        .Num("steady_compile_mean_seconds", Mean(r.steady_compile))
+        .Num("steady_compile_p50_seconds", Percentile(r.steady_compile, 0.5))
+        .Num("steady_compile_p95_seconds", Percentile(r.steady_compile, 0.95))
+        .Count("cache_hits", static_cast<size_t>(r.hits))
+        .Count("cache_misses", static_cast<size_t>(r.misses))
+        .Print();
+    results[cache_on ? 1 : 0] = std::move(r);
+  }
+
+  const double off_mean = Mean(results[0].steady_compile);
+  const double on_mean = Mean(results[1].steady_compile);
+  const double speedup = on_mean > 0 ? off_mean / on_mean : 0;
+  std::printf("\nsteady-state compile speedup (cache-off mean / cache-on mean): %.2fx\n",
+              speedup);
+  if (speedup < 2.0) {
+    std::printf("WARNING: below the 2x acceptance bar\n");
+  }
+  bench::JsonResultLine("plan_cache", "speedup")
+      .Num("scale", options.datagen.scale, 4)
+      .Count("iterations", iterations)
+      .Num("steady_compile_speedup", speedup, 3)
+      .Print();
+  return results[0].errors + results[1].errors > 0 ? 1 : 0;
+}

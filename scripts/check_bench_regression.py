@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the repo's bench binaries.
+
+Two input formats, one baseline:
+
+  - `JITS_RESULT {json}` lines captured from the stdout of the JITS benches
+    (bench_async_compile, bench_plan_cache, ...). Each line carries an
+    `experiment` + `setting` pair plus flat numeric metrics.
+  - google-benchmark JSON files (`--benchmark_format=json`), as emitted by
+    bench_micro_components. Each entry's `name` + `cpu_time` is compared.
+
+Usage:
+
+  # Compare captured results against the committed baseline:
+  scripts/check_bench_regression.py --baseline BENCH_BASELINE.json \
+      results/plan_cache.txt results/async_compile.txt results/micro.json
+
+  # Regenerate the baseline from the same inputs:
+  scripts/check_bench_regression.py --baseline BENCH_BASELINE.json --update \
+      results/*.txt results/*.json
+
+A *regression* is:
+  - a lower-is-better metric (anything timed in seconds / nanoseconds)
+    exceeding baseline * (1 + tolerance) + abs_slack, or
+  - a higher-is-better metric (throughput_sps, *_speedup) falling below
+    baseline * (1 - 2 * tolerance).
+
+Tolerance defaults to 0.15 (15%) and is overridable via the
+JITS_BENCH_TOLERANCE env var or --tolerance. abs_slack (default 200us,
+env JITS_BENCH_ABS_SLACK) absorbs scheduler quantization on
+single-digit-microsecond latencies, where a 1us wobble is a 50% "change";
+ratio/throughput metrics get doubled relative headroom instead since their
+run-to-run spread is inherently wider. Improvements never fail the gate;
+they print a hint to refresh the baseline. Metrics present in the baseline
+but missing from the new results fail the gate (a silently disappearing
+measurement is how regressions hide); brand-new metrics are reported and
+only land in the file on --update.
+
+Exit status: 0 clean, 1 regression (or missing metric), 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+RESULT_RE = re.compile(r"^JITS_RESULT (\{.*\})\s*$")
+
+# Lower-is-better: any latency/duration measurement. wall_seconds is
+# excluded — it folds in data generation and is too noisy to gate on — and
+# so is p99: with a few hundred statements per run, the tail order statistic
+# swings far more than any real regression it could catch.
+LOWER_BETTER_RE = re.compile(
+    r"(^|_)(p50|p95|mean|avg|median)_seconds$|_seconds_per_op$|^cpu_time$|^real_time$"
+)
+HIGHER_BETTER_RE = re.compile(r"_speedup$|^throughput_sps$")
+
+
+def classify(metric: str) -> str:
+    if HIGHER_BETTER_RE.search(metric):
+        return "higher"
+    if LOWER_BETTER_RE.search(metric):
+        return "lower"
+    return "ignore"
+
+
+def record(into: dict, key: str, name: str, value: float) -> None:
+    """Keeps the BEST observation when a (key, metric) repeats across inputs.
+
+    The gate runs each bench several times and feeds every capture in: the
+    minimum of N runs (maximum for higher-is-better metrics) is far less
+    noisy than any single run, which is what makes a 15% tolerance on
+    sub-millisecond latencies workable at all.
+    """
+    direction = classify(name)
+    if direction == "ignore":
+        return
+    metrics = into.setdefault(key, {})
+    if name in metrics:
+        value = min(metrics[name], value) if direction == "lower" else max(metrics[name], value)
+    metrics[name] = value
+
+
+def collect_jits_results(text: str, into: dict) -> None:
+    for line in text.splitlines():
+        m = RESULT_RE.match(line)
+        if not m:
+            continue
+        obj = json.loads(m.group(1))
+        key = f"{obj.get('experiment', '?')}/{obj.get('setting', '?')}"
+        for name, value in obj.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                record(into, key, name, float(value))
+
+
+def collect_google_benchmark(doc: dict, into: dict) -> None:
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        key = f"micro/{entry['name']}"
+        # Normalize to seconds so the baseline is unit-stable even if a
+        # bench changes its reporting unit.
+        unit = entry.get("time_unit", "ns")
+        scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}.get(unit)
+        if scale is None:
+            raise SystemExit(f"unknown time_unit {unit!r} in {key}")
+        if "cpu_time" in entry:
+            record(into, key, "cpu_time", float(entry["cpu_time"]) * scale)
+        if "real_time" in entry:
+            record(into, key, "real_time", float(entry["real_time"]) * scale)
+
+
+def load_results(paths):
+    results = {}
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        stripped = text.lstrip()
+        if stripped.startswith("{"):
+            collect_google_benchmark(json.loads(text), results)
+        else:
+            collect_jits_results(text, results)
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", nargs="+", help="bench stdout captures / gbench JSON files")
+    parser.add_argument("--baseline", default="BENCH_BASELINE.json")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from these results instead of comparing")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get("JITS_BENCH_TOLERANCE", "0.15")),
+                        help="allowed relative regression (default 0.15, env JITS_BENCH_TOLERANCE)")
+    parser.add_argument("--abs-slack", type=float,
+                        default=float(os.environ.get("JITS_BENCH_ABS_SLACK", "0.0002")),
+                        help="absolute seconds added to every lower-is-better threshold "
+                             "(default 200us, env JITS_BENCH_ABS_SLACK)")
+    args = parser.parse_args()
+
+    new = load_results(args.results)
+    if not new:
+        print("error: no JITS_RESULT lines or google-benchmark entries found in inputs",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(new, f, indent=2, sort_keys=True)
+            f.write("\n")
+        total = sum(len(m) for m in new.values())
+        print(f"baseline updated: {len(new)} result keys, {total} metrics -> {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        print(f"error: baseline {args.baseline} not found (run with --update to create it)",
+              file=sys.stderr)
+        return 2
+
+    tol = args.tolerance
+    regressions, missing, improvements, checked = [], [], [], 0
+    for key, base_metrics in sorted(baseline.items()):
+        new_metrics = new.get(key, {})
+        for metric, base_value in sorted(base_metrics.items()):
+            direction = classify(metric)
+            if direction == "ignore":
+                continue
+            if metric not in new_metrics:
+                missing.append(f"{key}:{metric}")
+                continue
+            checked += 1
+            value = new_metrics[metric]
+            if base_value <= 0:
+                continue
+            ratio = value / base_value
+            if direction == "lower":
+                if value > base_value * (1 + tol) + args.abs_slack:
+                    regressions.append((key, metric, base_value, value, ratio))
+                elif ratio < 1 - tol:
+                    improvements.append((key, metric, base_value, value, ratio))
+            else:
+                if ratio < 1 - 2 * tol:
+                    regressions.append((key, metric, base_value, value, ratio))
+                elif ratio > 1 + tol:
+                    improvements.append((key, metric, base_value, value, ratio))
+
+    extra = sorted(set(new) - set(baseline))
+
+    print(f"compared {checked} metrics against {args.baseline} (tolerance {tol:.0%})")
+    for key, metric, base_value, value, ratio in improvements:
+        print(f"  improved   {key}:{metric}  {base_value:.6g} -> {value:.6g} ({ratio:.2f}x)")
+    if extra:
+        print(f"  note: {len(extra)} result keys not in baseline (use --update to add):")
+        for key in extra:
+            print(f"    {key}")
+    if improvements:
+        print("  (consider refreshing the baseline with --update)")
+
+    ok = True
+    if regressions:
+        ok = False
+        print(f"\nFAIL: {len(regressions)} metric(s) regressed past {tol:.0%}:")
+        for key, metric, base_value, value, ratio in regressions:
+            print(f"  {key}:{metric}  baseline {base_value:.6g} -> {value:.6g} ({ratio:.2f}x)")
+    if missing:
+        ok = False
+        print(f"\nFAIL: {len(missing)} baseline metric(s) missing from the new results:")
+        for item in missing:
+            print(f"  {item}")
+    if ok:
+        print("OK: no perf regressions")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

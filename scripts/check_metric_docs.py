@@ -1,13 +1,23 @@
 #!/usr/bin/env python3
-"""Lint: every metric name registered in src/ must appear in docs/OBSERVABILITY.md.
+"""Lint: docs/OBSERVABILITY.md and the metrics registered in src/ must agree.
 
-Extracts metric names from first-string-literal arguments of the metric
-accessors (GetCounter/GetGauge/GetHistogram/Count/SetGauge/ObserveLatency/
-CounterValue), including names built through StrFormat("name{label=...}", ...)
--- e.g. obs.drift.ratio in src/obs/drift_monitor.cc. Label blocks ({...}) are
-stripped so the docs only need to list base names.
+Both directions are checked:
 
-Exit 0 when every base name is documented; exit 1 listing the missing ones.
+  1. Undocumented: every metric name registered in src/ must appear in
+     docs/OBSERVABILITY.md. Names are extracted from first-string-literal
+     arguments of the metric accessors (GetCounter/GetGauge/GetHistogram/
+     Count/SetGauge/ObserveLatency/CounterValue), including names built
+     through StrFormat("name{label=...}", ...) -- e.g. obs.drift.ratio in
+     src/obs/drift_monitor.cc. Label blocks ({...}) are stripped so the
+     docs only need to list base names.
+
+  2. Dead docs: every backticked name in the first column of the
+     "## Metric catalog" table must still be registered somewhere in src/.
+     A row that outlives its metric reads as live telemetry to an operator
+     chasing an incident. Names containing `*` are treated as documented
+     wildcards and skipped.
+
+Exit 0 when both directions are clean; exit 1 listing every violation.
 Run from anywhere: paths are resolved relative to the repo root.
 """
 
@@ -44,6 +54,34 @@ def registered_names():
     return names
 
 
+BACKTICK_RE = re.compile(r"`([^`]+)`")
+
+
+def documented_names(doc_text):
+    """Backticked base names from the first column of the metric catalog."""
+    names = set()
+    in_catalog = False
+    for line in doc_text.splitlines():
+        if line.startswith("## "):
+            in_catalog = line.strip() == "## Metric catalog"
+            continue
+        if not in_catalog or not line.startswith("|"):
+            continue
+        cells = line.split("|")
+        if len(cells) < 2:
+            continue
+        first = cells[1]
+        if set(first.strip()) <= {"-", " ", ":"}:  # the |---|---| separator row
+            continue
+        for token in BACKTICK_RE.findall(first):
+            if "*" in token:  # documented wildcard, matches dynamically
+                continue
+            base = token.split("{", 1)[0]
+            if NAME_RE.match(base):
+                names.add(base)
+    return names
+
+
 def main():
     if not DOC.exists():
         print(f"missing {DOC}", file=sys.stderr)
@@ -53,15 +91,31 @@ def main():
     if not names:
         print("extraction found no metric names -- regex rot?", file=sys.stderr)
         return 1
+    documented = documented_names(doc_text)
+    if not documented:
+        print("no names parsed from the Metric catalog table -- format rot?",
+              file=sys.stderr)
+        return 1
+
+    ok = True
     missing = sorted(n for n in names if n not in doc_text)
     if missing:
+        ok = False
         print(f"{len(missing)} metric name(s) registered in src/ but absent "
               f"from docs/OBSERVABILITY.md:", file=sys.stderr)
         for name in missing:
             print(f"  {name}", file=sys.stderr)
-        return 1
-    print(f"ok: all {len(names)} metric base names documented")
-    return 0
+    dead = sorted(n for n in documented if n not in names)
+    if dead:
+        ok = False
+        print(f"{len(dead)} metric name(s) documented in the Metric catalog "
+              f"but not registered anywhere in src/:", file=sys.stderr)
+        for name in dead:
+            print(f"  {name}", file=sys.stderr)
+    if ok:
+        print(f"ok: all {len(names)} registered names documented, "
+              f"all {len(documented)} catalog rows registered")
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/str_util.h"
 #include "storage/table.h"
 
 namespace jits::async {
@@ -125,6 +126,9 @@ StepOutcome CollectorService::RunTask(const CollectionTask& task, bool external_
     }
   }
   completed_.fetch_add(1, std::memory_order_relaxed);
+  if (runtime_.on_publish && task.table != nullptr) {
+    runtime_.on_publish(ToLower(task.table->name()), now);
+  }
   if (runtime_.obs != nullptr) {
     runtime_.obs->Count("jits.async.completed");
     runtime_.obs->Event(

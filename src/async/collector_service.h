@@ -49,6 +49,11 @@ struct CollectorRuntime {
   /// carry current timestamps.
   std::function<uint64_t()> clock;
   std::function<size_t()> sample_rows;
+  /// Fired after a task successfully publishes fresh statistics for a table
+  /// (lower-case name), from the worker (or manual-step) thread. The plan
+  /// cache bumps the table's generation here: plans built on the replaced
+  /// stats are stale the moment the publish lands. Null = no-op.
+  std::function<void(const std::string& table, uint64_t now)> on_publish;
   /// Wall-time source for the token bucket and wait-latency metrics. When
   /// null, manual mode times against a service-owned SimClock driven by
   /// AdvanceVirtualTime(), threaded mode against the real clock. The

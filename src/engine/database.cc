@@ -13,6 +13,7 @@
 #include "exec/executor.h"
 #include "exec/parallel_scan.h"
 #include "exec/predicate_eval.h"
+#include "sql/ast_printer.h"
 #include "sql/parser.h"
 #include "storage/sampler.h"
 
@@ -51,6 +52,12 @@ Database::Database(uint64_t seed)
   feedback_.set_stats_targets(&archive_, &catalog_);
   // Even without a pool, the collector must serialize the shared Rng.
   jits_.set_runtime(nullptr, &rng_mu_);
+  // The plan cache emits through the tracer-free context: its bumps can
+  // fire from collector worker threads.
+  plan_cache_.set_obs(&async_obs_);
+  drift_->set_on_drift([this](const std::string& table, uint64_t now) {
+    plan_cache_.BumpGeneration(table, "drift", now);
+  });
 }
 
 void Database::set_drift_options(const DriftMonitorOptions& options) {
@@ -58,6 +65,9 @@ void Database::set_drift_options(const DriftMonitorOptions& options) {
   drift_->set_metrics(&metrics_);
   drift_->set_events(&event_log_);
   feedback_.set_drift(drift_.get());
+  drift_->set_on_drift([this](const std::string& table, uint64_t now) {
+    plan_cache_.BumpGeneration(table, "drift", now);
+  });
 }
 
 Status Database::EnableTelemetrySampler(const TelemetrySamplerOptions& options) {
@@ -108,6 +118,9 @@ Status Database::EnableAsyncCollection(const async::CollectorServiceOptions& opt
   runtime.obs = &async_obs_;
   runtime.clock = [this] { return clock(); };
   runtime.sample_rows = [this] { return jits_config_.sample_rows; };
+  runtime.on_publish = [this](const std::string& table, uint64_t now) {
+    plan_cache_.BumpGeneration(table, "async-publish", now);
+  };
   if (wall_clock_ != Clock::Real()) runtime.wall = wall_clock_;
   async_collector_ = std::make_unique<async::CollectorService>(runtime, options);
   async_collector_->set_wal(persistence_.get());
@@ -199,13 +212,22 @@ Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
 
   Status status;
   if (auto* block = std::get_if<QueryBlock>(&bound.value())) {
+    // Plan-cache key: only plain SELECTs are cacheable (EXPLAIN needs a
+    // fresh optimizer run to have a plan to render). An empty fingerprint
+    // means "don't consult the cache".
+    std::string fingerprint;
+    if (plan_cache_.enabled()) {
+      if (const auto* select = std::get_if<SelectAst>(&ast.value())) {
+        fingerprint = FingerprintSelect(*select);
+      }
+    }
     // SELECT: shared locks on every referenced table for the whole
     // statement (compilation samples the tables too).
     std::vector<Table*> tables;
     tables.reserve(block->tables.size());
     for (const TableRef& tr : block->tables) tables.push_back(tr.table);
     const auto locks = LockShared(SortedUniqueTables(std::move(tables)));
-    status = RunSelect(block, result, total_watch, now);
+    status = RunSelect(block, result, total_watch, now, fingerprint);
   } else if (auto* insert = std::get_if<BoundInsert>(&bound.value())) {
     std::unique_lock<std::shared_mutex> lock(insert->table->rw_mu());
     status = RunInsert(*insert, result);
@@ -241,9 +263,11 @@ Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
       if (status.ok()) {
         LogCatalogStats(catalog_.tables());
         // Fresh RUNSTATS repaired the estimates: pre-ANALYZE q-errors are no
-        // longer a meaningful drift baseline.
+        // longer a meaningful drift baseline — and plans built on the old
+        // stats are stale, so every table's generation moves.
         for (const Table* t : catalog_.tables()) {
           drift_->ResetTable(ToLower(t->name()));
+          plan_cache_.BumpGeneration(ToLower(t->name()), "analyze", now);
         }
         obs_.Event(EventSeverity::kInfo, "engine", "analyze",
                    {{"table", "*"}, {"sync", analyze->sync ? "true" : "false"}},
@@ -263,6 +287,7 @@ Status Database::ExecuteInner(const std::string& sql, QueryResult* result,
       if (status.ok()) {
         LogCatalogStats({table});
         drift_->ResetTable(ToLower(table->name()));
+        plan_cache_.BumpGeneration(ToLower(table->name()), "analyze", now);
         obs_.Event(EventSeverity::kInfo, "engine", "analyze",
                    {{"table", ToLower(table->name())},
                     {"sync", analyze->sync ? "true" : "false"}},
@@ -301,23 +326,60 @@ void PlanTextToRows(const std::string& plan_text, QueryResult* result) {
 }  // namespace
 
 Status Database::RunSelect(QueryBlock* block, QueryResult* result,
-                           const Stopwatch& compile_watch, uint64_t now) {
+                           const Stopwatch& compile_watch, uint64_t now,
+                           const std::string& plan_fingerprint) {
   result->is_query = true;
 
-  // --- Compilation: JITS pass, then plan generation & costing. ---
-  // QueryResult's sampling counters are metric deltas around the pass, so
-  // the registry stays the single source of truth.
-  const double sampled_before = metrics_.CounterValue("jits.tables_sampled");
-  const double materialized_before = metrics_.CounterValue("jits.groups_materialized");
-  Stopwatch jits_watch(wall_clock_);
-  const JitsPrepareResult jits =
-      jits_.Prepare(*block, jits_config_, &rng_, now, &obs_);
-  obs_.ObserveLatency("latency.jits", jits_watch.Seconds());
-  result->tables_sampled = static_cast<size_t>(
-      metrics_.CounterValue("jits.tables_sampled") - sampled_before);
-  result->groups_materialized = static_cast<size_t>(
-      metrics_.CounterValue("jits.groups_materialized") - materialized_before);
+  // --- Plan cache probe. ---
+  // Generations are captured BEFORE the JITS pass: a bump racing in during
+  // compilation makes the entry we insert below born-stale (one extra miss
+  // on its next lookup) — never a stale plan served as valid.
+  const bool cache_on = !plan_fingerprint.empty() && plan_cache_.enabled();
+  auto capture_versions = [&] {
+    std::vector<std::pair<std::string, uint64_t>> versions;
+    versions.reserve(block->tables.size());
+    for (const TableRef& tr : block->tables) {
+      const std::string name = ToLower(tr.table->name());
+      bool dup = false;  // self-joins reference one table twice
+      for (const auto& [seen, gen] : versions) {
+        if (seen == name) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) versions.emplace_back(name, plan_cache_.Generation(name));
+    }
+    return versions;
+  };
+  std::vector<std::pair<std::string, uint64_t>> stat_versions;
+  if (cache_on) stat_versions = capture_versions();
 
+  PlanCache::CachedPlan cached;
+  const bool cache_hit =
+      cache_on && plan_cache_.Lookup(plan_fingerprint, stat_versions, &cached);
+
+  // --- Compilation: JITS pass, then plan generation & costing. ---
+  // A valid cache hit skips both: no sampling, no optimization — that is
+  // the whole compile-cost win. QueryResult's sampling counters are metric
+  // deltas around the pass, so the registry stays the single source of
+  // truth (and stay 0 on a hit).
+  JitsPrepareResult jits;
+  if (!cache_hit) {
+    const double sampled_before = metrics_.CounterValue("jits.tables_sampled");
+    const double materialized_before =
+        metrics_.CounterValue("jits.groups_materialized");
+    Stopwatch jits_watch(wall_clock_);
+    jits = jits_.Prepare(*block, jits_config_, &rng_, now, &obs_);
+    obs_.ObserveLatency("latency.jits", jits_watch.Seconds());
+    result->tables_sampled = static_cast<size_t>(
+        metrics_.CounterValue("jits.tables_sampled") - sampled_before);
+    result->groups_materialized = static_cast<size_t>(
+        metrics_.CounterValue("jits.groups_materialized") - materialized_before);
+  }
+
+  // Constructed even on a hit: mid-query re-optimization replans through
+  // these sources (jits.exact is then empty — replans fall back to the
+  // archive/catalog chain, which is exactly what fresh stats would feed).
   EstimationSources sources;
   sources.catalog = &catalog_;
   sources.archive = &archive_;
@@ -328,16 +390,33 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
   sources.use_feedback_correction = leo_correction_;
   sources.deferred_tables = &jits.deferred_tables;
 
-  Result<PhysicalPlan> plan = [&] {
-    TraceSpan span(&tracer_, "optimize");
-    Stopwatch watch(wall_clock_);
-    Result<PhysicalPlan> r = optimizer_.Optimize(*block, sources, &obs_);
-    obs_.ObserveLatency("latency.optimize", watch.Seconds());
-    return r;
-  }();
-  if (!plan.ok()) return plan.status();
-  result->plan_text = plan.value().ToString(*block);
-  result->est_rows = plan.value().est_result_rows;
+  PhysicalPlan phys;
+  if (cache_hit) {
+    phys.root = std::move(cached.root);
+    phys.estimates = std::move(cached.estimates);
+    phys.est_total_cost = cached.est_total_cost;
+    phys.est_result_rows = cached.est_result_rows;
+    // Lookup re-labelled every estimate est_source="plan-cache"; mirror the
+    // optimizer's provenance counters for the hit path.
+    obs_.Count("optimizer.est_source{source=\"plan-cache\"}",
+               static_cast<double>(phys.estimates.size()));
+  } else {
+    Result<PhysicalPlan> plan = [&] {
+      TraceSpan span(&tracer_, "optimize");
+      Stopwatch watch(wall_clock_);
+      Result<PhysicalPlan> r = optimizer_.Optimize(*block, sources, &obs_);
+      obs_.ObserveLatency("latency.optimize", watch.Seconds());
+      return r;
+    }();
+    if (!plan.ok()) return plan.status();
+    phys = std::move(plan).value();
+    // Cache before execution against the pre-compile version capture.
+    if (cache_on && !block->explain_only && !block->explain_analyze) {
+      plan_cache_.Insert(plan_fingerprint, phys, stat_versions, now);
+    }
+  }
+  result->plan_text = phys.ToString(*block);
+  result->est_rows = phys.est_result_rows;
   result->compile_seconds = compile_watch.Seconds();
 
   if (block->explain_only) {
@@ -364,7 +443,7 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
     Result<ExecResult> r = [&]() -> Result<ExecResult> {
       if (!reopt.enabled) {
         Executor executor(block, exec_pool_.get(), &obs_);
-        return executor.Execute(*plan.value().root);
+        return executor.Execute(*phys.root);
       }
       ReoptHooks hooks;
       hooks.replan = [&](const RemainderInput& in) {
@@ -384,7 +463,7 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
       };
       AdaptiveExecutor adaptive_exec(block, reopt, std::move(hooks),
                                      exec_pool_.get(), &obs_);
-      Result<AdaptiveExecutor::Output> out = adaptive_exec.Execute(&plan.value());
+      Result<AdaptiveExecutor::Output> out = adaptive_exec.Execute(&phys);
       if (!out.ok()) return out.status();
       adaptive = std::move(out).value();
       return std::move(adaptive.exec);
@@ -428,13 +507,25 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
                   {"remainder_tables", StrFormat("%zu", p.remainder_tables)}},
                  now);
     }
+    if (cache_on && rs.replans > 0) {
+      // Re-optimization proved the cached/initial plan wrong mid-query and
+      // injected corrected constraints into the archive. The executed tree
+      // itself pins this query's intermediates (kMaterialized — never
+      // cacheable), so re-derive a clean plan from the now-corrected stats
+      // and re-cache that as this statement's final plan.
+      Result<PhysicalPlan> fresh = optimizer_.Optimize(*block, sources, &obs_);
+      if (fresh.ok()) {
+        plan_cache_.Insert(plan_fingerprint, fresh.value(), capture_versions(),
+                           now);
+      }
+    }
   }
 
   // --- Feedback (LEO-lite): estimates vs observed cardinalities. ---
   auto record_feedback = [&] {
     TraceSpan span(&tracer_, "feedback");
     Stopwatch watch(wall_clock_);
-    for (const EstimationRecord& record : plan.value().estimates) {
+    for (const EstimationRecord& record : phys.estimates) {
       for (const AccessObservation& ob : exec.value().observations) {
         if (ob.table_idx != record.table_idx) continue;
         feedback_.Record(record, ob.passed_rows, ob.denominator_rows);
@@ -454,7 +545,7 @@ Status Database::RunSelect(QueryBlock* block, QueryResult* result,
     // runs — an analyzed query should train the history like any other.
     result->execute_seconds = exec_watch.Seconds();
     record_feedback();
-    result->plan_text = plan.value().ToString(*block, &exec.value().node_actuals);
+    result->plan_text = phys.ToString(*block, &exec.value().node_actuals);
     if (!result->plan_text.empty() && result->plan_text.back() != '\n' &&
         !adaptive.stats.points.empty()) {
       result->plan_text += '\n';
@@ -759,6 +850,8 @@ Status Database::AggregateAndMaterialize(const QueryBlock& block,
 Status Database::RunInsert(const BoundInsert& stmt, QueryResult* result) {
   JITS_RETURN_IF_ERROR(stmt.table->Insert(stmt.row));
   result->num_rows = 1;
+  plan_cache_.NoteDml(ToLower(stmt.table->name()), stmt.table->udi_counter(),
+                      stmt.table->num_rows(), clock());
   return Status::OK();
 }
 
@@ -788,6 +881,8 @@ Status Database::RunUpdate(const BoundUpdate& stmt, QueryResult* result) {
     }
   }
   result->num_rows = rows.size();
+  plan_cache_.NoteDml(ToLower(stmt.table->name()), stmt.table->udi_counter(),
+                      stmt.table->num_rows(), clock());
   return Status::OK();
 }
 
@@ -798,6 +893,8 @@ Status Database::RunDelete(const BoundDelete& stmt, QueryResult* result) {
     JITS_RETURN_IF_ERROR(stmt.table->DeleteRow(row));
   }
   result->num_rows = rows.size();
+  plan_cache_.NoteDml(ToLower(stmt.table->name()), stmt.table->udi_counter(),
+                      stmt.table->num_rows(), clock());
   return Status::OK();
 }
 
@@ -1047,6 +1144,26 @@ Status Database::RunShow(const ShowAst& show, QueryResult* result) {
     return Status::OK();
   }
 
+  if (show.what == ShowAst::What::kPlanCache) {
+    // SHOW PLAN CACHE: one row per cached plan, fingerprint-sorted.
+    // `valid` reflects the stats generations at snapshot time — a false
+    // here means the entry will be lazily evicted on its next lookup.
+    result->column_names = {"fingerprint", "hits", "cached_at", "tables", "valid"};
+    for (const PlanCacheEntryInfo& e : plan_cache_.Snapshot()) {
+      std::string tables;
+      for (const std::string& t : e.tables) {
+        if (!tables.empty()) tables += ",";
+        tables += t;
+      }
+      result->rows.push_back({Value(e.fingerprint),
+                              Value(static_cast<int64_t>(e.hits)),
+                              Value(static_cast<int64_t>(e.cached_at)),
+                              Value(tables), Value(e.valid ? "true" : "false")});
+    }
+    result->num_rows = result->rows.size();
+    return Status::OK();
+  }
+
   if (show.what == ShowAst::What::kJitsQueue) {
     // SHOW JITS QUEUE: pending background collections in drain (priority)
     // order. Empty result when async collection is off.
@@ -1106,6 +1223,19 @@ Status Database::RunShow(const ShowAst& show, QueryResult* result) {
         StrFormat("%llu", static_cast<unsigned long long>(qc.coalesced)));
     add("async.dropped",
         StrFormat("%llu", static_cast<unsigned long long>(qc.dropped)));
+  }
+  add("plan_cache.enabled", plan_cache_.enabled() ? "true" : "false");
+  if (plan_cache_.enabled()) {
+    const PlanCacheCounters pc = plan_cache_.counters();
+    add("plan_cache.capacity", StrFormat("%zu", plan_cache_.capacity()));
+    add("plan_cache.entries", StrFormat("%zu", plan_cache_.size()));
+    add("plan_cache.hits", StrFormat("%llu", static_cast<unsigned long long>(pc.hits)));
+    add("plan_cache.misses",
+        StrFormat("%llu", static_cast<unsigned long long>(pc.misses)));
+    add("plan_cache.invalidations",
+        StrFormat("%llu", static_cast<unsigned long long>(pc.invalidations)));
+    add("plan_cache.evictions",
+        StrFormat("%llu", static_cast<unsigned long long>(pc.evictions)));
   }
   add("migrations", StrFormat("%.0f", metrics_.CounterValue("jits.migrations")));
   add("migrated_columns",
@@ -1168,6 +1298,17 @@ Status Database::RunSet(const SetAst& set, QueryResult* result, uint64_t now) {
     std::lock_guard<std::mutex> lock(reopt_mu_);
     reopt_config_.max_replans = static_cast<int>(set.value.int64());
     rendered = StrFormat("%lld", static_cast<long long>(set.value.int64()));
+  } else if (set.name == "plan_cache.enabled") {
+    Result<bool> v = as_bool();
+    if (!v.ok()) return v.status();
+    plan_cache_.set_enabled(v.value());
+    rendered = v.value() ? "true" : "false";
+  } else if (set.name == "plan_cache.capacity") {
+    if (!set.word.empty() || !set.value.is_int64() || set.value.int64() < 0) {
+      return Status::InvalidArgument("expected a non-negative integer for " + set.name);
+    }
+    plan_cache_.set_capacity(static_cast<size_t>(set.value.int64()));
+    rendered = StrFormat("%lld", static_cast<long long>(set.value.int64()));
   } else {
     return Status::InvalidArgument("unknown setting: " + set.name);
   }
@@ -1181,6 +1322,9 @@ size_t Database::MigrateNow() {
   std::shared_lock<std::shared_mutex> persist_gate(persist_gate_);
   const uint64_t now = clock();
   const size_t migrated = MigrateStatistics(archive_, &catalog_, now);
+  // Migration rewrites catalog stats wholesale — every cached plan's
+  // statistics baseline is gone, tracked tables or not.
+  plan_cache_.BumpAll("migrate", now);
   if (persistence_ != nullptr) {
     persistence_->LogMigration(persist::MigrationRecord{now});
   }

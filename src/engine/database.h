@@ -16,6 +16,7 @@
 #include "common/clock.h"
 #include "core/jits_module.h"
 #include "core/qss_archive.h"
+#include "engine/plan_cache.h"
 #include "exec/reopt.h"
 #include "feedback/feedback.h"
 #include "obs/drift_monitor.h"
@@ -221,6 +222,12 @@ class Database {
   /// feedback loop. Tune thresholds via set_drift_options BEFORE serving.
   DriftMonitor* drift_monitor() { return drift_.get(); }
 
+  /// The statistics-versioned plan cache (`SET plan_cache.enabled = true`,
+  /// `SHOW PLAN CACHE`; see docs/PLAN_CACHE.md). Off by default. The raw
+  /// accessor is for tests/harnesses — the cache itself is thread-safe, but
+  /// set_capacity/set_udi_threshold_fraction should settle before serving.
+  PlanCache* plan_cache() { return &plan_cache_; }
+
   /// Replaces the drift monitor's thresholds (and clears its windows).
   /// Configure before spawning clients.
   void set_drift_options(const DriftMonitorOptions& options);
@@ -245,7 +252,7 @@ class Database {
   Status ExecuteInner(const std::string& sql, QueryResult* result,
                       const Stopwatch& total_watch, uint64_t now);
   Status RunSelect(QueryBlock* block, QueryResult* result, const Stopwatch& compile_watch,
-                   uint64_t now);
+                   uint64_t now, const std::string& plan_fingerprint);
   Status AggregateAndMaterialize(const QueryBlock& block, const struct Relation& output,
                                  QueryResult* result);
   Status RunInsert(const BoundInsert& stmt, QueryResult* result);
@@ -309,6 +316,12 @@ class Database {
   std::atomic<uint64_t> statements_since_checkpoint_{0};
   std::unique_ptr<persist::PersistenceManager> persistence_;
   persist::RecoveryReport last_recovery_;
+
+  /// Statistics-versioned plan cache. Emits through async_obs_ (its bumps
+  /// can fire from collector worker threads, which must never touch the
+  /// tracer). Declared before the collector service: workers borrow it via
+  /// the publish callback, so they must be joined before it dies.
+  PlanCache plan_cache_;
 
   /// Background-collector context: metrics + event log, but a null tracer —
   /// the tracer is a single-session facility and must never see background

@@ -1,0 +1,357 @@
+#include "engine/plan_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/str_util.h"
+
+namespace jits {
+namespace {
+
+bool ContainsMaterialized(const PlanNode& node) {
+  if (node.type == PlanNode::Type::kMaterialized) return true;
+  if (node.left != nullptr && ContainsMaterialized(*node.left)) return true;
+  if (node.right != nullptr && ContainsMaterialized(*node.right)) return true;
+  return false;
+}
+
+}  // namespace
+
+std::unique_ptr<PlanNode> ClonePlanTree(const PlanNode& node) {
+  auto clone = std::make_unique<PlanNode>();
+  clone->type = node.type;
+  clone->table_idx = node.table_idx;
+  clone->pred_indices = node.pred_indices;
+  clone->index_col = node.index_col;
+  clone->index_pred = node.index_pred;
+  if (node.left != nullptr) clone->left = ClonePlanTree(*node.left);
+  if (node.right != nullptr) clone->right = ClonePlanTree(*node.right);
+  clone->join = node.join;
+  clone->residual_joins = node.residual_joins;
+  clone->materialized = node.materialized;
+  clone->est_rows = node.est_rows;
+  clone->est_cost = node.est_cost;
+  return clone;
+}
+
+PlanCache::PlanCache(size_t shards)
+    : num_shards_(std::max<size_t>(1, shards)), shards_(num_shards_) {}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& fingerprint) {
+  return shards_[std::hash<std::string>{}(fingerprint) % num_shards_];
+}
+
+size_t PlanCache::PerShardCapacity() const {
+  const size_t cap = capacity_.load(std::memory_order_acquire);
+  if (cap == 0) return 0;
+  return std::max<size_t>(1, cap / num_shards_);
+}
+
+void PlanCache::set_enabled(bool enabled) {
+  const bool was = enabled_.exchange(enabled, std::memory_order_acq_rel);
+  if (was && !enabled) Clear();
+}
+
+void PlanCache::set_capacity(size_t capacity) {
+  capacity_.store(capacity, std::memory_order_release);
+  // Evict down: each shard drops its LRU tail past the new per-shard bound.
+  const size_t per_shard = PerShardCapacity();
+  size_t evicted = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    while (shard.lru.size() > per_shard) {
+      shard.index.erase(shard.lru.back().fingerprint);
+      shard.lru.pop_back();
+      ++evicted;
+    }
+  }
+  if (evicted > 0) {
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      counters_.evictions += evicted;
+    }
+    if (obs_ != nullptr && enabled()) {
+      obs_->Count("jits.plan_cache.evictions", static_cast<double>(evicted));
+    }
+  }
+}
+
+uint64_t PlanCache::Generation(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  const auto it = generations_.find(table);
+  return it == generations_.end() ? 0 : it->second;
+}
+
+void PlanCache::BumpOne(const std::string& table, const char* reason,
+                        uint64_t now) {
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    generation = ++generations_[table];
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.bumps;
+  }
+  // Observability only while enabled: a disabled cache still tracks
+  // generations (so enabling later starts correct) but stays invisible in
+  // metric dumps and event logs.
+  if (obs_ != nullptr && enabled()) {
+    obs_->Count("jits.plan_cache.bumps");
+    obs_->Event(EventSeverity::kInfo, "plan_cache", "bump",
+                {{"table", table},
+                 {"reason", reason},
+                 {"generation", StrFormat("%llu", static_cast<unsigned long long>(
+                                                      generation))}},
+                now);
+  }
+}
+
+void PlanCache::BumpGeneration(const std::string& table, const char* reason,
+                               uint64_t now) {
+  BumpOne(table, reason, now);
+}
+
+void PlanCache::BumpAll(const char* reason, uint64_t now) {
+  std::vector<std::string> tables;
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    ++epoch_;
+    tables.reserve(generations_.size());
+    for (const auto& [table, gen] : generations_) tables.push_back(table);
+  }
+  for (const std::string& table : tables) BumpOne(table, reason, now);
+  if (obs_ != nullptr && enabled()) {
+    obs_->Event(EventSeverity::kInfo, "plan_cache", "bump-all",
+                {{"reason", reason}}, now);
+  }
+}
+
+void PlanCache::NoteDml(const std::string& table, uint64_t udi_counter,
+                        size_t num_rows, uint64_t now) {
+  bool bump = false;
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    DmlState& state = dml_[table];
+    // A collector's ResetUdi can move the counter backwards; re-anchor so
+    // the delta never underflows.
+    if (udi_counter < state.udi_at_last_bump) state.udi_at_last_bump = udi_counter;
+    const uint64_t delta = udi_counter - state.udi_at_last_bump;
+    const uint64_t threshold = std::max<uint64_t>(
+        1, static_cast<uint64_t>(udi_fraction_ * static_cast<double>(num_rows)));
+    if (delta >= threshold) {
+      state.udi_at_last_bump = udi_counter;
+      bump = true;
+    }
+  }
+  if (bump) BumpOne(table, "udi", now);
+}
+
+bool PlanCache::Lookup(
+    const std::string& fingerprint,
+    const std::vector<std::pair<std::string, uint64_t>>& versions,
+    CachedPlan* out) {
+  if (!enabled()) return false;
+  bool hit = false;
+  bool invalidated = false;
+  std::string stale_table;
+  uint64_t epoch_now = 0;
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    epoch_now = epoch_;
+  }
+  {
+    Shard& shard = ShardFor(fingerprint);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(fingerprint);
+    if (it != shard.index.end()) {
+      Entry& entry = *it->second;
+      bool valid = entry.epoch == epoch_now;
+      if (valid) {
+        for (const auto& [table, cached_gen] : entry.versions) {
+          bool found = false;
+          for (const auto& [cur_table, cur_gen] : versions) {
+            if (cur_table != table) continue;
+            found = true;
+            if (cur_gen != cached_gen) valid = false;
+            break;
+          }
+          if (!found) valid = false;  // caller's table set must cover ours
+          if (!valid) {
+            stale_table = table;
+            break;
+          }
+        }
+      } else if (!entry.versions.empty()) {
+        stale_table = entry.versions.front().first;
+      }
+      if (valid) {
+        ++entry.hits;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        out->root = ClonePlanTree(*entry.root);
+        out->estimates = entry.estimates;
+        for (EstimationRecord& record : out->estimates) {
+          record.est_source = "plan-cache";
+        }
+        out->est_total_cost = entry.est_total_cost;
+        out->est_result_rows = entry.est_result_rows;
+        hit = true;
+      } else {
+        // Lazy eviction: the generations moved on, the entry can never hit
+        // again (versions only ever advance).
+        shard.index.erase(it);
+        shard.lru.erase(it->second);
+        invalidated = true;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    if (hit) {
+      ++counters_.hits;
+    } else {
+      ++counters_.misses;
+      if (invalidated) ++counters_.invalidations;
+    }
+  }
+  if (obs_ != nullptr) {
+    if (hit) {
+      obs_->Count("jits.plan_cache.hits");
+    } else {
+      obs_->Count("jits.plan_cache.misses");
+    }
+    if (invalidated) {
+      obs_->Count("jits.plan_cache.invalidations");
+      obs_->Event(EventSeverity::kInfo, "plan_cache", "invalidate",
+                  {{"fingerprint", fingerprint}, {"table", stale_table}});
+    }
+  }
+  return hit;
+}
+
+bool PlanCache::Insert(const std::string& fingerprint, const PhysicalPlan& plan,
+                       std::vector<std::pair<std::string, uint64_t>> versions,
+                       uint64_t now) {
+  if (!enabled() || plan.root == nullptr) return false;
+  // Materialized leaves pin executed intermediates (exec/reopt.h); sharing
+  // one across statements would serve another query's stale rows.
+  if (ContainsMaterialized(*plan.root)) return false;
+  const size_t per_shard = PerShardCapacity();
+  if (per_shard == 0) return false;
+  uint64_t epoch_now = 0;
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    epoch_now = epoch_;
+  }
+  size_t evicted = 0;
+  {
+    Shard& shard = ShardFor(fingerprint);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(fingerprint);
+    if (it != shard.index.end()) {
+      // Replace in place (keeps the hit count): the reopt path re-caches a
+      // statement's final plan over its original entry.
+      Entry& entry = *it->second;
+      entry.root = ClonePlanTree(*plan.root);
+      entry.estimates = plan.estimates;
+      entry.est_total_cost = plan.est_total_cost;
+      entry.est_result_rows = plan.est_result_rows;
+      entry.versions = std::move(versions);
+      entry.epoch = epoch_now;
+      entry.cached_at = now;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      Entry entry;
+      entry.fingerprint = fingerprint;
+      entry.root = ClonePlanTree(*plan.root);
+      entry.estimates = plan.estimates;
+      entry.est_total_cost = plan.est_total_cost;
+      entry.est_result_rows = plan.est_result_rows;
+      entry.versions = std::move(versions);
+      entry.epoch = epoch_now;
+      entry.cached_at = now;
+      shard.lru.push_front(std::move(entry));
+      shard.index[fingerprint] = shard.lru.begin();
+      while (shard.lru.size() > per_shard) {
+        shard.index.erase(shard.lru.back().fingerprint);
+        shard.lru.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.insertions;
+    counters_.evictions += evicted;
+  }
+  if (obs_ != nullptr) {
+    obs_->Count("jits.plan_cache.insertions");
+    if (evicted > 0) {
+      obs_->Count("jits.plan_cache.evictions", static_cast<double>(evicted));
+      obs_->Event(EventSeverity::kInfo, "plan_cache", "evict",
+                  {{"evicted", StrFormat("%zu", evicted)},
+                   {"trigger", "capacity"}},
+                  now);
+    }
+  }
+  return true;
+}
+
+void PlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+size_t PlanCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+PlanCacheCounters PlanCache::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+std::vector<PlanCacheEntryInfo> PlanCache::Snapshot() const {
+  // Generations first, then shards — validity reflects one generation
+  // snapshot even while bumps race.
+  std::map<std::string, uint64_t> gens;
+  uint64_t epoch_now = 0;
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    gens = generations_;
+    epoch_now = epoch_;
+  }
+  std::vector<PlanCacheEntryInfo> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Entry& entry : shard.lru) {
+      PlanCacheEntryInfo info;
+      info.fingerprint = entry.fingerprint;
+      info.hits = entry.hits;
+      info.cached_at = entry.cached_at;
+      info.valid = entry.epoch == epoch_now;
+      for (const auto& [table, cached_gen] : entry.versions) {
+        info.tables.push_back(table);
+        const auto it = gens.find(table);
+        const uint64_t current = it == gens.end() ? 0 : it->second;
+        if (current != cached_gen) info.valid = false;
+      }
+      out.push_back(std::move(info));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PlanCacheEntryInfo& a, const PlanCacheEntryInfo& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  return out;
+}
+
+}  // namespace jits

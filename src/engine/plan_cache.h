@@ -1,0 +1,198 @@
+#ifndef JITS_ENGINE_PLAN_CACHE_H_
+#define JITS_ENGINE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/obs_context.h"
+#include "optimizer/plan.h"
+
+namespace jits {
+
+/// Deep copy of a plan subtree (children recursively, annotations,
+/// predicate/join bindings). A kMaterialized leaf copies the shared_ptr —
+/// callers that must not share executed intermediates (the plan cache)
+/// refuse such trees before cloning.
+std::unique_ptr<PlanNode> ClonePlanTree(const PlanNode& node);
+
+/// One SHOW PLAN CACHE row.
+struct PlanCacheEntryInfo {
+  std::string fingerprint;
+  uint64_t hits = 0;
+  uint64_t cached_at = 0;  // engine logical clock at insertion
+  std::vector<std::string> tables;  // lower-case referenced table names
+  bool valid = false;  // every (table, generation) version still current
+};
+
+/// Monotonic totals since construction (jits.plan_cache.* metrics mirror
+/// these when an ObsContext is attached).
+struct PlanCacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;         // lookups that found nothing usable
+  uint64_t invalidations = 0;  // entries lazily evicted on a stale lookup
+  uint64_t evictions = 0;      // LRU capacity evictions
+  uint64_t insertions = 0;
+  uint64_t bumps = 0;  // generation bumps (analyze/udi/async-publish/drift)
+};
+
+/// Statistics-versioned parameterized plan cache (the ISSUE 10 tentpole).
+///
+/// Keyed by a normalized statement fingerprint (sql/ast_printer's
+/// FingerprintSelect: lower-cased identifiers, literals replaced by typed
+/// bound-parameter slots), each entry stores the optimized PlanNode tree
+/// plus the set of (table, stats-generation) versions it was planned
+/// against. A lookup hits only when every referenced table's current
+/// generation still matches — ANALYZE, DML past the UDI threshold,
+/// background async publishes and drift-monitor alerts all bump a table's
+/// generation, so stale plans are evicted lazily on their next lookup
+/// instead of eagerly scanning the cache from hot invalidation paths.
+///
+/// The cached tree is a template: predicate and join slots are block-local
+/// *indices*, so execution evaluates the fresh statement's literals — only
+/// the plan shape and its estimates are reused. Trees containing
+/// kMaterialized leaves (pinned intermediates from mid-query
+/// re-optimization) are never admitted; they hold executed data.
+///
+/// Thread-safe: entries live in hash shards under per-shard mutexes, the
+/// generation map under its own. Generation reads/bumps never take shard
+/// locks and vice versa, so DML-path bumps cannot convoy behind lookups.
+class PlanCache {
+ public:
+  /// What a hit returns: a fresh deep clone of the cached tree (executors
+  /// mutate plans in place) plus the estimation records, re-labelled
+  /// est_source="plan-cache" so feedback/drift attribute q-errors to the
+  /// cache, not to the statistics source the plan was originally built on.
+  struct CachedPlan {
+    std::unique_ptr<PlanNode> root;
+    std::vector<EstimationRecord> estimates;
+    double est_total_cost = 0;
+    double est_result_rows = 0;
+  };
+
+  explicit PlanCache(size_t shards = 8);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Metrics + event sink (nullable). Emissions are gated on enabled() so a
+  /// disabled cache leaves metric dumps and event logs byte-identical to a
+  /// build without it.
+  void set_obs(const ObsContext* obs) { obs_ = obs; }
+
+  /// Runtime switches (`SET plan_cache.enabled/capacity`). Disabling clears
+  /// the cache; generation tracking continues either way so a later enable
+  /// never resurrects pre-disable staleness.
+  void set_enabled(bool enabled);
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+  void set_capacity(size_t capacity);
+  size_t capacity() const { return capacity_.load(std::memory_order_acquire); }
+
+  /// Current stats generation of `table` (lower-case). 0 until first bump.
+  uint64_t Generation(const std::string& table) const;
+
+  /// Bumps `table`'s generation: every cached plan referencing it is stale
+  /// from here on. `reason` tags the metric/event (analyze, udi,
+  /// async-publish, drift, migrate).
+  void BumpGeneration(const std::string& table, const char* reason, uint64_t now);
+
+  /// Bumps every table ever seen AND the global epoch, so even entries over
+  /// tables with no generation record yet are invalidated (statistics
+  /// migration rewrites catalog stats wholesale).
+  void BumpAll(const char* reason, uint64_t now);
+
+  /// DML-driven invalidation: called after an INSERT/UPDATE/DELETE with the
+  /// table's post-statement UDI counter and visible row count. Bumps the
+  /// generation once the UDI delta since the last bump reaches
+  /// max(1, udi_threshold_fraction * rows) — mirroring the sensitivity
+  /// analysis's "enough churn to matter" signal.
+  void NoteDml(const std::string& table, uint64_t udi_counter, size_t num_rows,
+               uint64_t now);
+
+  /// Fraction of the table that must churn (by UDI count) before a DML bump
+  /// fires. Configure before serving.
+  void set_udi_threshold_fraction(double fraction) { udi_fraction_ = fraction; }
+
+  /// Looks up `fingerprint`, validating the entry against `versions` — the
+  /// caller's pre-compile capture of (table, Generation(table)) for every
+  /// table the statement references. On a valid hit, fills `out` with a
+  /// fresh clone and returns true. Stale entries are erased (lazy eviction)
+  /// and counted as invalidation + miss.
+  bool Lookup(const std::string& fingerprint,
+              const std::vector<std::pair<std::string, uint64_t>>& versions,
+              CachedPlan* out);
+
+  /// Inserts (or replaces) the entry for `fingerprint`, storing a clone of
+  /// `plan` against `versions`. Returns false without caching when the tree
+  /// contains a kMaterialized leaf or the cache is disabled/zero-capacity.
+  bool Insert(const std::string& fingerprint, const PhysicalPlan& plan,
+              std::vector<std::pair<std::string, uint64_t>> versions,
+              uint64_t now);
+
+  /// Drops every entry (capacity and generations are kept).
+  void Clear();
+
+  size_t size() const;
+  PlanCacheCounters counters() const;
+
+  /// Per-entry rows for SHOW PLAN CACHE, ordered by fingerprint. `valid`
+  /// reflects the generations at snapshot time.
+  std::vector<PlanCacheEntryInfo> Snapshot() const;
+
+ private:
+  struct Entry {
+    std::string fingerprint;
+    std::unique_ptr<PlanNode> root;
+    std::vector<EstimationRecord> estimates;
+    double est_total_cost = 0;
+    double est_result_rows = 0;
+    std::vector<std::pair<std::string, uint64_t>> versions;
+    uint64_t epoch = 0;
+    uint64_t cached_at = 0;
+    uint64_t hits = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  struct DmlState {
+    uint64_t udi_at_last_bump = 0;
+  };
+
+  Shard& ShardFor(const std::string& fingerprint);
+  size_t PerShardCapacity() const;
+  /// Shared tail of BumpGeneration/BumpAll/NoteDml: bumps under gen_mu_,
+  /// then emits metric + event outside it (the DML and drift paths call in
+  /// from latency-sensitive or callback contexts).
+  void BumpOne(const std::string& table, const char* reason, uint64_t now);
+
+  const size_t num_shards_;
+  std::vector<Shard> shards_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<size_t> capacity_{256};
+  double udi_fraction_ = 0.1;
+  const ObsContext* obs_ = nullptr;
+
+  mutable std::mutex gen_mu_;
+  std::map<std::string, uint64_t> generations_;
+  std::map<std::string, DmlState> dml_;
+  uint64_t epoch_ = 0;  // bumped by BumpAll; entries from older epochs are stale
+
+  mutable std::mutex counters_mu_;
+  PlanCacheCounters counters_;
+};
+
+}  // namespace jits
+
+#endif  // JITS_ENGINE_PLAN_CACHE_H_

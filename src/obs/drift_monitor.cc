@@ -85,6 +85,7 @@ void DriftMonitor::Observe(const std::string& table,
                   {"ratio", StrFormat("%.2f", ratio)}},
                  clock);
   }
+  if (entered && on_drift_) on_drift_(table, clock);
 }
 
 std::vector<DriftSnapshotRow> DriftMonitor::Snapshot() const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -61,6 +62,14 @@ class DriftMonitor {
   void set_events(EventLog* events) { events_ = events; }
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Fired once per drifted-state entry (edge-triggered, same edge as the
+  /// warn event), outside the monitor's lock. The plan cache hooks in here:
+  /// detected drift means plans built on the drifted stats are suspect, so
+  /// the table's generation is bumped. Configure before serving.
+  void set_on_drift(std::function<void(const std::string& table, uint64_t clock)> cb) {
+    on_drift_ = std::move(cb);
+  }
+
   /// Records one post-execution q-error for (table, est_source). Also
   /// observe the aggregate key ("all") from the caller so per-table drift
   /// survives source flips — FeedbackSystem does this.
@@ -97,6 +106,7 @@ class DriftMonitor {
   const DriftMonitorOptions options_;
   EventLog* events_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  std::function<void(const std::string&, uint64_t)> on_drift_;
 
   mutable std::mutex mu_;
   std::map<std::pair<std::string, std::string>, KeyState> keys_;

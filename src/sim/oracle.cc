@@ -12,7 +12,8 @@ namespace jits::sim {
 namespace {
 
 constexpr const char* kKnownSources[] = {"jits-exact", "stale-async", "archive",
-                                         "workload",   "catalog",     "default"};
+                                         "workload",   "catalog",     "default",
+                                         "plan-cache"};
 
 std::string Prefix(const SimStatement& stmt) { return "[" + stmt.sql + "] "; }
 

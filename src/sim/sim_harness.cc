@@ -119,6 +119,9 @@ SimReport RunSimEpisode(const SimOptions& options) {
   ropts.enabled = options.reopt;
   ropts.threshold = schedule.UniformDouble(1.5, 3.0);
   ropts.max_replans = static_cast<int>(schedule.Uniform(1, 3));
+  // Plan-cache capacity: drawn unconditionally for the same alignment
+  // reason, applied only when the episode opts in.
+  const size_t plan_cache_capacity = static_cast<size_t>(schedule.Uniform(16, 96));
 
   std::unique_ptr<Database> db;
   std::vector<std::string> sink_paths;
@@ -143,6 +146,8 @@ SimReport RunSimEpisode(const SimOptions& options) {
     }
     *db->jits_config() = jopts;
     *db->reopt_config() = ropts;
+    db->plan_cache()->set_capacity(plan_cache_capacity);
+    db->plan_cache()->set_enabled(options.plan_cache);
     JITS_RETURN_IF_ERROR(db->EnableAsyncCollection(aopts));
     TelemetrySamplerOptions topts;
     topts.manual = true;

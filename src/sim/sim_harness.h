@@ -39,6 +39,12 @@ struct SimOptions {
   /// only difference is the adaptive executor, which makes
   /// `select_fingerprints` directly comparable between the two.
   bool reopt = false;
+  /// Enable the statistics-versioned plan cache for the episode, capacity
+  /// drawn from the schedule stream. Like reopt, the draw is unconditional:
+  /// cache-on and cache-off episodes of the same seed share everything but
+  /// the compile path, so `select_fingerprints` must match between them —
+  /// a cached plan may skip the optimizer, never change an answer.
+  bool plan_cache = false;
   /// Disable the sensitivity analysis (paper Table 3 mode): every query
   /// samples its tables and materializes every predicate group, so the QSS
   /// archive fills deterministically. The mutation negative test uses this

@@ -73,6 +73,7 @@ struct ExplainAst {
 ///   SHOW JITS TRACE <id>               events whose task_id/trace_id == id
 ///   SHOW EVENTS                        the structured event-log ring
 ///   SHOW PERSISTENCE                   durability state
+///   SHOW PLAN CACHE                    plan-cache entries + validity
 struct ShowAst {
   enum class What {
     kMetrics,
@@ -82,7 +83,8 @@ struct ShowAst {
     kJitsAccuracy,
     kJitsTrace,
     kEvents,
-    kPersistence
+    kPersistence,
+    kPlanCache
   };
   What what = What::kMetrics;
   /// kMetrics / kMetricsHistory: LIKE filter over metric names ('%'/'_'

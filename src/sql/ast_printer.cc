@@ -41,15 +41,15 @@ std::string PrintValue(const Value& v) {
 /// of these must re-print double-quoted or the output would not re-parse.
 constexpr const char* kReservedWords[] = {
     "ACCURACY", "ANALYZE", "AND",     "AS",          "ASC",     "AVG",
-    "BETWEEN",  "BIGINT",  "BY",      "CHAR",        "CHECKPOINT",
+    "BETWEEN",  "BIGINT",  "BY",      "CACHE",       "CHAR",    "CHECKPOINT",
     "COUNT",    "CREATE",  "DELETE",  "DESC",        "DISTINCT",
     "DOUBLE",   "EVENTS",  "EXPLAIN", "FLOAT",       "FROM",    "GROUP",
     "HISTORY",  "INSERT",  "INT",     "INTEGER",     "INTO",    "JITS",
     "LIKE",     "LIMIT",   "MAX",     "METRICS",     "MIN",     "NULL",
-    "ORDER",    "PERSISTENCE",        "QUEUE",       "REAL",    "SELECT",
-    "SET",      "SHOW",    "STATUS",  "STRING",      "SUM",     "SYNC",
-    "TABLE",    "TEXT",    "TRACE",   "UPDATE",      "VALUES",  "VARCHAR",
-    "WHERE"};
+    "ORDER",    "PERSISTENCE",        "PLAN",        "QUEUE",   "REAL",
+    "SELECT",   "SET",     "SHOW",    "STATUS",      "STRING",  "SUM",
+    "SYNC",     "TABLE",   "TEXT",    "TRACE",       "UPDATE",  "VALUES",
+    "VARCHAR",  "WHERE"};
 
 bool IsPlainIdent(const std::string& name) {
   if (name.empty()) return false;
@@ -176,6 +176,48 @@ std::string PrintSelect(const SelectAst& select) {
   return out;
 }
 
+/// Fingerprint building blocks: identifiers are lower-cased (the binder is
+/// case-insensitive, so `SELECT A FROM T` and `select a from t` must share a
+/// cache entry) and literals collapse to typed bound-parameter slots so any
+/// two statements that differ only in constants share one plan template.
+std::string FpIdent(const std::string& name) { return PrintIdent(ToLower(name)); }
+
+std::string FpValue(const Value& v) {
+  if (v.is_int64()) return "?i";
+  if (v.is_double()) return "?d";
+  if (v.is_string()) return "?s";
+  return "?n";
+}
+
+std::string FpColumnRef(const ColumnRefAst& ref) {
+  if (ref.qualifier.empty()) return FpIdent(ref.column);
+  return FpIdent(ref.qualifier) + "." + FpIdent(ref.column);
+}
+
+std::string FpPredicate(const PredicateAst& pred) {
+  std::string out = FpColumnRef(pred.lhs);
+  if (pred.op == CompareOp::kBetween) {
+    out += " BETWEEN " + FpValue(pred.v1) + " AND " + FpValue(pred.v2);
+  } else if (pred.is_join) {
+    out += " = " + FpColumnRef(pred.rhs_column);
+  } else {
+    out += std::string(" ") + OpText(pred.op) + " " + FpValue(pred.v1);
+  }
+  return out;
+}
+
+std::string FpSelectItem(const SelectItemAst& item) {
+  switch (item.func) {
+    case AggFunc::kNone: return FpColumnRef(item.column);
+    case AggFunc::kCount: return "COUNT(*)";
+    case AggFunc::kSum: return "SUM(" + FpColumnRef(item.column) + ")";
+    case AggFunc::kAvg: return "AVG(" + FpColumnRef(item.column) + ")";
+    case AggFunc::kMin: return "MIN(" + FpColumnRef(item.column) + ")";
+    case AggFunc::kMax: return "MAX(" + FpColumnRef(item.column) + ")";
+  }
+  return "";
+}
+
 const char* TypeText(DataType type) {
   switch (type) {
     case DataType::kInt64: return "INT";
@@ -208,6 +250,7 @@ struct Printer {
         return StrFormat("SHOW JITS TRACE %lld", static_cast<long long>(show.trace_id));
       case ShowAst::What::kEvents: return "SHOW EVENTS";
       case ShowAst::What::kPersistence: return "SHOW PERSISTENCE";
+      case ShowAst::What::kPlanCache: return "SHOW PLAN CACHE";
     }
     return "SHOW METRICS";
   }
@@ -275,6 +318,51 @@ struct Printer {
 
 std::string PrintStatement(const StatementAst& statement) {
   return std::visit(Printer{}, statement);
+}
+
+std::string FingerprintSelect(const SelectAst& select) {
+  std::string out = "SELECT ";
+  if (select.distinct) out += "DISTINCT ";
+  if (select.select_all) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < select.items.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += FpSelectItem(select.items[i]);
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < select.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FpIdent(select.from[i].table);
+    if (!select.from[i].alias.empty()) out += " AS " + FpIdent(select.from[i].alias);
+  }
+  if (!select.where.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < select.where.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += FpPredicate(select.where[i]);
+    }
+  }
+  if (!select.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < select.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += FpColumnRef(select.group_by[i]);
+    }
+  }
+  if (!select.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < select.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += FpColumnRef(select.order_by[i].column);
+      if (select.order_by[i].descending) out += " DESC";
+    }
+  }
+  // LIMIT is parameterized too: the cached plan shape does not depend on
+  // the bound row count.
+  if (select.limit >= 0) out += " LIMIT ?";
+  return out;
 }
 
 }  // namespace jits

@@ -14,6 +14,16 @@ namespace jits {
 /// the round-trip fuzz test exercises.
 std::string PrintStatement(const StatementAst& statement);
 
+/// Normalized plan-cache fingerprint of a SELECT: canonical clause order and
+/// spelling like PrintStatement, but identifiers lower-cased (the binder is
+/// case-insensitive) and every literal replaced by a typed bound-parameter
+/// slot — `?i` int, `?d` double, `?s` string, `?n` null — with `LIMIT ?` for
+/// any bound row count. Two statements share a fingerprint exactly when the
+/// optimizer would walk the same search space for both, so a cached plan
+/// template (predicate slots are block-local indices) transfers between
+/// them.
+std::string FingerprintSelect(const SelectAst& select);
+
 }  // namespace jits
 
 #endif  // JITS_SQL_AST_PRINTER_H_

@@ -53,10 +53,13 @@ class Parser {
         show.what = ShowAst::What::kEvents;
       } else if (MatchKeyword("PERSISTENCE")) {
         show.what = ShowAst::What::kPersistence;
+      } else if (MatchKeyword("PLAN")) {
+        JITS_RETURN_IF_ERROR(ExpectKeyword("CACHE"));
+        show.what = ShowAst::What::kPlanCache;
       } else {
         return Error(
             "expected METRICS [HISTORY], JITS STATUS/QUEUE/ACCURACY/TRACE, "
-            "EVENTS or PERSISTENCE after SHOW");
+            "EVENTS, PERSISTENCE or PLAN CACHE after SHOW");
       }
       JITS_RETURN_IF_ERROR(ExpectStatementEnd());
       return StatementAst(show);

@@ -249,6 +249,53 @@ TEST_F(ConcurrencyTest, StressWithReplanningSessionsRacingDmlAndCollectors) {
   EXPECT_EQ(db_.metrics()->GetGauge("engine.concurrent_sessions")->Value(), 0.0);
 }
 
+TEST_F(ConcurrencyTest, StressWithPlanCacheRacingDmlAnalyzeAndCollectors) {
+  // The statistics-versioned plan cache under contention (ISSUE 10): cached
+  // SELECT sessions race DML writers (UDI-threshold bumps), the occasional
+  // ANALYZE (direct bumps) and background collection workers (publish
+  // bumps). Lookups clone under shard mutexes while every other path bumps
+  // generations concurrently — the real teeth are this suite running under
+  // ThreadSanitizer in CI. The repeated statement templates (few distinct
+  // fingerprints per thread) keep the hit path genuinely hot.
+  ASSERT_TRUE(db_.Execute("SET plan_cache.enabled = true").ok());
+  ASSERT_TRUE(db_.Execute("SET plan_cache.capacity = 32").ok());
+  async::CollectorServiceOptions options;
+  options.threads = 2;
+  ASSERT_TRUE(db_.EnableAsyncCollection(options).ok());
+
+  std::atomic<size_t> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kNumThreads);
+  for (size_t t = 0; t < kNumThreads; ++t) {
+    threads.emplace_back([this, t, &errors] { Client(t, &errors); });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0u);
+  ASSERT_TRUE(db_.DisableAsyncCollection().ok());
+
+  // The cache actually served plans and the invalidation machinery fired —
+  // the mixed stream guarantees repeats, DML churn and ANALYZE resets.
+  const PlanCacheCounters pc = db_.plan_cache()->counters();
+  EXPECT_GE(pc.hits, 1u);
+  EXPECT_GE(pc.insertions, 1u);
+  EXPECT_GE(pc.bumps, 1u);
+  EXPECT_LE(db_.plan_cache()->size(), db_.plan_cache()->capacity());
+
+  // Cached-plan answers stayed correct: a template executed from the cache
+  // against fresh literals must match a cold re-optimized run.
+  db_.plan_cache()->Clear();
+  QueryResult cold;
+  ASSERT_TRUE(db_.Execute("SELECT id FROM car WHERE year > 2000 AND price < 5200",
+                          &cold)
+                  .ok());
+  QueryResult hit;
+  ASSERT_TRUE(db_.Execute("SELECT id FROM car WHERE year > 2000 AND price < 5200",
+                          &hit)
+                  .ok());
+  EXPECT_EQ(cold.num_rows, hit.num_rows);
+  EXPECT_EQ(db_.metrics()->GetGauge("engine.concurrent_sessions")->Value(), 0.0);
+}
+
 TEST(ParallelScanTest, MatchesSequentialScanExactly) {
   // The morsel-parallel scan must return the same row ids in the same order
   // as the sequential path, for tables spanning several morsels and with

@@ -1,0 +1,483 @@
+// Statistics-versioned plan cache tests (ISSUE 10 tentpole), three layers:
+//  - Fingerprint normalization: literals collapse to typed bound-parameter
+//    slots, identifiers are case-insensitive, LIMIT is parameterized, and
+//    anything that changes the optimizer's search space changes the key.
+//  - PlanCache unit behavior: hit/miss accounting, generation bumps and
+//    lazy invalidation, LRU capacity eviction, DML thresholds, BumpAll,
+//    and the kMaterialized admission guard.
+//  - Engine integration: SET/SHOW plumbing, repeated-template queries that
+//    hit with est_source=plan-cache while answers track the fresh
+//    literals, and the acceptance plant — ANALYZE / async publish / drift
+//    each force a miss + re-optimization. Reopt re-caches its final plan.
+
+#include "engine/plan_cache.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "engine/database.h"
+#include "sql/ast_printer.h"
+#include "sql/parser.h"
+
+namespace jits {
+namespace {
+
+// --- Fingerprint normalization. ---
+
+std::string Fp(const std::string& sql) {
+  Result<StatementAst> ast = ParseStatement(sql);
+  EXPECT_TRUE(ast.ok()) << sql << ": " << ast.status().message();
+  return FingerprintSelect(std::get<SelectAst>(ast.value()));
+}
+
+TEST(FingerprintTest, LiteralsCollapseToTypedSlots) {
+  EXPECT_EQ(Fp("SELECT a FROM t WHERE a = 5"), Fp("SELECT a FROM t WHERE a = 99"));
+  EXPECT_EQ(Fp("SELECT a FROM t WHERE a = 5"), "SELECT a FROM t WHERE a = ?i");
+  EXPECT_EQ(Fp("SELECT a FROM t WHERE a = 'x'"),
+            Fp("SELECT a FROM t WHERE a = 'something else'"));
+}
+
+TEST(FingerprintTest, SlotsAreTyped) {
+  EXPECT_NE(Fp("SELECT a FROM t WHERE a = 5"), Fp("SELECT a FROM t WHERE a = 5.0"));
+  EXPECT_NE(Fp("SELECT a FROM t WHERE a = 5"), Fp("SELECT a FROM t WHERE a = 'x'"));
+}
+
+TEST(FingerprintTest, IdentifiersAreCaseInsensitive) {
+  EXPECT_EQ(Fp("SELECT A FROM T WHERE A > 3"), Fp("select a from t where a > 7"));
+}
+
+TEST(FingerprintTest, LimitAndBetweenAreParameterized) {
+  EXPECT_EQ(Fp("SELECT a FROM t LIMIT 5"), Fp("SELECT a FROM t LIMIT 500"));
+  EXPECT_NE(Fp("SELECT a FROM t LIMIT 5"), Fp("SELECT a FROM t"));
+  EXPECT_EQ(Fp("SELECT a FROM t WHERE a BETWEEN 1 AND 2"),
+            Fp("SELECT a FROM t WHERE a BETWEEN 5 AND 9"));
+}
+
+TEST(FingerprintTest, StructureStillDistinguishes) {
+  EXPECT_NE(Fp("SELECT a FROM t WHERE a = 1"), Fp("SELECT b FROM t WHERE a = 1"));
+  EXPECT_NE(Fp("SELECT a FROM t WHERE a = 1"), Fp("SELECT a FROM t WHERE a > 1"));
+  EXPECT_NE(Fp("SELECT COUNT(*) FROM t"), Fp("SELECT a FROM t"));
+  EXPECT_NE(Fp("SELECT a FROM t"), Fp("SELECT DISTINCT a FROM t"));
+  EXPECT_NE(Fp("SELECT a FROM t ORDER BY a"), Fp("SELECT a FROM t ORDER BY a DESC"));
+}
+
+// --- PlanCache unit behavior. ---
+
+PhysicalPlan MakePlan(double est_rows = 10) {
+  PhysicalPlan plan;
+  plan.root = std::make_unique<PlanNode>();
+  plan.root->type = PlanNode::Type::kSeqScan;
+  plan.root->table_idx = 0;
+  plan.root->est_rows = est_rows;
+  plan.est_result_rows = est_rows;
+  EstimationRecord record;
+  record.table_key = "t";
+  record.colgrp = "t:a";
+  record.est_source = "catalog";
+  record.est_selectivity = 0.5;
+  plan.estimates.push_back(record);
+  return plan;
+}
+
+std::vector<std::pair<std::string, uint64_t>> VersionsOf(const PlanCache& cache) {
+  return {{"t", cache.Generation("t")}};
+}
+
+TEST(PlanCacheTest, HitReturnsIndependentCloneWithPlanCacheSource) {
+  PlanCache cache;
+  cache.set_enabled(true);
+  EXPECT_TRUE(cache.Insert("fp", MakePlan(42), VersionsOf(cache), /*now=*/1));
+  PlanCache::CachedPlan a;
+  PlanCache::CachedPlan b;
+  ASSERT_TRUE(cache.Lookup("fp", VersionsOf(cache), &a));
+  ASSERT_TRUE(cache.Lookup("fp", VersionsOf(cache), &b));
+  ASSERT_NE(a.root, nullptr);
+  EXPECT_NE(a.root.get(), b.root.get());  // each hit clones
+  EXPECT_EQ(a.root->est_rows, 42);
+  ASSERT_EQ(a.estimates.size(), 1u);
+  EXPECT_EQ(a.estimates[0].est_source, "plan-cache");
+  const PlanCacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits, 2u);
+  EXPECT_EQ(c.misses, 0u);
+  EXPECT_EQ(c.insertions, 1u);
+}
+
+TEST(PlanCacheTest, GenerationBumpInvalidatesLazily) {
+  PlanCache cache;
+  cache.set_enabled(true);
+  EXPECT_TRUE(cache.Insert("fp", MakePlan(), VersionsOf(cache), 1));
+  cache.BumpGeneration("t", "analyze", 2);
+  EXPECT_EQ(cache.Generation("t"), 1u);
+  PlanCache::CachedPlan out;
+  EXPECT_FALSE(cache.Lookup("fp", VersionsOf(cache), &out));
+  EXPECT_EQ(cache.size(), 0u);  // stale entry evicted on lookup, not on bump
+  const PlanCacheCounters c = cache.counters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.invalidations, 1u);
+  EXPECT_EQ(c.bumps, 1u);
+}
+
+TEST(PlanCacheTest, BumpAllInvalidatesTablesWithNoGenerationRecord) {
+  PlanCache cache;
+  cache.set_enabled(true);
+  // "t" has never been bumped: its generation record doesn't exist yet,
+  // so only the epoch can invalidate this entry.
+  EXPECT_TRUE(cache.Insert("fp", MakePlan(), VersionsOf(cache), 1));
+  cache.BumpAll("migrate", 2);
+  PlanCache::CachedPlan out;
+  EXPECT_FALSE(cache.Lookup("fp", VersionsOf(cache), &out));
+  EXPECT_EQ(cache.counters().invalidations, 1u);
+}
+
+TEST(PlanCacheTest, LruEvictsOldestWithinShard) {
+  PlanCache cache(/*shards=*/1);
+  cache.set_enabled(true);
+  cache.set_capacity(2);
+  EXPECT_TRUE(cache.Insert("a", MakePlan(), VersionsOf(cache), 1));
+  EXPECT_TRUE(cache.Insert("b", MakePlan(), VersionsOf(cache), 2));
+  // Touch "a" so "b" becomes the LRU victim.
+  PlanCache::CachedPlan out;
+  ASSERT_TRUE(cache.Lookup("a", VersionsOf(cache), &out));
+  EXPECT_TRUE(cache.Insert("c", MakePlan(), VersionsOf(cache), 3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup("a", VersionsOf(cache), &out));
+  EXPECT_FALSE(cache.Lookup("b", VersionsOf(cache), &out));
+  EXPECT_TRUE(cache.Lookup("c", VersionsOf(cache), &out));
+  EXPECT_EQ(cache.counters().evictions, 1u);
+}
+
+TEST(PlanCacheTest, CapacityShrinkEvictsDown) {
+  PlanCache cache(/*shards=*/1);
+  cache.set_enabled(true);
+  cache.set_capacity(8);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(cache.Insert("fp" + std::to_string(i), MakePlan(),
+                             VersionsOf(cache), static_cast<uint64_t>(i)));
+  }
+  EXPECT_EQ(cache.size(), 6u);
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_GE(cache.counters().evictions, 4u);
+}
+
+TEST(PlanCacheTest, ReplaceInPlaceKeepsOneEntry) {
+  PlanCache cache;
+  cache.set_enabled(true);
+  EXPECT_TRUE(cache.Insert("fp", MakePlan(1), VersionsOf(cache), 1));
+  EXPECT_TRUE(cache.Insert("fp", MakePlan(2), VersionsOf(cache), 2));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.counters().insertions, 2u);
+  PlanCache::CachedPlan out;
+  ASSERT_TRUE(cache.Lookup("fp", VersionsOf(cache), &out));
+  EXPECT_EQ(out.root->est_rows, 2);  // the re-cached plan won
+}
+
+TEST(PlanCacheTest, NoteDmlBumpsAtThreshold) {
+  PlanCache cache;
+  cache.set_enabled(true);
+  cache.set_udi_threshold_fraction(0.1);
+  // 100-row table: threshold = max(1, 0.1 * 100) = 10 UDI operations.
+  cache.NoteDml("t", /*udi_counter=*/5, /*num_rows=*/100, 1);
+  EXPECT_EQ(cache.Generation("t"), 0u);
+  cache.NoteDml("t", 10, 100, 2);
+  EXPECT_EQ(cache.Generation("t"), 1u);
+  cache.NoteDml("t", 12, 100, 3);  // only 2 since the last bump
+  EXPECT_EQ(cache.Generation("t"), 1u);
+  cache.NoteDml("t", 25, 100, 4);
+  EXPECT_EQ(cache.Generation("t"), 2u);
+  // A collector ResetUdi moved the counter backwards: re-anchor, no bump.
+  cache.NoteDml("t", 0, 100, 5);
+  EXPECT_EQ(cache.Generation("t"), 2u);
+  cache.NoteDml("t", 10, 100, 6);
+  EXPECT_EQ(cache.Generation("t"), 3u);
+}
+
+TEST(PlanCacheTest, InsertRefusesMaterializedTrees) {
+  PlanCache cache;
+  cache.set_enabled(true);
+  PhysicalPlan plan = MakePlan();
+  auto join = std::make_unique<PlanNode>();
+  join->type = PlanNode::Type::kHashJoin;
+  join->left = std::move(plan.root);
+  join->right = std::make_unique<PlanNode>();
+  join->right->type = PlanNode::Type::kMaterialized;
+  plan.root = std::move(join);
+  EXPECT_FALSE(cache.Insert("fp", plan, VersionsOf(cache), 1));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCacheTest, DisabledCacheNeitherStoresNorServes) {
+  PlanCache cache;
+  EXPECT_FALSE(cache.Insert("fp", MakePlan(), VersionsOf(cache), 1));
+  cache.set_enabled(true);
+  EXPECT_TRUE(cache.Insert("fp", MakePlan(), VersionsOf(cache), 2));
+  cache.set_enabled(false);  // disabling clears
+  EXPECT_EQ(cache.size(), 0u);
+  PlanCache::CachedPlan out;
+  EXPECT_FALSE(cache.Lookup("fp", VersionsOf(cache), &out));
+  EXPECT_EQ(cache.counters().misses, 0u);  // disabled lookups aren't counted
+}
+
+// --- Engine integration. ---
+
+void BuildTable(Database* db) {
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (a INT, b INT)").ok());
+  Table* t = db->catalog()->FindTable("t");
+  ASSERT_NE(t, nullptr);
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t->Insert({Value(i), Value(i % 10)}).ok());
+  }
+}
+
+TEST(PlanCacheEngineTest, SetAndShowPlumbing) {
+  Database db;
+  EXPECT_FALSE(db.plan_cache()->enabled());
+  ASSERT_TRUE(db.Execute("SET plan_cache.enabled = true").ok());
+  EXPECT_TRUE(db.plan_cache()->enabled());
+  ASSERT_TRUE(db.Execute("SET plan_cache.capacity = 64").ok());
+  EXPECT_EQ(db.plan_cache()->capacity(), 64u);
+  EXPECT_FALSE(db.Execute("SET plan_cache.capacity = -1").ok());
+  EXPECT_FALSE(db.Execute("SET plan_cache.enabled = maybe").ok());
+  ASSERT_TRUE(db.Execute("SET plan_cache.enabled = off").ok());
+  EXPECT_FALSE(db.plan_cache()->enabled());
+
+  QueryResult r;
+  ASSERT_TRUE(db.Execute("SET plan_cache.enabled = true").ok());
+  ASSERT_TRUE(db.Execute("SHOW JITS STATUS", &r).ok());
+  std::string all;
+  for (const Row& row : r.rows) {
+    for (const Value& v : row) {
+      all += v.ToString();
+      all += ' ';
+    }
+  }
+  EXPECT_NE(all.find("plan_cache.enabled"), std::string::npos) << all;
+  EXPECT_NE(all.find("plan_cache.capacity"), std::string::npos) << all;
+}
+
+TEST(PlanCacheEngineTest, RepeatedTemplateHitsAndTracksFreshLiterals) {
+  Database db;
+  BuildTable(&db);
+  db.jits_config()->enabled = true;
+  db.jits_config()->sensitivity_enabled = false;
+  db.jits_config()->s_max = 0.0;
+  ASSERT_TRUE(db.Execute("SET plan_cache.enabled = true").ok());
+
+  QueryResult r1;
+  ASSERT_TRUE(db.Execute("SELECT COUNT(*) FROM t WHERE a < 50", &r1).ok());
+  EXPECT_EQ(r1.rows[0][0].AsDouble(), 50);
+  for (const auto& outcome : r1.estimate_outcomes) {
+    EXPECT_NE(outcome.est_source, "plan-cache");
+  }
+
+  // Same fingerprint, different literal: the cached plan template must be
+  // executed against THIS statement's bound predicate, so the answer moves
+  // with the literal while compilation is skipped.
+  QueryResult r2;
+  ASSERT_TRUE(db.Execute("SELECT COUNT(*) FROM t WHERE a < 150", &r2).ok());
+  EXPECT_EQ(r2.rows[0][0].AsDouble(), 150);
+  EXPECT_EQ(r2.tables_sampled, 0u);
+  ASSERT_FALSE(r2.estimate_outcomes.empty());
+  for (const auto& outcome : r2.estimate_outcomes) {
+    EXPECT_EQ(outcome.est_source, "plan-cache");
+  }
+  EXPECT_EQ(db.metrics()->CounterValue("jits.plan_cache.hits"), 1.0);
+  EXPECT_GE(db.metrics()->CounterValue("jits.plan_cache.misses"), 1.0);
+  EXPECT_GE(db.metrics()->CounterValue(
+                "optimizer.est_source{source=\"plan-cache\"}"),
+            1.0);
+
+  QueryResult show;
+  ASSERT_TRUE(db.Execute("SHOW PLAN CACHE", &show).ok());
+  ASSERT_EQ(show.rows.size(), 1u);
+  EXPECT_EQ(show.rows[0][0].str(), "SELECT COUNT(*) FROM t WHERE a < ?i");
+  EXPECT_EQ(show.rows[0][1].int64(), 1);  // hits
+  EXPECT_EQ(show.rows[0][3].str(), "t");
+  EXPECT_EQ(show.rows[0][4].str(), "true");  // valid
+}
+
+// The acceptance plant: a fired ANALYZE must force the next lookup to
+// miss and the statement to re-optimize from the fresh statistics.
+TEST(PlanCacheEngineTest, AnalyzeForcesMissAndReoptimization) {
+  Database db;
+  BuildTable(&db);
+  ASSERT_TRUE(db.Execute("SET plan_cache.enabled = true").ok());
+
+  QueryResult r;
+  ASSERT_TRUE(db.Execute("SELECT COUNT(*) FROM t WHERE b = 3", &r).ok());
+  ASSERT_TRUE(db.Execute("SELECT COUNT(*) FROM t WHERE b = 3", &r).ok());
+  ASSERT_FALSE(r.estimate_outcomes.empty());
+  EXPECT_EQ(r.estimate_outcomes[0].est_source, "plan-cache");
+
+  const uint64_t gen_before = db.plan_cache()->Generation("t");
+  ASSERT_TRUE(db.Execute("ANALYZE t").ok());
+  EXPECT_GT(db.plan_cache()->Generation("t"), gen_before);
+
+  ASSERT_TRUE(db.Execute("SELECT COUNT(*) FROM t WHERE b = 3", &r).ok());
+  EXPECT_EQ(r.rows[0][0].AsDouble(), 20);
+  // The post-ANALYZE run re-optimized: its estimates carry a real source
+  // (the fresh catalog stats), not the cache label.
+  ASSERT_FALSE(r.estimate_outcomes.empty());
+  EXPECT_NE(r.estimate_outcomes[0].est_source, "plan-cache");
+  EXPECT_GE(db.metrics()->CounterValue("jits.plan_cache.invalidations"), 1.0);
+  bool saw_bump = false;
+  bool saw_invalidate = false;
+  for (const Event& e : db.events()->Snapshot()) {
+    if (e.component != "plan_cache") continue;
+    if (e.message == "bump" && e.Field("reason") == "analyze") saw_bump = true;
+    if (e.message == "invalidate") saw_invalidate = true;
+  }
+  EXPECT_TRUE(saw_bump);
+  EXPECT_TRUE(saw_invalidate);
+}
+
+TEST(PlanCacheEngineTest, DmlPastThresholdInvalidates) {
+  Database db;
+  BuildTable(&db);
+  ASSERT_TRUE(db.Execute("SET plan_cache.enabled = true").ok());
+
+  QueryResult r;
+  ASSERT_TRUE(db.Execute("SELECT COUNT(*) FROM t WHERE b = 3", &r).ok());
+  // Default threshold: 10% of 200 rows = 20 UDI operations.
+  const uint64_t gen_before = db.plan_cache()->Generation("t");
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1000, 3)").ok());
+  }
+  EXPECT_GT(db.plan_cache()->Generation("t"), gen_before);
+  ASSERT_TRUE(db.Execute("SELECT COUNT(*) FROM t WHERE b = 3", &r).ok());
+  EXPECT_EQ(r.rows[0][0].AsDouble(), 45);  // 20 original + 25 inserted
+  ASSERT_FALSE(r.estimate_outcomes.empty());
+  EXPECT_NE(r.estimate_outcomes[0].est_source, "plan-cache");
+  EXPECT_GE(db.metrics()->CounterValue("jits.plan_cache.invalidations"), 1.0);
+}
+
+TEST(PlanCacheEngineTest, AsyncPublishBumpsGeneration) {
+  Database db;
+  BuildTable(&db);
+  db.jits_config()->enabled = true;
+  db.jits_config()->sensitivity_enabled = false;
+  db.jits_config()->s_max = 0.0;
+  async::CollectorServiceOptions aopts;
+  aopts.threads = 0;  // manual mode
+  ASSERT_TRUE(db.EnableAsyncCollection(aopts).ok());
+  ASSERT_TRUE(db.Execute("SET plan_cache.enabled = true").ok());
+
+  QueryResult r;
+  ASSERT_TRUE(db.Execute("SELECT COUNT(*) FROM t WHERE b = 3", &r).ok());
+  ASSERT_GT(db.async_collector()->queue_depth(), 0u)
+      << "expected the statement to defer a background collection";
+  const uint64_t gen_before = db.plan_cache()->Generation("t");
+  ASSERT_EQ(db.async_collector()->StepOne(), async::StepOutcome::kCollected);
+  EXPECT_GT(db.plan_cache()->Generation("t"), gen_before);
+  bool saw_publish_bump = false;
+  for (const Event& e : db.events()->Snapshot()) {
+    if (e.component == "plan_cache" && e.message == "bump" &&
+        e.Field("reason") == "async-publish") {
+      saw_publish_bump = true;
+    }
+  }
+  EXPECT_TRUE(saw_publish_bump);
+  ASSERT_TRUE(db.DisableAsyncCollection().ok());
+}
+
+TEST(PlanCacheEngineTest, DriftAlertBumpsGeneration) {
+  Database db;
+  BuildTable(&db);
+  DriftMonitorOptions dopts;
+  dopts.recent_window = 2;
+  dopts.baseline_window = 4;
+  dopts.min_samples = 2;
+  dopts.ratio_threshold = 2.0;
+  dopts.absolute_floor = 1.5;
+  db.set_drift_options(dopts);  // must re-wire the plan-cache callback too
+  ASSERT_TRUE(db.Execute("SET plan_cache.enabled = true").ok());
+
+  const uint64_t gen_before = db.plan_cache()->Generation("t");
+  // Calm baseline, then a q-error excursion: the edge fires once.
+  for (int i = 0; i < 6; ++i) db.drift_monitor()->Observe("t", "all", 1.0, 1);
+  for (int i = 0; i < 2; ++i) db.drift_monitor()->Observe("t", "all", 50.0, 2);
+  EXPECT_GT(db.plan_cache()->Generation("t"), gen_before);
+  bool saw_drift_bump = false;
+  for (const Event& e : db.events()->Snapshot()) {
+    if (e.component == "plan_cache" && e.message == "bump" &&
+        e.Field("reason") == "drift") {
+      saw_drift_bump = true;
+    }
+  }
+  EXPECT_TRUE(saw_drift_bump);
+}
+
+// Mirror of reopt_test's planted star schema: statistics stay at catalog
+// defaults, so the first execution re-plans mid-query. The statement's
+// FINAL plan (not the misestimated original) must be what the cache serves
+// next time — and it must contain no pinned intermediates.
+TEST(PlanCacheEngineTest, ReoptRecachesFinalPlan) {
+  Database db(7);
+  ASSERT_TRUE(db.Execute("CREATE TABLE hub (id INT, tag INT)").ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE big (id INT, fk INT, v INT)").ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE med (id INT, fk INT, w INT)").ok());
+  Table* hub = db.catalog()->FindTable("hub");
+  Table* big = db.catalog()->FindTable("big");
+  Table* med = db.catalog()->FindTable("med");
+  for (int64_t i = 1; i <= 60; ++i) {
+    ASSERT_TRUE(hub->Insert({Value(i), Value(i % 5)}).ok());
+  }
+  for (int64_t i = 1; i <= 900; ++i) {
+    ASSERT_TRUE(big->Insert({Value(i), Value((i % 60) + 1), Value(int64_t{7})}).ok());
+  }
+  for (int64_t i = 1; i <= 300; ++i) {
+    ASSERT_TRUE(med->Insert({Value(i), Value((i % 60) + 1), Value(i % 3)}).ok());
+  }
+  db.jits_config()->enabled = false;
+  ASSERT_TRUE(db.Execute("SET reopt.enabled = true").ok());
+  ASSERT_TRUE(db.Execute("SET reopt.threshold = 2.0").ok());
+  ASSERT_TRUE(db.Execute("SET reopt.max_replans = 2").ok());
+  ASSERT_TRUE(db.Execute("SET plan_cache.enabled = true").ok());
+
+  const char* query =
+      "SELECT COUNT(*) FROM hub a, big b, med c "
+      "WHERE a.id = b.fk AND a.id = c.fk AND b.v = 7";
+  QueryResult first;
+  ASSERT_TRUE(db.Execute(query, &first).ok());
+  EXPECT_EQ(first.rows[0][0].AsDouble(), 4500);
+  ASSERT_GE(first.replans, 1u);
+  // Initial insert + the post-replan re-cache of the final plan.
+  EXPECT_GE(db.plan_cache()->counters().insertions, 2u);
+
+  QueryResult second;
+  ASSERT_TRUE(db.Execute(query, &second).ok());
+  EXPECT_EQ(second.rows[0][0].AsDouble(), 4500);
+  EXPECT_EQ(db.metrics()->CounterValue("jits.plan_cache.hits"), 1.0);
+  // The served plan was re-derived from the replan-corrected statistics.
+  // Join-order uncertainty can still trip a breaker, but the corrected scan
+  // constraints must not make things worse than the misestimated original.
+  EXPECT_LE(second.replans, first.replans);
+}
+
+TEST(PlanCacheEngineTest, ExplainIsNeverCached) {
+  Database db;
+  BuildTable(&db);
+  ASSERT_TRUE(db.Execute("SET plan_cache.enabled = true").ok());
+  QueryResult r;
+  ASSERT_TRUE(db.Execute("EXPLAIN SELECT COUNT(*) FROM t WHERE b = 3", &r).ok());
+  EXPECT_EQ(db.plan_cache()->size(), 0u);
+  EXPECT_EQ(db.metrics()->CounterValue("jits.plan_cache.misses"), 0.0);
+}
+
+TEST(PlanCacheEngineTest, MigrationBumpsEverything) {
+  Database db;
+  BuildTable(&db);
+  ASSERT_TRUE(db.Execute("SET plan_cache.enabled = true").ok());
+  QueryResult r;
+  ASSERT_TRUE(db.Execute("SELECT COUNT(*) FROM t WHERE b = 3", &r).ok());
+  EXPECT_EQ(db.plan_cache()->size(), 1u);
+  db.MigrateNow();
+  ASSERT_TRUE(db.Execute("SELECT COUNT(*) FROM t WHERE b = 3", &r).ok());
+  EXPECT_GE(db.metrics()->CounterValue("jits.plan_cache.invalidations"), 1.0);
+  EXPECT_EQ(r.rows[0][0].AsDouble(), 20);
+}
+
+}  // namespace
+}  // namespace jits

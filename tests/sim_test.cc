@@ -116,6 +116,43 @@ TEST(SimDeterminismTest, DifferentSeedsDiverge) {
   EXPECT_NE(a.event_fingerprint, b.event_fingerprint);
 }
 
+// --- Plan-cache differential: same-seed episodes with the statistics-
+// versioned plan cache on and off must produce bit-identical SELECT result
+// sets (a cached plan may skip the optimizer, never change an answer) while
+// the oracle stays clean in both. Repeated statement templates from the
+// workload generator make real hits likely; ANALYZE/DML in the stream make
+// real invalidations likely. ---
+
+class PlanCacheDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanCacheDifferentialTest, SameSeedOnOffResultSetsBitIdentical) {
+  const int episode = GetParam();
+  SimOptions options;
+  options.seed = DeriveSeed("plan-cache-episode-" + std::to_string(episode));
+  options.statements = 60;
+  options.crash_cycles = 1;
+
+  options.plan_cache = false;
+  options.data_dir = EpisodeDir("pc_off_" + std::to_string(episode));
+  const SimReport off = RunSimEpisode(options);
+  ExpectClean(off, "plan-cache-off-" + std::to_string(episode));
+
+  options.plan_cache = true;
+  options.data_dir = EpisodeDir("pc_on_" + std::to_string(episode));
+  const SimReport on = RunSimEpisode(options);
+  ExpectClean(on, "plan-cache-on-" + std::to_string(episode));
+
+  EXPECT_EQ(off.statements_run, on.statements_run);
+  ASSERT_EQ(off.select_fingerprints.size(), on.select_fingerprints.size());
+  for (size_t i = 0; i < off.select_fingerprints.size(); ++i) {
+    EXPECT_EQ(off.select_fingerprints[i], on.select_fingerprints[i])
+        << "episode " << episode << " diverged at SELECT " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PlanCacheDifferentialTest,
+                         ::testing::Range(0, 10));
+
 // --- Mutation smoke: plant a statistics bug (skip the IPF fitting loop, so
 // published histograms stop absorbing their constraints) and require the
 // oracle to catch it. The clean run of the SAME seed proves the violations

@@ -76,12 +76,16 @@ TEST(SqlRoundTripTest, CorpusStatements) {
       "show jits trace 42;",
       "SHOW EVENTS",
       "SHOW PERSISTENCE",
+      "SHOW PLAN CACHE",
+      "show plan cache;",
       "CHECKPOINT",
       // SET: dotted setting names with bare-word and literal values.
       "SET reopt.enabled = true",
       "set reopt.threshold = 2.5;",
       "SET reopt.max_replans = 3",
       "SET jits.enabled = off",
+      "SET plan_cache.enabled = true",
+      "set plan_cache.capacity = 64;",
       "set REOPT.Threshold=1.75",
       "SET \"order\".\"limit\" = 7",
       // Double-quoted identifiers: keyword collisions, embedded quotes,
@@ -124,9 +128,11 @@ TEST(SqlRoundTripTest, CanonicalFormsAreStrictFixpoints) {
       "SHOW JITS ACCURACY",
       "SHOW JITS TRACE 42",
       "SHOW EVENTS",
+      "SHOW PLAN CACHE",
       "CHECKPOINT",
       "SET reopt.enabled = true",
       "SET reopt.threshold = 2.5",
+      "SET plan_cache.capacity = 64",
       "SET \"order\".\"limit\" = 7",
       // Canonical quoted forms: keyword-colliding or non-plain names stay
       // quoted; plain names print bare even when the input quoted them.
@@ -386,7 +392,7 @@ class SqlGen {
   }
 
   std::string Show() {
-    switch (rng_.PickIndex(8)) {
+    switch (rng_.PickIndex(9)) {
       case 0: return Kw("SHOW METRICS") + MaybeLike() + MaybeSemicolon();
       case 1: return Kw("SHOW METRICS HISTORY") + MaybeLike() + MaybeSemicolon();
       case 2: return Kw("SHOW JITS STATUS") + MaybeSemicolon();
@@ -397,6 +403,7 @@ class SqlGen {
                StrFormat("%lld", static_cast<long long>(rng_.Uniform(0, 99999))) +
                MaybeSemicolon();
       case 6: return Kw("SHOW EVENTS") + MaybeSemicolon();
+      case 7: return Kw("SHOW PLAN CACHE") + MaybeSemicolon();
       default: return Kw("SHOW PERSISTENCE") + MaybeSemicolon();
     }
   }
